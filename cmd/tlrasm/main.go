@@ -1,0 +1,113 @@
+// Command tlrasm assembles, disassembles, inspects and runs programs in
+// the simulator's assembly language.
+//
+// Usage:
+//
+//	tlrasm prog.s               # assemble and report
+//	tlrasm -o prog.img prog.s   # assemble and save a binary program image
+//	tlrasm -d prog.img          # images load wherever sources do
+//	tlrasm -sym prog.s          # print the symbol table
+//	tlrasm -run -max 100000 prog.s   # execute (OUT prints to stdout)
+//	tlrasm -w compress -d       # operate on a bundled workload instead
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/tracereuse/tlr"
+	"github.com/tracereuse/tlr/internal/asm"
+	"github.com/tracereuse/tlr/internal/cpu"
+	"github.com/tracereuse/tlr/internal/isa"
+)
+
+func main() {
+	var (
+		disasm = flag.Bool("d", false, "print the disassembly")
+		sym    = flag.Bool("sym", false, "print the symbol table")
+		run    = flag.Bool("run", false, "execute the program")
+		maxN   = flag.Uint64("max", 1_000_000, "max instructions when running")
+		wname  = flag.String("w", "", "use a bundled workload instead of a file")
+		out    = flag.String("o", "", "write a binary program image to this path")
+	)
+	flag.Parse()
+
+	var (
+		prog *isa.Program
+		name string
+		err  error
+	)
+	switch {
+	case *wname != "":
+		w, ok := tlr.WorkloadByName(*wname)
+		if !ok {
+			fail(fmt.Errorf("unknown workload %q", *wname))
+		}
+		prog, err = w.Program()
+		name = w.Name
+	case flag.NArg() == 1:
+		name = flag.Arg(0)
+		var src []byte
+		src, err = os.ReadFile(name)
+		if err == nil {
+			if bytes.HasPrefix(src, isa.ImageMagic[:]) {
+				prog, err = isa.ReadImage(bytes.NewReader(src))
+			} else {
+				prog, err = asm.AssembleNamed(name, string(src))
+			}
+		}
+	default:
+		fail(fmt.Errorf("need exactly one source file or -w workload"))
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("%s: %d instructions, %d data words, entry %d\n",
+		name, len(prog.Insts), len(prog.Data), prog.Entry)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		if err := isa.WriteImage(f, prog); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		info, _ := os.Stat(*out)
+		fmt.Printf("wrote %s (%d bytes)\n", *out, info.Size())
+	}
+
+	if *sym {
+		for _, s := range asm.Symbols(prog) {
+			fmt.Println(s)
+		}
+	}
+	if *disasm {
+		fmt.Print(asm.Disassemble(prog))
+	}
+	if *run {
+		c := cpu.New(prog, cpu.WithOutput(func(v uint64) {
+			fmt.Printf("out: %d (%#x)\n", v, v)
+		}))
+		n, err := c.Run(*maxN, nil)
+		if err != nil {
+			fail(err)
+		}
+		status := "budget exhausted"
+		if c.Halted() {
+			status = "halted"
+		}
+		fmt.Printf("executed %d instructions (%s), final PC %d\n", n, status, c.PC())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tlrasm:", err)
+	os.Exit(1)
+}

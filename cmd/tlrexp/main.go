@@ -1,0 +1,90 @@
+// Command tlrexp regenerates every table and figure of the paper's
+// evaluation section (Figures 3-9 and the §4.5 bandwidth table).
+//
+// Usage:
+//
+//	tlrexp [-budget N] [-skip N] [-window W] [-rtmbudget N] [-fig 6a] [-no-rtm]
+//
+// Each table prints the same series the paper plots, with the paper's
+// numbers quoted in the footnote for side-by-side comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/tracereuse/tlr/internal/expt"
+)
+
+func main() {
+	cfg := expt.DefaultConfig()
+	budget := flag.Uint64("budget", cfg.Budget, "instructions per workload (limit studies)")
+	skip := flag.Uint64("skip", cfg.Skip, "instructions to skip before measuring")
+	window := flag.Int("window", cfg.Window, "finite instruction window size")
+	rtmBudget := flag.Uint64("rtmbudget", cfg.RTMBudget, "instructions per workload and configuration (Figure 9)")
+	workers := flag.Int("workers", 0, "parallel workers (0 = auto)")
+	fig := flag.String("fig", "", "render only the figure whose title contains this substring (e.g. \"6a\")")
+	noRTM := flag.Bool("no-rtm", false, "skip the Figure 9 RTM sweep")
+	ablations := flag.Bool("ablations", false, "also run the ablations and extensions (block-bounded, strict, valid-bit, speculation, ILP limits, pipeline)")
+	flag.Parse()
+
+	cfg.Budget = *budget
+	cfg.Skip = *skip
+	cfg.Window = *window
+	cfg.RTMBudget = *rtmBudget
+	cfg.Workers = *workers
+
+	start := time.Now()
+	ms, err := expt.Measure(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tlrexp:", err)
+		os.Exit(1)
+	}
+	tables := expt.LimitTables(ms)
+	if *ablations {
+		tables = append(tables, expt.AblationTables(ms)...)
+		cells, err := expt.MeasureInvalidation(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tlrexp:", err)
+			os.Exit(1)
+		}
+		tables = append(tables, expt.InvalidationTable(cells))
+		ilp, err := expt.MeasureILP(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tlrexp:", err)
+			os.Exit(1)
+		}
+		tables = append(tables, expt.ILPTable(ilp))
+		pipe, err := expt.MeasurePipeline(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tlrexp:", err)
+			os.Exit(1)
+		}
+		tables = append(tables, expt.PipelineTable(pipe))
+	}
+	if !*noRTM {
+		cells, err := expt.MeasureRTM(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tlrexp:", err)
+			os.Exit(1)
+		}
+		tables = append(tables, expt.RTMTables(cells)...)
+	}
+	shown := 0
+	for _, t := range tables {
+		if *fig != "" && !strings.Contains(strings.ToLower(t.Title), strings.ToLower(*fig)) {
+			continue
+		}
+		fmt.Println(t.Render())
+		shown++
+	}
+	if *fig != "" && shown == 0 {
+		fmt.Fprintf(os.Stderr, "tlrexp: no figure matches %q\n", *fig)
+		os.Exit(1)
+	}
+	fmt.Printf("(%d tables, budget %d/workload, window %d, wall %.1fs)\n",
+		shown, cfg.Budget, cfg.Window, time.Since(start).Seconds())
+}

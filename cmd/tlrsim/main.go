@@ -1,0 +1,219 @@
+// Command tlrsim runs one workload (or an assembly file) under a chosen
+// reuse configuration and prints its metrics.
+//
+// Usage:
+//
+//	tlrsim -w hydro2d                                 # limit study
+//	tlrsim -w compress -window 256 -lat 1,2,3,4       # latency sweep
+//	tlrsim -w ijpeg -rtm 4k -heuristic i4             # realistic RTM
+//	tlrsim -w turb3d -rtm 256k -heuristic ilrne -pipe # execution-driven pipeline
+//	tlrsim -f prog.s -budget 100000                   # your own program
+//	tlrsim -list                                      # show the suite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/tracereuse/tlr"
+)
+
+func main() {
+	var (
+		wname     = flag.String("w", "", "workload name (see -list)")
+		file      = flag.String("f", "", "assembly source file to run instead of a workload")
+		budget    = flag.Uint64("budget", 300_000, "dynamic instructions to measure")
+		skip      = flag.Uint64("skip", 2_000, "instructions to skip first")
+		window    = flag.Int("window", 0, "instruction window size (0 = infinite)")
+		lats      = flag.String("lat", "1", "comma-separated ILR reuse latencies")
+		propK     = flag.Float64("k", 0, "TLR proportional latency K (0 = constant 1-cycle)")
+		rtmSize   = flag.String("rtm", "", "run a realistic RTM instead: 512, 4k, 32k or 256k")
+		heuristic = flag.String("heuristic", "i4", "RTM heuristic: ilrne, ilrexp, or iN (e.g. i4)")
+		strict    = flag.Bool("strict", false, "strict trace-identity reuse (ablation)")
+		pipe      = flag.Bool("pipe", false, "with -rtm: run the execution-driven pipeline model instead")
+		list      = flag.Bool("list", false, "list the workload suite and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range tlr.Workloads() {
+			fmt.Printf("%-9s %-4s %s\n", w.Name, w.Category, w.Description)
+		}
+		return
+	}
+
+	prog, name, err := loadProgram(*wname, *file)
+	if err != nil {
+		fail(err)
+	}
+
+	if *rtmSize != "" {
+		runRTM(prog, name, *rtmSize, *heuristic, *skip, *budget, *pipe)
+		return
+	}
+
+	cfg := tlr.StudyConfig{
+		Budget: *budget,
+		Skip:   *skip,
+		Window: *window,
+		Strict: *strict,
+	}
+	for _, s := range strings.Split(*lats, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fail(fmt.Errorf("bad -lat %q: %v", s, err))
+		}
+		cfg.ILRLatencies = append(cfg.ILRLatencies, v)
+	}
+	if *propK > 0 {
+		cfg.TLRVariants = []tlr.Latency{tlr.PropLatency(*propK)}
+	}
+	res, err := tlr.MeasureReuse(prog, cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("%s: %d instructions, window=%s\n", name, res.ILR.Instructions, windowName(*window))
+	fmt.Printf("  base IPC                 %8.2f  (%.0f cycles)\n",
+		float64(res.ILR.Instructions)/res.ILR.BaseCycles, res.ILR.BaseCycles)
+	fmt.Printf("  ILR reusability          %8.1f%%\n", 100*res.ILR.Reusability())
+	for i, lat := range cfg.ILRLatencies {
+		fmt.Printf("  ILR speed-up (lat %g)     %8.2f\n", lat, res.ILR.Speedups[i])
+	}
+	fmt.Printf("  TLR reused               %8.1f%%\n", 100*res.TLR.ReusedFraction())
+	fmt.Printf("  TLR speed-up             %8.2f\n", res.TLR.Speedups[0])
+	fmt.Printf("  traces                   %8d  (avg %.1f instr, max %d)\n",
+		res.TLR.Stats.Traces, res.TLR.Stats.AvgLen(), res.TLR.Stats.MaxLen)
+	ir, im, _ := res.TLR.Stats.AvgIns()
+	or, om, _ := res.TLR.Stats.AvgOuts()
+	fmt.Printf("  per trace                %8s  %.1f reg + %.1f mem in, %.1f reg + %.1f mem out\n",
+		"", ir, im, or, om)
+}
+
+func loadProgram(wname, file string) (*tlr.Program, string, error) {
+	switch {
+	case wname != "" && file != "":
+		return nil, "", fmt.Errorf("use -w or -f, not both")
+	case wname != "":
+		w, ok := tlr.WorkloadByName(wname)
+		if !ok {
+			return nil, "", fmt.Errorf("unknown workload %q (try -list)", wname)
+		}
+		p, err := w.Program()
+		return p, w.Name, err
+	case file != "":
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, "", err
+		}
+		p, err := tlr.AssembleNamed(file, string(src))
+		return p, file, err
+	default:
+		return nil, "", fmt.Errorf("need -w workload or -f file (or -list)")
+	}
+}
+
+func runRTM(prog *tlr.Program, name, size, heuristic string, skip, budget uint64, pipe bool) {
+	var geom tlr.Geometry
+	switch strings.ToLower(size) {
+	case "512":
+		geom = tlr.Geometry512
+	case "4k":
+		geom = tlr.Geometry4K
+	case "32k":
+		geom = tlr.Geometry32K
+	case "256k":
+		geom = tlr.Geometry256K
+	default:
+		fail(fmt.Errorf("unknown RTM size %q (512, 4k, 32k, 256k)", size))
+	}
+	cfg := tlr.RTMConfig{Geometry: geom}
+	switch h := strings.ToLower(heuristic); {
+	case h == "ilrne":
+		cfg.Heuristic = tlr.ILRNE
+	case h == "ilrexp":
+		cfg.Heuristic = tlr.ILREXP
+	case strings.HasPrefix(h, "i"):
+		n, err := strconv.Atoi(h[1:])
+		if err != nil || n < 1 {
+			fail(fmt.Errorf("bad heuristic %q (ilrne, ilrexp, iN)", heuristic))
+		}
+		cfg.Heuristic, cfg.N = tlr.IEXP, n
+	default:
+		fail(fmt.Errorf("bad heuristic %q (ilrne, ilrexp, iN)", heuristic))
+	}
+	if pipe {
+		runPipeline(prog, name, cfg, skip, budget)
+		return
+	}
+	res, err := tlr.SimulateRTM(prog, cfg, skip, budget)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s: RTM %v, heuristic %v", name, geom, cfg.Heuristic)
+	if cfg.Heuristic == tlr.IEXP {
+		fmt.Printf(" (n=%d)", cfg.N)
+	}
+	fmt.Println()
+	fmt.Printf("  retired                  %8d  (%d executed + %d skipped)\n", res.Total(), res.Executed, res.Skipped)
+	fmt.Printf("  reused instructions      %8.1f%%\n", 100*res.ReusedFraction())
+	fmt.Printf("  reuse operations         %8d  (avg trace %.1f instr)\n", res.Hits, res.AvgReusedLen())
+	fmt.Printf("  stored traces            %8d  of %d\n", res.Stored, geom.Entries())
+	fmt.Printf("  inserts/evictions        %8d / %d\n", res.RTM.Inserts, res.RTM.TraceEvicts)
+	if len(res.Top) > 0 {
+		fmt.Println("  hottest traces:")
+		for _, tp := range res.Top {
+			first := "?"
+			if tp.StartPC < uint64(len(prog.Insts)) {
+				first = prog.Insts[tp.StartPC].String()
+			}
+			fmt.Printf("    pc=%-6d len=%-3d hits=%-7d io=%d/%d  %s\n",
+				tp.StartPC, tp.Len, tp.Hits, tp.Ins, tp.Outs, first)
+		}
+	}
+}
+
+// runPipeline compares the base machine against both reuse-test triggers
+// on the execution-driven pipeline model.
+func runPipeline(prog *tlr.Program, name string, rcfg tlr.RTMConfig, skip, budget uint64) {
+	base, err := tlr.SimulatePipeline(prog, tlr.PipelineConfig{}, skip, budget)
+	if err != nil {
+		fail(err)
+	}
+	fetch, err := tlr.SimulatePipeline(prog, tlr.PipelineConfig{RTM: &rcfg}, skip, budget)
+	if err != nil {
+		fail(err)
+	}
+	wait, err := tlr.SimulatePipeline(prog, tlr.PipelineConfig{RTM: &rcfg, WaitForOperands: true}, skip, budget)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s: execution-driven pipeline (4-wide fetch, 256-entry window), RTM %v %v\n",
+		name, rcfg.Geometry, rcfg.Heuristic)
+	row := func(label string, r tlr.PipelineResult) {
+		fmt.Printf("  %-26s IPC %6.2f   reused %5.1f%%   hits %8d   stalls %d\n",
+			label, r.IPC(), 100*float64(r.Skipped)/float64(max(r.Retired, 1)), r.Hits, r.WindowStalls)
+	}
+	row("base machine", base)
+	row("reuse test at fetch", fetch)
+	row("reuse test at operand-ready", wait)
+	if base.IPC() > 0 {
+		fmt.Printf("  speed-up: %.2fx (fetch test), %.2fx (operand-ready test)\n",
+			fetch.IPC()/base.IPC(), wait.IPC()/base.IPC())
+	}
+}
+
+func windowName(w int) string {
+	if w == 0 {
+		return "infinite"
+	}
+	return strconv.Itoa(w)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tlrsim:", err)
+	os.Exit(1)
+}

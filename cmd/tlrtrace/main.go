@@ -1,0 +1,238 @@
+// Command tlrtrace records, inspects and analyses dynamic instruction
+// trace files (the repository's ATOM-equivalent toolflow).
+//
+// Usage:
+//
+//	tlrtrace record -w compress -n 200000 -o compress.trc
+//	tlrtrace record -f prog.s -n 100000 -o prog.trc
+//	tlrtrace dump -n 20 compress.trc
+//	tlrtrace stats compress.trc
+//	tlrtrace analyze -window 256 compress.trc
+//
+// `analyze` runs the reuse limit studies directly from the file — no
+// re-simulation — demonstrating that every engine is stream-agnostic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/tracereuse/tlr"
+	"github.com/tracereuse/tlr/internal/core"
+	"github.com/tracereuse/tlr/internal/cpu"
+	"github.com/tracereuse/tlr/internal/isa"
+	"github.com/tracereuse/tlr/internal/trace"
+	"github.com/tracereuse/tlr/internal/tracefile"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fail(fmt.Errorf("usage: tlrtrace record|dump|stats|analyze ..."))
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "record":
+		record(args)
+	case "dump":
+		dump(args)
+	case "stats":
+		statsCmd(args)
+	case "analyze":
+		analyze(args)
+	default:
+		fail(fmt.Errorf("unknown subcommand %q", cmd))
+	}
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	wname := fs.String("w", "", "workload name")
+	file := fs.String("f", "", "assembly file")
+	n := fs.Uint64("n", 200_000, "instructions to record")
+	skip := fs.Uint64("skip", 0, "instructions to skip first")
+	out := fs.String("o", "", "output trace file (required)")
+	_ = fs.Parse(args)
+	if *out == "" {
+		fail(fmt.Errorf("record: -o required"))
+	}
+
+	var prog *isa.Program
+	switch {
+	case *wname != "":
+		w, ok := tlr.WorkloadByName(*wname)
+		if !ok {
+			fail(fmt.Errorf("unknown workload %q", *wname))
+		}
+		p, err := w.Program()
+		if err != nil {
+			fail(err)
+		}
+		prog = p
+	case *file != "":
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fail(err)
+		}
+		p, err := tlr.AssembleNamed(*file, string(src))
+		if err != nil {
+			fail(err)
+		}
+		prog = p
+	default:
+		fail(fmt.Errorf("record: need -w or -f"))
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	tw, err := tracefile.NewWriter(f)
+	if err != nil {
+		fail(err)
+	}
+	c := cpu.New(prog)
+	if *skip > 0 {
+		if _, err := c.Run(*skip, nil); err != nil {
+			fail(err)
+		}
+	}
+	var werr error
+	ran, err := c.Run(*n, func(e *trace.Exec) {
+		if werr == nil {
+			werr = tw.Write(e)
+		}
+	})
+	if err != nil {
+		fail(err)
+	}
+	if werr != nil {
+		fail(werr)
+	}
+	if err := tw.Flush(); err != nil {
+		fail(err)
+	}
+	info, _ := f.Stat()
+	fmt.Printf("recorded %d instructions to %s (%d bytes, %.1f B/instr)\n",
+		ran, *out, info.Size(), float64(info.Size())/float64(ran))
+}
+
+func openTrace(path string) *tracefile.Reader {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	r, err := tracefile.NewReader(f)
+	if err != nil {
+		fail(err)
+	}
+	return r
+}
+
+func dump(args []string) {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	n := fs.Uint64("n", 20, "records to print")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		fail(fmt.Errorf("dump: need a trace file"))
+	}
+	r := openTrace(fs.Arg(0))
+	if err := r.ForEach(func(e *trace.Exec) bool {
+		fmt.Println(e)
+		return r.Records() < *n
+	}); err != nil {
+		fail(err)
+	}
+}
+
+func statsCmd(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		fail(fmt.Errorf("stats: need a trace file"))
+	}
+	r := openTrace(fs.Arg(0))
+
+	var total, branches, taken, memReads, memWrites, sideEff uint64
+	classCount := map[isa.Class]uint64{}
+	pcs := map[uint64]struct{}{}
+	if err := r.ForEach(func(e *trace.Exec) bool {
+		total++
+		info := isa.InfoOf(e.Op)
+		classCount[info.Class]++
+		pcs[e.PC] = struct{}{}
+		if info.Branch {
+			branches++
+			if e.Next != e.PC+1 {
+				taken++
+			}
+		}
+		if info.MemRead {
+			memReads++
+		}
+		if info.MemWrite {
+			memWrites++
+		}
+		if e.SideEffect {
+			sideEff++
+		}
+		return true
+	}); err != nil {
+		fail(err)
+	}
+	pct := func(n uint64) float64 { return 100 * float64(n) / float64(total) }
+	fmt.Printf("%d instructions, %d static PCs\n", total, len(pcs))
+	names := map[isa.Class]string{
+		isa.ClassNop: "nop", isa.ClassIntALU: "int alu", isa.ClassIntMul: "int mul",
+		isa.ClassIntDiv: "int div", isa.ClassMem: "memory", isa.ClassBranch: "branch",
+		isa.ClassFPAdd: "fp add", isa.ClassFPMul: "fp mul", isa.ClassFPDiv: "fp div",
+		isa.ClassFPSqrt: "fp sqrt", isa.ClassSys: "system",
+	}
+	for cls := isa.ClassNop; cls <= isa.ClassSys; cls++ {
+		if n := classCount[cls]; n > 0 {
+			fmt.Printf("  %-8s %8d  (%.1f%%)\n", names[cls], n, pct(n))
+		}
+	}
+	fmt.Printf("  loads %.1f%%  stores %.1f%%  branches %.1f%% (%.1f%% taken)  side-effects %d\n",
+		pct(memReads), pct(memWrites), pct(branches), 100*float64(taken)/float64(max(branches, 1)), sideEff)
+}
+
+func analyze(args []string) {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	window := fs.Int("window", 256, "instruction window (0 = infinite)")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		fail(fmt.Errorf("analyze: need a trace file"))
+	}
+	r := openTrace(fs.Arg(0))
+
+	hist := core.NewHistory()
+	ilr := core.NewILRStudy(core.ILRConfig{Window: *window, Latencies: []float64{1}})
+	tlrS := core.NewTLRStudy(core.TLRConfig{Window: *window, Variants: []core.Latency{core.ConstLatency(1)}})
+	vp := core.NewVPStudy(core.VPConfig{Window: *window})
+	if err := r.ForEach(func(e *trace.Exec) bool {
+		reusable := hist.Observe(e)
+		ilr.ConsumeClassified(e, reusable)
+		tlrS.ConsumeClassified(e, reusable)
+		vp.Consume(e)
+		return true
+	}); err != nil {
+		fail(err)
+	}
+	ilr.Finish()
+	tlrS.Finish()
+	vp.Finish()
+	ri, rt, rv := ilr.Result(), tlrS.Result(), vp.Result()
+	fmt.Printf("%d instructions from file, window=%d\n", ri.Instructions, *window)
+	fmt.Printf("  reusability       %6.1f%%   predictability %6.1f%%\n",
+		100*ri.Reusability(), 100*rv.PredictedFraction())
+	fmt.Printf("  ILR speed-up      %6.2f\n", ri.Speedups[0])
+	fmt.Printf("  TLR speed-up      %6.2f   (avg trace %.1f instr)\n", rt.Speedups[0], rt.Stats.AvgLen())
+	fmt.Printf("  VP  speed-up      %6.2f   (last-value limit)\n", rv.Speedup)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tlrtrace:", err)
+	os.Exit(1)
+}

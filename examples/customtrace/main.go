@@ -1,0 +1,81 @@
+// Customtrace: the full pipeline on your own program — assemble,
+// disassemble, execute, and compare instruction- vs trace-level reuse
+// across window sizes and reuse latencies.
+//
+// The kernel below is engineered to show the paper's headline effect:
+// a long chain of *dependent* instructions that repeats with the same
+// values.  Instruction-level reuse still walks the chain one reuse at a
+// time; trace-level reuse computes the whole chain's outputs in a single
+// operation, beating the dataflow limit.
+//
+//	go run ./examples/customtrace
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/tracereuse/tlr"
+)
+
+const src = `
+; Repeated polynomial evaluation (Horner's rule): a pure dependence
+; chain of multiply-adds, re-evaluated with the same x every round.
+main:   ldi  r9, 2000
+round:  ld   r2, x              ; x
+        ld   r3, y              ; seed from last round's result: keeps
+        andi r3, r3, 0          ; rounds dataflow-serial, value still 0
+        la   r4, coeffs
+        ldi  r5, 12             ; degree
+horner: mul  r3, r3, r2         ; acc = acc*x + c[i]  (8-cycle multiply!)
+        ld   r6, 0(r4)
+        add  r3, r3, r6
+        addi r4, r4, 1
+        subi r5, r5, 1
+        bgtz r5, horner
+        st   r3, y
+        subi r9, r9, 1
+        bgtz r9, round
+        halt
+        .data
+x:      .word 3
+coeffs: .word 7, -2, 5, 1, -9, 4, 0, 2, -1, 8, 3, -6
+y:      .space 1
+`
+
+func main() {
+	prog, err := tlr.Assemble(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("assembled %d instructions; first lines of disassembly:\n", len(prog.Insts))
+	for _, line := range strings.SplitN(tlr.Disassemble(prog), "\n", 7)[:6] {
+		fmt.Println("   ", line)
+	}
+	fmt.Println()
+
+	fmt.Printf("%-22s %10s %10s %10s\n", "configuration", "ILR", "TLR", "TLR(K=1/16)")
+	for _, win := range []int{0, 256, 64} {
+		res, err := tlr.MeasureReuse(prog, tlr.StudyConfig{
+			Budget:       100_000,
+			Skip:         1_000,
+			Window:       win,
+			ILRLatencies: []float64{1},
+			TLRVariants:  []tlr.Latency{tlr.ConstLatency(1), tlr.PropLatency(1.0 / 16)},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := "infinite window"
+		if win > 0 {
+			label = fmt.Sprintf("%d-entry window", win)
+		}
+		fmt.Printf("%-22s %9.2fx %9.2fx %9.2fx\n",
+			label, res.ILR.Speedups[0], res.TLR.Speedups[0], res.TLR.Speedups[1])
+	}
+	fmt.Println()
+	fmt.Println("The Horner chain serialises 8-cycle multiplies, so even with")
+	fmt.Println("every instruction reusable, ILR only shaves each link to one")
+	fmt.Println("cycle; TLR replaces the whole repeated chain with one lookup.")
+}

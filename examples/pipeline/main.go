@@ -1,0 +1,69 @@
+// Pipeline: the paper's Figure 2 processor, execution-driven.
+//
+// The limit studies assume infinite fetch bandwidth; this example runs a
+// real 4-wide front end with a 256-entry window and shows the paper's
+// central architectural claim concretely: with a Reuse Trace Memory,
+// *retired* instructions per cycle exceed the *fetch* bandwidth, because
+// reused traces retire without any of their instructions being fetched.
+//
+//	go run ./examples/pipeline [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/tracereuse/tlr"
+)
+
+func main() {
+	name := "turb3d"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	w, ok := tlr.WorkloadByName(name)
+	if !ok {
+		log.Fatalf("unknown workload %q", name)
+	}
+	prog, err := w.Program()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rcfg := tlr.RTMConfig{Geometry: tlr.Geometry256K, Heuristic: tlr.ILRNE}
+	configs := []struct {
+		label string
+		cfg   tlr.PipelineConfig
+	}{
+		{"base machine", tlr.PipelineConfig{}},
+		{"RTM, test at fetch", tlr.PipelineConfig{RTM: &rcfg}},
+		{"RTM, test at operand-ready", tlr.PipelineConfig{RTM: &rcfg, WaitForOperands: true}},
+	}
+
+	fmt.Printf("%s on a 4-wide, 256-entry-window processor:\n\n", w.Name)
+	fmt.Printf("%-28s %8s %9s %8s\n", "configuration", "IPC", "reused", "hits")
+	var baseIPC float64
+	for i, c := range configs {
+		res, err := tlr.SimulatePipeline(prog, c.cfg, 2_000, 150_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			baseIPC = res.IPC()
+		}
+		reused := float64(res.Skipped) / float64(res.Retired)
+		fmt.Printf("%-28s %8.2f %8.1f%% %8d", c.label, res.IPC(), 100*reused, res.Hits)
+		if i > 0 && baseIPC > 0 {
+			fmt.Printf("   (%.2fx)", res.IPC()/baseIPC)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("The fetch-time test can only compare committed register and")
+	fmt.Println("memory values, so it goes blind exactly where the program is")
+	fmt.Println("dataflow-bound.  Triggering the test when the trace's input")
+	fmt.Println("operands become ready (the paper's §3.3 alternative) lets one")
+	fmt.Println("reuse operation stand in for a whole dependence chain — and")
+	fmt.Println("retired IPC climbs past the 4-wide fetch limit.")
+}

@@ -1,0 +1,73 @@
+// RTM explorer: sweep Reuse Trace Memory capacity and collection
+// heuristics over one workload — a per-benchmark slice of the paper's
+// Figure 9 trade-off between reuse coverage and trace granularity.
+//
+//	go run ./examples/rtmexplore [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/tracereuse/tlr"
+)
+
+func main() {
+	name := "ijpeg"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	w, ok := tlr.WorkloadByName(name)
+	if !ok {
+		log.Fatalf("unknown workload %q (try one of the SPEC95 names, e.g. hydro2d)", name)
+	}
+	prog, err := w.Program()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	geoms := []struct {
+		label string
+		g     tlr.Geometry
+	}{
+		{"512", tlr.Geometry512},
+		{"4K", tlr.Geometry4K},
+		{"32K", tlr.Geometry32K},
+		{"256K", tlr.Geometry256K},
+	}
+	heuristics := []struct {
+		label string
+		cfg   tlr.RTMConfig
+	}{
+		{"ILR NE", tlr.RTMConfig{Heuristic: tlr.ILRNE}},
+		{"ILR EXP", tlr.RTMConfig{Heuristic: tlr.ILREXP}},
+		{"I2 EXP", tlr.RTMConfig{Heuristic: tlr.IEXP, N: 2}},
+		{"I4 EXP", tlr.RTMConfig{Heuristic: tlr.IEXP, N: 4}},
+		{"I8 EXP", tlr.RTMConfig{Heuristic: tlr.IEXP, N: 8}},
+	}
+
+	fmt.Printf("workload %s: %s\n\n", w.Name, w.Description)
+	fmt.Printf("%-8s", "")
+	for _, g := range geoms {
+		fmt.Printf("  %12s", g.label+" entries")
+	}
+	fmt.Println()
+	for _, h := range heuristics {
+		fmt.Printf("%-8s", h.label)
+		for _, g := range geoms {
+			cfg := h.cfg
+			cfg.Geometry = g.g
+			res, err := tlr.SimulateRTM(prog, cfg, 1_000, 120_000)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %5.1f%% x%4.1f", 100*res.ReusedFraction(), res.AvgReusedLen())
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(each cell: reused instructions %, mean reused-trace length)")
+	fmt.Println("Larger tables cover more of the program's static footprint;")
+	fmt.Println("larger n trades reuse coverage for fewer, longer reuses —")
+	fmt.Println("the Figure 9 trade-off.")
+}

@@ -1,0 +1,83 @@
+// Theorems: the paper's appendix, live.
+//
+// Theorem 1 says a reusable trace implies every instruction in it is
+// reusable, so per-instruction reusability is an upper bound for any
+// trace partitioning.  Theorem 2 says the converse fails: every
+// instruction of a trace can be reusable while the trace as a whole is
+// not, because each instruction may match a *different* earlier
+// execution.  This program builds the paper's counterexample shape — two
+// independent sub-computations whose input values recur individually but
+// in fresh combinations — and measures the gap between the Theorem-1
+// upper bound and the strict trace-identity test.
+//
+//	go run ./examples/theorems
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/tracereuse/tlr"
+)
+
+// Each iteration computes f(a) + g(b) where a cycles with period 2 and b
+// with period 4: the (a, b) pair takes 4 distinct combinations, so a
+// trace spanning both computations has 4 distinct live-in vectors even
+// though a and b individually repeat almost immediately.  Widening the
+// period spread widens the Theorem-2 gap.
+const src = `
+main:   ldi  r9, 64             ; iterations (small: the gap lives in warm-up)
+        ldi  r1, 0
+        ldi  r2, 0
+loop:   andi r3, r1, 1          ; a in {0,1}
+        andi r4, r2, 3          ; b in {0,1,2,3}
+        muli r5, r3, 17         ; f(a)
+        addi r5, r5, 3
+        muli r6, r4, 23         ; g(b)
+        addi r6, r6, 5
+        add  r7, r5, r6
+        st   r7, out
+        addi r1, r1, 1
+        addi r2, r2, 1
+        subi r9, r9, 1
+        bgtz r9, loop
+        halt
+        .data
+out:    .space 1
+`
+
+func main() {
+	prog, err := tlr.Assemble(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	budget := uint64(800)
+
+	upper, err := tlr.MeasureReuse(prog, tlr.StudyConfig{
+		Budget: budget, MaxRunLen: 12,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	strict, err := tlr.MeasureReuse(prog, tlr.StudyConfig{
+		Budget: budget, MaxRunLen: 12, Strict: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("f(a) + g(b) with a period-2 and b period-4:")
+	fmt.Printf("  instruction-level reusability:        %5.1f%%\n", 100*upper.ILR.Reusability())
+	fmt.Printf("  Theorem-1 upper bound (trace reuse):  %5.1f%%\n", 100*upper.TLR.ReusedFraction())
+	fmt.Printf("  strict trace-identity reuse:          %5.1f%%\n", 100*strict.TLR.ReusedFraction())
+	fmt.Printf("  Theorem-2 gap:                        %5.1f%%\n",
+		100*(upper.TLR.ReusedFraction()-strict.TLR.ReusedFraction()))
+	fmt.Println()
+	fmt.Println("The f(a)/g(b) instructions repeat their inputs within a few")
+	fmt.Println("iterations, so the upper bound reuses all of them (Theorem 1:")
+	fmt.Println("it equals the instruction-level reusability exactly).  The")
+	fmt.Println("strict test trails it: it must first see each (a, b)")
+	fmt.Println("combination as a whole trace, even though every instruction")
+	fmt.Println("already matched some earlier iteration individually — exactly")
+	fmt.Println("the situation Theorem 2's proof constructs.")
+}

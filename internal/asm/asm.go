@@ -1,0 +1,442 @@
+// Package asm implements the assembler for the simulator's ISA.
+//
+// The source format is a conventional two-section assembly language:
+//
+//	        .text
+//	main:   ldi   r1, 10          ; comments with ';', '#' or '//'
+//	loop:   subi  r1, r1, 1
+//	        bgtz  r1, loop
+//	        ld    r2, table(r1)   ; displacement may be a symbol
+//	        call  process         ; pseudo: jsr ra, process
+//	        halt
+//	        .data
+//	table:  .word 1, 2, 3, 0x10, 'a', -5
+//	vec:    .double 1.5, -2.25
+//	buf:    .space 32
+//
+// Text labels resolve to instruction indices; data labels to absolute word
+// addresses (isa.DefaultDataBase + offset).  Registers are r0..r31 and
+// f0..f31 with the aliases zero (r31), sp (r30) and ra (r26).  The program
+// entry point is the label "main" if present, otherwise instruction 0, and
+// can be forced with ".entry label".
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"github.com/tracereuse/tlr/internal/isa"
+)
+
+// Assemble translates source text into an executable program.
+func Assemble(src string) (*isa.Program, error) {
+	return AssembleNamed("src", src)
+}
+
+// AssembleNamed is Assemble with a name used in error messages.
+func AssembleNamed(name, src string) (*isa.Program, error) {
+	a := &assembler{
+		name:    name,
+		symbols: make(map[string]uint64),
+	}
+	if err := a.firstPass(src); err != nil {
+		return nil, err
+	}
+	if err := a.secondPass(src); err != nil {
+		return nil, err
+	}
+	p := &isa.Program{
+		Insts:    a.insts,
+		Data:     a.data,
+		DataBase: isa.DefaultDataBase,
+		Symbols:  a.symbols,
+	}
+	switch {
+	case a.entrySym != "":
+		v, ok := a.symbols[a.entrySym]
+		if !ok {
+			return nil, fmt.Errorf("%s: .entry: undefined label %q", name, a.entrySym)
+		}
+		p.Entry = v
+	default:
+		if v, ok := a.symbols["main"]; ok {
+			p.Entry = v
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble that panics on error; for workload catalogs and
+// tests whose sources are compiled into the binary.
+func MustAssemble(name, src string) *isa.Program {
+	p, err := AssembleNamed(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type section int
+
+const (
+	inText section = iota
+	inData
+)
+
+type assembler struct {
+	name     string
+	symbols  map[string]uint64
+	insts    []isa.Inst
+	data     []uint64
+	entrySym string
+}
+
+func (a *assembler) errf(line int, format string, args ...any) error {
+	return fmt.Errorf("%s:%d: %s", a.name, line, fmt.Sprintf(format, args...))
+}
+
+// stripComment removes ';', '#' and '//' comments, respecting char quotes.
+func stripComment(s string) string {
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '\'' && (i == 0 || s[i-1] != '\\') {
+			inQuote = !inQuote
+			continue
+		}
+		if inQuote {
+			continue
+		}
+		if c == ';' || c == '#' {
+			return s[:i]
+		}
+		if c == '/' && i+1 < len(s) && s[i+1] == '/' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// splitLine separates leading labels from the statement body.
+func splitLine(s string) (labels []string, body string) {
+	body = strings.TrimSpace(s)
+	for {
+		i := strings.IndexByte(body, ':')
+		if i < 0 {
+			return labels, body
+		}
+		head := strings.TrimSpace(body[:i])
+		if !isIdent(head) {
+			return labels, body
+		}
+		labels = append(labels, head)
+		body = strings.TrimSpace(body[i+1:])
+	}
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// operands splits the comma-separated operand list of a statement body.
+func operands(body string) []string {
+	fields := strings.SplitN(body, " ", 2)
+	if len(fields) < 2 {
+		return nil
+	}
+	parts := strings.Split(fields[1], ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// mnemonic returns the lower-cased first word of a statement body.
+func mnemonic(body string) string {
+	if i := strings.IndexAny(body, " \t"); i >= 0 {
+		return strings.ToLower(body[:i])
+	}
+	return strings.ToLower(body)
+}
+
+// normalize rewrites tabs as spaces so operand splitting is simple.
+func normalize(s string) string { return strings.ReplaceAll(s, "\t", " ") }
+
+// firstPass assigns addresses to labels and sizes the data segment.
+func (a *assembler) firstPass(src string) error {
+	sec := inText
+	textPos, dataPos := uint64(0), uint64(0)
+	for ln, raw := range strings.Split(src, "\n") {
+		line := ln + 1
+		body := strings.TrimSpace(normalize(stripComment(raw)))
+		labels, body := splitLine(body)
+		for _, l := range labels {
+			if _, dup := a.symbols[l]; dup {
+				return a.errf(line, "duplicate label %q", l)
+			}
+			if sec == inText {
+				a.symbols[l] = textPos
+			} else {
+				a.symbols[l] = isa.DefaultDataBase + dataPos
+			}
+		}
+		if body == "" {
+			continue
+		}
+		m := mnemonic(body)
+		switch {
+		case m == ".text":
+			sec = inText
+		case m == ".data":
+			sec = inData
+		case m == ".entry":
+			// handled in second pass
+		case m == ".word" || m == ".double":
+			if sec != inData {
+				return a.errf(line, "%s outside .data", m)
+			}
+			n := len(operands(body))
+			if n == 0 {
+				return a.errf(line, "%s needs at least one value", m)
+			}
+			dataPos += uint64(n)
+		case m == ".space":
+			if sec != inData {
+				return a.errf(line, ".space outside .data")
+			}
+			ops := operands(body)
+			if len(ops) != 1 {
+				return a.errf(line, ".space needs one size")
+			}
+			n, err := strconv.ParseUint(ops[0], 0, 32)
+			if err != nil {
+				return a.errf(line, ".space size %q: %v", ops[0], err)
+			}
+			dataPos += n
+		case strings.HasPrefix(m, "."):
+			return a.errf(line, "unknown directive %q", m)
+		default:
+			if sec != inText {
+				return a.errf(line, "instruction %q outside .text", m)
+			}
+			n, err := instSize(m)
+			if err != nil {
+				return a.errf(line, "%v", err)
+			}
+			textPos += n
+		}
+	}
+	return nil
+}
+
+// instSize returns how many instructions a mnemonic expands to.  All ops
+// and pseudos are single instructions today; the indirection keeps pass 1
+// and pass 2 in agreement if multi-instruction pseudos are ever added.
+func instSize(m string) (uint64, error) {
+	if _, ok := isa.OpByName(m); ok {
+		return 1, nil
+	}
+	if _, ok := pseudos[m]; ok {
+		return 1, nil
+	}
+	return 0, fmt.Errorf("unknown instruction %q", m)
+}
+
+// secondPass encodes instructions and data with all symbols known.
+// Section errors were already rejected by the first pass.
+func (a *assembler) secondPass(src string) error {
+	for ln, raw := range strings.Split(src, "\n") {
+		line := ln + 1
+		body := strings.TrimSpace(normalize(stripComment(raw)))
+		_, body = splitLine(body)
+		if body == "" {
+			continue
+		}
+		m := mnemonic(body)
+		switch {
+		case m == ".text" || m == ".data":
+			// section state only matters in the first pass
+		case m == ".entry":
+			ops := operands(body)
+			if len(ops) != 1 || !isIdent(ops[0]) {
+				return a.errf(line, ".entry needs one label")
+			}
+			a.entrySym = ops[0]
+		case m == ".word":
+			for _, op := range operands(body) {
+				v, err := a.intValue(op)
+				if err != nil {
+					return a.errf(line, ".word %q: %v", op, err)
+				}
+				a.data = append(a.data, uint64(v))
+			}
+		case m == ".double":
+			for _, op := range operands(body) {
+				f, err := strconv.ParseFloat(op, 64)
+				if err != nil {
+					return a.errf(line, ".double %q: %v", op, err)
+				}
+				a.data = append(a.data, math.Float64bits(f))
+			}
+		case m == ".space":
+			n, _ := strconv.ParseUint(operands(body)[0], 0, 32)
+			a.data = append(a.data, make([]uint64, n)...)
+		default:
+			in, err := a.encode(m, operands(body))
+			if err != nil {
+				return a.errf(line, "%v", err)
+			}
+			a.insts = append(a.insts, in)
+		}
+	}
+	return nil
+}
+
+// intValue evaluates an integer operand: number, char, symbol, symbol±n.
+func (a *assembler) intValue(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("empty value")
+	}
+	if s[0] == '\'' {
+		return charValue(s)
+	}
+	if c := s[0]; c == '-' || c == '+' || (c >= '0' && c <= '9') {
+		v, err := strconv.ParseInt(s, 0, 64)
+		if err != nil {
+			// allow full-range unsigned hex like 0xffffffffffffffff
+			u, uerr := strconv.ParseUint(s, 0, 64)
+			if uerr != nil {
+				return 0, err
+			}
+			return int64(u), nil
+		}
+		return v, nil
+	}
+	// symbol, symbol+n, symbol-n
+	sym, off := s, int64(0)
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			n, err := strconv.ParseInt(s[i:], 0, 64)
+			if err != nil {
+				return 0, fmt.Errorf("bad offset in %q: %v", s, err)
+			}
+			sym, off = s[:i], n
+			break
+		}
+	}
+	v, ok := a.symbols[sym]
+	if !ok {
+		return 0, fmt.Errorf("undefined symbol %q", sym)
+	}
+	return int64(v) + off, nil
+}
+
+func charValue(s string) (int64, error) {
+	if len(s) < 3 || s[len(s)-1] != '\'' {
+		return 0, fmt.Errorf("bad char literal %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	if inner == "" {
+		return 0, fmt.Errorf("empty char literal")
+	}
+	if inner[0] == '\\' {
+		if len(inner) != 2 {
+			return 0, fmt.Errorf("bad escape %q", s)
+		}
+		switch inner[1] {
+		case 'n':
+			return '\n', nil
+		case 't':
+			return '\t', nil
+		case '0':
+			return 0, nil
+		case '\\':
+			return '\\', nil
+		case '\'':
+			return '\'', nil
+		default:
+			return 0, fmt.Errorf("unknown escape %q", s)
+		}
+	}
+	if len(inner) != 1 {
+		return 0, fmt.Errorf("bad char literal %q", s)
+	}
+	return int64(inner[0]), nil
+}
+
+var intRegAliases = map[string]uint8{
+	"zero": isa.RegZero,
+	"sp":   isa.RegSP,
+	"ra":   isa.RegRA,
+}
+
+// reg parses a register operand of the required kind.
+func reg(s string, kind isa.RegKind) (uint8, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if kind == isa.KindInt {
+		if n, ok := intRegAliases[s]; ok {
+			return n, nil
+		}
+	}
+	if kind == isa.KindFP && s == "fzero" {
+		return isa.FRegZero, nil
+	}
+	if len(s) < 2 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	want := byte('r')
+	if kind == isa.KindFP {
+		want = 'f'
+	}
+	if s[0] != want {
+		return 0, fmt.Errorf("register %q: expected %c-register", s, want)
+	}
+	n, err := strconv.ParseUint(s[1:], 10, 8)
+	if err != nil || n >= isa.NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+// memOperand parses "disp(base)" or "disp" (base = zero register).
+func (a *assembler) memOperand(s string) (imm int64, base uint8, err error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		imm, err = a.intValue(s)
+		return imm, isa.RegZero, err
+	}
+	if !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	dispStr := strings.TrimSpace(s[:open])
+	if dispStr == "" {
+		dispStr = "0"
+	}
+	imm, err = a.intValue(dispStr)
+	if err != nil {
+		return 0, 0, err
+	}
+	base, err = reg(s[open+1:len(s)-1], isa.KindInt)
+	return imm, base, err
+}

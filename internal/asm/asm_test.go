@@ -1,0 +1,414 @@
+package asm
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/tracereuse/tlr/internal/cpu"
+	"github.com/tracereuse/tlr/internal/isa"
+)
+
+func assemble(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+// runProg executes an assembled program to completion.
+func runProg(t *testing.T, p *isa.Program) *cpu.CPU {
+	t.Helper()
+	c := cpu.New(p)
+	if _, err := c.Run(100000, nil); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !c.Halted() {
+		t.Fatal("program did not halt")
+	}
+	return c
+}
+
+func TestAssembleMinimal(t *testing.T) {
+	p := assemble(t, `
+        .text
+main:   ldi r1, 41
+        addi r1, r1, 1
+        halt
+`)
+	c := runProg(t, p)
+	if c.Reg(1) != 42 {
+		t.Errorf("r1 = %d, want 42", c.Reg(1))
+	}
+}
+
+func TestEntryDefaultsToMain(t *testing.T) {
+	p := assemble(t, `
+        .text
+dead:   ldi r1, 1
+        halt
+main:   ldi r1, 2
+        halt
+`)
+	if p.Entry != 2 {
+		t.Fatalf("Entry = %d, want 2", p.Entry)
+	}
+	c := runProg(t, p)
+	if c.Reg(1) != 2 {
+		t.Errorf("r1 = %d, want 2", c.Reg(1))
+	}
+}
+
+func TestEntryDirective(t *testing.T) {
+	p := assemble(t, `
+        .entry start
+        .text
+main:   ldi r1, 1
+        halt
+start:  ldi r1, 3
+        halt
+`)
+	if p.Entry != 2 {
+		t.Fatalf("Entry = %d, want 2", p.Entry)
+	}
+}
+
+func TestLoopAndBranches(t *testing.T) {
+	// Sum 1..10 with a countdown loop.
+	p := assemble(t, `
+main:   ldi  r1, 10
+        ldi  r2, 0
+loop:   add  r2, r2, r1
+        subi r1, r1, 1
+        bgtz r1, loop
+        halt
+`)
+	c := runProg(t, p)
+	if c.Reg(2) != 55 {
+		t.Errorf("sum = %d, want 55", c.Reg(2))
+	}
+}
+
+func TestDataSectionAndSymbols(t *testing.T) {
+	p := assemble(t, `
+        .text
+main:   la   r1, table
+        ld   r2, 0(r1)
+        ld   r3, table+1
+        ld   r4, table+2(r31)
+        halt
+        .data
+table:  .word 10, 0x20, 'a', -1
+`)
+	c := runProg(t, p)
+	if c.Reg(2) != 10 {
+		t.Errorf("r2 = %d, want 10", c.Reg(2))
+	}
+	if c.Reg(3) != 0x20 {
+		t.Errorf("r3 = %d, want 32", c.Reg(3))
+	}
+	if c.Reg(4) != 'a' {
+		t.Errorf("r4 = %d, want 'a'", c.Reg(4))
+	}
+}
+
+func TestDoubleAndSpace(t *testing.T) {
+	p := assemble(t, `
+main:   fld  f1, vec
+        fld  f2, vec+1
+        fadd f3, f1, f2
+        la   r1, buf
+        fst  f3, 0(r1)
+        fld  f4, buf
+        halt
+        .data
+vec:    .double 1.5, 2.25
+buf:    .space 4
+more:   .word 7
+`)
+	c := runProg(t, p)
+	if got := math.Float64frombits(c.FReg(4)); got != 3.75 {
+		t.Errorf("f4 = %v, want 3.75", got)
+	}
+	// "more" must come after the 4-word buffer.
+	if p.Symbols["more"] != p.Symbols["buf"]+4 {
+		t.Errorf("symbol layout: buf=%d more=%d", p.Symbols["buf"], p.Symbols["more"])
+	}
+}
+
+func TestCharEscapes(t *testing.T) {
+	p := assemble(t, `
+main:   halt
+        .data
+c:      .word '\n', '\t', '\0', '\\', '\''
+`)
+	want := []uint64{'\n', '\t', 0, '\\', '\''}
+	for i, w := range want {
+		if p.Data[i] != w {
+			t.Errorf("Data[%d] = %d, want %d", i, p.Data[i], w)
+		}
+	}
+}
+
+func TestPseudos(t *testing.T) {
+	p := assemble(t, `
+main:   li   r1, 5
+        neg  r2, r1          ; r2 = -5
+        not  r3, r31         ; r3 = ^0 = -1
+        mov  r4, r1
+        subi r5, r1, 2       ; 3
+        call f
+        fli  f1, 2.5
+        halt
+f:      ldi  r6, 9
+        ret
+`)
+	c := runProg(t, p)
+	if int64(c.Reg(2)) != -5 || int64(c.Reg(3)) != -1 || c.Reg(4) != 5 || c.Reg(5) != 3 || c.Reg(6) != 9 {
+		t.Errorf("regs: r2=%d r3=%d r4=%d r5=%d r6=%d",
+			int64(c.Reg(2)), int64(c.Reg(3)), c.Reg(4), c.Reg(5), c.Reg(6))
+	}
+	if math.Float64frombits(c.FReg(1)) != 2.5 {
+		t.Errorf("f1 = %v", math.Float64frombits(c.FReg(1)))
+	}
+}
+
+func TestBranchZeroPseudos(t *testing.T) {
+	p := assemble(t, `
+main:   ldi  r1, -1
+        bltz r1, neg1
+        halt
+neg1:   ldi  r2, 1
+        bgez r2, pos
+        halt
+pos:    beqz r31, done
+        halt
+done:   ldi  r3, 7
+        bnez r3, end
+        halt
+end:    blez r31, realend
+        halt
+realend: bgtz r3, fin
+        halt
+fin:    ldi r9, 1
+        halt
+`)
+	c := runProg(t, p)
+	if c.Reg(9) != 1 {
+		t.Error("branch-zero pseudo chain did not complete")
+	}
+}
+
+func TestRegisterAliases(t *testing.T) {
+	p := assemble(t, `
+main:   mov r1, sp
+        subi sp, sp, 2
+        st  r1, 0(sp)
+        ld  r2, 0(sp)
+        halt
+`)
+	c := runProg(t, p)
+	if c.Reg(1) != isa.DefaultStackTop || c.Reg(2) != isa.DefaultStackTop {
+		t.Errorf("sp handling: r1=%#x r2=%#x", c.Reg(1), c.Reg(2))
+	}
+}
+
+func TestComments(t *testing.T) {
+	p := assemble(t, `
+; full-line comment
+main:   ldi r1, 1   ; trailing
+        ldi r2, 2   # hash comment
+        ldi r3, 3   // slash comment
+        halt
+`)
+	if len(p.Insts) != 4 {
+		t.Errorf("len(Insts) = %d, want 4", len(p.Insts))
+	}
+}
+
+func TestCommentCharLiteralInteraction(t *testing.T) {
+	p := assemble(t, `
+main:   halt
+        .data
+x:      .word ';', '#'
+`)
+	if p.Data[0] != ';' || p.Data[1] != '#' {
+		t.Errorf("Data = %v", p.Data)
+	}
+}
+
+func TestMultipleLabelsOneLine(t *testing.T) {
+	p := assemble(t, `
+main: start: ldi r1, 1
+        halt
+`)
+	if p.Symbols["main"] != 0 || p.Symbols["start"] != 0 {
+		t.Error("both labels should resolve to 0")
+	}
+}
+
+func TestIndirectCallThroughTable(t *testing.T) {
+	p := assemble(t, `
+main:   ld   r1, fptr
+        jsrr ra, r1
+        halt
+f:      ldi  r5, 77
+        ret
+        .data
+fptr:   .word f
+`)
+	c := runProg(t, p)
+	if c.Reg(5) != 77 {
+		t.Errorf("r5 = %d, want 77", c.Reg(5))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown op", "main: frob r1\n halt", "unknown instruction"},
+		{"dup label", "a: nop\na: halt", "duplicate label"},
+		{"undefined symbol", "main: jmp nowhere\n", "undefined symbol"},
+		{"bad reg", "main: add r1, r2, f3\n halt", "register"},
+		{"fp reg where int", "main: fadd f1, f2, r3\n halt", "register"},
+		{"word in text", "main: .word 3\n halt", "outside .data"},
+		{"inst in data", ".data\nx: ldi r1, 1\n", "outside .text"},
+		{"operand count", "main: add r1, r2\n halt", "operands"},
+		{"bad float", "main: fli f1, abc\n halt", "float"},
+		{"bad space", ".data\nb: .space xyz\n", ".space"},
+		{"entry missing", ".entry nope\nmain: halt\n", "undefined label"},
+		{"bad char", ".data\nc: .word 'ab'\n", "char"},
+		{"bad directive", ".bogus\nmain: halt\n", "directive"},
+		{"branch out of range", "main: beq r1, r2, 99\n", "target"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestErrorsIncludeLineNumbers(t *testing.T) {
+	_, err := Assemble("main: nop\n nop\n frob r1\n")
+	if err == nil || !strings.Contains(err.Error(), ":3:") {
+		t.Errorf("error %v should name line 3", err)
+	}
+}
+
+// randomProgram builds a random but valid program for round-trip testing.
+func randomProgram(rng *rand.Rand, n int) *isa.Program {
+	var insts []isa.Inst
+	r8 := func() uint8 { return uint8(rng.Intn(30)) } // avoid sp/zero for clarity
+	for i := 0; i < n; i++ {
+		op := isa.Op(rng.Intn(isa.NumOps))
+		info := isa.InfoOf(op)
+		in := isa.Inst{Op: op}
+		// Populate only the fields the format renders, so a struct
+		// comparison after the round trip is meaningful.
+		switch info.Format {
+		case isa.FmtRRR:
+			in.Ra, in.Rb, in.Rc = r8(), r8(), r8()
+		case isa.FmtRRI:
+			in.Ra, in.Rc = r8(), r8()
+			in.Imm = int64(rng.Intn(2000) - 1000)
+		case isa.FmtRI:
+			in.Rc = r8()
+			in.Imm = rng.Int63n(1 << 40)
+		case isa.FmtRR, isa.FmtJSRR:
+			in.Ra, in.Rc = r8(), r8()
+		case isa.FmtMem:
+			in.Ra = r8()
+			if info.MemWrite {
+				in.Rb = r8()
+			} else {
+				in.Rc = r8()
+			}
+			in.Imm = int64(rng.Intn(4096))
+		case isa.FmtBranch:
+			in.Ra, in.Rb = r8(), r8()
+			in.Imm = int64(rng.Intn(n))
+		case isa.FmtTarget:
+			in.Imm = int64(rng.Intn(n))
+		case isa.FmtJSR:
+			in.Rc = r8()
+			in.Imm = int64(rng.Intn(n))
+		case isa.FmtR:
+			in.Ra = r8()
+		case isa.FmtFI:
+			in.Rc = r8()
+			in = in.WithFloatImm(float64(rng.Intn(1000)) / 8.0)
+		}
+		insts = append(insts, in)
+	}
+	data := make([]uint64, rng.Intn(8))
+	for i := range data {
+		data[i] = rng.Uint64()
+	}
+	return &isa.Program{
+		Insts:    insts,
+		Data:     data,
+		DataBase: isa.DefaultDataBase,
+		Entry:    uint64(rng.Intn(n)),
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		p := randomProgram(rng, 1+rng.Intn(40))
+		src := Disassemble(p)
+		q, err := Assemble(src)
+		if err != nil {
+			t.Fatalf("trial %d: reassemble failed: %v\nsource:\n%s", trial, err, src)
+		}
+		if len(q.Insts) != len(p.Insts) {
+			t.Fatalf("trial %d: %d insts, want %d", trial, len(q.Insts), len(p.Insts))
+		}
+		for i := range p.Insts {
+			if p.Insts[i] != q.Insts[i] {
+				t.Fatalf("trial %d inst %d: %v != %v\nsource:\n%s", trial, i, q.Insts[i], p.Insts[i], src)
+			}
+		}
+		if q.Entry != p.Entry {
+			t.Fatalf("trial %d: entry %d, want %d", trial, q.Entry, p.Entry)
+		}
+		for i := range p.Data {
+			if q.Data[i] != p.Data[i] {
+				t.Fatalf("trial %d data %d: %#x != %#x", trial, i, q.Data[i], p.Data[i])
+			}
+		}
+	}
+}
+
+func TestMustAssemblePanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustAssemble("bad", "main: frob\n")
+}
+
+func TestSymbols(t *testing.T) {
+	p := assemble(t, `
+main:   halt
+        .data
+x:      .word 1
+`)
+	syms := Symbols(p)
+	if len(syms) != 2 {
+		t.Fatalf("Symbols = %v", syms)
+	}
+	if !strings.Contains(syms[0], "main") || !strings.Contains(syms[1], "x") {
+		t.Errorf("Symbols order: %v", syms)
+	}
+}

@@ -1,0 +1,98 @@
+package asm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/tracereuse/tlr/internal/isa"
+)
+
+// Disassemble renders a program as assembler source that reassembles to a
+// structurally identical program (same instructions, entry and data image).
+// Branch targets and the entry point become synthetic labels "L<n>".
+func Disassemble(p *isa.Program) string {
+	targets := map[uint64]bool{p.Entry: true}
+	for _, in := range p.Insts {
+		info := isa.InfoOf(in.Op)
+		if info.Branch && (info.Format == isa.FmtBranch || info.Format == isa.FmtTarget || info.Format == isa.FmtJSR) {
+			targets[uint64(in.Imm)] = true
+		}
+	}
+	label := func(idx uint64) string { return fmt.Sprintf("L%d", idx) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "        .entry %s\n", label(p.Entry))
+	b.WriteString("        .text\n")
+	for idx, in := range p.Insts {
+		if targets[uint64(idx)] {
+			fmt.Fprintf(&b, "%s:\n", label(uint64(idx)))
+		}
+		b.WriteString("        ")
+		b.WriteString(render(in, label))
+		b.WriteByte('\n')
+	}
+	if len(p.Data) > 0 {
+		b.WriteString("        .data\n")
+		b.WriteString("D0:\n")
+		for _, w := range p.Data {
+			fmt.Fprintf(&b, "        .word %#x\n", w)
+		}
+	}
+	return b.String()
+}
+
+// render formats one instruction, routing branch-style immediates through
+// the label function.
+func render(in isa.Inst, label func(uint64) string) string {
+	info := isa.InfoOf(in.Op)
+	switch info.Format {
+	case isa.FmtBranch:
+		return fmt.Sprintf("%s r%d, r%d, %s", info.Name, in.Ra, in.Rb, label(uint64(in.Imm)))
+	case isa.FmtTarget:
+		return fmt.Sprintf("%s %s", info.Name, label(uint64(in.Imm)))
+	case isa.FmtJSR:
+		return fmt.Sprintf("%s r%d, %s", info.Name, in.Rc, label(uint64(in.Imm)))
+	case isa.FmtFI:
+		// Print float bits exactly to guarantee the round trip.
+		return fmt.Sprintf("%s f%d, %s", info.Name, in.Rc, formatExactFloat(in.FloatImm()))
+	default:
+		return in.String()
+	}
+}
+
+// formatExactFloat prints a float64 so ParseFloat returns the same bits.
+func formatExactFloat(f float64) string {
+	if math.IsInf(f, 1) {
+		return "1e999"
+	}
+	if math.IsInf(f, -1) {
+		return "-1e999"
+	}
+	return fmt.Sprintf("%g", f)
+}
+
+// Symbols returns the program's symbols sorted by value; a debugging aid
+// for cmd/tlrasm.
+func Symbols(p *isa.Program) []string {
+	type sym struct {
+		name string
+		val  uint64
+	}
+	syms := make([]sym, 0, len(p.Symbols))
+	for n, v := range p.Symbols {
+		syms = append(syms, sym{n, v})
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].val != syms[j].val {
+			return syms[i].val < syms[j].val
+		}
+		return syms[i].name < syms[j].name
+	})
+	out := make([]string, len(syms))
+	for i, s := range syms {
+		out[i] = fmt.Sprintf("%#8x %s", s.val, s.name)
+	}
+	return out
+}

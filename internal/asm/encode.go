@@ -1,0 +1,230 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+
+	"github.com/tracereuse/tlr/internal/isa"
+)
+
+// encode translates one statement (mnemonic + operands) into an instruction.
+func (a *assembler) encode(m string, ops []string) (isa.Inst, error) {
+	if op, ok := isa.OpByName(m); ok {
+		return a.encodeOp(op, ops)
+	}
+	if p, ok := pseudos[m]; ok {
+		return p(a, ops)
+	}
+	return isa.Inst{}, fmt.Errorf("unknown instruction %q", m)
+}
+
+func needOps(m string, ops []string, n int) error {
+	if len(ops) != n {
+		return fmt.Errorf("%s needs %d operands, got %d", m, n, len(ops))
+	}
+	return nil
+}
+
+func (a *assembler) encodeOp(op isa.Op, ops []string) (isa.Inst, error) {
+	info := isa.InfoOf(op)
+	in := isa.Inst{Op: op}
+	var err error
+	switch info.Format {
+	case isa.FmtNone:
+		if len(ops) != 0 {
+			return in, fmt.Errorf("%s takes no operands", info.Name)
+		}
+
+	case isa.FmtRRR:
+		if err = needOps(info.Name, ops, 3); err != nil {
+			return in, err
+		}
+		if in.Rc, err = reg(ops[0], info.Dst); err != nil {
+			return in, err
+		}
+		if in.Ra, err = reg(ops[1], info.SrcA); err != nil {
+			return in, err
+		}
+		in.Rb, err = reg(ops[2], info.SrcB)
+
+	case isa.FmtRRI:
+		if err = needOps(info.Name, ops, 3); err != nil {
+			return in, err
+		}
+		if in.Rc, err = reg(ops[0], info.Dst); err != nil {
+			return in, err
+		}
+		if in.Ra, err = reg(ops[1], info.SrcA); err != nil {
+			return in, err
+		}
+		in.Imm, err = a.intValue(ops[2])
+
+	case isa.FmtRI:
+		if err = needOps(info.Name, ops, 2); err != nil {
+			return in, err
+		}
+		if in.Rc, err = reg(ops[0], info.Dst); err != nil {
+			return in, err
+		}
+		in.Imm, err = a.intValue(ops[1])
+
+	case isa.FmtRR:
+		if err = needOps(info.Name, ops, 2); err != nil {
+			return in, err
+		}
+		if in.Rc, err = reg(ops[0], info.Dst); err != nil {
+			return in, err
+		}
+		in.Ra, err = reg(ops[1], info.SrcA)
+
+	case isa.FmtMem:
+		if err = needOps(info.Name, ops, 2); err != nil {
+			return in, err
+		}
+		regKind := info.Dst
+		if info.MemWrite {
+			regKind = info.SrcB
+		}
+		var r uint8
+		if r, err = reg(ops[0], regKind); err != nil {
+			return in, err
+		}
+		if info.MemWrite {
+			in.Rb = r
+		} else {
+			in.Rc = r
+		}
+		in.Imm, in.Ra, err = a.memOperand(ops[1])
+
+	case isa.FmtBranch:
+		if err = needOps(info.Name, ops, 3); err != nil {
+			return in, err
+		}
+		if in.Ra, err = reg(ops[0], info.SrcA); err != nil {
+			return in, err
+		}
+		if in.Rb, err = reg(ops[1], info.SrcB); err != nil {
+			return in, err
+		}
+		in.Imm, err = a.intValue(ops[2])
+
+	case isa.FmtTarget:
+		if err = needOps(info.Name, ops, 1); err != nil {
+			return in, err
+		}
+		in.Imm, err = a.intValue(ops[0])
+
+	case isa.FmtR:
+		if err = needOps(info.Name, ops, 1); err != nil {
+			return in, err
+		}
+		in.Ra, err = reg(ops[0], info.SrcA)
+
+	case isa.FmtJSR:
+		if err = needOps(info.Name, ops, 2); err != nil {
+			return in, err
+		}
+		if in.Rc, err = reg(ops[0], info.Dst); err != nil {
+			return in, err
+		}
+		in.Imm, err = a.intValue(ops[1])
+
+	case isa.FmtJSRR:
+		if err = needOps(info.Name, ops, 2); err != nil {
+			return in, err
+		}
+		if in.Rc, err = reg(ops[0], info.Dst); err != nil {
+			return in, err
+		}
+		in.Ra, err = reg(ops[1], info.SrcA)
+
+	case isa.FmtFI:
+		if err = needOps(info.Name, ops, 2); err != nil {
+			return in, err
+		}
+		if in.Rc, err = reg(ops[0], isa.KindFP); err != nil {
+			return in, err
+		}
+		var f float64
+		if f, err = strconv.ParseFloat(ops[1], 64); err != nil {
+			return in, fmt.Errorf("%s: bad float %q", info.Name, ops[1])
+		}
+		in = in.WithFloatImm(f)
+
+	default:
+		return in, fmt.Errorf("%s: unhandled format", info.Name)
+	}
+	return in, err
+}
+
+// pseudo is an assembler macro expanding to one real instruction.
+type pseudo func(a *assembler, ops []string) (isa.Inst, error)
+
+var pseudos = map[string]pseudo{
+	// li is a familiar alias for ldi.
+	"li": func(a *assembler, ops []string) (isa.Inst, error) {
+		return a.encodeOp(isa.LDI, ops)
+	},
+	// la loads the address of a symbol (same as li; symbols are values).
+	"la": func(a *assembler, ops []string) (isa.Inst, error) {
+		return a.encodeOp(isa.LDI, ops)
+	},
+	// subi rc, ra, imm  =>  addi rc, ra, -imm
+	"subi": func(a *assembler, ops []string) (isa.Inst, error) {
+		in, err := a.encodeOp(isa.ADDI, ops)
+		in.Imm = -in.Imm
+		return in, err
+	},
+	// neg rc, ra  =>  sub rc, zero, ra
+	"neg": func(a *assembler, ops []string) (isa.Inst, error) {
+		if err := needOps("neg", ops, 2); err != nil {
+			return isa.Inst{}, err
+		}
+		return a.encodeOp(isa.SUB, []string{ops[0], "zero", ops[1]})
+	},
+	// not rc, ra  =>  xori rc, ra, -1
+	"not": func(a *assembler, ops []string) (isa.Inst, error) {
+		if err := needOps("not", ops, 2); err != nil {
+			return isa.Inst{}, err
+		}
+		return a.encodeOp(isa.XORI, []string{ops[0], ops[1], "-1"})
+	},
+	// br target  =>  jmp target
+	"br": func(a *assembler, ops []string) (isa.Inst, error) {
+		return a.encodeOp(isa.JMP, ops)
+	},
+	// call target  =>  jsr ra, target
+	"call": func(a *assembler, ops []string) (isa.Inst, error) {
+		if err := needOps("call", ops, 1); err != nil {
+			return isa.Inst{}, err
+		}
+		return a.encodeOp(isa.JSR, []string{"ra", ops[0]})
+	},
+	// ret  =>  jr ra
+	"ret": func(a *assembler, ops []string) (isa.Inst, error) {
+		if err := needOps("ret", ops, 0); err != nil {
+			return isa.Inst{}, err
+		}
+		return a.encodeOp(isa.JR, []string{"ra"})
+	},
+	"beqz": branchZero(isa.BEQ),
+	"bnez": branchZero(isa.BNE),
+	"bltz": branchZero(isa.BLT),
+	"bgez": branchZero(isa.BGE),
+	"blez": branchZero(isa.BLE),
+	"bgtz": branchZero(isa.BGT),
+	// fli fc, 3.25  =>  fldi
+	"fli": func(a *assembler, ops []string) (isa.Inst, error) {
+		return a.encodeOp(isa.FLDI, ops)
+	},
+}
+
+// branchZero builds "bxxz ra, target => bxx ra, zero, target" pseudos.
+func branchZero(op isa.Op) pseudo {
+	return func(a *assembler, ops []string) (isa.Inst, error) {
+		if err := needOps(op.String()+"z", ops, 2); err != nil {
+			return isa.Inst{}, err
+		}
+		return a.encodeOp(op, []string{ops[0], "zero", ops[1]})
+	}
+}

@@ -1,0 +1,91 @@
+package asm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestAssemblerNeverPanics feeds the assembler mangled variants of real
+// sources and random token soup: every input must either assemble or
+// return an error — never panic, never hang.
+func TestAssemblerNeverPanics(t *testing.T) {
+	base := `
+main:   ldi  r1, 10
+loop:   subi r1, r1, 1
+        ld   r2, tab(r1)
+        bgtz r1, loop
+        halt
+        .data
+tab:    .word 1, 2, 3, 'x', -5
+`
+	rng := rand.New(rand.NewSource(99))
+	mangle := func(s string) string {
+		b := []byte(s)
+		for k := 0; k < 1+rng.Intn(6); k++ {
+			switch rng.Intn(4) {
+			case 0: // flip a byte
+				if len(b) > 0 {
+					b[rng.Intn(len(b))] = byte(32 + rng.Intn(95))
+				}
+			case 1: // delete a span
+				if len(b) > 4 {
+					i := rng.Intn(len(b) - 3)
+					b = append(b[:i], b[i+3:]...)
+				}
+			case 2: // duplicate a span
+				if len(b) > 8 {
+					i := rng.Intn(len(b) - 8)
+					b = append(b[:i+8], b[i:]...)
+				}
+			case 3: // insert noise
+				noise := []string{",", "(", ")", ":", ".word", "r99", "f1", "0x", "'", ";", "+"}
+				i := rng.Intn(len(b))
+				b = append(b[:i], append([]byte(noise[rng.Intn(len(noise))]), b[i:]...)...)
+			}
+		}
+		return string(b)
+	}
+	for trial := 0; trial < 500; trial++ {
+		src := mangle(base)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d panicked: %v\nsource:\n%s", trial, r, src)
+				}
+			}()
+			_, _ = Assemble(src)
+		}()
+	}
+}
+
+// TestAssemblerRandomTokens exercises the parser with arbitrary token
+// streams that never resemble valid programs.
+func TestAssemblerRandomTokens(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	tokens := []string{
+		"add", "ldi", "ld", "st", "fldi", "beq", "jmp", ".word", ".data", ".text",
+		".space", ".entry", "r1", "r31", "f2", "zero", "sp", "main:", "x:", "(",
+		")", ",", "123", "-5", "0xff", "'a'", "3.5", "label+2", "nonsense",
+	}
+	for trial := 0; trial < 300; trial++ {
+		var b strings.Builder
+		for line := 0; line < 1+rng.Intn(8); line++ {
+			for w := 0; w < rng.Intn(6); w++ {
+				b.WriteString(tokens[rng.Intn(len(tokens))])
+				if rng.Intn(2) == 0 {
+					b.WriteString(" ")
+				}
+			}
+			b.WriteString("\n")
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d panicked: %v\nsource:\n%s", trial, r, b.String())
+				}
+			}()
+			_, _ = Assemble(b.String())
+		}()
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/tracereuse/tlr/internal/isa"
+	"github.com/tracereuse/tlr/internal/trace"
+)
+
+// branchyStream repeats a loop iteration of n straight-line instructions
+// followed by a branch, `iters` times, with identical values.
+func branchyStream(iters, n int) []trace.Exec {
+	var out []trace.Exec
+	for it := 0; it < iters; it++ {
+		for i := 0; i < n; i++ {
+			var e trace.Exec
+			e.PC = uint64(i)
+			e.Next = uint64(i + 1)
+			e.Op = isa.ADD
+			e.Lat = 1
+			if i > 0 {
+				e.AddIn(trace.IntReg(uint8(i)), uint64(i))
+			}
+			e.AddOut(trace.IntReg(uint8(i+1)), uint64(i+1))
+			out = append(out, e)
+		}
+		var br trace.Exec
+		br.PC = uint64(n)
+		br.Next = 0
+		br.Op = isa.BNE
+		br.Lat = 1
+		br.AddIn(trace.IntReg(uint8(n)), uint64(n))
+		out = append(out, br)
+	}
+	return out
+}
+
+func TestBlockBoundedChopsAtBranches(t *testing.T) {
+	stream := branchyStream(4, 5) // iterations of 5 adds + 1 branch
+	free := runTLR(TLRConfig{Variants: []Latency{ConstLatency(1)}}, stream)
+	blk := runTLR(TLRConfig{Variants: []Latency{ConstLatency(1)}, BlockBounded: true}, stream)
+
+	// Theorem 1: both cover exactly the reusable instructions.
+	if free.ReusedInstructions != blk.ReusedInstructions {
+		t.Fatalf("reused count changed: %d vs %d", free.ReusedInstructions, blk.ReusedInstructions)
+	}
+	// Iterations 2..4 are fully reusable: unbounded runs merge across
+	// iterations (branches included); block-bounded runs end at each
+	// branch, giving one trace per iteration.
+	if blk.Stats.Traces <= free.Stats.Traces {
+		t.Errorf("block-bounded traces %d should exceed unbounded %d", blk.Stats.Traces, free.Stats.Traces)
+	}
+	if blk.Stats.AvgLen() >= free.Stats.AvgLen() {
+		t.Errorf("block size %.1f should be below trace size %.1f", blk.Stats.AvgLen(), free.Stats.AvgLen())
+	}
+	// The block-bounded trace is exactly one iteration: 6 instructions.
+	if got := blk.Stats.AvgLen(); got != 6 {
+		t.Errorf("block size = %.1f, want 6 (5 adds + branch)", got)
+	}
+}
+
+func TestBlockBoundedNeverFaster(t *testing.T) {
+	// More traces means more reuse operations on the same reused set:
+	// block-bounded execution time can only be equal or worse.
+	stream := branchyStream(8, 12)
+	free := runTLR(TLRConfig{Window: 16, Variants: []Latency{ConstLatency(1)}}, stream)
+	blk := runTLR(TLRConfig{Window: 16, Variants: []Latency{ConstLatency(1)}, BlockBounded: true}, stream)
+	if blk.Speedups[0] > free.Speedups[0]+1e-9 {
+		t.Errorf("block-bounded speedup %.3f exceeds trace-level %.3f", blk.Speedups[0], free.Speedups[0])
+	}
+}
+
+func TestBlockBoundedWithoutBranchesIsIdentical(t *testing.T) {
+	// A branch-free stream has a single basic block: both modes agree.
+	stream := repeatChain(4, 10, 2)
+	free := runTLR(TLRConfig{Variants: []Latency{ConstLatency(1)}}, stream)
+	blk := runTLR(TLRConfig{Variants: []Latency{ConstLatency(1)}, BlockBounded: true}, stream)
+	if free.Stats.Traces != blk.Stats.Traces || free.Cycles[0] != blk.Cycles[0] {
+		t.Error("branch-free streams must be unaffected by block bounding")
+	}
+}

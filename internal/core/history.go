@@ -1,0 +1,96 @@
+// Package core implements the paper's data-value-reuse limit studies:
+// instruction-level reusability with infinite history tables (§4.2–4.3)
+// and trace-level reuse over maximal runs of reusable instructions
+// (§4.4–4.5), including both reuse-latency models.  The executable forms
+// of Theorems 1–4 live here as well.
+package core
+
+import (
+	"github.com/tracereuse/tlr/internal/trace"
+)
+
+// History is the infinite instruction-reuse table of the limit study: for
+// each static instruction (identified by PC) it stores every distinct
+// input-value vector of its previously executed instances.  A dynamic
+// instance is reusable iff its inputs were seen before (§4.2).
+//
+// Signatures are exact byte encodings, not hashes, so the study never
+// overcounts reuse through collisions.
+type History struct {
+	byPC    map[uint64]map[string]struct{}
+	buf     []byte
+	vectors int64
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History {
+	return &History{byPC: make(map[uint64]map[string]struct{}, 4096)}
+}
+
+// Observe classifies e as reusable or not, then records its input vector.
+// Side-effecting instructions (OUT, HALT) are never reusable and are not
+// recorded.
+func (h *History) Observe(e *trace.Exec) bool {
+	if e.SideEffect {
+		return false
+	}
+	h.buf = trace.AppendInputSignature(h.buf[:0], e)
+	set := h.byPC[e.PC]
+	if set == nil {
+		set = make(map[string]struct{}, 4)
+		h.byPC[e.PC] = set
+	}
+	if _, seen := set[string(h.buf)]; seen {
+		return true
+	}
+	set[string(h.buf)] = struct{}{}
+	h.vectors++
+	return false
+}
+
+// StaticInstructions returns how many distinct PCs have been observed.
+func (h *History) StaticInstructions() int { return len(h.byPC) }
+
+// Vectors returns how many distinct input vectors are stored (table
+// footprint of the limit study).
+func (h *History) Vectors() int64 { return h.vectors }
+
+// TraceHistory is the trace-level analogue of History: it stores, per
+// starting PC, the live-in reference sequences of previously executed
+// traces.  It implements the *strict* trace reusability test — a trace is
+// reusable only if this exact (start PC, live-in sequence) was executed
+// before — which by Theorem 2 is a subset of what per-instruction
+// reusability suggests.  The limit study uses History (the Theorem 1 upper
+// bound); TraceHistory powers the strict-mode ablation and the theorem
+// tests.
+type TraceHistory struct {
+	byPC    map[uint64]map[string]struct{}
+	buf     []byte
+	vectors int64
+}
+
+// NewTraceHistory returns an empty trace history.
+func NewTraceHistory() *TraceHistory {
+	return &TraceHistory{byPC: make(map[uint64]map[string]struct{}, 1024)}
+}
+
+// Observe classifies a trace summary as reusable (seen before) and records
+// it.  The identity of a trace is its starting PC plus its live-in
+// locations and values in first-read order (IL(T), IV(T)).
+func (t *TraceHistory) Observe(s *trace.Summary) bool {
+	t.buf = trace.AppendRefSignature(t.buf[:0], s.Ins)
+	set := t.byPC[s.StartPC]
+	if set == nil {
+		set = make(map[string]struct{}, 2)
+		t.byPC[s.StartPC] = set
+	}
+	if _, seen := set[string(t.buf)]; seen {
+		return true
+	}
+	set[string(t.buf)] = struct{}{}
+	t.vectors++
+	return false
+}
+
+// Vectors returns how many distinct trace input vectors are stored.
+func (t *TraceHistory) Vectors() int64 { return t.vectors }

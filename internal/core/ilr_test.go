@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tracereuse/tlr/internal/isa"
+	"github.com/tracereuse/tlr/internal/trace"
+)
+
+// repeatChain builds `iters` repetitions of a dependence chain of length n:
+// each iteration executes the same PCs with the same values, so from the
+// second iteration on everything is reusable.
+func repeatChain(iters, n int, lat uint8) []trace.Exec {
+	var out []trace.Exec
+	for it := 0; it < iters; it++ {
+		for i := 0; i < n; i++ {
+			var e trace.Exec
+			e.PC = uint64(i)
+			e.Next = uint64(i + 1)
+			e.Op = isa.MUL
+			e.Lat = lat
+			if i > 0 {
+				e.AddIn(trace.IntReg(uint8(i)), uint64(i*7))
+			}
+			e.AddOut(trace.IntReg(uint8(i+1)), uint64((i+1)*7))
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func runILR(cfg ILRConfig, stream []trace.Exec) ILRResult {
+	s := NewILRStudy(cfg)
+	for i := range stream {
+		s.Consume(&stream[i])
+	}
+	s.Finish()
+	return s.Result()
+}
+
+func TestILRReusabilityCount(t *testing.T) {
+	// 4 iterations of a 10-instruction chain: iterations 2..4 fully
+	// reusable -> 30 of 40.
+	r := runILR(ILRConfig{Latencies: []float64{1}}, repeatChain(4, 10, 2))
+	if r.Instructions != 40 {
+		t.Fatalf("Instructions = %d", r.Instructions)
+	}
+	if r.Reusable != 30 {
+		t.Errorf("Reusable = %d, want 30", r.Reusable)
+	}
+	if math.Abs(r.Reusability()-0.75) > 1e-12 {
+		t.Errorf("Reusability = %v, want 0.75", r.Reusability())
+	}
+}
+
+func TestILRSpeedupAtLeastOne(t *testing.T) {
+	// The oracle never chooses a worse completion, so speed-up >= 1.
+	r := runILR(ILRConfig{Latencies: []float64{1, 2, 3, 4}}, repeatChain(5, 8, 3))
+	for i, sp := range r.Speedups {
+		if sp < 1-1e-12 {
+			t.Errorf("speedup[lat=%d] = %v < 1", i+1, sp)
+		}
+	}
+}
+
+func TestILRSpeedupShrinksWithLatency(t *testing.T) {
+	r := runILR(ILRConfig{Latencies: []float64{1, 2, 3, 4}}, repeatChain(10, 8, 3))
+	for i := 1; i < len(r.Speedups); i++ {
+		if r.Speedups[i] > r.Speedups[i-1]+1e-12 {
+			t.Errorf("speedup grew with latency: %v", r.Speedups)
+		}
+	}
+}
+
+func TestILRChainReuseStillSerial(t *testing.T) {
+	// The paper's key negative result for ILR: reusing a dependent chain
+	// is still sequential.  A chain of n 3-cycle instructions repeated
+	// twice: the second iteration, fully reused at latency 1, still costs
+	// ~n cycles because each reuse waits for its input.
+	n := 20
+	r := runILR(ILRConfig{Latencies: []float64{1}}, repeatChain(2, n, 3))
+	// Base: both iterations serial on the same chain: the second
+	// iteration's instruction i depends on iteration-2 instruction i-1.
+	// (Each iteration re-executes the same chain; values repeat, so the
+	// dataflow is iteration-local.)  Base cycles = n*3 (iterations overlap
+	// perfectly in the infinite window since they carry no loop
+	// dependence).  With reuse, the second iteration costs n*1.
+	if r.BaseCycles != float64(3*n) {
+		t.Fatalf("BaseCycles = %v, want %d", r.BaseCycles, 3*n)
+	}
+	// Reused chain: serial at 1 cycle per instruction -> n cycles, hidden
+	// under the base 3n of iteration 1 -> total still 3n.
+	if r.Cycles[0] != float64(3*n) {
+		t.Errorf("Cycles = %v, want %d (reuse hides under first iteration)", r.Cycles[0], 3*n)
+	}
+}
+
+func TestILRLatencyOneBeatsLatencyFourOnCriticalPath(t *testing.T) {
+	// Make the reused chain the critical path by serialising iterations:
+	// each iteration's first instruction consumes the previous iteration's
+	// last output.  Then reuse latency directly scales total time.
+	var stream []trace.Exec
+	n := 10
+	carry := uint64(0)
+	for it := 0; it < 3; it++ {
+		for i := 0; i < n; i++ {
+			var e trace.Exec
+			e.PC = uint64(i)
+			e.Next = uint64(i + 1)
+			e.Op = isa.MUL
+			e.Lat = 3
+			if i == 0 {
+				e.AddIn(trace.IntReg(30), carry) // same carry value every time
+			} else {
+				e.AddIn(trace.IntReg(uint8(i)), uint64(i))
+			}
+			e.AddOut(trace.IntReg(uint8(i+1)), uint64(i+1))
+			stream = append(stream, e)
+		}
+		// carry register rewritten with the same value each iteration
+		var c trace.Exec
+		c.PC = uint64(n)
+		c.Next = 0
+		c.Op = isa.ADD
+		c.Lat = 1
+		c.AddIn(trace.IntReg(uint8(n)), uint64(n))
+		c.AddOut(trace.IntReg(30), carry)
+		stream = append(stream, c)
+	}
+	r := runILR(ILRConfig{Latencies: []float64{1, 4}}, stream)
+	if !(r.Speedups[0] > r.Speedups[1]) {
+		t.Errorf("lat-1 speedup %v should beat lat-4 %v", r.Speedups[0], r.Speedups[1])
+	}
+}
+
+func TestILRReusedInstructionsStillOccupyWindow(t *testing.T) {
+	// The structural difference the paper stresses: ILR-reused
+	// instructions are fetched and hold window slots, so a long fully
+	// reusable stream is still throughput-limited by the window.  With
+	// W=1 and unit reuse latency, every instruction still costs one
+	// graduation slot: cycles grow linearly with n despite ~100% reuse.
+	stream := repeatChain(50, 4, 1)
+	r := runILR(ILRConfig{Window: 1, Latencies: []float64{1}}, stream)
+	n := float64(len(stream))
+	if r.Cycles[0] < n {
+		t.Errorf("W=1 reused stream finished in %v cycles; window should force >= %v", r.Cycles[0], n)
+	}
+}
+
+func TestILRResultCyclesPerLatency(t *testing.T) {
+	r := runILR(ILRConfig{Latencies: []float64{1, 2}}, repeatChain(3, 5, 2))
+	if len(r.Cycles) != 2 || len(r.Speedups) != 2 {
+		t.Fatalf("result arity: %+v", r)
+	}
+	if r.Cycles[0] > r.Cycles[1] {
+		t.Errorf("lat-1 cycles %v should be <= lat-2 cycles %v", r.Cycles[0], r.Cycles[1])
+	}
+}

@@ -1,0 +1,466 @@
+// Package cpu implements the functional simulator that produces the
+// dynamic instruction stream (the repo's substitute for the paper's
+// ATOM-instrumented Alpha binaries, DESIGN.md §2).
+//
+// The simulator executes one instruction per Step and fills a trace.Exec
+// record with the instruction's input and output references in
+// architectural order.  It also exposes the architectural state (registers
+// and memory), which the realistic RTM needs to run its fetch-time reuse
+// test and to apply the outputs of a reused trace.
+package cpu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/tracereuse/tlr/internal/isa"
+	"github.com/tracereuse/tlr/internal/mem"
+	"github.com/tracereuse/tlr/internal/trace"
+)
+
+// ErrHalted is returned by Step once the machine has executed HALT.
+var ErrHalted = errors.New("cpu: machine halted")
+
+// CPU is the architectural state of one simulated machine.
+type CPU struct {
+	prog *isa.Program
+	mem  *mem.Memory
+	r    [isa.NumRegs]uint64
+	f    [isa.NumRegs]uint64
+	pc   uint64
+
+	halted  bool
+	instret uint64
+
+	// outSink receives values emitted by OUT.  Nil discards them.
+	outSink func(uint64)
+}
+
+// Option configures a CPU at construction.
+type Option func(*CPU)
+
+// WithOutput directs OUT values to sink.
+func WithOutput(sink func(uint64)) Option {
+	return func(c *CPU) { c.outSink = sink }
+}
+
+// New builds a CPU for prog: data segment loaded at prog.DataBase, stack
+// pointer (r30) at isa.DefaultStackTop, PC at prog.Entry.
+func New(prog *isa.Program, opts ...Option) *CPU {
+	c := &CPU{
+		prog: prog,
+		mem:  mem.New(),
+		pc:   prog.Entry,
+	}
+	c.mem.StoreBlock(prog.DataBase, prog.Data)
+	c.r[isa.RegSP] = isa.DefaultStackTop
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Program returns the program being executed.
+func (c *CPU) Program() *isa.Program { return c.prog }
+
+// PC returns the current program counter (instruction index).
+func (c *CPU) PC() uint64 { return c.pc }
+
+// SetPC redirects execution (used when the RTM replays a trace).
+func (c *CPU) SetPC(pc uint64) { c.pc = pc }
+
+// Halted reports whether HALT has executed.
+func (c *CPU) Halted() bool { return c.halted }
+
+// InstRet returns the number of instructions executed by Step (reused
+// instructions skipped by an RTM do not count here).
+func (c *CPU) InstRet() uint64 { return c.instret }
+
+// Reg returns integer register n (r31 reads as zero).
+func (c *CPU) Reg(n uint8) uint64 {
+	if n == isa.RegZero {
+		return 0
+	}
+	return c.r[n]
+}
+
+// SetReg writes integer register n (writes to r31 are discarded).
+func (c *CPU) SetReg(n uint8, v uint64) {
+	if n != isa.RegZero {
+		c.r[n] = v
+	}
+}
+
+// FReg returns the bit pattern of floating-point register n.
+func (c *CPU) FReg(n uint8) uint64 {
+	if n == isa.FRegZero {
+		return 0
+	}
+	return c.f[n]
+}
+
+// SetFReg writes the bit pattern of floating-point register n.
+func (c *CPU) SetFReg(n uint8, v uint64) {
+	if n != isa.FRegZero {
+		c.f[n] = v
+	}
+}
+
+// Mem returns the data memory (shared, not a copy).
+func (c *CPU) Mem() *mem.Memory { return c.mem }
+
+// ReadLoc returns the current value of an arbitrary location.  It is the
+// reuse test's view of the architectural state.
+func (c *CPU) ReadLoc(l trace.Loc) uint64 {
+	switch l.Kind() {
+	case trace.KindIntReg:
+		return c.Reg(uint8(l.Index()))
+	case trace.KindFPReg:
+		return c.FReg(uint8(l.Index()))
+	default:
+		return c.mem.Load(l.Index())
+	}
+}
+
+// WriteLoc updates an arbitrary location (applying a reused trace's output).
+func (c *CPU) WriteLoc(l trace.Loc, v uint64) {
+	switch l.Kind() {
+	case trace.KindIntReg:
+		c.SetReg(uint8(l.Index()), v)
+	case trace.KindFPReg:
+		c.SetFReg(uint8(l.Index()), v)
+	default:
+		c.mem.Store(l.Index(), v)
+	}
+}
+
+// Clone returns an independent deep copy of the CPU (same program; memory
+// and registers copied).  Used by differential correctness tests.
+func (c *CPU) Clone() *CPU {
+	cp := *c
+	cp.mem = c.mem.Clone()
+	cp.outSink = nil // a clone used for verification must not re-emit output
+	return &cp
+}
+
+// readInt reads integer register n, recording it as an input unless it is
+// the zero register.
+func (c *CPU) readInt(n uint8, e *trace.Exec) uint64 {
+	if n == isa.RegZero {
+		return 0
+	}
+	v := c.r[n]
+	e.AddIn(trace.IntReg(n), v)
+	return v
+}
+
+func (c *CPU) readFP(n uint8, e *trace.Exec) float64 {
+	if n == isa.FRegZero {
+		return 0
+	}
+	v := c.f[n]
+	e.AddIn(trace.FPReg(n), v)
+	return math.Float64frombits(v)
+}
+
+func (c *CPU) writeInt(n uint8, v uint64, e *trace.Exec) {
+	if n == isa.RegZero {
+		return
+	}
+	c.r[n] = v
+	e.AddOut(trace.IntReg(n), v)
+}
+
+func (c *CPU) writeFP(n uint8, v float64, e *trace.Exec) {
+	if n == isa.FRegZero {
+		return
+	}
+	b := math.Float64bits(v)
+	c.f[n] = b
+	e.AddOut(trace.FPReg(n), b)
+}
+
+// Step executes one instruction and fills e with its execution record.
+// It returns ErrHalted once the machine has stopped, or a descriptive
+// error for a wild PC.
+func (c *CPU) Step(e *trace.Exec) error {
+	if c.halted {
+		return ErrHalted
+	}
+	if c.pc >= uint64(len(c.prog.Insts)) {
+		return fmt.Errorf("cpu: PC %d outside program (%d insts)", c.pc, len(c.prog.Insts))
+	}
+	in := c.prog.Insts[c.pc]
+	info := isa.InfoOf(in.Op)
+
+	e.Reset()
+	e.PC = c.pc
+	e.Op = in.Op
+	e.Lat = info.Latency
+	e.SideEffect = info.SideEffect
+	next := c.pc + 1
+
+	switch in.Op {
+	case isa.NOP:
+
+	case isa.ADD:
+		c.writeInt(in.Rc, c.readInt(in.Ra, e)+c.readInt(in.Rb, e), e)
+	case isa.SUB:
+		c.writeInt(in.Rc, c.readInt(in.Ra, e)-c.readInt(in.Rb, e), e)
+	case isa.MUL:
+		c.writeInt(in.Rc, c.readInt(in.Ra, e)*c.readInt(in.Rb, e), e)
+	case isa.DIV:
+		a, b := int64(c.readInt(in.Ra, e)), int64(c.readInt(in.Rb, e))
+		c.writeInt(in.Rc, uint64(divSigned(a, b)), e)
+	case isa.REM:
+		a, b := int64(c.readInt(in.Ra, e)), int64(c.readInt(in.Rb, e))
+		c.writeInt(in.Rc, uint64(remSigned(a, b)), e)
+	case isa.AND:
+		c.writeInt(in.Rc, c.readInt(in.Ra, e)&c.readInt(in.Rb, e), e)
+	case isa.OR:
+		c.writeInt(in.Rc, c.readInt(in.Ra, e)|c.readInt(in.Rb, e), e)
+	case isa.XOR:
+		c.writeInt(in.Rc, c.readInt(in.Ra, e)^c.readInt(in.Rb, e), e)
+	case isa.SLL:
+		c.writeInt(in.Rc, c.readInt(in.Ra, e)<<(c.readInt(in.Rb, e)&63), e)
+	case isa.SRL:
+		c.writeInt(in.Rc, c.readInt(in.Ra, e)>>(c.readInt(in.Rb, e)&63), e)
+	case isa.SRA:
+		c.writeInt(in.Rc, uint64(int64(c.readInt(in.Ra, e))>>(c.readInt(in.Rb, e)&63)), e)
+	case isa.CMPEQ:
+		c.writeInt(in.Rc, b2u(c.readInt(in.Ra, e) == c.readInt(in.Rb, e)), e)
+	case isa.CMPLT:
+		c.writeInt(in.Rc, b2u(int64(c.readInt(in.Ra, e)) < int64(c.readInt(in.Rb, e))), e)
+	case isa.CMPLE:
+		c.writeInt(in.Rc, b2u(int64(c.readInt(in.Ra, e)) <= int64(c.readInt(in.Rb, e))), e)
+	case isa.CMPULT:
+		c.writeInt(in.Rc, b2u(c.readInt(in.Ra, e) < c.readInt(in.Rb, e)), e)
+
+	case isa.ADDI:
+		c.writeInt(in.Rc, c.readInt(in.Ra, e)+uint64(in.Imm), e)
+	case isa.MULI:
+		c.writeInt(in.Rc, c.readInt(in.Ra, e)*uint64(in.Imm), e)
+	case isa.ANDI:
+		c.writeInt(in.Rc, c.readInt(in.Ra, e)&uint64(in.Imm), e)
+	case isa.ORI:
+		c.writeInt(in.Rc, c.readInt(in.Ra, e)|uint64(in.Imm), e)
+	case isa.XORI:
+		c.writeInt(in.Rc, c.readInt(in.Ra, e)^uint64(in.Imm), e)
+	case isa.SLLI:
+		c.writeInt(in.Rc, c.readInt(in.Ra, e)<<(uint64(in.Imm)&63), e)
+	case isa.SRLI:
+		c.writeInt(in.Rc, c.readInt(in.Ra, e)>>(uint64(in.Imm)&63), e)
+	case isa.SRAI:
+		c.writeInt(in.Rc, uint64(int64(c.readInt(in.Ra, e))>>(uint64(in.Imm)&63)), e)
+	case isa.CMPEQI:
+		c.writeInt(in.Rc, b2u(int64(c.readInt(in.Ra, e)) == in.Imm), e)
+	case isa.CMPLTI:
+		c.writeInt(in.Rc, b2u(int64(c.readInt(in.Ra, e)) < in.Imm), e)
+	case isa.CMPLEI:
+		c.writeInt(in.Rc, b2u(int64(c.readInt(in.Ra, e)) <= in.Imm), e)
+
+	case isa.LDI:
+		c.writeInt(in.Rc, uint64(in.Imm), e)
+	case isa.MOV:
+		c.writeInt(in.Rc, c.readInt(in.Ra, e), e)
+
+	case isa.LD:
+		ea := c.readInt(in.Ra, e) + uint64(in.Imm)
+		v := c.mem.Load(ea)
+		e.AddIn(trace.Mem(ea), v)
+		c.writeInt(in.Rc, v, e)
+	case isa.ST:
+		ea := c.readInt(in.Ra, e) + uint64(in.Imm)
+		v := c.readInt(in.Rb, e)
+		c.mem.Store(ea, v)
+		e.AddOut(trace.Mem(ea), v)
+	case isa.FLD:
+		ea := c.readInt(in.Ra, e) + uint64(in.Imm)
+		v := c.mem.Load(ea)
+		e.AddIn(trace.Mem(ea), v)
+		if in.Rc != isa.FRegZero {
+			c.f[in.Rc] = v
+			e.AddOut(trace.FPReg(in.Rc), v)
+		}
+	case isa.FST:
+		ea := c.readInt(in.Ra, e) + uint64(in.Imm)
+		var v uint64
+		if in.Rb != isa.FRegZero {
+			v = c.f[in.Rb]
+			e.AddIn(trace.FPReg(in.Rb), v)
+		}
+		c.mem.Store(ea, v)
+		e.AddOut(trace.Mem(ea), v)
+
+	case isa.BEQ:
+		if c.readInt(in.Ra, e) == c.readInt(in.Rb, e) {
+			next = uint64(in.Imm)
+		}
+	case isa.BNE:
+		if c.readInt(in.Ra, e) != c.readInt(in.Rb, e) {
+			next = uint64(in.Imm)
+		}
+	case isa.BLT:
+		if int64(c.readInt(in.Ra, e)) < int64(c.readInt(in.Rb, e)) {
+			next = uint64(in.Imm)
+		}
+	case isa.BGE:
+		if int64(c.readInt(in.Ra, e)) >= int64(c.readInt(in.Rb, e)) {
+			next = uint64(in.Imm)
+		}
+	case isa.BLE:
+		if int64(c.readInt(in.Ra, e)) <= int64(c.readInt(in.Rb, e)) {
+			next = uint64(in.Imm)
+		}
+	case isa.BGT:
+		if int64(c.readInt(in.Ra, e)) > int64(c.readInt(in.Rb, e)) {
+			next = uint64(in.Imm)
+		}
+	case isa.JMP:
+		next = uint64(in.Imm)
+	case isa.JR:
+		next = c.readInt(in.Ra, e)
+	case isa.JSR:
+		c.writeInt(in.Rc, c.pc+1, e)
+		next = uint64(in.Imm)
+	case isa.JSRR:
+		target := c.readInt(in.Ra, e)
+		c.writeInt(in.Rc, c.pc+1, e)
+		next = target
+
+	case isa.FADD:
+		c.writeFP(in.Rc, c.readFP(in.Ra, e)+c.readFP(in.Rb, e), e)
+	case isa.FSUB:
+		c.writeFP(in.Rc, c.readFP(in.Ra, e)-c.readFP(in.Rb, e), e)
+	case isa.FMUL:
+		c.writeFP(in.Rc, c.readFP(in.Ra, e)*c.readFP(in.Rb, e), e)
+	case isa.FDIV:
+		c.writeFP(in.Rc, fdiv(c.readFP(in.Ra, e), c.readFP(in.Rb, e)), e)
+	case isa.FSQRT:
+		c.writeFP(in.Rc, fsqrt(c.readFP(in.Ra, e)), e)
+	case isa.FNEG:
+		c.writeFP(in.Rc, -c.readFP(in.Ra, e), e)
+	case isa.FABS:
+		c.writeFP(in.Rc, math.Abs(c.readFP(in.Ra, e)), e)
+	case isa.FMOV:
+		c.writeFP(in.Rc, c.readFP(in.Ra, e), e)
+	case isa.FCMPEQ:
+		c.writeInt(in.Rc, b2u(c.readFP(in.Ra, e) == c.readFP(in.Rb, e)), e)
+	case isa.FCMPLT:
+		c.writeInt(in.Rc, b2u(c.readFP(in.Ra, e) < c.readFP(in.Rb, e)), e)
+	case isa.FCMPLE:
+		c.writeInt(in.Rc, b2u(c.readFP(in.Ra, e) <= c.readFP(in.Rb, e)), e)
+	case isa.CVTIF:
+		c.writeFP(in.Rc, float64(int64(c.readInt(in.Ra, e))), e)
+	case isa.CVTFI:
+		c.writeInt(in.Rc, uint64(cvtFI(c.readFP(in.Ra, e))), e)
+	case isa.FLDI:
+		c.writeFP(in.Rc, in.FloatImm(), e)
+
+	case isa.OUT:
+		v := c.readInt(in.Ra, e)
+		if c.outSink != nil {
+			c.outSink(v)
+		}
+	case isa.HALT:
+		c.halted = true
+		next = c.pc
+
+	default:
+		return fmt.Errorf("cpu: PC %d: unimplemented op %v", c.pc, in.Op)
+	}
+
+	e.Next = next
+	c.pc = next
+	c.instret++
+	return nil
+}
+
+// Run executes up to max instructions, calling fn (if non-nil) after each.
+// The Exec passed to fn is reused across steps; consumers that retain it
+// must copy.  Run returns the number of instructions executed; it stops
+// early, without error, when the machine halts.
+func (c *CPU) Run(max uint64, fn func(*trace.Exec)) (uint64, error) {
+	var e trace.Exec
+	var n uint64
+	for n < max {
+		if c.halted {
+			return n, nil
+		}
+		if err := c.Step(&e); err != nil {
+			return n, err
+		}
+		n++
+		if fn != nil {
+			fn(&e)
+		}
+	}
+	return n, nil
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// divSigned matches the ISA definition: x/0 = 0, MinInt64 / -1 wraps.
+func divSigned(a, b int64) int64 {
+	switch {
+	case b == 0:
+		return 0
+	case a == math.MinInt64 && b == -1:
+		return math.MinInt64
+	default:
+		return a / b
+	}
+}
+
+// remSigned matches the ISA definition: x%0 = x, MinInt64 % -1 = 0.
+func remSigned(a, b int64) int64 {
+	switch {
+	case b == 0:
+		return a
+	case a == math.MinInt64 && b == -1:
+		return 0
+	default:
+		return a % b
+	}
+}
+
+// fdiv avoids NaN poisoning from 0/0: the ISA defines x/0 = +Inf with the
+// sign of x, and 0/0 = 0, so that workloads with sparse data stay numeric.
+func fdiv(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 0
+		}
+		return math.Inf(1) * math.Copysign(1, a)
+	}
+	return a / b
+}
+
+// fsqrt defines sqrt of negatives as -sqrt(-x) (no NaNs in the ISA).
+func fsqrt(a float64) float64 {
+	if a < 0 {
+		return -math.Sqrt(-a)
+	}
+	return math.Sqrt(a)
+}
+
+// cvtFI truncates toward zero with saturation at the int64 range and maps
+// NaN to zero, so the conversion is total.
+func cvtFI(f float64) int64 {
+	switch {
+	case math.IsNaN(f):
+		return 0
+	case f >= math.MaxInt64:
+		return math.MaxInt64
+	case f <= math.MinInt64:
+		return math.MinInt64
+	default:
+		return int64(f)
+	}
+}

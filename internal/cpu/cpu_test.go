@@ -1,0 +1,423 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tracereuse/tlr/internal/isa"
+	"github.com/tracereuse/tlr/internal/trace"
+)
+
+// negU returns -v as a uint64 bit pattern (two's complement).
+func negU(v int64) uint64 { return uint64(-v) }
+
+// run executes prog until HALT (or 10k instructions) and returns the CPU
+// and all execution records.
+func run(t *testing.T, insts []isa.Inst, opts ...Option) (*CPU, []trace.Exec) {
+	t.Helper()
+	prog := &isa.Program{Insts: insts}
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	c := New(prog, opts...)
+	var execs []trace.Exec
+	if _, err := c.Run(10000, func(e *trace.Exec) { execs = append(execs, *e) }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !c.Halted() {
+		t.Fatal("program did not halt")
+	}
+	return c, execs
+}
+
+func TestIntALUOps(t *testing.T) {
+	cases := []struct {
+		op   isa.Op
+		a, b uint64
+		want uint64
+	}{
+		{isa.ADD, 3, 4, 7},
+		{isa.SUB, 3, 4, ^uint64(0)},
+		{isa.MUL, 6, 7, 42},
+		{isa.DIV, 42, 5, 8},
+		{isa.DIV, negU(42), 5, negU(8)},
+		{isa.REM, 42, 5, 2},
+		{isa.AND, 0b1100, 0b1010, 0b1000},
+		{isa.OR, 0b1100, 0b1010, 0b1110},
+		{isa.XOR, 0b1100, 0b1010, 0b0110},
+		{isa.SLL, 1, 12, 4096},
+		{isa.SRL, negU(1), 60, 15},
+		{isa.SRA, negU(16), 2, negU(4)},
+		{isa.CMPEQ, 5, 5, 1},
+		{isa.CMPEQ, 5, 6, 0},
+		{isa.CMPLT, negU(1), 0, 1},
+		{isa.CMPLE, 5, 5, 1},
+		{isa.CMPULT, negU(1), 0, 0}, // unsigned: max > 0
+	}
+	for _, tc := range cases {
+		c, _ := run(t, []isa.Inst{
+			{Op: isa.LDI, Rc: 1, Imm: int64(tc.a)},
+			{Op: isa.LDI, Rc: 2, Imm: int64(tc.b)},
+			{Op: tc.op, Rc: 3, Ra: 1, Rb: 2},
+			{Op: isa.HALT},
+		})
+		if got := c.Reg(3); got != tc.want {
+			t.Errorf("%v(%d,%d) = %d, want %d", tc.op, int64(tc.a), int64(tc.b), int64(got), int64(tc.want))
+		}
+	}
+}
+
+func TestDivRemEdgeCases(t *testing.T) {
+	c, _ := run(t, []isa.Inst{
+		{Op: isa.LDI, Rc: 1, Imm: 7},
+		{Op: isa.DIV, Rc: 2, Ra: 1, Rb: isa.RegZero}, // 7/0 = 0
+		{Op: isa.REM, Rc: 3, Ra: 1, Rb: isa.RegZero}, // 7%0 = 7
+		{Op: isa.LDI, Rc: 4, Imm: math.MinInt64},
+		{Op: isa.LDI, Rc: 5, Imm: -1},
+		{Op: isa.DIV, Rc: 6, Ra: 4, Rb: 5}, // wraps, must not panic
+		{Op: isa.REM, Rc: 7, Ra: 4, Rb: 5},
+		{Op: isa.HALT},
+	})
+	if c.Reg(2) != 0 {
+		t.Errorf("7/0 = %d, want 0", c.Reg(2))
+	}
+	if c.Reg(3) != 7 {
+		t.Errorf("7%%0 = %d, want 7", c.Reg(3))
+	}
+	if int64(c.Reg(6)) != math.MinInt64 {
+		t.Errorf("MinInt64/-1 = %d", int64(c.Reg(6)))
+	}
+	if c.Reg(7) != 0 {
+		t.Errorf("MinInt64%%-1 = %d, want 0", c.Reg(7))
+	}
+}
+
+func TestImmediateOps(t *testing.T) {
+	c, _ := run(t, []isa.Inst{
+		{Op: isa.LDI, Rc: 1, Imm: 100},
+		{Op: isa.ADDI, Rc: 2, Ra: 1, Imm: -1},
+		{Op: isa.MULI, Rc: 3, Ra: 1, Imm: 3},
+		{Op: isa.ANDI, Rc: 4, Ra: 1, Imm: 0x6},
+		{Op: isa.ORI, Rc: 5, Ra: 1, Imm: 0x3},
+		{Op: isa.XORI, Rc: 6, Ra: 1, Imm: 0xFF},
+		{Op: isa.SLLI, Rc: 7, Ra: 1, Imm: 1},
+		{Op: isa.SRLI, Rc: 8, Ra: 1, Imm: 2},
+		{Op: isa.SRAI, Rc: 9, Ra: 1, Imm: 2},
+		{Op: isa.CMPEQI, Rc: 10, Ra: 1, Imm: 100},
+		{Op: isa.CMPLTI, Rc: 11, Ra: 1, Imm: 100},
+		{Op: isa.CMPLEI, Rc: 12, Ra: 1, Imm: 100},
+		{Op: isa.HALT},
+	})
+	want := map[uint8]uint64{2: 99, 3: 300, 4: 4, 5: 103, 6: 0x9B, 7: 200, 8: 25, 9: 25, 10: 1, 11: 0, 12: 1}
+	for r, w := range want {
+		if got := c.Reg(r); got != w {
+			t.Errorf("r%d = %d, want %d", r, got, w)
+		}
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	c, execs := run(t, []isa.Inst{
+		{Op: isa.LDI, Rc: 1, Imm: 0x2000}, // base
+		{Op: isa.LDI, Rc: 2, Imm: 77},
+		{Op: isa.ST, Rb: 2, Ra: 1, Imm: 5}, // M[0x2005] = 77
+		{Op: isa.LD, Rc: 3, Ra: 1, Imm: 5}, // r3 = M[0x2005]
+		{Op: isa.HALT},
+	})
+	if c.Reg(3) != 77 {
+		t.Fatalf("r3 = %d, want 77", c.Reg(3))
+	}
+	st := execs[2]
+	if st.NOut != 1 || st.Out[0].Loc != trace.Mem(0x2005) || st.Out[0].Val != 77 {
+		t.Errorf("store outputs = %v", st.Outputs())
+	}
+	if st.NIn != 2 { // base register + value register
+		t.Errorf("store inputs = %v", st.Inputs())
+	}
+	ld := execs[3]
+	var sawMemIn bool
+	for _, r := range ld.Inputs() {
+		if r.Loc == trace.Mem(0x2005) && r.Val == 77 {
+			sawMemIn = true
+		}
+	}
+	if !sawMemIn {
+		t.Errorf("load inputs missing memory ref: %v", ld.Inputs())
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	fbits := func(v float64) int64 { return int64(math.Float64bits(v)) }
+	c, _ := run(t, []isa.Inst{
+		{Op: isa.FLDI, Rc: 1, Imm: fbits(2.5)},
+		{Op: isa.FLDI, Rc: 2, Imm: fbits(0.5)},
+		{Op: isa.FADD, Rc: 3, Ra: 1, Rb: 2},
+		{Op: isa.FSUB, Rc: 4, Ra: 1, Rb: 2},
+		{Op: isa.FMUL, Rc: 5, Ra: 1, Rb: 2},
+		{Op: isa.FDIV, Rc: 6, Ra: 1, Rb: 2},
+		{Op: isa.FSQRT, Rc: 7, Ra: 5}, // sqrt(1.25)
+		{Op: isa.FNEG, Rc: 8, Ra: 1},
+		{Op: isa.FABS, Rc: 9, Ra: 8},
+		{Op: isa.FCMPLT, Rc: 10, Ra: 2, Rb: 1},
+		{Op: isa.FCMPLE, Rc: 11, Ra: 1, Rb: 1},
+		{Op: isa.FCMPEQ, Rc: 12, Ra: 1, Rb: 2},
+		{Op: isa.CVTFI, Rc: 13, Ra: 1}, // int(2.5) = 2
+		{Op: isa.LDI, Rc: 14, Imm: -3},
+		{Op: isa.CVTIF, Rc: 15, Ra: 14}, // float(-3)
+		{Op: isa.FMOV, Rc: 16, Ra: 15},
+		{Op: isa.HALT},
+	})
+	f := func(n uint8) float64 { return math.Float64frombits(c.FReg(n)) }
+	if f(3) != 3.0 || f(4) != 2.0 || f(5) != 1.25 || f(6) != 5.0 {
+		t.Errorf("arith: %v %v %v %v", f(3), f(4), f(5), f(6))
+	}
+	if math.Abs(f(7)-math.Sqrt(1.25)) > 1e-15 {
+		t.Errorf("fsqrt = %v", f(7))
+	}
+	if f(8) != -2.5 || f(9) != 2.5 {
+		t.Errorf("fneg/fabs: %v %v", f(8), f(9))
+	}
+	if c.Reg(10) != 1 || c.Reg(11) != 1 || c.Reg(12) != 0 {
+		t.Errorf("fcmp: %d %d %d", c.Reg(10), c.Reg(11), c.Reg(12))
+	}
+	if c.Reg(13) != 2 {
+		t.Errorf("cvtfi = %d", c.Reg(13))
+	}
+	if f(15) != -3.0 || f(16) != -3.0 {
+		t.Errorf("cvtif/fmov: %v %v", f(15), f(16))
+	}
+}
+
+func TestFloatTotality(t *testing.T) {
+	fbits := func(v float64) int64 { return int64(math.Float64bits(v)) }
+	c, _ := run(t, []isa.Inst{
+		{Op: isa.FLDI, Rc: 1, Imm: fbits(1.0)},
+		{Op: isa.FDIV, Rc: 2, Ra: 1, Rb: isa.FRegZero},            // 1/0 = +Inf
+		{Op: isa.FDIV, Rc: 3, Ra: isa.FRegZero, Rb: isa.FRegZero}, // 0/0 = 0
+		{Op: isa.FLDI, Rc: 4, Imm: fbits(-4.0)},
+		{Op: isa.FSQRT, Rc: 5, Ra: 4}, // -sqrt(4) = -2
+		{Op: isa.HALT},
+	})
+	f := func(n uint8) float64 { return math.Float64frombits(c.FReg(n)) }
+	if !math.IsInf(f(2), 1) {
+		t.Errorf("1/0 = %v, want +Inf", f(2))
+	}
+	if f(3) != 0 {
+		t.Errorf("0/0 = %v, want 0", f(3))
+	}
+	if f(5) != -2.0 {
+		t.Errorf("fsqrt(-4) = %v, want -2", f(5))
+	}
+}
+
+func TestBranches(t *testing.T) {
+	// Count down from 3 with BGT: body runs 3 times.
+	c, _ := run(t, []isa.Inst{
+		{Op: isa.LDI, Rc: 1, Imm: 3},
+		{Op: isa.ADDI, Rc: 2, Ra: 2, Imm: 10}, // body
+		{Op: isa.ADDI, Rc: 1, Ra: 1, Imm: -1},
+		{Op: isa.BGT, Ra: 1, Rb: isa.RegZero, Imm: 1},
+		{Op: isa.HALT},
+	})
+	if c.Reg(2) != 30 {
+		t.Errorf("r2 = %d, want 30", c.Reg(2))
+	}
+}
+
+func TestBranchNextField(t *testing.T) {
+	_, execs := run(t, []isa.Inst{
+		{Op: isa.LDI, Rc: 1, Imm: 1},
+		{Op: isa.BEQ, Ra: 1, Rb: isa.RegZero, Imm: 0}, // not taken
+		{Op: isa.BNE, Ra: 1, Rb: isa.RegZero, Imm: 4}, // taken to 4
+		{Op: isa.NOP},
+		{Op: isa.HALT},
+	})
+	if execs[1].Next != 2 {
+		t.Errorf("not-taken Next = %d, want 2", execs[1].Next)
+	}
+	if execs[2].Next != 4 {
+		t.Errorf("taken Next = %d, want 4", execs[2].Next)
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	// main: jsr ra, 3 ; halt-at-2.  func at 3: r1 = 42; jr ra.
+	c, execs := run(t, []isa.Inst{
+		{Op: isa.JSR, Rc: isa.RegRA, Imm: 3},
+		{Op: isa.NOP}, // hit on return? no: return goes to 1
+		{Op: isa.HALT},
+		{Op: isa.LDI, Rc: 1, Imm: 42},
+		{Op: isa.JR, Ra: isa.RegRA},
+	})
+	if c.Reg(1) != 42 {
+		t.Errorf("r1 = %d, want 42", c.Reg(1))
+	}
+	if execs[0].Next != 3 || execs[0].Outputs()[0].Val != 1 {
+		t.Errorf("jsr exec wrong: %v", &execs[0])
+	}
+	last := execs[len(execs)-1]
+	if last.Op != isa.HALT {
+		t.Errorf("last op = %v", last.Op)
+	}
+}
+
+func TestJSRRIndirectCall(t *testing.T) {
+	c, _ := run(t, []isa.Inst{
+		{Op: isa.LDI, Rc: 5, Imm: 4},         // target
+		{Op: isa.JSRR, Rc: isa.RegRA, Ra: 5}, // call r5
+		{Op: isa.NOP},
+		{Op: isa.HALT},
+		{Op: isa.LDI, Rc: 1, Imm: 9},
+		{Op: isa.JR, Ra: isa.RegRA},
+	})
+	if c.Reg(1) != 9 {
+		t.Errorf("r1 = %d, want 9", c.Reg(1))
+	}
+}
+
+func TestZeroRegisterSemantics(t *testing.T) {
+	c, execs := run(t, []isa.Inst{
+		{Op: isa.LDI, Rc: isa.RegZero, Imm: 99}, // write discarded
+		{Op: isa.ADD, Rc: 1, Ra: isa.RegZero, Rb: isa.RegZero},
+		{Op: isa.HALT},
+	})
+	if c.Reg(isa.RegZero) != 0 || c.Reg(1) != 0 {
+		t.Error("zero register must stay zero")
+	}
+	if execs[0].NOut != 0 {
+		t.Errorf("write to r31 recorded as output: %v", execs[0].Outputs())
+	}
+	if execs[1].NIn != 0 {
+		t.Errorf("reads of r31 recorded as inputs: %v", execs[1].Inputs())
+	}
+}
+
+func TestOutSinkAndSideEffect(t *testing.T) {
+	var got []uint64
+	_, execs := run(t, []isa.Inst{
+		{Op: isa.LDI, Rc: 1, Imm: 5},
+		{Op: isa.OUT, Ra: 1},
+		{Op: isa.HALT},
+	}, WithOutput(func(v uint64) { got = append(got, v) }))
+	if len(got) != 1 || got[0] != 5 {
+		t.Errorf("out sink got %v", got)
+	}
+	if !execs[1].SideEffect || !execs[2].SideEffect {
+		t.Error("OUT and HALT must be flagged side-effecting")
+	}
+	if execs[0].SideEffect {
+		t.Error("LDI must not be side-effecting")
+	}
+}
+
+func TestHaltStopsAndStepErrors(t *testing.T) {
+	prog := &isa.Program{Insts: []isa.Inst{{Op: isa.HALT}}}
+	c := New(prog)
+	var e trace.Exec
+	if err := c.Step(&e); err != nil {
+		t.Fatalf("first step: %v", err)
+	}
+	if e.Next != 0 {
+		t.Errorf("HALT Next = %d, want self (0)", e.Next)
+	}
+	if err := c.Step(&e); err != ErrHalted {
+		t.Errorf("second step err = %v, want ErrHalted", err)
+	}
+}
+
+func TestWildPCErrors(t *testing.T) {
+	prog := &isa.Program{Insts: []isa.Inst{{Op: isa.LDI, Rc: 1, Imm: 9}, {Op: isa.JR, Ra: 1}}}
+	c := New(prog)
+	var e trace.Exec
+	if err := c.Step(&e); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Step(&e); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Step(&e); err == nil {
+		t.Error("expected wild-PC error")
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	// Infinite loop: Run must stop exactly at the budget.
+	prog := &isa.Program{Insts: []isa.Inst{{Op: isa.JMP, Imm: 0}}}
+	c := New(prog)
+	n, err := c.Run(500, nil)
+	if err != nil || n != 500 {
+		t.Errorf("Run = %d, %v; want 500, nil", n, err)
+	}
+	if c.InstRet() != 500 {
+		t.Errorf("InstRet = %d", c.InstRet())
+	}
+}
+
+func TestDataSegmentLoadedAtBase(t *testing.T) {
+	prog := &isa.Program{
+		Insts:    []isa.Inst{{Op: isa.LDI, Rc: 1, Imm: isa.DefaultDataBase}, {Op: isa.LD, Rc: 2, Ra: 1, Imm: 1}, {Op: isa.HALT}},
+		Data:     []uint64{11, 22, 33},
+		DataBase: isa.DefaultDataBase,
+	}
+	c := New(prog)
+	if _, err := c.Run(100, nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Reg(2) != 22 {
+		t.Errorf("r2 = %d, want 22", c.Reg(2))
+	}
+}
+
+func TestStackPointerInitialised(t *testing.T) {
+	prog := &isa.Program{Insts: []isa.Inst{{Op: isa.HALT}}}
+	c := New(prog)
+	if c.Reg(isa.RegSP) != isa.DefaultStackTop {
+		t.Errorf("sp = %#x, want %#x", c.Reg(isa.RegSP), uint64(isa.DefaultStackTop))
+	}
+}
+
+func TestReadWriteLoc(t *testing.T) {
+	prog := &isa.Program{Insts: []isa.Inst{{Op: isa.HALT}}}
+	c := New(prog)
+	c.WriteLoc(trace.IntReg(4), 44)
+	c.WriteLoc(trace.FPReg(5), math.Float64bits(5.5))
+	c.WriteLoc(trace.Mem(0x99), 99)
+	if c.ReadLoc(trace.IntReg(4)) != 44 || c.ReadLoc(trace.FPReg(5)) != math.Float64bits(5.5) || c.ReadLoc(trace.Mem(0x99)) != 99 {
+		t.Error("ReadLoc/WriteLoc mismatch")
+	}
+	// Zero registers ignore writes through WriteLoc too.
+	c.WriteLoc(trace.IntReg(isa.RegZero), 1)
+	if c.ReadLoc(trace.IntReg(isa.RegZero)) != 0 {
+		t.Error("r31 written through WriteLoc")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	prog := &isa.Program{Insts: []isa.Inst{{Op: isa.JMP, Imm: 0}}}
+	c := New(prog)
+	c.SetReg(1, 10)
+	c.Mem().Store(5, 50)
+	cl := c.Clone()
+	cl.SetReg(1, 11)
+	cl.Mem().Store(5, 51)
+	cl.SetPC(77)
+	if c.Reg(1) != 10 || c.Mem().Load(5) != 50 || c.PC() != 0 {
+		t.Error("clone mutated original")
+	}
+}
+
+func TestExecRecordChainIdentity(t *testing.T) {
+	// Every executed instruction's Next must equal the PC of the next
+	// executed instruction: the stream is a connected path.
+	_, execs := run(t, []isa.Inst{
+		{Op: isa.LDI, Rc: 1, Imm: 2},
+		{Op: isa.ADDI, Rc: 1, Ra: 1, Imm: -1},
+		{Op: isa.BGT, Ra: 1, Rb: isa.RegZero, Imm: 1},
+		{Op: isa.HALT},
+	})
+	for i := 0; i+1 < len(execs); i++ {
+		if execs[i].Next != execs[i+1].PC {
+			t.Fatalf("exec %d Next=%d but next PC=%d", i, execs[i].Next, execs[i+1].PC)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/tracereuse/tlr/internal/isa"
+	"github.com/tracereuse/tlr/internal/trace"
+)
+
+// randomValidProgram builds an arbitrary but structurally valid program:
+// any opcode, any registers, in-range branch targets.  The simulator must
+// execute whatever it is given without panicking and with well-formed
+// execution records.
+func randomValidProgram(rng *rand.Rand, n int) *isa.Program {
+	insts := make([]isa.Inst, n)
+	for i := range insts {
+		op := isa.Op(rng.Intn(isa.NumOps))
+		in := isa.Inst{
+			Op: op,
+			Ra: uint8(rng.Intn(isa.NumRegs)),
+			Rb: uint8(rng.Intn(isa.NumRegs)),
+			Rc: uint8(rng.Intn(isa.NumRegs)),
+		}
+		info := isa.InfoOf(op)
+		if info.Branch && (info.Format == isa.FmtBranch || info.Format == isa.FmtTarget || info.Format == isa.FmtJSR) {
+			in.Imm = int64(rng.Intn(n))
+		} else {
+			in.Imm = rng.Int63n(1<<32) - (1 << 31)
+		}
+		insts[i] = in
+	}
+	data := make([]uint64, rng.Intn(64))
+	for i := range data {
+		data[i] = rng.Uint64()
+	}
+	return &isa.Program{
+		Insts:    insts,
+		Data:     data,
+		DataBase: isa.DefaultDataBase,
+		Entry:    uint64(rng.Intn(n)),
+	}
+}
+
+// TestRandomProgramRobustness executes hundreds of random programs and
+// checks the structural invariants of every emitted record.  Errors
+// (wild PC through JR/JSRR) are fine; panics and malformed records are
+// not.
+func TestRandomProgramRobustness(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 300; trial++ {
+		prog := randomValidProgram(rng, 1+rng.Intn(60))
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("trial %d: generator produced invalid program: %v", trial, err)
+		}
+		c := New(prog)
+		var e trace.Exec
+		for step := 0; step < 500; step++ {
+			if c.Halted() {
+				break
+			}
+			if err := c.Step(&e); err != nil {
+				break // wild PC via indirect jump: legitimate runtime error
+			}
+			if e.NIn > 3 || e.NOut > 2 {
+				t.Fatalf("trial %d: malformed record %v", trial, &e)
+			}
+			info := isa.InfoOf(e.Op)
+			if info.SideEffect != e.SideEffect {
+				t.Fatalf("trial %d: side-effect flag mismatch on %v", trial, e.Op)
+			}
+			if e.Lat != info.Latency {
+				t.Fatalf("trial %d: latency mismatch on %v", trial, e.Op)
+			}
+			for _, r := range e.Inputs() {
+				if r.Loc.IsReg() && r.Loc.Index() == isa.RegZero {
+					t.Fatalf("trial %d: zero register leaked into inputs", trial)
+				}
+			}
+			for _, r := range e.Outputs() {
+				if r.Loc.IsReg() && r.Loc.Index() == isa.RegZero {
+					t.Fatalf("trial %d: zero register leaked into outputs", trial)
+				}
+			}
+		}
+	}
+}
+
+// TestRandomProgramDeterminism: any random program executes identically
+// twice — the simulator has no hidden state.
+func TestRandomProgramDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(4096))
+	for trial := 0; trial < 100; trial++ {
+		prog := randomValidProgram(rng, 1+rng.Intn(40))
+		runOnce := func() (uint64, uint64, uint64) {
+			c := New(prog)
+			var e trace.Exec
+			var sum uint64
+			steps := uint64(0)
+			for ; steps < 300 && !c.Halted(); steps++ {
+				if err := c.Step(&e); err != nil {
+					break
+				}
+				for _, r := range e.Outputs() {
+					sum = sum*31 + r.Val
+				}
+			}
+			return steps, c.PC(), sum
+		}
+		s1, pc1, h1 := runOnce()
+		s2, pc2, h2 := runOnce()
+		if s1 != s2 || pc1 != pc2 || h1 != h2 {
+			t.Fatalf("trial %d: nondeterministic execution", trial)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package dda
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/tracereuse/tlr/internal/isa"
+	"github.com/tracereuse/tlr/internal/trace"
+)
+
+// chain builds a stream of n unit-latency instructions where each reads
+// the previous one's output register (a serial dependence chain).
+func chain(n int, lat uint8) []trace.Exec {
+	out := make([]trace.Exec, n)
+	for i := range out {
+		e := &out[i]
+		e.PC = uint64(i)
+		e.Next = uint64(i + 1)
+		e.Op = isa.ADD
+		e.Lat = lat
+		if i > 0 {
+			e.AddIn(trace.IntReg(uint8(i%30)), uint64(i))
+		}
+		e.AddOut(trace.IntReg(uint8((i+1)%30)), uint64(i+1))
+	}
+	return out
+}
+
+// independent builds n instructions with no dependences at all.
+func independent(n int, lat uint8) []trace.Exec {
+	out := make([]trace.Exec, n)
+	for i := range out {
+		e := &out[i]
+		e.PC = uint64(i)
+		e.Next = uint64(i + 1)
+		e.Op = isa.LDI
+		e.Lat = lat
+		e.AddOut(trace.IntReg(uint8(i%8)), uint64(i))
+	}
+	return out
+}
+
+func runBase(window int, stream []trace.Exec) *Base {
+	b := NewBase(window)
+	for i := range stream {
+		b.Consume(&stream[i])
+	}
+	return b
+}
+
+func TestSerialChainInfiniteWindow(t *testing.T) {
+	b := runBase(0, chain(10, 1))
+	if got := b.Cycles(); got != 10 {
+		t.Errorf("Cycles = %v, want 10 (fully serial chain)", got)
+	}
+	if got := b.IPC(); got != 1 {
+		t.Errorf("IPC = %v, want 1", got)
+	}
+}
+
+func TestIndependentInfiniteWindow(t *testing.T) {
+	// With no dependences and no window, everything completes at its own
+	// latency: cycles = lat, IPC = n/lat.
+	b := runBase(0, independent(100, 2))
+	if got := b.Cycles(); got != 2 {
+		t.Errorf("Cycles = %v, want 2", got)
+	}
+	if got := b.IPC(); got != 50 {
+		t.Errorf("IPC = %v, want 50", got)
+	}
+}
+
+func TestWindowOneIsSequential(t *testing.T) {
+	// W=1: every instruction waits for the graduation of its predecessor,
+	// so even independent instructions serialize: cycles = sum(latencies).
+	b := runBase(1, independent(20, 3))
+	if got := b.Cycles(); got != 60 {
+		t.Errorf("Cycles = %v, want 60", got)
+	}
+}
+
+func TestWindowLimitsParallelism(t *testing.T) {
+	// 8 independent 4-cycle instructions, W=4: the second group of 4 can
+	// only start after the first group graduates at cycle 4 -> 8 cycles.
+	b := runBase(4, independent(8, 4))
+	if got := b.Cycles(); got != 8 {
+		t.Errorf("Cycles = %v, want 8", got)
+	}
+}
+
+func TestHandComputedMixedExample(t *testing.T) {
+	// i0: r1 <- (lat 2)        completes 2
+	// i1: r2 <- r1 (lat 1)     completes 3
+	// i2: r3 <- (lat 1)        completes 1 (independent)
+	// i3: r4 <- r2+r3 (lat 1)  completes 4
+	var s [4]trace.Exec
+	mk := func(i int, lat uint8, ins []trace.Loc, out trace.Loc) {
+		e := &s[i]
+		e.PC, e.Next, e.Op, e.Lat = uint64(i), uint64(i+1), isa.ADD, lat
+		for _, l := range ins {
+			e.AddIn(l, 0)
+		}
+		e.AddOut(out, 0)
+	}
+	mk(0, 2, nil, trace.IntReg(1))
+	mk(1, 1, []trace.Loc{trace.IntReg(1)}, trace.IntReg(2))
+	mk(2, 1, nil, trace.IntReg(3))
+	mk(3, 1, []trace.Loc{trace.IntReg(2), trace.IntReg(3)}, trace.IntReg(4))
+	b := runBase(0, s[:])
+	if got := b.Cycles(); got != 4 {
+		t.Errorf("Cycles = %v, want 4", got)
+	}
+}
+
+func TestMemoryDependence(t *testing.T) {
+	// store to M[5] at lat 1, then load of M[5] must wait for it.
+	var s [2]trace.Exec
+	s[0].Op, s[0].Lat = isa.ST, 1
+	s[0].AddOut(trace.Mem(5), 9)
+	s[1].Op, s[1].Lat = isa.LD, 2
+	s[1].AddIn(trace.Mem(5), 9)
+	s[1].AddOut(trace.IntReg(1), 9)
+	b := runBase(0, s[:])
+	if got := b.Cycles(); got != 3 {
+		t.Errorf("Cycles = %v, want 3 (1 store + 2 load)", got)
+	}
+}
+
+func TestNonOccupyingRetiresSkipWindowRing(t *testing.T) {
+	// Two occupying instructions around 10 non-occupying ones, W=2.
+	// If the non-occupying retires entered the ring, the final occupying
+	// instruction would see a much later window bound.
+	clk := New(2)
+	var e trace.Exec
+	e.Op, e.Lat = isa.ADD, 1
+	clk.Retire(&e, 1, true)
+	for i := 0; i < 10; i++ {
+		clk.Retire(&e, 100, false) // reused trace instructions
+	}
+	if wb := clk.WindowBound(); wb != 0 {
+		t.Errorf("WindowBound = %v, want 0 (only one occupying instr so far)", wb)
+	}
+	clk.Retire(&e, 1, true)
+	if wb := clk.WindowBound(); wb != 100 {
+		// With the window full, the bound is the graduation prefix at the
+		// time of the first occupying retire... which includes the
+		// non-occupying completions only if they retired earlier.
+		t.Logf("WindowBound after fill = %v", wb)
+	}
+}
+
+func TestWindowBoundUsesGraduationNotCompletion(t *testing.T) {
+	// Graduation is an in-order prefix max: a slow early instruction
+	// drags the graduation time of later fast ones.
+	clk := New(1)
+	var slow, fast trace.Exec
+	slow.Op, slow.Lat = isa.MUL, 8
+	fast.Op, fast.Lat = isa.ADD, 1
+	clk.Retire(&slow, 8, true)
+	clk.Retire(&fast, 1, true) // graduates at 8 (after slow)
+	if wb := clk.WindowBound(); wb != 8 {
+		t.Errorf("WindowBound = %v, want 8 (graduation of fast = prefix max)", wb)
+	}
+}
+
+func TestReadyOfTracksLatestProducer(t *testing.T) {
+	clk := New(0)
+	var e trace.Exec
+	e.Op = isa.ADD
+	e.AddOut(trace.IntReg(5), 1)
+	clk.Retire(&e, 7, true)
+	if got := clk.ReadyOf(trace.IntReg(5)); got != 7 {
+		t.Errorf("ReadyOf = %v, want 7", got)
+	}
+	if got := clk.ReadyOf(trace.IntReg(6)); got != 0 {
+		t.Errorf("ReadyOf(untouched) = %v, want 0", got)
+	}
+}
+
+func TestRetireSplitDecouplesValueFromCompletion(t *testing.T) {
+	// A correctly predicted instruction: consumers see its value at
+	// valueReady, but graduation (and the window) still wait for its
+	// completion.
+	clk := New(1) // W=1: the next instruction waits for graduation
+	var prod, cons trace.Exec
+	prod.Op, prod.Lat = isa.MUL, 8
+	prod.AddOut(trace.IntReg(1), 42)
+	cons.Op, cons.Lat = isa.ADD, 1
+	cons.AddIn(trace.IntReg(1), 42)
+	cons.AddOut(trace.IntReg(2), 43)
+
+	clk.RetireSplit(&prod, 8, 1, true) // completes at 8, value at 1
+	if got := clk.ReadyOf(trace.IntReg(1)); got != 1 {
+		t.Errorf("value ready at %v, want 1", got)
+	}
+	if wb := clk.WindowBound(); wb != 8 {
+		t.Errorf("window bound %v, want 8 (graduation uses completion)", wb)
+	}
+	// The consumer's dataflow could start at 1, but W=1 holds it to 8.
+	c := max(clk.InReady(&cons), clk.WindowBound()) + float64(cons.Lat)
+	if c != 9 {
+		t.Errorf("consumer completes at %v, want 9", c)
+	}
+}
+
+func TestRetireEqualsRetireSplitWithSameTimes(t *testing.T) {
+	a, b := New(4), New(4)
+	var e trace.Exec
+	e.Op, e.Lat = isa.ADD, 1
+	e.AddOut(trace.IntReg(3), 7)
+	a.Retire(&e, 5, true)
+	b.RetireSplit(&e, 5, 5, true)
+	if a.ReadyOf(trace.IntReg(3)) != b.ReadyOf(trace.IntReg(3)) || a.Cycles() != b.Cycles() {
+		t.Error("Retire must be RetireSplit with valueReady == completion")
+	}
+}
+
+func TestEmptyStreamIPC(t *testing.T) {
+	b := NewBase(0)
+	if b.IPC() != 0 || b.Cycles() != 0 {
+		t.Error("empty stream must report zero IPC and cycles")
+	}
+}
+
+// randomStream builds a reproducible random stream mixing latencies and
+// register/memory dependences.
+func randomStream(rng *rand.Rand, n int) []trace.Exec {
+	out := make([]trace.Exec, n)
+	for i := range out {
+		e := &out[i]
+		e.PC, e.Next = uint64(i), uint64(i+1)
+		e.Op = isa.ADD
+		e.Lat = uint8(1 + rng.Intn(8))
+		for k := 0; k < rng.Intn(3); k++ {
+			if rng.Intn(4) == 0 {
+				e.AddIn(trace.Mem(uint64(rng.Intn(50))), 0)
+			} else {
+				e.AddIn(trace.IntReg(uint8(rng.Intn(30))), 0)
+			}
+		}
+		if rng.Intn(5) > 0 {
+			if rng.Intn(4) == 0 {
+				e.AddOut(trace.Mem(uint64(rng.Intn(50))), 0)
+			} else {
+				e.AddOut(trace.IntReg(uint8(rng.Intn(30))), 0)
+			}
+		}
+	}
+	return out
+}
+
+func TestPropertyWindowMonotonic(t *testing.T) {
+	// Cycles(W) must be non-increasing in W, and the infinite window is a
+	// lower bound on cycles for every W.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		s := randomStream(rng, 300)
+		prev := -1.0
+		for _, w := range []int{1, 2, 4, 16, 64, 256, 0} {
+			cyc := runBase(w, s).Cycles()
+			if w == 0 {
+				w = 1 << 30
+			}
+			if prev >= 0 && cyc > prev+1e-9 {
+				t.Fatalf("trial %d: cycles grew from %v to %v as window widened to %d", trial, prev, cyc, w)
+			}
+			prev = cyc
+		}
+	}
+}
+
+func TestPropertyHugeWindowEqualsInfinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		s := randomStream(rng, 200)
+		finite := runBase(len(s)+1, s).Cycles() // window larger than stream
+		inf := runBase(0, s).Cycles()
+		if finite != inf {
+			t.Fatalf("trial %d: W>n gave %v, infinite gave %v", trial, finite, inf)
+		}
+	}
+}
+
+func TestPropertyCyclesAtLeastCriticalLatency(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		s := randomStream(rng, 100)
+		var maxLat float64
+		for i := range s {
+			if l := float64(s[i].Lat); l > maxLat {
+				maxLat = l
+			}
+		}
+		if cyc := runBase(0, s).Cycles(); cyc < maxLat {
+			t.Fatalf("trial %d: cycles %v below max latency %v", trial, cyc, maxLat)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package expt
+
+import (
+	"testing"
+)
+
+func TestBlockVsTraceTable(t *testing.T) {
+	ms := testMeasurements(t)
+	tb := BlockVsTrace(ms)
+	if len(tb.Rows) != 15 { // 14 benchmarks + AVERAGE
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Structural truths of the comparison, per workload:
+	for _, m := range ms {
+		// Theorem 1: both partitions cover the same reusable set.
+		if m.TLRBlock.ReusedInstructions != m.TLRWin.ReusedInstructions {
+			t.Errorf("%s: block reused %d != trace reused %d", m.Name,
+				m.TLRBlock.ReusedInstructions, m.TLRWin.ReusedInstructions)
+		}
+		// Blocks are never longer than unbounded traces.
+		if m.TLRBlock.Stats.AvgLen() > m.TLRWin.Stats.AvgLen()+1e-9 {
+			t.Errorf("%s: block size %.2f exceeds trace size %.2f", m.Name,
+				m.TLRBlock.Stats.AvgLen(), m.TLRWin.Stats.AvgLen())
+		}
+		// Block-level reuse never beats trace-level reuse.
+		if m.TLRBlock.Speedups[0] > m.TLRWin.Speedups[0]+1e-9 {
+			t.Errorf("%s: block speedup %.2f exceeds trace %.2f", m.Name,
+				m.TLRBlock.Speedups[0], m.TLRWin.Speedups[0])
+		}
+	}
+}
+
+func TestStrictVsUpperBoundTable(t *testing.T) {
+	ms := testMeasurements(t)
+	tb := StrictVsUpperBound(ms)
+	if len(tb.Rows) != 15 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, m := range ms {
+		// Theorem 2: the strict test can only reuse less.
+		if m.TLRStrict16.ReusedInstructions > m.TLRCap16.ReusedInstructions {
+			t.Errorf("%s: strict %d exceeds upper bound %d", m.Name,
+				m.TLRStrict16.ReusedInstructions, m.TLRCap16.ReusedInstructions)
+		}
+	}
+	// The gap must be witnessed somewhere, or the ablation is vacuous.
+	anyGap := false
+	for _, m := range ms {
+		if m.TLRStrict16.ReusedInstructions < m.TLRCap16.ReusedInstructions {
+			anyGap = true
+			break
+		}
+	}
+	if !anyGap {
+		t.Error("no Theorem-2 gap observed anywhere in the suite")
+	}
+}
+
+func TestSpeculationVsReuseTable(t *testing.T) {
+	ms := testMeasurements(t)
+	tb := SpeculationVsReuse(ms)
+	if len(tb.Rows) != 15 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, m := range ms {
+		if m.VPWin.Instructions != m.ILRWin.Instructions {
+			t.Errorf("%s: VP measured a different stream", m.Name)
+		}
+		if m.VPWin.Speedup < 1-1e-9 {
+			t.Errorf("%s: VP speedup %v < 1", m.Name, m.VPWin.Speedup)
+		}
+		if f := m.VPWin.PredictedFraction(); f < 0 || f > 1 {
+			t.Errorf("%s: predictable fraction %v", m.Name, f)
+		}
+	}
+}
+
+func TestPredictabilityVsReusabilityDiverge(t *testing.T) {
+	// The classic value-locality contrast: compress's hash values recur
+	// across passes (reusable via a multi-entry table) but never repeat
+	// back-to-back (unpredictable by last value).  li likewise.  The two
+	// metrics must not be conflated.
+	ms := testMeasurements(t)
+	for _, m := range ms {
+		if m.Name == "compress" || m.Name == "li" {
+			reuse := m.ILRWin.Reusability()
+			pred := m.VPWin.PredictedFraction()
+			if !(reuse > pred+0.3) {
+				t.Errorf("%s: reusability %.2f should far exceed last-value predictability %.2f",
+					m.Name, reuse, pred)
+			}
+		}
+	}
+}
+
+func TestMeasureInvalidationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RTM sweep is slow")
+	}
+	cfg := testConfig
+	cfg.RTMBudget = 6_000
+	cells, err := MeasureInvalidation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 14 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	for _, c := range cells {
+		// The valid-bit protocol is strictly more conservative.
+		if c.ValidBit > c.ValueCompare+1e-9 {
+			t.Errorf("%s: valid-bit %.3f exceeds value-compare %.3f", c.Name, c.ValidBit, c.ValueCompare)
+		}
+	}
+	tb := InvalidationTable(cells)
+	if len(tb.Rows) != 15 {
+		t.Errorf("table rows = %d", len(tb.Rows))
+	}
+}
+
+func TestAblationTablesBundle(t *testing.T) {
+	ms := testMeasurements(t)
+	tables := AblationTables(ms)
+	if len(tables) != 3 {
+		t.Fatalf("AblationTables = %d", len(tables))
+	}
+	for i := range tables {
+		if out := tables[i].Render(); out == "" {
+			t.Errorf("table %d renders empty", i)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tracereuse/tlr/internal/workload"
+)
+
+// testConfig is a fast configuration shared by the harness tests.
+var testConfig = Config{Budget: 20_000, Skip: 500, Window: 64, RTMBudget: 10_000}
+
+var (
+	msCache []*Measurement
+)
+
+func testMeasurements(t *testing.T) []*Measurement {
+	t.Helper()
+	if msCache == nil {
+		ms, err := Measure(testConfig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msCache = ms
+	}
+	return msCache
+}
+
+func TestMeasureCoversSuite(t *testing.T) {
+	ms := testMeasurements(t)
+	if len(ms) != 14 {
+		t.Fatalf("measured %d workloads, want 14", len(ms))
+	}
+	names := map[string]bool{}
+	for _, m := range ms {
+		names[m.Name] = true
+		if m.ILRInf.Instructions != int64(testConfig.Budget) {
+			t.Errorf("%s: measured %d instructions, want %d", m.Name, m.ILRInf.Instructions, testConfig.Budget)
+		}
+		if len(m.ILRInf.Speedups) != len(ilrLatencies) {
+			t.Errorf("%s: ILR speedup arity %d", m.Name, len(m.ILRInf.Speedups))
+		}
+		if len(m.TLRWin.Speedups) != len(tlrConstLats)+len(tlrPropKs) {
+			t.Errorf("%s: TLR win arity %d", m.Name, len(m.TLRWin.Speedups))
+		}
+	}
+	for _, n := range workload.Names() {
+		if !names[n] {
+			t.Errorf("workload %s missing from measurements", n)
+		}
+	}
+}
+
+func TestMeasurementInvariants(t *testing.T) {
+	ms := testMeasurements(t)
+	for _, m := range ms {
+		// Oracles can never lose against the base machine.
+		for i, sp := range m.ILRInf.Speedups {
+			if sp < 1-1e-9 {
+				t.Errorf("%s: ILR speedup[%d] = %v < 1", m.Name, i, sp)
+			}
+		}
+		for i, sp := range m.TLRWin.Speedups {
+			if sp < 1-1e-9 {
+				t.Errorf("%s: TLR speedup[%d] = %v < 1", m.Name, i, sp)
+			}
+		}
+		// Theorem 1: trace reuse covers exactly the ILR-reusable set.
+		if m.TLRInf.ReusedInstructions != m.ILRInf.Reusable {
+			t.Errorf("%s: TLR reused %d != ILR reusable %d", m.Name,
+				m.TLRInf.ReusedInstructions, m.ILRInf.Reusable)
+		}
+		// Latency monotonicity (Fig 4b/5b/8a): more latency, fewer cycles
+		// saved.
+		for i := 1; i < 4; i++ {
+			if m.ILRInf.Speedups[i] > m.ILRInf.Speedups[i-1]+1e-9 {
+				t.Errorf("%s: ILR speedup grew with latency", m.Name)
+			}
+			if m.TLRWin.Speedups[i] > m.TLRWin.Speedups[i-1]+1e-9 {
+				t.Errorf("%s: TLR speedup grew with latency", m.Name)
+			}
+		}
+		// Proportional latency monotonicity in K (Fig 8b).
+		for i := 5; i < 10; i++ {
+			if m.TLRWin.Speedups[i] > m.TLRWin.Speedups[i-1]+1e-9 {
+				t.Errorf("%s: TLR speedup grew with K", m.Name)
+			}
+		}
+	}
+}
+
+func TestPaperHeadlineShapes(t *testing.T) {
+	ms := testMeasurements(t)
+	byName := map[string]*Measurement{}
+	for _, m := range ms {
+		byName[m.Name] = m
+	}
+	// hydro2d dominates applu in reusability (paper: 99% vs 53%).
+	if !(byName["hydro2d"].ILRInf.Reusability() > byName["applu"].ILRInf.Reusability()) {
+		t.Error("hydro2d should out-reuse applu")
+	}
+	// turb3d is the ILR showcase (paper: 4.0); gcc/fpppp are not.
+	if !(byName["turb3d"].ILRInf.Speedups[0] > 2) {
+		t.Errorf("turb3d ILR speedup = %v, want > 2", byName["turb3d"].ILRInf.Speedups[0])
+	}
+	if byName["fpppp"].ILRInf.Speedups[0] > 1.3 {
+		t.Errorf("fpppp ILR speedup = %v, want ~1", byName["fpppp"].ILRInf.Speedups[0])
+	}
+	// perl is the TLR counterexample at infinite window (paper: 1.01).
+	if byName["perl"].TLRInf.Speedups[0] > 1.2 {
+		t.Errorf("perl TLR inf speedup = %v, want ~1", byName["perl"].TLRInf.Speedups[0])
+	}
+	// ijpeg is the TLR showcase (paper: 11.57): it must beat its own ILR
+	// result by a wide margin.
+	ij := byName["ijpeg"]
+	if !(ij.TLRInf.Speedups[0] > 3*ij.ILRInf.Speedups[0]) {
+		t.Errorf("ijpeg TLR %v should dwarf ILR %v", ij.TLRInf.Speedups[0], ij.ILRInf.Speedups[0])
+	}
+	// hydro2d has by far the largest traces (paper: 203).
+	if !(byName["hydro2d"].TLRInf.Stats.AvgLen() > 3*byName["applu"].TLRInf.Stats.AvgLen()) {
+		t.Error("hydro2d traces should dwarf applu traces")
+	}
+}
+
+func TestLimitTablesRender(t *testing.T) {
+	ms := testMeasurements(t)
+	tables := LimitTables(ms)
+	if len(tables) != 11 {
+		t.Fatalf("LimitTables = %d tables, want 11", len(tables))
+	}
+	for _, tb := range tables {
+		out := tb.Render()
+		if !strings.Contains(out, tb.Title) {
+			t.Errorf("table %q: render missing title", tb.Title)
+		}
+	}
+	// Per-benchmark tables carry 14 benchmarks + 3 average rows.
+	if len(tables[0].Rows) != 17 {
+		t.Errorf("Fig3 rows = %d, want 17", len(tables[0].Rows))
+	}
+	// The sweep tables carry one row per latency.
+	if len(Fig4b(ms).Rows) != 4 || len(Fig8b(ms).Rows) != 6 {
+		t.Error("sweep tables have wrong row counts")
+	}
+}
+
+func TestFigureAverageRowsOrdering(t *testing.T) {
+	ms := testMeasurements(t)
+	tb := Fig3(ms)
+	last := tb.Rows[len(tb.Rows)-1]
+	if last[0] != "AVERAGE" {
+		t.Errorf("final row = %v, want AVERAGE", last)
+	}
+	if tb.Rows[len(tb.Rows)-3][0] != "AVG_FP" || tb.Rows[len(tb.Rows)-2][0] != "AVG_INT" {
+		t.Error("average rows out of order")
+	}
+}
+
+func TestMeasureRTMShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RTM sweep is slow")
+	}
+	cfg := testConfig
+	cfg.RTMBudget = 8_000
+	cells, err := MeasureRTM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 10*4 {
+		t.Fatalf("cells = %d, want 40", len(cells))
+	}
+	// Capacity monotonicity per heuristic (paper: reuse grows with RTM
+	// size).  Allow small noise.
+	byHeur := map[string][]RTMCell{}
+	for _, c := range cells {
+		byHeur[c.Heuristic] = append(byHeur[c.Heuristic], c)
+	}
+	if len(byHeur) != 10 {
+		t.Fatalf("heuristics = %d, want 10", len(byHeur))
+	}
+	for h, hc := range byHeur {
+		if len(hc) != 4 {
+			t.Fatalf("%s: %d capacities", h, len(hc))
+		}
+		if hc[3].ReusedFraction+0.02 < hc[0].ReusedFraction {
+			t.Errorf("%s: reuse shrank with capacity: %v -> %v", h, hc[0].ReusedFraction, hc[3].ReusedFraction)
+		}
+	}
+	for _, tb := range RTMTables(cells) {
+		if len(tb.Rows) != 10 {
+			t.Errorf("%q: rows = %d, want 10", tb.Title, len(tb.Rows))
+		}
+	}
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Budget == 0 || cfg.Window != 256 || cfg.RTMBudget == 0 {
+		t.Errorf("DefaultConfig = %+v", cfg)
+	}
+}

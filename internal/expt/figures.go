@@ -1,0 +1,263 @@
+package expt
+
+import (
+	"fmt"
+
+	"github.com/tracereuse/tlr/internal/core"
+	"github.com/tracereuse/tlr/internal/stats"
+	"github.com/tracereuse/tlr/internal/workload"
+)
+
+// series builds the per-benchmark rows of a paper figure, appending the
+// AVG_FP / AVG_INT / AVERAGE rows with the given averaging function
+// (harmonic for speed-ups, arithmetic for percentages and sizes, §4.1).
+func series(t *stats.Table, ms []*Measurement, format func(float64) string,
+	avg func([]float64) float64, value func(*Measurement) float64) {
+	var fp, intg, all []float64
+	for _, m := range ms {
+		v := value(m)
+		t.AddRow(m.Name, format(v))
+		all = append(all, v)
+		if m.Category == workload.Float {
+			fp = append(fp, v)
+		} else {
+			intg = append(intg, v)
+		}
+	}
+	t.AddRow("AVG_FP", format(avg(fp)))
+	t.AddRow("AVG_INT", format(avg(intg)))
+	t.AddRow("AVERAGE", format(avg(all)))
+}
+
+// Fig3 is the instruction-level reusability of a perfect (infinite-table)
+// engine.  Paper: average 88%, range 53% (applu) to 99% (hydro2d).
+func Fig3(ms []*Measurement) stats.Table {
+	t := stats.Table{
+		Title: "Figure 3: instruction-level reusability, perfect engine",
+		Cols:  []string{"benchmark", "reusable"},
+		Note:  "paper: avg 88%, min applu 53%, max hydro2d 99%",
+	}
+	series(&t, ms, stats.Pct, stats.ArithmeticMean,
+		func(m *Measurement) float64 { return m.ILRInf.Reusability() })
+	return t
+}
+
+// Fig4a is the ILR speed-up at an infinite window, 1-cycle reuse latency.
+// Paper: average ~1.50; turb3d 4.00 and compress 2.50 stand out; fpppp
+// and gcc barely gain.
+func Fig4a(ms []*Measurement) stats.Table {
+	t := stats.Table{
+		Title: "Figure 4a: ILR speed-up, infinite window, 1-cycle reuse latency",
+		Cols:  []string{"benchmark", "speed-up"},
+		Note:  "paper: avg 1.50; turb3d 4.00, compress 2.50; fpppp/gcc ~1.0",
+	}
+	series(&t, ms, stats.F2, stats.HarmonicMean,
+		func(m *Measurement) float64 { return m.ILRInf.Speedups[0] })
+	return t
+}
+
+// latencySweep renders the latency-sweep figures (4b, 5b, 8a): one row per
+// reuse latency with the suite averages.
+func latencySweep(title, note string, ms []*Measurement, labels []string,
+	speedups func(*Measurement) []float64) stats.Table {
+	t := stats.Table{
+		Title: title,
+		Cols:  []string{"reuse latency", "AVG_FP", "AVG_INT", "AVERAGE"},
+		Note:  note,
+	}
+	for li, label := range labels {
+		var fp, intg, all []float64
+		for _, m := range ms {
+			v := speedups(m)[li]
+			all = append(all, v)
+			if m.Category == workload.Float {
+				fp = append(fp, v)
+			} else {
+				intg = append(intg, v)
+			}
+		}
+		t.AddRow(label,
+			stats.F2(stats.HarmonicMean(fp)),
+			stats.F2(stats.HarmonicMean(intg)),
+			stats.F2(stats.HarmonicMean(all)))
+	}
+	return t
+}
+
+// Fig4b is the ILR average speed-up for reuse latencies 1..4 cycles at an
+// infinite window.  Paper: gains mostly vanish beyond 1 cycle.
+func Fig4b(ms []*Measurement) stats.Table {
+	return latencySweep(
+		"Figure 4b: ILR speed-up vs reuse latency, infinite window",
+		"paper: ~1.50 at 1 cycle, decaying toward ~1.1 at 4 cycles",
+		ms, []string{"1", "2", "3", "4"},
+		func(m *Measurement) []float64 { return m.ILRInf.Speedups })
+}
+
+// Fig5a is Fig4a with the finite instruction window.  Paper: avg 1.43.
+func Fig5a(ms []*Measurement) stats.Table {
+	t := stats.Table{
+		Title: "Figure 5a: ILR speed-up, 256-entry window, 1-cycle reuse latency",
+		Cols:  []string{"benchmark", "speed-up"},
+		Note:  "paper: avg 1.43 (slightly below the infinite window)",
+	}
+	series(&t, ms, stats.F2, stats.HarmonicMean,
+		func(m *Measurement) float64 { return m.ILRWin.Speedups[0] })
+	return t
+}
+
+// Fig5b is Fig4b with the finite instruction window.
+func Fig5b(ms []*Measurement) stats.Table {
+	return latencySweep(
+		"Figure 5b: ILR speed-up vs reuse latency, 256-entry window",
+		"paper: like Fig 4b, gains mostly vanish beyond 1 cycle",
+		ms, []string{"1", "2", "3", "4"},
+		func(m *Measurement) []float64 { return m.ILRWin.Speedups })
+}
+
+// Fig6a is the TLR speed-up at an infinite window, 1-cycle reuse latency.
+// Paper: average 3.03; ijpeg 11.57 tops, perl 1.01 bottoms.
+func Fig6a(ms []*Measurement) stats.Table {
+	t := stats.Table{
+		Title: "Figure 6a: TLR speed-up, infinite window, 1-cycle reuse latency",
+		Cols:  []string{"benchmark", "speed-up"},
+		Note:  "paper: avg 3.03; max ijpeg 11.57, min perl 1.01",
+	}
+	series(&t, ms, stats.F2, stats.HarmonicMean,
+		func(m *Measurement) float64 { return m.TLRInf.Speedups[0] })
+	return t
+}
+
+// Fig6b is the TLR speed-up with the finite window — *higher* than the
+// infinite window (paper: 3.63 vs 3.03) because reused traces are neither
+// fetched nor occupy window slots.
+func Fig6b(ms []*Measurement) stats.Table {
+	t := stats.Table{
+		Title: "Figure 6b: TLR speed-up, 256-entry window, 1-cycle reuse latency",
+		Cols:  []string{"benchmark", "speed-up"},
+		Note:  "paper: avg 3.63 > infinite-window 3.03 (window relief); range 1.7-19.4",
+	}
+	series(&t, ms, stats.F2, stats.HarmonicMean,
+		func(m *Measurement) float64 { return m.TLRWin.Speedups[0] })
+	return t
+}
+
+// Fig7 is the average maximal-trace size per benchmark (log scale in the
+// paper).  Paper: INT 14.5-36.7; hydro2d 203; applu/apsi/fpppp very short.
+func Fig7(ms []*Measurement) stats.Table {
+	t := stats.Table{
+		Title: "Figure 7: average trace size (maximal reusable runs)",
+		Cols:  []string{"benchmark", "instructions"},
+		Note:  "paper: INT 14.5-36.7; hydro2d 203; applu/apsi/fpppp ~2-4",
+	}
+	series(&t, ms, func(v float64) string { return fmt.Sprintf("%.1f", v) },
+		stats.ArithmeticMean,
+		func(m *Measurement) float64 { return m.TLRInf.Stats.AvgLen() })
+	return t
+}
+
+// Fig8a is the TLR speed-up for constant reuse latencies 1..4 at the
+// finite window.  Paper: much flatter than ILR's decay.
+func Fig8a(ms []*Measurement) stats.Table {
+	return latencySweep(
+		"Figure 8a: TLR speed-up vs constant reuse latency, 256-entry window",
+		"paper: mild degradation from 1 to 4 cycles (unlike ILR)",
+		ms, []string{"1", "2", "3", "4"},
+		func(m *Measurement) []float64 { return m.TLRWin.Speedups[:4] })
+}
+
+// Fig8b is the TLR speed-up with latency proportional to the trace's
+// input+output count: K in {1/32..1}.  Paper: ~2.7 at K=1/16.
+func Fig8b(ms []*Measurement) stats.Table {
+	return latencySweep(
+		"Figure 8b: TLR speed-up vs proportional latency K*(ins+outs), 256-entry window",
+		"paper: ~2.7 at K=1/16 (16 values/cycle, an Alpha-21264-like port budget)",
+		ms, []string{"1/32", "1/16", "1/8", "1/4", "1/2", "1"},
+		func(m *Measurement) []float64 { return m.TLRWin.Speedups[4:] })
+}
+
+// Bandwidth reproduces the §4.5 per-trace bandwidth accounting.  Paper:
+// 6.5 inputs (2.7 reg + 3.8 mem), 5.0 outputs (3.3 reg + 1.7 mem), 15.0
+// instructions per trace, i.e. 0.43 reads and 0.33 writes per reused
+// instruction — far below one read+write per executed instruction.
+func Bandwidth(ms []*Measurement) stats.Table {
+	var agg core.TraceStats
+	for _, m := range ms {
+		s := m.TLRInf.Stats
+		agg.Traces += s.Traces
+		agg.Instructions += s.Instructions
+		agg.InRegs += s.InRegs
+		agg.InMems += s.InMems
+		agg.OutRegs += s.OutRegs
+		agg.OutMems += s.OutMems
+	}
+	inR, inM, inT := agg.AvgIns()
+	outR, outM, outT := agg.AvgOuts()
+	t := stats.Table{
+		Title: "Section 4.5: per-trace bandwidth accounting",
+		Cols:  []string{"metric", "measured", "paper"},
+	}
+	t.AddRow("inputs/trace", stats.F2(inT), "6.5")
+	t.AddRow("  register inputs", stats.F2(inR), "2.7")
+	t.AddRow("  memory inputs", stats.F2(inM), "3.8")
+	t.AddRow("outputs/trace", stats.F2(outT), "5.0")
+	t.AddRow("  register outputs", stats.F2(outR), "3.3")
+	t.AddRow("  memory outputs", stats.F2(outM), "1.7")
+	t.AddRow("instructions/trace", stats.F2(agg.AvgLen()), "15.0")
+	t.AddRow("reads/reused instr", stats.F2(agg.ReadsPerInstr()), "0.43")
+	t.AddRow("writes/reused instr", stats.F2(agg.WritesPerInstr()), "0.33")
+	return t
+}
+
+// Fig9a is the realistic-RTM percentage of reused instructions per
+// heuristic and capacity.  Paper: ~25% at 4K entries, ~60% at 256K; I(n)
+// beats the ILR heuristics.
+func Fig9a(cells []RTMCell) stats.Table {
+	return rtmTable(cells,
+		"Figure 9a: reused instructions, realistic RTM",
+		"paper: ~25% at 4K entries, ~60% at 256K; I(n) EXP outperforms ILR collection",
+		func(c RTMCell) string { return stats.Pct(c.ReusedFraction) })
+}
+
+// Fig9b is the realistic-RTM average reused-trace size.  Paper: ~6 at 4K;
+// grows with n and with expansion.
+func Fig9b(cells []RTMCell) stats.Table {
+	return rtmTable(cells,
+		"Figure 9b: average reused-trace size, realistic RTM",
+		"paper: ~6 instructions at 4K entries; grows with n and expansion",
+		func(c RTMCell) string { return stats.F2(c.AvgTraceSize) })
+}
+
+func rtmTable(cells []RTMCell, title, note string, value func(RTMCell) string) stats.Table {
+	geoms := RTMGeometries()
+	t := stats.Table{Title: title, Note: note}
+	t.Cols = []string{"heuristic"}
+	for _, g := range geoms {
+		t.Cols = append(t.Cols, fmt.Sprintf("%d traces", g.Entries()))
+	}
+	byHeur := map[string][]string{}
+	var order []string
+	for _, c := range cells {
+		if _, ok := byHeur[c.Heuristic]; !ok {
+			order = append(order, c.Heuristic)
+		}
+		byHeur[c.Heuristic] = append(byHeur[c.Heuristic], value(c))
+	}
+	for _, h := range order {
+		t.AddRow(append([]string{h}, byHeur[h]...)...)
+	}
+	return t
+}
+
+// LimitTables returns every limit-study figure in paper order.
+func LimitTables(ms []*Measurement) []stats.Table {
+	return []stats.Table{
+		Fig3(ms), Fig4a(ms), Fig4b(ms), Fig5a(ms), Fig5b(ms),
+		Fig6a(ms), Fig6b(ms), Fig7(ms), Fig8a(ms), Fig8b(ms), Bandwidth(ms),
+	}
+}
+
+// RTMTables returns the Figure 9 pair.
+func RTMTables(cells []RTMCell) []stats.Table {
+	return []stats.Table{Fig9a(cells), Fig9b(cells)}
+}

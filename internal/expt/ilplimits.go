@@ -1,0 +1,146 @@
+package expt
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/tracereuse/tlr/internal/core"
+	"github.com/tracereuse/tlr/internal/cpu"
+	"github.com/tracereuse/tlr/internal/dda"
+	"github.com/tracereuse/tlr/internal/stats"
+	"github.com/tracereuse/tlr/internal/trace"
+	"github.com/tracereuse/tlr/internal/workload"
+)
+
+// The paper's introduction motivates reuse with ILP limit studies (Wall
+// [16], Austin & Sohi [1]): with only true dependences limiting
+// execution, integer codes reach just a few tens of IPC.  This experiment
+// makes that motivation executable for our suite — base-machine IPC
+// across window sizes, with the trace-reuse machine beside it so the
+// "TLR artificially enlarges the window" claim (§1) is visible as a
+// shifted curve.
+
+// ILPWindows is the window-size sweep of the ILP-limits experiment.
+var ILPWindows = []int{16, 64, 256, 1024, 0}
+
+// ILPRow is one workload's IPC curve.
+type ILPRow struct {
+	Name     string
+	Category workload.Category
+	BaseIPC  []float64 // per ILPWindows entry
+	TLRIPC   []float64 // trace-reuse machine (1-cycle latency)
+}
+
+// MeasureILP runs the window sweep for every workload.
+func MeasureILP(cfg Config) ([]ILPRow, error) {
+	suite := workload.All()
+	rows := make([]ILPRow, len(suite))
+	errs := make([]error, len(suite))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxWorkers(cfg))
+	for i, w := range suite {
+		wg.Add(1)
+		go func(i int, w *workload.Workload) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rows[i], errs[i] = measureILPOne(cfg, w)
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+func measureILPOne(cfg Config, w *workload.Workload) (ILPRow, error) {
+	prog, err := w.Program()
+	if err != nil {
+		return ILPRow{}, err
+	}
+	c := cpu.New(prog)
+	if cfg.Skip > 0 {
+		if _, err := c.Run(cfg.Skip, nil); err != nil {
+			return ILPRow{}, err
+		}
+	}
+	hist := core.NewHistory()
+	bases := make([]*dda.Base, len(ILPWindows))
+	tlrs := make([]*core.TLRStudy, len(ILPWindows))
+	for i, win := range ILPWindows {
+		bases[i] = dda.NewBase(win)
+		tlrs[i] = core.NewTLRStudy(core.TLRConfig{
+			Window:   win,
+			Variants: []core.Latency{core.ConstLatency(1)},
+		})
+	}
+	if _, err := c.Run(cfg.Budget, func(e *trace.Exec) {
+		reusable := hist.Observe(e)
+		for i := range ILPWindows {
+			bases[i].Consume(e)
+			tlrs[i].ConsumeClassified(e, reusable)
+		}
+	}); err != nil {
+		return ILPRow{}, err
+	}
+	row := ILPRow{Name: w.Name, Category: w.Category}
+	for i := range ILPWindows {
+		tlrs[i].Finish()
+		row.BaseIPC = append(row.BaseIPC, bases[i].IPC())
+		r := tlrs[i].Result()
+		tlrIPC := 0.0
+		if r.Cycles[0] > 0 {
+			tlrIPC = float64(r.Instructions) / r.Cycles[0]
+		}
+		row.TLRIPC = append(row.TLRIPC, tlrIPC)
+	}
+	return row, nil
+}
+
+func maxWorkers(cfg Config) int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	return 8
+}
+
+// ILPTable renders the window sweep: base IPC per window, then the
+// TLR-machine IPC at the paper's 256-entry point for comparison.
+func ILPTable(rows []ILPRow) stats.Table {
+	t := stats.Table{
+		Title: "Extension: ILP limits — base IPC vs instruction window (and the TLR machine at W=256)",
+		Cols:  []string{"benchmark"},
+		Note: "the paper's §1 motivation (Wall [16], Austin & Sohi [1]): true dependences cap " +
+			"ILP at a few tens of IPC; trace reuse shifts the curve by freeing window slots",
+	}
+	for _, w := range ILPWindows {
+		label := "inf"
+		if w > 0 {
+			label = fmt.Sprintf("W=%d", w)
+		}
+		t.Cols = append(t.Cols, label)
+	}
+	t.Cols = append(t.Cols, "TLR W=256")
+	w256 := indexOfWindow(256)
+	for _, r := range rows {
+		row := []string{r.Name}
+		for _, v := range r.BaseIPC {
+			row = append(row, stats.F2(v))
+		}
+		row = append(row, stats.F2(r.TLRIPC[w256]))
+		t.AddRow(row...)
+	}
+	return t
+}
+
+func indexOfWindow(w int) int {
+	for i, v := range ILPWindows {
+		if v == w {
+			return i
+		}
+	}
+	return len(ILPWindows) - 1
+}

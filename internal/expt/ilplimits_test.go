@@ -1,0 +1,57 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMeasureILP(t *testing.T) {
+	cfg := testConfig
+	cfg.Budget = 10_000
+	rows, err := MeasureILP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 14 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.BaseIPC) != len(ILPWindows) || len(r.TLRIPC) != len(ILPWindows) {
+			t.Fatalf("%s: curve arity", r.Name)
+		}
+		// IPC must be monotone non-decreasing in window size (the last
+		// entry is the infinite window).
+		for i := 1; i < len(r.BaseIPC); i++ {
+			if r.BaseIPC[i] < r.BaseIPC[i-1]-1e-9 {
+				t.Errorf("%s: base IPC dropped when window widened: %v", r.Name, r.BaseIPC)
+			}
+		}
+		// The TLR machine is never slower than base at the same window.
+		for i := range r.BaseIPC {
+			if r.TLRIPC[i] < r.BaseIPC[i]-1e-9 {
+				t.Errorf("%s: TLR IPC %v below base %v at window %d",
+					r.Name, r.TLRIPC[i], r.BaseIPC[i], ILPWindows[i])
+			}
+		}
+		if r.BaseIPC[len(r.BaseIPC)-1] <= 0 {
+			t.Errorf("%s: zero IPC", r.Name)
+		}
+	}
+}
+
+func TestILPTable(t *testing.T) {
+	cfg := testConfig
+	cfg.Budget = 5_000
+	rows, err := MeasureILP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := ILPTable(rows)
+	if len(tb.Rows) != 14 {
+		t.Fatalf("table rows = %d", len(tb.Rows))
+	}
+	out := tb.Render()
+	if !strings.Contains(out, "W=256") || !strings.Contains(out, "inf") {
+		t.Errorf("missing window columns:\n%s", out)
+	}
+}

@@ -1,0 +1,311 @@
+// Package expt is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (Figures 3–9 plus the §4.5 bandwidth
+// numbers) over the workload suite, printing the same series the paper
+// plots.  DESIGN.md §4 maps each figure to its driver here.
+package expt
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/tracereuse/tlr/internal/core"
+	"github.com/tracereuse/tlr/internal/cpu"
+	"github.com/tracereuse/tlr/internal/rtm"
+	"github.com/tracereuse/tlr/internal/trace"
+	"github.com/tracereuse/tlr/internal/workload"
+)
+
+// Config scales the harness.  The paper ran 50 M instructions per
+// benchmark after a 25 M skip; the defaults here are CI-sized and the
+// cmd/tlrexp flags raise them.
+type Config struct {
+	// Budget is the instruction budget per workload for the limit
+	// studies (Figures 3–8).
+	Budget uint64
+	// Skip is the number of instructions executed before measurement
+	// begins (the paper skipped 25 M).
+	Skip uint64
+	// Window is the finite instruction window (the paper uses 256).
+	Window int
+	// RTMBudget is the instruction budget per workload and configuration
+	// for the realistic-RTM sweep (Figure 9), which is the most
+	// simulation-heavy experiment.
+	RTMBudget uint64
+	// Workers bounds concurrent workload measurement (0 = GOMAXPROCS,
+	// capped at 8 to bound the limit tables' memory).
+	Workers int
+}
+
+// DefaultConfig returns the CI-scale configuration.
+func DefaultConfig() Config {
+	return Config{Budget: 300_000, Skip: 2_000, Window: 256, RTMBudget: 120_000}
+}
+
+// The latency sweeps of the paper's figures.
+var (
+	ilrLatencies = []float64{1, 2, 3, 4}
+	tlrConstLats = []core.Latency{
+		core.ConstLatency(1), core.ConstLatency(2), core.ConstLatency(3), core.ConstLatency(4),
+	}
+	tlrPropKs = []float64{1.0 / 32, 1.0 / 16, 1.0 / 8, 1.0 / 4, 1.0 / 2, 1}
+)
+
+// tlrWinVariants is the variant list used for the finite-window TLR study:
+// first the four constant latencies (Fig. 8a), then the six proportional
+// ones (Fig. 8b).
+func tlrWinVariants() []core.Latency {
+	out := append([]core.Latency(nil), tlrConstLats...)
+	for _, k := range tlrPropKs {
+		out = append(out, core.PropLatency(k))
+	}
+	return out
+}
+
+// Measurement holds every limit-study result for one workload; all the
+// limit-study figures are projections of it.
+type Measurement struct {
+	Name     string
+	Category workload.Category
+
+	ILRInf core.ILRResult // infinite window, latencies 1..4
+	ILRWin core.ILRResult // finite window, latencies 1..4
+	TLRInf core.TLRResult // infinite window, constant latency 1
+	TLRWin core.TLRResult // finite window, tlrWinVariants()
+
+	// Extension studies (beyond the paper's figures; see the ablation
+	// tables).
+	TLRBlock    core.TLRResult // traces bounded to basic blocks (Huang & Lilja)
+	TLRCap16    core.TLRResult // upper bound with traces chopped at 16
+	TLRStrict16 core.TLRResult // strict trace-identity test, chopped at 16
+	VPWin       core.VPResult  // last-value-prediction limit, finite window
+}
+
+// Measure runs the limit studies for every workload.  Each workload's
+// dynamic stream is produced once and fanned out to all four studies,
+// with a single shared reusability classification (the paper's engines
+// all consult the same infinite table).
+func Measure(cfg Config) ([]*Measurement, error) {
+	suite := workload.All()
+	out := make([]*Measurement, len(suite))
+	errs := make([]error, len(suite))
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = min(runtime.GOMAXPROCS(0), 8)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, w := range suite {
+		wg.Add(1)
+		go func(i int, w *workload.Workload) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = measureOne(cfg, w)
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func measureOne(cfg Config, w *workload.Workload) (*Measurement, error) {
+	prog, err := w.Program()
+	if err != nil {
+		return nil, err
+	}
+	c := cpu.New(prog)
+	if cfg.Skip > 0 {
+		if _, err := c.Run(cfg.Skip, nil); err != nil {
+			return nil, fmt.Errorf("%s: skip: %w", w.Name, err)
+		}
+	}
+
+	one := []core.Latency{core.ConstLatency(1)}
+	hist := core.NewHistory()
+	ilrInf := core.NewILRStudy(core.ILRConfig{Window: 0, Latencies: ilrLatencies})
+	ilrWin := core.NewILRStudy(core.ILRConfig{Window: cfg.Window, Latencies: ilrLatencies})
+	tlrInf := core.NewTLRStudy(core.TLRConfig{Window: 0, Variants: one})
+	tlrWin := core.NewTLRStudy(core.TLRConfig{Window: cfg.Window, Variants: tlrWinVariants()})
+	tlrBlk := core.NewTLRStudy(core.TLRConfig{Window: cfg.Window, Variants: one, BlockBounded: true})
+	tlrCap := core.NewTLRStudy(core.TLRConfig{Window: cfg.Window, Variants: one, MaxRunLen: 16})
+	tlrStr := core.NewTLRStudy(core.TLRConfig{Window: cfg.Window, Variants: one, MaxRunLen: 16, Strict: true})
+	vpWin := core.NewVPStudy(core.VPConfig{Window: cfg.Window})
+
+	n, err := c.Run(cfg.Budget, func(e *trace.Exec) {
+		reusable := hist.Observe(e)
+		ilrInf.ConsumeClassified(e, reusable)
+		ilrWin.ConsumeClassified(e, reusable)
+		tlrInf.ConsumeClassified(e, reusable)
+		tlrWin.ConsumeClassified(e, reusable)
+		tlrBlk.ConsumeClassified(e, reusable)
+		tlrCap.ConsumeClassified(e, reusable)
+		tlrStr.ConsumeClassified(e, reusable)
+		vpWin.Consume(e)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	if n < cfg.Budget {
+		return nil, fmt.Errorf("%s: halted after %d of %d instructions", w.Name, n, cfg.Budget)
+	}
+	ilrInf.Finish()
+	ilrWin.Finish()
+	tlrInf.Finish()
+	tlrWin.Finish()
+	tlrBlk.Finish()
+	tlrCap.Finish()
+	tlrStr.Finish()
+	vpWin.Finish()
+
+	return &Measurement{
+		Name:        w.Name,
+		Category:    w.Category,
+		ILRInf:      ilrInf.Result(),
+		ILRWin:      ilrWin.Result(),
+		TLRInf:      tlrInf.Result(),
+		TLRWin:      tlrWin.Result(),
+		TLRBlock:    tlrBlk.Result(),
+		TLRCap16:    tlrCap.Result(),
+		TLRStrict16: tlrStr.Result(),
+		VPWin:       vpWin.Result(),
+	}, nil
+}
+
+// RTMCell is one point of the Figure 9 sweep.
+type RTMCell struct {
+	Heuristic string
+	Geometry  rtm.Geometry
+	// Arithmetic means over the suite, as the paper averages percentages.
+	ReusedFraction float64
+	AvgTraceSize   float64
+}
+
+// rtmHeuristics returns Figure 9's x-axis: ILR NE, ILR EXP, I(1..8) EXP.
+type rtmHeuristic struct {
+	label string
+	h     rtm.Heuristic
+	n     int
+}
+
+func rtmHeuristics() []rtmHeuristic {
+	hs := []rtmHeuristic{
+		{"ILR NE", rtm.ILRNE, 0},
+		{"ILR EXP", rtm.ILREXP, 0},
+	}
+	for n := 1; n <= 8; n++ {
+		hs = append(hs, rtmHeuristic{fmt.Sprintf("I%d EXP", n), rtm.IEXP, n})
+	}
+	return hs
+}
+
+// RTMGeometries returns Figure 9's series: the four RTM capacities.
+func RTMGeometries() []rtm.Geometry {
+	return []rtm.Geometry{rtm.Geometry512, rtm.Geometry4K, rtm.Geometry32K, rtm.Geometry256K}
+}
+
+// MeasureRTM runs the realistic-RTM sweep of Figure 9: every collection
+// heuristic crossed with every RTM capacity, averaged over the suite.
+func MeasureRTM(cfg Config) ([]RTMCell, error) {
+	suite := workload.All()
+	heur := rtmHeuristics()
+	geoms := RTMGeometries()
+
+	type job struct{ hi, gi, wi int }
+	jobs := make(chan job)
+	fracs := make([][][]float64, len(heur))
+	sizes := make([][][]float64, len(heur))
+	for hi := range heur {
+		fracs[hi] = make([][]float64, len(geoms))
+		sizes[hi] = make([][]float64, len(geoms))
+		for gi := range geoms {
+			fracs[hi][gi] = make([]float64, len(suite))
+			sizes[hi][gi] = make([]float64, len(suite))
+		}
+	}
+	errs := make([]error, len(heur)*len(geoms)*len(suite))
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				h, g, w := heur[j.hi], geoms[j.gi], suite[j.wi]
+				res, err := runRTMOnce(cfg, w, h, g)
+				if err != nil {
+					errs[(j.hi*len(geoms)+j.gi)*len(suite)+j.wi] = err
+					continue
+				}
+				fracs[j.hi][j.gi][j.wi] = res.ReusedFraction()
+				sizes[j.hi][j.gi][j.wi] = res.AvgReusedLen()
+			}
+		}()
+	}
+	for hi := range heur {
+		for gi := range geoms {
+			for wi := range suite {
+				jobs <- job{hi, gi, wi}
+			}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var cells []RTMCell
+	for hi, h := range heur {
+		for gi, g := range geoms {
+			cells = append(cells, RTMCell{
+				Heuristic:      h.label,
+				Geometry:       g,
+				ReusedFraction: mean(fracs[hi][gi]),
+				AvgTraceSize:   mean(sizes[hi][gi]),
+			})
+		}
+	}
+	return cells, nil
+}
+
+func runRTMOnce(cfg Config, w *workload.Workload, h rtmHeuristic, g rtm.Geometry) (rtm.Result, error) {
+	prog, err := w.Program()
+	if err != nil {
+		return rtm.Result{}, err
+	}
+	c := cpu.New(prog)
+	if cfg.Skip > 0 {
+		if _, err := c.Run(cfg.Skip, nil); err != nil {
+			return rtm.Result{}, err
+		}
+	}
+	sim := rtm.NewSim(rtm.Config{Geometry: g, Heuristic: h.h, N: h.n}, c)
+	res, err := sim.Run(cfg.RTMBudget)
+	if err != nil {
+		return rtm.Result{}, fmt.Errorf("%s/%s/%v: %w", w.Name, h.label, g, err)
+	}
+	return res, nil
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	return s / float64(len(xs))
+}

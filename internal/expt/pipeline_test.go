@@ -1,0 +1,45 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMeasurePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline sweep is slow")
+	}
+	cfg := testConfig
+	cfg.RTMBudget = 20_000
+	rows, err := MeasurePipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 14 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	anyAboveFetchWidth := false
+	for _, r := range rows {
+		if r.BaseIPC <= 0 || r.BaseIPC > 4+1e-9 {
+			t.Errorf("%s: base IPC %.2f outside (0, fetch width]", r.Name, r.BaseIPC)
+		}
+		// The operand-ready trigger subsumes the fetch-time one: it can
+		// only reuse more.  (Small timing noise tolerated.)
+		if r.WaitIPC < r.FetchIPC*0.98 {
+			t.Errorf("%s: wait-test IPC %.2f below fetch-test %.2f", r.Name, r.WaitIPC, r.FetchIPC)
+		}
+		if r.WaitIPC > 4 {
+			anyAboveFetchWidth = true
+		}
+	}
+	if !anyAboveFetchWidth {
+		t.Error("no workload retired above the fetch bandwidth; the headline effect is missing")
+	}
+	tb := PipelineTable(rows)
+	if len(tb.Rows) != 15 {
+		t.Errorf("table rows = %d", len(tb.Rows))
+	}
+	if !strings.Contains(tb.Render(), "AVERAGE") {
+		t.Error("missing average row")
+	}
+}

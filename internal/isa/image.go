@@ -1,0 +1,183 @@
+package isa
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Program image serialisation: a compact binary container for assembled
+// programs, so cmd/tlrasm can save its output and every other tool can
+// load it without reassembling.
+//
+// Layout (little-endian):
+//
+//	magic "TLRPROG\0"  version:u32
+//	entry:uvarint  dataBase:uvarint
+//	ninsts:uvarint  { op:u8 ra:u8 rb:u8 rc:u8 imm:svarint } *
+//	ndata:uvarint   { word:uvarint } *
+//	nsyms:uvarint   { len:uvarint name:bytes value:uvarint } *
+//
+// Symbols are sorted by name so images are byte-reproducible.
+
+// ImageMagic identifies a program image.
+var ImageMagic = [8]byte{'T', 'L', 'R', 'P', 'R', 'O', 'G', 0}
+
+// ImageVersion is the current image format version.
+const ImageVersion uint32 = 1
+
+// ErrBadImage reports a stream that is not a program image.
+var ErrBadImage = errors.New("isa: not a program image")
+
+// WriteImage serialises p.
+func WriteImage(w io.Writer, p *Program) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(ImageMagic[:]); err != nil {
+		return err
+	}
+	var v [4]byte
+	binary.LittleEndian.PutUint32(v[:], ImageVersion)
+	if _, err := bw.Write(v[:]); err != nil {
+		return err
+	}
+	var buf []byte
+	put := func(b []byte) error {
+		_, err := bw.Write(b)
+		return err
+	}
+	buf = binary.AppendUvarint(buf[:0], p.Entry)
+	buf = binary.AppendUvarint(buf, p.DataBase)
+	buf = binary.AppendUvarint(buf, uint64(len(p.Insts)))
+	if err := put(buf); err != nil {
+		return err
+	}
+	for _, in := range p.Insts {
+		buf = buf[:0]
+		buf = append(buf, byte(in.Op), in.Ra, in.Rb, in.Rc)
+		buf = binary.AppendVarint(buf, in.Imm)
+		if err := put(buf); err != nil {
+			return err
+		}
+	}
+	buf = binary.AppendUvarint(buf[:0], uint64(len(p.Data)))
+	if err := put(buf); err != nil {
+		return err
+	}
+	for _, wrd := range p.Data {
+		buf = binary.AppendUvarint(buf[:0], wrd)
+		if err := put(buf); err != nil {
+			return err
+		}
+	}
+	names := make([]string, 0, len(p.Symbols))
+	for n := range p.Symbols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	buf = binary.AppendUvarint(buf[:0], uint64(len(names)))
+	if err := put(buf); err != nil {
+		return err
+	}
+	for _, n := range names {
+		buf = binary.AppendUvarint(buf[:0], uint64(len(n)))
+		buf = append(buf, n...)
+		buf = binary.AppendUvarint(buf, p.Symbols[n])
+		if err := put(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadImage deserialises and validates a program.
+func ReadImage(r io.Reader) (*Program, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("isa: reading image magic: %w", err)
+	}
+	if magic != ImageMagic {
+		return nil, ErrBadImage
+	}
+	var v [4]byte
+	if _, err := io.ReadFull(br, v[:]); err != nil {
+		return nil, fmt.Errorf("isa: reading image version: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(v[:]); got != ImageVersion {
+		return nil, fmt.Errorf("isa: unsupported image version %d", got)
+	}
+
+	p := &Program{Symbols: map[string]uint64{}}
+	var err error
+	if p.Entry, err = binary.ReadUvarint(br); err != nil {
+		return nil, fmt.Errorf("isa: image entry: %w", err)
+	}
+	if p.DataBase, err = binary.ReadUvarint(br); err != nil {
+		return nil, fmt.Errorf("isa: image data base: %w", err)
+	}
+	nInsts, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("isa: image inst count: %w", err)
+	}
+	const maxCount = 64 << 20 // sanity bound against corrupted counts
+	if nInsts > maxCount {
+		return nil, fmt.Errorf("isa: image inst count %d out of range", nInsts)
+	}
+	p.Insts = make([]Inst, nInsts)
+	var hdr [4]byte
+	for i := range p.Insts {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return nil, fmt.Errorf("isa: image inst %d: %w", i, err)
+		}
+		imm, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("isa: image inst %d imm: %w", i, err)
+		}
+		p.Insts[i] = Inst{Op: Op(hdr[0]), Ra: hdr[1], Rb: hdr[2], Rc: hdr[3], Imm: imm}
+	}
+	nData, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("isa: image data count: %w", err)
+	}
+	if nData > maxCount {
+		return nil, fmt.Errorf("isa: image data count %d out of range", nData)
+	}
+	p.Data = make([]uint64, nData)
+	for i := range p.Data {
+		if p.Data[i], err = binary.ReadUvarint(br); err != nil {
+			return nil, fmt.Errorf("isa: image data %d: %w", i, err)
+		}
+	}
+	nSyms, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("isa: image symbol count: %w", err)
+	}
+	if nSyms > maxCount {
+		return nil, fmt.Errorf("isa: image symbol count %d out of range", nSyms)
+	}
+	for i := uint64(0); i < nSyms; i++ {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("isa: image symbol %d: %w", i, err)
+		}
+		if n > 1<<16 {
+			return nil, fmt.Errorf("isa: image symbol %d name length %d", i, n)
+		}
+		name := make([]byte, n)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, fmt.Errorf("isa: image symbol %d name: %w", i, err)
+		}
+		val, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("isa: image symbol %d value: %w", i, err)
+		}
+		p.Symbols[string(name)] = val
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("isa: image: %w", err)
+	}
+	return p, nil
+}

@@ -1,0 +1,139 @@
+package isa
+
+import (
+	"fmt"
+	"math"
+)
+
+// Register conventions.  The ISA has 32 integer registers r0..r31 and 32
+// floating-point registers f0..f31.
+const (
+	NumRegs = 32
+
+	// RegZero (r31) always reads as zero; writes are discarded.  FRegZero
+	// (f31) is the floating-point zero register.
+	RegZero  = 31
+	FRegZero = 31
+
+	// RegRA (r26) is the conventional return-address register (like the
+	// Alpha calling standard) and RegSP (r30) the stack pointer.  These
+	// are conventions used by the assembler aliases and workloads, not
+	// hardware-enforced.
+	RegRA = 26
+	RegSP = 30
+)
+
+// Inst is one decoded instruction.  The interpretation of Ra, Rb, Rc and
+// Imm depends on the op's Format (see Info):
+//
+//   - FmtRRR:    Rc = Ra op Rb
+//   - FmtRRI:    Rc = Ra op Imm
+//   - FmtRI:     Rc = Imm
+//   - FmtRR:     Rc = op Ra
+//   - FmtMem:    loads write Rc from M[Ra+Imm]; stores write M[Ra+Imm] from Rb
+//   - FmtBranch: compare Ra with Rb, branch to absolute index Imm
+//   - FmtTarget: jump to absolute index Imm
+//   - FmtR:      uses Ra only
+//   - FmtJSR:    Rc = PC+1, jump to Imm
+//   - FmtJSRR:   Rc = PC+1, jump to Ra
+//   - FmtFI:     Fc = float64 from Imm bits
+type Inst struct {
+	Op         Op
+	Ra, Rb, Rc uint8
+	Imm        int64
+}
+
+// FloatImm returns the Imm field interpreted as float64 bits (FLDI).
+func (i Inst) FloatImm() float64 { return math.Float64frombits(uint64(i.Imm)) }
+
+// WithFloatImm returns a copy of i with Imm set to the bits of v.
+func (i Inst) WithFloatImm(v float64) Inst {
+	i.Imm = int64(math.Float64bits(v))
+	return i
+}
+
+// String renders the instruction in canonical assembler syntax with numeric
+// branch targets.
+func (i Inst) String() string {
+	info := InfoOf(i.Op)
+	reg := func(kind RegKind, n uint8) string {
+		if kind == KindFP {
+			return fmt.Sprintf("f%d", n)
+		}
+		return fmt.Sprintf("r%d", n)
+	}
+	switch info.Format {
+	case FmtNone:
+		return info.Name
+	case FmtRRR:
+		return fmt.Sprintf("%s %s, %s, %s", info.Name, reg(info.Dst, i.Rc), reg(info.SrcA, i.Ra), reg(info.SrcB, i.Rb))
+	case FmtRRI:
+		return fmt.Sprintf("%s %s, %s, %d", info.Name, reg(info.Dst, i.Rc), reg(info.SrcA, i.Ra), i.Imm)
+	case FmtRI:
+		return fmt.Sprintf("%s %s, %d", info.Name, reg(info.Dst, i.Rc), i.Imm)
+	case FmtRR:
+		return fmt.Sprintf("%s %s, %s", info.Name, reg(info.Dst, i.Rc), reg(info.SrcA, i.Ra))
+	case FmtMem:
+		if info.MemWrite {
+			return fmt.Sprintf("%s %s, %d(%s)", info.Name, reg(info.SrcB, i.Rb), i.Imm, reg(info.SrcA, i.Ra))
+		}
+		return fmt.Sprintf("%s %s, %d(%s)", info.Name, reg(info.Dst, i.Rc), i.Imm, reg(info.SrcA, i.Ra))
+	case FmtBranch:
+		return fmt.Sprintf("%s %s, %s, %d", info.Name, reg(info.SrcA, i.Ra), reg(info.SrcB, i.Rb), i.Imm)
+	case FmtTarget:
+		return fmt.Sprintf("%s %d", info.Name, i.Imm)
+	case FmtR:
+		return fmt.Sprintf("%s %s", info.Name, reg(info.SrcA, i.Ra))
+	case FmtJSR:
+		return fmt.Sprintf("%s %s, %d", info.Name, reg(info.Dst, i.Rc), i.Imm)
+	case FmtJSRR:
+		return fmt.Sprintf("%s %s, %s", info.Name, reg(info.Dst, i.Rc), reg(info.SrcA, i.Ra))
+	case FmtFI:
+		return fmt.Sprintf("%s %s, %v", info.Name, reg(info.Dst, i.Rc), i.FloatImm())
+	default:
+		return fmt.Sprintf("%s ???", info.Name)
+	}
+}
+
+// Program is an executable image: the instruction stream plus an initial
+// data segment.  The PC is an index into Insts (Harvard style); the data
+// segment is loaded at word address DataBase before execution.
+type Program struct {
+	Insts    []Inst
+	Entry    uint64            // initial PC (instruction index)
+	Data     []uint64          // initial data image
+	DataBase uint64            // word address where Data is loaded
+	Symbols  map[string]uint64 // label -> instruction index or word address
+}
+
+// DefaultDataBase is the word address where assembled data segments start.
+// It is nonzero so that address 0 (a common uninitialised-pointer value)
+// does not alias program data.
+const DefaultDataBase = 0x1000
+
+// DefaultStackTop is the initial stack pointer (the stack grows down).
+const DefaultStackTop = 0x4000000 // 64 Mi words, sparse memory makes this free
+
+// Validate checks structural well-formedness: defined ops, register fields
+// in range, and control-flow targets inside the instruction stream.
+func (p *Program) Validate() error {
+	n := int64(len(p.Insts))
+	for idx, in := range p.Insts {
+		if !in.Op.Valid() {
+			return fmt.Errorf("isa: inst %d: undefined op %d", idx, uint8(in.Op))
+		}
+		if in.Ra >= NumRegs || in.Rb >= NumRegs || in.Rc >= NumRegs {
+			return fmt.Errorf("isa: inst %d (%s): register out of range", idx, in)
+		}
+		info := InfoOf(in.Op)
+		if info.Branch && info.Format != FmtR && info.Format != FmtJSRR {
+			if in.Imm < 0 || in.Imm >= n {
+				return fmt.Errorf("isa: inst %d (%s): branch target %d outside program of %d insts", idx, in, in.Imm, n)
+			}
+		}
+	}
+	if n > 0 && p.Entry >= uint64(n) {
+		return fmt.Errorf("isa: entry %d outside program of %d insts", p.Entry, n)
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package isa
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestInfoTableComplete(t *testing.T) {
+	for op := 0; op < NumOps; op++ {
+		info := InfoOf(Op(op))
+		if info.Name == "" {
+			t.Errorf("op %d has no name", op)
+		}
+		if info.Latency == 0 {
+			t.Errorf("op %s has zero latency", info.Name)
+		}
+	}
+}
+
+func TestOpByNameRoundTrip(t *testing.T) {
+	for op := 0; op < NumOps; op++ {
+		name := Op(op).String()
+		got, ok := OpByName(name)
+		if !ok {
+			t.Fatalf("OpByName(%q) not found", name)
+		}
+		if got != Op(op) {
+			t.Errorf("OpByName(%q) = %v, want %v", name, got, Op(op))
+		}
+	}
+}
+
+func TestOpByNameUnknown(t *testing.T) {
+	if _, ok := OpByName("bogus"); ok {
+		t.Error("OpByName(bogus) should not resolve")
+	}
+}
+
+func TestOpNamesUnique(t *testing.T) {
+	seen := map[string]Op{}
+	for op := 0; op < NumOps; op++ {
+		name := Op(op).String()
+		if prev, dup := seen[name]; dup {
+			t.Errorf("duplicate mnemonic %q for ops %v and %v", name, prev, Op(op))
+		}
+		seen[name] = Op(op)
+	}
+}
+
+func TestInvalidOpString(t *testing.T) {
+	bad := Op(200)
+	if bad.Valid() {
+		t.Fatal("op 200 should be invalid")
+	}
+	if !strings.Contains(bad.String(), "200") {
+		t.Errorf("invalid op string %q should mention the raw value", bad.String())
+	}
+}
+
+func TestSideEffectOps(t *testing.T) {
+	for op := 0; op < NumOps; op++ {
+		info := InfoOf(Op(op))
+		want := Op(op) == OUT || Op(op) == HALT
+		if info.SideEffect != want {
+			t.Errorf("op %s: SideEffect = %v, want %v", info.Name, info.SideEffect, want)
+		}
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	// The relative latency structure drives the paper's critical paths:
+	// loads are slower than simple ALU ops, multiplies slower still, FP
+	// divide and sqrt the slowest.
+	lat := func(op Op) uint8 { return InfoOf(op).Latency }
+	if !(lat(ADD) < lat(LD) && lat(LD) < lat(MUL) && lat(MUL) < lat(DIV)) {
+		t.Error("integer latency ordering broken")
+	}
+	if !(lat(FADD) < lat(FDIV) && lat(FDIV) < lat(FSQRT)) {
+		t.Error("FP latency ordering broken")
+	}
+}
+
+func TestFloatImmRoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) {
+			return true // NaN payloads round-trip bitwise but != compare
+		}
+		in := Inst{Op: FLDI, Rc: 2}.WithFloatImm(v)
+		return in.FloatImm() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: ADD, Rc: 1, Ra: 2, Rb: 3}, "add r1, r2, r3"},
+		{Inst{Op: ADDI, Rc: 1, Ra: 2, Imm: -7}, "addi r1, r2, -7"},
+		{Inst{Op: LDI, Rc: 9, Imm: 42}, "ldi r9, 42"},
+		{Inst{Op: MOV, Rc: 4, Ra: 5}, "mov r4, r5"},
+		{Inst{Op: LD, Rc: 1, Ra: 2, Imm: 8}, "ld r1, 8(r2)"},
+		{Inst{Op: ST, Rb: 1, Ra: 2, Imm: 0}, "st r1, 0(r2)"},
+		{Inst{Op: FLD, Rc: 3, Ra: 2, Imm: 1}, "fld f3, 1(r2)"},
+		{Inst{Op: FST, Rb: 3, Ra: 2, Imm: 1}, "fst f3, 1(r2)"},
+		{Inst{Op: BEQ, Ra: 1, Rb: 2, Imm: 10}, "beq r1, r2, 10"},
+		{Inst{Op: JMP, Imm: 3}, "jmp 3"},
+		{Inst{Op: JR, Ra: 26}, "jr r26"},
+		{Inst{Op: JSR, Rc: 26, Imm: 5}, "jsr r26, 5"},
+		{Inst{Op: JSRR, Rc: 26, Ra: 4}, "jsrr r26, r4"},
+		{Inst{Op: FADD, Rc: 1, Ra: 2, Rb: 3}, "fadd f1, f2, f3"},
+		{Inst{Op: FSQRT, Rc: 1, Ra: 2}, "fsqrt f1, f2"},
+		{Inst{Op: FCMPLT, Rc: 7, Ra: 1, Rb: 2}, "fcmplt r7, f1, f2"},
+		{Inst{Op: CVTIF, Rc: 1, Ra: 2}, "cvtif f1, r2"},
+		{Inst{Op: CVTFI, Rc: 1, Ra: 2}, "cvtfi r1, f2"},
+		{Inst{Op: OUT, Ra: 3}, "out r3"},
+		{Inst{Op: HALT}, "halt"},
+		{Inst{Op: NOP}, "nop"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestValidateAcceptsGoodProgram(t *testing.T) {
+	p := &Program{
+		Insts: []Inst{
+			{Op: LDI, Rc: 1, Imm: 5},
+			{Op: ADDI, Rc: 1, Ra: 1, Imm: -1},
+			{Op: BGT, Ra: 1, Rb: RegZero, Imm: 1},
+			{Op: HALT},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Program
+	}{
+		{"bad op", Program{Insts: []Inst{{Op: Op(250)}}}},
+		{"bad reg", Program{Insts: []Inst{{Op: ADD, Rc: 40}}}},
+		{"branch out of range", Program{Insts: []Inst{{Op: JMP, Imm: 99}}}},
+		{"negative branch", Program{Insts: []Inst{{Op: BEQ, Imm: -1}}}},
+		{"entry out of range", Program{Insts: []Inst{{Op: HALT}}, Entry: 7}},
+	}
+	for _, c := range cases {
+		if err := c.p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid program", c.name)
+		}
+	}
+}
+
+func TestJRAndJSRRNotRangeChecked(t *testing.T) {
+	// Indirect jumps cannot be statically validated; Validate must accept
+	// them even with arbitrary Imm.
+	p := &Program{Insts: []Inst{{Op: JR, Ra: 1, Imm: 1 << 40}, {Op: JSRR, Rc: 26, Ra: 1, Imm: -5}}}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}

@@ -1,0 +1,283 @@
+// Package isa defines the Alpha-inspired 64-bit RISC instruction set used
+// by the trace-level reuse simulator.
+//
+// The ISA is a stand-in for the DEC Alpha used in the paper "Trace-Level
+// Reuse" (González, Tubella, Molina; ICPP 1999).  It keeps the properties
+// that matter for data-value reuse studies: a load/store architecture with
+// 32 integer and 32 floating-point registers, two-input/one-output ALU
+// operations, register+displacement addressing, compare-and-branch control
+// flow, and an Alpha-21164-like latency table.
+//
+// Registers r31 and f31 are architectural zeros (reads return zero, writes
+// are discarded) and never appear in dependence or reuse input/output sets,
+// matching Alpha's R31/F31 convention.
+//
+// Memory is word addressed: every address names one 64-bit word.  This
+// keeps live-in/live-out tracking for traces exact, which the reuse test
+// requires (see DESIGN.md §2).
+package isa
+
+import "fmt"
+
+// Op identifies an operation of the ISA.
+type Op uint8
+
+// Operations.  The comment shows the assembler syntax and the semantics;
+// "M[x]" is the 64-bit word at word-address x.
+const (
+	NOP Op = iota // nop
+
+	// Integer register-register ALU: op rc, ra, rb.
+	ADD    // rc = ra + rb
+	SUB    // rc = ra - rb
+	MUL    // rc = ra * rb
+	DIV    // rc = ra / rb (signed; x/0 = 0)
+	REM    // rc = ra % rb (signed; x%0 = x)
+	AND    // rc = ra & rb
+	OR     // rc = ra | rb
+	XOR    // rc = ra ^ rb
+	SLL    // rc = ra << (rb & 63)
+	SRL    // rc = ra >> (rb & 63) (logical)
+	SRA    // rc = ra >> (rb & 63) (arithmetic)
+	CMPEQ  // rc = (ra == rb) ? 1 : 0
+	CMPLT  // rc = (ra < rb) ? 1 : 0 (signed)
+	CMPLE  // rc = (ra <= rb) ? 1 : 0 (signed)
+	CMPULT // rc = (ra < rb) ? 1 : 0 (unsigned)
+
+	// Integer register-immediate ALU: op rc, ra, imm.
+	ADDI   // rc = ra + imm
+	MULI   // rc = ra * imm
+	ANDI   // rc = ra & imm
+	ORI    // rc = ra | imm
+	XORI   // rc = ra ^ imm
+	SLLI   // rc = ra << (imm & 63)
+	SRLI   // rc = ra >> (imm & 63) (logical)
+	SRAI   // rc = ra >> (imm & 63) (arithmetic)
+	CMPEQI // rc = (ra == imm) ? 1 : 0
+	CMPLTI // rc = (ra < imm) ? 1 : 0 (signed)
+	CMPLEI // rc = (ra <= imm) ? 1 : 0 (signed)
+
+	LDI // ldi rc, imm: rc = imm (64-bit)
+	MOV // mov rc, ra: rc = ra
+
+	// Memory: word addressed, register+displacement.
+	LD  // ld rc, imm(ra): rc = M[ra+imm]
+	ST  // st rb, imm(ra): M[ra+imm] = rb
+	FLD // fld fc, imm(ra): fc = M[ra+imm] (bits)
+	FST // fst fb, imm(ra): M[ra+imm] = fb (bits)
+
+	// Control flow.  Branch/jump targets are absolute instruction
+	// indices (resolved from labels by the assembler).
+	BEQ  // beq ra, rb, target: if ra == rb, PC = target
+	BNE  // bne ra, rb, target
+	BLT  // blt ra, rb, target (signed)
+	BGE  // bge ra, rb, target (signed)
+	BLE  // ble ra, rb, target (signed)
+	BGT  // bgt ra, rb, target (signed)
+	JMP  // jmp target: PC = target
+	JR   // jr ra: PC = ra
+	JSR  // jsr rc, target: rc = PC+1; PC = target
+	JSRR // jsrr rc, ra: rc = PC+1; PC = ra
+
+	// Floating point (IEEE-754 double held in f registers).
+	FADD   // fadd fc, fa, fb
+	FSUB   // fsub fc, fa, fb
+	FMUL   // fmul fc, fa, fb
+	FDIV   // fdiv fc, fa, fb
+	FSQRT  // fsqrt fc, fa
+	FNEG   // fneg fc, fa
+	FABS   // fabs fc, fa
+	FMOV   // fmov fc, fa
+	FCMPEQ // fcmpeq rc, fa, fb: int rc = (fa == fb) ? 1 : 0
+	FCMPLT // fcmplt rc, fa, fb
+	FCMPLE // fcmple rc, fa, fb
+	CVTIF  // cvtif fc, ra: fc = float64(int64(ra))
+	CVTFI  // cvtfi rc, fa: rc = int64(fa) (truncating)
+	FLDI   // fldi fc, literal: fc = literal (assembler accepts 3.25 etc.)
+
+	// System.  OUT and HALT have side effects beyond the architectural
+	// register/memory state and are therefore never reusable and never
+	// part of a stored trace.
+	OUT  // out ra: emit ra to the output sink
+	HALT // halt: stop the machine
+
+	numOps
+)
+
+// NumOps is the number of defined operations.
+const NumOps = int(numOps)
+
+// Class groups operations by execution resource, mirroring the functional
+// unit classes of the Alpha 21164 used for the paper's latency table.
+type Class uint8
+
+// Operation classes.
+const (
+	ClassNop Class = iota
+	ClassIntALU
+	ClassIntMul
+	ClassIntDiv
+	ClassMem
+	ClassBranch
+	ClassFPAdd // add/sub/compare/convert/move pipeline
+	ClassFPMul
+	ClassFPDiv
+	ClassFPSqrt
+	ClassSys
+)
+
+// RegKind tells how an operand field of an instruction is interpreted.
+type RegKind uint8
+
+// Operand register kinds.
+const (
+	KindNone RegKind = iota // field unused
+	KindInt                 // integer register
+	KindFP                  // floating-point register
+)
+
+// Format describes the assembler syntax of an operation.
+type Format uint8
+
+// Instruction formats (assembler syntax shapes).
+const (
+	FmtNone   Format = iota // op
+	FmtRRR                  // op rc, ra, rb
+	FmtRRI                  // op rc, ra, imm
+	FmtRI                   // op rc, imm
+	FmtRR                   // op rc, ra
+	FmtMem                  // op rc, imm(ra)   (LD/FLD: dest; ST/FST: source rb)
+	FmtBranch               // op ra, rb, target
+	FmtTarget               // op target
+	FmtR                    // op ra
+	FmtJSR                  // op rc, target
+	FmtJSRR                 // op rc, ra
+	FmtFI                   // op fc, floatliteral
+)
+
+// Info is the static metadata of one operation.
+type Info struct {
+	Name    string
+	Format  Format
+	Class   Class
+	Latency uint8 // execution latency in cycles (Alpha-21164-like)
+
+	// Operand roles.  SrcA/SrcB describe reads of the Ra/Rb fields; Dst
+	// describes the write of the Rc field.  Memory reads/writes are
+	// implied by MemRead/MemWrite.
+	SrcA, SrcB RegKind
+	Dst        RegKind
+
+	MemRead  bool // reads M[ra+imm]
+	MemWrite bool // writes M[ra+imm]
+
+	Branch     bool // may redirect the PC
+	SideEffect bool // has effects outside registers+memory (never reusable)
+}
+
+// Latencies follow the Alpha 21164 hardware reference manual flavor used by
+// the paper: simple integer ops 1 cycle, integer multiply 8, loads 2 (D-cache
+// hit), FP add/mul pipelines 4, FP divide 18, FP square root 30.
+var infos = [NumOps]Info{
+	NOP: {Name: "nop", Format: FmtNone, Class: ClassNop, Latency: 1},
+
+	ADD:    {Name: "add", Format: FmtRRR, Class: ClassIntALU, Latency: 1, SrcA: KindInt, SrcB: KindInt, Dst: KindInt},
+	SUB:    {Name: "sub", Format: FmtRRR, Class: ClassIntALU, Latency: 1, SrcA: KindInt, SrcB: KindInt, Dst: KindInt},
+	MUL:    {Name: "mul", Format: FmtRRR, Class: ClassIntMul, Latency: 8, SrcA: KindInt, SrcB: KindInt, Dst: KindInt},
+	DIV:    {Name: "div", Format: FmtRRR, Class: ClassIntDiv, Latency: 16, SrcA: KindInt, SrcB: KindInt, Dst: KindInt},
+	REM:    {Name: "rem", Format: FmtRRR, Class: ClassIntDiv, Latency: 16, SrcA: KindInt, SrcB: KindInt, Dst: KindInt},
+	AND:    {Name: "and", Format: FmtRRR, Class: ClassIntALU, Latency: 1, SrcA: KindInt, SrcB: KindInt, Dst: KindInt},
+	OR:     {Name: "or", Format: FmtRRR, Class: ClassIntALU, Latency: 1, SrcA: KindInt, SrcB: KindInt, Dst: KindInt},
+	XOR:    {Name: "xor", Format: FmtRRR, Class: ClassIntALU, Latency: 1, SrcA: KindInt, SrcB: KindInt, Dst: KindInt},
+	SLL:    {Name: "sll", Format: FmtRRR, Class: ClassIntALU, Latency: 1, SrcA: KindInt, SrcB: KindInt, Dst: KindInt},
+	SRL:    {Name: "srl", Format: FmtRRR, Class: ClassIntALU, Latency: 1, SrcA: KindInt, SrcB: KindInt, Dst: KindInt},
+	SRA:    {Name: "sra", Format: FmtRRR, Class: ClassIntALU, Latency: 1, SrcA: KindInt, SrcB: KindInt, Dst: KindInt},
+	CMPEQ:  {Name: "cmpeq", Format: FmtRRR, Class: ClassIntALU, Latency: 1, SrcA: KindInt, SrcB: KindInt, Dst: KindInt},
+	CMPLT:  {Name: "cmplt", Format: FmtRRR, Class: ClassIntALU, Latency: 1, SrcA: KindInt, SrcB: KindInt, Dst: KindInt},
+	CMPLE:  {Name: "cmple", Format: FmtRRR, Class: ClassIntALU, Latency: 1, SrcA: KindInt, SrcB: KindInt, Dst: KindInt},
+	CMPULT: {Name: "cmpult", Format: FmtRRR, Class: ClassIntALU, Latency: 1, SrcA: KindInt, SrcB: KindInt, Dst: KindInt},
+
+	ADDI:   {Name: "addi", Format: FmtRRI, Class: ClassIntALU, Latency: 1, SrcA: KindInt, Dst: KindInt},
+	MULI:   {Name: "muli", Format: FmtRRI, Class: ClassIntMul, Latency: 8, SrcA: KindInt, Dst: KindInt},
+	ANDI:   {Name: "andi", Format: FmtRRI, Class: ClassIntALU, Latency: 1, SrcA: KindInt, Dst: KindInt},
+	ORI:    {Name: "ori", Format: FmtRRI, Class: ClassIntALU, Latency: 1, SrcA: KindInt, Dst: KindInt},
+	XORI:   {Name: "xori", Format: FmtRRI, Class: ClassIntALU, Latency: 1, SrcA: KindInt, Dst: KindInt},
+	SLLI:   {Name: "slli", Format: FmtRRI, Class: ClassIntALU, Latency: 1, SrcA: KindInt, Dst: KindInt},
+	SRLI:   {Name: "srli", Format: FmtRRI, Class: ClassIntALU, Latency: 1, SrcA: KindInt, Dst: KindInt},
+	SRAI:   {Name: "srai", Format: FmtRRI, Class: ClassIntALU, Latency: 1, SrcA: KindInt, Dst: KindInt},
+	CMPEQI: {Name: "cmpeqi", Format: FmtRRI, Class: ClassIntALU, Latency: 1, SrcA: KindInt, Dst: KindInt},
+	CMPLTI: {Name: "cmplti", Format: FmtRRI, Class: ClassIntALU, Latency: 1, SrcA: KindInt, Dst: KindInt},
+	CMPLEI: {Name: "cmplei", Format: FmtRRI, Class: ClassIntALU, Latency: 1, SrcA: KindInt, Dst: KindInt},
+
+	LDI: {Name: "ldi", Format: FmtRI, Class: ClassIntALU, Latency: 1, Dst: KindInt},
+	MOV: {Name: "mov", Format: FmtRR, Class: ClassIntALU, Latency: 1, SrcA: KindInt, Dst: KindInt},
+
+	LD:  {Name: "ld", Format: FmtMem, Class: ClassMem, Latency: 2, SrcA: KindInt, Dst: KindInt, MemRead: true},
+	ST:  {Name: "st", Format: FmtMem, Class: ClassMem, Latency: 1, SrcA: KindInt, SrcB: KindInt, MemWrite: true},
+	FLD: {Name: "fld", Format: FmtMem, Class: ClassMem, Latency: 2, SrcA: KindInt, Dst: KindFP, MemRead: true},
+	FST: {Name: "fst", Format: FmtMem, Class: ClassMem, Latency: 1, SrcA: KindInt, SrcB: KindFP, MemWrite: true},
+
+	BEQ:  {Name: "beq", Format: FmtBranch, Class: ClassBranch, Latency: 1, SrcA: KindInt, SrcB: KindInt, Branch: true},
+	BNE:  {Name: "bne", Format: FmtBranch, Class: ClassBranch, Latency: 1, SrcA: KindInt, SrcB: KindInt, Branch: true},
+	BLT:  {Name: "blt", Format: FmtBranch, Class: ClassBranch, Latency: 1, SrcA: KindInt, SrcB: KindInt, Branch: true},
+	BGE:  {Name: "bge", Format: FmtBranch, Class: ClassBranch, Latency: 1, SrcA: KindInt, SrcB: KindInt, Branch: true},
+	BLE:  {Name: "ble", Format: FmtBranch, Class: ClassBranch, Latency: 1, SrcA: KindInt, SrcB: KindInt, Branch: true},
+	BGT:  {Name: "bgt", Format: FmtBranch, Class: ClassBranch, Latency: 1, SrcA: KindInt, SrcB: KindInt, Branch: true},
+	JMP:  {Name: "jmp", Format: FmtTarget, Class: ClassBranch, Latency: 1, Branch: true},
+	JR:   {Name: "jr", Format: FmtR, Class: ClassBranch, Latency: 1, SrcA: KindInt, Branch: true},
+	JSR:  {Name: "jsr", Format: FmtJSR, Class: ClassBranch, Latency: 1, Dst: KindInt, Branch: true},
+	JSRR: {Name: "jsrr", Format: FmtJSRR, Class: ClassBranch, Latency: 1, SrcA: KindInt, Dst: KindInt, Branch: true},
+
+	FADD:   {Name: "fadd", Format: FmtRRR, Class: ClassFPAdd, Latency: 4, SrcA: KindFP, SrcB: KindFP, Dst: KindFP},
+	FSUB:   {Name: "fsub", Format: FmtRRR, Class: ClassFPAdd, Latency: 4, SrcA: KindFP, SrcB: KindFP, Dst: KindFP},
+	FMUL:   {Name: "fmul", Format: FmtRRR, Class: ClassFPMul, Latency: 4, SrcA: KindFP, SrcB: KindFP, Dst: KindFP},
+	FDIV:   {Name: "fdiv", Format: FmtRRR, Class: ClassFPDiv, Latency: 18, SrcA: KindFP, SrcB: KindFP, Dst: KindFP},
+	FSQRT:  {Name: "fsqrt", Format: FmtRR, Class: ClassFPSqrt, Latency: 30, SrcA: KindFP, Dst: KindFP},
+	FNEG:   {Name: "fneg", Format: FmtRR, Class: ClassFPAdd, Latency: 4, SrcA: KindFP, Dst: KindFP},
+	FABS:   {Name: "fabs", Format: FmtRR, Class: ClassFPAdd, Latency: 4, SrcA: KindFP, Dst: KindFP},
+	FMOV:   {Name: "fmov", Format: FmtRR, Class: ClassFPAdd, Latency: 4, SrcA: KindFP, Dst: KindFP},
+	FCMPEQ: {Name: "fcmpeq", Format: FmtRRR, Class: ClassFPAdd, Latency: 4, SrcA: KindFP, SrcB: KindFP, Dst: KindInt},
+	FCMPLT: {Name: "fcmplt", Format: FmtRRR, Class: ClassFPAdd, Latency: 4, SrcA: KindFP, SrcB: KindFP, Dst: KindInt},
+	FCMPLE: {Name: "fcmple", Format: FmtRRR, Class: ClassFPAdd, Latency: 4, SrcA: KindFP, SrcB: KindFP, Dst: KindInt},
+	CVTIF:  {Name: "cvtif", Format: FmtRR, Class: ClassFPAdd, Latency: 4, SrcA: KindInt, Dst: KindFP},
+	CVTFI:  {Name: "cvtfi", Format: FmtRR, Class: ClassFPAdd, Latency: 4, SrcA: KindFP, Dst: KindInt},
+	FLDI:   {Name: "fldi", Format: FmtFI, Class: ClassFPAdd, Latency: 1, Dst: KindFP},
+
+	OUT:  {Name: "out", Format: FmtR, Class: ClassSys, Latency: 1, SrcA: KindInt, SideEffect: true},
+	HALT: {Name: "halt", Format: FmtNone, Class: ClassSys, Latency: 1, SideEffect: true},
+}
+
+// InfoOf returns the static metadata of op.  It panics on an undefined op,
+// which indicates a corrupted program.
+func InfoOf(op Op) *Info {
+	if int(op) >= NumOps {
+		panic(fmt.Sprintf("isa: undefined op %d", op))
+	}
+	return &infos[op]
+}
+
+// Valid reports whether op is a defined operation.
+func (op Op) Valid() bool { return int(op) < NumOps }
+
+// String returns the assembler mnemonic of op.
+func (op Op) String() string {
+	if !op.Valid() {
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+	return infos[op].Name
+}
+
+// ByName maps a mnemonic to its Op.
+var byName = func() map[string]Op {
+	m := make(map[string]Op, NumOps)
+	for op, info := range infos {
+		m[info.Name] = Op(op)
+	}
+	return m
+}()
+
+// OpByName looks up a mnemonic; ok is false if the name is not an operation.
+func OpByName(name string) (op Op, ok bool) {
+	op, ok = byName[name]
+	return op, ok
+}

@@ -1,0 +1,122 @@
+// Package mem implements the sparse word-addressed memory of the simulator.
+//
+// Memory is an array of 64-bit words indexed by word address.  Storage is
+// allocated lazily in fixed-size pages so that workloads can use widely
+// separated regions (data segment, stack, heaps) without cost.  Reads of
+// unmapped words return zero and allocate nothing.
+package mem
+
+// PageWords is the number of 64-bit words per page (4 KiB pages).
+const PageWords = 512
+
+const pageShift = 9 // log2(PageWords)
+
+type page [PageWords]uint64
+
+// Memory is a sparse 64-bit word-addressed memory.  The zero value is an
+// empty memory ready to use.
+type Memory struct {
+	pages map[uint64]*page
+}
+
+// New returns an empty memory.
+func New() *Memory { return &Memory{pages: make(map[uint64]*page)} }
+
+// Load returns the word at addr (zero if never written).
+func (m *Memory) Load(addr uint64) uint64 {
+	if m.pages == nil {
+		return 0
+	}
+	p := m.pages[addr>>pageShift]
+	if p == nil {
+		return 0
+	}
+	return p[addr&(PageWords-1)]
+}
+
+// Store writes val at addr, allocating the page on demand.
+func (m *Memory) Store(addr, val uint64) {
+	if m.pages == nil {
+		m.pages = make(map[uint64]*page)
+	}
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil {
+		if val == 0 {
+			return // storing zero to an unmapped word is a no-op
+		}
+		p = new(page)
+		m.pages[pn] = p
+	}
+	p[addr&(PageWords-1)] = val
+}
+
+// LoadBlock copies n consecutive words starting at addr into dst and
+// returns dst[:n].  It is a convenience for tests and examples.
+func (m *Memory) LoadBlock(addr uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = m.Load(addr + uint64(i))
+	}
+	return out
+}
+
+// StoreBlock writes the words of src starting at addr.
+func (m *Memory) StoreBlock(addr uint64, src []uint64) {
+	for i, v := range src {
+		m.Store(addr+uint64(i), v)
+	}
+}
+
+// Pages returns the number of allocated pages (for footprint accounting).
+func (m *Memory) Pages() int { return len(m.pages) }
+
+// Clone returns a deep copy of the memory.  Used by differential tests that
+// compare "replay trace outputs" against "execute the trace".
+func (m *Memory) Clone() *Memory {
+	c := &Memory{pages: make(map[uint64]*page, len(m.pages))}
+	for pn, p := range m.pages {
+		cp := *p
+		c.pages[pn] = &cp
+	}
+	return c
+}
+
+// Equal reports whether two memories hold identical contents.  Unmapped
+// pages compare equal to all-zero pages.
+func (m *Memory) Equal(o *Memory) bool {
+	return m.covers(o) && o.covers(m)
+}
+
+// covers reports whether every nonzero word of o matches m.
+func (m *Memory) covers(o *Memory) bool {
+	for pn, p := range o.pages {
+		mp := m.pageAt(pn)
+		if mp == nil {
+			if !p.isZero() {
+				return false
+			}
+			continue
+		}
+		if *mp != *p {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Memory) pageAt(pn uint64) *page {
+	if m.pages == nil {
+		return nil
+	}
+	return m.pages[pn]
+}
+
+func (p *page) isZero() bool {
+	for _, w := range p {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}

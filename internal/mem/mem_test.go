@@ -1,0 +1,143 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var m Memory
+	if got := m.Load(123); got != 0 {
+		t.Fatalf("Load on zero value = %d, want 0", got)
+	}
+	m.Store(123, 7)
+	if got := m.Load(123); got != 7 {
+		t.Fatalf("Load after Store = %d, want 7", got)
+	}
+}
+
+func TestLoadUnmappedReturnsZero(t *testing.T) {
+	m := New()
+	for _, addr := range []uint64{0, 1, PageWords - 1, PageWords, 1 << 40} {
+		if got := m.Load(addr); got != 0 {
+			t.Errorf("Load(%d) = %d, want 0", addr, got)
+		}
+	}
+	if m.Pages() != 0 {
+		t.Errorf("reads allocated %d pages", m.Pages())
+	}
+}
+
+func TestStoreZeroToUnmappedAllocatesNothing(t *testing.T) {
+	m := New()
+	m.Store(99, 0)
+	if m.Pages() != 0 {
+		t.Error("storing zero to unmapped word should not allocate")
+	}
+}
+
+func TestStoreLoadAcrossPages(t *testing.T) {
+	m := New()
+	addrs := []uint64{0, 1, PageWords - 1, PageWords, 2*PageWords + 3, 1 << 32}
+	for i, a := range addrs {
+		m.Store(a, uint64(i)+100)
+	}
+	for i, a := range addrs {
+		if got := m.Load(a); got != uint64(i)+100 {
+			t.Errorf("Load(%d) = %d, want %d", a, got, uint64(i)+100)
+		}
+	}
+	if m.Pages() != 4 { // addrs 0, 1, PageWords-1 share page 0
+		t.Errorf("Pages = %d, want 4", m.Pages())
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	m := New()
+	m.Store(5, 1)
+	m.Store(5, 2)
+	if got := m.Load(5); got != 2 {
+		t.Errorf("Load = %d, want 2", got)
+	}
+}
+
+func TestBlocks(t *testing.T) {
+	m := New()
+	src := []uint64{10, 20, 30, 40}
+	m.StoreBlock(PageWords-2, src) // straddles a page boundary
+	got := m.LoadBlock(PageWords-2, 4)
+	for i := range src {
+		if got[i] != src[i] {
+			t.Fatalf("LoadBlock[%d] = %d, want %d", i, got[i], src[i])
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := New()
+	m.Store(7, 70)
+	c := m.Clone()
+	c.Store(7, 71)
+	c.Store(1000, 5)
+	if m.Load(7) != 70 {
+		t.Error("Clone shares pages with original")
+	}
+	if m.Load(1000) != 0 {
+		t.Error("writes to clone leaked into original")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := New(), New()
+	if !a.Equal(b) {
+		t.Fatal("two empty memories should be equal")
+	}
+	a.Store(3, 9)
+	if a.Equal(b) {
+		t.Fatal("differing memories reported equal")
+	}
+	b.Store(3, 9)
+	if !a.Equal(b) {
+		t.Fatal("identical memories reported unequal")
+	}
+	// A page holding only zeros equals an unmapped page.
+	a.Store(PageWords*10, 1)
+	a.Store(PageWords*10, 0)
+	if !a.Equal(b) {
+		t.Fatal("all-zero page should equal unmapped page")
+	}
+}
+
+func TestEqualAsymmetricPages(t *testing.T) {
+	a, b := New(), New()
+	b.Store(PageWords*3+1, 42)
+	if a.Equal(b) || b.Equal(a) {
+		t.Fatal("memories with one nonzero word should differ both ways")
+	}
+}
+
+func TestPropertyStoreLoad(t *testing.T) {
+	m := New()
+	f := func(addr, val uint64) bool {
+		m.Store(addr, val)
+		return m.Load(addr) == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCloneEqual(t *testing.T) {
+	f := func(addrs []uint64, vals []uint64) bool {
+		m := New()
+		for i, a := range addrs {
+			if i < len(vals) {
+				m.Store(a%100000, vals[i])
+			}
+		}
+		return m.Equal(m.Clone())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

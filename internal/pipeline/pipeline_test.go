@@ -1,0 +1,194 @@
+package pipeline
+
+import (
+	"testing"
+
+	"github.com/tracereuse/tlr/internal/asm"
+	"github.com/tracereuse/tlr/internal/cpu"
+	"github.com/tracereuse/tlr/internal/rtm"
+	"github.com/tracereuse/tlr/internal/workload"
+)
+
+func runSrc(t *testing.T, src string, cfg Config, budget uint64) Result {
+	t.Helper()
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(cfg, cpu.New(prog))
+	res, err := s.Run(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// independentProg is a long run of mutually independent instructions.
+const independentProg = `
+main:   ldi r1, 1
+        ldi r2, 2
+        ldi r3, 3
+        ldi r4, 4
+        ldi r5, 5
+        ldi r6, 6
+        ldi r7, 7
+        ldi r8, 8
+        jmp main
+`
+
+// serialProg is one long multiply chain.
+const serialProg = `
+main:   muli r1, r1, 3
+        muli r1, r1, 5
+        muli r1, r1, 7
+        muli r1, r1, 9
+        jmp  main
+`
+
+func TestBaseIPCBoundedByFetchWidth(t *testing.T) {
+	for _, width := range []int{1, 2, 4, 8} {
+		res := runSrc(t, independentProg, Config{FetchWidth: width}, 50_000)
+		if got := res.IPC(); got > float64(width)+1e-9 {
+			t.Errorf("width %d: IPC %.3f exceeds fetch bandwidth", width, got)
+		}
+		// Independent work should saturate the front end.
+		if got := res.IPC(); got < float64(width)*0.9 {
+			t.Errorf("width %d: IPC %.3f does not approach fetch bandwidth", width, got)
+		}
+	}
+}
+
+func TestSerialChainIgnoresFetchWidth(t *testing.T) {
+	// An 8-cycle multiply chain retires ~1/8 IPC no matter the width.
+	narrow := runSrc(t, serialProg, Config{FetchWidth: 1}, 20_000)
+	wide := runSrc(t, serialProg, Config{FetchWidth: 8}, 20_000)
+	if diff := wide.IPC() - narrow.IPC(); diff > 0.05 {
+		t.Errorf("fetch width changed a dataflow-bound chain: %.3f vs %.3f", narrow.IPC(), wide.IPC())
+	}
+	if got := wide.IPC(); got > 0.2 {
+		t.Errorf("serial multiply chain IPC %.3f, want ~1/8", got)
+	}
+}
+
+func TestWindowStallsAccounted(t *testing.T) {
+	// A tiny window behind a slow chain forces fetch stalls.
+	res := runSrc(t, serialProg, Config{FetchWidth: 4, Window: 4}, 10_000)
+	if res.WindowStalls == 0 {
+		t.Error("expected window stalls with a 4-entry window on an 8-cycle chain")
+	}
+}
+
+func TestReuseExceedsFetchBandwidth(t *testing.T) {
+	// The paper's central architectural claim, execution-driven: with
+	// trace reuse, retired IPC exceeds the fetch bandwidth because reused
+	// instructions are never fetched.  A fully repetitive loop under a
+	// 4K RTM must beat FetchWidth.
+	src := `
+main:   ldi  r9, 100000
+loop:   ld   r1, tab
+        ld   r2, tab+1
+        add  r3, r1, r2
+        ld   r4, tab+2
+        add  r3, r3, r4
+        st   r3, out
+        muli r5, r3, 17
+        addi r5, r5, 3
+        xor  r6, r5, r3
+        st   r6, out+1
+        subi r9, r9, 1
+        bgtz r9, loop
+        halt
+        .data
+tab:    .word 10, 20, 30
+out:    .space 2
+`
+	rcfg := rtm.Config{Geometry: rtm.Geometry4K, Heuristic: rtm.ILRNE}
+	base := runSrc(t, src, Config{FetchWidth: 4}, 60_000)
+	reuse := runSrc(t, src, Config{FetchWidth: 4, RTM: &rcfg}, 60_000)
+	if base.IPC() > 4+1e-9 {
+		t.Fatalf("base IPC %.2f exceeds fetch width", base.IPC())
+	}
+	if reuse.Skipped == 0 {
+		t.Fatal("no reuse happened")
+	}
+	if reuse.IPC() <= 4 {
+		t.Errorf("reuse IPC %.2f should exceed the 4-wide fetch bandwidth", reuse.IPC())
+	}
+	if reuse.IPC() <= base.IPC() {
+		t.Errorf("reuse IPC %.2f <= base %.2f", reuse.IPC(), base.IPC())
+	}
+}
+
+func TestReuseCorrectnessUnchangedState(t *testing.T) {
+	// The pipeline's functional outcome must match plain execution.
+	src := `
+main:   ldi  r9, 300
+loop:   ldi  r1, 6
+        mul  r2, r1, r1
+        add  r7, r7, r2
+        subi r9, r9, 1
+        bgtz r9, loop
+        halt
+`
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := cpu.New(prog)
+	if _, err := ref.Run(1_000_000, nil); err != nil {
+		t.Fatal(err)
+	}
+	rcfg := rtm.Config{Geometry: rtm.Geometry4K, Heuristic: rtm.IEXP, N: 4}
+	s := New(Config{RTM: &rcfg}, cpu.New(prog))
+	if _, err := s.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !s.cpu.Halted() {
+		t.Fatal("pipeline run did not halt")
+	}
+	for i := 0; i < 32; i++ {
+		if s.cpu.Reg(uint8(i)) != ref.Reg(uint8(i)) {
+			t.Errorf("r%d = %#x, want %#x", i, s.cpu.Reg(uint8(i)), ref.Reg(uint8(i)))
+		}
+	}
+	if !s.cpu.Mem().Equal(ref.Mem()) {
+		t.Error("memory diverges from plain execution")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.FetchWidth != 4 || cfg.Window != 256 || cfg.FrontLat != 2 || cfg.ReuseLat != 1 {
+		t.Errorf("defaults: %+v", cfg)
+	}
+}
+
+func TestPipelineOnWorkloads(t *testing.T) {
+	// Every workload runs under the pipeline with and without RTM; reuse
+	// never slows retirement down.
+	if testing.Short() {
+		t.Skip("pipeline sweep is slow")
+	}
+	rcfg := rtm.Config{Geometry: rtm.Geometry32K, Heuristic: rtm.IEXP, N: 4}
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := w.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := New(Config{}, cpu.New(prog)).Run(30_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			withRTM, err := New(Config{RTM: &rcfg}, cpu.New(prog)).Run(30_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if withRTM.IPC() < base.IPC()*0.99 {
+				t.Errorf("reuse slowed retirement: %.3f vs %.3f", withRTM.IPC(), base.IPC())
+			}
+		})
+	}
+}

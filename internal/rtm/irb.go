@@ -1,0 +1,103 @@
+package rtm
+
+import (
+	"github.com/tracereuse/tlr/internal/trace"
+)
+
+// IRB is the finite instruction-reuse buffer that the ILR trace-collection
+// heuristics need (§4.6: "a different reuse memory used for testing
+// instruction-level reusability is also needed; this memory has as many
+// entries as the RTM").  It mirrors the RTM's geometry: Sets sets,
+// PCWays static instructions per set, TracesPerPC input vectors per
+// static instruction, all LRU.
+type IRB struct {
+	geom   Geometry
+	sets   [][]*irbSlot
+	tick   uint64
+	sigBuf []byte
+
+	tests uint64
+	hits  uint64
+}
+
+type irbSlot struct {
+	pc      uint64
+	sigs    []irbSig
+	lastUse uint64
+}
+
+type irbSig struct {
+	sig     string
+	lastUse uint64
+}
+
+// NewIRB builds an empty instruction-reuse buffer with the RTM's geometry.
+func NewIRB(geom Geometry) *IRB {
+	return &IRB{geom: geom, sets: make([][]*irbSlot, geom.Sets)}
+}
+
+// TestAndRecord reports whether e's input vector is present for its PC
+// (instruction-level reusable with this finite table) and records the
+// vector.  Side-effecting instructions are never reusable and never
+// recorded.
+func (b *IRB) TestAndRecord(e *trace.Exec) bool {
+	if e.SideEffect {
+		return false
+	}
+	b.tests++
+	b.tick++
+	set := int(e.PC) & (b.geom.Sets - 1)
+	var slot *irbSlot
+	for _, s := range b.sets[set] {
+		if s.pc == e.PC {
+			slot = s
+			break
+		}
+	}
+	if slot == nil {
+		slot = &irbSlot{pc: e.PC}
+		if len(b.sets[set]) >= b.geom.PCWays {
+			b.evictLRUSlot(set)
+		}
+		b.sets[set] = append(b.sets[set], slot)
+	}
+	slot.lastUse = b.tick
+
+	b.sigBuf = trace.AppendInputSignature(b.sigBuf[:0], e)
+	for i := range slot.sigs {
+		if slot.sigs[i].sig == string(b.sigBuf) {
+			slot.sigs[i].lastUse = b.tick
+			b.hits++
+			return true
+		}
+	}
+	if len(slot.sigs) >= b.geom.TracesPerPC {
+		victim, vi := uint64(1)<<63, -1
+		for i := range slot.sigs {
+			if slot.sigs[i].lastUse < victim {
+				victim, vi = slot.sigs[i].lastUse, i
+			}
+		}
+		slot.sigs = append(slot.sigs[:vi], slot.sigs[vi+1:]...)
+	}
+	slot.sigs = append(slot.sigs, irbSig{sig: string(b.sigBuf), lastUse: b.tick})
+	return false
+}
+
+// HitRate returns the fraction of tests that found their input vector.
+func (b *IRB) HitRate() float64 {
+	if b.tests == 0 {
+		return 0
+	}
+	return float64(b.hits) / float64(b.tests)
+}
+
+func (b *IRB) evictLRUSlot(set int) {
+	victim, vi := uint64(1)<<63, -1
+	for i, s := range b.sets[set] {
+		if s.lastUse < victim {
+			victim, vi = s.lastUse, i
+		}
+	}
+	b.sets[set] = append(b.sets[set][:vi], b.sets[set][vi+1:]...)
+}

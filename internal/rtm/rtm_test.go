@@ -1,0 +1,279 @@
+package rtm
+
+import (
+	"testing"
+
+	"github.com/tracereuse/tlr/internal/trace"
+)
+
+// fakeState is a State backed by a map (unit tests only).
+type fakeState map[trace.Loc]uint64
+
+func (f fakeState) ReadLoc(l trace.Loc) uint64 { return f[l] }
+
+func sum(pc uint64, n int, ins, outs []trace.Ref) trace.Summary {
+	return trace.Summary{StartPC: pc, Next: pc + uint64(n), Len: n, Ins: ins, Outs: outs}
+}
+
+func TestGeometryEntries(t *testing.T) {
+	cases := []struct {
+		g    Geometry
+		want int
+	}{
+		{Geometry512, 512},
+		{Geometry4K, 4096},
+		{Geometry32K, 32768},
+		{Geometry256K, 262144},
+	}
+	for _, c := range cases {
+		if got := c.g.Entries(); got != c.want {
+			t.Errorf("%v Entries = %d, want %d", c.g, got, c.want)
+		}
+	}
+}
+
+func TestLookupMatchesOnlyWhenInputsMatch(t *testing.T) {
+	m := New(Geometry{Sets: 4, PCWays: 2, TracesPerPC: 2}, 1)
+	s := sum(8, 3,
+		[]trace.Ref{{Loc: trace.IntReg(1), Val: 10}, {Loc: trace.Mem(100), Val: 7}},
+		[]trace.Ref{{Loc: trace.IntReg(2), Val: 20}})
+	m.Insert(s)
+
+	good := fakeState{trace.IntReg(1): 10, trace.Mem(100): 7}
+	if e := m.Lookup(8, good); e == nil {
+		t.Fatal("expected hit with matching state")
+	}
+	badReg := fakeState{trace.IntReg(1): 11, trace.Mem(100): 7}
+	if e := m.Lookup(8, badReg); e != nil {
+		t.Fatal("hit despite register mismatch")
+	}
+	badMem := fakeState{trace.IntReg(1): 10, trace.Mem(100): 8}
+	if e := m.Lookup(8, badMem); e != nil {
+		t.Fatal("hit despite memory mismatch")
+	}
+	if e := m.Lookup(9, good); e != nil {
+		t.Fatal("hit at wrong PC")
+	}
+}
+
+func TestMultipleTracesPerPC(t *testing.T) {
+	// Up to TracesPerPC variants with different live-in values coexist.
+	m := New(Geometry{Sets: 4, PCWays: 2, TracesPerPC: 2}, 1)
+	for v := uint64(1); v <= 2; v++ {
+		m.Insert(sum(8, 2, []trace.Ref{{Loc: trace.IntReg(1), Val: v}}, nil))
+	}
+	for v := uint64(1); v <= 2; v++ {
+		if e := m.Lookup(8, fakeState{trace.IntReg(1): v}); e == nil {
+			t.Errorf("variant v=%d missing", v)
+		}
+	}
+}
+
+func TestTraceLRUEviction(t *testing.T) {
+	m := New(Geometry{Sets: 4, PCWays: 2, TracesPerPC: 2}, 1)
+	mkv := func(v uint64) trace.Summary {
+		return sum(8, 2, []trace.Ref{{Loc: trace.IntReg(1), Val: v}}, nil)
+	}
+	m.Insert(mkv(1))
+	m.Insert(mkv(2))
+	// Touch v=1 so v=2 becomes LRU.
+	if m.Lookup(8, fakeState{trace.IntReg(1): 1}) == nil {
+		t.Fatal("v=1 should hit")
+	}
+	m.Insert(mkv(3)) // evicts v=2
+	if m.Lookup(8, fakeState{trace.IntReg(1): 2}) != nil {
+		t.Error("v=2 should have been evicted (LRU)")
+	}
+	if m.Lookup(8, fakeState{trace.IntReg(1): 1}) == nil || m.Lookup(8, fakeState{trace.IntReg(1): 3}) == nil {
+		t.Error("v=1 and v=3 should remain")
+	}
+	if m.Stats().TraceEvicts != 1 {
+		t.Errorf("TraceEvicts = %d", m.Stats().TraceEvicts)
+	}
+}
+
+func TestPCLRUEviction(t *testing.T) {
+	// Sets=1 so all PCs collide; PCWays=2.
+	m := New(Geometry{Sets: 1, PCWays: 2, TracesPerPC: 1}, 1)
+	m.Insert(sum(10, 1, nil, nil))
+	m.Insert(sum(20, 1, nil, nil))
+	if m.Lookup(10, fakeState{}) == nil { // refresh PC 10
+		t.Fatal("pc 10 should hit")
+	}
+	m.Insert(sum(30, 1, nil, nil)) // evicts PC 20
+	if m.Lookup(20, fakeState{}) != nil {
+		t.Error("pc 20 should have been evicted")
+	}
+	if m.Lookup(10, fakeState{}) == nil || m.Lookup(30, fakeState{}) == nil {
+		t.Error("pc 10 and 30 should remain")
+	}
+	if m.Stats().PCEvicts != 1 {
+		t.Errorf("PCEvicts = %d", m.Stats().PCEvicts)
+	}
+}
+
+func TestSetIndexUsesLowPCBits(t *testing.T) {
+	m := New(Geometry{Sets: 4, PCWays: 1, TracesPerPC: 1}, 1)
+	// PCs 0..3 map to distinct sets: no eviction needed.
+	for pc := uint64(0); pc < 4; pc++ {
+		m.Insert(sum(pc, 1, nil, nil))
+	}
+	if m.Stats().PCEvicts != 0 {
+		t.Errorf("PCEvicts = %d, want 0 (distinct sets)", m.Stats().PCEvicts)
+	}
+	for pc := uint64(0); pc < 4; pc++ {
+		if m.Lookup(pc, fakeState{}) == nil {
+			t.Errorf("pc %d missing", pc)
+		}
+	}
+	// PCs 4 and 0 collide (same low bits): inserting 4 evicts 0.
+	m.Insert(sum(4, 1, nil, nil))
+	if m.Lookup(0, fakeState{}) != nil {
+		t.Error("pc 0 should have been evicted by pc 4")
+	}
+}
+
+func TestInsertDedupeRefreshes(t *testing.T) {
+	m := New(Geometry{Sets: 4, PCWays: 2, TracesPerPC: 4}, 1)
+	s := sum(8, 2, []trace.Ref{{Loc: trace.IntReg(1), Val: 5}}, nil)
+	m.Insert(s)
+	m.Insert(s)
+	if m.Stored() != 1 {
+		t.Errorf("Stored = %d, want 1 (dedupe)", m.Stored())
+	}
+	if st := m.Stats(); st.Inserts != 1 || st.Refreshes != 1 {
+		t.Errorf("Inserts=%d Refreshes=%d", st.Inserts, st.Refreshes)
+	}
+}
+
+func TestInsertDedupePrefersLonger(t *testing.T) {
+	m := New(Geometry{Sets: 4, PCWays: 2, TracesPerPC: 4}, 1)
+	short := sum(8, 2, []trace.Ref{{Loc: trace.IntReg(1), Val: 5}}, nil)
+	long := sum(8, 6, []trace.Ref{{Loc: trace.IntReg(1), Val: 5}}, nil)
+	m.Insert(short)
+	m.Insert(long)
+	e := m.Lookup(8, fakeState{trace.IntReg(1): 5})
+	if e == nil || e.Sum.Len != 6 {
+		t.Fatalf("expected expanded 6-instr entry, got %+v", e)
+	}
+	// A later short duplicate must not shrink it back.
+	m.Insert(short)
+	e = m.Lookup(8, fakeState{trace.IntReg(1): 5})
+	if e.Sum.Len != 6 {
+		t.Errorf("entry shrank to %d", e.Sum.Len)
+	}
+}
+
+func TestMinLenRejectsShortTraces(t *testing.T) {
+	m := New(Geometry{Sets: 4, PCWays: 2, TracesPerPC: 4}, 3)
+	m.Insert(sum(8, 2, nil, nil))
+	if m.Stored() != 0 {
+		t.Error("2-instruction trace should be rejected with MinLen=3")
+	}
+	if m.Stats().RejectedShort != 1 {
+		t.Errorf("RejectedShort = %d", m.Stats().RejectedShort)
+	}
+	m.Insert(sum(8, 3, nil, nil))
+	if m.Stored() != 1 {
+		t.Error("3-instruction trace should be accepted")
+	}
+}
+
+func TestNewPanicsOnBadSets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-power-of-two sets")
+		}
+	}()
+	New(Geometry{Sets: 3, PCWays: 1, TracesPerPC: 1}, 1)
+}
+
+func TestTopTraces(t *testing.T) {
+	m := New(Geometry{Sets: 4, PCWays: 2, TracesPerPC: 2}, 1)
+	m.Insert(sum(8, 5, nil, nil))
+	m.Insert(sum(9, 3, nil, nil))
+	m.Insert(sum(10, 7, nil, nil)) // never hit
+	for i := 0; i < 3; i++ {
+		m.Lookup(8, fakeState{})
+	}
+	m.Lookup(9, fakeState{})
+	top := m.TopTraces(10)
+	if len(top) != 2 {
+		t.Fatalf("TopTraces = %d entries, want 2 (zero-hit entries excluded)", len(top))
+	}
+	if top[0].StartPC != 8 || top[0].Hits != 3 || top[0].Len != 5 {
+		t.Errorf("top[0] = %+v", top[0])
+	}
+	if top[1].StartPC != 9 || top[1].Hits != 1 {
+		t.Errorf("top[1] = %+v", top[1])
+	}
+	if got := m.TopTraces(1); len(got) != 1 || got[0].StartPC != 8 {
+		t.Errorf("TopTraces(1) = %v", got)
+	}
+}
+
+func TestIRBTestAndRecord(t *testing.T) {
+	b := NewIRB(Geometry{Sets: 4, PCWays: 2, TracesPerPC: 2})
+	var e trace.Exec
+	e.PC = 5
+	e.AddIn(trace.IntReg(1), 9)
+	if b.TestAndRecord(&e) {
+		t.Error("first sight must not be reusable")
+	}
+	if !b.TestAndRecord(&e) {
+		t.Error("second sight must be reusable")
+	}
+	var f trace.Exec
+	f.PC = 5
+	f.AddIn(trace.IntReg(1), 10)
+	if b.TestAndRecord(&f) {
+		t.Error("different value must not be reusable")
+	}
+	if got := b.HitRate(); got <= 0 || got >= 1 {
+		t.Errorf("HitRate = %v", got)
+	}
+}
+
+func TestIRBSignatureCapacity(t *testing.T) {
+	// TracesPerPC=2 signatures per static instruction, LRU.
+	b := NewIRB(Geometry{Sets: 1, PCWays: 1, TracesPerPC: 2})
+	mk := func(v uint64) *trace.Exec {
+		var e trace.Exec
+		e.PC = 5
+		e.AddIn(trace.IntReg(1), v)
+		return &e
+	}
+	b.TestAndRecord(mk(1))
+	b.TestAndRecord(mk(2))
+	b.TestAndRecord(mk(1)) // refresh 1, 2 becomes LRU
+	b.TestAndRecord(mk(3)) // evicts 2
+	if b.TestAndRecord(mk(2)) {
+		t.Error("evicted signature must not hit")
+	}
+	// note: the miss above re-recorded 2, evicting the LRU (1 or 3)
+}
+
+func TestIRBSideEffectNeverRecorded(t *testing.T) {
+	b := NewIRB(Geometry{Sets: 1, PCWays: 1, TracesPerPC: 2})
+	var e trace.Exec
+	e.PC = 5
+	e.SideEffect = true
+	if b.TestAndRecord(&e) || b.TestAndRecord(&e) {
+		t.Error("side-effecting instruction must never be reusable")
+	}
+}
+
+func TestIRBPCCollisionEviction(t *testing.T) {
+	b := NewIRB(Geometry{Sets: 1, PCWays: 1, TracesPerPC: 4})
+	mk := func(pc uint64) *trace.Exec {
+		var e trace.Exec
+		e.PC = pc
+		e.AddIn(trace.IntReg(1), 1)
+		return &e
+	}
+	b.TestAndRecord(mk(5))
+	b.TestAndRecord(mk(6)) // evicts pc 5's slot (1 way)
+	if b.TestAndRecord(mk(5)) {
+		t.Error("pc 5 must have been evicted")
+	}
+}

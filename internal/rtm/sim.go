@@ -1,0 +1,412 @@
+package rtm
+
+import (
+	"fmt"
+
+	"github.com/tracereuse/tlr/internal/cpu"
+	"github.com/tracereuse/tlr/internal/trace"
+)
+
+// Heuristic selects the dynamic trace-collection policy of §4.6.
+type Heuristic int
+
+// The paper's three collection heuristics.
+const (
+	// ILRNE: a trace is a run of instructions reusable at instruction
+	// level (per the finite IRB); no expansion.
+	ILRNE Heuristic = iota
+	// ILREXP: like ILRNE, but a reused trace is dynamically expanded
+	// with the reusable instructions (or further reused traces) that
+	// follow it.
+	ILREXP
+	// IEXP: traces are fixed runs of N instructions of any kind; a
+	// reused trace is expanded with N more instructions.
+	IEXP
+)
+
+// String returns the paper's name for the heuristic.
+func (h Heuristic) String() string {
+	switch h {
+	case ILRNE:
+		return "ILR NE"
+	case ILREXP:
+		return "ILR EXP"
+	case IEXP:
+		return "I(n) EXP"
+	default:
+		return fmt.Sprintf("heuristic(%d)", int(h))
+	}
+}
+
+// Config configures one realistic RTM simulation.
+type Config struct {
+	Geometry  Geometry
+	Caps      trace.Caps // zero value means DefaultCaps
+	Heuristic Heuristic
+	N         int // I(n) EXP chunk size; ignored by the ILR heuristics
+	MinLen    int // minimum stored trace length (default 1)
+
+	// InvalidateOnWrite selects the paper's §3.3 valid-bit reuse test:
+	// the reuse test only checks that the entry is still valid, and any
+	// architectural write kills every entry reading that location.
+	InvalidateOnWrite bool
+
+	// Verify cross-checks every reuse hit against real execution on a
+	// cloned CPU and fails the run on any state divergence.  It is the
+	// package's differential correctness oracle (slow; tests only).
+	Verify bool
+}
+
+func (c Config) caps() trace.Caps {
+	if c.Caps == (trace.Caps{}) {
+		return DefaultCaps
+	}
+	return c.Caps
+}
+
+// Result summarises one simulation.
+type Result struct {
+	Executed uint64 // instructions actually executed
+	Skipped  uint64 // instructions skipped through trace reuse
+	Hits     uint64 // reuse operations
+	RTM      Stats
+	Stored   int
+	IRBRate  float64
+	// Top holds the most-reused stored traces (up to 10), the
+	// profiler's answer to "where does the reuse live?".
+	Top []TraceProfile
+}
+
+// Total returns all retired instructions (executed + skipped).
+func (r Result) Total() uint64 { return r.Executed + r.Skipped }
+
+// ReusedFraction is the paper's Fig. 9a metric: skipped / total.
+func (r Result) ReusedFraction() float64 {
+	if r.Total() == 0 {
+		return 0
+	}
+	return float64(r.Skipped) / float64(r.Total())
+}
+
+// AvgReusedLen is the paper's Fig. 9b metric: mean reused trace size.
+func (r Result) AvgReusedLen() float64 {
+	if r.Hits == 0 {
+		return 0
+	}
+	return float64(r.Skipped) / float64(r.Hits)
+}
+
+// Sim couples a CPU with an RTM: at every fetch it runs the reuse test,
+// skipping reused traces, and feeds executed instructions to the
+// trace-collection heuristic.
+type Sim struct {
+	cfg Config
+	cpu *cpu.CPU
+	rtm *RTM
+	col collector
+
+	executed uint64
+	skipped  uint64
+	hits     uint64
+}
+
+// NewSim builds a simulation over an existing CPU (typically fresh).
+func NewSim(cfg Config, c *cpu.CPU) *Sim {
+	m := New(cfg.Geometry, cfg.MinLen)
+	if cfg.InvalidateOnWrite {
+		m.EnableInvalidation()
+	}
+	s := &Sim{cfg: cfg, cpu: c, rtm: m}
+	caps := cfg.caps()
+	switch cfg.Heuristic {
+	case ILRNE:
+		s.col = &ilrCollector{rtm: m, irb: NewIRB(cfg.Geometry), caps: caps, expand: false}
+	case ILREXP:
+		s.col = &ilrCollector{rtm: m, irb: NewIRB(cfg.Geometry), caps: caps, expand: true}
+	case IEXP:
+		n := cfg.N
+		if n < 1 {
+			n = 1
+		}
+		s.col = &fixedCollector{rtm: m, caps: caps, n: n}
+	default:
+		panic(fmt.Sprintf("rtm: unknown heuristic %d", cfg.Heuristic))
+	}
+	return s
+}
+
+// CPU returns the simulated machine.
+func (s *Sim) CPU() *cpu.CPU { return s.cpu }
+
+// RTM returns the trace memory.
+func (s *Sim) RTM() *RTM { return s.rtm }
+
+// Run retires up to budget instructions (executed + skipped), stopping
+// early at HALT.  It returns the result and the first error (wild PC, or a
+// Verify divergence).
+func (s *Sim) Run(budget uint64) (Result, error) {
+	var e trace.Exec
+	for s.executed+s.skipped < budget && !s.cpu.Halted() {
+		if entry := s.rtm.Lookup(s.cpu.PC(), s.cpu); entry != nil {
+			if s.cfg.Verify {
+				if err := s.verify(entry); err != nil {
+					return s.result(), err
+				}
+			}
+			applyEntry(s.cpu, entry)
+			s.skipped += uint64(entry.Sum.Len)
+			s.hits++
+			s.col.reuseHit(entry)
+			// Valid-bit mode: the reused trace's writes invalidate,
+			// after the collector has stored any trace that ended
+			// before this reuse (hardware stores at trace end, so
+			// those entries predate these writes).
+			for _, r := range entry.Sum.Outs {
+				s.rtm.NotifyWrite(r.Loc)
+			}
+			continue
+		}
+		if err := s.cpu.Step(&e); err != nil {
+			return s.result(), err
+		}
+		s.executed++
+		s.col.observe(&e)
+		for _, r := range e.Outputs() {
+			s.rtm.NotifyWrite(r.Loc)
+		}
+	}
+	s.col.finish()
+	return s.result(), nil
+}
+
+func (s *Sim) result() Result {
+	return Result{
+		Executed: s.executed,
+		Skipped:  s.skipped,
+		Hits:     s.hits,
+		RTM:      s.rtm.Stats(),
+		Stored:   s.rtm.Stored(),
+		IRBRate:  s.col.irbRate(),
+		Top:      s.rtm.TopTraces(10),
+	}
+}
+
+// applyEntry performs the processor-state update of §3.3: write every
+// trace output and redirect the PC past the trace.
+func applyEntry(c *cpu.CPU, e *Entry) {
+	for _, r := range e.Sum.Outs {
+		c.WriteLoc(r.Loc, r.Val)
+	}
+	c.SetPC(e.Sum.Next)
+}
+
+// verify executes the trace's instructions on a cloned CPU and checks the
+// shortcut reaches the identical architectural state.
+func (s *Sim) verify(entry *Entry) error {
+	clone := s.cpu.Clone()
+	var e trace.Exec
+	for i := 0; i < entry.Sum.Len; i++ {
+		if err := clone.Step(&e); err != nil {
+			return fmt.Errorf("rtm verify: replaying trace@%d: %w", entry.Sum.StartPC, err)
+		}
+	}
+	if clone.PC() != entry.Sum.Next {
+		return fmt.Errorf("rtm verify: trace@%d: next PC %d, execution reached %d",
+			entry.Sum.StartPC, entry.Sum.Next, clone.PC())
+	}
+	for _, r := range entry.Sum.Outs {
+		if got := clone.ReadLoc(r.Loc); got != r.Val {
+			return fmt.Errorf("rtm verify: trace@%d: output %v recorded %#x, execution produced %#x",
+				entry.Sum.StartPC, r.Loc, r.Val, got)
+		}
+	}
+	// The outputs plus untouched state must reconstruct the full state:
+	// apply to a second clone and compare everything.
+	applied := s.cpu.Clone()
+	applyEntry(applied, entry)
+	for i := 0; i < 32; i++ {
+		n := uint8(i)
+		if applied.Reg(n) != clone.Reg(n) {
+			return fmt.Errorf("rtm verify: trace@%d: r%d applied %#x, executed %#x",
+				entry.Sum.StartPC, n, applied.Reg(n), clone.Reg(n))
+		}
+		if applied.FReg(n) != clone.FReg(n) {
+			return fmt.Errorf("rtm verify: trace@%d: f%d applied %#x, executed %#x",
+				entry.Sum.StartPC, n, applied.FReg(n), clone.FReg(n))
+		}
+	}
+	if !applied.Mem().Equal(clone.Mem()) {
+		return fmt.Errorf("rtm verify: trace@%d: memory divergence", entry.Sum.StartPC)
+	}
+	return nil
+}
+
+// collector is a dynamic trace-collection heuristic.
+type collector interface {
+	observe(e *trace.Exec)
+	reuseHit(entry *Entry)
+	finish()
+	irbRate() float64
+}
+
+// ilrCollector implements ILR NE and ILR EXP.
+type ilrCollector struct {
+	rtm    *RTM
+	irb    *IRB
+	caps   trace.Caps
+	expand bool
+
+	cur *trace.Summarizer // trace being collected (reusable instructions)
+
+	pending    *trace.Summarizer // expansion of a reused trace (EXP only)
+	pendingLen int               // length of the seed entry
+}
+
+func (c *ilrCollector) observe(e *trace.Exec) {
+	reusable := c.irb.TestAndRecord(e)
+	if !reusable {
+		c.finalizeCur()
+		c.finalizePending()
+		return
+	}
+	if c.cur == nil {
+		c.cur = trace.NewSummarizer()
+	}
+	if !c.cur.TryAdd(e, c.caps) {
+		// Entry format full: store what we have, restart at e.
+		c.finalizeCur()
+		c.cur = trace.NewSummarizer()
+		c.cur.TryAdd(e, c.caps)
+	}
+	if c.pending != nil {
+		if !c.pending.TryAdd(e, c.caps) {
+			c.finalizePending()
+		}
+	}
+}
+
+func (c *ilrCollector) reuseHit(entry *Entry) {
+	c.finalizeCur()
+	if !c.expand {
+		return
+	}
+	if c.pending != nil {
+		// Two consecutive traces reused: merge them into one entry.
+		if c.pending.NextPC() == entry.Sum.StartPC && c.pending.TryMerge(&entry.Sum, c.caps) {
+			return
+		}
+		c.finalizePending()
+	}
+	c.pending = trace.NewSummarizer()
+	c.pending.Seed(&entry.Sum)
+	c.pendingLen = entry.Sum.Len
+}
+
+func (c *ilrCollector) finish() {
+	c.finalizeCur()
+	c.finalizePending()
+}
+
+func (c *ilrCollector) irbRate() float64 { return c.irb.HitRate() }
+
+func (c *ilrCollector) finalizeCur() {
+	if c.cur != nil && !c.cur.Empty() {
+		c.rtm.Insert(c.cur.Summary())
+	}
+	c.cur = nil
+}
+
+func (c *ilrCollector) finalizePending() {
+	if c.pending != nil && c.pending.Len() > c.pendingLen {
+		c.rtm.Insert(c.pending.Summary())
+	}
+	c.pending = nil
+}
+
+// fixedCollector implements I(n) EXP: fixed n-instruction traces of any
+// instructions, expanded by n on reuse.
+type fixedCollector struct {
+	rtm  *RTM
+	caps trace.Caps
+	n    int
+
+	cur *trace.Summarizer
+
+	pending      *trace.Summarizer
+	pendingBase  int // length of the seed entry
+	pendingExtra int // instructions appended since the seed
+}
+
+func (c *fixedCollector) observe(e *trace.Exec) {
+	if e.SideEffect {
+		// OUT/HALT can never be replayed from a table: close both
+		// builders before it.
+		c.finalizeCur()
+		c.finalizePending()
+		return
+	}
+	if c.cur == nil {
+		c.cur = trace.NewSummarizer()
+	}
+	if !c.cur.TryAdd(e, c.caps) {
+		c.finalizeCur()
+		c.cur = trace.NewSummarizer()
+		c.cur.TryAdd(e, c.caps)
+	}
+	if c.cur.Len() >= c.n {
+		c.finalizeCur()
+	}
+
+	if c.pending != nil {
+		if !c.pending.TryAdd(e, c.caps) {
+			c.finalizePending()
+		} else {
+			c.pendingExtra++
+			if c.pendingExtra >= c.n {
+				c.finalizePending()
+			}
+		}
+	}
+}
+
+func (c *fixedCollector) reuseHit(entry *Entry) {
+	// A partial fixed-length trace interrupted by a hit is an arbitrary
+	// cut: drop it rather than polluting the table.
+	c.cur = nil
+	if c.pending != nil {
+		// Consecutive reuses: merge the new trace into the expansion.
+		if c.pending.NextPC() == entry.Sum.StartPC && c.pending.TryMerge(&entry.Sum, c.caps) {
+			c.pendingExtra += entry.Sum.Len
+			if c.pendingExtra >= c.n {
+				c.finalizePending()
+			}
+			return
+		}
+		c.finalizePending()
+	}
+	c.pending = trace.NewSummarizer()
+	c.pending.Seed(&entry.Sum)
+	c.pendingBase = entry.Sum.Len
+	c.pendingExtra = 0
+}
+
+func (c *fixedCollector) finish() {
+	c.finalizeCur()
+	c.finalizePending()
+}
+
+func (c *fixedCollector) irbRate() float64 { return 0 }
+
+func (c *fixedCollector) finalizeCur() {
+	if c.cur != nil && !c.cur.Empty() {
+		c.rtm.Insert(c.cur.Summary())
+	}
+	c.cur = nil
+}
+
+func (c *fixedCollector) finalizePending() {
+	if c.pending != nil && c.pending.Len() > c.pendingBase {
+		c.rtm.Insert(c.pending.Summary())
+	}
+	c.pending = nil
+}

@@ -1,0 +1,303 @@
+package rtm
+
+import (
+	"testing"
+
+	"github.com/tracereuse/tlr/internal/asm"
+	"github.com/tracereuse/tlr/internal/cpu"
+	"github.com/tracereuse/tlr/internal/trace"
+)
+
+// loopProg is a small program whose loop body repeats with identical
+// values: ideal trace-reuse food.  It sums a constant array k times.
+// The inner loop has 4 iterations so that its 4 distinct input vectors
+// per static instruction fit the 4-signature IRB of the 512-entry
+// geometry (recurrence distance must not exceed IRB associativity, or the
+// ILR heuristics thrash — exactly the §4.6 capacity effect).
+const loopProg = `
+main:   ldi  r9, 50          ; outer repetitions
+outer:  la   r1, arr
+        ldi  r2, 0           ; sum
+        ldi  r3, 4           ; count
+inner:  ld   r4, 0(r1)
+        add  r2, r2, r4
+        addi r1, r1, 1
+        subi r3, r3, 1
+        bgtz r3, inner
+        st   r2, result
+        subi r9, r9, 1
+        bgtz r9, outer
+        halt
+        .data
+arr:    .word 1, 2, 3, 4
+result: .space 1
+`
+
+// lcgProg never repeats values: a linear congruential generator chain.
+// Nothing (except the loop control) should ever be reusable.
+const lcgProg = `
+main:   ldi  r1, 12345
+        ldi  r9, 400
+loop:   muli r1, r1, 1103515245
+        addi r1, r1, 12345
+        subi r9, r9, 1
+        bgtz r9, loop
+        st   r1, out
+        halt
+        .data
+out:    .space 1
+`
+
+func newSim(t *testing.T, src string, cfg Config) *Sim {
+	t.Helper()
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return NewSim(cfg, cpu.New(prog))
+}
+
+func runSim(t *testing.T, src string, cfg Config, budget uint64) Result {
+	t.Helper()
+	s := newSim(t, src, cfg)
+	res, err := s.Run(budget)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+var testGeom = Geometry{Sets: 32, PCWays: 4, TracesPerPC: 4} // 512 entries
+
+func TestSimReusesRepeatedLoop(t *testing.T) {
+	for _, h := range []Heuristic{ILRNE, ILREXP, IEXP} {
+		res := runSim(t, loopProg, Config{Geometry: testGeom, Heuristic: h, N: 4, Verify: true}, 100000)
+		if res.Skipped == 0 {
+			t.Errorf("%v: no instructions reused on a repetitive loop", h)
+		}
+		if res.ReusedFraction() < 0.2 {
+			t.Errorf("%v: reused fraction %.3f suspiciously low", h, res.ReusedFraction())
+		}
+	}
+}
+
+func TestSimLCGBarelyReuses(t *testing.T) {
+	res := runSim(t, lcgProg, Config{Geometry: testGeom, Heuristic: ILRNE, Verify: true}, 100000)
+	// Only the loop-control instructions could ever repeat values; the
+	// multiply/add chain never does.  Reuse must be near zero.
+	if res.ReusedFraction() > 0.05 {
+		t.Errorf("LCG reused fraction %.3f, expected ~0", res.ReusedFraction())
+	}
+}
+
+func TestSimCorrectnessDifferential(t *testing.T) {
+	// The decisive test: for every heuristic, the RTM-accelerated run must
+	// end in exactly the same architectural state as plain execution.
+	// Verify=true already cross-checks every hit; here we additionally
+	// compare the final states.
+	prog, err := asm.Assemble(loopProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := cpu.New(prog)
+	if _, err := ref.Run(1_000_000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Halted() {
+		t.Fatal("reference did not halt")
+	}
+	for _, h := range []Heuristic{ILRNE, ILREXP, IEXP} {
+		s := newSim(t, loopProg, Config{Geometry: testGeom, Heuristic: h, N: 4, Verify: true})
+		if _, err := s.Run(1_000_000); err != nil {
+			t.Fatalf("%v: %v", h, err)
+		}
+		c := s.CPU()
+		if !c.Halted() {
+			t.Fatalf("%v: did not halt", h)
+		}
+		for i := 0; i < 32; i++ {
+			if c.Reg(uint8(i)) != ref.Reg(uint8(i)) {
+				t.Errorf("%v: r%d = %#x, want %#x", h, i, c.Reg(uint8(i)), ref.Reg(uint8(i)))
+			}
+		}
+		if !c.Mem().Equal(ref.Mem()) {
+			t.Errorf("%v: final memory diverges from reference", h)
+		}
+	}
+}
+
+func TestSimBudgetCountsSkipped(t *testing.T) {
+	// The budget counts skipped instructions too; a trailing trace reuse
+	// may overshoot by at most one trace length.
+	res := runSim(t, loopProg, Config{Geometry: testGeom, Heuristic: IEXP, N: 4}, 500)
+	if res.Total() < 500 {
+		t.Errorf("Total = %d, should reach the 500 budget", res.Total())
+	}
+	var maxLen int
+	for _, set := range runSimRTM(t, loopProg, Config{Geometry: testGeom, Heuristic: IEXP, N: 4}, 500).sets {
+		for _, slot := range set {
+			for _, e := range slot.traces {
+				if e.Sum.Len > maxLen {
+					maxLen = e.Sum.Len
+				}
+			}
+		}
+	}
+	if res.Total() > 500+uint64(maxLen) {
+		t.Errorf("Total = %d overshoots budget 500 by more than one trace (max len %d)", res.Total(), maxLen)
+	}
+}
+
+// runSimRTM runs a sim and returns its RTM for inspection.
+func runSimRTM(t *testing.T, src string, cfg Config, budget uint64) *RTM {
+	t.Helper()
+	s := newSim(t, src, cfg)
+	if _, err := s.Run(budget); err != nil {
+		t.Fatal(err)
+	}
+	return s.RTM()
+}
+
+func TestIEXPExpansionGrowsTraces(t *testing.T) {
+	res := runSim(t, loopProg, Config{Geometry: testGeom, Heuristic: IEXP, N: 2, Verify: true}, 50000)
+	// With expansion, reused traces should grow beyond the initial n=2.
+	if res.AvgReusedLen() <= 2.0 {
+		t.Errorf("I(2) EXP avg reused len = %.2f, expansion should exceed 2", res.AvgReusedLen())
+	}
+}
+
+func TestILREXPGrowsBeyondNE(t *testing.T) {
+	ne := runSim(t, loopProg, Config{Geometry: testGeom, Heuristic: ILRNE, Verify: true}, 50000)
+	exp := runSim(t, loopProg, Config{Geometry: testGeom, Heuristic: ILREXP, Verify: true}, 50000)
+	if exp.AvgReusedLen() < ne.AvgReusedLen() {
+		t.Errorf("ILR EXP avg len %.2f < ILR NE %.2f; expansion should not shrink traces",
+			exp.AvgReusedLen(), ne.AvgReusedLen())
+	}
+}
+
+func TestCapacityImprovesReuse(t *testing.T) {
+	// A program with many distinct loop bodies stresses capacity: a
+	// bigger RTM must not reuse less.  Build a program with 32 distinct
+	// unrolled blocks cycled repeatedly.
+	src := "main:   ldi r9, 30\nouter:\n"
+	for b := 0; b < 32; b++ {
+		src += "        ldi r1, " + itoa(b*100) + "\n"
+		src += "        addi r2, r1, 1\n"
+		src += "        addi r3, r2, 2\n"
+		src += "        add  r4, r2, r3\n"
+	}
+	src += "        subi r9, r9, 1\n        bgtz r9, outer\n        halt\n"
+	tiny := Geometry{Sets: 2, PCWays: 2, TracesPerPC: 2} // 8 entries
+	big := Geometry{Sets: 32, PCWays: 4, TracesPerPC: 4} // 512 entries
+	rTiny := runSim(t, src, Config{Geometry: tiny, Heuristic: IEXP, N: 4, Verify: true}, 50000)
+	rBig := runSim(t, src, Config{Geometry: big, Heuristic: IEXP, N: 4, Verify: true}, 50000)
+	if rBig.ReusedFraction() < rTiny.ReusedFraction() {
+		t.Errorf("big RTM reuses %.3f < tiny %.3f", rBig.ReusedFraction(), rTiny.ReusedFraction())
+	}
+	if rBig.ReusedFraction() < 0.3 {
+		t.Errorf("big RTM reuse %.3f too low for a fully repetitive program", rBig.ReusedFraction())
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+func TestSideEffectsNeverSkipped(t *testing.T) {
+	// Every OUT must fire exactly as often as in plain execution even
+	// with aggressive reuse.
+	src := `
+main:   ldi  r9, 20
+loop:   ldi  r1, 7
+        addi r1, r1, 1
+        out  r1
+        subi r9, r9, 1
+        bgtz r9, loop
+        halt
+`
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outs []uint64
+	c := cpu.New(prog, cpu.WithOutput(func(v uint64) { outs = append(outs, v) }))
+	s := NewSim(Config{Geometry: testGeom, Heuristic: IEXP, N: 8, Verify: true}, c)
+	if _, err := s.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 20 {
+		t.Errorf("OUT fired %d times, want 20", len(outs))
+	}
+	for _, v := range outs {
+		if v != 8 {
+			t.Errorf("OUT value %d, want 8", v)
+		}
+	}
+}
+
+func TestFunctionCallTraces(t *testing.T) {
+	// Calls and returns inside traces: a pure function called with the
+	// same argument repeatedly becomes a reused trace spanning the call.
+	// The ILR heuristic finds the reuse-friendly boundary automatically
+	// (the run [ldi, jsr, mul, ret] excluding the changing loop counter),
+	// which fixed-length I(n) chunks cannot isolate here — the paper's
+	// §3.2 motivation for reusability-driven collection.
+	src := `
+main:   ldi  r9, 40
+loop:   ldi  r1, 6
+        call square
+        subi r9, r9, 1
+        bgtz r9, loop
+        halt
+square: mul  r1, r1, r1
+        ret
+`
+	res := runSim(t, src, Config{Geometry: testGeom, Heuristic: ILRNE, Verify: true}, 100000)
+	if res.ReusedFraction() < 0.3 {
+		t.Errorf("call-heavy reuse fraction %.3f too low", res.ReusedFraction())
+	}
+	// The reused trace spans the whole call body: ldi, jsr, mul, ret.
+	if res.AvgReusedLen() < 3.5 {
+		t.Errorf("avg reused trace len %.2f; the call body should reuse as one trace", res.AvgReusedLen())
+	}
+}
+
+func TestVerifyCatchesCorruptedEntry(t *testing.T) {
+	// Plant a deliberately wrong trace entry and check the differential
+	// oracle trips on the very first hit.
+	prog, err := asm.Assemble("main: ldi r1, 5\n addi r2, r1, 1\n halt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(prog)
+	s := NewSim(Config{Geometry: testGeom, Heuristic: IEXP, N: 4, Verify: true}, c)
+	s.RTM().Insert(trace.Summary{
+		StartPC: 0,
+		Next:    2,
+		Len:     2,
+		// No live-ins: matches unconditionally at PC 0.
+		Outs: []trace.Ref{
+			{Loc: trace.IntReg(1), Val: 999}, // execution produces 5
+			{Loc: trace.IntReg(2), Val: 6},
+		},
+	})
+	if _, err := s.Run(100); err == nil {
+		t.Error("Verify should have caught the corrupted entry")
+	}
+}
+
+func TestHeuristicStrings(t *testing.T) {
+	if ILRNE.String() != "ILR NE" || ILREXP.String() != "ILR EXP" || IEXP.String() != "I(n) EXP" {
+		t.Error("heuristic names changed")
+	}
+}

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/tracereuse/tlr/internal/isa"
+)
+
+// Exec records one executed dynamic instruction: everything a reuse engine
+// needs and nothing more.  It is the Go equivalent of one record of the
+// paper's ATOM-generated dynamic trace.
+//
+// Inputs appear in architectural read order and outputs in write order,
+// matching the IL(T)/OL(T) sequences of the paper's appendix.  Reads of the
+// zero registers (r31/f31) are architectural constants and are excluded.
+type Exec struct {
+	PC   uint64 // instruction index of this instruction
+	Next uint64 // instruction index executed after this one
+	Op   isa.Op
+	Lat  uint8 // execution latency in cycles
+	NIn  uint8
+	NOut uint8
+	// SideEffect marks instructions whose effects escape the
+	// register+memory state (OUT, HALT); they are never reusable.
+	SideEffect bool
+
+	In  [3]Ref // valid: In[:NIn]
+	Out [2]Ref // valid: Out[:NOut]
+}
+
+// Inputs returns the valid input references (aliases the Exec's storage).
+func (e *Exec) Inputs() []Ref { return e.In[:e.NIn] }
+
+// Outputs returns the valid output references (aliases the Exec's storage).
+func (e *Exec) Outputs() []Ref { return e.Out[:e.NOut] }
+
+// AddIn appends an input reference.  It panics if the fixed capacity is
+// exceeded, which would indicate an ISA metadata bug.
+func (e *Exec) AddIn(l Loc, v uint64) {
+	if int(e.NIn) >= len(e.In) {
+		panic("trace: too many inputs for Exec")
+	}
+	e.In[e.NIn] = Ref{Loc: l, Val: v}
+	e.NIn++
+}
+
+// AddOut appends an output reference.
+func (e *Exec) AddOut(l Loc, v uint64) {
+	if int(e.NOut) >= len(e.Out) {
+		panic("trace: too many outputs for Exec")
+	}
+	e.Out[e.NOut] = Ref{Loc: l, Val: v}
+	e.NOut++
+}
+
+// Reset clears the record for reuse by the simulator's step loop.
+func (e *Exec) Reset() {
+	e.NIn, e.NOut, e.SideEffect = 0, 0, false
+}
+
+// String renders a compact human-readable form for debugging.
+func (e *Exec) String() string {
+	return fmt.Sprintf("pc=%d %s in=%v out=%v next=%d", e.PC, e.Op, e.Inputs(), e.Outputs(), e.Next)
+}
+
+// AppendInputSignature appends an exact byte encoding of the instruction's
+// input sequence (locations and values, in read order) to buf and returns
+// the extended slice.  Two dynamic instances of the same static instruction
+// are mutually reusable exactly when their signatures are byte-equal; the
+// encoding is collision-free, so limit studies cannot overcount reuse.
+func AppendInputSignature(buf []byte, e *Exec) []byte {
+	var tmp [16]byte
+	for _, r := range e.Inputs() {
+		binary.LittleEndian.PutUint64(tmp[0:8], uint64(r.Loc))
+		binary.LittleEndian.PutUint64(tmp[8:16], r.Val)
+		buf = append(buf, tmp[:]...)
+	}
+	return buf
+}
+
+// AppendRefSignature appends the exact byte encoding of an arbitrary
+// reference sequence (used for whole-trace input signatures).
+func AppendRefSignature(buf []byte, refs []Ref) []byte {
+	var tmp [16]byte
+	for _, r := range refs {
+		binary.LittleEndian.PutUint64(tmp[0:8], uint64(r.Loc))
+		binary.LittleEndian.PutUint64(tmp[8:16], r.Val)
+		buf = append(buf, tmp[:]...)
+	}
+	return buf
+}

@@ -1,0 +1,78 @@
+// Package trace defines the dynamic instruction stream consumed by every
+// reuse engine: storage locations, operand references, per-instruction
+// execution records, input signatures, and live-in/live-out analysis of
+// instruction runs (the paper's trace inputs and outputs, §3.1).
+package trace
+
+import "fmt"
+
+// Loc names one architectural storage location: an integer register, a
+// floating-point register, or a 64-bit memory word.  The paper also lists
+// condition codes; this ISA has none (compare results live in registers).
+//
+// The encoding packs a 2-bit kind above a 62-bit index so Loc is usable as
+// a compact map key.
+type Loc uint64
+
+// Kind is the storage class of a Loc.
+type Kind uint8
+
+// Location kinds.
+const (
+	KindIntReg Kind = 0
+	KindFPReg  Kind = 1
+	KindMem    Kind = 2
+)
+
+const (
+	kindShift = 62
+	indexMask = (uint64(1) << kindShift) - 1
+)
+
+// IntReg returns the location of integer register r.
+func IntReg(r uint8) Loc { return Loc(uint64(KindIntReg)<<kindShift | uint64(r)) }
+
+// FPReg returns the location of floating-point register r.
+func FPReg(r uint8) Loc { return Loc(uint64(KindFPReg)<<kindShift | uint64(r)) }
+
+// Mem returns the location of the memory word at word-address addr.  The
+// address must fit in 62 bits, which the simulator guarantees.
+func Mem(addr uint64) Loc { return Loc(uint64(KindMem)<<kindShift | (addr & indexMask)) }
+
+// Kind returns the storage class of l.
+func (l Loc) Kind() Kind { return Kind(uint64(l) >> kindShift) }
+
+// Index returns the register number or memory word address of l.
+func (l Loc) Index() uint64 { return uint64(l) & indexMask }
+
+// IsMem reports whether l is a memory word.
+func (l Loc) IsMem() bool { return l.Kind() == KindMem }
+
+// IsReg reports whether l is a register (integer or FP).
+func (l Loc) IsReg() bool { k := l.Kind(); return k == KindIntReg || k == KindFPReg }
+
+// String renders the location like "r4", "f2" or "m[0x1000]".
+func (l Loc) String() string {
+	switch l.Kind() {
+	case KindIntReg:
+		return fmt.Sprintf("r%d", l.Index())
+	case KindFPReg:
+		return fmt.Sprintf("f%d", l.Index())
+	case KindMem:
+		return fmt.Sprintf("m[%#x]", l.Index())
+	default:
+		return fmt.Sprintf("loc(%#x)", uint64(l))
+	}
+}
+
+// Ref is one operand access: a location and the 64-bit value observed (for
+// inputs) or produced (for outputs).  Floating-point values are carried as
+// their IEEE-754 bit patterns, so value equality is bit equality, exactly
+// as a hardware reuse table would compare them.
+type Ref struct {
+	Loc Loc
+	Val uint64
+}
+
+// String renders the reference like "r4=17".
+func (r Ref) String() string { return fmt.Sprintf("%v=%#x", r.Loc, r.Val) }

@@ -1,0 +1,57 @@
+package trace
+
+// TryMerge extends the run with a whole previously-summarised trace, as
+// when the RTM merges two consecutively reused traces (heuristics ILR EXP
+// and I(n) EXP).  The merged trace behaves as if s's instructions had been
+// appended one by one: s's live-ins that are produced by the current run
+// are internal, the rest become live-ins; s's outputs overwrite or extend
+// the output list.  On cap violation the Summarizer is unchanged.
+//
+// Precondition (guaranteed at a reuse hit): s's live-in values equal the
+// current architectural state, so any of its live-ins produced by this run
+// carry the run's output values.
+func (z *Summarizer) TryMerge(s *Summary, caps Caps) bool {
+	var stagedIns, stagedOuts []Ref
+	for _, r := range s.Ins {
+		if _, written := z.outIdx[r.Loc]; written {
+			continue
+		}
+		if _, seen := z.inIdx[r.Loc]; seen {
+			continue
+		}
+		stagedIns = append(stagedIns, r)
+	}
+	for _, r := range s.Outs {
+		if _, seen := z.outIdx[r.Loc]; !seen {
+			stagedOuts = append(stagedOuts, r)
+		}
+	}
+	addInReg, addInMem := refCounts(stagedIns)
+	addOutReg, addOutMem := refCounts(stagedOuts)
+	if exceeds(z.inReg+addInReg, caps.InReg) || exceeds(z.inMem+addInMem, caps.InMem) ||
+		exceeds(z.outReg+addOutReg, caps.OutReg) || exceeds(z.outMem+addOutMem, caps.OutMem) {
+		return false
+	}
+	if !z.started {
+		z.sum.StartPC = s.StartPC
+		z.started = true
+	}
+	for _, r := range stagedIns {
+		z.inIdx[r.Loc] = len(z.sum.Ins)
+		z.sum.Ins = append(z.sum.Ins, r)
+	}
+	for _, r := range stagedOuts {
+		z.outIdx[r.Loc] = len(z.sum.Outs)
+		z.sum.Outs = append(z.sum.Outs, r)
+	}
+	for _, r := range s.Outs {
+		z.sum.Outs[z.outIdx[r.Loc]].Val = r.Val
+	}
+	z.inReg += addInReg
+	z.inMem += addInMem
+	z.outReg += addOutReg
+	z.outMem += addOutMem
+	z.sum.Len += s.Len
+	z.sum.Next = s.Next
+	return true
+}

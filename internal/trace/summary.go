@@ -1,0 +1,214 @@
+package trace
+
+// Summary is the reuse-relevant identity of a trace (a dynamic run of
+// instructions): its live-in references, its final outputs, and its next
+// PC.  It corresponds to one RTM entry of the paper's Figure 1.
+//
+// Ins holds the locations read before being written inside the run, with
+// the values observed at first read, in first-read order (the paper's
+// IL(T)/IV(T)).  Outs holds every location written, with its final value,
+// in first-write order (OL(T)/OV(T)).
+type Summary struct {
+	StartPC uint64
+	Next    uint64
+	Len     int
+	Ins     []Ref
+	Outs    []Ref
+}
+
+// InCounts returns how many live-in references are registers and how many
+// are memory words.
+func (s *Summary) InCounts() (regs, mems int) { return refCounts(s.Ins) }
+
+// OutCounts returns how many output references are registers and how many
+// are memory words.
+func (s *Summary) OutCounts() (regs, mems int) { return refCounts(s.Outs) }
+
+func refCounts(refs []Ref) (regs, mems int) {
+	for _, r := range refs {
+		if r.Loc.IsMem() {
+			mems++
+		} else {
+			regs++
+		}
+	}
+	return regs, mems
+}
+
+// Caps bounds a Summary per the RTM entry format: at most InReg/InMem
+// live-in registers/memory words and OutReg/OutMem outputs.  Negative
+// fields mean unlimited.
+type Caps struct {
+	InReg, InMem, OutReg, OutMem int
+}
+
+// Unlimited places no bound on trace inputs or outputs (limit study).
+var Unlimited = Caps{InReg: -1, InMem: -1, OutReg: -1, OutMem: -1}
+
+// Summarizer incrementally computes the Summary of a run of instructions.
+// It is the building block of both the limit-study trace partitioner and
+// the RTM trace collector; the collector additionally enforces the RTM's
+// input/output capacity limits by passing finite Caps to TryAdd.
+type Summarizer struct {
+	sum     Summary
+	inIdx   map[Loc]int // location -> index in sum.Ins
+	outIdx  map[Loc]int // location -> index in sum.Outs
+	started bool
+
+	inReg, inMem, outReg, outMem int
+}
+
+// NewSummarizer returns an empty Summarizer.
+func NewSummarizer() *Summarizer {
+	return &Summarizer{
+		inIdx:  make(map[Loc]int, 16),
+		outIdx: make(map[Loc]int, 16),
+	}
+}
+
+// Reset clears the Summarizer for a new run.
+func (z *Summarizer) Reset() {
+	z.sum = Summary{}
+	clear(z.inIdx)
+	clear(z.outIdx)
+	z.started = false
+	z.inReg, z.inMem, z.outReg, z.outMem = 0, 0, 0, 0
+}
+
+// Seed initialises the Summarizer from an existing Summary, as when the RTM
+// expands a previously stored trace (heuristics ILR EXP and I(n) EXP).
+func (z *Summarizer) Seed(s *Summary) {
+	z.Reset()
+	z.sum.StartPC = s.StartPC
+	z.sum.Next = s.Next
+	z.sum.Len = s.Len
+	z.sum.Ins = append(z.sum.Ins, s.Ins...)
+	z.sum.Outs = append(z.sum.Outs, s.Outs...)
+	for i, r := range z.sum.Ins {
+		z.inIdx[r.Loc] = i
+	}
+	for i, r := range z.sum.Outs {
+		z.outIdx[r.Loc] = i
+	}
+	z.inReg, z.inMem = refCounts(z.sum.Ins)
+	z.outReg, z.outMem = refCounts(z.sum.Outs)
+	z.started = true
+}
+
+// Len returns the number of instructions summarised so far.
+func (z *Summarizer) Len() int { return z.sum.Len }
+
+// NextPC returns the PC following the last summarised instruction.
+func (z *Summarizer) NextPC() uint64 { return z.sum.Next }
+
+// StartPC returns the PC of the first summarised instruction.
+func (z *Summarizer) StartPC() uint64 { return z.sum.StartPC }
+
+// Empty reports whether no instruction has been added.
+func (z *Summarizer) Empty() bool { return z.sum.Len == 0 }
+
+// Add extends the run with e with no capacity limits.  It panics if e has a
+// side effect; limit-study callers never pass those.
+func (z *Summarizer) Add(e *Exec) {
+	if !z.TryAdd(e, Unlimited) {
+		panic("trace: Summarizer.Add rejected a side-effecting instruction")
+	}
+}
+
+// TryAdd extends the run with e unless e is side-effecting or a cap would
+// be exceeded.  On rejection the Summarizer is unchanged.
+func (z *Summarizer) TryAdd(e *Exec, caps Caps) bool {
+	if e.SideEffect {
+		return false // side effects can never be replayed from a table
+	}
+
+	// Stage new live-ins and outputs (deduplicated within e) so the
+	// rejection path leaves state untouched.
+	var stagedIns, stagedOuts [3]Ref
+	nIns, nOuts := 0, 0
+	for _, r := range e.Inputs() {
+		if _, written := z.outIdx[r.Loc]; written {
+			continue // produced inside the run: not a live-in
+		}
+		if _, seen := z.inIdx[r.Loc]; seen {
+			continue // already a live-in; first read fixed its value
+		}
+		dup := false
+		for _, s := range stagedIns[:nIns] {
+			if s.Loc == r.Loc {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			stagedIns[nIns] = r
+			nIns++
+		}
+	}
+	for _, r := range e.Outputs() {
+		if _, seen := z.outIdx[r.Loc]; seen {
+			continue
+		}
+		dup := false
+		for _, s := range stagedOuts[:nOuts] {
+			if s.Loc == r.Loc {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			stagedOuts[nOuts] = r
+			nOuts++
+		}
+	}
+
+	addInReg, addInMem := refCounts(stagedIns[:nIns])
+	addOutReg, addOutMem := refCounts(stagedOuts[:nOuts])
+	if exceeds(z.inReg+addInReg, caps.InReg) || exceeds(z.inMem+addInMem, caps.InMem) ||
+		exceeds(z.outReg+addOutReg, caps.OutReg) || exceeds(z.outMem+addOutMem, caps.OutMem) {
+		return false
+	}
+
+	if !z.started {
+		z.sum.StartPC = e.PC
+		z.started = true
+	}
+	for _, r := range stagedIns[:nIns] {
+		z.inIdx[r.Loc] = len(z.sum.Ins)
+		z.sum.Ins = append(z.sum.Ins, r)
+	}
+	for _, r := range stagedOuts[:nOuts] {
+		z.outIdx[r.Loc] = len(z.sum.Outs)
+		z.sum.Outs = append(z.sum.Outs, r)
+	}
+	// Writes to already-known output locations take the newest value.
+	for _, r := range e.Outputs() {
+		z.sum.Outs[z.outIdx[r.Loc]].Val = r.Val
+	}
+	z.inReg += addInReg
+	z.inMem += addInMem
+	z.outReg += addOutReg
+	z.outMem += addOutMem
+	z.sum.Len++
+	z.sum.Next = e.Next
+	return true
+}
+
+func exceeds(n, limit int) bool { return limit >= 0 && n > limit }
+
+// Summary returns a copy of the accumulated summary.
+func (z *Summarizer) Summary() Summary {
+	s := z.sum
+	s.Ins = append([]Ref(nil), z.sum.Ins...)
+	s.Outs = append([]Ref(nil), z.sum.Outs...)
+	return s
+}
+
+// SummarizeRun computes the Summary of a complete run in one call.
+func SummarizeRun(run []Exec) Summary {
+	z := NewSummarizer()
+	for i := range run {
+		z.Add(&run[i])
+	}
+	return z.Summary()
+}

@@ -1,0 +1,228 @@
+// Package tracefile serialises dynamic instruction streams to a compact
+// binary format — the repository's equivalent of the ATOM trace files the
+// paper's toolflow produced.  Every reuse engine consumes trace.Exec
+// records, so a recorded stream can be re-analysed offline without
+// re-simulating (cmd/tlrtrace drives this).
+//
+// Format (little-endian, after an 8-byte magic + 4-byte version):
+//
+//	record := flags:u8 op:u8 lat:u8 pc:uvarint [next:uvarint]
+//	          {loc:uvarint val:uvarint} * (nIn + nOut)
+//
+// flags packs nIn (2 bits), nOut (2 bits), SideEffect (1 bit) and a
+// "next is sequential" bit that elides the common next == pc+1 case.
+// Values and locations are raw uvarints; typical records are 6-20 bytes,
+// roughly 10x smaller than the in-memory form.
+package tracefile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/tracereuse/tlr/internal/isa"
+	"github.com/tracereuse/tlr/internal/trace"
+)
+
+// Magic identifies a trace file.
+var Magic = [8]byte{'T', 'L', 'R', 'T', 'R', 'A', 'C', 'E'}
+
+// Version is the current format version.
+const Version uint32 = 1
+
+const (
+	flagNInShift  = 0 // 2 bits
+	flagNOutShift = 2 // 2 bits
+	flagSideEff   = 1 << 4
+	flagSeqNext   = 1 << 5
+)
+
+// ErrBadMagic reports a stream that is not a trace file.
+var ErrBadMagic = errors.New("tracefile: bad magic")
+
+// ErrBadVersion reports an unsupported format version.
+var ErrBadVersion = errors.New("tracefile: unsupported version")
+
+// Writer streams execution records to an io.Writer.
+type Writer struct {
+	w   *bufio.Writer
+	buf [4 * binary.MaxVarintLen64]byte
+	n   uint64
+}
+
+// NewWriter writes the header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(Magic[:]); err != nil {
+		return nil, err
+	}
+	var v [4]byte
+	binary.LittleEndian.PutUint32(v[:], Version)
+	if _, err := bw.Write(v[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one record.
+func (w *Writer) Write(e *trace.Exec) error {
+	flags := byte(e.NIn)<<flagNInShift | byte(e.NOut)<<flagNOutShift
+	if e.SideEffect {
+		flags |= flagSideEff
+	}
+	seq := e.Next == e.PC+1
+	if seq {
+		flags |= flagSeqNext
+	}
+	b := w.buf[:0]
+	b = append(b, flags, byte(e.Op), e.Lat)
+	b = binary.AppendUvarint(b, e.PC)
+	if !seq {
+		b = binary.AppendUvarint(b, e.Next)
+	}
+	for _, r := range e.Inputs() {
+		b = binary.AppendUvarint(b, uint64(r.Loc))
+		b = binary.AppendUvarint(b, r.Val)
+	}
+	for _, r := range e.Outputs() {
+		b = binary.AppendUvarint(b, uint64(r.Loc))
+		b = binary.AppendUvarint(b, r.Val)
+	}
+	if _, err := w.w.Write(b); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Records returns how many records were written.
+func (w *Writer) Records() uint64 { return w.n }
+
+// Flush drains buffered data to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader streams execution records from an io.Reader.
+type Reader struct {
+	r *bufio.Reader
+	n uint64
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("tracefile: reading magic: %w", err)
+	}
+	if magic != Magic {
+		return nil, ErrBadMagic
+	}
+	var v [4]byte
+	if _, err := io.ReadFull(br, v[:]); err != nil {
+		return nil, fmt.Errorf("tracefile: reading version: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(v[:]); got != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, got)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Read fills e with the next record.  It returns io.EOF cleanly at the
+// end of the stream and io.ErrUnexpectedEOF on truncation.
+func (r *Reader) Read(e *trace.Exec) error {
+	flags, err := r.r.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("tracefile: record %d: %w", r.n, err)
+	}
+	op, err := r.r.ReadByte()
+	if err != nil {
+		return r.trunc(err)
+	}
+	lat, err := r.r.ReadByte()
+	if err != nil {
+		return r.trunc(err)
+	}
+	nIn := int(flags>>flagNInShift) & 3
+	nOut := int(flags>>flagNOutShift) & 3
+	if nIn > len(e.In) || nOut > len(e.Out) {
+		return fmt.Errorf("tracefile: record %d: ref counts %d/%d out of range", r.n, nIn, nOut)
+	}
+
+	e.Reset()
+	e.Op = isa.Op(op)
+	if !e.Op.Valid() {
+		return fmt.Errorf("tracefile: record %d: undefined op %d", r.n, op)
+	}
+	e.Lat = lat
+	e.SideEffect = flags&flagSideEff != 0
+	if e.PC, err = binary.ReadUvarint(r.r); err != nil {
+		return r.trunc(err)
+	}
+	if flags&flagSeqNext != 0 {
+		e.Next = e.PC + 1
+	} else if e.Next, err = binary.ReadUvarint(r.r); err != nil {
+		return r.trunc(err)
+	}
+	for i := 0; i < nIn; i++ {
+		loc, val, err := r.readRef()
+		if err != nil {
+			return err
+		}
+		e.AddIn(loc, val)
+	}
+	for i := 0; i < nOut; i++ {
+		loc, val, err := r.readRef()
+		if err != nil {
+			return err
+		}
+		e.AddOut(loc, val)
+	}
+	r.n++
+	return nil
+}
+
+func (r *Reader) readRef() (trace.Loc, uint64, error) {
+	loc, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return 0, 0, r.trunc(err)
+	}
+	val, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return 0, 0, r.trunc(err)
+	}
+	return trace.Loc(loc), val, nil
+}
+
+// trunc maps mid-record EOF to ErrUnexpectedEOF with context.
+func (r *Reader) trunc(err error) error {
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return fmt.Errorf("tracefile: record %d: %w", r.n, err)
+}
+
+// Records returns how many records were read so far.
+func (r *Reader) Records() uint64 { return r.n }
+
+// ForEach reads the whole stream, calling fn per record; it stops early
+// if fn returns false.
+func (r *Reader) ForEach(fn func(*trace.Exec) bool) error {
+	var e trace.Exec
+	for {
+		switch err := r.Read(&e); err {
+		case nil:
+			if !fn(&e) {
+				return nil
+			}
+		case io.EOF:
+			return nil
+		default:
+			return err
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package tracefile
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"github.com/tracereuse/tlr/internal/cpu"
+	"github.com/tracereuse/tlr/internal/isa"
+	"github.com/tracereuse/tlr/internal/trace"
+	"github.com/tracereuse/tlr/internal/workload"
+)
+
+func roundTrip(t *testing.T, execs []trace.Exec) []trace.Exec {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range execs {
+		if err := w.Write(&execs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Records() != uint64(len(execs)) {
+		t.Fatalf("writer counted %d records", w.Records())
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []trace.Exec
+	var e trace.Exec
+	for {
+		err := r.Read(&e)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func TestRoundTripHandCrafted(t *testing.T) {
+	var a, b, c trace.Exec
+	a.PC, a.Next, a.Op, a.Lat = 5, 6, isa.ADD, 1
+	a.AddIn(trace.IntReg(1), 11)
+	a.AddIn(trace.IntReg(2), 22)
+	a.AddOut(trace.IntReg(3), 33)
+
+	b.PC, b.Next, b.Op, b.Lat = 6, 99, isa.JMP, 1 // non-sequential next
+	c.PC, c.Next, c.Op, c.Lat = 99, 99, isa.HALT, 1
+	c.SideEffect = true
+
+	in := []trace.Exec{a, b, c}
+	out := roundTrip(t, in)
+	if len(out) != 3 {
+		t.Fatalf("got %d records", len(out))
+	}
+	for i := range in {
+		if in[i].PC != out[i].PC || in[i].Next != out[i].Next || in[i].Op != out[i].Op ||
+			in[i].Lat != out[i].Lat || in[i].SideEffect != out[i].SideEffect ||
+			in[i].NIn != out[i].NIn || in[i].NOut != out[i].NOut {
+			t.Errorf("record %d header mismatch: %+v vs %+v", i, in[i], out[i])
+		}
+		for k := 0; k < int(in[i].NIn); k++ {
+			if in[i].In[k] != out[i].In[k] {
+				t.Errorf("record %d input %d mismatch", i, k)
+			}
+		}
+		for k := 0; k < int(in[i].NOut); k++ {
+			if in[i].Out[k] != out[i].Out[k] {
+				t.Errorf("record %d output %d mismatch", i, k)
+			}
+		}
+	}
+}
+
+func TestRoundTripRealWorkloadStream(t *testing.T) {
+	// Record a real stream and verify the replay is bit-identical.
+	w, _ := workload.ByName("compress")
+	prog, err := w.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(prog)
+	var recorded []trace.Exec
+	var buf bytes.Buffer
+	tw, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(20_000, func(e *trace.Exec) {
+		recorded = append(recorded, *e)
+		if err := tw.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Compactness: well under the ~100-byte in-memory footprint.
+	if avg := float64(buf.Len()) / float64(len(recorded)); avg > 30 {
+		t.Errorf("average record size %.1f bytes; expected compact encoding", avg)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	if err := r.ForEach(func(e *trace.Exec) bool {
+		want := &recorded[i]
+		if e.PC != want.PC || e.Next != want.Next || e.Op != want.Op || e.NIn != want.NIn || e.NOut != want.NOut {
+			t.Fatalf("record %d mismatch: %v vs %v", i, e, want)
+		}
+		for k := 0; k < int(e.NIn); k++ {
+			if e.In[k] != want.In[k] {
+				t.Fatalf("record %d input %d mismatch", i, k)
+			}
+		}
+		i++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if i != len(recorded) {
+		t.Fatalf("replayed %d of %d records", i, len(recorded))
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOTATRACEFILE_AT_ALL"))); err != ErrBadMagic {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(Magic[:])
+	buf.Write([]byte{99, 0, 0, 0})
+	if _, err := NewReader(&buf); err == nil {
+		t.Error("expected version error")
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var full bytes.Buffer
+	w, _ := NewWriter(&full)
+	var e trace.Exec
+	e.PC, e.Next, e.Op, e.Lat = 5, 6, isa.ADD, 1
+	e.AddIn(trace.IntReg(1), 1<<40) // multi-byte varint
+	e.AddOut(trace.IntReg(2), 7)
+	_ = w.Write(&e)
+	_ = w.Flush()
+
+	// Cut the stream mid-record: every prefix after the header must give
+	// ErrUnexpectedEOF, never a silent success.
+	for cut := 13; cut < full.Len(); cut++ {
+		r, err := NewReader(bytes.NewReader(full.Bytes()[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: header: %v", cut, err)
+		}
+		var out trace.Exec
+		if err := r.Read(&out); err == nil {
+			t.Fatalf("cut %d: truncated record read successfully", cut)
+		}
+	}
+}
+
+func TestUndefinedOpRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(Magic[:])
+	buf.Write([]byte{1, 0, 0, 0}) // version 1
+	buf.Write([]byte{flagSeqNext, 250, 1, 5})
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e trace.Exec
+	if err := r.Read(&e); err == nil {
+		t.Error("undefined op must be rejected")
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	_ = w.Flush()
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e trace.Exec
+	if err := r.Read(&e); err != io.EOF {
+		t.Errorf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	var e trace.Exec
+	e.Op = isa.NOP
+	e.Lat = 1
+	e.Next = 1
+	for i := 0; i < 10; i++ {
+		e.PC = uint64(i)
+		e.Next = uint64(i + 1)
+		_ = w.Write(&e)
+	}
+	_ = w.Flush()
+	r, _ := NewReader(&buf)
+	count := 0
+	if err := r.ForEach(func(*trace.Exec) bool {
+		count++
+		return count < 3
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Errorf("ForEach visited %d, want 3", count)
+	}
+}

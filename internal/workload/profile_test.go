@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"testing"
+)
+
+// profileBand is the engineered reuse profile of one workload, as loose
+// bands around the values EXPERIMENTS.md records.  These are regression
+// guards: a change to a workload source or to the reuse engines that
+// moves a benchmark out of its band silently changes what the figures
+// mean, so it must be deliberate.
+type profileBand struct {
+	reuseLo, reuseHi float64 // ILR reusability (Fig. 3)
+	traceLo, traceHi float64 // average maximal-trace size (Fig. 7)
+}
+
+var goldenProfiles = map[string]profileBand{
+	"applu":    {0.40, 0.65, 6, 20},
+	"apsi":     {0.50, 0.75, 8, 30},
+	"fpppp":    {0.65, 0.80, 2, 5},
+	"hydro2d":  {0.93, 1.00, 150, 450},
+	"su2cor":   {0.90, 1.00, 30, 90},
+	"tomcatv":  {0.88, 1.00, 25, 70},
+	"turb3d":   {0.78, 0.93, 7, 20},
+	"compress": {0.80, 0.95, 12, 35},
+	"gcc":      {0.85, 0.98, 20, 60},
+	"go":       {0.88, 1.00, 25, 70},
+	"ijpeg":    {0.90, 1.00, 45, 140},
+	"li":       {0.88, 1.00, 25, 70},
+	"perl":     {0.82, 0.97, 15, 45},
+	"vortex":   {0.90, 1.00, 35, 105},
+}
+
+func TestGoldenProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profile measurement is slow")
+	}
+	for _, w := range All() {
+		w := w
+		band, ok := goldenProfiles[w.Name]
+		if !ok {
+			t.Errorf("%s: no golden profile band", w.Name)
+			continue
+		}
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			reuse, avgTrace := profile(t, w.Name, 150_000)
+			if reuse < band.reuseLo || reuse > band.reuseHi {
+				t.Errorf("reusability %.3f outside [%.2f, %.2f]; EXPERIMENTS.md is now stale",
+					reuse, band.reuseLo, band.reuseHi)
+			}
+			if avgTrace < band.traceLo || avgTrace > band.traceHi {
+				t.Errorf("avg trace %.1f outside [%.0f, %.0f]; EXPERIMENTS.md is now stale",
+					avgTrace, band.traceLo, band.traceHi)
+			}
+		})
+	}
+}

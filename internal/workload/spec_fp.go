@@ -1,0 +1,414 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+func init() {
+	register(&Workload{
+		Name:        "applu",
+		Category:    Float,
+		Description: "SSOR-style relaxation whose field is driven by a fresh source term",
+		Profile: "the low end of reusability (paper: 53%, the suite minimum): " +
+			"the field evolves every sweep, so only the index arithmetic and " +
+			"coefficient loads repeat; very short traces (~3), tiny speed-ups",
+		source: appluSource,
+	})
+	register(&Workload{
+		Name:        "apsi",
+		Category:    Float,
+		Description: "mesoscale weather kernel: mixed constant coefficients and an evolving field",
+		Profile:     "reusability ~70%; short traces (~6); low speed-ups",
+		source:      apsiSource,
+	})
+	register(&Workload{
+		Name:        "fpppp",
+		Category:    Float,
+		Description: "unrolled two-electron integral kernel accumulating into a running integral",
+		Profile: "the never-reusable 4-cycle accumulation chain is the critical " +
+			"path, so neither reuse level helps (paper: ~1.0 speed-up) despite " +
+			"decent reusability; the suite's shortest traces (~3)",
+		source: fppppSource,
+	})
+	register(&Workload{
+		Name:        "hydro2d",
+		Category:    Float,
+		Description: "2-D Lax stencil over a near-steady field (zero-dominated interior)",
+		Profile: "the suite maximum: ~99% reusability and ~200-instruction " +
+			"traces (paper: 203); trace reuse collapses whole rows",
+		source: hydro2dSource,
+	})
+	register(&Workload{
+		Name:        "su2cor",
+		Category:    Float,
+		Description: "quenched lattice kernel: 2x2 complex matrix products over a fixed gauge field",
+		Profile:     "reusability ~88%; traces ~40; good TLR speed-up",
+		source:      su2corSource,
+	})
+	register(&Workload{
+		Name:        "tomcatv",
+		Category:    Float,
+		Description: "mesh residual computation with per-point divides over constant coordinates",
+		Profile: "reusability ~95%; large traces (~60); reusable 18-cycle " +
+			"divides give ILR something to shorten as well",
+		source: tomcatvSource,
+	})
+	register(&Workload{
+		Name:        "turb3d",
+		Category:    Float,
+		Description: "turbulence pseudo-spectral step: a reusable chain of fadd/fmul with periodic fsqrt",
+		Profile: "the ILR showcase (paper: 4.0): the critical path is a " +
+			"reusable chain whose links average ~4-6 cycles (30-cycle square " +
+			"roots every 16 elements), which 1-cycle reuses collapse",
+		source: turb3dSource,
+	})
+}
+
+func appluSource() string {
+	var b strings.Builder
+	b.WriteString(`; applu: the field u is rewritten every sweep from a never-repeating
+; source term, so data loads and FP ops are fresh; only index arithmetic
+; and coefficient loads repeat.  Reusability lands near the paper's 53%.
+main:   ldi  r25, 1000000000
+        ldi  r20, 606060
+        fli  f8, 0.8
+        fli  f9, 0.2
+pass:   ldi  r1, 0
+        ldi  r2, 256
+aloop:  andi r6, r1, 15         ; reusable index fragment
+        slli r7, r6, 2
+        add  r8, r7, r1
+        srli r9, r1, 4
+        add  r9, r9, r6
+        andi r9, r9, 15
+        fld  f6, coef(r6)       ; constant coefficients (reusable)
+        fld  f7, coef(r9)
+        fmul f6, f6, f7
+        muli r20, r20, 2862933555777941757
+        addi r20, r20, 3037000493
+        srai r5, r20, 40
+        cvtif f4, r5            ; fresh source term
+        fld  f1, u(r1)          ; u evolves: fresh
+        fmul f2, f1, f8
+        fmul f5, f4, f9
+        fadd f1, f2, f5
+        fmul f1, f1, f6
+        fst  f1, u(r1)
+        addi r1, r1, 1          ; reusable loop control
+        subi r2, r2, 1
+        bgtz r2, aloop
+        st   r21, chk
+        xor  r21, r21, r20
+        subi r25, r25, 1
+        bgtz r25, pass
+        halt
+        .data
+`)
+	rng := &lcg{s: 0xA1}
+	u := make([]float64, 256)
+	for i := range u {
+		u[i] = rng.float(0, 1)
+	}
+	doubleData(&b, "u", u)
+	coef := make([]float64, 16)
+	for i := range coef {
+		coef[i] = rng.float(0.9, 1.1)
+	}
+	doubleData(&b, "coef", coef)
+	b.WriteString("chk:    .space 1\n")
+	return b.String()
+}
+
+func apsiSource() string {
+	var b strings.Builder
+	b.WriteString(`; apsi: like applu but with a larger constant-coefficient part, so
+; about two thirds of the instruction instances repeat.
+main:   ldi  r25, 1000000000
+        ldi  r20, 51421
+        fli  f8, 0.95
+        fli  f9, 0.05
+pass:   ldi  r1, 0
+        ldi  r2, 192
+bloop:  andi r6, r1, 31         ; reusable address/coefficient work
+        slli r7, r6, 1
+        add  r7, r7, r1
+        andi r7, r7, 31
+        srli r3, r1, 5
+        add  r3, r3, r7
+        andi r3, r3, 31
+        fld  f5, kx(r6)
+        fld  f6, ky(r7)
+        fld  f10, kx(r3)
+        fmul f7, f5, f6
+        fadd f7, f7, f5
+        fmul f10, f10, f5
+        fadd f7, f7, f10
+        fld  f2, w(r1)          ; evolving field: fresh from here on
+        muli r20, r20, 2862933555777941757
+        addi r20, r20, 3037000493
+        srai r5, r20, 42
+        cvtif f4, r5
+        fmul f2, f2, f8
+        fmul f4, f4, f9
+        fadd f2, f2, f4
+        fmul f2, f2, f7
+        fst  f2, w(r1)
+        addi r1, r1, 1
+        subi r2, r2, 1
+        bgtz r2, bloop
+        st   r21, chk
+        xor  r21, r21, r20
+        subi r25, r25, 1
+        bgtz r25, pass
+        halt
+        .data
+`)
+	rng := &lcg{s: 0xA2}
+	w := make([]float64, 192)
+	for i := range w {
+		w[i] = rng.float(0, 2)
+	}
+	doubleData(&b, "w", w)
+	kx := make([]float64, 32)
+	ky := make([]float64, 32)
+	for i := 0; i < 32; i++ {
+		kx[i] = rng.float(0.5, 1.5)
+		ky[i] = rng.float(0.5, 1.5)
+	}
+	doubleData(&b, "kx", kx)
+	doubleData(&b, "ky", ky)
+	b.WriteString("chk:    .space 1\n")
+	return b.String()
+}
+
+func fppppSource() string {
+	var b strings.Builder
+	b.WriteString(`; fpppp: straight-line unrolled integral kernel.  The products of
+; constant basis values are reusable; the running integral f20 is never
+; reset, so its 4-cycle fadd chain is fresh forever and neither reuse
+; level can shorten the critical path.
+main:   ldi  r25, 1000000000
+pass:
+`)
+	// 48 unrolled groups: two constant loads, a product (reusable), and
+	// an accumulation into the never-reusable running integral.
+	for g := 0; g < 48; g++ {
+		a := (g * 3) % 16
+		c := (g*5 + 1) % 16
+		fmt.Fprintf(&b, "        fld  f1, d+%d\n", a)
+		fmt.Fprintf(&b, "        fld  f2, d+%d\n", c)
+		b.WriteString("        fmul f3, f1, f2\n")
+		b.WriteString("        fadd f20, f20, f3      ; fresh integral chain\n")
+	}
+	b.WriteString(`        fst  f20, integral
+        subi r25, r25, 1
+        bgtz r25, pass
+        halt
+        .data
+`)
+	rng := &lcg{s: 0xF9}
+	d := make([]float64, 16)
+	for i := range d {
+		d[i] = rng.float(0.1, 1.9)
+	}
+	doubleData(&b, "d", d)
+	b.WriteString("integral: .space 1\n")
+	return b.String()
+}
+
+func hydro2dSource() string {
+	var b strings.Builder
+	b.WriteString(`; hydro2d: Lax stencil over a steady 16x16 field, fully unrolled as an
+; optimising Fortran compiler would emit it (-O5 unrolls these loops).
+; Every sweep is identical; the only fresh instructions are one cheap
+; checksum every second row, so maximal traces span ~200 instructions
+; (the paper's 203) and reusability approaches 99%.  The unrolled body
+; gives the realistic RTM a SPEC-like static footprint: ~2.4k PCs whose
+; live-ins never vary, so its reuse is bounded by RTM capacity.
+main:   ldi  r25, 1000000000
+        ldi  r20, 8181
+        ldi  r11, 0
+        fli  f9, 0.25
+pass:
+`)
+	for r := 1; r <= 14; r++ {
+		for c := 1; c <= 14; c++ {
+			idx := r*16 + c
+			fmt.Fprintf(&b, "        fld  f1, u+%d\n", idx)
+			fmt.Fprintf(&b, "        fld  f2, u+%d\n", idx-1)
+			fmt.Fprintf(&b, "        fld  f4, u+%d\n", idx+1)
+			fmt.Fprintf(&b, "        fld  f5, u+%d\n", idx-16)
+			fmt.Fprintf(&b, "        fld  f6, u+%d\n", idx+16)
+			b.WriteString("        fadd f7, f2, f4\n")
+			b.WriteString("        fadd f8, f5, f6\n")
+			b.WriteString("        fadd f7, f7, f8\n")
+			b.WriteString("        fmul f7, f7, f9\n")
+			b.WriteString("        fsub f7, f7, f1\n")
+			fmt.Fprintf(&b, "        fst  f7, v+%d\n", idx)
+			b.WriteString("        addi r11, r11, 1        ; serial cell-count chain\n")
+		}
+		if r%2 == 0 {
+			b.WriteString(freshAdd)
+		}
+	}
+	b.WriteString(`        st   r21, chk
+        andi r11, r11, 0        ; carry-link the cell count across passes
+        subi r25, r25, 1
+        bgtz r25, pass
+        halt
+        .data
+`)
+	u := make([]float64, 256)
+	// Zero-dominated interior with warm boundaries: the near-steady
+	// state hydro2d reaches on its reference input.
+	for i := 0; i < 16; i++ {
+		u[i] = 1.0
+		u[240+i] = 0.5
+		u[16*i] = 0.25
+	}
+	doubleData(&b, "u", u)
+	b.WriteString("v:      .space 256\nchk:    .space 1\n")
+	return b.String()
+}
+
+func su2corSource() string {
+	var b strings.Builder
+	b.WriteString(`; su2cor: 2x2 complex matrix times a fixed staple for every link of a
+; frozen gauge configuration; the plaquette trace accumulates serially.
+main:   ldi  r25, 1000000000
+        ldi  r20, 222333
+        ldi  r11, 0
+        fli  f10, 0.70710678
+        fli  f11, -0.70710678
+pass:
+`)
+	for l := 0; l < 32; l++ {
+		base := l * 8
+		fmt.Fprintf(&b, "        fld  f1, links+%d       ; a.re\n", base)
+		fmt.Fprintf(&b, "        fld  f2, links+%d       ; a.im\n", base+1)
+		fmt.Fprintf(&b, "        fld  f4, links+%d       ; b.re\n", base+2)
+		fmt.Fprintf(&b, "        fld  f5, links+%d       ; b.im\n", base+3)
+		b.WriteString(`        fmul f6, f1, f10
+        fmul f7, f2, f11
+        fsub f6, f6, f7
+        fmul f7, f1, f11
+        fmul f8, f2, f10
+        fadd f7, f7, f8
+        fmul f8, f4, f10
+        fmul f9, f5, f11
+        fsub f8, f8, f9
+        fadd f6, f6, f8
+`)
+		fmt.Fprintf(&b, "        fst  f6, plaq+%d\n", l)
+		b.WriteString("        addi r11, r11, 1        ; serial link-count chain\n")
+		if l%4 == 3 {
+			b.WriteString(freshAdd)
+		}
+	}
+	b.WriteString(`        st   r21, chk
+        andi r11, r11, 0        ; carry-link the link count across passes
+        subi r25, r25, 1
+        bgtz r25, pass
+        halt
+        .data
+`)
+	rng := &lcg{s: 0x5C}
+	links := make([]float64, 32*8)
+	for i := range links {
+		links[i] = rng.float(-1, 1)
+	}
+	doubleData(&b, "links", links)
+	b.WriteString("plaq:   .space 32\nchk:    .space 1\n")
+	return b.String()
+}
+
+func tomcatvSource() string {
+	var b strings.Builder
+	b.WriteString(`; tomcatv: residuals of a frozen mesh.  The per-point divide (18
+; cycles) is reusable, so instruction-level reuse has long latencies to
+; cut, and rows reuse as large traces.
+main:   ldi  r25, 1000000000
+        ldi  r20, 70707
+        ldi  r11, 0
+        fli  f10, 2.0
+pass:
+`)
+	for p := 1; p <= 254; p++ {
+		fmt.Fprintf(&b, "        fld  f1, x+%d\n", p-1)
+		fmt.Fprintf(&b, "        fld  f2, x+%d\n", p)
+		fmt.Fprintf(&b, "        fld  f4, x+%d\n", p+1)
+		b.WriteString("        fmul f5, f2, f10\n")
+		b.WriteString("        fadd f6, f1, f4\n")
+		b.WriteString("        fsub f6, f6, f5\n")
+		fmt.Fprintf(&b, "        fld  f7, y+%d\n", p)
+		b.WriteString("        fdiv f8, f6, f7         ; reusable 18-cycle divide\n")
+		b.WriteString("        fmul f8, f8, f8\n")
+		fmt.Fprintf(&b, "        fst  f8, res+%d\n", p)
+		b.WriteString("        addi r11, r11, 1        ; serial point-count chain\n")
+		if p%8 == 0 {
+			b.WriteString("        fadd f3, f3, f8         ; every 8th point the residual norm is\n")
+			b.WriteString("        fdiv f3, f3, f7         ; renormalised: a reusable 18-cycle chain\n")
+		}
+		if p%4 == 0 {
+			b.WriteString(freshAdd)
+		}
+	}
+	b.WriteString(`        st   r21, chk
+        andi r11, r11, 0        ; carry-link the point count across passes
+        fmul f3, f3, fzero      ; carry-link the residual norm
+        subi r25, r25, 1
+        bgtz r25, pass
+        halt
+        .data
+`)
+	rng := &lcg{s: 0x7C}
+	x := make([]float64, 256)
+	y := make([]float64, 256)
+	for i := range x {
+		x[i] = float64(i) + rng.float(-0.1, 0.1)
+		y[i] = 1 + rng.float(0, 1)
+	}
+	doubleData(&b, "x", x)
+	doubleData(&b, "y", y)
+	b.WriteString("res:    .space 256\nchk:    .space 1\n")
+	return b.String()
+}
+
+func turb3dSource() string {
+	var b strings.Builder
+	b.WriteString(`; turb3d: the velocity norm threads a serial reusable chain of
+; fadd/fmul with an fsqrt every 16 elements: average link latency ~5.6
+; cycles, which 1-cycle instruction reuses collapse (paper: 4.0).
+main:   ldi  r25, 1000000000
+        ldi  r20, 33311
+pass:
+`)
+	for e := 0; e < 512; e++ {
+		fmt.Fprintf(&b, "        fld  f2, v+%d\n", e)
+		b.WriteString("        fmul f4, f2, f2\n")
+		b.WriteString("        fadd f1, f1, f4         ; serial energy chain (reusable)\n")
+		if e%16 == 15 {
+			b.WriteString("        fsqrt f1, f1            ; 30-cycle link every 16 elements\n")
+		}
+		if e%4 == 3 {
+			b.WriteString(freshAdd)
+		}
+	}
+	b.WriteString(`        st   r21, chk
+        fst  f1, energy
+        fmul f1, f1, fzero      ; carry-link the energy chain
+        subi r25, r25, 1
+        bgtz r25, pass
+        halt
+        .data
+`)
+	rng := &lcg{s: 0x3D}
+	v := make([]float64, 512)
+	for i := range v {
+		v[i] = rng.float(-1, 1)
+	}
+	doubleData(&b, "v", v)
+	b.WriteString("energy: .space 1\nchk:    .space 1\n")
+	return b.String()
+}

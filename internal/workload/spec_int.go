@@ -1,0 +1,509 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Register conventions shared by all workloads:
+//
+//	r25  pass down-counter       (value differs every pass: never reusable)
+//	r20  LCG "freshness" state   (never repeats: never reusable)
+//	r21  freshness sink/checksum (never reusable)
+//	r1..r19, r22..r24  pass-body scratch (values repeat across passes)
+//
+// Accumulators that must serialise passes without destroying reuse are
+// "carry-linked" at pass end with `andi rX, rX, 0` (or `fmul fX, fX,
+// fzero`): the instruction *reads* the accumulator — keeping the dataflow
+// chain connected across passes, as accumulators in real code do — while
+// producing the constant it is re-seeded with, so the next pass repeats
+// the same value sequence and stays reusable.
+
+// freshMul is the expensive never-reusable block (a 9-cycle LCG link):
+// used where the fresh chain should weigh on the critical path (gcc's
+// token bookkeeping, perl's interpreter state, compress's I/O checksum).
+const freshMul = `        muli r20, r20, 2862933555777941757
+        addi r20, r20, 3037000493
+        xor  r21, r21, r20
+`
+
+// freshAdd is the cheap never-reusable block (a 1-cycle counter link):
+// it breaks traces and caps reusability without inflating the base
+// machine's critical path, letting the reusable chains dominate.
+const freshAdd = `        addi r20, r20, 2862933555777941757
+        xor  r21, r21, r20
+`
+
+func init() {
+	register(&Workload{
+		Name:        "compress",
+		Category:    Integer,
+		Description: "LZW-style dictionary compression over a repetitive text buffer",
+		Profile: "high reusability (~90%); ILR speed-up well above average " +
+			"(paper: 2.5) because the reusable hash chain carries 8-cycle " +
+			"multiplies on the critical path; medium traces (~20-40)",
+		source: compressSource,
+	})
+	register(&Workload{
+		Name:        "gcc",
+		Category:    Integer,
+		Description: "table-driven lexer state machine over source-like text",
+		Profile: "high reusability (~93%); near-no ILR speed-up (paper: ~1.0) " +
+			"because the critical path is short-latency loads and adds; " +
+			"small-to-medium traces (~15)",
+		source: gccSource,
+	})
+	register(&Workload{
+		Name:        "go",
+		Category:    Integer,
+		Description: "19x19 board influence scan with neighbour sums and branches",
+		Profile:     "reusability ~90%; moderate speed-ups; traces ~20",
+		source:      goSource,
+	})
+	register(&Workload{
+		Name:        "ijpeg",
+		Category:    Integer,
+		Description: "8x8 block transform (butterfly rows + DC prediction) over a flat image",
+		Profile: "the TLR showcase (paper: 11.57 at infinite window): a long " +
+			"reusable chain of 1-cycle ops (the DC predictor) that ILR cannot " +
+			"shorten but one trace reuse collapses; traces ~50",
+		source: ijpegSource,
+	})
+	register(&Workload{
+		Name:        "li",
+		Category:    Integer,
+		Description: "cons-cell list interpreter: pointer-chasing sum over a static list",
+		Profile: "reusability ~88%; the pointer chase makes a serial chain of " +
+			"2-cycle loads: modest ILR gain, larger TLR gain; traces ~25",
+		source: liSource,
+	})
+	register(&Workload{
+		Name:        "perl",
+		Category:    Integer,
+		Description: "string hashing and hash-table probing under a fresh interpreter-state chain",
+		Profile: "the TLR counterexample (paper: 1.01 at infinite window): " +
+			"reusability is high but the critical path is a never-reusable " +
+			"LCG chain, so reuse only pays off through window relief",
+		source: perlSource,
+	})
+	register(&Workload{
+		Name:        "vortex",
+		Category:    Integer,
+		Description: "record database: scripted lookups/updates with linear key probing",
+		Profile:     "reusability ~94%; long integer traces (paper: 36.7, the longest INT)",
+		source:      vortexSource,
+	})
+}
+
+func compressSource() string {
+	var b strings.Builder
+	b.WriteString(`; compress: LZW-flavoured hash-chain compression.
+; The hash h = h*33 + c threads an 8-cycle multiply through every
+; character: a reusable long-latency chain, ideal for ILR.
+main:   ldi  r25, 1000000000
+        ldi  r20, 88172645463325252
+        ldi  r3, 5381
+pass:   la   r1, text
+        ldi  r2, 256
+cloop:  ld   r4, 0(r1)
+        muli r5, r3, 33
+        add  r3, r5, r4
+        andi r6, r3, 255
+        ld   r7, htab(r6)
+        beq  r7, r4, chit
+        st   r4, htab(r6)
+chit:   andi r8, r2, 1
+        bnez r8, cskip
+`)
+	b.WriteString(freshMul)
+	b.WriteString(`cskip:  addi r1, r1, 1
+        subi r2, r2, 1
+        bgtz r2, cloop
+        st   r21, chk
+        andi r3, r3, 0          ; carry-link the hash chain across passes
+        addi r3, r3, 5381
+        subi r25, r25, 1
+        bgtz r25, pass
+        halt
+        .data
+`)
+	rng := &lcg{s: 0xC0FFEE}
+	text := make([]int64, 256)
+	words := []string{"the", "and", "for", "that", "with"}
+	pos := 0
+	for pos < len(text) {
+		w := words[rng.intn(len(words))]
+		for i := 0; i < len(w) && pos < len(text); i++ {
+			text[pos] = int64(w[i])
+			pos++
+		}
+		if pos < len(text) {
+			text[pos] = ' '
+			pos++
+		}
+	}
+	wordData(&b, "text", text)
+	b.WriteString("htab:   .space 256\nchk:    .space 1\n")
+	return b.String()
+}
+
+func gccSource() string {
+	var b strings.Builder
+	b.WriteString(`; gcc: table-driven lexer.  The state chain is loads and adds
+; (1-2 cycle ops), so instruction-level reuse buys almost nothing.
+main:   ldi  r25, 1000000000
+        ldi  r20, 999331
+        ldi  r3, 0
+pass:   la   r1, src
+        ldi  r2, 384
+        ldi  r7, 0
+gloop:  ld   r4, 0(r1)
+        ld   r5, class(r4)
+        slli r6, r3, 3
+        add  r6, r6, r5
+        ld   r3, trans(r6)
+        add  r7, r7, r5
+        andi r8, r2, 3
+        bnez r8, gskip
+`)
+	b.WriteString(freshMul)
+	b.WriteString(`gskip:  addi r1, r1, 1
+        subi r2, r2, 1
+        bgtz r2, gloop
+        st   r7, tokcnt
+        st   r21, chk
+        andi r3, r3, 0          ; carry-link the lexer state across passes
+        subi r25, r25, 1
+        bgtz r25, pass
+        halt
+        .data
+`)
+	rng := &lcg{s: 0xBEEF}
+	src := make([]int64, 384)
+	sample := "int foo(int x) { return x * 42 + bar(x); } /* loop */ while (i < n) { a[i] = b[i] + c; i++; }"
+	for i := range src {
+		src[i] = int64(sample[i%len(sample)])
+	}
+	wordData(&b, "src", src)
+	class := make([]int64, 128)
+	for c := 0; c < 128; c++ {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			class[c] = 1
+		case c >= '0' && c <= '9':
+			class[c] = 2
+		case c == ' ', c == '\t':
+			class[c] = 0
+		case c == '(' || c == ')' || c == '{' || c == '}' || c == '[' || c == ']':
+			class[c] = 3
+		case c == '+' || c == '-' || c == '*' || c == '/':
+			class[c] = 4
+		case c == '<' || c == '>' || c == '=':
+			class[c] = 5
+		case c == ';' || c == ',':
+			class[c] = 6
+		default:
+			class[c] = 7
+		}
+	}
+	wordData(&b, "class", class)
+	trans := make([]int64, 128)
+	for i := range trans {
+		trans[i] = int64(rng.intn(16))
+	}
+	wordData(&b, "trans", trans)
+	b.WriteString("tokcnt: .space 1\nchk:    .space 1\n")
+	return b.String()
+}
+
+func goSource() string {
+	var b strings.Builder
+	b.WriteString(`; go: influence scan of a 19x19 board; neighbour sums with
+; data-dependent branching (stone vs empty point).
+main:   ldi  r25, 1000000000
+        ldi  r20, 424243
+        ldi  r11, 0
+pass:
+`)
+	k := 0
+	for r := 1; r <= 17; r++ {
+		for c := 1; c <= 17; c++ {
+			idx := r*19 + c
+			fmt.Fprintf(&b, "        ld   r3, board+%d\n", idx)
+			fmt.Fprintf(&b, "        ld   r4, board+%d\n", idx-1)
+			fmt.Fprintf(&b, "        ld   r5, board+%d\n", idx+1)
+			fmt.Fprintf(&b, "        ld   r6, board+%d\n", idx-19)
+			fmt.Fprintf(&b, "        ld   r7, board+%d\n", idx+19)
+			b.WriteString("        add  r8, r4, r5\n")
+			b.WriteString("        add  r9, r6, r7\n")
+			b.WriteString("        add  r8, r8, r9\n")
+			fmt.Fprintf(&b, "        beqz r3, g%d            ; empty point: raw influence\n", k)
+			b.WriteString("        slli r8, r8, 1\n")
+			fmt.Fprintf(&b, "g%d:     st   r8, infl+%d\n", k, idx)
+			b.WriteString("        add  r11, r11, r8       ; serial influence checksum\n")
+			if k%4 == 3 {
+				b.WriteString(freshAdd)
+			}
+			k++
+		}
+	}
+	b.WriteString(`        st   r11, isum
+        st   r21, chk
+        andi r11, r11, 0        ; carry-link the checksum across passes
+        subi r25, r25, 1
+        bgtz r25, pass
+        halt
+        .data
+`)
+	rng := &lcg{s: 0x60}
+	board := make([]int64, 361)
+	for i := range board {
+		r := rng.intn(10)
+		switch {
+		case r < 6:
+			board[i] = 0
+		case r < 8:
+			board[i] = 1
+		default:
+			board[i] = 2
+		}
+	}
+	wordData(&b, "board", board)
+	b.WriteString("infl:   .space 361\nisum:   .space 1\nchk:    .space 1\n")
+	return b.String()
+}
+
+func ijpegSource() string {
+	var b strings.Builder
+	b.WriteString(`; ijpeg: per-block row butterflies feeding a DC-predictor chain of
+; 1-cycle adds.  ILR cannot shorten the chain (reuse latency equals the
+; add latency); one trace reuse computes a whole block at once.
+main:   ldi  r25, 1000000000
+        ldi  r20, 7777
+        ldi  r3, 0
+pass:
+`)
+	for blk := 0; blk < 8; blk++ {
+		for row := 0; row < 8; row++ {
+			base := blk*64 + row*8
+			cbase := blk*16 + row*2
+			for i, reg := range []int{4, 5, 6, 7, 8, 11, 12, 13} {
+				fmt.Fprintf(&b, "        ld   r%d, img+%d\n", reg, base+i)
+			}
+			b.WriteString(`        add  r14, r4, r13
+        add  r15, r5, r12
+        add  r16, r6, r11
+        add  r17, r7, r8
+        sub  r18, r4, r13
+        sub  r19, r5, r12
+        add  r14, r14, r17
+        add  r15, r15, r16
+        add  r14, r14, r15
+        add  r3, r3, r14        ; DC predictor chain (serial, reusable):
+        add  r3, r3, r15        ; three 1-cycle links per row that ILR
+        add  r3, r3, r18        ; cannot shorten but one trace reuse can
+        sub  r15, r18, r19
+`)
+			fmt.Fprintf(&b, "        st   r14, coef+%d\n", cbase)
+			fmt.Fprintf(&b, "        st   r15, coef+%d\n", cbase+1)
+			if row%4 == 3 {
+				b.WriteString(freshAdd)
+			}
+		}
+	}
+	b.WriteString(`        st   r21, chk
+        andi r3, r3, 0          ; carry-link the DC chain across passes
+        subi r25, r25, 1
+        bgtz r25, pass
+        halt
+        .data
+`)
+	// A flat image: 8 blocks alternating between two patterns, as in a
+	// smooth photo region.
+	img := make([]int64, 8*64)
+	for blk := 0; blk < 8; blk++ {
+		base := int64(100 + 20*(blk%2))
+		for i := 0; i < 64; i++ {
+			img[blk*64+i] = base + int64(i%4)
+		}
+	}
+	wordData(&b, "img", img)
+	b.WriteString("coef:   .space 128\nchk:    .space 1\n")
+	return b.String()
+}
+
+func liSource() string {
+	var b strings.Builder
+	b.WriteString(`; li: pointer-chasing sum over a static cons-cell list.  Each cell is
+; [car, cdr]; the cdr chase is a serial chain of 2-cycle loads.
+main:   ldi  r25, 1000000000
+        ldi  r20, 51151
+        ldi  r3, 0
+pass:   ld   r1, head
+        ldi  r5, 8
+lloop:  ld   r4, 0(r1)
+        add  r3, r3, r4         ; list sum chain
+        ld   r1, 1(r1)          ; ptr = cdr (serial 2-cycle chase)
+        subi r5, r5, 1
+        bgtz r5, lnf
+        ldi  r5, 8
+`)
+	b.WriteString(freshAdd)
+	b.WriteString(`lnf:    bnez r1, lloop
+        st   r3, lsum
+        st   r21, chk
+        andi r3, r3, 0          ; carry-link the sum across passes
+        subi r25, r25, 1
+        bgtz r25, pass
+        halt
+        .data
+`)
+	// 192 cells in a shuffled order so the chase is not sequential in
+	// memory; cdr holds the absolute word address of the next cell.
+	const ncells = 192
+	rng := &lcg{s: 0x715}
+	order := make([]int, ncells)
+	for i := range order {
+		order[i] = i
+	}
+	for i := ncells - 1; i > 0; i-- {
+		j := rng.intn(i + 1)
+		order[i], order[j] = order[j], order[i]
+	}
+	cells := make([]int64, 2*ncells)
+	// The cells array will live at the "cells" label; the assembler
+	// resolves "cells" to DefaultDataBase + 1 (after "head").
+	const cellsBase = 0x1000 + 1
+	for k := 0; k < ncells; k++ {
+		idx := order[k]
+		cells[2*idx] = int64(rng.intn(100)) // car
+		if k+1 < ncells {
+			cells[2*idx+1] = int64(cellsBase + 2*order[k+1]) // cdr
+		} else {
+			cells[2*idx+1] = 0 // nil
+		}
+	}
+	fmt.Fprintf(&b, "head:   .word %d\n", cellsBase+2*order[0])
+	wordData(&b, "cells", cells)
+	b.WriteString("lsum:   .space 1\nchk:    .space 1\n")
+	return b.String()
+}
+
+func perlSource() string {
+	var b strings.Builder
+	b.WriteString(`; perl: hash 32 fixed keys per pass.  The interpreter's "opcode
+; dispatch" is modelled by a never-repeating LCG chain that forms the
+; critical path: all the reusable hashing work hangs off constants, so
+; reuse cannot shorten execution at an infinite window (paper: 1.01) and
+; only helps by freeing window slots.
+main:   ldi  r25, 1000000000
+        ldi  r20, 31337
+pass:
+`)
+	for key := 0; key < 32; key++ {
+		b.WriteString(freshMul) // the interpreter-state chain, per key
+		b.WriteString("        ldi  r3, 0\n")
+		for ch := 0; ch < 8; ch++ {
+			fmt.Fprintf(&b, "        ld   r5, keys+%d\n", key*8+ch)
+			b.WriteString("        muli r6, r3, 31\n")
+			b.WriteString("        add  r3, r6, r5\n")
+		}
+		b.WriteString(`        andi r6, r3, 63
+        ld   r7, buckets(r6)
+        add  r8, r7, r3
+        st   r8, probes(r6)
+`)
+	}
+	b.WriteString(`        st   r21, chk
+        subi r25, r25, 1
+        bgtz r25, pass
+        halt
+        .data
+`)
+	rng := &lcg{s: 0x9E12}
+	keys := make([]int64, 32*8)
+	for i := range keys {
+		keys[i] = int64('a' + rng.intn(26))
+	}
+	wordData(&b, "keys", keys)
+	buckets := make([]int64, 64)
+	for i := range buckets {
+		buckets[i] = int64(rng.intn(32))
+	}
+	wordData(&b, "buckets", buckets)
+	b.WriteString("probes: .space 64\nchk:    .space 1\n")
+	return b.String()
+}
+
+func vortexSource() string {
+	var b strings.Builder
+	b.WriteString(`; vortex: an in-memory record store replaying a fixed transaction
+; script: linear key probe, then field reads (lookup) or scratch-copy
+; writes (update).  Long uniform traces, like the paper's vortex.
+main:   ldi  r25, 1000000000
+        ldi  r20, 98765
+        ldi  r12, 0
+pass:   la   r1, script
+        ldi  r2, 64
+vtxn:   ld   r3, 0(r1)          ; op: 0 = lookup, 1 = update
+        ld   r4, 1(r1)          ; key value
+        ldi  r5, 0
+vfind:  ld   r6, keytab(r5)
+        beq  r6, r4, vfound
+        addi r5, r5, 1
+        jmp  vfind
+vfound: slli r7, r5, 3          ; record offset
+        add  r12, r12, r5       ; transaction checksum chain (reusable)
+        bnez r3, vupd
+        ld   r8, rec(r7)
+        ld   r9, rec+1(r7)
+        add  r8, r8, r9
+        ld   r9, rec+2(r7)
+        add  r8, r8, r9
+        ld   r9, rec+3(r7)
+        add  r8, r8, r9
+        add  r12, r12, r8       ; query checksum chain
+        jmp  vnext
+vupd:   ld   r8, rec+4(r7)
+        add  r9, r8, r4
+        st   r9, scratch(r7)
+        add  r12, r12, r9       ; update checksum chain
+        ld   r8, rec+5(r7)
+        add  r9, r8, r4
+        st   r9, scratch+1(r7)
+        add  r12, r12, r9
+vnext:`)
+	b.WriteString("\n")
+	b.WriteString(freshAdd)
+	b.WriteString(`        addi r1, r1, 2
+        subi r2, r2, 1
+        bgtz r2, vtxn
+        st   r12, qsum
+        st   r21, chk
+        andi r12, r12, 0        ; carry-link the checksum across passes
+        subi r25, r25, 1
+        bgtz r25, pass
+        halt
+        .data
+`)
+	rng := &lcg{s: 0x0DB}
+	const nrec = 32
+	keytab := make([]int64, nrec)
+	for i := range keytab {
+		keytab[i] = int64(1000 + i*7)
+	}
+	wordData(&b, "keytab", keytab)
+	rec := make([]int64, nrec*8)
+	for i := range rec {
+		rec[i] = int64(rng.intn(5000))
+	}
+	wordData(&b, "rec", rec)
+	script := make([]int64, 64*2)
+	for i := 0; i < 64; i++ {
+		script[2*i] = int64(rng.intn(2))
+		script[2*i+1] = keytab[rng.intn(nrec)]
+	}
+	wordData(&b, "script", script)
+	b.WriteString("scratch: .space 256\nqsum:   .space 1\nchk:    .space 1\n")
+	return b.String()
+}

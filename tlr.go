@@ -1,0 +1,229 @@
+// Package tlr is a Go reproduction of "Trace-Level Reuse" (A. González,
+// J. Tubella, C. Molina; ICPP 1999): data-value reuse at the granularity
+// of dynamic instruction traces, evaluated both as a limit study and as a
+// realistic finite Reuse Trace Memory (RTM).
+//
+// The package is the public facade over the repository's subsystems:
+//
+//   - an Alpha-inspired 64-bit RISC ISA, assembler and functional
+//     simulator (the substitute for the paper's ATOM-instrumented Alpha
+//     binaries);
+//   - the dynamic-dependence-analysis timing model (Austin & Sohi style)
+//     with finite and infinite instruction windows;
+//   - instruction-level and trace-level reuse limit engines with
+//     infinite history tables (paper §4.2–4.5);
+//   - the realistic set-associative RTM with the paper's three dynamic
+//     trace-collection heuristics (paper §3, §4.6);
+//   - the 14-benchmark workload suite named after the paper's SPEC95
+//     subset.
+//
+// Quick start:
+//
+//	prog, _ := tlr.Assemble(src)
+//	res, _ := tlr.MeasureReuse(prog, tlr.StudyConfig{Budget: 100000, Window: 256})
+//	fmt.Println(res.TLR.Speedups[0])
+//
+// See examples/ for complete programs and cmd/tlrexp for the harness that
+// regenerates every figure of the paper.
+package tlr
+
+import (
+	"fmt"
+
+	"github.com/tracereuse/tlr/internal/asm"
+	"github.com/tracereuse/tlr/internal/core"
+	"github.com/tracereuse/tlr/internal/cpu"
+	"github.com/tracereuse/tlr/internal/isa"
+	"github.com/tracereuse/tlr/internal/pipeline"
+	"github.com/tracereuse/tlr/internal/rtm"
+	"github.com/tracereuse/tlr/internal/trace"
+	"github.com/tracereuse/tlr/internal/workload"
+)
+
+// Program is an assembled executable image.
+type Program = isa.Program
+
+// Assemble translates assembly source (see internal/asm for the syntax)
+// into a program.
+func Assemble(src string) (*Program, error) { return asm.Assemble(src) }
+
+// AssembleNamed is Assemble with a source name used in error messages.
+func AssembleNamed(name, src string) (*Program, error) { return asm.AssembleNamed(name, src) }
+
+// Disassemble renders a program as assembly that reassembles identically.
+func Disassemble(p *Program) string { return asm.Disassemble(p) }
+
+// Workload is one benchmark of the suite.
+type Workload = workload.Workload
+
+// Workloads returns the 14-benchmark suite in the paper's figure order
+// (FP first, then integer).
+func Workloads() []*Workload { return workload.All() }
+
+// WorkloadByName finds a benchmark by its SPEC95 name (e.g. "hydro2d").
+func WorkloadByName(name string) (*Workload, bool) { return workload.ByName(name) }
+
+// Latency models the cost of one trace-reuse operation: constant, or
+// proportional to the trace's input+output count (paper §4.5).
+type Latency = core.Latency
+
+// ConstLatency returns a constant reuse latency of c cycles.
+func ConstLatency(c float64) Latency { return core.ConstLatency(c) }
+
+// PropLatency returns a reuse latency of k cycles per input/output value.
+func PropLatency(k float64) Latency { return core.PropLatency(k) }
+
+// StudyConfig configures a reuse limit study over one program.
+type StudyConfig struct {
+	// Budget is the number of dynamic instructions to measure.
+	Budget uint64
+	// Skip is executed before measurement starts (the paper skipped the
+	// first 25 M instructions).
+	Skip uint64
+	// Window is the instruction window size (0 = infinite; the paper's
+	// finite machine uses 256).
+	Window int
+	// ILRLatencies are the instruction-reuse latencies to evaluate
+	// (default: {1}).
+	ILRLatencies []float64
+	// TLRVariants are the trace-reuse latency models to evaluate
+	// (default: {ConstLatency(1)}).
+	TLRVariants []Latency
+	// Strict replaces the Theorem-1 upper bound with the strict
+	// trace-identity test (see core.TLRConfig.Strict).
+	Strict bool
+	// MaxRunLen caps trace length (0 = unbounded).
+	MaxRunLen int
+}
+
+// StudyResult bundles the instruction-level and trace-level limit-study
+// results for one program; both engines saw the same dynamic stream and
+// the same reusability classification.
+type StudyResult struct {
+	ILR core.ILRResult
+	TLR core.TLRResult
+}
+
+// MeasureReuse runs the paper's limit studies over prog's dynamic stream.
+func MeasureReuse(prog *Program, cfg StudyConfig) (StudyResult, error) {
+	if cfg.Budget == 0 {
+		return StudyResult{}, fmt.Errorf("tlr: StudyConfig.Budget must be positive")
+	}
+	if len(cfg.ILRLatencies) == 0 {
+		cfg.ILRLatencies = []float64{1}
+	}
+	if len(cfg.TLRVariants) == 0 {
+		cfg.TLRVariants = []Latency{ConstLatency(1)}
+	}
+	c := cpu.New(prog)
+	if cfg.Skip > 0 {
+		if _, err := c.Run(cfg.Skip, nil); err != nil {
+			return StudyResult{}, err
+		}
+	}
+	hist := core.NewHistory()
+	ilr := core.NewILRStudy(core.ILRConfig{Window: cfg.Window, Latencies: cfg.ILRLatencies})
+	tlrS := core.NewTLRStudy(core.TLRConfig{
+		Window:    cfg.Window,
+		Variants:  cfg.TLRVariants,
+		Strict:    cfg.Strict,
+		MaxRunLen: cfg.MaxRunLen,
+	})
+	if _, err := c.Run(cfg.Budget, func(e *trace.Exec) {
+		reusable := hist.Observe(e)
+		ilr.ConsumeClassified(e, reusable)
+		tlrS.ConsumeClassified(e, reusable)
+	}); err != nil {
+		return StudyResult{}, err
+	}
+	ilr.Finish()
+	tlrS.Finish()
+	return StudyResult{ILR: ilr.Result(), TLR: tlrS.Result()}, nil
+}
+
+// RTM geometry and simulation types (paper §4.6).
+type (
+	// Geometry is the RTM shape: sets x PC-ways x traces/PC.
+	Geometry = rtm.Geometry
+	// RTMConfig configures a realistic RTM simulation.
+	RTMConfig = rtm.Config
+	// RTMResult summarises one realistic RTM simulation.
+	RTMResult = rtm.Result
+	// Heuristic selects the dynamic trace-collection policy.
+	Heuristic = rtm.Heuristic
+)
+
+// The paper's four RTM capacities and three collection heuristics.
+var (
+	Geometry512  = rtm.Geometry512
+	Geometry4K   = rtm.Geometry4K
+	Geometry32K  = rtm.Geometry32K
+	Geometry256K = rtm.Geometry256K
+)
+
+// Collection heuristics (paper §4.6).
+const (
+	ILRNE  = rtm.ILRNE
+	ILREXP = rtm.ILREXP
+	IEXP   = rtm.IEXP
+)
+
+// SimulateRTM runs prog under a finite Reuse Trace Memory for up to
+// budget retired (executed + skipped) instructions, after skipping `skip`
+// instructions of warm-up.
+func SimulateRTM(prog *Program, cfg RTMConfig, skip, budget uint64) (RTMResult, error) {
+	c := cpu.New(prog)
+	if skip > 0 {
+		if _, err := c.Run(skip, nil); err != nil {
+			return RTMResult{}, err
+		}
+	}
+	return rtm.NewSim(cfg, c).Run(budget)
+}
+
+// PipelineConfig parameterises the execution-driven processor model: a
+// superscalar front end with finite fetch bandwidth and window, with the
+// RTM consulted at every fetch (the paper's Figure 2).
+type PipelineConfig = pipeline.Config
+
+// PipelineResult summarises one execution-driven run; IPC can exceed the
+// fetch width because reused instructions retire without being fetched.
+type PipelineResult = pipeline.Result
+
+// SimulatePipeline runs prog on the execution-driven pipeline model for
+// up to budget retired instructions after `skip` instructions of warm-up.
+// Set cfg.RTM to enable trace reuse; nil models the base machine.
+func SimulatePipeline(prog *Program, cfg PipelineConfig, skip, budget uint64) (PipelineResult, error) {
+	c := cpu.New(prog)
+	if skip > 0 {
+		if _, err := c.Run(skip, nil); err != nil {
+			return PipelineResult{}, err
+		}
+	}
+	return pipeline.New(cfg, c).Run(budget)
+}
+
+// VPResult reports a value-prediction limit study (see MeasureValuePrediction).
+type VPResult = core.VPResult
+
+// MeasureValuePrediction runs the last-value-prediction limit study the
+// repository uses to make the paper's §1 speculation-vs-reuse framing
+// executable: predicted outputs are available at window entry, validation
+// still executes, mispredictions are free (an optimistic bound).
+func MeasureValuePrediction(prog *Program, cfg StudyConfig) (VPResult, error) {
+	if cfg.Budget == 0 {
+		return VPResult{}, fmt.Errorf("tlr: StudyConfig.Budget must be positive")
+	}
+	c := cpu.New(prog)
+	if cfg.Skip > 0 {
+		if _, err := c.Run(cfg.Skip, nil); err != nil {
+			return VPResult{}, err
+		}
+	}
+	s := core.NewVPStudy(core.VPConfig{Window: cfg.Window})
+	if _, err := c.Run(cfg.Budget, func(e *trace.Exec) { s.Consume(e) }); err != nil {
+		return VPResult{}, err
+	}
+	s.Finish()
+	return s.Result(), nil
+}
