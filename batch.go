@@ -1,0 +1,247 @@
+package tlr
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/tracereuse/tlr/internal/service"
+	"github.com/tracereuse/tlr/internal/workload"
+)
+
+// The batch facade: submit many (program, configuration) jobs at once
+// and let the service layer fan them out over a worker pool, deduplicate
+// identical jobs, and memoise results, so configuration sweeps pay for
+// each distinct simulation once.  cmd/tlrserve serves the same API over
+// HTTP/JSON.
+
+// BatchJob is one simulation request.  Exactly one program field
+// (Workload, Source or Prog) and exactly one configuration field (Study
+// or RTM) must be set.
+type BatchJob struct {
+	// ID is an opaque label echoed in the result (defaults to the
+	// job's index).
+	ID string
+
+	// Workload names a built-in benchmark (see Workloads).
+	Workload string
+	// Source is assembly text, assembled through the batch program
+	// cache.
+	Source string
+	// Prog is an already-assembled program.
+	Prog *Program
+
+	// Study runs the reuse limit studies (as MeasureReuse).
+	Study *StudyConfig
+	// RTM runs a realistic RTM simulation (as SimulateRTM) with the
+	// job's Skip/Budget bounds.
+	RTM *RTMConfig
+	// Skip and Budget bound an RTM simulation (ignored for Study jobs,
+	// which carry their own inside StudyConfig).
+	Skip, Budget uint64
+}
+
+// BatchResult is one finished BatchJob.
+type BatchResult struct {
+	// Index is the job's position in the submitted slice; results from
+	// Measure are ordered by it.
+	Index int
+	ID    string
+	// Study is set for Study jobs, RTM for RTM jobs.
+	Study *StudyResult
+	RTM   *RTMResult
+	// Cached reports that the result came from the batch cache rather
+	// than a fresh simulation.
+	Cached bool
+	Err    error
+}
+
+// BatchStats counts batch-service traffic.
+type BatchStats struct {
+	Submitted uint64 // jobs accepted
+	Ran       uint64 // jobs actually simulated
+	CacheHits uint64 // jobs answered from the result cache
+	Coalesced uint64 // jobs folded into an identical in-flight run
+	Errors    uint64 // jobs that failed
+}
+
+// BatchOptions sizes a Batcher.
+type BatchOptions struct {
+	// Workers is the worker-pool size (0 = GOMAXPROCS).
+	Workers int
+	// CacheSize is the result-cache capacity in jobs (0 = 4096).
+	CacheSize int
+}
+
+// Batcher owns a batch simulation service: a worker pool plus program
+// and result caches that persist across Measure calls.
+type Batcher struct {
+	svc *service.Service
+}
+
+// NewBatcher starts a batch service.  Close releases its workers.
+func NewBatcher(opt BatchOptions) *Batcher {
+	return &Batcher{svc: service.New(service.Options{
+		Workers:     opt.Workers,
+		ResultCache: opt.CacheSize,
+	})}
+}
+
+// Close stops the Batcher's workers after in-flight jobs finish.
+func (b *Batcher) Close() { b.svc.Close() }
+
+// Stats returns a snapshot of the Batcher's traffic counters.
+func (b *Batcher) Stats() BatchStats {
+	st := b.svc.Stats()
+	return BatchStats{
+		Submitted: st.Submitted,
+		Ran:       st.Ran,
+		CacheHits: st.CacheHits,
+		Coalesced: st.Coalesced,
+		Errors:    st.Errors,
+	}
+}
+
+// Measure runs a batch and returns the results ordered by job index,
+// with the first failed job's error (results are still returned in
+// full, so callers can inspect every job's outcome).
+func (b *Batcher) Measure(jobs []BatchJob) ([]BatchResult, error) {
+	stream, err := b.Stream(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BatchResult, len(jobs))
+	for r := range stream {
+		out[r.Index] = r
+	}
+	for i := range out {
+		if out[i].Err != nil {
+			return out, fmt.Errorf("tlr: batch job %d (%s): %w", i, out[i].ID, out[i].Err)
+		}
+	}
+	return out, nil
+}
+
+// Stream submits a batch and returns a channel streaming each result as
+// its simulation finishes (completion order, exactly len(jobs) results).
+// Malformed jobs fail the whole batch before any simulation starts.
+func (b *Batcher) Stream(jobs []BatchJob) (<-chan BatchResult, error) {
+	sjobs := make([]service.Job, len(jobs))
+	study := make([]bool, len(jobs))
+	for i, j := range jobs {
+		sj, isStudy, err := b.convert(i, j)
+		if err != nil {
+			return nil, fmt.Errorf("tlr: batch job %d: %w", i, err)
+		}
+		sjobs[i] = sj
+		study[i] = isStudy
+	}
+	batch := b.svc.Submit(sjobs, 0)
+	out := make(chan BatchResult, len(jobs))
+	go func() {
+		defer close(out)
+		for i := 0; i < batch.Len(); i++ {
+			r := <-batch.Results()
+			br := BatchResult{Index: r.Index, ID: r.ID, Cached: r.Cached, Err: r.Err}
+			if r.Err == nil {
+				if study[r.Index] {
+					o := r.Value.(service.StudyOutput)
+					br.Study = &StudyResult{ILR: o.ILR, TLR: o.TLR}
+				} else {
+					o := r.Value.(RTMResult)
+					br.RTM = &o
+				}
+			}
+			out <- br
+		}
+	}()
+	return out, nil
+}
+
+// convert validates one BatchJob and builds its service job.
+func (b *Batcher) convert(index int, j BatchJob) (service.Job, bool, error) {
+	id := j.ID
+	if id == "" {
+		id = fmt.Sprint(index)
+	}
+	set := 0
+	for _, on := range []bool{j.Workload != "", j.Source != "", j.Prog != nil} {
+		if on {
+			set++
+		}
+	}
+	if set != 1 {
+		return service.Job{}, false, fmt.Errorf("exactly one of Workload, Source, Prog must be set (got %d)", set)
+	}
+	var (
+		prog    *Program
+		progKey string
+		err     error
+	)
+	switch {
+	case j.Workload != "":
+		w, ok := workload.ByName(j.Workload)
+		if !ok {
+			return service.Job{}, false, fmt.Errorf("unknown workload %q", j.Workload)
+		}
+		if prog, err = w.Program(); err != nil {
+			return service.Job{}, false, err
+		}
+		progKey = "workload:" + j.Workload
+	case j.Source != "":
+		if prog, err = b.svc.Program(j.Source); err != nil {
+			return service.Job{}, false, err
+		}
+		progKey = service.Fingerprint(prog)
+	default:
+		prog = j.Prog
+		progKey = service.Fingerprint(prog)
+	}
+
+	switch {
+	case j.Study != nil && j.RTM == nil:
+		s := j.Study
+		if s.Budget == 0 {
+			return service.Job{}, false, fmt.Errorf("StudyConfig.Budget must be positive")
+		}
+		return service.StudyJob(id, progKey, prog, service.StudyParams{
+			Budget:       s.Budget,
+			Skip:         s.Skip,
+			Window:       s.Window,
+			ILRLatencies: s.ILRLatencies,
+			TLRVariants:  s.TLRVariants,
+			Strict:       s.Strict,
+			MaxRunLen:    s.MaxRunLen,
+		}), true, nil
+	case j.RTM != nil && j.Study == nil:
+		if j.Budget == 0 {
+			return service.Job{}, false, fmt.Errorf("RTM jobs need a positive Budget")
+		}
+		return service.RTMJob(id, progKey, prog, service.RTMParams{
+			Config: *j.RTM,
+			Skip:   j.Skip,
+			Budget: j.Budget,
+		}), false, nil
+	default:
+		return service.Job{}, false, fmt.Errorf("exactly one of Study, RTM must be set")
+	}
+}
+
+// The package-level Batcher behind MeasureBatch, started on first use.
+var (
+	defaultBatcherOnce sync.Once
+	defaultBatcher     *Batcher
+)
+
+// DefaultBatcher returns the shared package-level Batcher (GOMAXPROCS
+// workers): every MeasureBatch call shares its worker pool and caches.
+func DefaultBatcher() *Batcher {
+	defaultBatcherOnce.Do(func() { defaultBatcher = NewBatcher(BatchOptions{}) })
+	return defaultBatcher
+}
+
+// MeasureBatch runs a batch of simulation jobs on the shared Batcher:
+// the jobs fan out across GOMAXPROCS workers and repeated jobs are
+// answered from cache.  Results are ordered by job index.
+func MeasureBatch(jobs []BatchJob) ([]BatchResult, error) {
+	return DefaultBatcher().Measure(jobs)
+}

@@ -16,6 +16,7 @@ import (
 	"github.com/tracereuse/tlr/internal/cpu"
 	"github.com/tracereuse/tlr/internal/expt"
 	"github.com/tracereuse/tlr/internal/rtm"
+	"github.com/tracereuse/tlr/internal/service"
 	"github.com/tracereuse/tlr/internal/stats"
 	"github.com/tracereuse/tlr/internal/trace"
 	"github.com/tracereuse/tlr/internal/workload"
@@ -237,4 +238,92 @@ func BenchmarkSignature(b *testing.B) {
 		buf = trace.AppendInputSignature(buf[:0], &e)
 	}
 	_ = buf
+}
+
+// --- batch service and sharded-engine benchmarks ---
+
+// BenchmarkFig9SweepSequential is the seed's serial Figure-9 path: the
+// whole heuristic x geometry x workload grid on one worker, cold.
+func BenchmarkFig9SweepSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		svc := service.New(service.Options{Workers: 1})
+		if _, err := expt.MeasureRTMWith(svc, benchConfig); err != nil {
+			b.Fatal(err)
+		}
+		svc.Close()
+	}
+}
+
+// BenchmarkFig9SweepParallel is the same grid fanned out across the
+// batch service's full worker pool, cold.  The ratio to Sequential is
+// the sweep's parallel speedup (recorded in BENCH_ci.json by
+// cmd/tlrexp -bench-out).
+func BenchmarkFig9SweepParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		svc := service.New(service.Options{})
+		if _, err := expt.MeasureRTMWith(svc, benchConfig); err != nil {
+			b.Fatal(err)
+		}
+		svc.Close()
+	}
+}
+
+// BenchmarkFig9SweepWarm is the grid answered entirely from the result
+// cache — the repeated-sweep fast path.
+func BenchmarkFig9SweepWarm(b *testing.B) {
+	svc := service.New(service.Options{})
+	defer svc.Close()
+	if _, err := expt.MeasureRTMWith(svc, benchConfig); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.MeasureRTMWith(svc, benchConfig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardedRTMLookupParallel hammers one sharded RTM from every
+// core: the concurrent reuse-test hot path.
+func BenchmarkShardedRTMLookupParallel(b *testing.B) {
+	m := rtm.NewSharded(rtm.Geometry4K, 1, 0)
+	for pc := uint64(0); pc < 1024; pc++ {
+		m.Insert(trace.Summary{
+			StartPC: pc, Next: pc + 2, Len: 2,
+			Ins:  []trace.Ref{{Loc: trace.IntReg(1), Val: pc & 7}},
+			Outs: []trace.Ref{{Loc: trace.IntReg(2), Val: pc}},
+		})
+	}
+	st := benchState{}
+	b.RunParallel(func(pb *testing.PB) {
+		pc := uint64(0)
+		for pb.Next() {
+			m.Lookup(pc&1023, st)
+			pc++
+		}
+	})
+}
+
+// benchState reads every location as its low PC bits, matching ~1/8th of
+// the stored traces.
+type benchState struct{}
+
+func (benchState) ReadLoc(trace.Loc) uint64 { return 3 }
+
+// BenchmarkShardedHistoryObserveParallel is the concurrent
+// classification hot path.
+func BenchmarkShardedHistoryObserveParallel(b *testing.B) {
+	h := core.NewShardedHistory(0)
+	b.RunParallel(func(pb *testing.PB) {
+		var e trace.Exec
+		var i uint64
+		for pb.Next() {
+			e.Reset()
+			e.PC = i & 0xfff
+			e.AddIn(trace.IntReg(1), i&0xf)
+			h.Observe(&e)
+			i++
+		}
+	})
 }

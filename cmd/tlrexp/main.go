@@ -4,19 +4,30 @@
 // Usage:
 //
 //	tlrexp [-budget N] [-skip N] [-window W] [-rtmbudget N] [-fig 6a] [-no-rtm]
+//	tlrexp -bench-out BENCH_ci.json [-budget N] [-rtmbudget N]
 //
 // Each table prints the same series the paper plots, with the paper's
 // numbers quoted in the footnote for side-by-side comparison.
+//
+// With -bench-out, tlrexp instead benchmarks the Figure-9 RTM sweep
+// three ways — sequentially (one worker, the seed's serial path),
+// in parallel across the batch service's worker pool, and warm from the
+// result cache — verifies all three agree cell for cell, and writes a
+// JSON timing summary to the given file (the CI perf artifact).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
+	"runtime"
 	"strings"
 	"time"
 
 	"github.com/tracereuse/tlr/internal/expt"
+	"github.com/tracereuse/tlr/internal/service"
 )
 
 func main() {
@@ -29,6 +40,7 @@ func main() {
 	fig := flag.String("fig", "", "render only the figure whose title contains this substring (e.g. \"6a\")")
 	noRTM := flag.Bool("no-rtm", false, "skip the Figure 9 RTM sweep")
 	ablations := flag.Bool("ablations", false, "also run the ablations and extensions (block-bounded, strict, valid-bit, speculation, ILP limits, pipeline)")
+	benchOut := flag.String("bench-out", "", "benchmark the sequential vs parallel Figure-9 sweep and write a JSON summary to this file")
 	flag.Parse()
 
 	cfg.Budget = *budget
@@ -36,6 +48,14 @@ func main() {
 	cfg.Window = *window
 	cfg.RTMBudget = *rtmBudget
 	cfg.Workers = *workers
+
+	if *benchOut != "" {
+		if err := runSweepBench(cfg, *benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "tlrexp:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	start := time.Now()
 	ms, err := expt.Measure(cfg)
@@ -87,4 +107,97 @@ func main() {
 	}
 	fmt.Printf("(%d tables, budget %d/workload, window %d, wall %.1fs)\n",
 		shown, cfg.Budget, cfg.Window, time.Since(start).Seconds())
+}
+
+// sweepBench is the JSON schema of -bench-out (the BENCH_ci.json CI
+// artifact): wall times for the Figure-9 RTM sweep run sequentially,
+// in parallel, and warm from the result cache.
+type sweepBench struct {
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	Cells           int     `json:"cells"`
+	RTMBudget       uint64  `json:"rtmBudget"`
+	Skip            uint64  `json:"skip"`
+	SequentialSecs  float64 `json:"sequentialSeconds"`
+	ParallelSecs    float64 `json:"parallelSeconds"`
+	WarmSecs        float64 `json:"warmSeconds"`
+	Speedup         float64 `json:"speedup"`
+	WarmSpeedup     float64 `json:"warmSpeedup"`
+	ParallelWorkers int     `json:"parallelWorkers"`
+}
+
+// runSweepBench times the Figure-9 sweep three ways on fresh services,
+// checks the runs agree cell for cell, and writes the summary JSON.
+func runSweepBench(cfg expt.Config, path string) error {
+	if cfg.RTMBudget == 0 {
+		return fmt.Errorf("-bench-out needs a positive -rtmbudget")
+	}
+	// Open the output first: an unwritable path should fail before the
+	// sweep burns minutes of simulation.  On any later error, remove the
+	// empty file so downstream readers see the sweep error, not a JSON
+	// decode failure on a zero-byte artifact.
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	wrote := false
+	defer func() {
+		f.Close()
+		if !wrote {
+			os.Remove(path)
+		}
+	}()
+	seqSvc := service.New(service.Options{Workers: 1})
+	defer seqSvc.Close()
+	t0 := time.Now()
+	seqCells, err := expt.MeasureRTMWith(seqSvc, cfg)
+	if err != nil {
+		return err
+	}
+	seq := time.Since(t0)
+
+	parSvc := service.New(service.Options{})
+	defer parSvc.Close()
+	t1 := time.Now()
+	parCells, err := expt.MeasureRTMWith(parSvc, cfg)
+	if err != nil {
+		return err
+	}
+	par := time.Since(t1)
+
+	t2 := time.Now()
+	warmCells, err := expt.MeasureRTMWith(parSvc, cfg)
+	if err != nil {
+		return err
+	}
+	warm := time.Since(t2)
+
+	if !reflect.DeepEqual(seqCells, parCells) {
+		return fmt.Errorf("parallel sweep diverged from sequential")
+	}
+	if !reflect.DeepEqual(seqCells, warmCells) {
+		return fmt.Errorf("cache-warm sweep diverged from sequential")
+	}
+
+	b := sweepBench{
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Cells:           len(seqCells),
+		RTMBudget:       cfg.RTMBudget,
+		Skip:            cfg.Skip,
+		SequentialSecs:  seq.Seconds(),
+		ParallelSecs:    par.Seconds(),
+		WarmSecs:        warm.Seconds(),
+		Speedup:         seq.Seconds() / par.Seconds(),
+		WarmSpeedup:     seq.Seconds() / warm.Seconds(),
+		ParallelWorkers: parSvc.Workers(),
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(b); err != nil {
+		return err
+	}
+	wrote = true
+	fmt.Printf("Figure-9 sweep: %d cells, budget %d\n", b.Cells, b.RTMBudget)
+	fmt.Printf("  sequential %.2fs, parallel %.2fs on %d workers (%.1fx), warm %.3fs (%.0fx)\n",
+		b.SequentialSecs, b.ParallelSecs, b.ParallelWorkers, b.Speedup, b.WarmSecs, b.WarmSpeedup)
+	return nil
 }

@@ -1,0 +1,462 @@
+// Command tlrserve serves the batch simulation API over HTTP/JSON: a
+// worker pool plus result cache behind POST /v1/batch, and a shared
+// concurrent (sharded) Reuse Trace Memory behind /v1/rtm for
+// trace-reuse-as-a-service experiments.
+//
+// Usage:
+//
+//	tlrserve [-addr :8321] [-workers N] [-cache N] [-rtm-sets 128] [-rtm-ways 4] [-rtm-traces 8]
+//
+// # Batch API
+//
+// POST /v1/batch accepts {"jobs": [...]} where each job names a program
+// (a built-in "workload" or assembly "source") and one configuration:
+//
+//	{"id": "cell1", "workload": "gcc", "kind": "rtm",
+//	 "rtm": {"geometry": {"sets": 128, "pcWays": 4, "tracesPerPC": 8},
+//	         "heuristic": "ILR EXP"},
+//	 "skip": 1000, "budget": 100000}
+//
+//	{"id": "limits", "workload": "li", "kind": "study",
+//	 "study": {"budget": 100000, "skip": 1000, "window": 256}}
+//
+// The response streams one JSON object per line (NDJSON) as each job
+// finishes; every line carries the job's batch index, so clients can
+// reassemble deterministic order.  Identical jobs — within a batch or
+// across batches — are simulated once and answered from cache.
+//
+// # Shared RTM
+//
+// POST /v1/rtm/insert stores a trace summary in the server-wide sharded
+// RTM; POST /v1/rtm/lookup runs the reuse test against caller-supplied
+// state.  Locations are {"kind": "r"|"f"|"m", "index": N}.  The RTM and
+// the trace history behind it are lock-striped, so concurrent requests
+// proceed in parallel — many goroutines, one engine instance.
+//
+// GET /healthz reports liveness; GET /v1/stats reports service, RTM and
+// history counters.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"github.com/tracereuse/tlr/internal/core"
+	"github.com/tracereuse/tlr/internal/isa"
+	"github.com/tracereuse/tlr/internal/rtm"
+	"github.com/tracereuse/tlr/internal/service"
+	"github.com/tracereuse/tlr/internal/trace"
+	"github.com/tracereuse/tlr/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8321", "listen address")
+	workers := flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+	cache := flag.Int("cache", 0, "result cache capacity in jobs (0 = default)")
+	rtmSets := flag.Int("rtm-sets", 128, "shared RTM sets (power of two)")
+	rtmWays := flag.Int("rtm-ways", 4, "shared RTM PC ways per set")
+	rtmTraces := flag.Int("rtm-traces", 8, "shared RTM traces per PC")
+	rtmShards := flag.Int("rtm-shards", 0, "shared RTM lock stripes (0 = auto)")
+	flag.Parse()
+
+	geom := rtm.Geometry{Sets: *rtmSets, PCWays: *rtmWays, TracesPerPC: *rtmTraces}
+	if geom.Sets <= 0 || geom.Sets&(geom.Sets-1) != 0 {
+		log.Fatalf("tlrserve: -rtm-sets must be a positive power of two, got %d", geom.Sets)
+	}
+	if geom.PCWays < 1 || geom.TracesPerPC < 1 {
+		log.Fatalf("tlrserve: -rtm-ways and -rtm-traces must be >= 1, got %d and %d",
+			geom.PCWays, geom.TracesPerPC)
+	}
+	srv := &server{
+		svc:    service.New(service.Options{Workers: *workers, ResultCache: *cache}),
+		shared: rtm.NewSharded(geom, 1, *rtmShards),
+		hist:   core.NewShardedTraceHistory(0),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", srv.handleHealth)
+	mux.HandleFunc("GET /v1/stats", srv.handleStats)
+	mux.HandleFunc("GET /v1/workloads", srv.handleWorkloads)
+	mux.HandleFunc("POST /v1/batch", srv.handleBatch)
+	mux.HandleFunc("POST /v1/rtm/insert", srv.handleRTMInsert)
+	mux.HandleFunc("POST /v1/rtm/lookup", srv.handleRTMLookup)
+
+	log.Printf("tlrserve: listening on %s (shared RTM %v, %d stripes)",
+		*addr, geom, srv.shared.Shards())
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+type server struct {
+	svc    *service.Service
+	shared *rtm.Sharded
+	hist   *core.ShardedTraceHistory
+}
+
+// --- batch API ---
+
+type batchRequest struct {
+	Jobs []jobRequest `json:"jobs"`
+}
+
+type jobRequest struct {
+	ID       string       `json:"id"`
+	Workload string       `json:"workload,omitempty"`
+	Source   string       `json:"source,omitempty"`
+	Kind     string       `json:"kind"` // "study" or "rtm"
+	Study    *studyParams `json:"study,omitempty"`
+	RTM      *rtmParams   `json:"rtm,omitempty"`
+	Skip     uint64       `json:"skip,omitempty"`
+	Budget   uint64       `json:"budget,omitempty"`
+}
+
+type studyParams struct {
+	Budget       uint64    `json:"budget"`
+	Skip         uint64    `json:"skip,omitempty"`
+	Window       int       `json:"window,omitempty"`
+	ILRLatencies []float64 `json:"ilrLatencies,omitempty"`
+	TLRConst     []float64 `json:"tlrConst,omitempty"`
+	TLRProp      []float64 `json:"tlrProp,omitempty"`
+	Strict       bool      `json:"strict,omitempty"`
+	MaxRunLen    int       `json:"maxRunLen,omitempty"`
+}
+
+type rtmParams struct {
+	Geometry struct {
+		Sets        int `json:"sets"`
+		PCWays      int `json:"pcWays"`
+		TracesPerPC int `json:"tracesPerPC"`
+	} `json:"geometry"`
+	Heuristic         string `json:"heuristic,omitempty"` // "ILR NE", "ILR EXP", "IEXP"
+	N                 int    `json:"n,omitempty"`
+	MinLen            int    `json:"minLen,omitempty"`
+	InvalidateOnWrite bool   `json:"invalidateOnWrite,omitempty"`
+}
+
+type jobResponse struct {
+	Index  int                  `json:"index"`
+	ID     string               `json:"id"`
+	Cached bool                 `json:"cached"`
+	Study  *service.StudyOutput `json:"study,omitempty"`
+	RTM    *rtm.Result          `json:"rtm,omitempty"`
+	Error  string               `json:"error,omitempty"`
+}
+
+func parseHeuristic(s string) (rtm.Heuristic, error) {
+	switch strings.ToUpper(strings.ReplaceAll(strings.TrimSpace(s), "_", " ")) {
+	case "", "ILR NE", "ILRNE":
+		return rtm.ILRNE, nil
+	case "ILR EXP", "ILREXP":
+		return rtm.ILREXP, nil
+	case "IEXP", "I(N) EXP", "I EXP":
+		return rtm.IEXP, nil
+	default:
+		return 0, fmt.Errorf("unknown heuristic %q", s)
+	}
+}
+
+// convert builds the service job for one request, reporting whether it
+// is a study job.
+func (s *server) convert(i int, j jobRequest) (service.Job, bool, error) {
+	id := j.ID
+	if id == "" {
+		id = fmt.Sprint(i)
+	}
+	prog, err := s.resolveProgram(j)
+	if err != nil {
+		return service.Job{}, false, err
+	}
+	switch j.Kind {
+	case "study":
+		if j.Study == nil {
+			return service.Job{}, false, fmt.Errorf("study job needs a study config")
+		}
+		p := service.StudyParams{
+			Budget:       j.Study.Budget,
+			Skip:         j.Study.Skip,
+			Window:       j.Study.Window,
+			ILRLatencies: j.Study.ILRLatencies,
+			Strict:       j.Study.Strict,
+			MaxRunLen:    j.Study.MaxRunLen,
+		}
+		for _, c := range j.Study.TLRConst {
+			p.TLRVariants = append(p.TLRVariants, core.ConstLatency(c))
+		}
+		for _, k := range j.Study.TLRProp {
+			p.TLRVariants = append(p.TLRVariants, core.PropLatency(k))
+		}
+		return service.StudyJob(id, prog.key, prog.prog, p), true, nil
+	case "rtm":
+		if j.RTM == nil {
+			return service.Job{}, false, fmt.Errorf("rtm job needs an rtm config")
+		}
+		if j.Budget == 0 {
+			return service.Job{}, false, fmt.Errorf("rtm job needs a positive budget")
+		}
+		h, err := parseHeuristic(j.RTM.Heuristic)
+		if err != nil {
+			return service.Job{}, false, err
+		}
+		cfg := rtm.Config{
+			Geometry: rtm.Geometry{
+				Sets:        j.RTM.Geometry.Sets,
+				PCWays:      j.RTM.Geometry.PCWays,
+				TracesPerPC: j.RTM.Geometry.TracesPerPC,
+			},
+			Heuristic:         h,
+			N:                 j.RTM.N,
+			MinLen:            j.RTM.MinLen,
+			InvalidateOnWrite: j.RTM.InvalidateOnWrite,
+		}
+		if cfg.Geometry.Sets <= 0 || cfg.Geometry.Sets&(cfg.Geometry.Sets-1) != 0 {
+			return service.Job{}, false, fmt.Errorf("geometry sets must be a positive power of two")
+		}
+		return service.RTMJob(id, prog.key, prog.prog, service.RTMParams{
+			Config: cfg, Skip: j.Skip, Budget: j.Budget,
+		}), false, nil
+	default:
+		return service.Job{}, false, fmt.Errorf("unknown kind %q (want \"study\" or \"rtm\")", j.Kind)
+	}
+}
+
+type resolvedProgram struct {
+	prog *isa.Program
+	key  string
+}
+
+// resolveProgram finds or assembles the job's program.
+func (s *server) resolveProgram(j jobRequest) (resolvedProgram, error) {
+	switch {
+	case j.Workload != "" && j.Source == "":
+		w, ok := workload.ByName(j.Workload)
+		if !ok {
+			return resolvedProgram{}, fmt.Errorf("unknown workload %q", j.Workload)
+		}
+		prog, err := w.Program()
+		if err != nil {
+			return resolvedProgram{}, err
+		}
+		return resolvedProgram{prog: prog, key: "workload:" + j.Workload}, nil
+	case j.Source != "" && j.Workload == "":
+		prog, err := s.svc.Program(j.Source)
+		if err != nil {
+			return resolvedProgram{}, err
+		}
+		return resolvedProgram{prog: prog, key: service.Fingerprint(prog)}, nil
+	default:
+		return resolvedProgram{}, fmt.Errorf("exactly one of workload, source must be set")
+	}
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		http.Error(w, "empty batch", http.StatusBadRequest)
+		return
+	}
+	jobs := make([]service.Job, len(req.Jobs))
+	study := make([]bool, len(req.Jobs))
+	for i, j := range req.Jobs {
+		sj, isStudy, err := s.convert(i, j)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("job %d: %v", i, err), http.StatusBadRequest)
+			return
+		}
+		jobs[i] = sj
+		study[i] = isStudy
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	batch := s.svc.Submit(jobs, 0)
+	// On client disconnect, cancel the batch so undispatched jobs stop
+	// occupying the worker pool (running simulations finish; the batch's
+	// buffered channel absorbs their results).
+	defer batch.Cancel()
+	ctx := r.Context()
+	for i := 0; i < batch.Len(); i++ {
+		var res service.Result
+		select {
+		case res = <-batch.Results():
+		case <-ctx.Done():
+			return
+		}
+		line := jobResponse{Index: res.Index, ID: res.ID, Cached: res.Cached}
+		if res.Err != nil {
+			line.Error = res.Err.Error()
+		} else if study[res.Index] {
+			o := res.Value.(service.StudyOutput)
+			line.Study = &o
+		} else {
+			o := res.Value.(rtm.Result)
+			line.RTM = &o
+		}
+		if err := enc.Encode(&line); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// --- shared RTM API ---
+
+type jsonLoc struct {
+	Kind  string `json:"kind"` // "r", "f", "m"
+	Index uint64 `json:"index"`
+}
+
+func (l jsonLoc) loc() (trace.Loc, error) {
+	switch l.Kind {
+	case "r":
+		return trace.IntReg(uint8(l.Index)), nil
+	case "f":
+		return trace.FPReg(uint8(l.Index)), nil
+	case "m":
+		return trace.Mem(l.Index), nil
+	default:
+		return 0, fmt.Errorf("unknown location kind %q", l.Kind)
+	}
+}
+
+func toJSONLoc(l trace.Loc) jsonLoc {
+	switch l.Kind() {
+	case trace.KindIntReg:
+		return jsonLoc{Kind: "r", Index: l.Index()}
+	case trace.KindFPReg:
+		return jsonLoc{Kind: "f", Index: l.Index()}
+	default:
+		return jsonLoc{Kind: "m", Index: l.Index()}
+	}
+}
+
+type jsonRef struct {
+	Loc jsonLoc `json:"loc"`
+	Val uint64  `json:"val"`
+}
+
+type jsonSummary struct {
+	StartPC uint64    `json:"startPC"`
+	Next    uint64    `json:"next"`
+	Len     int       `json:"len"`
+	Ins     []jsonRef `json:"ins"`
+	Outs    []jsonRef `json:"outs"`
+}
+
+func (js jsonSummary) summary() (trace.Summary, error) {
+	s := trace.Summary{StartPC: js.StartPC, Next: js.Next, Len: js.Len}
+	for _, r := range js.Ins {
+		l, err := r.Loc.loc()
+		if err != nil {
+			return s, err
+		}
+		s.Ins = append(s.Ins, trace.Ref{Loc: l, Val: r.Val})
+	}
+	for _, r := range js.Outs {
+		l, err := r.Loc.loc()
+		if err != nil {
+			return s, err
+		}
+		s.Outs = append(s.Outs, trace.Ref{Loc: l, Val: r.Val})
+	}
+	return s, nil
+}
+
+func toJSONSummary(s trace.Summary) jsonSummary {
+	js := jsonSummary{StartPC: s.StartPC, Next: s.Next, Len: s.Len}
+	for _, r := range s.Ins {
+		js.Ins = append(js.Ins, jsonRef{Loc: toJSONLoc(r.Loc), Val: r.Val})
+	}
+	for _, r := range s.Outs {
+		js.Outs = append(js.Outs, jsonRef{Loc: toJSONLoc(r.Loc), Val: r.Val})
+	}
+	return js
+}
+
+func (s *server) handleRTMInsert(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Summary jsonSummary `json:"summary"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	sum, err := req.Summary.summary()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if sum.Len <= 0 {
+		http.Error(w, "summary len must be positive", http.StatusBadRequest)
+		return
+	}
+	seen := s.hist.Observe(&sum)
+	s.shared.Insert(sum)
+	writeJSON(w, map[string]any{"seenBefore": seen, "stored": s.shared.Stored()})
+}
+
+// mapState adapts caller-supplied location values to the reuse test.
+type mapState map[trace.Loc]uint64
+
+func (m mapState) ReadLoc(l trace.Loc) uint64 { return m[l] }
+
+func (s *server) handleRTMLookup(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		PC    uint64    `json:"pc"`
+		State []jsonRef `json:"state"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	st := make(mapState, len(req.State))
+	for _, ref := range req.State {
+		l, err := ref.Loc.loc()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		st[l] = ref.Val
+	}
+	sum, ok := s.shared.Lookup(req.PC, st)
+	resp := map[string]any{"hit": ok}
+	if ok {
+		resp["summary"] = toJSONSummary(sum)
+	}
+	writeJSON(w, resp)
+}
+
+// --- misc ---
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{"ok": true})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{
+		"service":        s.svc.Stats(),
+		"rtm":            s.shared.Stats(),
+		"rtmStored":      s.shared.Stored(),
+		"rtmShards":      s.shared.Shards(),
+		"distinctTraces": s.hist.Vectors(),
+	})
+}
+
+func (s *server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{"workloads": workload.Names()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("tlrserve: write: %v", err)
+	}
+}

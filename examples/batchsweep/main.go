@@ -1,0 +1,101 @@
+// Batch sweep: drive the batch simulation service from the public API.
+// One Batcher runs a heuristic x geometry RTM sweep over several
+// workloads in parallel, then runs the identical sweep again to show
+// the result cache answering the whole grid without re-simulating.
+//
+//	go run ./examples/batchsweep [budget]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"time"
+
+	"github.com/tracereuse/tlr"
+)
+
+func main() {
+	budget := uint64(60_000)
+	if len(os.Args) > 1 {
+		n, err := strconv.ParseUint(os.Args[1], 10, 64)
+		if err != nil {
+			log.Fatalf("bad budget %q: %v", os.Args[1], err)
+		}
+		budget = n
+	}
+
+	workloads := []string{"compress", "li", "ijpeg", "hydro2d"}
+	geoms := []struct {
+		label string
+		g     tlr.Geometry
+	}{
+		{"512", tlr.Geometry512},
+		{"4K", tlr.Geometry4K},
+		{"32K", tlr.Geometry32K},
+	}
+	heuristics := []struct {
+		label string
+		h     tlr.Heuristic
+		n     int
+	}{
+		{"ILR NE", tlr.ILRNE, 0},
+		{"ILR EXP", tlr.ILREXP, 0},
+		{"I4 EXP", tlr.IEXP, 4},
+	}
+
+	var jobs []tlr.BatchJob
+	for _, w := range workloads {
+		for _, g := range geoms {
+			for _, h := range heuristics {
+				jobs = append(jobs, tlr.BatchJob{
+					ID:       fmt.Sprintf("%s/%s/%s", w, h.label, g.label),
+					Workload: w,
+					RTM:      &tlr.RTMConfig{Geometry: g.g, Heuristic: h.h, N: h.n},
+					Skip:     1_000,
+					Budget:   budget,
+				})
+			}
+		}
+	}
+
+	b := tlr.NewBatcher(tlr.BatchOptions{})
+	defer b.Close()
+
+	run := func(pass string) []tlr.BatchResult {
+		start := time.Now()
+		res, err := b.Measure(jobs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cached := 0
+		for _, r := range res {
+			if r.Cached {
+				cached++
+			}
+		}
+		fmt.Printf("%s pass: %d jobs in %.2fs (%d answered from cache)\n",
+			pass, len(res), time.Since(start).Seconds(), cached)
+		return res
+	}
+
+	cold := run("cold")
+	warm := run("warm")
+
+	// The sweeps must agree cell for cell — caching never changes results.
+	for i := range cold {
+		if cold[i].RTM.ReusedFraction() != warm[i].RTM.ReusedFraction() {
+			log.Fatalf("cell %s differs between passes", cold[i].ID)
+		}
+	}
+
+	fmt.Printf("\n%-28s %8s %8s\n", "cell", "reused", "avg len")
+	for _, r := range cold {
+		fmt.Printf("%-28s %7.1f%% %8.2f\n",
+			r.ID, 100*r.RTM.ReusedFraction(), r.RTM.AvgReusedLen())
+	}
+	st := b.Stats()
+	fmt.Printf("\nbatcher: %d submitted, %d simulated, %d cache hits, %d coalesced\n",
+		st.Submitted, st.Ran, st.CacheHits, st.Coalesced)
+}

@@ -1,0 +1,3 @@
+module github.com/tracereuse/tlr
+
+go 1.24

@@ -33,6 +33,11 @@ func Disassemble(p *isa.Program) string {
 		b.WriteString(render(in, label))
 		b.WriteByte('\n')
 	}
+	// A target at len(Insts) — the entry of an empty text segment, or a
+	// branch just past the last instruction — still needs its label.
+	if targets[uint64(len(p.Insts))] {
+		fmt.Fprintf(&b, "%s:\n", label(uint64(len(p.Insts))))
+	}
 	if len(p.Data) > 0 {
 		b.WriteString("        .data\n")
 		b.WriteString("D0:\n")

@@ -89,3 +89,31 @@ func TestAssemblerRandomTokens(t *testing.T) {
 		}()
 	}
 }
+
+// FuzzAssemble is the native fuzz target behind the mangling tests: any
+// input must assemble or error — never panic — and anything that
+// assembles must disassemble to source that reassembles.
+func FuzzAssemble(f *testing.F) {
+	f.Add(`
+main:   ldi  r1, 10
+loop:   subi r1, r1, 1
+        ld   r2, tab(r1)
+        bgtz r1, loop
+        halt
+        .data
+tab:    .word 1, 2, 3, 'x', -5
+`)
+	f.Add("halt\n")
+	f.Add(".data\nx: .word 1\n")
+	f.Add("main: fadd f1, f2, f3\n jmp main\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		round := Disassemble(p)
+		if _, err := Assemble(round); err != nil {
+			t.Fatalf("disassembly does not reassemble: %v\n%s", err, round)
+		}
+	})
+}

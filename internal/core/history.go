@@ -15,17 +15,17 @@ import (
 // instance is reusable iff its inputs were seen before (§4.2).
 //
 // Signatures are exact byte encodings, not hashes, so the study never
-// overcounts reuse through collisions.
+// overcounts reuse through collisions.  The table is open-addressed
+// (see oatable.go): classification is the hottest lookup of every limit
+// study, and the flat table replaces the seed's two-level map.
 type History struct {
-	byPC    map[uint64]map[string]struct{}
-	buf     []byte
-	vectors int64
+	tab sigTable
+	pcs u64Set
+	buf []byte
 }
 
 // NewHistory returns an empty history.
-func NewHistory() *History {
-	return &History{byPC: make(map[uint64]map[string]struct{}, 4096)}
-}
+func NewHistory() *History { return &History{} }
 
 // Observe classifies e as reusable or not, then records its input vector.
 // Side-effecting instructions (OUT, HALT) are never reusable and are not
@@ -35,25 +35,19 @@ func (h *History) Observe(e *trace.Exec) bool {
 		return false
 	}
 	h.buf = trace.AppendInputSignature(h.buf[:0], e)
-	set := h.byPC[e.PC]
-	if set == nil {
-		set = make(map[string]struct{}, 4)
-		h.byPC[e.PC] = set
-	}
-	if _, seen := set[string(h.buf)]; seen {
+	if h.tab.seen(e.PC, h.buf) {
 		return true
 	}
-	set[string(h.buf)] = struct{}{}
-	h.vectors++
+	h.pcs.add(e.PC)
 	return false
 }
 
 // StaticInstructions returns how many distinct PCs have been observed.
-func (h *History) StaticInstructions() int { return len(h.byPC) }
+func (h *History) StaticInstructions() int { return h.pcs.size() }
 
 // Vectors returns how many distinct input vectors are stored (table
 // footprint of the limit study).
-func (h *History) Vectors() int64 { return h.vectors }
+func (h *History) Vectors() int64 { return int64(h.tab.len()) }
 
 // TraceHistory is the trace-level analogue of History: it stores, per
 // starting PC, the live-in reference sequences of previously executed
@@ -64,33 +58,20 @@ func (h *History) Vectors() int64 { return h.vectors }
 // bound); TraceHistory powers the strict-mode ablation and the theorem
 // tests.
 type TraceHistory struct {
-	byPC    map[uint64]map[string]struct{}
-	buf     []byte
-	vectors int64
+	tab sigTable
+	buf []byte
 }
 
 // NewTraceHistory returns an empty trace history.
-func NewTraceHistory() *TraceHistory {
-	return &TraceHistory{byPC: make(map[uint64]map[string]struct{}, 1024)}
-}
+func NewTraceHistory() *TraceHistory { return &TraceHistory{} }
 
 // Observe classifies a trace summary as reusable (seen before) and records
 // it.  The identity of a trace is its starting PC plus its live-in
 // locations and values in first-read order (IL(T), IV(T)).
 func (t *TraceHistory) Observe(s *trace.Summary) bool {
 	t.buf = trace.AppendRefSignature(t.buf[:0], s.Ins)
-	set := t.byPC[s.StartPC]
-	if set == nil {
-		set = make(map[string]struct{}, 2)
-		t.byPC[s.StartPC] = set
-	}
-	if _, seen := set[string(t.buf)]; seen {
-		return true
-	}
-	set[string(t.buf)] = struct{}{}
-	t.vectors++
-	return false
+	return t.tab.seen(s.StartPC, t.buf)
 }
 
 // Vectors returns how many distinct trace input vectors are stored.
-func (t *TraceHistory) Vectors() int64 { return t.vectors }
+func (t *TraceHistory) Vectors() int64 { return int64(t.tab.len()) }

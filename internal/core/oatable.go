@@ -1,0 +1,170 @@
+package core
+
+// Open-addressed hash tables for the reuse histories.  The limit-study
+// classification sits on the hot path of every simulated instruction, and
+// the seed's map[uint64]map[string]struct{} paid two map lookups plus a
+// string allocation per miss.  sigTable flattens both levels into one
+// linear-probed table keyed by (pc, signature) while keeping the exact
+// byte signatures, so classification still never overcounts reuse through
+// hash collisions.
+
+const (
+	// sigTableInitial is the initial slot count (power of two).
+	sigTableInitial = 1024
+	// sigTableMaxLoad is the grow threshold in 1/8ths: grow when
+	// n*8 >= len(slots)*sigTableMaxLoad (i.e. 75% full).
+	sigTableMaxLoad = 6
+)
+
+// hash64 mixes a 64-bit value (SplitMix64 finalizer); used to spread PCs
+// across table slots and shards.
+func hash64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// sigHash hashes a (pc, signature) pair with FNV-1a, folding the pc in
+// first.  The result is forced non-zero so zero can mark empty slots.
+func sigHash(pc uint64, sig []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 8; i++ {
+		h ^= (pc >> (8 * i)) & 0xff
+		h *= prime64
+	}
+	for _, b := range sig {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// sigSlot is one open-addressed slot; hash==0 means empty.
+type sigSlot struct {
+	hash uint64
+	pc   uint64
+	sig  string
+}
+
+// sigTable is an open-addressed (linear probing, power-of-two capacity)
+// set of (pc, signature) pairs.
+type sigTable struct {
+	slots []sigSlot
+	n     int
+}
+
+// seen reports whether (pc, sig) is present, inserting it if not.  It
+// returns true exactly when the pair had been added before — the reuse
+// classification contract of History.Observe.
+func (t *sigTable) seen(pc uint64, sig []byte) bool {
+	if t.slots == nil {
+		t.slots = make([]sigSlot, sigTableInitial)
+	} else if t.n*8 >= len(t.slots)*sigTableMaxLoad {
+		t.grow()
+	}
+	h := sigHash(pc, sig)
+	mask := uint64(len(t.slots) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if s.hash == 0 {
+			s.hash = h
+			s.pc = pc
+			s.sig = string(sig)
+			t.n++
+			return false
+		}
+		if s.hash == h && s.pc == pc && s.sig == string(sig) {
+			return true
+		}
+	}
+}
+
+// len returns how many pairs are stored.
+func (t *sigTable) len() int { return t.n }
+
+func (t *sigTable) grow() {
+	old := t.slots
+	t.slots = make([]sigSlot, 2*len(old))
+	mask := uint64(len(t.slots) - 1)
+	for _, s := range old {
+		if s.hash == 0 {
+			continue
+		}
+		for i := s.hash & mask; ; i = (i + 1) & mask {
+			if t.slots[i].hash == 0 {
+				t.slots[i] = s
+				break
+			}
+		}
+	}
+}
+
+// u64Set is an open-addressed set of uint64 keys (distinct-PC counting).
+// The zero key is stored out of band.
+type u64Set struct {
+	slots   []uint64 // 0 = empty
+	n       int
+	hasZero bool
+}
+
+// add inserts k, reporting whether it was new.
+func (s *u64Set) add(k uint64) bool {
+	if k == 0 {
+		if s.hasZero {
+			return false
+		}
+		s.hasZero = true
+		return true
+	}
+	if s.slots == nil {
+		s.slots = make([]uint64, 256)
+	} else if s.n*8 >= len(s.slots)*sigTableMaxLoad {
+		old := s.slots
+		s.slots = make([]uint64, 2*len(old))
+		for _, k := range old {
+			if k != 0 {
+				s.place(k)
+			}
+		}
+	}
+	mask := uint64(len(s.slots) - 1)
+	for i := hash64(k) & mask; ; i = (i + 1) & mask {
+		if s.slots[i] == k {
+			return false
+		}
+		if s.slots[i] == 0 {
+			s.slots[i] = k
+			s.n++
+			return true
+		}
+	}
+}
+
+// place inserts a key known to be absent (rehash path).
+func (s *u64Set) place(k uint64) {
+	mask := uint64(len(s.slots) - 1)
+	for i := hash64(k) & mask; ; i = (i + 1) & mask {
+		if s.slots[i] == 0 {
+			s.slots[i] = k
+			return
+		}
+	}
+}
+
+// size returns the number of distinct keys.
+func (s *u64Set) size() int {
+	if s.hasZero {
+		return s.n + 1
+	}
+	return s.n
+}

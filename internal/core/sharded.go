@@ -1,0 +1,134 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/tracereuse/tlr/internal/trace"
+)
+
+// Lock-striped variants of the reuse histories, for engines driven by
+// many goroutines at once.  Records are routed to a shard by PC hash, so
+// every instance of one static instruction (or trace start) lands in the
+// same shard and the "first occurrence is not reusable, repeats are"
+// contract holds globally: across all goroutines, each distinct
+// (pc, signature) pair is classified not-reusable exactly once.
+
+// shardCount picks a power-of-two stripe count for n (0 = auto, sized to
+// the machine so independent goroutines rarely collide on a stripe).
+func shardCount(n int) int {
+	if n <= 0 {
+		n = 4 * runtime.GOMAXPROCS(0)
+	}
+	p := 1
+	for p < n && p < 256 {
+		p <<= 1
+	}
+	return p
+}
+
+type historyShard struct {
+	mu sync.Mutex
+	h  History
+	// pad keeps neighbouring shards' locks off one cache line.
+	_ [64]byte
+}
+
+// ShardedHistory is a concurrency-safe History: the instruction-reuse
+// classification table striped over independently locked shards.
+type ShardedHistory struct {
+	shards []historyShard
+	mask   uint64
+}
+
+// NewShardedHistory returns an empty sharded history with the given
+// stripe count (rounded up to a power of two; 0 = auto).
+func NewShardedHistory(shards int) *ShardedHistory {
+	n := shardCount(shards)
+	return &ShardedHistory{shards: make([]historyShard, n), mask: uint64(n - 1)}
+}
+
+// Shards returns the stripe count.
+func (h *ShardedHistory) Shards() int { return len(h.shards) }
+
+// Observe classifies e exactly as History.Observe, safely callable from
+// any number of goroutines.
+func (h *ShardedHistory) Observe(e *trace.Exec) bool {
+	if e.SideEffect {
+		return false
+	}
+	s := &h.shards[hash64(e.PC)&h.mask]
+	s.mu.Lock()
+	r := s.h.Observe(e)
+	s.mu.Unlock()
+	return r
+}
+
+// StaticInstructions returns how many distinct PCs have been observed.
+func (h *ShardedHistory) StaticInstructions() int {
+	n := 0
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		n += s.h.StaticInstructions()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Vectors returns how many distinct input vectors are stored.
+func (h *ShardedHistory) Vectors() int64 {
+	var n int64
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		n += s.h.Vectors()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+type traceHistoryShard struct {
+	mu sync.Mutex
+	h  TraceHistory
+	_  [64]byte
+}
+
+// ShardedTraceHistory is a concurrency-safe TraceHistory, striped by
+// trace starting PC.
+type ShardedTraceHistory struct {
+	shards []traceHistoryShard
+	mask   uint64
+}
+
+// NewShardedTraceHistory returns an empty sharded trace history with the
+// given stripe count (rounded up to a power of two; 0 = auto).
+func NewShardedTraceHistory(shards int) *ShardedTraceHistory {
+	n := shardCount(shards)
+	return &ShardedTraceHistory{shards: make([]traceHistoryShard, n), mask: uint64(n - 1)}
+}
+
+// Shards returns the stripe count.
+func (t *ShardedTraceHistory) Shards() int { return len(t.shards) }
+
+// Observe classifies s exactly as TraceHistory.Observe, safely callable
+// from any number of goroutines.
+func (t *ShardedTraceHistory) Observe(s *trace.Summary) bool {
+	sh := &t.shards[hash64(s.StartPC)&t.mask]
+	sh.mu.Lock()
+	r := sh.h.Observe(s)
+	sh.mu.Unlock()
+	return r
+}
+
+// Vectors returns how many distinct trace input vectors are stored.
+func (t *ShardedTraceHistory) Vectors() int64 {
+	var n int64
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		n += sh.h.Vectors()
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/tracereuse/tlr/internal/trace"
+)
+
+// TestShardedHistoryMatchesSequential drives the same record stream
+// through History and ShardedHistory on one goroutine and checks the
+// classifications agree record by record.
+func TestShardedHistoryMatchesSequential(t *testing.T) {
+	seq := NewHistory()
+	sh := NewShardedHistory(8)
+	rng := uint64(1)
+	for i := 0; i < 20000; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		pc := rng >> 40 & 0xff
+		val := rng >> 20 & 0x7
+		e := mkExec(pc, []trace.Ref{{Loc: trace.IntReg(1), Val: val}}, nil)
+		if got, want := sh.Observe(&e), seq.Observe(&e); got != want {
+			t.Fatalf("record %d (pc=%d val=%d): sharded=%v sequential=%v", i, pc, val, got, want)
+		}
+	}
+	if sh.Vectors() != seq.Vectors() {
+		t.Errorf("Vectors: sharded %d, sequential %d", sh.Vectors(), seq.Vectors())
+	}
+	if sh.StaticInstructions() != seq.StaticInstructions() {
+		t.Errorf("StaticInstructions: sharded %d, sequential %d",
+			sh.StaticInstructions(), seq.StaticInstructions())
+	}
+}
+
+// TestShardedHistoryConcurrent hammers one ShardedHistory from many
+// goroutines (run under -race) and checks the global classification
+// invariant: across all goroutines, every distinct (pc, inputs) pair is
+// classified not-reusable exactly once, so
+// reusable + Vectors() == total observations.
+func TestShardedHistoryConcurrent(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 30000
+	)
+	h := NewShardedHistory(0)
+	var reusable atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := uint64(g + 1)
+			var n int64
+			for i := 0; i < perG; i++ {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				pc := rng >> 40 & 0x1ff
+				val := rng >> 20 & 0xf
+				e := mkExec(pc, []trace.Ref{{Loc: trace.IntReg(2), Val: val}}, nil)
+				if h.Observe(&e) {
+					n++
+				}
+			}
+			reusable.Add(n)
+		}(g)
+	}
+	wg.Wait()
+	total := int64(goroutines * perG)
+	if got := reusable.Load() + h.Vectors(); got != total {
+		t.Errorf("reusable(%d) + vectors(%d) = %d, want %d observations",
+			reusable.Load(), h.Vectors(), got, total)
+	}
+	if h.StaticInstructions() > 0x200 {
+		t.Errorf("StaticInstructions = %d, want <= %d", h.StaticInstructions(), 0x200)
+	}
+}
+
+// TestShardedTraceHistoryConcurrent is the trace-level analogue: the
+// strict trace classification table shared by concurrent collectors.
+func TestShardedTraceHistoryConcurrent(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 20000
+	)
+	th := NewShardedTraceHistory(0)
+	var reusable atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := uint64(g + 77)
+			var n int64
+			for i := 0; i < perG; i++ {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				s := trace.Summary{
+					StartPC: rng >> 40 & 0xff,
+					Len:     3,
+					Ins:     []trace.Ref{{Loc: trace.IntReg(1), Val: rng >> 20 & 0x7}},
+				}
+				if th.Observe(&s) {
+					n++
+				}
+			}
+			reusable.Add(n)
+		}(g)
+	}
+	wg.Wait()
+	total := int64(goroutines * perG)
+	if got := reusable.Load() + th.Vectors(); got != total {
+		t.Errorf("reusable(%d) + vectors(%d) = %d, want %d observations",
+			reusable.Load(), th.Vectors(), got, total)
+	}
+}
+
+// TestSigTableGrowth pushes one table through several growth cycles and
+// checks membership stays exact.
+func TestSigTableGrowth(t *testing.T) {
+	var tab sigTable
+	sig := make([]byte, 8)
+	put := func(pc, v uint64) bool {
+		for i := 0; i < 8; i++ {
+			sig[i] = byte(v >> (8 * i))
+		}
+		return tab.seen(pc, sig)
+	}
+	const n = 10000
+	for i := uint64(0); i < n; i++ {
+		if put(i%64, i) {
+			t.Fatalf("first insert of (%d,%d) reported seen", i%64, i)
+		}
+	}
+	if tab.len() != n {
+		t.Fatalf("len = %d, want %d", tab.len(), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		if !put(i%64, i) {
+			t.Fatalf("(%d,%d) lost after growth", i%64, i)
+		}
+	}
+	if tab.len() != n {
+		t.Fatalf("len after re-probe = %d, want %d", tab.len(), n)
+	}
+}

@@ -114,3 +114,29 @@ func TestRandomProgramDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// FuzzExec is the native fuzz target behind the robustness tests: a
+// structurally valid program derived from the fuzz seed must execute
+// without panicking, producing only well-formed records.
+func FuzzExec(f *testing.F) {
+	f.Add(int64(2024), uint8(32))
+	f.Add(int64(1), uint8(1))
+	f.Add(int64(-7), uint8(255))
+	f.Fuzz(func(t *testing.T, seed int64, n uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		prog := randomValidProgram(rng, 1+int(n))
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("generator produced invalid program: %v", err)
+		}
+		c := New(prog)
+		var e trace.Exec
+		for step := 0; step < 300 && !c.Halted(); step++ {
+			if err := c.Step(&e); err != nil {
+				return // wild PC via indirect jump: legitimate runtime error
+			}
+			if e.NIn > 3 || e.NOut > 2 {
+				t.Fatalf("malformed record %v", &e)
+			}
+		}
+	})
+}

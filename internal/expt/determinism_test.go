@@ -1,0 +1,84 @@
+package expt
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/tracereuse/tlr/internal/service"
+)
+
+// smallCfg keeps the determinism sweeps test-sized.
+var smallCfg = Config{Budget: 20_000, Skip: 500, Window: 256, RTMBudget: 8_000}
+
+// TestMeasureRTMDeterministicColdVsWarm runs the Figure-9 sweep twice on
+// one service — cold, then fully cache-warm — and once more on a fresh
+// service, asserting all three produce identical tables.  This is the
+// contract that makes batch caching safe to leave on.
+func TestMeasureRTMDeterministicColdVsWarm(t *testing.T) {
+	svc := service.New(service.Options{})
+	defer svc.Close()
+
+	cold, err := MeasureRTMWith(svc, smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranCold := svc.Stats().Ran
+	warm, err := MeasureRTMWith(svc, smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Stats().Ran != ranCold {
+		t.Errorf("warm sweep re-simulated: ran %d jobs, then %d", ranCold, svc.Stats().Ran)
+	}
+	if hits := svc.Stats().CacheHits + svc.Stats().Coalesced; hits < uint64(len(cold)) {
+		t.Errorf("warm sweep hit cache only %d times for %d cells", hits, len(cold))
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("cold and warm sweeps differ:\ncold %+v\nwarm %+v", cold, warm)
+	}
+
+	fresh := service.New(service.Options{})
+	defer fresh.Close()
+	cold2, err := MeasureRTMWith(fresh, smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, cold2) {
+		t.Fatalf("two cold sweeps differ:\n%+v\n%+v", cold, cold2)
+	}
+
+	// The same grid rendered as tables must be byte-identical.
+	a, b := RTMTables(cold), RTMTables(warm)
+	for i := range a {
+		if a[i].Render() != b[i].Render() {
+			t.Errorf("table %d renders differently cold vs warm", i)
+		}
+	}
+}
+
+// TestMeasureDeterministicColdVsWarm is the limit-study analogue for the
+// Figure 3-8 pipeline.
+func TestMeasureDeterministicColdVsWarm(t *testing.T) {
+	svc := service.New(service.Options{})
+	defer svc.Close()
+
+	cold, err := MeasureWith(svc, smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := svc.Stats().Ran
+	warm, err := MeasureWith(svc, smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Stats().Ran != ran {
+		t.Errorf("warm measure re-simulated: %d then %d", ran, svc.Stats().Ran)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatal("cold and warm measurements differ")
+	}
+	ta, tb := Fig6a(cold), Fig6a(warm)
+	if ta.Render() != tb.Render() {
+		t.Error("Fig6a renders differently cold vs warm")
+	}
+}

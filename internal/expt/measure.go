@@ -12,6 +12,7 @@ import (
 	"github.com/tracereuse/tlr/internal/core"
 	"github.com/tracereuse/tlr/internal/cpu"
 	"github.com/tracereuse/tlr/internal/rtm"
+	"github.com/tracereuse/tlr/internal/service"
 	"github.com/tracereuse/tlr/internal/trace"
 	"github.com/tracereuse/tlr/internal/workload"
 )
@@ -81,35 +82,54 @@ type Measurement struct {
 	VPWin       core.VPResult  // last-value-prediction limit, finite window
 }
 
-// Measure runs the limit studies for every workload.  Each workload's
-// dynamic stream is produced once and fanned out to all four studies,
-// with a single shared reusability classification (the paper's engines
-// all consult the same infinite table).
-func Measure(cfg Config) ([]*Measurement, error) {
-	suite := workload.All()
-	out := make([]*Measurement, len(suite))
-	errs := make([]error, len(suite))
+// Shared batch service: every sweep of the harness fans out through one
+// worker pool with one result cache, so re-running a figure (or running
+// two figures over the same grid) reuses finished simulations.
+var (
+	sharedOnce sync.Once
+	sharedSvc  *service.Service
+)
 
+func shared() *service.Service {
+	sharedOnce.Do(func() {
+		sharedSvc = service.New(service.Options{ResultCache: 8192})
+	})
+	return sharedSvc
+}
+
+// Measure runs the limit studies for every workload through the shared
+// batch service.  Each workload's dynamic stream is produced once and
+// fanned out to all studies, with a single shared reusability
+// classification (the paper's engines all consult the same infinite
+// table).
+func Measure(cfg Config) ([]*Measurement, error) {
+	return MeasureWith(shared(), cfg)
+}
+
+// MeasureWith is Measure on an explicit service (tests and benchmarks
+// use a fresh one to control cache state).  Cached measurements are
+// shared pointers: callers must treat them as read-only.
+func MeasureWith(svc *service.Service, cfg Config) ([]*Measurement, error) {
+	suite := workload.All()
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = min(runtime.GOMAXPROCS(0), 8)
 	}
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
+	jobs := make([]service.Job, len(suite))
 	for i, w := range suite {
-		wg.Add(1)
-		go func(i int, w *workload.Workload) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i], errs[i] = measureOne(cfg, w)
-		}(i, w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		jobs[i] = service.Job{
+			ID:  w.Name,
+			Key: fmt.Sprintf("measurement|%s|%d|%d|%d", w.Name, cfg.Budget, cfg.Skip, cfg.Window),
+			Run: func() (any, error) { return measureOne(cfg, w) },
 		}
+	}
+	res, err := svc.Submit(jobs, workers).Wait()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Measurement, len(suite))
+	for i, r := range res {
+		out[i] = r.Value.(*Measurement)
 	}
 	return out, nil
 }
@@ -209,94 +229,66 @@ func RTMGeometries() []rtm.Geometry {
 	return []rtm.Geometry{rtm.Geometry512, rtm.Geometry4K, rtm.Geometry32K, rtm.Geometry256K}
 }
 
-// MeasureRTM runs the realistic-RTM sweep of Figure 9: every collection
-// heuristic crossed with every RTM capacity, averaged over the suite.
+// MeasureRTM runs the realistic-RTM sweep of Figure 9 through the shared
+// batch service: every collection heuristic crossed with every RTM
+// capacity, averaged over the suite.
 func MeasureRTM(cfg Config) ([]RTMCell, error) {
+	return MeasureRTMWith(shared(), cfg)
+}
+
+// MeasureRTMWith is MeasureRTM on an explicit service.  The grid's
+// heuristic x geometry x workload cells are independent simulations, so
+// the whole sweep fans out across the service's worker pool; a repeated
+// sweep at the same configuration is answered from the result cache.
+func MeasureRTMWith(svc *service.Service, cfg Config) ([]RTMCell, error) {
 	suite := workload.All()
 	heur := rtmHeuristics()
 	geoms := RTMGeometries()
 
-	type job struct{ hi, gi, wi int }
-	jobs := make(chan job)
-	fracs := make([][][]float64, len(heur))
-	sizes := make([][][]float64, len(heur))
-	for hi := range heur {
-		fracs[hi] = make([][]float64, len(geoms))
-		sizes[hi] = make([][]float64, len(geoms))
-		for gi := range geoms {
-			fracs[hi][gi] = make([]float64, len(suite))
-			sizes[hi][gi] = make([]float64, len(suite))
-		}
-	}
-	errs := make([]error, len(heur)*len(geoms)*len(suite))
-
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	var wg sync.WaitGroup
-	for k := 0; k < workers; k++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				h, g, w := heur[j.hi], geoms[j.gi], suite[j.wi]
-				res, err := runRTMOnce(cfg, w, h, g)
+	var jobs []service.Job
+	for _, h := range heur {
+		for _, g := range geoms {
+			for _, w := range suite {
+				prog, err := w.Program()
 				if err != nil {
-					errs[(j.hi*len(geoms)+j.gi)*len(suite)+j.wi] = err
-					continue
+					return nil, err
 				}
-				fracs[j.hi][j.gi][j.wi] = res.ReusedFraction()
-				sizes[j.hi][j.gi][j.wi] = res.AvgReusedLen()
-			}
-		}()
-	}
-	for hi := range heur {
-		for gi := range geoms {
-			for wi := range suite {
-				jobs <- job{hi, gi, wi}
+				jobs = append(jobs, service.RTMJob(
+					fmt.Sprintf("%s/%s/%v", w.Name, h.label, g),
+					w.Name, prog, service.RTMParams{
+						Config: rtm.Config{Geometry: g, Heuristic: h.h, N: h.n},
+						Skip:   cfg.Skip,
+						Budget: cfg.RTMBudget,
+					}))
 			}
 		}
 	}
-	close(jobs)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	res, err := svc.Submit(jobs, cfg.Workers).Wait()
+	if err != nil {
+		return nil, err
 	}
 
 	var cells []RTMCell
-	for hi, h := range heur {
-		for gi, g := range geoms {
+	k := 0
+	for _, h := range heur {
+		for _, g := range geoms {
+			fracs := make([]float64, len(suite))
+			sizes := make([]float64, len(suite))
+			for wi := range suite {
+				r := res[k].Value.(rtm.Result)
+				fracs[wi] = r.ReusedFraction()
+				sizes[wi] = r.AvgReusedLen()
+				k++
+			}
 			cells = append(cells, RTMCell{
 				Heuristic:      h.label,
 				Geometry:       g,
-				ReusedFraction: mean(fracs[hi][gi]),
-				AvgTraceSize:   mean(sizes[hi][gi]),
+				ReusedFraction: mean(fracs),
+				AvgTraceSize:   mean(sizes),
 			})
 		}
 	}
 	return cells, nil
-}
-
-func runRTMOnce(cfg Config, w *workload.Workload, h rtmHeuristic, g rtm.Geometry) (rtm.Result, error) {
-	prog, err := w.Program()
-	if err != nil {
-		return rtm.Result{}, err
-	}
-	c := cpu.New(prog)
-	if cfg.Skip > 0 {
-		if _, err := c.Run(cfg.Skip, nil); err != nil {
-			return rtm.Result{}, err
-		}
-	}
-	sim := rtm.NewSim(rtm.Config{Geometry: g, Heuristic: h.h, N: h.n}, c)
-	res, err := sim.Run(cfg.RTMBudget)
-	if err != nil {
-		return rtm.Result{}, fmt.Errorf("%s/%s/%v: %w", w.Name, h.label, g, err)
-	}
-	return res, nil
 }
 
 func mean(xs []float64) float64 {

@@ -1,0 +1,174 @@
+package service
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"github.com/tracereuse/tlr/internal/asm"
+	"github.com/tracereuse/tlr/internal/core"
+	"github.com/tracereuse/tlr/internal/cpu"
+	"github.com/tracereuse/tlr/internal/isa"
+	"github.com/tracereuse/tlr/internal/rtm"
+	"github.com/tracereuse/tlr/internal/trace"
+)
+
+// Typed job builders for the two simulation kinds every sweep is made
+// of: reuse limit studies (Figures 3–8) and realistic RTM simulations
+// (Figure 9).  Both produce plain value results, which is what makes
+// them cacheable.
+
+// Program assembles source through the service's LRU: repeated batches
+// submitting the same text reuse the decoded program.
+func (s *Service) Program(source string) (*isa.Program, error) {
+	key := sourceFingerprint(source)
+	s.mu.Lock()
+	if v, ok := s.programs.get(key); ok {
+		s.mu.Unlock()
+		return v.(*isa.Program), nil
+	}
+	s.mu.Unlock()
+	prog, err := asm.Assemble(source)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.programs.add(key, prog)
+	s.mu.Unlock()
+	return prog, nil
+}
+
+// sourceFingerprint keys a program by its assembly text.  The hash must
+// be collision-resistant, not merely well-distributed: these keys guard
+// caches serving results to arbitrary clients (cmd/tlrserve), where a
+// constructible collision would silently return another program's
+// results.
+func sourceFingerprint(source string) string {
+	sum := sha256.Sum256([]byte(source))
+	return fmt.Sprintf("src:%x", sum)
+}
+
+// Fingerprint keys a program by its serialised image (assembly is
+// byte-reproducible, so equal programs share a fingerprint).
+func Fingerprint(p *isa.Program) string {
+	h := sha256.New()
+	if err := isa.WriteImage(h, p); err != nil {
+		// WriteImage to a hasher cannot fail; keep the signature honest.
+		return fmt.Sprintf("prog:%p", p)
+	}
+	return fmt.Sprintf("img:%x", h.Sum(nil))
+}
+
+// StudyParams configures a reuse limit-study job (mirrors
+// tlr.StudyConfig, which cannot be imported from here).
+type StudyParams struct {
+	Budget       uint64
+	Skip         uint64
+	Window       int
+	ILRLatencies []float64
+	TLRVariants  []core.Latency
+	Strict       bool
+	MaxRunLen    int
+}
+
+// StudyOutput is a limit-study job's result.
+type StudyOutput struct {
+	ILR core.ILRResult
+	TLR core.TLRResult
+}
+
+// normalize applies the study defaults.  Both RunStudy and the cache
+// key use the normalized form, so a job with explicit defaults and one
+// relying on them share a key (and a cached result).
+func (p StudyParams) normalize() StudyParams {
+	if len(p.ILRLatencies) == 0 {
+		p.ILRLatencies = []float64{1}
+	}
+	if len(p.TLRVariants) == 0 {
+		p.TLRVariants = []core.Latency{core.ConstLatency(1)}
+	}
+	return p
+}
+
+// RunStudy runs the paper's limit studies over prog's dynamic stream
+// (the job body behind StudyJob).
+func RunStudy(prog *isa.Program, p StudyParams) (StudyOutput, error) {
+	if p.Budget == 0 {
+		return StudyOutput{}, fmt.Errorf("service: study Budget must be positive")
+	}
+	p = p.normalize()
+	c := cpu.New(prog)
+	if p.Skip > 0 {
+		if _, err := c.Run(p.Skip, nil); err != nil {
+			return StudyOutput{}, err
+		}
+	}
+	hist := core.NewHistory()
+	ilr := core.NewILRStudy(core.ILRConfig{Window: p.Window, Latencies: p.ILRLatencies})
+	tlrS := core.NewTLRStudy(core.TLRConfig{
+		Window:    p.Window,
+		Variants:  p.TLRVariants,
+		Strict:    p.Strict,
+		MaxRunLen: p.MaxRunLen,
+	})
+	if _, err := c.Run(p.Budget, func(e *trace.Exec) {
+		reusable := hist.Observe(e)
+		ilr.ConsumeClassified(e, reusable)
+		tlrS.ConsumeClassified(e, reusable)
+	}); err != nil {
+		return StudyOutput{}, err
+	}
+	ilr.Finish()
+	tlrS.Finish()
+	return StudyOutput{ILR: ilr.Result(), TLR: tlrS.Result()}, nil
+}
+
+// StudyJob builds a cacheable limit-study job.  progKey identifies the
+// program (a workload name or Fingerprint); empty disables caching.
+func StudyJob(id, progKey string, prog *isa.Program, p StudyParams) Job {
+	p = p.normalize()
+	key := ""
+	if progKey != "" {
+		key = fmt.Sprintf("study|%s|%d|%d|%d|%v|%v|%v|%d",
+			progKey, p.Budget, p.Skip, p.Window, p.ILRLatencies, p.TLRVariants, p.Strict, p.MaxRunLen)
+	}
+	return Job{ID: id, Key: key, Run: func() (any, error) { return RunStudy(prog, p) }}
+}
+
+// RTMParams configures a realistic-RTM simulation job.
+type RTMParams struct {
+	Config rtm.Config
+	Skip   uint64
+	Budget uint64
+}
+
+// RunRTM runs prog under a finite RTM (the job body behind RTMJob).
+// The geometry is validated here — jobs carry caller-supplied
+// configurations (HTTP requests, batch API users), and a degenerate
+// geometry must surface as a job error, not a panic in a worker.
+func RunRTM(prog *isa.Program, p RTMParams) (rtm.Result, error) {
+	g := p.Config.Geometry
+	if g.Sets <= 0 || g.Sets&(g.Sets-1) != 0 {
+		return rtm.Result{}, fmt.Errorf("service: RTM geometry Sets must be a positive power of two, got %d", g.Sets)
+	}
+	if g.PCWays < 1 || g.TracesPerPC < 1 {
+		return rtm.Result{}, fmt.Errorf("service: RTM geometry needs PCWays and TracesPerPC >= 1, got %dx%d",
+			g.PCWays, g.TracesPerPC)
+	}
+	c := cpu.New(prog)
+	if p.Skip > 0 {
+		if _, err := c.Run(p.Skip, nil); err != nil {
+			return rtm.Result{}, err
+		}
+	}
+	return rtm.NewSim(p.Config, c).Run(p.Budget)
+}
+
+// RTMJob builds a cacheable realistic-RTM job.  progKey identifies the
+// program (a workload name or Fingerprint); empty disables caching.
+func RTMJob(id, progKey string, prog *isa.Program, p RTMParams) Job {
+	key := ""
+	if progKey != "" {
+		key = fmt.Sprintf("rtm|%s|%+v|%d|%d", progKey, p.Config, p.Skip, p.Budget)
+	}
+	return Job{ID: id, Key: key, Run: func() (any, error) { return RunRTM(prog, p) }}
+}

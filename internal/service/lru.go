@@ -1,0 +1,45 @@
+package service
+
+import "container/list"
+
+// lru is a plain string-keyed LRU cache.  It is not safe for concurrent
+// use; Service serialises access under its own mutex.
+type lru struct {
+	cap   int
+	items map[string]*list.Element
+	order *list.List // front = most recently used
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{cap: capacity, items: make(map[string]*list.Element, capacity), order: list.New()}
+}
+
+func (c *lru) get(key string) (any, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+func (c *lru) add(key string, val any) {
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*lruEntry).val = val
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+	for c.order.Len() > c.cap {
+		back := c.order.Back()
+		delete(c.items, back.Value.(*lruEntry).key)
+		c.order.Remove(back)
+	}
+}
+
+func (c *lru) len() int { return c.order.Len() }

@@ -1,0 +1,324 @@
+// Package service is the batch simulation layer: a worker pool that runs
+// many independent simulation jobs concurrently, deduplicates identical
+// jobs in flight, and memoises results in an LRU keyed by (program
+// fingerprint, configuration).  Every sweep in the repository — the
+// Figure 3–8 limit studies, the Figure 9 RTM grid, cmd/tlrserve's HTTP
+// batches and the tlr.MeasureBatch facade — fans out through one of
+// these services, so repeated sweeps hit the cache instead of
+// re-simulating.
+//
+// Jobs are pure: a job's Run closure must depend only on its inputs, and
+// identical Keys must denote identical work.  That is what makes the
+// cache sound and batch results deterministic — a batch collected with
+// Wait is ordered by submission index, so a sweep run twice (cold or
+// warm) yields byte-identical tables.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ErrClosed reports a job that could not be dispatched because the
+// Service was closed while its batch was still queueing.
+var ErrClosed = errors.New("service: closed")
+
+// ErrCanceled reports a job skipped because its batch was canceled
+// before the job was dispatched to a worker.
+var ErrCanceled = errors.New("service: batch canceled")
+
+// Options sizes a Service.
+type Options struct {
+	// Workers is the worker-pool size (<= 0: GOMAXPROCS).
+	Workers int
+	// ProgramCache is the assembled-program LRU capacity (<= 0: 64).
+	ProgramCache int
+	// ResultCache is the job-result LRU capacity (<= 0: 4096).
+	ResultCache int
+}
+
+// Stats counts service traffic.
+type Stats struct {
+	Submitted uint64 // jobs accepted
+	Ran       uint64 // jobs actually simulated
+	CacheHits uint64 // jobs answered from the result cache
+	Coalesced uint64 // jobs folded into an identical in-flight run
+	Errors    uint64 // jobs that failed
+	Programs  int    // assembled programs currently cached
+	Results   int    // results currently cached
+}
+
+// Job is one unit of work.
+type Job struct {
+	// ID is an opaque caller label echoed in the Result.
+	ID string
+	// Key is the cache key; identical Keys must denote identical work.
+	// Empty disables caching and coalescing for this job.
+	Key string
+	// Run computes the result.  It must be pure (no shared mutable
+	// state): its value may be cached and handed to later submitters.
+	Run func() (any, error)
+}
+
+// Result is one finished job.
+type Result struct {
+	// Index is the job's position in the submitted batch; collecting by
+	// Index is what makes batch output deterministic.
+	Index  int
+	ID     string
+	Value  any
+	Err    error
+	Cached bool // answered from cache (or coalesced onto another run)
+}
+
+// Service is the batch simulation engine.
+type Service struct {
+	workers int
+	jobs    chan task
+	done    chan struct{}
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	programs *lru
+	results  *lru
+	inflight map[string]*flight
+	stats    Stats
+
+	closeOnce sync.Once
+}
+
+type task struct {
+	job   Job
+	index int
+	batch *Batch
+}
+
+// flight is one running job that identical submissions coalesce onto.
+type flight struct {
+	waiters []task
+}
+
+// New starts a Service.  Close releases its workers.
+func New(opt Options) *Service {
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opt.ProgramCache <= 0 {
+		opt.ProgramCache = 64
+	}
+	if opt.ResultCache <= 0 {
+		opt.ResultCache = 4096
+	}
+	s := &Service{
+		workers:  opt.Workers,
+		jobs:     make(chan task),
+		done:     make(chan struct{}),
+		programs: newLRU(opt.ProgramCache),
+		results:  newLRU(opt.ResultCache),
+		inflight: make(map[string]*flight),
+	}
+	s.wg.Add(opt.Workers)
+	for i := 0; i < opt.Workers; i++ {
+		go func() {
+			defer s.wg.Done()
+			for {
+				select {
+				case <-s.done:
+					return
+				case t := <-s.jobs:
+					s.runTask(t)
+				}
+			}
+		}()
+	}
+	return s
+}
+
+// Workers returns the worker-pool size.
+func (s *Service) Workers() int { return s.workers }
+
+// Close stops the workers after their in-flight jobs finish.  Jobs of
+// still-queueing batches that have not been dispatched yet complete
+// with ErrClosed, so a concurrent Wait or Results drain still receives
+// every result.  Submit must not be called after Close.
+func (s *Service) Close() {
+	s.closeOnce.Do(func() {
+		close(s.done)
+		s.wg.Wait()
+	})
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Programs = s.programs.len()
+	st.Results = s.results.len()
+	return st
+}
+
+// Batch is a submitted set of jobs.
+type Batch struct {
+	ch         chan Result
+	n          int
+	sem        chan struct{} // non-nil: per-batch parallelism bound
+	cancel     chan struct{}
+	cancelOnce sync.Once
+}
+
+// Cancel abandons the batch: jobs not yet handed to a worker complete
+// immediately with ErrCanceled instead of simulating.  Jobs already
+// running finish normally (simulations are not preemptible).  Exactly
+// Len results are still delivered, so drains and Wait never hang.
+func (b *Batch) Cancel() { b.cancelOnce.Do(func() { close(b.cancel) }) }
+
+func (b *Batch) canceled() bool {
+	select {
+	case <-b.cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// Submit enqueues jobs and returns immediately; results stream on
+// Results as they finish.  maxParallel bounds how many of this batch's
+// jobs run at once (0 = no per-batch bound beyond the worker pool).
+func (s *Service) Submit(jobs []Job, maxParallel int) *Batch {
+	b := &Batch{ch: make(chan Result, len(jobs)), n: len(jobs), cancel: make(chan struct{})}
+	if maxParallel > 0 && maxParallel < len(jobs) {
+		b.sem = make(chan struct{}, maxParallel)
+	}
+	s.mu.Lock()
+	s.stats.Submitted += uint64(len(jobs))
+	s.mu.Unlock()
+	abort := func(i int, j Job, err error) {
+		s.mu.Lock()
+		s.stats.Errors++
+		s.mu.Unlock()
+		b.ch <- Result{Index: i, ID: j.ID, Err: err}
+	}
+	go func() {
+		for i, j := range jobs {
+			if b.sem != nil {
+				select {
+				case b.sem <- struct{}{}:
+				case <-s.done:
+					abort(i, j, ErrClosed)
+					continue
+				case <-b.cancel:
+					abort(i, j, ErrCanceled)
+					continue
+				}
+			}
+			select {
+			case s.jobs <- task{job: j, index: i, batch: b}:
+			case <-s.done:
+				abort(i, j, ErrClosed)
+				if b.sem != nil {
+					<-b.sem
+				}
+			case <-b.cancel:
+				abort(i, j, ErrCanceled)
+				if b.sem != nil {
+					<-b.sem
+				}
+			}
+		}
+	}()
+	return b
+}
+
+// Results streams each job's result as it completes (completion order).
+// Exactly Len results are delivered.
+func (b *Batch) Results() <-chan Result { return b.ch }
+
+// Len returns the number of jobs in the batch.
+func (b *Batch) Len() int { return b.n }
+
+// Wait collects the whole batch ordered by submission index and returns
+// the first error (by index) if any job failed.
+func (b *Batch) Wait() ([]Result, error) {
+	out := make([]Result, b.n)
+	for i := 0; i < b.n; i++ {
+		r := <-b.ch
+		out[r.Index] = r
+	}
+	for i := range out {
+		if out[i].Err != nil {
+			return out, fmt.Errorf("job %d (%s): %w", i, out[i].ID, out[i].Err)
+		}
+	}
+	return out, nil
+}
+
+func (s *Service) runTask(t task) {
+	if t.batch.canceled() {
+		s.finish(t, nil, ErrCanceled, false)
+		return
+	}
+	key := t.job.Key
+	if key == "" {
+		v, err := t.job.Run()
+		s.finish(t, v, err, false)
+		return
+	}
+	s.mu.Lock()
+	if v, ok := s.results.get(key); ok {
+		s.stats.CacheHits++
+		s.mu.Unlock()
+		s.finish(t, v, nil, true)
+		return
+	}
+	if f, ok := s.inflight[key]; ok {
+		f.waiters = append(f.waiters, t)
+		s.stats.Coalesced++
+		s.mu.Unlock()
+		// The waiter's batch slot is released by whoever completes the
+		// flight; nothing more to do here.
+		return
+	}
+	f := &flight{}
+	s.inflight[key] = f
+	s.mu.Unlock()
+
+	v, err := t.job.Run()
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if err == nil {
+		s.results.add(key, v)
+	}
+	waiters := f.waiters
+	s.mu.Unlock()
+
+	s.finish(t, v, err, false)
+	for _, w := range waiters {
+		s.finish(w, v, err, true)
+	}
+}
+
+// finish counts and delivers one result, releasing the batch's
+// parallelism slot.
+func (s *Service) finish(t task, v any, err error, cached bool) {
+	s.mu.Lock()
+	switch {
+	case cached:
+		// CacheHits/Coalesced already counted at lookup time.
+	case errors.Is(err, ErrCanceled):
+		// Skipped, not simulated.
+	default:
+		s.stats.Ran++
+	}
+	if err != nil {
+		s.stats.Errors++
+	}
+	s.mu.Unlock()
+	t.batch.ch <- Result{Index: t.index, ID: t.job.ID, Value: v, Err: err, Cached: cached}
+	if t.batch.sem != nil {
+		<-t.batch.sem
+	}
+}

@@ -13,9 +13,15 @@
 //   - instruction-level and trace-level reuse limit engines with
 //     infinite history tables (paper §4.2–4.5);
 //   - the realistic set-associative RTM with the paper's three dynamic
-//     trace-collection heuristics (paper §3, §4.6);
+//     trace-collection heuristics (paper §3, §4.6), including sharded
+//     variants of the RTM and history tables safe to drive from many
+//     goroutines;
 //   - the 14-benchmark workload suite named after the paper's SPEC95
-//     subset.
+//     subset;
+//   - a batch simulation service: MeasureBatch (and the Batcher type)
+//     fans many (program, configuration) jobs out over a worker pool,
+//     deduplicates identical jobs and memoises results in an LRU, so
+//     configuration sweeps pay for each distinct simulation once.
 //
 // Quick start:
 //
@@ -23,8 +29,22 @@
 //	res, _ := tlr.MeasureReuse(prog, tlr.StudyConfig{Budget: 100000, Window: 256})
 //	fmt.Println(res.TLR.Speedups[0])
 //
-// See examples/ for complete programs and cmd/tlrexp for the harness that
-// regenerates every figure of the paper.
+// Batch sweeps submit many jobs at once and collect ordered results:
+//
+//	jobs := []tlr.BatchJob{
+//		{Workload: "gcc", RTM: &tlr.RTMConfig{Geometry: tlr.Geometry4K}, Budget: 100000},
+//		{Workload: "li", RTM: &tlr.RTMConfig{Geometry: tlr.Geometry4K}, Budget: 100000},
+//	}
+//	res, _ := tlr.MeasureBatch(jobs)
+//
+// The same service layer runs behind cmd/tlrserve, an HTTP/JSON server
+// that accepts job batches (POST /v1/batch, streaming NDJSON results)
+// and hosts a shared concurrent RTM for trace-reuse-as-a-service
+// experiments.
+//
+// See examples/ for complete programs (examples/batchsweep drives the
+// batch API) and cmd/tlrexp for the harness that regenerates every
+// figure of the paper.
 package tlr
 
 import (
