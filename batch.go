@@ -1,22 +1,24 @@
 package tlr
 
 import (
-	"fmt"
+	"context"
 	"sync"
 
 	"github.com/tracereuse/tlr/internal/service"
-	"github.com/tracereuse/tlr/internal/workload"
 )
 
-// The batch facade: submit many (program, configuration) jobs at once
-// and let the service layer fan them out over a worker pool, deduplicate
-// identical jobs, and memoise results, so configuration sweeps pay for
-// each distinct simulation once.  cmd/tlrserve serves the same API over
-// HTTP/JSON.
+// The Batcher owns the batch simulation engine behind Run, RunBatch and
+// StreamBatch: a worker pool plus program and result caches that persist
+// across calls, so configuration sweeps pay for each distinct simulation
+// once.  cmd/tlrserve serves the same API over HTTP/JSON.
+//
+// This file also keeps the pre-Request batch surface (BatchJob,
+// Batcher.Measure, MeasureBatch) alive as thin deprecated wrappers.
 
-// BatchJob is one simulation request.  Exactly one program field
-// (Workload, Source or Prog) and exactly one configuration field (Study
-// or RTM) must be set.
+// BatchJob is one simulation request in the deprecated batch surface.
+//
+// Deprecated: use Request, which additionally covers the Pipeline and VP
+// kinds.  BatchJob remains as a conversion shim for existing callers.
 type BatchJob struct {
 	// ID is an opaque label echoed in the result (defaults to the
 	// job's index).
@@ -40,7 +42,30 @@ type BatchJob struct {
 	Skip, Budget uint64
 }
 
+// request converts the deprecated job to the unified model, preserving
+// BatchJob's documented quirk that Skip/Budget are ignored for Study
+// jobs (Request treats setting both as an error).
+func (j BatchJob) request() Request {
+	r := Request{
+		ID:       j.ID,
+		Workload: j.Workload,
+		Source:   j.Source,
+		Prog:     j.Prog,
+		Study:    j.Study,
+		RTM:      j.RTM,
+		Skip:     j.Skip,
+		Budget:   j.Budget,
+	}
+	if j.Study != nil {
+		r.Skip, r.Budget = 0, 0
+	}
+	return r
+}
+
 // BatchResult is one finished BatchJob.
+//
+// Deprecated: use Result, the unified form returned by Run, RunBatch and
+// StreamBatch.
 type BatchResult struct {
 	// Index is the job's position in the submitted slice; results from
 	// Measure are ordered by it.
@@ -57,23 +82,25 @@ type BatchResult struct {
 
 // BatchStats counts batch-service traffic.
 type BatchStats struct {
-	Submitted uint64 // jobs accepted
-	Ran       uint64 // jobs actually simulated
-	CacheHits uint64 // jobs answered from the result cache
-	Coalesced uint64 // jobs folded into an identical in-flight run
-	Errors    uint64 // jobs that failed
+	Submitted uint64 // requests accepted
+	Ran       uint64 // requests actually simulated
+	CacheHits uint64 // requests answered from the result cache
+	Coalesced uint64 // requests folded into an identical in-flight run
+	Errors    uint64 // requests that failed
+	Programs  int    // assembled programs currently cached
+	Results   int    // results currently cached
 }
 
 // BatchOptions sizes a Batcher.
 type BatchOptions struct {
 	// Workers is the worker-pool size (0 = GOMAXPROCS).
 	Workers int
-	// CacheSize is the result-cache capacity in jobs (0 = 4096).
+	// CacheSize is the result-cache capacity in requests (0 = 4096).
 	CacheSize int
 }
 
 // Batcher owns a batch simulation service: a worker pool plus program
-// and result caches that persist across Measure calls.
+// and result caches that persist across Run/RunBatch/StreamBatch calls.
 type Batcher struct {
 	svc *service.Service
 }
@@ -86,8 +113,11 @@ func NewBatcher(opt BatchOptions) *Batcher {
 	})}
 }
 
-// Close stops the Batcher's workers after in-flight jobs finish.
+// Close stops the Batcher's workers after in-flight requests finish.
 func (b *Batcher) Close() { b.svc.Close() }
+
+// Workers returns the worker-pool size.
+func (b *Batcher) Workers() int { return b.svc.Workers() }
 
 // Stats returns a snapshot of the Batcher's traffic counters.
 func (b *Batcher) Stats() BatchStats {
@@ -98,150 +128,89 @@ func (b *Batcher) Stats() BatchStats {
 		CacheHits: st.CacheHits,
 		Coalesced: st.Coalesced,
 		Errors:    st.Errors,
+		Programs:  st.Programs,
+		Results:   st.Results,
 	}
 }
 
-// Measure runs a batch and returns the results ordered by job index,
-// with the first failed job's error (results are still returned in
-// full, so callers can inspect every job's outcome).
+// batchResult narrows a unified Result to the deprecated form.
+func batchResult(r Result) BatchResult {
+	return BatchResult{
+		Index:  r.Index,
+		ID:     r.ID,
+		Study:  r.Study,
+		RTM:    r.RTM,
+		Cached: r.Cached,
+		Err:    r.Err,
+	}
+}
+
+// Measure runs a batch and returns the results ordered by job index.
+// If any jobs failed, the returned error joins every failure (results
+// are still returned in full, so callers can inspect every job's
+// outcome).
+//
+// Deprecated: use RunBatch, which takes a context and covers all four
+// simulation kinds.
 func (b *Batcher) Measure(jobs []BatchJob) ([]BatchResult, error) {
-	stream, err := b.Stream(jobs)
-	if err != nil {
+	res, err := b.RunBatch(context.Background(), requests(jobs))
+	if res == nil {
 		return nil, err
 	}
-	out := make([]BatchResult, len(jobs))
-	for r := range stream {
-		out[r.Index] = r
+	out := make([]BatchResult, len(res))
+	for i, r := range res {
+		out[i] = batchResult(r)
 	}
-	for i := range out {
-		if out[i].Err != nil {
-			return out, fmt.Errorf("tlr: batch job %d (%s): %w", i, out[i].ID, out[i].Err)
-		}
-	}
-	return out, nil
+	return out, err
 }
 
 // Stream submits a batch and returns a channel streaming each result as
 // its simulation finishes (completion order, exactly len(jobs) results).
 // Malformed jobs fail the whole batch before any simulation starts.
+//
+// Deprecated: use StreamBatch, which takes a context and covers all
+// four simulation kinds.
 func (b *Batcher) Stream(jobs []BatchJob) (<-chan BatchResult, error) {
-	sjobs := make([]service.Job, len(jobs))
-	study := make([]bool, len(jobs))
-	for i, j := range jobs {
-		sj, isStudy, err := b.convert(i, j)
-		if err != nil {
-			return nil, fmt.Errorf("tlr: batch job %d: %w", i, err)
-		}
-		sjobs[i] = sj
-		study[i] = isStudy
+	stream, err := b.StreamBatch(context.Background(), requests(jobs))
+	if err != nil {
+		return nil, err
 	}
-	batch := b.svc.Submit(sjobs, 0)
-	out := make(chan BatchResult, len(jobs))
+	out := make(chan BatchResult, cap(stream))
 	go func() {
 		defer close(out)
-		for i := 0; i < batch.Len(); i++ {
-			r := <-batch.Results()
-			br := BatchResult{Index: r.Index, ID: r.ID, Cached: r.Cached, Err: r.Err}
-			if r.Err == nil {
-				if study[r.Index] {
-					o := r.Value.(service.StudyOutput)
-					br.Study = &StudyResult{ILR: o.ILR, TLR: o.TLR}
-				} else {
-					o := r.Value.(RTMResult)
-					br.RTM = &o
-				}
-			}
-			out <- br
+		for r := range stream {
+			out <- batchResult(r)
 		}
 	}()
 	return out, nil
 }
 
-// convert validates one BatchJob and builds its service job.
-func (b *Batcher) convert(index int, j BatchJob) (service.Job, bool, error) {
-	id := j.ID
-	if id == "" {
-		id = fmt.Sprint(index)
+func requests(jobs []BatchJob) []Request {
+	reqs := make([]Request, len(jobs))
+	for i, j := range jobs {
+		reqs[i] = j.request()
 	}
-	set := 0
-	for _, on := range []bool{j.Workload != "", j.Source != "", j.Prog != nil} {
-		if on {
-			set++
-		}
-	}
-	if set != 1 {
-		return service.Job{}, false, fmt.Errorf("exactly one of Workload, Source, Prog must be set (got %d)", set)
-	}
-	var (
-		prog    *Program
-		progKey string
-		err     error
-	)
-	switch {
-	case j.Workload != "":
-		w, ok := workload.ByName(j.Workload)
-		if !ok {
-			return service.Job{}, false, fmt.Errorf("unknown workload %q", j.Workload)
-		}
-		if prog, err = w.Program(); err != nil {
-			return service.Job{}, false, err
-		}
-		progKey = "workload:" + j.Workload
-	case j.Source != "":
-		if prog, err = b.svc.Program(j.Source); err != nil {
-			return service.Job{}, false, err
-		}
-		progKey = service.Fingerprint(prog)
-	default:
-		prog = j.Prog
-		progKey = service.Fingerprint(prog)
-	}
-
-	switch {
-	case j.Study != nil && j.RTM == nil:
-		s := j.Study
-		if s.Budget == 0 {
-			return service.Job{}, false, fmt.Errorf("StudyConfig.Budget must be positive")
-		}
-		return service.StudyJob(id, progKey, prog, service.StudyParams{
-			Budget:       s.Budget,
-			Skip:         s.Skip,
-			Window:       s.Window,
-			ILRLatencies: s.ILRLatencies,
-			TLRVariants:  s.TLRVariants,
-			Strict:       s.Strict,
-			MaxRunLen:    s.MaxRunLen,
-		}), true, nil
-	case j.RTM != nil && j.Study == nil:
-		if j.Budget == 0 {
-			return service.Job{}, false, fmt.Errorf("RTM jobs need a positive Budget")
-		}
-		return service.RTMJob(id, progKey, prog, service.RTMParams{
-			Config: *j.RTM,
-			Skip:   j.Skip,
-			Budget: j.Budget,
-		}), false, nil
-	default:
-		return service.Job{}, false, fmt.Errorf("exactly one of Study, RTM must be set")
-	}
+	return reqs
 }
 
-// The package-level Batcher behind MeasureBatch, started on first use.
+// The package-level Batcher behind Run/RunBatch/StreamBatch, started on
+// first use.
 var (
 	defaultBatcherOnce sync.Once
 	defaultBatcher     *Batcher
 )
 
 // DefaultBatcher returns the shared package-level Batcher (GOMAXPROCS
-// workers): every MeasureBatch call shares its worker pool and caches.
+// workers): every package-level Run, RunBatch and StreamBatch call
+// shares its worker pool and caches.
 func DefaultBatcher() *Batcher {
 	defaultBatcherOnce.Do(func() { defaultBatcher = NewBatcher(BatchOptions{}) })
 	return defaultBatcher
 }
 
-// MeasureBatch runs a batch of simulation jobs on the shared Batcher:
-// the jobs fan out across GOMAXPROCS workers and repeated jobs are
-// answered from cache.  Results are ordered by job index.
+// MeasureBatch runs a batch of simulation jobs on the shared Batcher.
+//
+// Deprecated: use RunBatch.
 func MeasureBatch(jobs []BatchJob) ([]BatchResult, error) {
 	return DefaultBatcher().Measure(jobs)
 }

@@ -10,13 +10,15 @@
 // numbers quoted in the footnote for side-by-side comparison.
 //
 // With -bench-out, tlrexp instead benchmarks the Figure-9 RTM sweep
-// three ways — sequentially (one worker, the seed's serial path),
-// in parallel across the batch service's worker pool, and warm from the
-// result cache — verifies all three agree cell for cell, and writes a
-// JSON timing summary to the given file (the CI perf artifact).
+// three ways through the public tlr.RunBatch API — sequentially (a
+// one-worker Batcher, the seed's serial path), in parallel across a
+// Batcher's full worker pool, and warm from its result cache — verifies
+// all three agree cell for cell, and writes a JSON timing summary to
+// the given file (the CI perf artifact).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -26,8 +28,8 @@ import (
 	"strings"
 	"time"
 
+	"github.com/tracereuse/tlr"
 	"github.com/tracereuse/tlr/internal/expt"
-	"github.com/tracereuse/tlr/internal/service"
 )
 
 func main() {
@@ -125,8 +127,39 @@ type sweepBench struct {
 	ParallelWorkers int     `json:"parallelWorkers"`
 }
 
-// runSweepBench times the Figure-9 sweep three ways on fresh services,
-// checks the runs agree cell for cell, and writes the summary JSON.
+// rtmSweepRequests builds the Figure-9 grid (collection heuristic x RTM
+// capacity x workload) as public-API requests.
+func rtmSweepRequests(cfg expt.Config) []tlr.Request {
+	var reqs []tlr.Request
+	for _, h := range expt.RTMHeuristics() {
+		for _, g := range expt.RTMGeometries() {
+			for _, w := range tlr.Workloads() {
+				reqs = append(reqs, tlr.Request{
+					ID:       fmt.Sprintf("%s/%s/%v", w.Name, h.Label, g),
+					Workload: w.Name,
+					RTM:      &tlr.RTMConfig{Geometry: g, Heuristic: h.Heuristic, N: h.N},
+					Skip:     cfg.Skip,
+					Budget:   cfg.RTMBudget,
+				})
+			}
+		}
+	}
+	return reqs
+}
+
+// rtmPayloads strips the per-run metadata (Cached) so sweeps can be
+// compared simulation for simulation.
+func rtmPayloads(res []tlr.Result) []tlr.RTMResult {
+	out := make([]tlr.RTMResult, len(res))
+	for i, r := range res {
+		out[i] = *r.RTM
+	}
+	return out
+}
+
+// runSweepBench times the Figure-9 sweep three ways on fresh Batchers
+// through the public RunBatch API, checks the runs agree cell for cell,
+// and writes the summary JSON.
 func runSweepBench(cfg expt.Config, path string) error {
 	if cfg.RTMBudget == 0 {
 		return fmt.Errorf("-bench-out needs a positive -rtmbudget")
@@ -146,35 +179,39 @@ func runSweepBench(cfg expt.Config, path string) error {
 			os.Remove(path)
 		}
 	}()
-	seqSvc := service.New(service.Options{Workers: 1})
-	defer seqSvc.Close()
+	ctx := context.Background()
+	reqs := rtmSweepRequests(cfg)
+
+	seqB := tlr.NewBatcher(tlr.BatchOptions{Workers: 1})
+	defer seqB.Close()
 	t0 := time.Now()
-	seqCells, err := expt.MeasureRTMWith(seqSvc, cfg)
+	seqRes, err := seqB.RunBatch(ctx, reqs)
 	if err != nil {
 		return err
 	}
 	seq := time.Since(t0)
 
-	parSvc := service.New(service.Options{})
-	defer parSvc.Close()
+	parB := tlr.NewBatcher(tlr.BatchOptions{})
+	defer parB.Close()
 	t1 := time.Now()
-	parCells, err := expt.MeasureRTMWith(parSvc, cfg)
+	parRes, err := parB.RunBatch(ctx, reqs)
 	if err != nil {
 		return err
 	}
 	par := time.Since(t1)
 
 	t2 := time.Now()
-	warmCells, err := expt.MeasureRTMWith(parSvc, cfg)
+	warmRes, err := parB.RunBatch(ctx, reqs)
 	if err != nil {
 		return err
 	}
 	warm := time.Since(t2)
 
-	if !reflect.DeepEqual(seqCells, parCells) {
+	seqCells := rtmPayloads(seqRes)
+	if !reflect.DeepEqual(seqCells, rtmPayloads(parRes)) {
 		return fmt.Errorf("parallel sweep diverged from sequential")
 	}
-	if !reflect.DeepEqual(seqCells, warmCells) {
+	if !reflect.DeepEqual(seqCells, rtmPayloads(warmRes)) {
 		return fmt.Errorf("cache-warm sweep diverged from sequential")
 	}
 
@@ -188,7 +225,7 @@ func runSweepBench(cfg expt.Config, path string) error {
 		WarmSecs:        warm.Seconds(),
 		Speedup:         seq.Seconds() / par.Seconds(),
 		WarmSpeedup:     seq.Seconds() / warm.Seconds(),
-		ParallelWorkers: parSvc.Workers(),
+		ParallelWorkers: parB.Workers(),
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")

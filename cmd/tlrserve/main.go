@@ -1,5 +1,6 @@
-// Command tlrserve serves the batch simulation API over HTTP/JSON: a
-// worker pool plus result cache behind POST /v1/batch, and a shared
+// Command tlrserve serves the simulation API over HTTP/JSON: the public
+// tlr Request/Run facade (worker pool, result cache, in-flight
+// coalescing) behind POST /v1/run and POST /v1/batch, and a shared
 // concurrent (sharded) Reuse Trace Memory behind /v1/rtm for
 // trace-reuse-as-a-service experiments.
 //
@@ -7,23 +8,29 @@
 //
 //	tlrserve [-addr :8321] [-workers N] [-cache N] [-rtm-sets 128] [-rtm-ways 4] [-rtm-traces 8]
 //
-// # Batch API
+// # Run API
 //
-// POST /v1/batch accepts {"jobs": [...]} where each job names a program
-// (a built-in "workload" or assembly "source") and one configuration:
+// POST /v1/run accepts one request in the tlr wire format — a program
+// (a built-in "workload" or assembly "source") plus exactly one
+// configuration naming the simulation kind ("study", "rtm", "pipeline"
+// or "vp") — and answers with one result:
 //
-//	{"id": "cell1", "workload": "gcc", "kind": "rtm",
-//	 "rtm": {"geometry": {"sets": 128, "pcWays": 4, "tracesPerPC": 8},
-//	         "heuristic": "ILR EXP"},
+//	{"workload": "gcc", "rtm": {"geometry": {"sets": 128, "pcWays": 4,
+//	 "tracesPerPC": 8}, "heuristic": "ILR EXP"},
 //	 "skip": 1000, "budget": 100000}
 //
-//	{"id": "limits", "workload": "li", "kind": "study",
-//	 "study": {"budget": 100000, "skip": 1000, "window": 256}}
+//	{"workload": "li", "pipeline": {"rtm": {"geometry": {"sets": 128,
+//	 "pcWays": 4, "tracesPerPC": 8}}}, "budget": 100000}
 //
-// The response streams one JSON object per line (NDJSON) as each job
-// finishes; every line carries the job's batch index, so clients can
-// reassemble deterministic order.  Identical jobs — within a batch or
-// across batches — are simulated once and answered from cache.
+// # Batch API
+//
+// POST /v1/batch accepts {"jobs": [...]} of the same request objects.
+// The response streams one JSON result per line (NDJSON) as each
+// simulation finishes; every line carries the job's batch index, so
+// clients can reassemble deterministic order.  Identical requests —
+// within a batch or across batches — are simulated once and answered
+// from cache, and closing the connection cancels the batch, stopping
+// in-flight simulations at their next cancellation check.
 //
 // # Shared RTM
 //
@@ -43,12 +50,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
-	"strings"
 
+	"github.com/tracereuse/tlr"
 	"github.com/tracereuse/tlr/internal/core"
-	"github.com/tracereuse/tlr/internal/isa"
 	"github.com/tracereuse/tlr/internal/rtm"
-	"github.com/tracereuse/tlr/internal/service"
 	"github.com/tracereuse/tlr/internal/trace"
 	"github.com/tracereuse/tlr/internal/workload"
 )
@@ -71,234 +76,84 @@ func main() {
 		log.Fatalf("tlrserve: -rtm-ways and -rtm-traces must be >= 1, got %d and %d",
 			geom.PCWays, geom.TracesPerPC)
 	}
-	srv := &server{
-		svc:    service.New(service.Options{Workers: *workers, ResultCache: *cache}),
-		shared: rtm.NewSharded(geom, 1, *rtmShards),
-		hist:   core.NewShardedTraceHistory(0),
-	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", srv.handleHealth)
-	mux.HandleFunc("GET /v1/stats", srv.handleStats)
-	mux.HandleFunc("GET /v1/workloads", srv.handleWorkloads)
-	mux.HandleFunc("POST /v1/batch", srv.handleBatch)
-	mux.HandleFunc("POST /v1/rtm/insert", srv.handleRTMInsert)
-	mux.HandleFunc("POST /v1/rtm/lookup", srv.handleRTMLookup)
-
+	srv := newServer(tlr.BatchOptions{Workers: *workers, CacheSize: *cache}, geom, *rtmShards)
 	log.Printf("tlrserve: listening on %s (shared RTM %v, %d stripes)",
 		*addr, geom, srv.shared.Shards())
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	log.Fatal(http.ListenAndServe(*addr, srv.mux()))
 }
 
 type server struct {
-	svc    *service.Service
-	shared *rtm.Sharded
-	hist   *core.ShardedTraceHistory
+	batcher *tlr.Batcher
+	shared  *rtm.Sharded
+	hist    *core.ShardedTraceHistory
 }
 
-// --- batch API ---
-
-type batchRequest struct {
-	Jobs []jobRequest `json:"jobs"`
-}
-
-type jobRequest struct {
-	ID       string       `json:"id"`
-	Workload string       `json:"workload,omitempty"`
-	Source   string       `json:"source,omitempty"`
-	Kind     string       `json:"kind"` // "study" or "rtm"
-	Study    *studyParams `json:"study,omitempty"`
-	RTM      *rtmParams   `json:"rtm,omitempty"`
-	Skip     uint64       `json:"skip,omitempty"`
-	Budget   uint64       `json:"budget,omitempty"`
-}
-
-type studyParams struct {
-	Budget       uint64    `json:"budget"`
-	Skip         uint64    `json:"skip,omitempty"`
-	Window       int       `json:"window,omitempty"`
-	ILRLatencies []float64 `json:"ilrLatencies,omitempty"`
-	TLRConst     []float64 `json:"tlrConst,omitempty"`
-	TLRProp      []float64 `json:"tlrProp,omitempty"`
-	Strict       bool      `json:"strict,omitempty"`
-	MaxRunLen    int       `json:"maxRunLen,omitempty"`
-}
-
-type rtmParams struct {
-	Geometry struct {
-		Sets        int `json:"sets"`
-		PCWays      int `json:"pcWays"`
-		TracesPerPC int `json:"tracesPerPC"`
-	} `json:"geometry"`
-	Heuristic         string `json:"heuristic,omitempty"` // "ILR NE", "ILR EXP", "IEXP"
-	N                 int    `json:"n,omitempty"`
-	MinLen            int    `json:"minLen,omitempty"`
-	InvalidateOnWrite bool   `json:"invalidateOnWrite,omitempty"`
-}
-
-type jobResponse struct {
-	Index  int                  `json:"index"`
-	ID     string               `json:"id"`
-	Cached bool                 `json:"cached"`
-	Study  *service.StudyOutput `json:"study,omitempty"`
-	RTM    *rtm.Result          `json:"rtm,omitempty"`
-	Error  string               `json:"error,omitempty"`
-}
-
-func parseHeuristic(s string) (rtm.Heuristic, error) {
-	switch strings.ToUpper(strings.ReplaceAll(strings.TrimSpace(s), "_", " ")) {
-	case "", "ILR NE", "ILRNE":
-		return rtm.ILRNE, nil
-	case "ILR EXP", "ILREXP":
-		return rtm.ILREXP, nil
-	case "IEXP", "I(N) EXP", "I EXP":
-		return rtm.IEXP, nil
-	default:
-		return 0, fmt.Errorf("unknown heuristic %q", s)
+func newServer(opt tlr.BatchOptions, geom rtm.Geometry, shards int) *server {
+	return &server{
+		batcher: tlr.NewBatcher(opt),
+		shared:  rtm.NewSharded(geom, 1, shards),
+		hist:    core.NewShardedTraceHistory(0),
 	}
 }
 
-// convert builds the service job for one request, reporting whether it
-// is a study job.
-func (s *server) convert(i int, j jobRequest) (service.Job, bool, error) {
-	id := j.ID
-	if id == "" {
-		id = fmt.Sprint(i)
-	}
-	prog, err := s.resolveProgram(j)
-	if err != nil {
-		return service.Job{}, false, err
-	}
-	switch j.Kind {
-	case "study":
-		if j.Study == nil {
-			return service.Job{}, false, fmt.Errorf("study job needs a study config")
-		}
-		p := service.StudyParams{
-			Budget:       j.Study.Budget,
-			Skip:         j.Study.Skip,
-			Window:       j.Study.Window,
-			ILRLatencies: j.Study.ILRLatencies,
-			Strict:       j.Study.Strict,
-			MaxRunLen:    j.Study.MaxRunLen,
-		}
-		for _, c := range j.Study.TLRConst {
-			p.TLRVariants = append(p.TLRVariants, core.ConstLatency(c))
-		}
-		for _, k := range j.Study.TLRProp {
-			p.TLRVariants = append(p.TLRVariants, core.PropLatency(k))
-		}
-		return service.StudyJob(id, prog.key, prog.prog, p), true, nil
-	case "rtm":
-		if j.RTM == nil {
-			return service.Job{}, false, fmt.Errorf("rtm job needs an rtm config")
-		}
-		if j.Budget == 0 {
-			return service.Job{}, false, fmt.Errorf("rtm job needs a positive budget")
-		}
-		h, err := parseHeuristic(j.RTM.Heuristic)
-		if err != nil {
-			return service.Job{}, false, err
-		}
-		cfg := rtm.Config{
-			Geometry: rtm.Geometry{
-				Sets:        j.RTM.Geometry.Sets,
-				PCWays:      j.RTM.Geometry.PCWays,
-				TracesPerPC: j.RTM.Geometry.TracesPerPC,
-			},
-			Heuristic:         h,
-			N:                 j.RTM.N,
-			MinLen:            j.RTM.MinLen,
-			InvalidateOnWrite: j.RTM.InvalidateOnWrite,
-		}
-		if cfg.Geometry.Sets <= 0 || cfg.Geometry.Sets&(cfg.Geometry.Sets-1) != 0 {
-			return service.Job{}, false, fmt.Errorf("geometry sets must be a positive power of two")
-		}
-		return service.RTMJob(id, prog.key, prog.prog, service.RTMParams{
-			Config: cfg, Skip: j.Skip, Budget: j.Budget,
-		}), false, nil
-	default:
-		return service.Job{}, false, fmt.Errorf("unknown kind %q (want \"study\" or \"rtm\")", j.Kind)
-	}
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/rtm/insert", s.handleRTMInsert)
+	mux.HandleFunc("POST /v1/rtm/lookup", s.handleRTMLookup)
+	return mux
 }
 
-type resolvedProgram struct {
-	prog *isa.Program
-	key  string
-}
+// --- run and batch APIs ---
 
-// resolveProgram finds or assembles the job's program.
-func (s *server) resolveProgram(j jobRequest) (resolvedProgram, error) {
-	switch {
-	case j.Workload != "" && j.Source == "":
-		w, ok := workload.ByName(j.Workload)
-		if !ok {
-			return resolvedProgram{}, fmt.Errorf("unknown workload %q", j.Workload)
-		}
-		prog, err := w.Program()
-		if err != nil {
-			return resolvedProgram{}, err
-		}
-		return resolvedProgram{prog: prog, key: "workload:" + j.Workload}, nil
-	case j.Source != "" && j.Workload == "":
-		prog, err := s.svc.Program(j.Source)
-		if err != nil {
-			return resolvedProgram{}, err
-		}
-		return resolvedProgram{prog: prog, key: service.Fingerprint(prog)}, nil
-	default:
-		return resolvedProgram{}, fmt.Errorf("exactly one of workload, source must be set")
-	}
-}
-
-func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	var req batchRequest
+// handleRun executes one request of any kind through the public facade.
+// Malformed requests are a 400; a simulation failure is a 200 whose
+// result carries the error, mirroring the library's Run contract.
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req tlr.Request
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	if len(req.Jobs) == 0 {
+	res, err := s.batcher.Run(r.Context(), req)
+	if err != nil && res.Kind == "" {
+		// Never submitted: the request failed validation.
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, res)
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Jobs []tlr.Request `json:"jobs"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	reqs := req.Jobs
+	if len(reqs) == 0 {
 		http.Error(w, "empty batch", http.StatusBadRequest)
 		return
 	}
-	jobs := make([]service.Job, len(req.Jobs))
-	study := make([]bool, len(req.Jobs))
-	for i, j := range req.Jobs {
-		sj, isStudy, err := s.convert(i, j)
-		if err != nil {
-			http.Error(w, fmt.Sprintf("job %d: %v", i, err), http.StatusBadRequest)
-			return
-		}
-		jobs[i] = sj
-		study[i] = isStudy
+	// The request context cancels the batch on client disconnect:
+	// undispatched jobs are skipped and in-flight simulations stop at
+	// their next cancellation check.
+	stream, err := s.batcher.StreamBatch(r.Context(), reqs)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
 	}
-
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	batch := s.svc.Submit(jobs, 0)
-	// On client disconnect, cancel the batch so undispatched jobs stop
-	// occupying the worker pool (running simulations finish; the batch's
-	// buffered channel absorbs their results).
-	defer batch.Cancel()
-	ctx := r.Context()
-	for i := 0; i < batch.Len(); i++ {
-		var res service.Result
-		select {
-		case res = <-batch.Results():
-		case <-ctx.Done():
-			return
-		}
-		line := jobResponse{Index: res.Index, ID: res.ID, Cached: res.Cached}
-		if res.Err != nil {
-			line.Error = res.Err.Error()
-		} else if study[res.Index] {
-			o := res.Value.(service.StudyOutput)
-			line.Study = &o
-		} else {
-			o := res.Value.(rtm.Result)
-			line.RTM = &o
-		}
-		if err := enc.Encode(&line); err != nil {
+	for res := range stream {
+		if err := enc.Encode(&res); err != nil {
 			return
 		}
 		if flusher != nil {
@@ -442,7 +297,7 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, map[string]any{
-		"service":        s.svc.Stats(),
+		"service":        s.batcher.Stats(),
 		"rtm":            s.shared.Stats(),
 		"rtmStored":      s.shared.Stored(),
 		"rtmShards":      s.shared.Shards(),

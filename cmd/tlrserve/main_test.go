@@ -1,0 +1,197 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/tracereuse/tlr"
+	"github.com/tracereuse/tlr/internal/rtm"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := newServer(tlr.BatchOptions{Workers: 2},
+		rtm.Geometry{Sets: 64, PCWays: 4, TracesPerPC: 4}, 0)
+	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.batcher.Close()
+	})
+	return ts
+}
+
+func post(t *testing.T, ts *httptest.Server, path, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestRunAllFourKinds drives POST /v1/run once per simulation kind and
+// checks each answer carries the matching typed payload.
+func TestRunAllFourKinds(t *testing.T) {
+	ts := testServer(t)
+	cases := []struct {
+		name, body string
+		check      func(r tlr.Result) bool
+	}{
+		{"study", `{"workload": "li", "study": {"budget": 8000, "window": 256}}`,
+			func(r tlr.Result) bool { return r.Study != nil && r.Study.ILR.Instructions == 8000 }},
+		{"rtm", `{"workload": "li", "kind": "rtm",
+			"rtm": {"geometry": {"sets": 64, "pcWays": 4, "tracesPerPC": 4}, "heuristic": "ILR EXP"},
+			"skip": 500, "budget": 8000}`,
+			func(r tlr.Result) bool { return r.RTM != nil && r.RTM.Total() >= 8000 }},
+		{"pipeline", `{"workload": "li",
+			"pipeline": {"rtm": {"geometry": {"sets": 64, "pcWays": 4, "tracesPerPC": 4}, "heuristic": "IEXP", "n": 4}},
+			"budget": 8000}`,
+			func(r tlr.Result) bool { return r.Pipeline != nil && r.Pipeline.Retired >= 8000 }},
+		{"vp", `{"workload": "li", "vp": {"window": 256}, "budget": 8000}`,
+			func(r tlr.Result) bool { return r.VP != nil && r.VP.Instructions == 8000 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp := post(t, ts, "/v1/run", c.body)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d", resp.StatusCode)
+			}
+			var res tlr.Result
+			if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+				t.Fatal(err)
+			}
+			if res.Err != nil {
+				t.Fatalf("result error: %v", res.Err)
+			}
+			if string(res.Kind) != c.name {
+				t.Fatalf("kind = %q, want %q", res.Kind, c.name)
+			}
+			if !c.check(res) {
+				t.Fatalf("payload check failed: %+v", res)
+			}
+		})
+	}
+}
+
+// TestRunRejectsMalformedRequests: validation failures are a 400, not a
+// result with an error.
+func TestRunRejectsMalformedRequests(t *testing.T) {
+	ts := testServer(t)
+	for _, body := range []string{
+		`{"workload": "li"}`,                                                                                  // no configuration
+		`{"vp": {"window": 1}, "budget": 100}`,                                                                // no program
+		`{"workload": "nope", "vp": {"window": 1}, "budget": 100}`,                                            // unknown workload
+		`{"workload": "li", "vp": {"window": 1}}`,                                                             // no budget
+		`{"workload": "li", "kind": "study", "vp": {"window": 1}}`,                                            // kind/config mismatch
+		`{"v": 99, "workload": "li", "vp": {}, "budget": 100}`,                                                // future wire version
+		`{"workload": "li", "rtm": {"geometry": {"sets": 63, "pcWays": 1, "tracesPerPC": 1}}, "budget": 100}`, // bad geometry
+	} {
+		resp := post(t, ts, "/v1/run", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+// TestBatchStreamsAllKindsAndCaches submits a mixed four-kind batch
+// twice: the first pass simulates, the second is answered entirely from
+// cache with identical payloads — including the two new kinds.
+func TestBatchStreamsAllKindsAndCaches(t *testing.T) {
+	ts := testServer(t)
+	const body = `{"jobs": [
+		{"id": "s", "workload": "li", "study": {"budget": 6000, "window": 256}},
+		{"id": "r", "workload": "li", "rtm": {"geometry": {"sets": 64, "pcWays": 4, "tracesPerPC": 4}}, "budget": 6000},
+		{"id": "p", "workload": "li", "pipeline": {}, "budget": 6000},
+		{"id": "v", "workload": "li", "vp": {"window": 256}, "budget": 6000}
+	]}`
+	read := func() map[string]tlr.Result {
+		resp := post(t, ts, "/v1/batch", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+			t.Fatalf("content type %q", ct)
+		}
+		out := map[string]tlr.Result{}
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			var r tlr.Result
+			if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+				t.Fatalf("bad line %q: %v", sc.Text(), err)
+			}
+			if r.Err != nil {
+				t.Fatalf("job %s failed: %v", r.ID, r.Err)
+			}
+			out[r.ID] = r
+		}
+		if len(out) != 4 {
+			t.Fatalf("got %d results, want 4", len(out))
+		}
+		return out
+	}
+	cold := read()
+	warm := read()
+	for id, w := range warm {
+		if !w.Cached {
+			t.Errorf("job %s not cached on second pass", id)
+		}
+	}
+	if cold["p"].Pipeline.IPC() != warm["p"].Pipeline.IPC() {
+		t.Error("cached pipeline result differs")
+	}
+	if cold["v"].VP.Speedup != warm["v"].VP.Speedup {
+		t.Error("cached vp result differs")
+	}
+
+	// The pre-Request wire spelling (kind + tlrConst) still decodes.
+	legacy := `{"jobs": [{"id": "lg", "workload": "li", "kind": "study",
+		"study": {"budget": 6000, "window": 256, "tlrConst": [1]}}]}`
+	resp := post(t, ts, "/v1/batch", legacy)
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	var r tlr.Result
+	if err := json.Unmarshal(buf.Bytes(), &r); err != nil || r.Err != nil {
+		t.Fatalf("legacy batch line %q: %v %v", buf.String(), err, r.Err)
+	}
+	if !r.Cached || r.Study == nil {
+		t.Errorf("legacy spelling should hit the cache of the equivalent new-form job: %+v", r)
+	}
+}
+
+// TestStatsAndWorkloads smoke-tests the read-only endpoints.
+func TestStatsAndWorkloads(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Service tlr.BatchStats `json:"service"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.Get(ts.URL + "/v1/workloads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var wl struct {
+		Workloads []string `json:"workloads"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&wl); err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Workloads) != 14 {
+		t.Errorf("workloads = %d, want 14", len(wl.Workloads))
+	}
+}

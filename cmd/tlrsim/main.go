@@ -7,11 +7,16 @@
 //	tlrsim -w compress -window 256 -lat 1,2,3,4       # latency sweep
 //	tlrsim -w ijpeg -rtm 4k -heuristic i4             # realistic RTM
 //	tlrsim -w turb3d -rtm 256k -heuristic ilrne -pipe # execution-driven pipeline
+//	tlrsim -w li -vp -window 256                      # value-prediction limit
 //	tlrsim -f prog.s -budget 100000                   # your own program
 //	tlrsim -list                                      # show the suite
+//
+// Every mode is one tlr.Run request; the four configurations map onto
+// the four simulation kinds of the public API.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +25,16 @@ import (
 
 	"github.com/tracereuse/tlr"
 )
+
+// run executes one request on the shared batcher, failing the command
+// on any error.
+func run(req tlr.Request) tlr.Result {
+	res, err := tlr.Run(context.Background(), req)
+	if err != nil {
+		fail(err)
+	}
+	return res
+}
 
 func main() {
 	var (
@@ -34,6 +49,7 @@ func main() {
 		heuristic = flag.String("heuristic", "i4", "RTM heuristic: ilrne, ilrexp, or iN (e.g. i4)")
 		strict    = flag.Bool("strict", false, "strict trace-identity reuse (ablation)")
 		pipe      = flag.Bool("pipe", false, "with -rtm: run the execution-driven pipeline model instead")
+		vp        = flag.Bool("vp", false, "run the value-prediction limit study instead")
 		list      = flag.Bool("list", false, "list the workload suite and exit")
 	)
 	flag.Parse()
@@ -50,6 +66,10 @@ func main() {
 		fail(err)
 	}
 
+	if *vp {
+		runVP(prog, name, *window, *skip, *budget)
+		return
+	}
 	if *rtmSize != "" {
 		runRTM(prog, name, *rtmSize, *heuristic, *skip, *budget, *pipe)
 		return
@@ -71,10 +91,7 @@ func main() {
 	if *propK > 0 {
 		cfg.TLRVariants = []tlr.Latency{tlr.PropLatency(*propK)}
 	}
-	res, err := tlr.MeasureReuse(prog, cfg)
-	if err != nil {
-		fail(err)
-	}
+	res := *run(tlr.Request{Prog: prog, Study: &cfg}).Study
 
 	fmt.Printf("%s: %d instructions, window=%s\n", name, res.ILR.Instructions, windowName(*window))
 	fmt.Printf("  base IPC                 %8.2f  (%.0f cycles)\n",
@@ -149,10 +166,7 @@ func runRTM(prog *tlr.Program, name, size, heuristic string, skip, budget uint64
 		runPipeline(prog, name, cfg, skip, budget)
 		return
 	}
-	res, err := tlr.SimulateRTM(prog, cfg, skip, budget)
-	if err != nil {
-		fail(err)
-	}
+	res := *run(tlr.Request{Prog: prog, RTM: &cfg, Skip: skip, Budget: budget}).RTM
 	fmt.Printf("%s: RTM %v, heuristic %v", name, geom, cfg.Heuristic)
 	if cfg.Heuristic == tlr.IEXP {
 		fmt.Printf(" (n=%d)", cfg.N)
@@ -177,20 +191,17 @@ func runRTM(prog *tlr.Program, name, size, heuristic string, skip, budget uint64
 }
 
 // runPipeline compares the base machine against both reuse-test triggers
-// on the execution-driven pipeline model.
+// on the execution-driven pipeline model, as one three-request batch.
 func runPipeline(prog *tlr.Program, name string, rcfg tlr.RTMConfig, skip, budget uint64) {
-	base, err := tlr.SimulatePipeline(prog, tlr.PipelineConfig{}, skip, budget)
+	res, err := tlr.RunBatch(context.Background(), []tlr.Request{
+		{ID: "base", Prog: prog, Pipeline: &tlr.PipelineConfig{}, Skip: skip, Budget: budget},
+		{ID: "fetch", Prog: prog, Pipeline: &tlr.PipelineConfig{RTM: &rcfg}, Skip: skip, Budget: budget},
+		{ID: "wait", Prog: prog, Pipeline: &tlr.PipelineConfig{RTM: &rcfg, WaitForOperands: true}, Skip: skip, Budget: budget},
+	})
 	if err != nil {
 		fail(err)
 	}
-	fetch, err := tlr.SimulatePipeline(prog, tlr.PipelineConfig{RTM: &rcfg}, skip, budget)
-	if err != nil {
-		fail(err)
-	}
-	wait, err := tlr.SimulatePipeline(prog, tlr.PipelineConfig{RTM: &rcfg, WaitForOperands: true}, skip, budget)
-	if err != nil {
-		fail(err)
-	}
+	base, fetch, wait := *res[0].Pipeline, *res[1].Pipeline, *res[2].Pipeline
 	fmt.Printf("%s: execution-driven pipeline (4-wide fetch, 256-entry window), RTM %v %v\n",
 		name, rcfg.Geometry, rcfg.Heuristic)
 	row := func(label string, r tlr.PipelineResult) {
@@ -204,6 +215,23 @@ func runPipeline(prog *tlr.Program, name string, rcfg tlr.RTMConfig, skip, budge
 		fmt.Printf("  speed-up: %.2fx (fetch test), %.2fx (operand-ready test)\n",
 			fetch.IPC()/base.IPC(), wait.IPC()/base.IPC())
 	}
+}
+
+// runVP prints the value-prediction limit study, the §1
+// speculation-vs-reuse comparison.
+func runVP(prog *tlr.Program, name string, window int, skip, budget uint64) {
+	res := *run(tlr.Request{
+		Prog:   prog,
+		VP:     &tlr.VPConfig{Window: window},
+		Skip:   skip,
+		Budget: budget,
+	}).VP
+	fmt.Printf("%s: last-value-prediction limit, %d instructions, window=%s\n",
+		name, res.Instructions, windowName(window))
+	fmt.Printf("  base IPC                 %8.2f  (%.0f cycles)\n",
+		float64(res.Instructions)/res.BaseCycles, res.BaseCycles)
+	fmt.Printf("  predictable outputs      %8.1f%%\n", 100*res.PredictedFraction())
+	fmt.Printf("  speed-up                 %8.2f\n", res.Speedup)
 }
 
 func windowName(w int) string {

@@ -1,12 +1,14 @@
 // Batch sweep: drive the batch simulation service from the public API.
 // One Batcher runs a heuristic x geometry RTM sweep over several
-// workloads in parallel, then runs the identical sweep again to show
-// the result cache answering the whole grid without re-simulating.
+// workloads in parallel through RunBatch, then runs the identical sweep
+// again to show the result cache answering the whole grid without
+// re-simulating.
 //
 //	go run ./examples/batchsweep [budget]
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -45,11 +47,11 @@ func main() {
 		{"I4 EXP", tlr.IEXP, 4},
 	}
 
-	var jobs []tlr.BatchJob
+	var jobs []tlr.Request
 	for _, w := range workloads {
 		for _, g := range geoms {
 			for _, h := range heuristics {
-				jobs = append(jobs, tlr.BatchJob{
+				jobs = append(jobs, tlr.Request{
 					ID:       fmt.Sprintf("%s/%s/%s", w, h.label, g.label),
 					Workload: w,
 					RTM:      &tlr.RTMConfig{Geometry: g.g, Heuristic: h.h, N: h.n},
@@ -63,9 +65,9 @@ func main() {
 	b := tlr.NewBatcher(tlr.BatchOptions{})
 	defer b.Close()
 
-	run := func(pass string) []tlr.BatchResult {
+	run := func(pass string) []tlr.Result {
 		start := time.Now()
-		res, err := b.Measure(jobs)
+		res, err := b.RunBatch(context.Background(), jobs)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -56,17 +57,27 @@ func main() {
 	fmt.Println()
 
 	fmt.Printf("%-22s %10s %10s %10s\n", "configuration", "ILR", "TLR", "TLR(K=1/16)")
-	for _, win := range []int{0, 256, 64} {
-		res, err := tlr.MeasureReuse(prog, tlr.StudyConfig{
-			Budget:       100_000,
-			Skip:         1_000,
-			Window:       win,
-			ILRLatencies: []float64{1},
-			TLRVariants:  []tlr.Latency{tlr.ConstLatency(1), tlr.PropLatency(1.0 / 16)},
+	// One request per window size, fanned out as a single batch.
+	wins := []int{0, 256, 64}
+	var reqs []tlr.Request
+	for _, win := range wins {
+		reqs = append(reqs, tlr.Request{
+			Prog: prog,
+			Study: &tlr.StudyConfig{
+				Budget:       100_000,
+				Skip:         1_000,
+				Window:       win,
+				ILRLatencies: []float64{1},
+				TLRVariants:  []tlr.Latency{tlr.ConstLatency(1), tlr.PropLatency(1.0 / 16)},
+			},
 		})
-		if err != nil {
-			log.Fatal(err)
-		}
+	}
+	results, err := tlr.RunBatch(context.Background(), reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, win := range wins {
+		res := results[i].Study
 		label := "infinite window"
 		if win > 0 {
 			label = fmt.Sprintf("%d-entry window", win)

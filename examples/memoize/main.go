@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -59,14 +60,19 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := tlr.SimulateRTM(prog, tlr.RTMConfig{
-		Geometry:  tlr.Geometry4K,
-		Heuristic: tlr.IEXP,
-		N:         8,
-	}, 0, 200_000)
+	r, err := tlr.Run(context.Background(), tlr.Request{
+		Prog: prog,
+		RTM: &tlr.RTMConfig{
+			Geometry:  tlr.Geometry4K,
+			Heuristic: tlr.IEXP,
+			N:         8,
+		},
+		Budget: 200_000,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	res := r.RTM
 
 	fmt.Println("checksum over A, B, A' (A' == A), 4K-entry RTM, I(8) EXP:")
 	fmt.Printf("  retired instructions:   %d\n", res.Total())

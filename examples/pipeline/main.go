@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -41,17 +42,25 @@ func main() {
 		{"RTM, test at operand-ready", tlr.PipelineConfig{RTM: &rcfg, WaitForOperands: true}},
 	}
 
+	// All three configurations as one batch through the public API: the
+	// requests fan out across the worker pool and finish together.
+	reqs := make([]tlr.Request, len(configs))
+	for i, c := range configs {
+		cfg := c.cfg
+		reqs[i] = tlr.Request{
+			ID: c.label, Prog: prog, Pipeline: &cfg, Skip: 2_000, Budget: 150_000,
+		}
+	}
+	results, err := tlr.RunBatch(context.Background(), reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Printf("%s on a 4-wide, 256-entry-window processor:\n\n", w.Name)
 	fmt.Printf("%-28s %8s %9s %8s\n", "configuration", "IPC", "reused", "hits")
-	var baseIPC float64
+	baseIPC := results[0].Pipeline.IPC()
 	for i, c := range configs {
-		res, err := tlr.SimulatePipeline(prog, c.cfg, 2_000, 150_000)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if i == 0 {
-			baseIPC = res.IPC()
-		}
+		res := results[i].Pipeline
 		reused := float64(res.Skipped) / float64(res.Retired)
 		fmt.Printf("%-28s %8.2f %8.1f%% %8d", c.label, res.IPC(), 100*reused, res.Hits)
 		if i > 0 && baseIPC > 0 {

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,13 +46,17 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := tlr.MeasureReuse(prog, tlr.StudyConfig{
-		Budget: 50_000,
-		Window: 256, // the paper's finite instruction window
+	r, err := tlr.Run(context.Background(), tlr.Request{
+		Prog: prog,
+		Study: &tlr.StudyConfig{
+			Budget: 50_000,
+			Window: 256, // the paper's finite instruction window
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	res := r.Study
 
 	fmt.Println("dot-product kernel, 256-entry window:")
 	fmt.Printf("  instruction-level reusability:  %.1f%%\n", 100*res.ILR.Reusability())

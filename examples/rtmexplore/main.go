@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -21,10 +22,6 @@ func main() {
 	w, ok := tlr.WorkloadByName(name)
 	if !ok {
 		log.Fatalf("unknown workload %q (try one of the SPEC95 names, e.g. hydro2d)", name)
-	}
-	prog, err := w.Program()
-	if err != nil {
-		log.Fatal(err)
 	}
 
 	geoms := []struct {
@@ -47,21 +44,37 @@ func main() {
 		{"I8 EXP", tlr.RTMConfig{Heuristic: tlr.IEXP, N: 8}},
 	}
 
+	// The whole heuristic x capacity grid as one RunBatch call: the
+	// cells simulate in parallel across the worker pool instead of one
+	// by one.
+	var reqs []tlr.Request
+	for _, h := range heuristics {
+		for _, g := range geoms {
+			cfg := h.cfg
+			cfg.Geometry = g.g
+			reqs = append(reqs, tlr.Request{
+				ID: h.label + "/" + g.label, Workload: w.Name,
+				RTM: &cfg, Skip: 1_000, Budget: 120_000,
+			})
+		}
+	}
+	results, err := tlr.RunBatch(context.Background(), reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Printf("workload %s: %s\n\n", w.Name, w.Description)
 	fmt.Printf("%-8s", "")
 	for _, g := range geoms {
 		fmt.Printf("  %12s", g.label+" entries")
 	}
 	fmt.Println()
+	k := 0
 	for _, h := range heuristics {
 		fmt.Printf("%-8s", h.label)
-		for _, g := range geoms {
-			cfg := h.cfg
-			cfg.Geometry = g.g
-			res, err := tlr.SimulateRTM(prog, cfg, 1_000, 120_000)
-			if err != nil {
-				log.Fatal(err)
-			}
+		for range geoms {
+			res := results[k].RTM
+			k++
 			fmt.Printf("  %5.1f%% x%4.1f", 100*res.ReusedFraction(), res.AvgReusedLen())
 		}
 		fmt.Println()

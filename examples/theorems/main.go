@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -53,18 +54,14 @@ func main() {
 	}
 	budget := uint64(800)
 
-	upper, err := tlr.MeasureReuse(prog, tlr.StudyConfig{
-		Budget: budget, MaxRunLen: 12,
+	res, err := tlr.RunBatch(context.Background(), []tlr.Request{
+		{ID: "upper", Prog: prog, Study: &tlr.StudyConfig{Budget: budget, MaxRunLen: 12}},
+		{ID: "strict", Prog: prog, Study: &tlr.StudyConfig{Budget: budget, MaxRunLen: 12, Strict: true}},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	strict, err := tlr.MeasureReuse(prog, tlr.StudyConfig{
-		Budget: budget, MaxRunLen: 12, Strict: true,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
+	upper, strict := res[0].Study, res[1].Study
 
 	fmt.Println("f(a) + g(b) with a period-2 and b period-4:")
 	fmt.Printf("  instruction-level reusability:        %5.1f%%\n", 100*upper.ILR.Reusability())

@@ -5,6 +5,7 @@ package tlr
 // with differential correctness as the oracle wherever state is touched.
 
 import (
+	"context"
 	"testing"
 
 	"github.com/tracereuse/tlr/internal/cpu"
@@ -76,7 +77,9 @@ func TestSuiteStateIndependence(t *testing.T) {
 }
 
 // TestFacadeMatchesInternalPipeline checks that the public MeasureReuse
-// and the experiment harness agree on the same program and budget.
+// and the experiment harness agree on the same program and budget.  The
+// second measurement runs on a fresh Batcher so it cannot be a cache
+// hit of the first — the comparison is between two real simulations.
 func TestFacadeMatchesInternalPipeline(t *testing.T) {
 	w, _ := WorkloadByName("gcc")
 	prog, err := w.Program()
@@ -87,10 +90,19 @@ func TestFacadeMatchesInternalPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res2, err := MeasureReuse(prog, StudyConfig{Budget: 30_000, Skip: 1_000, Window: 256})
+	cold := NewBatcher(BatchOptions{Workers: 1})
+	defer cold.Close()
+	r2, err := cold.Run(context.Background(), Request{
+		Prog:  prog,
+		Study: &StudyConfig{Budget: 30_000, Skip: 1_000, Window: 256},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	if r2.Cached {
+		t.Fatal("fresh Batcher must simulate, not hit a cache")
+	}
+	res2 := *r2.Study
 	if res.ILR.Reusable != res2.ILR.Reusable || res.TLR.BaseCycles != res2.TLR.BaseCycles {
 		t.Error("MeasureReuse is not deterministic")
 	}

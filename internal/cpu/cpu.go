@@ -10,6 +10,7 @@
 package cpu
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -382,11 +383,29 @@ func (c *CPU) Step(e *trace.Exec) error {
 // must copy.  Run returns the number of instructions executed; it stops
 // early, without error, when the machine halts.
 func (c *CPU) Run(max uint64, fn func(*trace.Exec)) (uint64, error) {
+	return c.RunContext(context.Background(), max, fn)
+}
+
+// CancelCheckInterval is how many instructions RunContext executes
+// between context polls: coarse enough that the check never shows up in
+// a profile, fine enough that cancellation lands within microseconds.
+const CancelCheckInterval = 4096
+
+// RunContext is Run with cooperative cancellation: every
+// CancelCheckInterval instructions it polls ctx and stops with ctx.Err()
+// if the context has been cancelled.  The count of instructions executed
+// so far is still returned alongside the error.
+func (c *CPU) RunContext(ctx context.Context, max uint64, fn func(*trace.Exec)) (uint64, error) {
 	var e trace.Exec
 	var n uint64
 	for n < max {
 		if c.halted {
 			return n, nil
+		}
+		if n%CancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return n, err
+			}
 		}
 		if err := c.Step(&e); err != nil {
 			return n, err

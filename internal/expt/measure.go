@@ -5,6 +5,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -120,10 +121,10 @@ func MeasureWith(svc *service.Service, cfg Config) ([]*Measurement, error) {
 		jobs[i] = service.Job{
 			ID:  w.Name,
 			Key: fmt.Sprintf("measurement|%s|%d|%d|%d", w.Name, cfg.Budget, cfg.Skip, cfg.Window),
-			Run: func() (any, error) { return measureOne(cfg, w) },
+			Run: func(ctx context.Context) (any, error) { return measureOne(ctx, cfg, w) },
 		}
 	}
-	res, err := svc.Submit(jobs, workers).Wait()
+	res, err := svc.Submit(context.Background(), jobs, workers).Wait()
 	if err != nil {
 		return nil, err
 	}
@@ -134,14 +135,14 @@ func MeasureWith(svc *service.Service, cfg Config) ([]*Measurement, error) {
 	return out, nil
 }
 
-func measureOne(cfg Config, w *workload.Workload) (*Measurement, error) {
+func measureOne(ctx context.Context, cfg Config, w *workload.Workload) (*Measurement, error) {
 	prog, err := w.Program()
 	if err != nil {
 		return nil, err
 	}
 	c := cpu.New(prog)
 	if cfg.Skip > 0 {
-		if _, err := c.Run(cfg.Skip, nil); err != nil {
+		if _, err := c.RunContext(ctx, cfg.Skip, nil); err != nil {
 			return nil, fmt.Errorf("%s: skip: %w", w.Name, err)
 		}
 	}
@@ -157,7 +158,7 @@ func measureOne(cfg Config, w *workload.Workload) (*Measurement, error) {
 	tlrStr := core.NewTLRStudy(core.TLRConfig{Window: cfg.Window, Variants: one, MaxRunLen: 16, Strict: true})
 	vpWin := core.NewVPStudy(core.VPConfig{Window: cfg.Window})
 
-	n, err := c.Run(cfg.Budget, func(e *trace.Exec) {
+	n, err := c.RunContext(ctx, cfg.Budget, func(e *trace.Exec) {
 		reusable := hist.Observe(e)
 		ilrInf.ConsumeClassified(e, reusable)
 		ilrWin.ConsumeClassified(e, reusable)
@@ -206,20 +207,22 @@ type RTMCell struct {
 	AvgTraceSize   float64
 }
 
-// rtmHeuristics returns Figure 9's x-axis: ILR NE, ILR EXP, I(1..8) EXP.
-type rtmHeuristic struct {
-	label string
-	h     rtm.Heuristic
-	n     int
+// RTMPoint is one x-axis point of the Figure 9 sweep: a collection
+// heuristic plus its chunk size for I(n) EXP.
+type RTMPoint struct {
+	Label     string
+	Heuristic rtm.Heuristic
+	N         int
 }
 
-func rtmHeuristics() []rtmHeuristic {
-	hs := []rtmHeuristic{
+// RTMHeuristics returns Figure 9's x-axis: ILR NE, ILR EXP, I(1..8) EXP.
+func RTMHeuristics() []RTMPoint {
+	hs := []RTMPoint{
 		{"ILR NE", rtm.ILRNE, 0},
 		{"ILR EXP", rtm.ILREXP, 0},
 	}
 	for n := 1; n <= 8; n++ {
-		hs = append(hs, rtmHeuristic{fmt.Sprintf("I%d EXP", n), rtm.IEXP, n})
+		hs = append(hs, RTMPoint{fmt.Sprintf("I%d EXP", n), rtm.IEXP, n})
 	}
 	return hs
 }
@@ -242,7 +245,7 @@ func MeasureRTM(cfg Config) ([]RTMCell, error) {
 // sweep at the same configuration is answered from the result cache.
 func MeasureRTMWith(svc *service.Service, cfg Config) ([]RTMCell, error) {
 	suite := workload.All()
-	heur := rtmHeuristics()
+	heur := RTMHeuristics()
 	geoms := RTMGeometries()
 
 	var jobs []service.Job
@@ -254,16 +257,16 @@ func MeasureRTMWith(svc *service.Service, cfg Config) ([]RTMCell, error) {
 					return nil, err
 				}
 				jobs = append(jobs, service.RTMJob(
-					fmt.Sprintf("%s/%s/%v", w.Name, h.label, g),
+					fmt.Sprintf("%s/%s/%v", w.Name, h.Label, g),
 					w.Name, prog, service.RTMParams{
-						Config: rtm.Config{Geometry: g, Heuristic: h.h, N: h.n},
+						Config: rtm.Config{Geometry: g, Heuristic: h.Heuristic, N: h.N},
 						Skip:   cfg.Skip,
 						Budget: cfg.RTMBudget,
 					}))
 			}
 		}
 	}
-	res, err := svc.Submit(jobs, cfg.Workers).Wait()
+	res, err := svc.Submit(context.Background(), jobs, cfg.Workers).Wait()
 	if err != nil {
 		return nil, err
 	}
@@ -281,7 +284,7 @@ func MeasureRTMWith(svc *service.Service, cfg Config) ([]RTMCell, error) {
 				k++
 			}
 			cells = append(cells, RTMCell{
-				Heuristic:      h.label,
+				Heuristic:      h.Label,
 				Geometry:       g,
 				ReusedFraction: mean(fracs),
 				AvgTraceSize:   mean(sizes),

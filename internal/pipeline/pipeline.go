@@ -23,6 +23,7 @@
 package pipeline
 
 import (
+	"context"
 	"math"
 
 	"github.com/tracereuse/tlr/internal/cpu"
@@ -52,7 +53,11 @@ type Config struct {
 	RTM *rtm.Config
 }
 
-func (c Config) withDefaults() Config {
+// Normalized returns the configuration with every zero field replaced by
+// its default.  New applies it automatically; callers that key caches on
+// a Config should normalize first so that an explicit-default and a
+// zero-value configuration share one cache entry.
+func (c Config) Normalized() Config {
 	if c.FetchWidth <= 0 {
 		c.FetchWidth = 4
 	}
@@ -124,7 +129,7 @@ type Sim struct {
 
 // New builds a simulation over a fresh CPU.
 func New(cfg Config, c *cpu.CPU) *Sim {
-	cfg = cfg.withDefaults()
+	cfg = cfg.Normalized()
 	s := &Sim{
 		cfg:   cfg,
 		cpu:   c,
@@ -187,8 +192,23 @@ func (s *Sim) inReady(refs []trace.Ref) float64 {
 // Run retires up to budget instructions (executed + skipped), stopping at
 // HALT.
 func (s *Sim) Run(budget uint64) (Result, error) {
+	return s.RunContext(context.Background(), budget)
+}
+
+// RunContext is Run with cooperative cancellation: every
+// cpu.CancelCheckInterval fetch decisions it polls ctx and stops with
+// ctx.Err().  A cancelled run returns the metrics accumulated so far
+// alongside the error; partial results must not be cached.
+func (s *Sim) RunContext(ctx context.Context, budget uint64) (Result, error) {
 	var e trace.Exec
+	var iter uint64
 	for s.res.Retired < budget && !s.cpu.Halted() {
+		if iter%cpu.CancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return s.finish(), err
+			}
+		}
+		iter++
 		if s.mem != nil {
 			if entry := s.mem.Lookup(s.cpu.PC(), s.cpu); entry != nil {
 				if s.cfg.WaitForOperands || s.inReady(entry.Sum.Ins) <= s.fetchCycle+float64(s.cfg.FrontLat) {

@@ -157,7 +157,7 @@ loop:   ldi  r1, 6
 }
 
 func TestDefaultsApplied(t *testing.T) {
-	cfg := Config{}.withDefaults()
+	cfg := Config{}.Normalized()
 	if cfg.FetchWidth != 4 || cfg.Window != 256 || cfg.FrontLat != 2 || cfg.ReuseLat != 1 {
 		t.Errorf("defaults: %+v", cfg)
 	}

@@ -1,6 +1,7 @@
 package rtm
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/tracereuse/tlr/internal/cpu"
@@ -145,8 +146,23 @@ func (s *Sim) RTM() *RTM { return s.rtm }
 // early at HALT.  It returns the result and the first error (wild PC, or a
 // Verify divergence).
 func (s *Sim) Run(budget uint64) (Result, error) {
+	return s.RunContext(context.Background(), budget)
+}
+
+// RunContext is Run with cooperative cancellation: every
+// cpu.CancelCheckInterval fetch decisions it polls ctx and stops with
+// ctx.Err().  A cancelled run returns the metrics accumulated so far
+// alongside the error; partial results must not be cached.
+func (s *Sim) RunContext(ctx context.Context, budget uint64) (Result, error) {
 	var e trace.Exec
+	var iter uint64
 	for s.executed+s.skipped < budget && !s.cpu.Halted() {
+		if iter%cpu.CancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return s.result(), err
+			}
+		}
+		iter++
 		if entry := s.rtm.Lookup(s.cpu.PC(), s.cpu); entry != nil {
 			if s.cfg.Verify {
 				if err := s.verify(entry); err != nil {

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"crypto/sha256"
 	"fmt"
 
@@ -8,14 +9,17 @@ import (
 	"github.com/tracereuse/tlr/internal/core"
 	"github.com/tracereuse/tlr/internal/cpu"
 	"github.com/tracereuse/tlr/internal/isa"
+	"github.com/tracereuse/tlr/internal/pipeline"
 	"github.com/tracereuse/tlr/internal/rtm"
 	"github.com/tracereuse/tlr/internal/trace"
 )
 
-// Typed job builders for the two simulation kinds every sweep is made
-// of: reuse limit studies (Figures 3–8) and realistic RTM simulations
-// (Figure 9).  Both produce plain value results, which is what makes
-// them cacheable.
+// Typed job builders for the four simulation kinds every sweep is made
+// of: reuse limit studies (Figures 3–8), realistic RTM simulations
+// (Figure 9), execution-driven pipeline runs, and value-prediction
+// limit studies.  All four produce plain value results, which is what
+// makes them cacheable, and all four poll their context so a cancelled
+// batch stops simulating promptly.
 
 // Program assembles source through the service's LRU: repeated batches
 // submitting the same text reuse the decoded program.
@@ -90,15 +94,16 @@ func (p StudyParams) normalize() StudyParams {
 }
 
 // RunStudy runs the paper's limit studies over prog's dynamic stream
-// (the job body behind StudyJob).
-func RunStudy(prog *isa.Program, p StudyParams) (StudyOutput, error) {
+// (the job body behind StudyJob), polling ctx between instruction
+// blocks.
+func RunStudy(ctx context.Context, prog *isa.Program, p StudyParams) (StudyOutput, error) {
 	if p.Budget == 0 {
 		return StudyOutput{}, fmt.Errorf("service: study Budget must be positive")
 	}
 	p = p.normalize()
 	c := cpu.New(prog)
 	if p.Skip > 0 {
-		if _, err := c.Run(p.Skip, nil); err != nil {
+		if _, err := c.RunContext(ctx, p.Skip, nil); err != nil {
 			return StudyOutput{}, err
 		}
 	}
@@ -110,7 +115,7 @@ func RunStudy(prog *isa.Program, p StudyParams) (StudyOutput, error) {
 		Strict:    p.Strict,
 		MaxRunLen: p.MaxRunLen,
 	})
-	if _, err := c.Run(p.Budget, func(e *trace.Exec) {
+	if _, err := c.RunContext(ctx, p.Budget, func(e *trace.Exec) {
 		reusable := hist.Observe(e)
 		ilr.ConsumeClassified(e, reusable)
 		tlrS.ConsumeClassified(e, reusable)
@@ -131,7 +136,7 @@ func StudyJob(id, progKey string, prog *isa.Program, p StudyParams) Job {
 		key = fmt.Sprintf("study|%s|%d|%d|%d|%v|%v|%v|%d",
 			progKey, p.Budget, p.Skip, p.Window, p.ILRLatencies, p.TLRVariants, p.Strict, p.MaxRunLen)
 	}
-	return Job{ID: id, Key: key, Run: func() (any, error) { return RunStudy(prog, p) }}
+	return Job{ID: id, Key: key, Run: func(ctx context.Context) (any, error) { return RunStudy(ctx, prog, p) }}
 }
 
 // RTMParams configures a realistic-RTM simulation job.
@@ -141,26 +146,34 @@ type RTMParams struct {
 	Budget uint64
 }
 
-// RunRTM runs prog under a finite RTM (the job body behind RTMJob).
-// The geometry is validated here — jobs carry caller-supplied
-// configurations (HTTP requests, batch API users), and a degenerate
-// geometry must surface as a job error, not a panic in a worker.
-func RunRTM(prog *isa.Program, p RTMParams) (rtm.Result, error) {
-	g := p.Config.Geometry
+// ValidGeometry rejects degenerate RTM geometries.  Jobs carry
+// caller-supplied configurations (HTTP requests, batch API users), and a
+// degenerate geometry must surface as a job error, not a panic in a
+// worker.
+func ValidGeometry(g rtm.Geometry) error {
 	if g.Sets <= 0 || g.Sets&(g.Sets-1) != 0 {
-		return rtm.Result{}, fmt.Errorf("service: RTM geometry Sets must be a positive power of two, got %d", g.Sets)
+		return fmt.Errorf("service: RTM geometry Sets must be a positive power of two, got %d", g.Sets)
 	}
 	if g.PCWays < 1 || g.TracesPerPC < 1 {
-		return rtm.Result{}, fmt.Errorf("service: RTM geometry needs PCWays and TracesPerPC >= 1, got %dx%d",
+		return fmt.Errorf("service: RTM geometry needs PCWays and TracesPerPC >= 1, got %dx%d",
 			g.PCWays, g.TracesPerPC)
+	}
+	return nil
+}
+
+// RunRTM runs prog under a finite RTM (the job body behind RTMJob),
+// polling ctx as it simulates.
+func RunRTM(ctx context.Context, prog *isa.Program, p RTMParams) (rtm.Result, error) {
+	if err := ValidGeometry(p.Config.Geometry); err != nil {
+		return rtm.Result{}, err
 	}
 	c := cpu.New(prog)
 	if p.Skip > 0 {
-		if _, err := c.Run(p.Skip, nil); err != nil {
+		if _, err := c.RunContext(ctx, p.Skip, nil); err != nil {
 			return rtm.Result{}, err
 		}
 	}
-	return rtm.NewSim(p.Config, c).Run(p.Budget)
+	return rtm.NewSim(p.Config, c).RunContext(ctx, p.Budget)
 }
 
 // RTMJob builds a cacheable realistic-RTM job.  progKey identifies the
@@ -170,5 +183,88 @@ func RTMJob(id, progKey string, prog *isa.Program, p RTMParams) Job {
 	if progKey != "" {
 		key = fmt.Sprintf("rtm|%s|%+v|%d|%d", progKey, p.Config, p.Skip, p.Budget)
 	}
-	return Job{ID: id, Key: key, Run: func() (any, error) { return RunRTM(prog, p) }}
+	return Job{ID: id, Key: key, Run: func(ctx context.Context) (any, error) { return RunRTM(ctx, prog, p) }}
+}
+
+// PipelineParams configures an execution-driven pipeline job.
+type PipelineParams struct {
+	Config pipeline.Config
+	Skip   uint64
+	Budget uint64
+}
+
+// RunPipeline runs prog on the execution-driven processor model (the job
+// body behind PipelineJob), polling ctx as it simulates.
+func RunPipeline(ctx context.Context, prog *isa.Program, p PipelineParams) (pipeline.Result, error) {
+	if p.Config.RTM != nil {
+		if err := ValidGeometry(p.Config.RTM.Geometry); err != nil {
+			return pipeline.Result{}, err
+		}
+	}
+	c := cpu.New(prog)
+	if p.Skip > 0 {
+		if _, err := c.RunContext(ctx, p.Skip, nil); err != nil {
+			return pipeline.Result{}, err
+		}
+	}
+	return pipeline.New(p.Config, c).RunContext(ctx, p.Budget)
+}
+
+// PipelineJob builds a cacheable execution-driven pipeline job.  The
+// configuration is normalized first, so an explicit-default and a
+// zero-value configuration share one cache entry.  progKey identifies
+// the program (a workload name or Fingerprint); empty disables caching.
+func PipelineJob(id, progKey string, prog *isa.Program, p PipelineParams) Job {
+	p.Config = p.Config.Normalized()
+	key := ""
+	if progKey != "" {
+		// Config.RTM is a pointer: format the pointee (or "none"), never
+		// the address, or identical jobs would miss the cache.
+		flat := p.Config
+		flat.RTM = nil
+		rtmPart := "none"
+		if p.Config.RTM != nil {
+			rtmPart = fmt.Sprintf("%+v", *p.Config.RTM)
+		}
+		key = fmt.Sprintf("pipe|%s|%+v|%s|%d|%d", progKey, flat, rtmPart, p.Skip, p.Budget)
+	}
+	return Job{ID: id, Key: key, Run: func(ctx context.Context) (any, error) { return RunPipeline(ctx, prog, p) }}
+}
+
+// VPParams configures a value-prediction limit-study job.
+type VPParams struct {
+	Window  int
+	PredLat float64
+	Skip    uint64
+	Budget  uint64
+}
+
+// RunVP runs the last-value-prediction limit study (the job body behind
+// VPJob), polling ctx between instruction blocks.
+func RunVP(ctx context.Context, prog *isa.Program, p VPParams) (core.VPResult, error) {
+	if p.Budget == 0 {
+		return core.VPResult{}, fmt.Errorf("service: VP Budget must be positive")
+	}
+	c := cpu.New(prog)
+	if p.Skip > 0 {
+		if _, err := c.RunContext(ctx, p.Skip, nil); err != nil {
+			return core.VPResult{}, err
+		}
+	}
+	s := core.NewVPStudy(core.VPConfig{Window: p.Window, PredLat: p.PredLat})
+	if _, err := c.RunContext(ctx, p.Budget, func(e *trace.Exec) { s.Consume(e) }); err != nil {
+		return core.VPResult{}, err
+	}
+	s.Finish()
+	return s.Result(), nil
+}
+
+// VPJob builds a cacheable value-prediction job.  progKey identifies the
+// program (a workload name or Fingerprint); empty disables caching.
+func VPJob(id, progKey string, prog *isa.Program, p VPParams) Job {
+	key := ""
+	if progKey != "" {
+		key = fmt.Sprintf("vp|%s|%d|%g|%d|%d", progKey, p.Window, p.PredLat, p.Skip, p.Budget)
+	}
+	return Job{ID: id, Key: key, Run: func(ctx context.Context) (any, error) { return RunVP(ctx, prog, p) }}
 }

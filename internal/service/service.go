@@ -3,22 +3,30 @@
 // jobs in flight, and memoises results in an LRU keyed by (program
 // fingerprint, configuration).  Every sweep in the repository — the
 // Figure 3–8 limit studies, the Figure 9 RTM grid, cmd/tlrserve's HTTP
-// batches and the tlr.MeasureBatch facade — fans out through one of
-// these services, so repeated sweeps hit the cache instead of
-// re-simulating.
+// batches and the tlr Run/RunBatch/StreamBatch facade — fans out
+// through one of these services, so repeated sweeps hit the cache
+// instead of re-simulating.
 //
 // Jobs are pure: a job's Run closure must depend only on its inputs, and
 // identical Keys must denote identical work.  That is what makes the
 // cache sound and batch results deterministic — a batch collected with
 // Wait is ordered by submission index, so a sweep run twice (cold or
 // warm) yields byte-identical tables.
+//
+// Batches are context-aware: Submit takes a context, jobs not yet on a
+// worker complete with the cancellation error the moment it fires, and
+// running jobs receive the context so the simulation loops can stop
+// mid-flight.  Cancelled results are never cached, so cancellation can
+// never poison a later identical submission.
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrClosed reports a job that could not be dispatched because the
@@ -26,8 +34,14 @@ import (
 var ErrClosed = errors.New("service: closed")
 
 // ErrCanceled reports a job skipped because its batch was canceled
-// before the job was dispatched to a worker.
+// (via Batch.Cancel) before the job was dispatched to a worker.  Jobs
+// skipped because the batch's *context* was cancelled instead carry the
+// context's error (context.Canceled or context.DeadlineExceeded).
 var ErrCanceled = errors.New("service: batch canceled")
+
+// errBatchDone releases a batch's derived context once every result has
+// been delivered; it is never observable by callers.
+var errBatchDone = errors.New("service: batch complete")
 
 // Options sizes a Service.
 type Options struct {
@@ -59,7 +73,12 @@ type Job struct {
 	Key string
 	// Run computes the result.  It must be pure (no shared mutable
 	// state): its value may be cached and handed to later submitters.
-	Run func() (any, error)
+	// The context is the submitting batch's; long simulations must poll
+	// it and stop with ctx.Err() when it is cancelled.  A job coalesced
+	// onto an identical in-flight run inherits that run's context (and
+	// therefore its cancellation); errors are never cached, so a
+	// cancelled result is recomputed on resubmission.
+	Run func(ctx context.Context) (any, error)
 }
 
 // Result is one finished job.
@@ -95,9 +114,63 @@ type task struct {
 	batch *Batch
 }
 
+// errFlightDone releases a completed flight's context; it is never
+// observable by callers.
+var errFlightDone = errors.New("service: flight complete")
+
 // flight is one running job that identical submissions coalesce onto.
+// It computes under its own context, cancelled only when every batch
+// interested in the result has been cancelled — so one client
+// abandoning a request never aborts another client's identical
+// in-flight request.
 type flight struct {
-	waiters []task
+	waiters []task // guarded by Service.mu
+
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+
+	mu    sync.Mutex
+	n     int           // batches still interested
+	stops []func() bool // AfterFunc stops, released on completion
+}
+
+func newFlight() *flight {
+	f := &flight{}
+	f.ctx, f.cancel = context.WithCancelCause(context.Background())
+	return f
+}
+
+// attach registers one interested batch: if the batch's context fires
+// before the flight completes, the batch drops its interest, and the
+// flight is cancelled once no interest remains.
+func (f *flight) attach(b *Batch) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.n++
+	f.stops = append(f.stops, context.AfterFunc(b.ctx, f.drop))
+}
+
+func (f *flight) drop() {
+	f.mu.Lock()
+	f.n--
+	last := f.n == 0
+	f.mu.Unlock()
+	if last {
+		f.cancel(context.Canceled)
+	}
+}
+
+// release detaches the batch watchers and frees the flight's context
+// once the run has completed.
+func (f *flight) release() {
+	f.mu.Lock()
+	stops := f.stops
+	f.stops = nil
+	f.mu.Unlock()
+	for _, stop := range stops {
+		stop()
+	}
+	f.cancel(errFlightDone)
 }
 
 // New starts a Service.  Close releases its workers.
@@ -162,33 +235,56 @@ func (s *Service) Stats() Stats {
 
 // Batch is a submitted set of jobs.
 type Batch struct {
-	ch         chan Result
-	n          int
-	sem        chan struct{} // non-nil: per-batch parallelism bound
-	cancel     chan struct{}
-	cancelOnce sync.Once
+	ch        chan Result
+	n         int
+	sem       chan struct{} // non-nil: per-batch parallelism bound
+	ctx       context.Context
+	cancel    context.CancelCauseFunc
+	delivered atomic.Int64
 }
 
 // Cancel abandons the batch: jobs not yet handed to a worker complete
-// immediately with ErrCanceled instead of simulating.  Jobs already
-// running finish normally (simulations are not preemptible).  Exactly
-// Len results are still delivered, so drains and Wait never hang.
-func (b *Batch) Cancel() { b.cancelOnce.Do(func() { close(b.cancel) }) }
+// immediately with ErrCanceled instead of simulating, and jobs already
+// running are asked to stop through their context.  Exactly Len results
+// are still delivered, so drains and Wait never hang.
+func (b *Batch) Cancel() { b.cancel(ErrCanceled) }
 
-func (b *Batch) canceled() bool {
-	select {
-	case <-b.cancel:
-		return true
-	default:
-		return false
+// cause reports why the batch stopped accepting work: ErrCanceled after
+// an explicit Cancel, or the submitting context's error.
+func (b *Batch) cause() error {
+	if err := context.Cause(b.ctx); err != nil && !errors.Is(err, errBatchDone) {
+		return err
+	}
+	return b.ctx.Err()
+}
+
+func (b *Batch) canceled() bool { return b.ctx.Err() != nil }
+
+// deliver sends one result and releases the batch's context once the
+// last one is out.
+func (b *Batch) deliver(r Result) {
+	b.ch <- r
+	if b.delivered.Add(1) == int64(b.n) {
+		b.cancel(errBatchDone)
 	}
 }
 
 // Submit enqueues jobs and returns immediately; results stream on
-// Results as they finish.  maxParallel bounds how many of this batch's
-// jobs run at once (0 = no per-batch bound beyond the worker pool).
-func (s *Service) Submit(jobs []Job, maxParallel int) *Batch {
-	b := &Batch{ch: make(chan Result, len(jobs)), n: len(jobs), cancel: make(chan struct{})}
+// Results as they finish.  Cancelling ctx (or calling Batch.Cancel)
+// skips jobs not yet on a worker — they complete with the cancellation
+// error — and stops context-aware jobs already running.  maxParallel
+// bounds how many of this batch's jobs run at once (0 = no per-batch
+// bound beyond the worker pool).
+func (s *Service) Submit(ctx context.Context, jobs []Job, maxParallel int) *Batch {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	bctx, cancel := context.WithCancelCause(ctx)
+	b := &Batch{ch: make(chan Result, len(jobs)), n: len(jobs), ctx: bctx, cancel: cancel}
+	if len(jobs) == 0 {
+		cancel(errBatchDone)
+		return b
+	}
 	if maxParallel > 0 && maxParallel < len(jobs) {
 		b.sem = make(chan struct{}, maxParallel)
 	}
@@ -199,7 +295,7 @@ func (s *Service) Submit(jobs []Job, maxParallel int) *Batch {
 		s.mu.Lock()
 		s.stats.Errors++
 		s.mu.Unlock()
-		b.ch <- Result{Index: i, ID: j.ID, Err: err}
+		b.deliver(Result{Index: i, ID: j.ID, Err: err})
 	}
 	go func() {
 		for i, j := range jobs {
@@ -209,8 +305,8 @@ func (s *Service) Submit(jobs []Job, maxParallel int) *Batch {
 				case <-s.done:
 					abort(i, j, ErrClosed)
 					continue
-				case <-b.cancel:
-					abort(i, j, ErrCanceled)
+				case <-bctx.Done():
+					abort(i, j, b.cause())
 					continue
 				}
 			}
@@ -221,8 +317,8 @@ func (s *Service) Submit(jobs []Job, maxParallel int) *Batch {
 				if b.sem != nil {
 					<-b.sem
 				}
-			case <-b.cancel:
-				abort(i, j, ErrCanceled)
+			case <-bctx.Done():
+				abort(i, j, b.cause())
 				if b.sem != nil {
 					<-b.sem
 				}
@@ -257,12 +353,12 @@ func (b *Batch) Wait() ([]Result, error) {
 
 func (s *Service) runTask(t task) {
 	if t.batch.canceled() {
-		s.finish(t, nil, ErrCanceled, false)
+		s.finish(t, nil, t.batch.cause(), false)
 		return
 	}
 	key := t.job.Key
 	if key == "" {
-		v, err := t.job.Run()
+		v, err := t.job.Run(t.batch.ctx)
 		s.finish(t, v, err, false)
 		return
 	}
@@ -274,18 +370,27 @@ func (s *Service) runTask(t task) {
 		return
 	}
 	if f, ok := s.inflight[key]; ok {
+		// Interest must be registered in the same critical section that
+		// joins the flight: attached outside it, the previous holder's
+		// cancellation could drop the count to zero and abort the run
+		// before this live batch is counted.
 		f.waiters = append(f.waiters, t)
 		s.stats.Coalesced++
+		f.attach(t.batch)
 		s.mu.Unlock()
 		// The waiter's batch slot is released by whoever completes the
 		// flight; nothing more to do here.
 		return
 	}
-	f := &flight{}
+	f := newFlight()
+	f.attach(t.batch)
 	s.inflight[key] = f
 	s.mu.Unlock()
 
-	v, err := t.job.Run()
+	// Keyed results are shared across batches, so the run computes under
+	// the flight's context, not this batch's: it only stops once every
+	// interested batch has been cancelled.
+	v, err := t.job.Run(f.ctx)
 
 	s.mu.Lock()
 	delete(s.inflight, key)
@@ -294,11 +399,19 @@ func (s *Service) runTask(t task) {
 	}
 	waiters := f.waiters
 	s.mu.Unlock()
+	f.release()
 
 	s.finish(t, v, err, false)
 	for _, w := range waiters {
 		s.finish(w, v, err, true)
 	}
+}
+
+// isCancellation reports whether err means "skipped or stopped by
+// cancellation" rather than a simulation failure.
+func isCancellation(err error) bool {
+	return errors.Is(err, ErrCanceled) || errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
 }
 
 // finish counts and delivers one result, releasing the batch's
@@ -308,8 +421,8 @@ func (s *Service) finish(t task, v any, err error, cached bool) {
 	switch {
 	case cached:
 		// CacheHits/Coalesced already counted at lookup time.
-	case errors.Is(err, ErrCanceled):
-		// Skipped, not simulated.
+	case isCancellation(err):
+		// Skipped (or stopped mid-run), not simulated to completion.
 	default:
 		s.stats.Ran++
 	}
@@ -317,7 +430,7 @@ func (s *Service) finish(t task, v any, err error, cached bool) {
 		s.stats.Errors++
 	}
 	s.mu.Unlock()
-	t.batch.ch <- Result{Index: t.index, ID: t.job.ID, Value: v, Err: err, Cached: cached}
+	t.batch.deliver(Result{Index: t.index, ID: t.job.ID, Value: v, Err: err, Cached: cached})
 	if t.batch.sem != nil {
 		<-t.batch.sem
 	}

@@ -1,12 +1,14 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/tracereuse/tlr/internal/rtm"
 	"github.com/tracereuse/tlr/internal/workload"
@@ -17,9 +19,9 @@ func TestBatchWaitOrdersByIndex(t *testing.T) {
 	defer s.Close()
 	jobs := make([]Job, 16)
 	for i := range jobs {
-		jobs[i] = Job{ID: fmt.Sprint(i), Run: func() (any, error) { return i * i, nil }}
+		jobs[i] = Job{ID: fmt.Sprint(i), Run: func(context.Context) (any, error) { return i * i, nil }}
 	}
-	res, err := s.Submit(jobs, 0).Wait()
+	res, err := s.Submit(context.Background(), jobs, 0).Wait()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,12 +37,12 @@ func TestBatchFirstErrorByIndex(t *testing.T) {
 	defer s.Close()
 	boom3 := errors.New("boom3")
 	jobs := []Job{
-		{ID: "a", Run: func() (any, error) { return 1, nil }},
-		{ID: "b", Run: func() (any, error) { return nil, errors.New("boom1") }},
-		{ID: "c", Run: func() (any, error) { return 2, nil }},
-		{ID: "d", Run: func() (any, error) { return nil, boom3 }},
+		{ID: "a", Run: func(context.Context) (any, error) { return 1, nil }},
+		{ID: "b", Run: func(context.Context) (any, error) { return nil, errors.New("boom1") }},
+		{ID: "c", Run: func(context.Context) (any, error) { return 2, nil }},
+		{ID: "d", Run: func(context.Context) (any, error) { return nil, boom3 }},
 	}
-	res, err := s.Submit(jobs, 0).Wait()
+	res, err := s.Submit(context.Background(), jobs, 0).Wait()
 	if err == nil || !errors.Is(err, res[1].Err) {
 		t.Fatalf("want first error (index 1), got %v", err)
 	}
@@ -53,12 +55,12 @@ func TestResultCacheAcrossBatches(t *testing.T) {
 	s := New(Options{Workers: 2})
 	defer s.Close()
 	var runs atomic.Int32
-	job := Job{ID: "j", Key: "k1", Run: func() (any, error) {
+	job := Job{ID: "j", Key: "k1", Run: func(context.Context) (any, error) {
 		runs.Add(1)
 		return "value", nil
 	}}
 	for i := 0; i < 3; i++ {
-		res, err := s.Submit([]Job{job}, 0).Wait()
+		res, err := s.Submit(context.Background(), []Job{job}, 0).Wait()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -81,16 +83,16 @@ func TestErrorsAreNotCached(t *testing.T) {
 	s := New(Options{Workers: 1})
 	defer s.Close()
 	var runs atomic.Int32
-	job := Job{Key: "flaky", Run: func() (any, error) {
+	job := Job{Key: "flaky", Run: func(context.Context) (any, error) {
 		if runs.Add(1) == 1 {
 			return nil, errors.New("transient")
 		}
 		return 7, nil
 	}}
-	if _, err := s.Submit([]Job{job}, 0).Wait(); err == nil {
+	if _, err := s.Submit(context.Background(), []Job{job}, 0).Wait(); err == nil {
 		t.Fatal("first run should fail")
 	}
-	res, err := s.Submit([]Job{job}, 0).Wait()
+	res, err := s.Submit(context.Background(), []Job{job}, 0).Wait()
 	if err != nil || res[0].Value.(int) != 7 {
 		t.Fatalf("second run should re-execute: %v %v", res, err)
 	}
@@ -103,13 +105,13 @@ func TestInflightCoalescing(t *testing.T) {
 	gate := make(chan struct{})
 	jobs := make([]Job, 8)
 	for i := range jobs {
-		jobs[i] = Job{ID: fmt.Sprint(i), Key: "same", Run: func() (any, error) {
+		jobs[i] = Job{ID: fmt.Sprint(i), Key: "same", Run: func(context.Context) (any, error) {
 			runs.Add(1)
 			<-gate
 			return 42, nil
 		}}
 	}
-	b := s.Submit(jobs, 0)
+	b := s.Submit(context.Background(), jobs, 0)
 	// Let every worker reach the key; only one may be running it.
 	var ready sync.WaitGroup
 	ready.Add(1)
@@ -135,7 +137,7 @@ func TestMaxParallelBound(t *testing.T) {
 	var cur, peak atomic.Int32
 	jobs := make([]Job, 24)
 	for i := range jobs {
-		jobs[i] = Job{Run: func() (any, error) {
+		jobs[i] = Job{Run: func(context.Context) (any, error) {
 			c := cur.Add(1)
 			for {
 				p := peak.Load()
@@ -147,7 +149,7 @@ func TestMaxParallelBound(t *testing.T) {
 			return nil, nil
 		}}
 	}
-	if _, err := s.Submit(jobs, 2).Wait(); err != nil {
+	if _, err := s.Submit(context.Background(), jobs, 2).Wait(); err != nil {
 		t.Fatal(err)
 	}
 	if p := peak.Load(); p > 2 {
@@ -194,17 +196,17 @@ func TestRTMJobDeterminism(t *testing.T) {
 
 	s1 := New(Options{Workers: 2})
 	defer s1.Close()
-	cold1, err := s1.Submit([]Job{job}, 0).Wait()
+	cold1, err := s1.Submit(context.Background(), []Job{job}, 0).Wait()
 	if err != nil {
 		t.Fatal(err)
 	}
 	s2 := New(Options{Workers: 2})
 	defer s2.Close()
-	cold2, err := s2.Submit([]Job{job}, 0).Wait()
+	cold2, err := s2.Submit(context.Background(), []Job{job}, 0).Wait()
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm, err := s1.Submit([]Job{job}, 0).Wait()
+	warm, err := s1.Submit(context.Background(), []Job{job}, 0).Wait()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +239,7 @@ func TestRunRTMRejectsDegenerateGeometry(t *testing.T) {
 		{Sets: -8, PCWays: 4, TracesPerPC: 4},
 	}
 	for _, g := range bad {
-		_, err := RunRTM(prog, RTMParams{Config: rtm.Config{Geometry: g}, Budget: 1000})
+		_, err := RunRTM(context.Background(), prog, RTMParams{Config: rtm.Config{Geometry: g}, Budget: 1000})
 		if err == nil {
 			t.Errorf("geometry %+v: expected error", g)
 		}
@@ -252,12 +254,12 @@ func TestCloseDuringSubmit(t *testing.T) {
 	gate := make(chan struct{})
 	jobs := make([]Job, 32)
 	for i := range jobs {
-		jobs[i] = Job{ID: fmt.Sprint(i), Run: func() (any, error) {
+		jobs[i] = Job{ID: fmt.Sprint(i), Run: func(context.Context) (any, error) {
 			<-gate
 			return 1, nil
 		}}
 	}
-	b := s.Submit(jobs, 0)
+	b := s.Submit(context.Background(), jobs, 0)
 	close(gate)
 	s.Close()
 	got := 0
@@ -288,7 +290,7 @@ func TestBatchCancelSkipsUndispatchedJobs(t *testing.T) {
 	started := make(chan struct{}, 1)
 	jobs := make([]Job, 16)
 	for i := range jobs {
-		jobs[i] = Job{ID: fmt.Sprint(i), Run: func() (any, error) {
+		jobs[i] = Job{ID: fmt.Sprint(i), Run: func(context.Context) (any, error) {
 			select {
 			case started <- struct{}{}:
 			default:
@@ -298,7 +300,7 @@ func TestBatchCancelSkipsUndispatchedJobs(t *testing.T) {
 			return 1, nil
 		}}
 	}
-	b := s.Submit(jobs, 0)
+	b := s.Submit(context.Background(), jobs, 0)
 	<-started // first job is on the worker
 	b.Cancel()
 	close(gate)
@@ -319,5 +321,77 @@ func TestBatchCancelSkipsUndispatchedJobs(t *testing.T) {
 	}
 	if st := s.Stats(); st.Ran != uint64(ran.Load()) {
 		t.Errorf("Stats.Ran = %d, want %d (canceled jobs must not count)", st.Ran, ran.Load())
+	}
+}
+
+// TestCoalescedFlightSurvivesLeaderCancel: a keyed run shared by two
+// batches must not die with the first batch's context — the flight only
+// stops when every interested batch has been cancelled.
+func TestCoalescedFlightSurvivesLeaderCancel(t *testing.T) {
+	s := New(Options{Workers: 2})
+	defer s.Close()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	job := Job{ID: "x", Key: "shared", Run: func(ctx context.Context) (any, error) {
+		close(started)
+		select {
+		case <-release:
+			return 42, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}}
+
+	ctxA, cancelA := context.WithCancel(context.Background())
+	a := s.Submit(ctxA, []Job{job}, 0)
+	<-started // A is the flight leader, mid-run
+	b := s.Submit(context.Background(), []Job{job}, 0)
+	// Wait until B has coalesced onto A's flight before cancelling A.
+	for {
+		if st := s.Stats(); st.Coalesced == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancelA()
+	time.Sleep(20 * time.Millisecond) // give a (buggy) cancellation time to land
+	close(release)
+
+	ra := <-a.Results()
+	rb := <-b.Results()
+	if rb.Err != nil || rb.Value.(int) != 42 {
+		t.Errorf("B's coalesced result died with A's context: %+v", rb)
+	}
+	if !rb.Cached {
+		t.Errorf("B should have coalesced onto A's run: %+v", rb)
+	}
+	// A's own result completed too (the run kept going for B's sake).
+	if ra.Err != nil || ra.Value.(int) != 42 {
+		t.Errorf("leader result: %+v", ra)
+	}
+}
+
+// TestSoleInterestFlightStopsOnCancel: when only one batch is
+// interested, cancelling it still stops the keyed run mid-flight.
+func TestSoleInterestFlightStopsOnCancel(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Close()
+	started := make(chan struct{})
+	job := Job{ID: "x", Key: "solo", Run: func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}}
+	ctx, cancel := context.WithCancel(context.Background())
+	b := s.Submit(ctx, []Job{job}, 0)
+	<-started
+	cancel()
+	select {
+	case r := <-b.Results():
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", r.Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled sole-interest flight did not stop")
 	}
 }

@@ -18,29 +18,56 @@
 //     goroutines;
 //   - the 14-benchmark workload suite named after the paper's SPEC95
 //     subset;
-//   - a batch simulation service: MeasureBatch (and the Batcher type)
-//     fans many (program, configuration) jobs out over a worker pool,
-//     deduplicates identical jobs and memoises results in an LRU, so
-//     configuration sweeps pay for each distinct simulation once.
+//   - a batch simulation service behind one request model.
 //
-// Quick start:
+// # The Request/Run model
+//
+// Every simulation is a Request: a program (a built-in Workload name,
+// assembly Source, or an assembled Prog) plus exactly one configuration
+// naming the simulation kind —
+//
+//   - Study: the reuse limit studies of Figures 3–8;
+//   - RTM: the realistic finite Reuse Trace Memory of Figure 9;
+//   - Pipeline: the execution-driven Figure 2 processor model;
+//   - VP: the last-value-prediction limit study (§1's
+//     speculation-vs-reuse comparison).
+//
+// Run, RunBatch and StreamBatch are the only entry points:
 //
 //	prog, _ := tlr.Assemble(src)
-//	res, _ := tlr.MeasureReuse(prog, tlr.StudyConfig{Budget: 100000, Window: 256})
-//	fmt.Println(res.TLR.Speedups[0])
+//	res, _ := tlr.Run(ctx, tlr.Request{
+//		Prog:  prog,
+//		Study: &tlr.StudyConfig{Budget: 100000, Window: 256},
+//	})
+//	fmt.Println(res.Study.TLR.Speedups[0])
 //
-// Batch sweeps submit many jobs at once and collect ordered results:
+// Batch sweeps submit many requests at once and collect ordered results:
 //
-//	jobs := []tlr.BatchJob{
+//	reqs := []tlr.Request{
 //		{Workload: "gcc", RTM: &tlr.RTMConfig{Geometry: tlr.Geometry4K}, Budget: 100000},
-//		{Workload: "li", RTM: &tlr.RTMConfig{Geometry: tlr.Geometry4K}, Budget: 100000},
+//		{Workload: "li", Pipeline: &tlr.PipelineConfig{}, Budget: 100000},
 //	}
-//	res, _ := tlr.MeasureBatch(jobs)
+//	res, _ := tlr.RunBatch(ctx, reqs)
+//
+// All entry points fan out over a shared worker pool, deduplicate
+// identical requests in flight, and memoise results in an LRU, so
+// configuration sweeps pay for each distinct simulation once; a
+// dedicated pool with its own caches is a NewBatcher call away.  The
+// context is honoured throughout: cancelling it skips requests that
+// have not reached a worker and stops running simulations at their next
+// cancellation check, while still delivering exactly one result per
+// request.
 //
 // The same service layer runs behind cmd/tlrserve, an HTTP/JSON server
-// that accepts job batches (POST /v1/batch, streaming NDJSON results)
-// and hosts a shared concurrent RTM for trace-reuse-as-a-service
-// experiments.
+// that accepts single requests (POST /v1/run), request batches (POST
+// /v1/batch, streaming NDJSON results) and hosts a shared concurrent
+// RTM for trace-reuse-as-a-service experiments.  Request and Result
+// marshal to the server's versioned JSON wire format, so a Go client
+// can drive it with encoding/json alone.
+//
+// The pre-Request facade (MeasureReuse, SimulateRTM, SimulatePipeline,
+// MeasureValuePrediction, MeasureBatch) remains as thin deprecated
+// wrappers over Run.
 //
 // See examples/ for complete programs (examples/batchsweep drives the
 // batch API) and cmd/tlrexp for the harness that regenerates every
@@ -48,15 +75,13 @@
 package tlr
 
 import (
-	"fmt"
+	"context"
 
 	"github.com/tracereuse/tlr/internal/asm"
 	"github.com/tracereuse/tlr/internal/core"
-	"github.com/tracereuse/tlr/internal/cpu"
 	"github.com/tracereuse/tlr/internal/isa"
 	"github.com/tracereuse/tlr/internal/pipeline"
 	"github.com/tracereuse/tlr/internal/rtm"
-	"github.com/tracereuse/tlr/internal/trace"
 	"github.com/tracereuse/tlr/internal/workload"
 )
 
@@ -93,9 +118,12 @@ func ConstLatency(c float64) Latency { return core.ConstLatency(c) }
 // PropLatency returns a reuse latency of k cycles per input/output value.
 func PropLatency(k float64) Latency { return core.PropLatency(k) }
 
-// StudyConfig configures a reuse limit study over one program.
+// StudyConfig configures a reuse limit study over one program
+// (KindStudy).
 type StudyConfig struct {
-	// Budget is the number of dynamic instructions to measure.
+	// Budget is the number of dynamic instructions to measure.  Inside a
+	// Request it may be left zero, in which case the Request's
+	// Skip/Budget apply.
 	Budget uint64
 	// Skip is executed before measurement starts (the paper skipped the
 	// first 25 M instructions).
@@ -125,47 +153,24 @@ type StudyResult struct {
 }
 
 // MeasureReuse runs the paper's limit studies over prog's dynamic stream.
+//
+// Deprecated: use Run with a Study request, which adds caching,
+// coalescing and cancellation:
+//
+//	tlr.Run(ctx, tlr.Request{Prog: prog, Study: &cfg})
 func MeasureReuse(prog *Program, cfg StudyConfig) (StudyResult, error) {
-	if cfg.Budget == 0 {
-		return StudyResult{}, fmt.Errorf("tlr: StudyConfig.Budget must be positive")
-	}
-	if len(cfg.ILRLatencies) == 0 {
-		cfg.ILRLatencies = []float64{1}
-	}
-	if len(cfg.TLRVariants) == 0 {
-		cfg.TLRVariants = []Latency{ConstLatency(1)}
-	}
-	c := cpu.New(prog)
-	if cfg.Skip > 0 {
-		if _, err := c.Run(cfg.Skip, nil); err != nil {
-			return StudyResult{}, err
-		}
-	}
-	hist := core.NewHistory()
-	ilr := core.NewILRStudy(core.ILRConfig{Window: cfg.Window, Latencies: cfg.ILRLatencies})
-	tlrS := core.NewTLRStudy(core.TLRConfig{
-		Window:    cfg.Window,
-		Variants:  cfg.TLRVariants,
-		Strict:    cfg.Strict,
-		MaxRunLen: cfg.MaxRunLen,
-	})
-	if _, err := c.Run(cfg.Budget, func(e *trace.Exec) {
-		reusable := hist.Observe(e)
-		ilr.ConsumeClassified(e, reusable)
-		tlrS.ConsumeClassified(e, reusable)
-	}); err != nil {
+	res, err := Run(context.Background(), Request{Prog: prog, Study: &cfg})
+	if err != nil {
 		return StudyResult{}, err
 	}
-	ilr.Finish()
-	tlrS.Finish()
-	return StudyResult{ILR: ilr.Result(), TLR: tlrS.Result()}, nil
+	return *res.Study, nil
 }
 
 // RTM geometry and simulation types (paper §4.6).
 type (
 	// Geometry is the RTM shape: sets x PC-ways x traces/PC.
 	Geometry = rtm.Geometry
-	// RTMConfig configures a realistic RTM simulation.
+	// RTMConfig configures a realistic RTM simulation (KindRTM).
 	RTMConfig = rtm.Config
 	// RTMResult summarises one realistic RTM simulation.
 	RTMResult = rtm.Result
@@ -191,19 +196,22 @@ const (
 // SimulateRTM runs prog under a finite Reuse Trace Memory for up to
 // budget retired (executed + skipped) instructions, after skipping `skip`
 // instructions of warm-up.
+//
+// Deprecated: use Run with an RTM request:
+//
+//	tlr.Run(ctx, tlr.Request{Prog: prog, RTM: &cfg, Skip: skip, Budget: budget})
 func SimulateRTM(prog *Program, cfg RTMConfig, skip, budget uint64) (RTMResult, error) {
-	c := cpu.New(prog)
-	if skip > 0 {
-		if _, err := c.Run(skip, nil); err != nil {
-			return RTMResult{}, err
-		}
+	res, err := Run(context.Background(), Request{Prog: prog, RTM: &cfg, Skip: skip, Budget: budget})
+	if err != nil {
+		return RTMResult{}, err
 	}
-	return rtm.NewSim(cfg, c).Run(budget)
+	return *res.RTM, nil
 }
 
-// PipelineConfig parameterises the execution-driven processor model: a
-// superscalar front end with finite fetch bandwidth and window, with the
-// RTM consulted at every fetch (the paper's Figure 2).
+// PipelineConfig parameterises the execution-driven processor model
+// (KindPipeline): a superscalar front end with finite fetch bandwidth
+// and window, with the RTM consulted at every fetch (the paper's
+// Figure 2).
 type PipelineConfig = pipeline.Config
 
 // PipelineResult summarises one execution-driven run; IPC can exceed the
@@ -213,37 +221,39 @@ type PipelineResult = pipeline.Result
 // SimulatePipeline runs prog on the execution-driven pipeline model for
 // up to budget retired instructions after `skip` instructions of warm-up.
 // Set cfg.RTM to enable trace reuse; nil models the base machine.
+//
+// Deprecated: use Run with a Pipeline request:
+//
+//	tlr.Run(ctx, tlr.Request{Prog: prog, Pipeline: &cfg, Skip: skip, Budget: budget})
 func SimulatePipeline(prog *Program, cfg PipelineConfig, skip, budget uint64) (PipelineResult, error) {
-	c := cpu.New(prog)
-	if skip > 0 {
-		if _, err := c.Run(skip, nil); err != nil {
-			return PipelineResult{}, err
-		}
+	res, err := Run(context.Background(), Request{Prog: prog, Pipeline: &cfg, Skip: skip, Budget: budget})
+	if err != nil {
+		return PipelineResult{}, err
 	}
-	return pipeline.New(cfg, c).Run(budget)
+	return *res.Pipeline, nil
 }
 
-// VPResult reports a value-prediction limit study (see MeasureValuePrediction).
+// VPResult reports a value-prediction limit study (KindVP): predicted
+// outputs are available at window entry, validation still executes,
+// mispredictions are free (an optimistic bound).  It makes the paper's
+// §1 speculation-vs-reuse framing executable.
 type VPResult = core.VPResult
 
-// MeasureValuePrediction runs the last-value-prediction limit study the
-// repository uses to make the paper's §1 speculation-vs-reuse framing
-// executable: predicted outputs are available at window entry, validation
-// still executes, mispredictions are free (an optimistic bound).
+// MeasureValuePrediction runs the last-value-prediction limit study;
+// only cfg's Skip, Budget and Window are used.
+//
+// Deprecated: use Run with a VP request:
+//
+//	tlr.Run(ctx, tlr.Request{Prog: prog, VP: &tlr.VPConfig{Window: w}, Skip: skip, Budget: budget})
 func MeasureValuePrediction(prog *Program, cfg StudyConfig) (VPResult, error) {
-	if cfg.Budget == 0 {
-		return VPResult{}, fmt.Errorf("tlr: StudyConfig.Budget must be positive")
-	}
-	c := cpu.New(prog)
-	if cfg.Skip > 0 {
-		if _, err := c.Run(cfg.Skip, nil); err != nil {
-			return VPResult{}, err
-		}
-	}
-	s := core.NewVPStudy(core.VPConfig{Window: cfg.Window})
-	if _, err := c.Run(cfg.Budget, func(e *trace.Exec) { s.Consume(e) }); err != nil {
+	res, err := Run(context.Background(), Request{
+		Prog:   prog,
+		VP:     &VPConfig{Window: cfg.Window},
+		Skip:   cfg.Skip,
+		Budget: cfg.Budget,
+	})
+	if err != nil {
 		return VPResult{}, err
 	}
-	s.Finish()
-	return s.Result(), nil
+	return *res.VP, nil
 }
