@@ -82,13 +82,17 @@ type BatchResult struct {
 
 // BatchStats counts batch-service traffic.
 type BatchStats struct {
-	Submitted uint64 // requests accepted
-	Ran       uint64 // requests actually simulated
-	CacheHits uint64 // requests answered from the result cache
-	Coalesced uint64 // requests folded into an identical in-flight run
-	Errors    uint64 // requests that failed
-	Programs  int    // assembled programs currently cached
-	Results   int    // results currently cached
+	Submitted   uint64 // requests accepted
+	Ran         uint64 // requests actually simulated
+	CacheHits   uint64 // requests answered from the result cache
+	Coalesced   uint64 // requests folded into an identical in-flight run
+	Errors      uint64 // requests that failed
+	Programs    int    // assembled programs currently cached
+	Results     int    // results currently cached
+	Traces      int    // recorded traces currently stored
+	TraceBytes  int64  // encoded bytes of stored traces
+	TraceHits   uint64 // trace-store lookups that found the digest
+	TraceMisses uint64 // trace-store lookups for unknown digests
 }
 
 // BatchOptions sizes a Batcher.
@@ -97,6 +101,9 @@ type BatchOptions struct {
 	Workers int
 	// CacheSize is the result-cache capacity in requests (0 = 4096).
 	CacheSize int
+	// TraceStoreBytes bounds the digest-addressed trace store behind
+	// StoreTrace/TraceRef by total encoded bytes (0 = 64 MiB).
+	TraceStoreBytes int64
 }
 
 // Batcher owns a batch simulation service: a worker pool plus program
@@ -108,8 +115,9 @@ type Batcher struct {
 // NewBatcher starts a batch service.  Close releases its workers.
 func NewBatcher(opt BatchOptions) *Batcher {
 	return &Batcher{svc: service.New(service.Options{
-		Workers:     opt.Workers,
-		ResultCache: opt.CacheSize,
+		Workers:         opt.Workers,
+		ResultCache:     opt.CacheSize,
+		TraceCacheBytes: opt.TraceStoreBytes,
 	})}
 }
 
@@ -123,13 +131,17 @@ func (b *Batcher) Workers() int { return b.svc.Workers() }
 func (b *Batcher) Stats() BatchStats {
 	st := b.svc.Stats()
 	return BatchStats{
-		Submitted: st.Submitted,
-		Ran:       st.Ran,
-		CacheHits: st.CacheHits,
-		Coalesced: st.Coalesced,
-		Errors:    st.Errors,
-		Programs:  st.Programs,
-		Results:   st.Results,
+		Submitted:   st.Submitted,
+		Ran:         st.Ran,
+		CacheHits:   st.CacheHits,
+		Coalesced:   st.Coalesced,
+		Errors:      st.Errors,
+		Programs:    st.Programs,
+		Results:     st.Results,
+		Traces:      st.Traces,
+		TraceBytes:  st.TraceBytes,
+		TraceHits:   st.TraceHits,
+		TraceMisses: st.TraceMisses,
 	}
 }
 

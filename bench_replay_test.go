@@ -1,0 +1,57 @@
+package tlr_test
+
+// An external test package so the benchmark can share the grid
+// definition with cmd/tlrexp through internal/replaybench (which
+// imports tlr, so an in-package test would be an import cycle).
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"github.com/tracereuse/tlr"
+	"github.com/tracereuse/tlr/internal/replaybench"
+)
+
+var (
+	replayBenchOnce  sync.Once
+	replayBenchTrace *tlr.Trace
+	replayBenchErr   error
+)
+
+// BenchmarkReplayVsExecute compares the two ways to drive the deep-skip
+// 100k-instruction analysis grid (see internal/replaybench): live
+// execution, where every cell re-simulates skip+budget instructions,
+// versus replay of a single recording, where each cell seeks and
+// decodes only its measured window.  The recording is made once outside
+// the timers, mirroring the workflow it models; cmd/tlrexp -bench-out
+// exports the same comparison into BENCH_ci.json, where CI enforces
+// replay >= 2x.
+func BenchmarkReplayVsExecute(b *testing.B) {
+	ctx := context.Background()
+	b.Run("execute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			batcher := tlr.NewBatcher(tlr.BatchOptions{Workers: 1})
+			if _, err := batcher.RunBatch(ctx, replaybench.Grid(nil)); err != nil {
+				b.Fatal(err)
+			}
+			batcher.Close()
+		}
+	})
+	b.Run("replay", func(b *testing.B) {
+		replayBenchOnce.Do(func() {
+			replayBenchTrace, replayBenchErr = tlr.Record(ctx, replaybench.RecordSpec())
+		})
+		if replayBenchErr != nil {
+			b.Fatal(replayBenchErr)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			batcher := tlr.NewBatcher(tlr.BatchOptions{Workers: 1})
+			if _, err := batcher.RunBatch(ctx, replaybench.Grid(replayBenchTrace)); err != nil {
+				b.Fatal(err)
+			}
+			batcher.Close()
+		}
+	})
+}

@@ -30,6 +30,7 @@ import (
 
 	"github.com/tracereuse/tlr"
 	"github.com/tracereuse/tlr/internal/expt"
+	"github.com/tracereuse/tlr/internal/replaybench"
 )
 
 func main() {
@@ -113,7 +114,9 @@ func main() {
 
 // sweepBench is the JSON schema of -bench-out (the BENCH_ci.json CI
 // artifact): wall times for the Figure-9 RTM sweep run sequentially,
-// in parallel, and warm from the result cache.
+// in parallel, and warm from the result cache, plus the record/replay
+// comparison (BenchmarkReplayVsExecute's grid): the deep-skip analysis
+// grid driven by live execution versus by replaying one recording.
 type sweepBench struct {
 	GOMAXPROCS      int     `json:"gomaxprocs"`
 	Cells           int     `json:"cells"`
@@ -125,6 +128,14 @@ type sweepBench struct {
 	Speedup         float64 `json:"speedup"`
 	WarmSpeedup     float64 `json:"warmSpeedup"`
 	ParallelWorkers int     `json:"parallelWorkers"`
+
+	ReplayCells   int     `json:"replayCells"`
+	ReplaySkip    uint64  `json:"replaySkip"`
+	ReplayBudget  uint64  `json:"replayBudget"`
+	RecordSecs    float64 `json:"recordSeconds"`
+	ExecuteSecs   float64 `json:"executeSeconds"`
+	ReplaySecs    float64 `json:"replaySeconds"`
+	ReplaySpeedup float64 `json:"replaySpeedup"`
 }
 
 // rtmSweepRequests builds the Figure-9 grid (collection heuristic x RTM
@@ -227,6 +238,9 @@ func runSweepBench(cfg expt.Config, path string) error {
 		WarmSpeedup:     seq.Seconds() / warm.Seconds(),
 		ParallelWorkers: parB.Workers(),
 	}
+	if err := runReplayBench(ctx, &b); err != nil {
+		return err
+	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(b); err != nil {
@@ -236,5 +250,57 @@ func runSweepBench(cfg expt.Config, path string) error {
 	fmt.Printf("Figure-9 sweep: %d cells, budget %d\n", b.Cells, b.RTMBudget)
 	fmt.Printf("  sequential %.2fs, parallel %.2fs on %d workers (%.1fx), warm %.3fs (%.0fx)\n",
 		b.SequentialSecs, b.ParallelSecs, b.ParallelWorkers, b.Speedup, b.WarmSecs, b.WarmSpeedup)
+	fmt.Printf("record/replay grid: %d cells, skip %d, budget %d\n", b.ReplayCells, b.ReplaySkip, b.ReplayBudget)
+	fmt.Printf("  execute %.2fs, record-once %.2fs, replay %.2fs (%.1fx)\n",
+		b.ExecuteSecs, b.RecordSecs, b.ReplaySecs, b.ReplaySpeedup)
+	return nil
+}
+
+// runReplayBench times the deep-skip grid (internal/replaybench, the
+// same grid BenchmarkReplayVsExecute runs) executed live versus
+// replayed from one recording, verifies the two agree cell for cell
+// (replay equivalence, enforced on every CI run), and fills the replay
+// fields of the summary.
+func runReplayBench(ctx context.Context, b *sweepBench) error {
+	t0 := time.Now()
+	rec, err := tlr.Record(ctx, replaybench.RecordSpec())
+	if err != nil {
+		return err
+	}
+	record := time.Since(t0)
+
+	execB := tlr.NewBatcher(tlr.BatchOptions{Workers: 1})
+	defer execB.Close()
+	t1 := time.Now()
+	execRes, err := execB.RunBatch(ctx, replaybench.Grid(nil))
+	if err != nil {
+		return err
+	}
+	exec := time.Since(t1)
+
+	replayB := tlr.NewBatcher(tlr.BatchOptions{Workers: 1})
+	defer replayB.Close()
+	t2 := time.Now()
+	replayRes, err := replayB.RunBatch(ctx, replaybench.Grid(rec))
+	if err != nil {
+		return err
+	}
+	replay := time.Since(t2)
+
+	for i := range execRes {
+		exe := []any{execRes[i].Study, execRes[i].RTM, execRes[i].VP}
+		rep := []any{replayRes[i].Study, replayRes[i].RTM, replayRes[i].VP}
+		if !reflect.DeepEqual(exe, rep) {
+			return fmt.Errorf("replayed grid cell %d diverged from live execution", i)
+		}
+	}
+
+	b.ReplayCells = len(execRes)
+	b.ReplaySkip = replaybench.Skip
+	b.ReplayBudget = replaybench.Budget
+	b.RecordSecs = record.Seconds()
+	b.ExecuteSecs = exec.Seconds()
+	b.ReplaySecs = replay.Seconds()
+	b.ReplaySpeedup = exec.Seconds() / replay.Seconds()
 	return nil
 }

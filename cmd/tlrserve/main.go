@@ -1,19 +1,22 @@
 // Command tlrserve serves the simulation API over HTTP/JSON: the public
 // tlr Request/Run facade (worker pool, result cache, in-flight
-// coalescing) behind POST /v1/run and POST /v1/batch, and a shared
-// concurrent (sharded) Reuse Trace Memory behind /v1/rtm for
-// trace-reuse-as-a-service experiments.
+// coalescing) behind POST /v1/run and POST /v1/batch, a digest-addressed
+// trace store behind /v1/traces for record-once/sweep-many workflows,
+// and a shared concurrent (sharded) Reuse Trace Memory behind /v1/rtm
+// for trace-reuse-as-a-service experiments.
 //
 // Usage:
 //
-//	tlrserve [-addr :8321] [-workers N] [-cache N] [-rtm-sets 128] [-rtm-ways 4] [-rtm-traces 8]
+//	tlrserve [-addr :8321] [-workers N] [-cache N] [-trace-store-mb 64] [-max-trace-mb 64]
+//	         [-rtm-sets 128] [-rtm-ways 4] [-rtm-traces 8]
 //
 // # Run API
 //
-// POST /v1/run accepts one request in the tlr wire format — a program
-// (a built-in "workload" or assembly "source") plus exactly one
-// configuration naming the simulation kind ("study", "rtm", "pipeline"
-// or "vp") — and answers with one result:
+// POST /v1/run accepts one request in the tlr wire format — an
+// instruction-stream input (a built-in "workload", assembly "source",
+// or a recorded "trace" reference) plus exactly one configuration
+// naming the simulation kind ("study", "rtm", "pipeline" or "vp") —
+// and answers with one result:
 //
 //	{"workload": "gcc", "rtm": {"geometry": {"sets": 128, "pcWays": 4,
 //	 "tracesPerPC": 8}, "heuristic": "ILR EXP"},
@@ -31,6 +34,22 @@
 // within a batch or across batches — are simulated once and answered
 // from cache, and closing the connection cancels the batch, stopping
 // in-flight simulations at their next cancellation check.
+//
+// # Trace store
+//
+// POST /v1/traces uploads a recorded trace file (the body is the raw
+// file, either container version; see cmd/tlrtrace record) into the
+// server's LRU-bounded store and answers {"digest", "records",
+// "bytes"}.  Run and batch requests then reference it by content
+// digest without re-uploading:
+//
+//	{"trace": {"digest": "sha256:…"}, "study": {"budget": 100000,
+//	 "window": 256}}
+//
+// Trace-driven kinds (study, rtm, vp) replay the stored stream instead
+// of simulating a program — upload once, sweep the whole configuration
+// grid.  Pipeline requests are execution-driven and reject trace
+// inputs.  GET /v1/traces lists the stored digests.
 //
 // # Shared RTM
 //
@@ -62,6 +81,8 @@ func main() {
 	addr := flag.String("addr", ":8321", "listen address")
 	workers := flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
 	cache := flag.Int("cache", 0, "result cache capacity in jobs (0 = default)")
+	traceStoreMB := flag.Int64("trace-store-mb", 0, "trace store capacity in MiB (0 = default 64)")
+	maxTraceMB := flag.Int64("max-trace-mb", 0, "largest accepted trace upload in MiB (0 = default 64)")
 	rtmSets := flag.Int("rtm-sets", 128, "shared RTM sets (power of two)")
 	rtmWays := flag.Int("rtm-ways", 4, "shared RTM PC ways per set")
 	rtmTraces := flag.Int("rtm-traces", 8, "shared RTM traces per PC")
@@ -76,23 +97,29 @@ func main() {
 		log.Fatalf("tlrserve: -rtm-ways and -rtm-traces must be >= 1, got %d and %d",
 			geom.PCWays, geom.TracesPerPC)
 	}
-	srv := newServer(tlr.BatchOptions{Workers: *workers, CacheSize: *cache}, geom, *rtmShards)
+	opt := tlr.BatchOptions{Workers: *workers, CacheSize: *cache, TraceStoreBytes: *traceStoreMB << 20}
+	srv := newServer(opt, geom, *rtmShards)
+	if *maxTraceMB > 0 {
+		srv.maxTraceBytes = *maxTraceMB << 20
+	}
 	log.Printf("tlrserve: listening on %s (shared RTM %v, %d stripes)",
 		*addr, geom, srv.shared.Shards())
 	log.Fatal(http.ListenAndServe(*addr, srv.mux()))
 }
 
 type server struct {
-	batcher *tlr.Batcher
-	shared  *rtm.Sharded
-	hist    *core.ShardedTraceHistory
+	batcher       *tlr.Batcher
+	shared        *rtm.Sharded
+	hist          *core.ShardedTraceHistory
+	maxTraceBytes int64
 }
 
 func newServer(opt tlr.BatchOptions, geom rtm.Geometry, shards int) *server {
 	return &server{
-		batcher: tlr.NewBatcher(opt),
-		shared:  rtm.NewSharded(geom, 1, shards),
-		hist:    core.NewShardedTraceHistory(0),
+		batcher:       tlr.NewBatcher(opt),
+		shared:        rtm.NewSharded(geom, 1, shards),
+		hist:          core.NewShardedTraceHistory(0),
+		maxTraceBytes: 64 << 20,
 	}
 }
 
@@ -103,19 +130,69 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
+	mux.HandleFunc("GET /v1/traces", s.handleTraceList)
 	mux.HandleFunc("POST /v1/rtm/insert", s.handleRTMInsert)
 	mux.HandleFunc("POST /v1/rtm/lookup", s.handleRTMLookup)
 	return mux
 }
 
+// --- trace store API ---
+
+// handleTraceUpload parses an uploaded trace file (untrusted input: the
+// decoder is fuzzed, size-capped, and validates the embedded digest)
+// and stores it under its content digest for later digest-referenced
+// runs.
+func (s *server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.maxTraceBytes)
+	t, err := tlr.ReadTrace(body)
+	if err != nil {
+		http.Error(w, "bad trace: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	digest, err := s.batcher.StoreTrace(t)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"digest":  digest,
+		"records": t.Records(),
+		"bytes":   t.Size(),
+	})
+}
+
+func (s *server) handleTraceList(w http.ResponseWriter, _ *http.Request) {
+	infos := s.batcher.Traces()
+	type traceInfo struct {
+		Digest  string `json:"digest"`
+		Records uint64 `json:"records"`
+		Bytes   int    `json:"bytes"`
+	}
+	out := make([]traceInfo, len(infos))
+	for i, t := range infos {
+		out[i] = traceInfo{Digest: t.Digest, Records: t.Records, Bytes: t.Bytes}
+	}
+	writeJSON(w, map[string]any{"traces": out})
+}
+
 // --- run and batch APIs ---
+
+// maxRequestBytes bounds run/batch request bodies.  A request may carry
+// a base64-inlined trace (~4/3 the trace's size), so the bound scales
+// with the trace cap plus headroom for the rest of the payload; batches
+// inlining several large traces should upload them to /v1/traces and
+// reference digests instead.
+func (s *server) maxRequestBytes() int64 {
+	return 2*s.maxTraceBytes + 8<<20
+}
 
 // handleRun executes one request of any kind through the public facade.
 // Malformed requests are a 400; a simulation failure is a 200 whose
 // result carries the error, mirroring the library's Run contract.
 func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var req tlr.Request
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxRequestBytes())).Decode(&req); err != nil {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -132,7 +209,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Jobs []tlr.Request `json:"jobs"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxRequestBytes())).Decode(&req); err != nil {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -296,8 +373,10 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.batcher.Stats()
 	writeJSON(w, map[string]any{
-		"service":        s.batcher.Stats(),
+		"service":        st,
+		"traceStore":     map[string]any{"traces": st.Traces, "bytes": st.TraceBytes, "hits": st.TraceHits, "misses": st.TraceMisses},
 		"rtm":            s.shared.Stats(),
 		"rtmStored":      s.shared.Stored(),
 		"rtmShards":      s.shared.Shards(),

@@ -3,9 +3,11 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -193,5 +195,107 @@ func TestStatsAndWorkloads(t *testing.T) {
 	}
 	if len(wl.Workloads) != 14 {
 		t.Errorf("workloads = %d, want 14", len(wl.Workloads))
+	}
+}
+
+// TestTraceUploadAndDigestRun is the record -> upload -> digest-sweep
+// workflow end to end: a trace recorded from a workload is uploaded
+// once, referenced by digest for a study run, and the answer must be
+// cache-shared with (and identical to) the same request naming the
+// workload — including a trace-driven RTM replay.
+func TestTraceUploadAndDigestRun(t *testing.T) {
+	ts := testServer(t)
+
+	rec, err := tlr.Record(context.Background(), tlr.RecordSpec{Workload: "li", Budget: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := rec.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/traces", "application/octet-stream", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload status %d", resp.StatusCode)
+	}
+	var up struct {
+		Digest  string `json:"digest"`
+		Records uint64 `json:"records"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&up); err != nil {
+		t.Fatal(err)
+	}
+	if up.Digest != rec.Digest() || up.Records != rec.Records() {
+		t.Fatalf("upload answered %+v, want %s/%d", up, rec.Digest(), rec.Records())
+	}
+
+	// GET /v1/traces lists it.
+	lresp, err := http.Get(ts.URL + "/v1/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lresp.Body.Close()
+	var listing struct {
+		Traces []struct {
+			Digest string `json:"digest"`
+		} `json:"traces"`
+	}
+	if err := json.NewDecoder(lresp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Traces) != 1 || listing.Traces[0].Digest != up.Digest {
+		t.Fatalf("listing %+v", listing)
+	}
+
+	decode := func(resp *http.Response) tlr.Result {
+		t.Helper()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		var r tlr.Result
+		if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+			t.Fatal(err)
+		}
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		return r
+	}
+
+	study := `"study": {"budget": 10000, "window": 256}`
+	byTrace := decode(post(t, ts, "/v1/run", `{"trace": {"digest": "`+up.Digest+`"}, `+study+`}`))
+	byName := decode(post(t, ts, "/v1/run", `{"workload": "li", `+study+`}`))
+	if !reflect.DeepEqual(byTrace.Study, byName.Study) {
+		t.Errorf("digest-referenced study differs from workload-backed:\n%+v\n%+v", byTrace.Study, byName.Study)
+	}
+
+	// Trace-driven RTM replay through the same store.
+	rtmBody := `"rtm": {"geometry": {"sets": 64, "pcWays": 4, "tracesPerPC": 4}, "heuristic": "IEXP", "n": 4}, "budget": 10000`
+	rtmByTrace := decode(post(t, ts, "/v1/run", `{"trace": {"digest": "`+up.Digest+`"}, `+rtmBody+`}`))
+	rtmByName := decode(post(t, ts, "/v1/run", `{"workload": "li", `+rtmBody+`}`))
+	if !reflect.DeepEqual(rtmByTrace.RTM, rtmByName.RTM) {
+		t.Errorf("digest-referenced rtm differs from workload-backed:\n%+v\n%+v", rtmByTrace.RTM, rtmByName.RTM)
+	}
+
+	// Unknown digests and pipeline-with-trace are 400s.
+	if resp := post(t, ts, "/v1/run", `{"trace": {"digest": "sha256:nope"}, `+study+`}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown digest: status %d", resp.StatusCode)
+	}
+	if resp := post(t, ts, "/v1/run", `{"trace": {"digest": "`+up.Digest+`"}, "pipeline": {}, "budget": 1000}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("pipeline+trace: status %d", resp.StatusCode)
+	}
+
+	// Garbage uploads are rejected by the hardened parser.
+	gresp, err := http.Post(ts.URL+"/v1/traces", "application/octet-stream", strings.NewReader("NOTATRACE"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gresp.Body.Close()
+	if gresp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage upload: status %d", gresp.StatusCode)
 	}
 }

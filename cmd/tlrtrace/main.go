@@ -1,26 +1,37 @@
-// Command tlrtrace records, inspects and analyses dynamic instruction
-// trace files (the repository's ATOM-equivalent toolflow).
+// Command tlrtrace records, inspects, analyses and uploads dynamic
+// instruction trace files (the repository's ATOM-equivalent toolflow).
+// It is a thin client of the public tlr trace-source API: record wraps
+// tlr.Record, analyze replays the file through tlr.Run requests, and
+// push uploads it to a tlrserve trace store for digest-referenced
+// sweeps.
 //
 // Usage:
 //
 //	tlrtrace record -w compress -n 200000 -o compress.trc
-//	tlrtrace record -f prog.s -n 100000 -o prog.trc
+//	tlrtrace record -f prog.s -n 100000 -skip 1000 -o prog.trc
 //	tlrtrace dump -n 20 compress.trc
 //	tlrtrace stats compress.trc
+//	tlrtrace digest compress.trc
 //	tlrtrace analyze -window 256 compress.trc
+//	tlrtrace push -server http://localhost:8321 compress.trc
 //
-// `analyze` runs the reuse limit studies directly from the file — no
-// re-simulation — demonstrating that every engine is stream-agnostic.
+// `analyze` runs the trace-driven request kinds (study + value
+// prediction) directly from the file — no re-simulation.  `push` prints
+// the content digest the server will answer to, so a follow-up run is
+// one POST away:
+//
+//	{"trace": {"digest": "sha256:…"}, "study": {"budget": 100000}}
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 
 	"github.com/tracereuse/tlr"
-	"github.com/tracereuse/tlr/internal/core"
-	"github.com/tracereuse/tlr/internal/cpu"
 	"github.com/tracereuse/tlr/internal/isa"
 	"github.com/tracereuse/tlr/internal/trace"
 	"github.com/tracereuse/tlr/internal/tracefile"
@@ -28,7 +39,7 @@ import (
 
 func main() {
 	if len(os.Args) < 2 {
-		fail(fmt.Errorf("usage: tlrtrace record|dump|stats|analyze ..."))
+		fail(fmt.Errorf("usage: tlrtrace record|dump|stats|digest|analyze|push ..."))
 	}
 	cmd, args := os.Args[1], os.Args[2:]
 	switch cmd {
@@ -38,8 +49,12 @@ func main() {
 		dump(args)
 	case "stats":
 		statsCmd(args)
+	case "digest":
+		digestCmd(args)
 	case "analyze":
 		analyze(args)
+	case "push":
+		push(args)
 	default:
 		fail(fmt.Errorf("unknown subcommand %q", cmd))
 	}
@@ -57,65 +72,28 @@ func record(args []string) {
 		fail(fmt.Errorf("record: -o required"))
 	}
 
-	var prog *isa.Program
-	switch {
-	case *wname != "":
-		w, ok := tlr.WorkloadByName(*wname)
-		if !ok {
-			fail(fmt.Errorf("unknown workload %q", *wname))
-		}
-		p, err := w.Program()
-		if err != nil {
-			fail(err)
-		}
-		prog = p
-	case *file != "":
+	spec := tlr.RecordSpec{Workload: *wname, Skip: *skip, Budget: *n}
+	if *file != "" {
 		src, err := os.ReadFile(*file)
 		if err != nil {
 			fail(err)
 		}
-		p, err := tlr.AssembleNamed(*file, string(src))
-		if err != nil {
-			fail(err)
-		}
-		prog = p
-	default:
-		fail(fmt.Errorf("record: need -w or -f"))
+		spec.Source = string(src)
+	}
+	if (spec.Workload == "") == (spec.Source == "") {
+		fail(fmt.Errorf("record: need exactly one of -w or -f"))
 	}
 
-	f, err := os.Create(*out)
+	t, err := tlr.Record(context.Background(), spec)
 	if err != nil {
 		fail(err)
 	}
-	defer f.Close()
-	tw, err := tracefile.NewWriter(f)
-	if err != nil {
+	if err := t.Save(*out); err != nil {
 		fail(err)
 	}
-	c := cpu.New(prog)
-	if *skip > 0 {
-		if _, err := c.Run(*skip, nil); err != nil {
-			fail(err)
-		}
-	}
-	var werr error
-	ran, err := c.Run(*n, func(e *trace.Exec) {
-		if werr == nil {
-			werr = tw.Write(e)
-		}
-	})
-	if err != nil {
-		fail(err)
-	}
-	if werr != nil {
-		fail(werr)
-	}
-	if err := tw.Flush(); err != nil {
-		fail(err)
-	}
-	info, _ := f.Stat()
 	fmt.Printf("recorded %d instructions to %s (%d bytes, %.1f B/instr)\n",
-		ran, *out, info.Size(), float64(info.Size())/float64(ran))
+		t.Records(), *out, t.Size(), float64(t.Size())/float64(max(t.Records(), 1)))
+	fmt.Printf("digest %s\n", t.Digest())
 }
 
 func openTrace(path string) *tracefile.Reader {
@@ -198,6 +176,19 @@ func statsCmd(args []string) {
 		pct(memReads), pct(memWrites), pct(branches), 100*float64(taken)/float64(max(branches, 1)), sideEff)
 }
 
+func digestCmd(args []string) {
+	fs := flag.NewFlagSet("digest", flag.ExitOnError)
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		fail(fmt.Errorf("digest: need a trace file"))
+	}
+	t, err := tlr.OpenTrace(fs.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(t.Digest())
+}
+
 func analyze(args []string) {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	window := fs.Int("window", 256, "instruction window (0 = infinite)")
@@ -205,31 +196,56 @@ func analyze(args []string) {
 	if fs.NArg() != 1 {
 		fail(fmt.Errorf("analyze: need a trace file"))
 	}
-	r := openTrace(fs.Arg(0))
-
-	hist := core.NewHistory()
-	ilr := core.NewILRStudy(core.ILRConfig{Window: *window, Latencies: []float64{1}})
-	tlrS := core.NewTLRStudy(core.TLRConfig{Window: *window, Variants: []core.Latency{core.ConstLatency(1)}})
-	vp := core.NewVPStudy(core.VPConfig{Window: *window})
-	if err := r.ForEach(func(e *trace.Exec) bool {
-		reusable := hist.Observe(e)
-		ilr.ConsumeClassified(e, reusable)
-		tlrS.ConsumeClassified(e, reusable)
-		vp.Consume(e)
-		return true
-	}); err != nil {
+	t, err := tlr.OpenTrace(fs.Arg(0))
+	if err != nil {
 		fail(err)
 	}
-	ilr.Finish()
-	tlrS.Finish()
-	vp.Finish()
-	ri, rt, rv := ilr.Result(), tlrS.Result(), vp.Result()
+	budget := t.Records()
+	if budget == 0 {
+		fail(fmt.Errorf("analyze: empty trace"))
+	}
+
+	// Both trace-driven analyses replay the same loaded source; the
+	// batch shares it without re-reading the file.
+	res, err := tlr.RunBatch(context.Background(), []tlr.Request{
+		{ID: "study", Trace: t, Study: &tlr.StudyConfig{Budget: budget, Window: *window}},
+		{ID: "vp", Trace: t, VP: &tlr.VPConfig{Window: *window}, Budget: budget},
+	})
+	if err != nil {
+		fail(err)
+	}
+	ri, rt, rv := res[0].Study.ILR, res[0].Study.TLR, *res[1].VP
 	fmt.Printf("%d instructions from file, window=%d\n", ri.Instructions, *window)
+	fmt.Printf("  digest            %s\n", t.Digest())
 	fmt.Printf("  reusability       %6.1f%%   predictability %6.1f%%\n",
 		100*ri.Reusability(), 100*rv.PredictedFraction())
 	fmt.Printf("  ILR speed-up      %6.2f\n", ri.Speedups[0])
 	fmt.Printf("  TLR speed-up      %6.2f   (avg trace %.1f instr)\n", rt.Speedups[0], rt.Stats.AvgLen())
 	fmt.Printf("  VP  speed-up      %6.2f   (last-value limit)\n", rv.Speedup)
+}
+
+func push(args []string) {
+	fs := flag.NewFlagSet("push", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8321", "tlrserve base URL")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		fail(fmt.Errorf("push: need a trace file"))
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	resp, err := http.Post(*server+"/v1/traces", "application/octet-stream", f)
+	if err != nil {
+		fail(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		fail(fmt.Errorf("push: %s: %s", resp.Status, body))
+	}
+	fmt.Print(string(body))
 }
 
 func fail(err error) {

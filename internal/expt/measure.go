@@ -258,7 +258,7 @@ func MeasureRTMWith(svc *service.Service, cfg Config) ([]RTMCell, error) {
 				}
 				jobs = append(jobs, service.RTMJob(
 					fmt.Sprintf("%s/%s/%v", w.Name, h.Label, g),
-					w.Name, prog, service.RTMParams{
+					service.ProgSource(w.Name, prog), service.RTMParams{
 						Config: rtm.Config{Geometry: g, Heuristic: h.Heuristic, N: h.N},
 						Skip:   cfg.Skip,
 						Budget: cfg.RTMBudget,

@@ -1,0 +1,230 @@
+package rtm
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"github.com/tracereuse/tlr/internal/cpu"
+	"github.com/tracereuse/tlr/internal/isa"
+	"github.com/tracereuse/tlr/internal/trace"
+)
+
+// Trace-driven RTM simulation: the same reuse test, collection
+// heuristics and bookkeeping as Sim, but driven by a recorded dynamic
+// instruction stream instead of a live CPU.  The recorded stream plays
+// the role of the program's execution; a shadow architectural state,
+// reconstructed incrementally from the records' operand values, answers
+// the reuse test's ReadLoc probes.
+//
+// Replay is exactly equivalent to Sim on the program that produced the
+// stream: every location the reuse test can probe is a live-in of some
+// stored entry, every stored entry was collected from observed records,
+// and observing a record teaches the shadow state the current value of
+// each location it touches — so every probe sees the value the live
+// CPU would hold.  Reused segments are skipped in the stream just as
+// the live simulator skips executing them, with the entry's net outputs
+// applied to the shadow state the way applyEntry writes the CPU.
+
+// ReplayStream is a positioned, skippable recorded stream
+// (tracefile.Cursor implements it).
+type ReplayStream interface {
+	// Next decodes the next record, returning io.EOF at the end of the
+	// stream.
+	Next(e *trace.Exec) error
+	// Skip advances past up to n records, returning how many were
+	// actually skipped (fewer only at the end of the stream).
+	Skip(n uint64) (uint64, error)
+}
+
+// Replay couples a recorded stream with an RTM, mirroring Sim: at every
+// record boundary it runs the reuse test, skips reused traces in the
+// stream, and feeds observed records to the trace-collection heuristic.
+type Replay struct {
+	cfg   Config
+	src   ReplayStream
+	rtm   *RTM
+	col   collector
+	state replayState
+
+	peek   trace.Exec
+	peeked bool
+
+	executed uint64
+	skipped  uint64
+	hits     uint64
+}
+
+// NewReplay builds a replay simulation over a recorded stream.  The
+// stream must be positioned at the point measurement should start (skip
+// any warm-up records before constructing the Replay).
+func NewReplay(cfg Config, src ReplayStream) *Replay {
+	m := New(cfg.Geometry, cfg.MinLen)
+	if cfg.InvalidateOnWrite {
+		m.EnableInvalidation()
+	}
+	return &Replay{cfg: cfg, src: src, rtm: m, col: newCollector(cfg, m), state: newReplayState()}
+}
+
+// RTM returns the trace memory.
+func (p *Replay) RTM() *RTM { return p.rtm }
+
+// Run retires up to budget instructions (executed + skipped), stopping
+// early at the end of the stream.
+func (p *Replay) Run(budget uint64) (Result, error) {
+	return p.RunContext(context.Background(), budget)
+}
+
+// RunContext is Run with cooperative cancellation, mirroring
+// Sim.RunContext record for record.
+func (p *Replay) RunContext(ctx context.Context, budget uint64) (Result, error) {
+	if p.cfg.Verify {
+		// Verify re-executes reused traces on a cloned CPU; there is no
+		// CPU here.  Replay's equivalence oracle is the replay-vs-execute
+		// test suite instead.
+		return Result{}, fmt.Errorf("rtm: Config.Verify needs live execution and cannot run from a recorded trace")
+	}
+	var iter uint64
+	for p.executed+p.skipped < budget {
+		if iter%cpu.CancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return p.result(), err
+			}
+		}
+		iter++
+		if !p.peeked {
+			switch err := p.src.Next(&p.peek); err {
+			case nil:
+				p.peeked = true
+			case io.EOF:
+				// End of the recorded stream: the live machine would have
+				// halted here (or the recording ends; there is nothing
+				// left to analyse either way).
+				p.col.finish()
+				return p.result(), nil
+			default:
+				return p.result(), err
+			}
+		}
+		if entry := p.rtm.Lookup(p.peek.PC, &p.state); entry != nil {
+			// Reuse: consume the trace's records from the stream — the
+			// peeked record plus Len-1 more — without executing them,
+			// exactly as the live simulator skips them.  A short skip
+			// means the stream ended inside the reused trace; the reuse
+			// itself is unaffected (its effects come from the entry, not
+			// the stream), and the next iteration observes the end.
+			p.peeked = false
+			if entry.Sum.Len > 1 {
+				if _, err := p.src.Skip(uint64(entry.Sum.Len - 1)); err != nil {
+					return p.result(), err
+				}
+			}
+			for _, r := range entry.Sum.Outs {
+				p.state.write(r.Loc, r.Val)
+			}
+			p.skipped += uint64(entry.Sum.Len)
+			p.hits++
+			p.col.reuseHit(entry)
+			// Valid-bit mode: the reused trace's writes invalidate, after
+			// the collector has stored any trace that ended before this
+			// reuse (mirrors Sim).
+			for _, r := range entry.Sum.Outs {
+				p.rtm.NotifyWrite(r.Loc)
+			}
+			continue
+		}
+		e := &p.peek
+		p.peeked = false
+		p.executed++
+		p.col.observe(e)
+		p.state.observe(e)
+		for _, r := range e.Outputs() {
+			p.rtm.NotifyWrite(r.Loc)
+		}
+	}
+	p.col.finish()
+	return p.result(), nil
+}
+
+func (p *Replay) result() Result {
+	return Result{
+		Executed: p.executed,
+		Skipped:  p.skipped,
+		Hits:     p.hits,
+		RTM:      p.rtm.Stats(),
+		Stored:   p.rtm.Stored(),
+		IRBRate:  p.col.irbRate(),
+		Top:      p.rtm.TopTraces(10),
+	}
+}
+
+// replayState is the shadow architectural state: registers in flat
+// arrays, memory in a map, plus an overflow map for locations a
+// malformed (e.g. hand-crafted) stream may name outside the register
+// file.  Locations never yet observed read as zero; the reuse test
+// never probes such a location on a well-formed stream (see the package
+// comment above).
+type replayState struct {
+	r    [isa.NumRegs]uint64
+	f    [isa.NumRegs]uint64
+	m    map[uint64]uint64
+	over map[trace.Loc]uint64
+}
+
+func newReplayState() replayState {
+	return replayState{m: make(map[uint64]uint64)}
+}
+
+// ReadLoc answers the reuse test's state probes (rtm.State).
+func (s *replayState) ReadLoc(l trace.Loc) uint64 {
+	idx := l.Index()
+	switch l.Kind() {
+	case trace.KindIntReg:
+		if idx < isa.NumRegs {
+			return s.r[idx]
+		}
+	case trace.KindFPReg:
+		if idx < isa.NumRegs {
+			return s.f[idx]
+		}
+	case trace.KindMem:
+		return s.m[idx]
+	}
+	return s.over[l]
+}
+
+func (s *replayState) write(l trace.Loc, v uint64) {
+	idx := l.Index()
+	switch l.Kind() {
+	case trace.KindIntReg:
+		if idx < isa.NumRegs {
+			s.r[idx] = v
+			return
+		}
+	case trace.KindFPReg:
+		if idx < isa.NumRegs {
+			s.f[idx] = v
+			return
+		}
+	case trace.KindMem:
+		s.m[idx] = v
+		return
+	}
+	if s.over == nil {
+		s.over = make(map[trace.Loc]uint64)
+	}
+	s.over[l] = v
+}
+
+// observe applies one executed record: inputs teach the shadow state
+// values read from so-far-unseen locations, then outputs overwrite
+// (reads precede writes within an instruction, so this order finishes
+// on the post-instruction value even when a location is both).
+func (s *replayState) observe(e *trace.Exec) {
+	for _, r := range e.Inputs() {
+		s.write(r.Loc, r.Val)
+	}
+	for _, r := range e.Outputs() {
+		s.write(r.Loc, r.Val)
+	}
+}

@@ -117,23 +117,27 @@ func NewSim(cfg Config, c *cpu.CPU) *Sim {
 	if cfg.InvalidateOnWrite {
 		m.EnableInvalidation()
 	}
-	s := &Sim{cfg: cfg, cpu: c, rtm: m}
+	return &Sim{cfg: cfg, cpu: c, rtm: m, col: newCollector(cfg, m)}
+}
+
+// newCollector builds the configured trace-collection heuristic over m;
+// Sim and Replay share it, so both drive modes collect identically.
+func newCollector(cfg Config, m *RTM) collector {
 	caps := cfg.caps()
 	switch cfg.Heuristic {
 	case ILRNE:
-		s.col = &ilrCollector{rtm: m, irb: NewIRB(cfg.Geometry), caps: caps, expand: false}
+		return &ilrCollector{rtm: m, irb: NewIRB(cfg.Geometry), caps: caps, expand: false}
 	case ILREXP:
-		s.col = &ilrCollector{rtm: m, irb: NewIRB(cfg.Geometry), caps: caps, expand: true}
+		return &ilrCollector{rtm: m, irb: NewIRB(cfg.Geometry), caps: caps, expand: true}
 	case IEXP:
 		n := cfg.N
 		if n < 1 {
 			n = 1
 		}
-		s.col = &fixedCollector{rtm: m, caps: caps, n: n}
+		return &fixedCollector{rtm: m, caps: caps, n: n}
 	default:
 		panic(fmt.Sprintf("rtm: unknown heuristic %d", cfg.Heuristic))
 	}
-	return s
 }
 
 // CPU returns the simulated machine.

@@ -12,6 +12,7 @@ import (
 	"github.com/tracereuse/tlr/internal/pipeline"
 	"github.com/tracereuse/tlr/internal/rtm"
 	"github.com/tracereuse/tlr/internal/trace"
+	"github.com/tracereuse/tlr/internal/tracefile"
 )
 
 // Typed job builders for the four simulation kinds every sweep is made
@@ -20,6 +21,94 @@ import (
 // limit studies.  All four produce plain value results, which is what
 // makes them cacheable, and all four poll their context so a cancelled
 // batch stops simulating promptly.
+//
+// Jobs consume dynamic instruction streams, not programs: a Source
+// provides the stream either by executing a program on the functional
+// simulator or by replaying a recorded trace.  The trace-driven kinds
+// (study, rtm, vp) accept both; the pipeline kind models fetch and
+// execution itself and therefore requires a program.
+
+// Source provides a job's dynamic instruction stream: exactly one of an
+// executable program or a recorded trace, plus the cache identity of
+// the stream it denotes.
+type Source struct {
+	// Key identifies the stream for result caching ("" disables
+	// caching).  It must be collision-resistant across callers: a
+	// workload name, a program Fingerprint, or a trace digest.
+	Key string
+
+	prog *isa.Program
+	tr   *tracefile.Trace
+	base uint64
+}
+
+// ProgSource is a stream produced by executing prog.
+func ProgSource(key string, prog *isa.Program) Source {
+	return Source{Key: key, prog: prog}
+}
+
+// TraceSource is a stream replayed from a recorded trace.  base is how
+// many leading records of the keyed stream identity the recording
+// itself already skipped (a recording made past a warm-up of S
+// instructions starts at instruction S of the program it is keyed as).
+// Job Skip values are identity-relative — they must be, or a trace-
+// backed job and its program-backed twin could not share a cache key —
+// and replay subtracts base to position the cursor in the recording.
+func TraceSource(key string, t *tracefile.Trace, base uint64) Source {
+	return Source{Key: key, tr: t, base: base}
+}
+
+// streamSkip converts an identity-relative skip into a cursor position
+// within the recording.
+func (s Source) streamSkip(skip uint64) (uint64, error) {
+	if skip < s.base {
+		return 0, fmt.Errorf("service: recording starts at record %d of its stream identity; cannot skip only to %d", s.base, skip)
+	}
+	return skip - s.base, nil
+}
+
+// Prog returns the executable program, or nil for a trace-backed source.
+func (s Source) Prog() *isa.Program { return s.prog }
+
+// Trace returns the recorded trace, or nil for a program-backed source.
+func (s Source) Trace() *tracefile.Trace { return s.tr }
+
+func (s Source) validate() error {
+	if (s.prog == nil) == (s.tr == nil) {
+		return fmt.Errorf("service: a Source needs exactly one of a program or a trace")
+	}
+	return nil
+}
+
+// run skips `skip` records of the stream, then delivers up to max
+// records to fn, polling ctx throughout.  For a program-backed source
+// the skip executes (the machine must pass through the state); for a
+// trace-backed source it seeks via the trace's index.
+func (s Source) run(ctx context.Context, skip, max uint64, fn func(*trace.Exec)) (uint64, error) {
+	if err := s.validate(); err != nil {
+		return 0, err
+	}
+	if s.prog != nil {
+		c := cpu.New(s.prog)
+		if skip > 0 {
+			if _, err := c.RunContext(ctx, skip, nil); err != nil {
+				return 0, err
+			}
+		}
+		return c.RunContext(ctx, max, fn)
+	}
+	cur := s.tr.Cursor()
+	skip, err := s.streamSkip(skip)
+	if err != nil {
+		return 0, err
+	}
+	if skip > 0 {
+		if _, err := cur.Skip(skip); err != nil {
+			return 0, err
+		}
+	}
+	return cur.Run(ctx, max, fn)
+}
 
 // Program assembles source through the service's LRU: repeated batches
 // submitting the same text reuse the decoded program.
@@ -93,20 +182,14 @@ func (p StudyParams) normalize() StudyParams {
 	return p
 }
 
-// RunStudy runs the paper's limit studies over prog's dynamic stream
+// RunStudy runs the paper's limit studies over src's dynamic stream
 // (the job body behind StudyJob), polling ctx between instruction
 // blocks.
-func RunStudy(ctx context.Context, prog *isa.Program, p StudyParams) (StudyOutput, error) {
+func RunStudy(ctx context.Context, src Source, p StudyParams) (StudyOutput, error) {
 	if p.Budget == 0 {
 		return StudyOutput{}, fmt.Errorf("service: study Budget must be positive")
 	}
 	p = p.normalize()
-	c := cpu.New(prog)
-	if p.Skip > 0 {
-		if _, err := c.RunContext(ctx, p.Skip, nil); err != nil {
-			return StudyOutput{}, err
-		}
-	}
 	hist := core.NewHistory()
 	ilr := core.NewILRStudy(core.ILRConfig{Window: p.Window, Latencies: p.ILRLatencies})
 	tlrS := core.NewTLRStudy(core.TLRConfig{
@@ -115,7 +198,7 @@ func RunStudy(ctx context.Context, prog *isa.Program, p StudyParams) (StudyOutpu
 		Strict:    p.Strict,
 		MaxRunLen: p.MaxRunLen,
 	})
-	if _, err := c.RunContext(ctx, p.Budget, func(e *trace.Exec) {
+	if _, err := src.run(ctx, p.Skip, p.Budget, func(e *trace.Exec) {
 		reusable := hist.Observe(e)
 		ilr.ConsumeClassified(e, reusable)
 		tlrS.ConsumeClassified(e, reusable)
@@ -127,16 +210,15 @@ func RunStudy(ctx context.Context, prog *isa.Program, p StudyParams) (StudyOutpu
 	return StudyOutput{ILR: ilr.Result(), TLR: tlrS.Result()}, nil
 }
 
-// StudyJob builds a cacheable limit-study job.  progKey identifies the
-// program (a workload name or Fingerprint); empty disables caching.
-func StudyJob(id, progKey string, prog *isa.Program, p StudyParams) Job {
+// StudyJob builds a cacheable limit-study job over src.
+func StudyJob(id string, src Source, p StudyParams) Job {
 	p = p.normalize()
 	key := ""
-	if progKey != "" {
+	if src.Key != "" {
 		key = fmt.Sprintf("study|%s|%d|%d|%d|%v|%v|%v|%d",
-			progKey, p.Budget, p.Skip, p.Window, p.ILRLatencies, p.TLRVariants, p.Strict, p.MaxRunLen)
+			src.Key, p.Budget, p.Skip, p.Window, p.ILRLatencies, p.TLRVariants, p.Strict, p.MaxRunLen)
 	}
-	return Job{ID: id, Key: key, Run: func(ctx context.Context) (any, error) { return RunStudy(ctx, prog, p) }}
+	return Job{ID: id, Key: key, Run: func(ctx context.Context) (any, error) { return RunStudy(ctx, src, p) }}
 }
 
 // RTMParams configures a realistic-RTM simulation job.
@@ -161,29 +243,46 @@ func ValidGeometry(g rtm.Geometry) error {
 	return nil
 }
 
-// RunRTM runs prog under a finite RTM (the job body behind RTMJob),
-// polling ctx as it simulates.
-func RunRTM(ctx context.Context, prog *isa.Program, p RTMParams) (rtm.Result, error) {
+// RunRTM runs src's stream under a finite RTM (the job body behind
+// RTMJob), polling ctx as it simulates.  A program-backed source runs
+// the coupled CPU/RTM simulator; a trace-backed source replays the
+// recorded stream through the equivalent rtm.Replay engine.
+func RunRTM(ctx context.Context, src Source, p RTMParams) (rtm.Result, error) {
 	if err := ValidGeometry(p.Config.Geometry); err != nil {
 		return rtm.Result{}, err
 	}
-	c := cpu.New(prog)
-	if p.Skip > 0 {
-		if _, err := c.RunContext(ctx, p.Skip, nil); err != nil {
+	if err := src.validate(); err != nil {
+		return rtm.Result{}, err
+	}
+	if src.prog != nil {
+		c := cpu.New(src.prog)
+		if p.Skip > 0 {
+			if _, err := c.RunContext(ctx, p.Skip, nil); err != nil {
+				return rtm.Result{}, err
+			}
+		}
+		return rtm.NewSim(p.Config, c).RunContext(ctx, p.Budget)
+	}
+	cur := src.tr.Cursor()
+	skip, err := src.streamSkip(p.Skip)
+	if err != nil {
+		return rtm.Result{}, err
+	}
+	if skip > 0 {
+		if _, err := cur.Skip(skip); err != nil {
 			return rtm.Result{}, err
 		}
 	}
-	return rtm.NewSim(p.Config, c).RunContext(ctx, p.Budget)
+	return rtm.NewReplay(p.Config, cur).RunContext(ctx, p.Budget)
 }
 
-// RTMJob builds a cacheable realistic-RTM job.  progKey identifies the
-// program (a workload name or Fingerprint); empty disables caching.
-func RTMJob(id, progKey string, prog *isa.Program, p RTMParams) Job {
+// RTMJob builds a cacheable realistic-RTM job over src.
+func RTMJob(id string, src Source, p RTMParams) Job {
 	key := ""
-	if progKey != "" {
-		key = fmt.Sprintf("rtm|%s|%+v|%d|%d", progKey, p.Config, p.Skip, p.Budget)
+	if src.Key != "" {
+		key = fmt.Sprintf("rtm|%s|%+v|%d|%d", src.Key, p.Config, p.Skip, p.Budget)
 	}
-	return Job{ID: id, Key: key, Run: func(ctx context.Context) (any, error) { return RunRTM(ctx, prog, p) }}
+	return Job{ID: id, Key: key, Run: func(ctx context.Context) (any, error) { return RunRTM(ctx, src, p) }}
 }
 
 // PipelineParams configures an execution-driven pipeline job.
@@ -193,15 +292,20 @@ type PipelineParams struct {
 	Budget uint64
 }
 
-// RunPipeline runs prog on the execution-driven processor model (the job
-// body behind PipelineJob), polling ctx as it simulates.
-func RunPipeline(ctx context.Context, prog *isa.Program, p PipelineParams) (pipeline.Result, error) {
+// RunPipeline runs src's program on the execution-driven processor
+// model (the job body behind PipelineJob), polling ctx as it simulates.
+// The pipeline models fetch and execution itself, so src must be
+// program-backed; a trace-backed source is rejected.
+func RunPipeline(ctx context.Context, src Source, p PipelineParams) (pipeline.Result, error) {
+	if src.prog == nil {
+		return pipeline.Result{}, fmt.Errorf("service: pipeline jobs are execution-driven and need a program, not a trace")
+	}
 	if p.Config.RTM != nil {
 		if err := ValidGeometry(p.Config.RTM.Geometry); err != nil {
 			return pipeline.Result{}, err
 		}
 	}
-	c := cpu.New(prog)
+	c := cpu.New(src.prog)
 	if p.Skip > 0 {
 		if _, err := c.RunContext(ctx, p.Skip, nil); err != nil {
 			return pipeline.Result{}, err
@@ -212,12 +316,11 @@ func RunPipeline(ctx context.Context, prog *isa.Program, p PipelineParams) (pipe
 
 // PipelineJob builds a cacheable execution-driven pipeline job.  The
 // configuration is normalized first, so an explicit-default and a
-// zero-value configuration share one cache entry.  progKey identifies
-// the program (a workload name or Fingerprint); empty disables caching.
-func PipelineJob(id, progKey string, prog *isa.Program, p PipelineParams) Job {
+// zero-value configuration share one cache entry.
+func PipelineJob(id string, src Source, p PipelineParams) Job {
 	p.Config = p.Config.Normalized()
 	key := ""
-	if progKey != "" {
+	if src.Key != "" {
 		// Config.RTM is a pointer: format the pointee (or "none"), never
 		// the address, or identical jobs would miss the cache.
 		flat := p.Config
@@ -226,9 +329,9 @@ func PipelineJob(id, progKey string, prog *isa.Program, p PipelineParams) Job {
 		if p.Config.RTM != nil {
 			rtmPart = fmt.Sprintf("%+v", *p.Config.RTM)
 		}
-		key = fmt.Sprintf("pipe|%s|%+v|%s|%d|%d", progKey, flat, rtmPart, p.Skip, p.Budget)
+		key = fmt.Sprintf("pipe|%s|%+v|%s|%d|%d", src.Key, flat, rtmPart, p.Skip, p.Budget)
 	}
-	return Job{ID: id, Key: key, Run: func(ctx context.Context) (any, error) { return RunPipeline(ctx, prog, p) }}
+	return Job{ID: id, Key: key, Run: func(ctx context.Context) (any, error) { return RunPipeline(ctx, src, p) }}
 }
 
 // VPParams configures a value-prediction limit-study job.
@@ -241,30 +344,23 @@ type VPParams struct {
 
 // RunVP runs the last-value-prediction limit study (the job body behind
 // VPJob), polling ctx between instruction blocks.
-func RunVP(ctx context.Context, prog *isa.Program, p VPParams) (core.VPResult, error) {
+func RunVP(ctx context.Context, src Source, p VPParams) (core.VPResult, error) {
 	if p.Budget == 0 {
 		return core.VPResult{}, fmt.Errorf("service: VP Budget must be positive")
 	}
-	c := cpu.New(prog)
-	if p.Skip > 0 {
-		if _, err := c.RunContext(ctx, p.Skip, nil); err != nil {
-			return core.VPResult{}, err
-		}
-	}
 	s := core.NewVPStudy(core.VPConfig{Window: p.Window, PredLat: p.PredLat})
-	if _, err := c.RunContext(ctx, p.Budget, func(e *trace.Exec) { s.Consume(e) }); err != nil {
+	if _, err := src.run(ctx, p.Skip, p.Budget, func(e *trace.Exec) { s.Consume(e) }); err != nil {
 		return core.VPResult{}, err
 	}
 	s.Finish()
 	return s.Result(), nil
 }
 
-// VPJob builds a cacheable value-prediction job.  progKey identifies the
-// program (a workload name or Fingerprint); empty disables caching.
-func VPJob(id, progKey string, prog *isa.Program, p VPParams) Job {
+// VPJob builds a cacheable value-prediction job over src.
+func VPJob(id string, src Source, p VPParams) Job {
 	key := ""
-	if progKey != "" {
-		key = fmt.Sprintf("vp|%s|%d|%g|%d|%d", progKey, p.Window, p.PredLat, p.Skip, p.Budget)
+	if src.Key != "" {
+		key = fmt.Sprintf("vp|%s|%d|%g|%d|%d", src.Key, p.Window, p.PredLat, p.Skip, p.Budget)
 	}
-	return Job{ID: id, Key: key, Run: func(ctx context.Context) (any, error) { return RunVP(ctx, prog, p) }}
+	return Job{ID: id, Key: key, Run: func(ctx context.Context) (any, error) { return RunVP(ctx, src, p) }}
 }

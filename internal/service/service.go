@@ -27,6 +27,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"github.com/tracereuse/tlr/internal/tracefile"
 )
 
 // ErrClosed reports a job that could not be dispatched because the
@@ -51,17 +53,24 @@ type Options struct {
 	ProgramCache int
 	// ResultCache is the job-result LRU capacity (<= 0: 4096).
 	ResultCache int
+	// TraceCacheBytes bounds the digest-addressed trace store by total
+	// encoded bytes (<= 0: 64 MiB).
+	TraceCacheBytes int64
 }
 
 // Stats counts service traffic.
 type Stats struct {
-	Submitted uint64 // jobs accepted
-	Ran       uint64 // jobs actually simulated
-	CacheHits uint64 // jobs answered from the result cache
-	Coalesced uint64 // jobs folded into an identical in-flight run
-	Errors    uint64 // jobs that failed
-	Programs  int    // assembled programs currently cached
-	Results   int    // results currently cached
+	Submitted   uint64 // jobs accepted
+	Ran         uint64 // jobs actually simulated
+	CacheHits   uint64 // jobs answered from the result cache
+	Coalesced   uint64 // jobs folded into an identical in-flight run
+	Errors      uint64 // jobs that failed
+	Programs    int    // assembled programs currently cached
+	Results     int    // results currently cached
+	Traces      int    // recorded traces currently stored
+	TraceBytes  int64  // encoded bytes of stored traces
+	TraceHits   uint64 // trace-store lookups that found the digest
+	TraceMisses uint64 // trace-store lookups for unknown digests
 }
 
 // Job is one unit of work.
@@ -102,6 +111,7 @@ type Service struct {
 	mu       sync.Mutex
 	programs *lru
 	results  *lru
+	traces   *traceStore
 	inflight map[string]*flight
 	stats    Stats
 
@@ -184,12 +194,16 @@ func New(opt Options) *Service {
 	if opt.ResultCache <= 0 {
 		opt.ResultCache = 4096
 	}
+	if opt.TraceCacheBytes <= 0 {
+		opt.TraceCacheBytes = 64 << 20
+	}
 	s := &Service{
 		workers:  opt.Workers,
 		jobs:     make(chan task),
 		done:     make(chan struct{}),
 		programs: newLRU(opt.ProgramCache),
 		results:  newLRU(opt.ResultCache),
+		traces:   newTraceStore(opt.TraceCacheBytes),
 		inflight: make(map[string]*flight),
 	}
 	s.wg.Add(opt.Workers)
@@ -230,7 +244,38 @@ func (s *Service) Stats() Stats {
 	st := s.stats
 	st.Programs = s.programs.len()
 	st.Results = s.results.len()
+	st.Traces = s.traces.len()
+	st.TraceBytes = s.traces.bytes
 	return st
+}
+
+// AddTrace stores a recorded trace in the service's digest-addressed
+// trace store and returns its digest.  Storing an already-present
+// digest refreshes its LRU position.
+func (s *Service) AddTrace(t *tracefile.Trace) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.traces.add(t)
+}
+
+// TraceByDigest returns the stored trace for a digest.
+func (s *Service) TraceByDigest(digest string) (*tracefile.Trace, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.traces.get(digest)
+	if ok {
+		s.stats.TraceHits++
+	} else {
+		s.stats.TraceMisses++
+	}
+	return t, ok
+}
+
+// Traces lists the stored traces, most recently used first.
+func (s *Service) Traces() []TraceInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.traces.list()
 }
 
 // Batch is a submitted set of jobs.

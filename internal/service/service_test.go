@@ -192,7 +192,7 @@ func TestRTMJobDeterminism(t *testing.T) {
 		Skip:   500,
 		Budget: 20000,
 	}
-	job := RTMJob("cell", w.Name, prog, params)
+	job := RTMJob("cell", ProgSource(w.Name, prog), params)
 
 	s1 := New(Options{Workers: 2})
 	defer s1.Close()
@@ -239,7 +239,7 @@ func TestRunRTMRejectsDegenerateGeometry(t *testing.T) {
 		{Sets: -8, PCWays: 4, TracesPerPC: 4},
 	}
 	for _, g := range bad {
-		_, err := RunRTM(context.Background(), prog, RTMParams{Config: rtm.Config{Geometry: g}, Budget: 1000})
+		_, err := RunRTM(context.Background(), ProgSource("", prog), RTMParams{Config: rtm.Config{Geometry: g}, Budget: 1000})
 		if err == nil {
 			t.Errorf("geometry %+v: expected error", g)
 		}

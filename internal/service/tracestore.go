@@ -1,0 +1,83 @@
+package service
+
+import (
+	"container/list"
+
+	"github.com/tracereuse/tlr/internal/tracefile"
+)
+
+// traceStore is the service's digest-addressed store of recorded
+// traces: upload once, replay many times.  It is LRU-bounded by total
+// encoded bytes (traces vary from kilobytes to gigabytes, so counting
+// entries would bound nothing).  Not safe for concurrent use; Service
+// serialises access under its own mutex.
+type traceStore struct {
+	capBytes int64
+	bytes    int64
+	items    map[string]*list.Element
+	order    *list.List // front = most recently used
+}
+
+type traceEntry struct {
+	digest string
+	t      *tracefile.Trace
+}
+
+func newTraceStore(capBytes int64) *traceStore {
+	return &traceStore{
+		capBytes: capBytes,
+		items:    make(map[string]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// add stores t under its digest and returns the digest.  The newest
+// trace is always admitted — even one larger than the capacity, which
+// otherwise could be uploaded and then never found — and older traces
+// are evicted until the store fits.
+func (c *traceStore) add(t *tracefile.Trace) string {
+	d := t.Digest()
+	if el, ok := c.items[d]; ok {
+		c.order.MoveToFront(el)
+		return d
+	}
+	c.items[d] = c.order.PushFront(&traceEntry{digest: d, t: t})
+	c.bytes += int64(t.Bytes())
+	for c.bytes > c.capBytes && c.order.Len() > 1 {
+		back := c.order.Back()
+		ent := back.Value.(*traceEntry)
+		c.bytes -= int64(ent.t.Bytes())
+		delete(c.items, ent.digest)
+		c.order.Remove(back)
+	}
+	return d
+}
+
+// get returns the stored trace for a digest, refreshing LRU order.
+func (c *traceStore) get(digest string) (*tracefile.Trace, bool) {
+	el, ok := c.items[digest]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*traceEntry).t, true
+}
+
+func (c *traceStore) len() int { return c.order.Len() }
+
+// TraceInfo describes one stored trace.
+type TraceInfo struct {
+	Digest  string
+	Records uint64
+	Bytes   int
+}
+
+// list returns the stored traces, most recently used first.
+func (c *traceStore) list() []TraceInfo {
+	out := make([]TraceInfo, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		ent := el.Value.(*traceEntry)
+		out = append(out, TraceInfo{Digest: ent.digest, Records: ent.t.Records(), Bytes: ent.t.Bytes()})
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package tracefile
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"github.com/tracereuse/tlr/internal/cpu"
+	"github.com/tracereuse/tlr/internal/trace"
+	"github.com/tracereuse/tlr/internal/workload"
+)
+
+// FuzzTraceReader hardens the trace decoder against untrusted input:
+// cmd/tlrserve parses client uploads with exactly this code, so no byte
+// sequence may panic it, loop it forever, or let a malformed file
+// masquerade as a valid trace.  Accepted inputs must satisfy the decoder
+// invariants, and Load must round-trip to an identical, identically
+// digested trace.
+func FuzzTraceReader(f *testing.F) {
+	// Seeds: a real recorded stream in both container versions, plus
+	// truncations and header corruptions of each.
+	w, _ := workload.ByName("compress")
+	prog, err := w.Program()
+	if err != nil {
+		f.Fatal(err)
+	}
+	rec := NewRecorder()
+	if _, err := cpu.New(prog).Run(500, rec.Write); err != nil {
+		f.Fatal(err)
+	}
+	tr := rec.Trace()
+
+	var v2 bytes.Buffer
+	if _, err := tr.WriteTo(&v2); err != nil {
+		f.Fatal(err)
+	}
+	var v1 bytes.Buffer
+	wr, err := NewWriter(&v1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	cur := tr.Cursor()
+	var e trace.Exec
+	for cur.Next(&e) == nil {
+		if err := wr.Write(&e); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := wr.Flush(); err != nil {
+		f.Fatal(err)
+	}
+
+	for _, seed := range [][]byte{v1.Bytes(), v2.Bytes()} {
+		f.Add(seed)
+		f.Add(seed[:len(seed)/2])
+		f.Add(seed[:13])
+		mut := append([]byte(nil), seed...)
+		mut[9] ^= 0xff
+		f.Add(mut)
+	}
+	f.Add([]byte("TLRTRACE"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Streaming decode: every accepted record must satisfy the Exec
+		// invariants the engines rely on.
+		var n uint64
+		streamErr := r.ForEach(func(e *trace.Exec) bool {
+			if !e.Op.Valid() {
+				t.Fatalf("record %d: invalid op %d accepted", n, e.Op)
+			}
+			if int(e.NIn) > len(e.In) || int(e.NOut) > len(e.Out) {
+				t.Fatalf("record %d: ref counts %d/%d out of range", n, e.NIn, e.NOut)
+			}
+			n++
+			return true
+		})
+		if streamErr != nil && streamErr == io.EOF {
+			t.Fatal("ForEach leaked io.EOF")
+		}
+
+		// Load path: anything it accepts must round-trip bit-exactly.
+		loaded, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if loaded.Records() != n || streamErr != nil {
+			t.Fatalf("Load accepted %d records but streaming saw %d (err %v)",
+				loaded.Records(), n, streamErr)
+		}
+		var out bytes.Buffer
+		if _, err := loaded.WriteTo(&out); err != nil {
+			t.Fatalf("WriteTo of loaded trace: %v", err)
+		}
+		again, err := Load(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("reloading written trace: %v", err)
+		}
+		if again.Digest() != loaded.Digest() || again.Records() != loaded.Records() {
+			t.Fatalf("round trip changed identity: %s/%d vs %s/%d",
+				loaded.Digest(), loaded.Records(), again.Digest(), again.Records())
+		}
+	})
+}

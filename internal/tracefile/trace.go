@@ -1,0 +1,407 @@
+package tracefile
+
+// The in-memory trace: an immutable, canonically encoded record stream
+// with a content digest and a coarse record index.  This is the unit the
+// service's trace store holds and the replay engines consume — the
+// Reader/Writer pair streams the same records through io, but a Trace
+// can be digest-addressed (stable cache keys), skipped into in O(1) via
+// the index, and replayed many times without re-parsing headers.
+//
+// The digest is computed over the canonical record encoding only (never
+// the container header), so the same dynamic stream has the same digest
+// whether it was recorded in memory, loaded from a version-1 file, or
+// uploaded as a version-2 file.  Load re-encodes canonically for exactly
+// this reason.
+
+import (
+	"bufio"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/tracereuse/tlr/internal/isa"
+	"github.com/tracereuse/tlr/internal/trace"
+)
+
+// IndexInterval is the record granularity of a Trace's skip index: the
+// byte offset of every IndexInterval-th record is kept, so Cursor.Skip
+// decodes at most IndexInterval-1 record headers regardless of distance.
+const IndexInterval = 4096
+
+// DigestPrefix names the digest algorithm in a Trace digest string.
+const DigestPrefix = "sha256:"
+
+// Trace is an immutable in-memory recorded stream.
+type Trace struct {
+	enc    []byte // canonical record encoding (no container header)
+	n      uint64
+	sum    [sha256.Size]byte // sha256(enc), computed once at finalisation
+	digest string            // DigestPrefix + hex of sum
+	index  []int             // index[i] = offset of record i*IndexInterval
+}
+
+// Records returns the number of records in the trace.
+func (t *Trace) Records() uint64 { return t.n }
+
+// Bytes returns the encoded size of the record stream in bytes.
+func (t *Trace) Bytes() int { return len(t.enc) }
+
+// Digest returns the content digest of the canonical record encoding,
+// like "sha256:9f86d0…".  Equal streams have equal digests regardless
+// of how they were recorded or which container version carried them.
+func (t *Trace) Digest() string { return t.digest }
+
+// Recorder accumulates records into an in-memory Trace: the recording
+// half of the record/replay workflow.
+type Recorder struct {
+	enc   []byte
+	buf   [4 * binary.MaxVarintLen64]byte
+	n     uint64
+	index []int
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Write appends one record.  The signature matches the cpu.Run callback
+// so a Recorder can tap the simulator's stream directly.
+func (r *Recorder) Write(e *trace.Exec) {
+	if r.n%IndexInterval == 0 {
+		r.index = append(r.index, len(r.enc))
+	}
+	r.enc = append(r.enc, appendRecord(r.buf[:0], e)...)
+	r.n++
+}
+
+// Records returns how many records were written so far.
+func (r *Recorder) Records() uint64 { return r.n }
+
+// Trace finalises the recording.  The Recorder must not be written to
+// afterwards.
+func (r *Recorder) Trace() *Trace {
+	sum := sha256.Sum256(r.enc)
+	return &Trace{
+		enc:    r.enc,
+		n:      r.n,
+		sum:    sum,
+		digest: fmt.Sprintf("%s%x", DigestPrefix, sum),
+		index:  r.index,
+	}
+}
+
+// Cursor is a read position in a Trace.  It is not safe for concurrent
+// use; take one Cursor per replay.
+type Cursor struct {
+	t   *Trace
+	off int
+	i   uint64
+}
+
+// Cursor returns a new Cursor positioned at the first record.
+func (t *Trace) Cursor() *Cursor { return &Cursor{t: t} }
+
+// Pos returns the index of the next record to be read.
+func (c *Cursor) Pos() uint64 { return c.i }
+
+// Next decodes the next record into e.  It returns io.EOF cleanly at
+// the end of the trace.
+func (c *Cursor) Next(e *trace.Exec) error {
+	if c.i >= c.t.n {
+		return io.EOF
+	}
+	off, err := decodeRecord(c.t.enc, c.off, c.i, e)
+	if err != nil {
+		return err
+	}
+	c.off = off
+	c.i++
+	return nil
+}
+
+// Skip advances past up to n records without decoding their operands,
+// jumping via the trace's index when it is ahead of the current
+// position.  It returns how many records were actually skipped (fewer
+// than n only at the end of the trace).
+func (c *Cursor) Skip(n uint64) (uint64, error) {
+	target := c.i + n
+	if target > c.t.n {
+		target = c.t.n
+	}
+	skipped := target - c.i
+	// Jump to the highest checkpoint that is past the current position
+	// but not past the target.
+	if ck := target / IndexInterval; ck*IndexInterval > c.i && ck < uint64(len(c.t.index)) {
+		c.off = c.t.index[ck]
+		c.i = ck * IndexInterval
+	}
+	for c.i < target {
+		off, err := skipRecord(c.t.enc, c.off, c.i)
+		if err != nil {
+			return target - c.i, err
+		}
+		c.off = off
+		c.i++
+	}
+	return skipped, nil
+}
+
+// Run delivers up to max records to fn, polling ctx for cancellation
+// every cancelCheckInterval records (the replay-side twin of
+// cpu.RunContext).  The Exec passed to fn is reused across records;
+// consumers that retain it must copy.  It returns the number of records
+// delivered, stopping early without error at the end of the trace.
+func (c *Cursor) Run(ctx context.Context, max uint64, fn func(*trace.Exec)) (uint64, error) {
+	var e trace.Exec
+	var n uint64
+	for n < max {
+		if n%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return n, err
+			}
+		}
+		switch err := c.Next(&e); err {
+		case nil:
+			n++
+			if fn != nil {
+				fn(&e)
+			}
+		case io.EOF:
+			return n, nil
+		default:
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// cancelCheckInterval mirrors cpu.CancelCheckInterval (which tracefile
+// cannot import without inverting the dependency between the codec and
+// the simulator): coarse enough to stay out of profiles, fine enough
+// that cancellation lands within microseconds.
+const cancelCheckInterval = 4096
+
+// appendRecord appends the canonical encoding of e to buf.  It is the
+// single definition of the record format; Writer and Recorder share it.
+func appendRecord(buf []byte, e *trace.Exec) []byte {
+	flags := byte(e.NIn)<<flagNInShift | byte(e.NOut)<<flagNOutShift
+	if e.SideEffect {
+		flags |= flagSideEff
+	}
+	seq := e.Next == e.PC+1
+	if seq {
+		flags |= flagSeqNext
+	}
+	buf = append(buf, flags, byte(e.Op), e.Lat)
+	buf = binary.AppendUvarint(buf, e.PC)
+	if !seq {
+		buf = binary.AppendUvarint(buf, e.Next)
+	}
+	for _, r := range e.Inputs() {
+		buf = binary.AppendUvarint(buf, uint64(r.Loc))
+		buf = binary.AppendUvarint(buf, r.Val)
+	}
+	for _, r := range e.Outputs() {
+		buf = binary.AppendUvarint(buf, uint64(r.Loc))
+		buf = binary.AppendUvarint(buf, r.Val)
+	}
+	return buf
+}
+
+// decodeRecord decodes the record at enc[off:] into e and returns the
+// offset of the following record.  idx is the record's index, used only
+// for error context.
+func decodeRecord(enc []byte, off int, idx uint64, e *trace.Exec) (int, error) {
+	start := off
+	if off+3 > len(enc) {
+		return off, recErr(idx, start, io.ErrUnexpectedEOF)
+	}
+	flags, op, lat := enc[off], enc[off+1], enc[off+2]
+	off += 3
+	if flags&flagUnused != 0 {
+		return off, recErr(idx, start, fmt.Errorf("unknown flag bits %#x", flags&flagUnused))
+	}
+	nIn := int(flags>>flagNInShift) & 3
+	nOut := int(flags>>flagNOutShift) & 3
+	if nIn > len(e.In) || nOut > len(e.Out) {
+		return off, recErr(idx, start, fmt.Errorf("ref counts %d/%d out of range", nIn, nOut))
+	}
+	e.Reset()
+	e.Op = isa.Op(op)
+	if !e.Op.Valid() {
+		return off, recErr(idx, start, fmt.Errorf("undefined op %d", op))
+	}
+	e.Lat = lat
+	e.SideEffect = flags&flagSideEff != 0
+	var err error
+	if e.PC, off, err = sliceUvarint(enc, off); err != nil {
+		return off, recErr(idx, start, err)
+	}
+	if flags&flagSeqNext != 0 {
+		e.Next = e.PC + 1
+	} else if e.Next, off, err = sliceUvarint(enc, off); err != nil {
+		return off, recErr(idx, start, err)
+	}
+	// Operand refs are filled directly (counts were validated above);
+	// this loop decodes two varints per ref and is the replay hot path.
+	for i := 0; i < nIn; i++ {
+		var loc, val uint64
+		if loc, off, err = sliceUvarint(enc, off); err != nil {
+			return off, recErr(idx, start, err)
+		}
+		if val, off, err = sliceUvarint(enc, off); err != nil {
+			return off, recErr(idx, start, err)
+		}
+		e.In[i] = trace.Ref{Loc: trace.Loc(loc), Val: val}
+	}
+	e.NIn = uint8(nIn)
+	for i := 0; i < nOut; i++ {
+		var loc, val uint64
+		if loc, off, err = sliceUvarint(enc, off); err != nil {
+			return off, recErr(idx, start, err)
+		}
+		if val, off, err = sliceUvarint(enc, off); err != nil {
+			return off, recErr(idx, start, err)
+		}
+		e.Out[i] = trace.Ref{Loc: trace.Loc(loc), Val: val}
+	}
+	e.NOut = uint8(nOut)
+	return off, nil
+}
+
+// skipRecord advances past the record at enc[off:] without materialising
+// its operands — the fast path behind Cursor.Skip.
+func skipRecord(enc []byte, off int, idx uint64) (int, error) {
+	start := off
+	if off+3 > len(enc) {
+		return off, recErr(idx, start, io.ErrUnexpectedEOF)
+	}
+	flags := enc[off]
+	off += 3
+	nVarints := 1 // PC
+	if flags&flagSeqNext == 0 {
+		nVarints++
+	}
+	nVarints += 2 * (int(flags>>flagNInShift)&3 + int(flags>>flagNOutShift)&3)
+	var err error
+	for i := 0; i < nVarints; i++ {
+		if _, off, err = sliceUvarint(enc, off); err != nil {
+			return off, recErr(idx, start, err)
+		}
+	}
+	return off, nil
+}
+
+// sliceUvarint reads one uvarint at enc[off:].  The one-byte case —
+// the overwhelming majority of operand locations, latencies and PC
+// deltas — is inlined ahead of the generic loop: this decode is the
+// replay hot path, executed once per varint of every replayed record.
+func sliceUvarint(enc []byte, off int) (uint64, int, error) {
+	if off < len(enc) {
+		if b := enc[off]; b < 0x80 {
+			return uint64(b), off + 1, nil
+		}
+	}
+	v, n := binary.Uvarint(enc[off:])
+	if n <= 0 {
+		if n == 0 {
+			return 0, off, io.ErrUnexpectedEOF
+		}
+		return 0, off, fmt.Errorf("uvarint overflows 64 bits")
+	}
+	return v, off + n, nil
+}
+
+// recErr wraps a decode error with the record's index and byte offset
+// (relative to the start of the record stream), so a corrupt upload is
+// diagnosable down to the byte.
+func recErr(idx uint64, off int, err error) error {
+	return fmt.Errorf("tracefile: record %d (offset %d): %w", idx, off, err)
+}
+
+// --- the version-2 indexed container ---
+
+// The version-2 file layout, after the shared 12-byte magic+version
+// prelude:
+//
+//	records:u64 digest:32B interval:u32 nIndex:u32 {offset:u64}*nIndex
+//	record bytes … EOF
+//
+// The header is fixed before the records because version-2 files are
+// only ever written from a finalised Trace; streams of unknown length
+// still use the version-1 Writer.
+
+// WriteTo serialises the trace in the version-2 container (header with
+// record count, content digest and skip index, then the record bytes).
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var n int64
+	count := func(m int, err error) error {
+		n += int64(m)
+		return err
+	}
+	if err := count(bw.Write(Magic[:])); err != nil {
+		return n, err
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], Version2)
+	if err := count(bw.Write(hdr[:])); err != nil {
+		return n, err
+	}
+	var u8 [8]byte
+	binary.LittleEndian.PutUint64(u8[:], t.n)
+	if err := count(bw.Write(u8[:])); err != nil {
+		return n, err
+	}
+	if err := count(bw.Write(t.sum[:])); err != nil {
+		return n, err
+	}
+	binary.LittleEndian.PutUint32(hdr[:], IndexInterval)
+	if err := count(bw.Write(hdr[:])); err != nil {
+		return n, err
+	}
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(t.index)))
+	if err := count(bw.Write(hdr[:])); err != nil {
+		return n, err
+	}
+	for _, off := range t.index {
+		binary.LittleEndian.PutUint64(u8[:], uint64(off))
+		if err := count(bw.Write(u8[:])); err != nil {
+			return n, err
+		}
+	}
+	if err := count(bw.Write(t.enc)); err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// Load reads a complete trace from r in either container version,
+// validates every record, and returns it re-encoded canonically (so the
+// digest is container-independent).  For version-2 input the embedded
+// digest and record count are checked against the re-encoded stream;
+// a mismatch means the file was corrupted or tampered with.
+func Load(r io.Reader) (*Trace, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	rec := NewRecorder()
+	if err := tr.ForEach(func(e *trace.Exec) bool {
+		rec.Write(e)
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	t := rec.Trace()
+	if tr.version == Version2 {
+		if t.n != tr.declaredRecords {
+			return nil, fmt.Errorf("tracefile: header declares %d records, stream holds %d", tr.declaredRecords, t.n)
+		}
+		if want := fmt.Sprintf("%s%x", DigestPrefix, tr.declaredDigest); want != t.digest {
+			return nil, fmt.Errorf("tracefile: content digest mismatch: header %s, stream %s", want, t.digest)
+		}
+	}
+	return t, nil
+}

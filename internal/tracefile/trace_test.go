@@ -1,0 +1,228 @@
+package tracefile
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/tracereuse/tlr/internal/cpu"
+	"github.com/tracereuse/tlr/internal/trace"
+	"github.com/tracereuse/tlr/internal/workload"
+)
+
+// recordWorkload records n instructions of a workload into a Trace.
+func recordWorkload(t testing.TB, name string, n uint64) *Trace {
+	t.Helper()
+	w, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("workload %q missing", name)
+	}
+	prog, err := w.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder()
+	if _, err := cpu.New(prog).Run(n, rec.Write); err != nil {
+		t.Fatal(err)
+	}
+	return rec.Trace()
+}
+
+// TestCursorMatchesExecution: decoding a recorded trace yields the exact
+// record sequence the simulator produced.
+func TestCursorMatchesExecution(t *testing.T) {
+	w, _ := workload.ByName("compress")
+	prog, err := w.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []trace.Exec
+	rec := NewRecorder()
+	if _, err := cpu.New(prog).Run(20_000, func(e *trace.Exec) {
+		want = append(want, *e)
+		rec.Write(e)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tr := rec.Trace()
+	if tr.Records() != uint64(len(want)) {
+		t.Fatalf("trace holds %d records, recorded %d", tr.Records(), len(want))
+	}
+	if !strings.HasPrefix(tr.Digest(), DigestPrefix) || len(tr.Digest()) != len(DigestPrefix)+64 {
+		t.Fatalf("malformed digest %q", tr.Digest())
+	}
+
+	cur := tr.Cursor()
+	var e trace.Exec
+	for i := range want {
+		if err := cur.Next(&e); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if e != want[i] {
+			t.Fatalf("record %d mismatch:\n got %v\nwant %v", i, &e, &want[i])
+		}
+	}
+	if err := cur.Next(&e); err != io.EOF {
+		t.Fatalf("after last record: err = %v, want io.EOF", err)
+	}
+}
+
+// TestCursorSkip: Skip must land on the same record as sequential
+// decoding, at distances below, at and above the index interval, and
+// report short skips at the end of the trace.
+func TestCursorSkip(t *testing.T) {
+	tr := recordWorkload(t, "compress", 3*IndexInterval/2)
+	for _, skip := range []uint64{0, 1, 7, 100, IndexInterval - 1, IndexInterval, IndexInterval + 1, tr.Records() - 1} {
+		seq := tr.Cursor()
+		for i := uint64(0); i < skip; i++ {
+			var e trace.Exec
+			if err := seq.Next(&e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fast := tr.Cursor()
+		n, err := fast.Skip(skip)
+		if err != nil {
+			t.Fatalf("skip %d: %v", skip, err)
+		}
+		if n != skip {
+			t.Fatalf("skip %d: skipped %d", skip, n)
+		}
+		var a, b trace.Exec
+		errA, errB := seq.Next(&a), fast.Next(&b)
+		if errA != errB || (errA == nil && a != b) {
+			t.Fatalf("skip %d diverged from sequential: %v/%v vs %v/%v", skip, &a, errA, &b, errB)
+		}
+	}
+
+	// Skipping past the end is a short skip, not an error.
+	cur := tr.Cursor()
+	n, err := cur.Skip(tr.Records() + 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != tr.Records() {
+		t.Fatalf("short skip reported %d, want %d", n, tr.Records())
+	}
+	var e trace.Exec
+	if err := cur.Next(&e); err != io.EOF {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}
+
+// TestCursorRunBudgetAndCancel: Run delivers exactly max records, stops
+// cleanly at EOF, and honours cancellation.
+func TestCursorRunBudgetAndCancel(t *testing.T) {
+	tr := recordWorkload(t, "li", 10_000)
+	n, err := tr.Cursor().Run(context.Background(), 5_000, nil)
+	if err != nil || n != 5_000 {
+		t.Fatalf("Run = %d, %v", n, err)
+	}
+	n, err = tr.Cursor().Run(context.Background(), 50_000, nil)
+	if err != nil || n != tr.Records() {
+		t.Fatalf("Run past EOF = %d, %v (want %d, nil)", n, err, tr.Records())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tr.Cursor().Run(ctx, 5_000, nil); err != context.Canceled {
+		t.Fatalf("cancelled Run: err = %v", err)
+	}
+}
+
+// TestLoadV1AndV2DigestStable: the same stream loaded from either
+// container version digests identically, and the version-2 round trip
+// preserves everything.
+func TestLoadV1AndV2DigestStable(t *testing.T) {
+	tr := recordWorkload(t, "compress", 8_000)
+
+	// Version-1 bytes of the same stream.
+	var v1 bytes.Buffer
+	w, err := NewWriter(&v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := tr.Cursor()
+	var e trace.Exec
+	for cur.Next(&e) == nil {
+		if err := w.Write(&e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var v2 bytes.Buffer
+	if _, err := tr.WriteTo(&v2); err != nil {
+		t.Fatal(err)
+	}
+
+	fromV1, err := Load(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromV2, err := Load(bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromV1.Digest() != tr.Digest() || fromV2.Digest() != tr.Digest() {
+		t.Fatalf("digests diverge: recorded %s, v1 %s, v2 %s", tr.Digest(), fromV1.Digest(), fromV2.Digest())
+	}
+	if fromV2.Records() != tr.Records() || fromV2.Bytes() != tr.Bytes() {
+		t.Fatalf("v2 round trip: %d records / %d bytes, want %d / %d",
+			fromV2.Records(), fromV2.Bytes(), tr.Records(), tr.Bytes())
+	}
+}
+
+// TestLoadRejectsCorruption: flipping any record byte of a version-2
+// file must be caught by the digest check (or fail decoding outright).
+func TestLoadRejectsCorruption(t *testing.T) {
+	tr := recordWorkload(t, "li", 2_000)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	headerLen := buf.Len() - tr.Bytes()
+	for _, at := range []int{headerLen, headerLen + tr.Bytes()/2, buf.Len() - 1} {
+		mut := append([]byte(nil), buf.Bytes()...)
+		mut[at] ^= 0x40
+		if _, err := Load(bytes.NewReader(mut)); err == nil {
+			t.Errorf("corruption at byte %d went undetected", at)
+		}
+	}
+	// Truncation must be detected too (count or digest mismatch).
+	if _, err := Load(bytes.NewReader(buf.Bytes()[:buf.Len()-3])); err == nil {
+		t.Error("truncated file went undetected")
+	}
+}
+
+// TestReaderErrorsCarryOffset: decode errors must name the record index
+// and its byte offset.
+func TestReaderErrorsCarryOffset(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	var e trace.Exec
+	e.PC, e.Next, e.Op, e.Lat = 5, 6, 1, 1 // a valid op
+	if err := w.Write(&e); err != nil {
+		t.Fatal(err)
+	}
+	_ = w.Flush()
+	good := buf.Len()
+	buf.Write([]byte{flagSeqNext, 250, 1, 5}) // record 1: undefined op at offset `good`
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = r.ForEach(func(*trace.Exec) bool { return true })
+	if err == nil {
+		t.Fatal("undefined op not rejected")
+	}
+	want := "record 1 (offset " + strconv.Itoa(good) + ")"
+	if !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not carry %q", err, want)
+	}
+}

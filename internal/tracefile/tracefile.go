@@ -2,9 +2,11 @@
 // binary format — the repository's equivalent of the ATOM trace files the
 // paper's toolflow produced.  Every reuse engine consumes trace.Exec
 // records, so a recorded stream can be re-analysed offline without
-// re-simulating (cmd/tlrtrace drives this).
+// re-simulating; the tlr facade exposes this as first-class trace
+// sources (record/replay), and cmd/tlrtrace and cmd/tlrserve move the
+// files around.
 //
-// Format (little-endian, after an 8-byte magic + 4-byte version):
+// Record format (little-endian, shared by both container versions):
 //
 //	record := flags:u8 op:u8 lat:u8 pc:uvarint [next:uvarint]
 //	          {loc:uvarint val:uvarint} * (nIn + nOut)
@@ -13,6 +15,12 @@
 // "next is sequential" bit that elides the common next == pc+1 case.
 // Values and locations are raw uvarints; typical records are 6-20 bytes,
 // roughly 10x smaller than the in-memory form.
+//
+// Two container versions carry the records after the 8-byte magic and
+// 4-byte version: version 1 is a bare stream (records to EOF, writable
+// without knowing the length); version 2 prefixes the record count, a
+// sha256 content digest and a skip index (see Trace.WriteTo), so
+// replay can seek and stores can address traces by digest.
 package tracefile
 
 import (
@@ -29,14 +37,23 @@ import (
 // Magic identifies a trace file.
 var Magic = [8]byte{'T', 'L', 'R', 'T', 'R', 'A', 'C', 'E'}
 
-// Version is the current format version.
+// Version is the streaming container version the Writer emits.
 const Version uint32 = 1
+
+// Version2 is the indexed container version Trace.WriteTo emits:
+// record count, content digest and skip index before the records.
+const Version2 uint32 = 2
 
 const (
 	flagNInShift  = 0 // 2 bits
 	flagNOutShift = 2 // 2 bits
 	flagSideEff   = 1 << 4
 	flagSeqNext   = 1 << 5
+
+	// flagUnused are the flag bits no writer emits; decoders reject
+	// records carrying them so every accepted byte is load-bearing
+	// (corrupt or tampered streams cannot hide in ignored bits).
+	flagUnused = 0xff &^ (3<<flagNInShift | 3<<flagNOutShift | flagSideEff | flagSeqNext)
 )
 
 // ErrBadMagic reports a stream that is not a trace file.
@@ -45,7 +62,8 @@ var ErrBadMagic = errors.New("tracefile: bad magic")
 // ErrBadVersion reports an unsupported format version.
 var ErrBadVersion = errors.New("tracefile: unsupported version")
 
-// Writer streams execution records to an io.Writer.
+// Writer streams execution records to an io.Writer in the version-1
+// container (no index — use Trace.WriteTo for the indexed form).
 type Writer struct {
 	w   *bufio.Writer
 	buf [4 * binary.MaxVarintLen64]byte
@@ -68,29 +86,7 @@ func NewWriter(w io.Writer) (*Writer, error) {
 
 // Write appends one record.
 func (w *Writer) Write(e *trace.Exec) error {
-	flags := byte(e.NIn)<<flagNInShift | byte(e.NOut)<<flagNOutShift
-	if e.SideEffect {
-		flags |= flagSideEff
-	}
-	seq := e.Next == e.PC+1
-	if seq {
-		flags |= flagSeqNext
-	}
-	b := w.buf[:0]
-	b = append(b, flags, byte(e.Op), e.Lat)
-	b = binary.AppendUvarint(b, e.PC)
-	if !seq {
-		b = binary.AppendUvarint(b, e.Next)
-	}
-	for _, r := range e.Inputs() {
-		b = binary.AppendUvarint(b, uint64(r.Loc))
-		b = binary.AppendUvarint(b, r.Val)
-	}
-	for _, r := range e.Outputs() {
-		b = binary.AppendUvarint(b, uint64(r.Loc))
-		b = binary.AppendUvarint(b, r.Val)
-	}
-	if _, err := w.w.Write(b); err != nil {
+	if _, err := w.w.Write(appendRecord(w.buf[:0], e)); err != nil {
 		return err
 	}
 	w.n++
@@ -103,11 +99,22 @@ func (w *Writer) Records() uint64 { return w.n }
 // Flush drains buffered data to the underlying writer.
 func (w *Writer) Flush() error { return w.w.Flush() }
 
-// Reader streams execution records from an io.Reader.
+// Reader streams execution records from an io.Reader.  It accepts both
+// container versions; Version reports which one it found.
 type Reader struct {
-	r *bufio.Reader
-	n uint64
+	r   *bufio.Reader
+	n   uint64
+	off int64 // bytes consumed, including the header
+
+	version         uint32
+	declaredRecords uint64   // version 2: header record count
+	declaredDigest  [32]byte // version 2: header content digest
 }
+
+// maxIndexEntries bounds the version-2 index a Reader will buffer; it
+// admits traces of ~17 billion records, far beyond anything the store
+// accepts, while keeping a hostile header from allocating gigabytes.
+const maxIndexEntries = 1 << 22
 
 // NewReader validates the header and returns a Reader.
 func NewReader(r io.Reader) (*Reader, error) {
@@ -123,60 +130,137 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if _, err := io.ReadFull(br, v[:]); err != nil {
 		return nil, fmt.Errorf("tracefile: reading version: %w", err)
 	}
-	if got := binary.LittleEndian.Uint32(v[:]); got != Version {
-		return nil, fmt.Errorf("%w: %d", ErrBadVersion, got)
+	rd := &Reader{r: br, off: 12, version: binary.LittleEndian.Uint32(v[:])}
+	switch rd.version {
+	case Version:
+		return rd, nil
+	case Version2:
+		if err := rd.readV2Header(); err != nil {
+			return nil, err
+		}
+		return rd, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, rd.version)
 	}
-	return &Reader{r: br}, nil
 }
 
+// Version reports the container version of the stream being read.
+func (r *Reader) Version() uint32 { return r.version }
+
+// readV2Header consumes the version-2 prelude: record count, digest and
+// skip index.  A streaming Reader has no use for the index (it cannot
+// seek), so the entries are validated for sanity and discarded.
+func (r *Reader) readV2Header() error {
+	var u8 [8]byte
+	if _, err := io.ReadFull(r.r, u8[:]); err != nil {
+		return fmt.Errorf("tracefile: reading record count: %w", eofToUnexpected(err))
+	}
+	r.declaredRecords = binary.LittleEndian.Uint64(u8[:])
+	if _, err := io.ReadFull(r.r, r.declaredDigest[:]); err != nil {
+		return fmt.Errorf("tracefile: reading digest: %w", eofToUnexpected(err))
+	}
+	var u4 [4]byte
+	if _, err := io.ReadFull(r.r, u4[:]); err != nil {
+		return fmt.Errorf("tracefile: reading index interval: %w", eofToUnexpected(err))
+	}
+	if got := binary.LittleEndian.Uint32(u4[:]); got != IndexInterval {
+		return fmt.Errorf("tracefile: unsupported index interval %d (want %d)", got, IndexInterval)
+	}
+	if _, err := io.ReadFull(r.r, u4[:]); err != nil {
+		return fmt.Errorf("tracefile: reading index length: %w", eofToUnexpected(err))
+	}
+	nIndex := binary.LittleEndian.Uint32(u4[:])
+	if nIndex > maxIndexEntries {
+		return fmt.Errorf("tracefile: index declares %d entries (limit %d)", nIndex, maxIndexEntries)
+	}
+	if want := (r.declaredRecords + IndexInterval - 1) / IndexInterval; uint64(nIndex) != want {
+		return fmt.Errorf("tracefile: index holds %d entries for %d records (want %d)",
+			nIndex, r.declaredRecords, want)
+	}
+	for i := uint32(0); i < nIndex; i++ {
+		if _, err := io.ReadFull(r.r, u8[:]); err != nil {
+			return fmt.Errorf("tracefile: reading index entry %d: %w", i, eofToUnexpected(err))
+		}
+	}
+	r.off += 8 + 32 + 4 + 4 + 8*int64(nIndex)
+	return nil
+}
+
+func eofToUnexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// readByte consumes one byte, keeping the stream offset current.
+func (r *Reader) readByte() (byte, error) {
+	b, err := r.r.ReadByte()
+	if err == nil {
+		r.off++
+	}
+	return b, err
+}
+
+// ReadByte makes Reader an io.ByteReader for binary.ReadUvarint while
+// keeping the offset accurate.
+func (r *Reader) ReadByte() (byte, error) { return r.readByte() }
+
 // Read fills e with the next record.  It returns io.EOF cleanly at the
-// end of the stream and io.ErrUnexpectedEOF on truncation.
+// end of the stream and io.ErrUnexpectedEOF on truncation.  Decode
+// errors carry the record's index and byte offset within the file, so a
+// corrupt stream (e.g. a damaged upload) is diagnosable down to the
+// byte.
 func (r *Reader) Read(e *trace.Exec) error {
-	flags, err := r.r.ReadByte()
+	start := r.off
+	flags, err := r.readByte()
 	if err != nil {
 		if err == io.EOF {
 			return io.EOF
 		}
-		return fmt.Errorf("tracefile: record %d: %w", r.n, err)
+		return r.errAt(start, err)
 	}
-	op, err := r.r.ReadByte()
+	op, err := r.readByte()
 	if err != nil {
-		return r.trunc(err)
+		return r.trunc(start, err)
 	}
-	lat, err := r.r.ReadByte()
+	lat, err := r.readByte()
 	if err != nil {
-		return r.trunc(err)
+		return r.trunc(start, err)
+	}
+	if flags&flagUnused != 0 {
+		return r.errAt(start, fmt.Errorf("unknown flag bits %#x", flags&flagUnused))
 	}
 	nIn := int(flags>>flagNInShift) & 3
 	nOut := int(flags>>flagNOutShift) & 3
 	if nIn > len(e.In) || nOut > len(e.Out) {
-		return fmt.Errorf("tracefile: record %d: ref counts %d/%d out of range", r.n, nIn, nOut)
+		return r.errAt(start, fmt.Errorf("ref counts %d/%d out of range", nIn, nOut))
 	}
 
 	e.Reset()
 	e.Op = isa.Op(op)
 	if !e.Op.Valid() {
-		return fmt.Errorf("tracefile: record %d: undefined op %d", r.n, op)
+		return r.errAt(start, fmt.Errorf("undefined op %d", op))
 	}
 	e.Lat = lat
 	e.SideEffect = flags&flagSideEff != 0
-	if e.PC, err = binary.ReadUvarint(r.r); err != nil {
-		return r.trunc(err)
+	if e.PC, err = binary.ReadUvarint(r); err != nil {
+		return r.trunc(start, err)
 	}
 	if flags&flagSeqNext != 0 {
 		e.Next = e.PC + 1
-	} else if e.Next, err = binary.ReadUvarint(r.r); err != nil {
-		return r.trunc(err)
+	} else if e.Next, err = binary.ReadUvarint(r); err != nil {
+		return r.trunc(start, err)
 	}
 	for i := 0; i < nIn; i++ {
-		loc, val, err := r.readRef()
+		loc, val, err := r.readRef(start)
 		if err != nil {
 			return err
 		}
 		e.AddIn(loc, val)
 	}
 	for i := 0; i < nOut; i++ {
-		loc, val, err := r.readRef()
+		loc, val, err := r.readRef(start)
 		if err != nil {
 			return err
 		}
@@ -186,24 +270,27 @@ func (r *Reader) Read(e *trace.Exec) error {
 	return nil
 }
 
-func (r *Reader) readRef() (trace.Loc, uint64, error) {
-	loc, err := binary.ReadUvarint(r.r)
+func (r *Reader) readRef(start int64) (trace.Loc, uint64, error) {
+	loc, err := binary.ReadUvarint(r)
 	if err != nil {
-		return 0, 0, r.trunc(err)
+		return 0, 0, r.trunc(start, err)
 	}
-	val, err := binary.ReadUvarint(r.r)
+	val, err := binary.ReadUvarint(r)
 	if err != nil {
-		return 0, 0, r.trunc(err)
+		return 0, 0, r.trunc(start, err)
 	}
 	return trace.Loc(loc), val, nil
 }
 
 // trunc maps mid-record EOF to ErrUnexpectedEOF with context.
-func (r *Reader) trunc(err error) error {
-	if err == io.EOF {
-		err = io.ErrUnexpectedEOF
-	}
-	return fmt.Errorf("tracefile: record %d: %w", r.n, err)
+func (r *Reader) trunc(start int64, err error) error {
+	return r.errAt(start, eofToUnexpected(err))
+}
+
+// errAt wraps a decode error with the failing record's index and byte
+// offset within the file.
+func (r *Reader) errAt(start int64, err error) error {
+	return fmt.Errorf("tracefile: record %d (offset %d): %w", r.n, start, err)
 }
 
 // Records returns how many records were read so far.

@@ -48,11 +48,17 @@ type VPConfig struct {
 
 // Request is one simulation of any kind.
 //
-// Exactly one program field (Workload, Source or Prog) and exactly one
-// configuration field (Study, RTM, Pipeline or VP) must be set.  Skip
-// and Budget bound RTM, Pipeline and VP simulations; Study carries its
-// own bounds inside StudyConfig (set one or the other, not both — a
-// Study config with zero Budget and Skip inherits the Request's).
+// Exactly one program field (Workload, Source, Prog or Trace) and
+// exactly one configuration field (Study, RTM, Pipeline or VP) must be
+// set.  Skip and Budget bound RTM, Pipeline and VP simulations; Study
+// carries its own bounds inside StudyConfig (set one or the other, not
+// both — a Study config with zero Budget and Skip inherits the
+// Request's).
+//
+// A Trace source stands in for the program in the trace-driven kinds
+// (Study, RTM, VP): the engines consume the recorded stream instead of
+// executing, and Skip counts records of that stream.  Pipeline is
+// execution-driven and rejects trace sources with ErrTraceUnsupported.
 type Request struct {
 	// ID is an opaque label echoed in the Result (defaults to the
 	// request's batch index).
@@ -65,6 +71,9 @@ type Request struct {
 	Source string
 	// Prog is an already-assembled program.
 	Prog *Program
+	// Trace is a recorded instruction stream (see Record, TraceFile,
+	// TraceReader, TraceRef) for the trace-driven kinds.
+	Trace TraceSource
 
 	// Study runs the reuse limit studies (KindStudy).
 	Study *StudyConfig
@@ -259,42 +268,55 @@ func (b *Batcher) serviceJob(index int, r Request) (service.Job, Kind, error) {
 		id = fmt.Sprint(index)
 	}
 	progs := 0
-	for _, on := range []bool{r.Workload != "", r.Source != "", r.Prog != nil} {
+	for _, on := range []bool{r.Workload != "", r.Source != "", r.Prog != nil, r.Trace != nil} {
 		if on {
 			progs++
 		}
 	}
 	if progs != 1 {
-		return service.Job{}, "", fmt.Errorf("exactly one of Workload, Source, Prog must be set (got %d)", progs)
+		return service.Job{}, "", fmt.Errorf("exactly one of Workload, Source, Prog, Trace must be set (got %d)", progs)
 	}
 	kind := r.Kind()
 	if kind == "" {
 		return service.Job{}, "", fmt.Errorf("exactly one of Study, RTM, Pipeline, VP must be set")
 	}
+	if r.Trace != nil && kind == KindPipeline {
+		return service.Job{}, "", ErrTraceUnsupported
+	}
 
-	var (
-		prog    *Program
-		progKey string
-		err     error
-	)
+	// makeSource maps the request's stream bounds onto the service
+	// input: for programs the skip passes through; for trace sources
+	// the resolved Trace folds in its recording provenance (cache key
+	// and skip offset) and checks coverage.
+	var makeSource func(skip, budget uint64) (service.Source, uint64, error)
 	switch {
 	case r.Workload != "":
 		w, ok := workload.ByName(r.Workload)
 		if !ok {
 			return service.Job{}, "", fmt.Errorf("unknown workload %q", r.Workload)
 		}
-		if prog, err = w.Program(); err != nil {
+		prog, err := w.Program()
+		if err != nil {
 			return service.Job{}, "", err
 		}
-		progKey = "workload:" + r.Workload
+		src := service.ProgSource("workload:"+r.Workload, prog)
+		makeSource = func(skip, _ uint64) (service.Source, uint64, error) { return src, skip, nil }
 	case r.Source != "":
-		if prog, err = b.svc.Program(r.Source); err != nil {
+		prog, err := b.svc.Program(r.Source)
+		if err != nil {
 			return service.Job{}, "", err
 		}
-		progKey = service.Fingerprint(prog)
+		src := service.ProgSource(service.Fingerprint(prog), prog)
+		makeSource = func(skip, _ uint64) (service.Source, uint64, error) { return src, skip, nil }
+	case r.Prog != nil:
+		src := service.ProgSource(service.Fingerprint(r.Prog), r.Prog)
+		makeSource = func(skip, _ uint64) (service.Source, uint64, error) { return src, skip, nil }
 	default:
-		prog = r.Prog
-		progKey = service.Fingerprint(prog)
+		t, err := r.Trace.resolveTrace(b)
+		if err != nil {
+			return service.Job{}, "", err
+		}
+		makeSource = t.source
 	}
 
 	switch kind {
@@ -308,9 +330,13 @@ func (b *Batcher) serviceJob(index int, r Request) (service.Job, Kind, error) {
 		if s.Budget == 0 {
 			return service.Job{}, "", fmt.Errorf("study requests need a positive Budget")
 		}
-		return service.StudyJob(id, progKey, prog, service.StudyParams{
+		src, skip, err := makeSource(s.Skip, s.Budget)
+		if err != nil {
+			return service.Job{}, "", err
+		}
+		return service.StudyJob(id, src, service.StudyParams{
 			Budget:       s.Budget,
-			Skip:         s.Skip,
+			Skip:         skip,
 			Window:       s.Window,
 			ILRLatencies: s.ILRLatencies,
 			TLRVariants:  s.TLRVariants,
@@ -324,9 +350,13 @@ func (b *Batcher) serviceJob(index int, r Request) (service.Job, Kind, error) {
 		if err := service.ValidGeometry(r.RTM.Geometry); err != nil {
 			return service.Job{}, "", err
 		}
-		return service.RTMJob(id, progKey, prog, service.RTMParams{
+		src, skip, err := makeSource(r.Skip, r.Budget)
+		if err != nil {
+			return service.Job{}, "", err
+		}
+		return service.RTMJob(id, src, service.RTMParams{
 			Config: *r.RTM,
-			Skip:   r.Skip,
+			Skip:   skip,
 			Budget: r.Budget,
 		}), kind, nil
 	case KindPipeline:
@@ -338,19 +368,27 @@ func (b *Batcher) serviceJob(index int, r Request) (service.Job, Kind, error) {
 				return service.Job{}, "", err
 			}
 		}
-		return service.PipelineJob(id, progKey, prog, service.PipelineParams{
+		src, skip, err := makeSource(r.Skip, r.Budget)
+		if err != nil {
+			return service.Job{}, "", err
+		}
+		return service.PipelineJob(id, src, service.PipelineParams{
 			Config: *r.Pipeline,
-			Skip:   r.Skip,
+			Skip:   skip,
 			Budget: r.Budget,
 		}), kind, nil
 	default: // KindVP
 		if r.Budget == 0 {
 			return service.Job{}, "", fmt.Errorf("vp requests need a positive Budget")
 		}
-		return service.VPJob(id, progKey, prog, service.VPParams{
+		src, skip, err := makeSource(r.Skip, r.Budget)
+		if err != nil {
+			return service.Job{}, "", err
+		}
+		return service.VPJob(id, src, service.VPParams{
 			Window:  r.VP.Window,
 			PredLat: r.VP.PredLat,
-			Skip:    r.Skip,
+			Skip:    skip,
 			Budget:  r.Budget,
 		}), kind, nil
 	}

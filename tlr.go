@@ -22,15 +22,28 @@
 //
 // # The Request/Run model
 //
-// Every simulation is a Request: a program (a built-in Workload name,
-// assembly Source, or an assembled Prog) plus exactly one configuration
-// naming the simulation kind —
+// Every simulation is a Request: an instruction-stream input (a
+// built-in Workload name, assembly Source, an assembled Prog, or a
+// recorded Trace source) plus exactly one configuration naming the
+// simulation kind —
 //
 //   - Study: the reuse limit studies of Figures 3–8;
 //   - RTM: the realistic finite Reuse Trace Memory of Figure 9;
 //   - Pipeline: the execution-driven Figure 2 processor model;
 //   - VP: the last-value-prediction limit study (§1's
 //     speculation-vs-reuse comparison).
+//
+// Study, RTM and VP are trace-driven: their engines consume the dynamic
+// instruction stream and nothing else, so any TraceSource — an
+// in-memory recording from Record, a trace file (TraceFile/OpenTrace),
+// an io.Reader (TraceReader/ReadTrace), or a digest reference into a
+// trace store (TraceRef) — can stand in for the program, exactly as the
+// paper's engines analysed ATOM-recorded trace files offline.  A
+// recorded sweep replays the stream instead of re-simulating (record
+// once, analyse across the whole configuration grid) and returns
+// results identical to live execution, sharing its result-cache
+// entries.  Pipeline models fetch and execution itself and rejects
+// trace inputs with ErrTraceUnsupported.
 //
 // Run, RunBatch and StreamBatch are the only entry points:
 //
@@ -60,10 +73,11 @@
 //
 // The same service layer runs behind cmd/tlrserve, an HTTP/JSON server
 // that accepts single requests (POST /v1/run), request batches (POST
-// /v1/batch, streaming NDJSON results) and hosts a shared concurrent
-// RTM for trace-reuse-as-a-service experiments.  Request and Result
-// marshal to the server's versioned JSON wire format, so a Go client
-// can drive it with encoding/json alone.
+// /v1/batch, streaming NDJSON results), trace uploads (POST /v1/traces,
+// then digest-referenced runs) and hosts a shared concurrent RTM for
+// trace-reuse-as-a-service experiments.  Request and Result marshal to
+// the server's versioned JSON wire format, so a Go client can drive it
+// with encoding/json alone.
 //
 // The pre-Request facade (MeasureReuse, SimulateRTM, SimulatePipeline,
 // MeasureValuePrediction, MeasureBatch) remains as thin deprecated

@@ -1,0 +1,305 @@
+package tlr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"github.com/tracereuse/tlr/internal/asm"
+	"github.com/tracereuse/tlr/internal/cpu"
+	"github.com/tracereuse/tlr/internal/service"
+	"github.com/tracereuse/tlr/internal/tracefile"
+	"github.com/tracereuse/tlr/internal/workload"
+)
+
+// First-class trace sources: the paper's toolflow was trace-driven —
+// ATOM-instrumented binaries produced dynamic trace files that the
+// reuse engines analysed offline — and this file makes that stream a
+// public, pluggable Request input.  A TraceSource stands in for the
+// program in the trace-driven request kinds (Study, RTM, VP): Record
+// captures a program's dynamic stream once, and every analysis of it
+// afterwards replays the recording instead of re-simulating.  Sources
+// come in four shapes — an in-memory recording, a trace file on disk,
+// an arbitrary io.Reader, and a digest reference into a Batcher's (or
+// tlrserve's) trace store.
+//
+// Pipeline requests model fetch and execution itself and therefore
+// cannot run from a recording; they reject trace sources with
+// ErrTraceUnsupported.
+
+// ErrTraceUnsupported reports a trace-backed Request of an
+// execution-driven kind.  Use errors.Is to detect it.
+var ErrTraceUnsupported = errors.New(
+	"tlr: pipeline simulation is execution-driven and cannot run from a trace source")
+
+// TraceSource is a recorded dynamic instruction stream, usable as a
+// Request's program input for the trace-driven kinds (Study, RTM, VP).
+// The four implementations are *Trace, TraceFile, TraceReader and
+// TraceRef; the interface is sealed.
+type TraceSource interface {
+	// resolveTrace materialises the in-memory trace.  The Batcher is
+	// needed only by digest references (TraceRef), which look the trace
+	// up in its store; the other sources ignore it.
+	resolveTrace(b *Batcher) (*Trace, error)
+}
+
+// Trace is an in-memory recorded instruction stream: the result of
+// Record, ReadTrace or OpenTrace.  It is immutable and safe to share
+// across goroutines and requests.
+//
+// A Trace produced by Record remembers which program (and skip) it was
+// recorded from, so requests backed by it share result-cache entries
+// with requests naming the originating program.  Traces loaded from
+// files or readers have no provenance and are cached under their
+// content digest instead.
+type Trace struct {
+	t        *tracefile.Trace
+	provKey  string // originating stream identity ("" = unknown)
+	provSkip uint64 // instructions skipped before recording began
+	complete bool   // recording ran to program halt
+}
+
+// Digest returns the content digest of the recorded stream, like
+// "sha256:9f86d0…".  Equal streams have equal digests regardless of
+// how they were recorded, stored or transported.
+func (t *Trace) Digest() string { return t.t.Digest() }
+
+// Records returns the number of recorded instructions.
+func (t *Trace) Records() uint64 { return t.t.Records() }
+
+// Size returns the encoded size of the stream in bytes.
+func (t *Trace) Size() int { return t.t.Bytes() }
+
+// Complete reports whether the recording ran to the program's halt, in
+// which case the trace covers every instruction the program can ever
+// produce.
+func (t *Trace) Complete() bool { return t.complete }
+
+// WriteTo serialises the trace in the indexed container format (record
+// count, content digest and skip index, then the records).
+func (t *Trace) WriteTo(w io.Writer) (int64, error) { return t.t.WriteTo(w) }
+
+// Save writes the trace to a file (see WriteTo).
+func (t *Trace) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := t.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (t *Trace) resolveTrace(*Batcher) (*Trace, error) { return t, nil }
+
+// source maps a stream-relative (skip, budget) request onto the
+// service input and its effective skip.
+//
+// A provenance-carrying trace is keyed as the originating program, with
+// the recording's own skip folded in — so a request backed by the
+// recording and the same request backed by the program hit the same
+// result-cache entry.  That keying is only sound when the replay is
+// guaranteed to retire exactly what live execution would: the trace
+// must cover skip+budget records or have run to halt.  (Reuse overshoot
+// past the budget never reads the stream, so no extra margin is
+// needed; see rtm.Replay.)  An undercovering recording is an error
+// rather than a silently shorter answer.
+//
+// A trace without provenance is its own workload, keyed by digest; the
+// stream simply ends where the recording ends.
+func (t *Trace) source(skip, budget uint64) (service.Source, uint64, error) {
+	if t.provKey != "" {
+		if n := t.t.Records(); !t.complete && (skip > n || budget > n-skip) {
+			return service.Source{}, 0, fmt.Errorf(
+				"tlr: recorded trace holds %d records but the request needs skip+budget = %d and the recording did not run to halt; record a longer trace, or save and reload it to analyse the stream as-is",
+				n, skip+budget)
+		}
+		// The job's Skip is identity-relative (provSkip folded in) so the
+		// cache key matches the program-backed request exactly; replay
+		// subtracts the recording's own skip again when positioning the
+		// cursor (service.Source.base).
+		return service.TraceSource(t.provKey, t.t, t.provSkip), t.provSkip + skip, nil
+	}
+	return service.TraceSource("trace:"+t.t.Digest(), t.t, 0), skip, nil
+}
+
+// RecordSpec names the program to record and the stream bounds.
+// Exactly one of Workload, Source or Prog must be set.
+type RecordSpec struct {
+	// Workload names a built-in benchmark (see Workloads).
+	Workload string
+	// Source is assembly text.
+	Source string
+	// Prog is an already-assembled program.
+	Prog *Program
+
+	// Skip is executed before recording starts; Budget is the maximum
+	// number of instructions to record (required).  Recording stops
+	// early at program halt, which marks the trace complete.
+	Skip, Budget uint64
+}
+
+// Record executes a program on the functional simulator and captures
+// its dynamic instruction stream as an in-memory Trace — the
+// record/replay workflow's recording half.  A Study, RTM or VP request
+// backed by the returned Trace yields results identical to the same
+// request backed by the program itself (and shares its result-cache
+// entries), while replaying the recording instead of re-simulating:
+// record once, analyse across a whole configuration grid.
+func Record(ctx context.Context, spec RecordSpec) (*Trace, error) {
+	if spec.Budget == 0 {
+		return nil, fmt.Errorf("tlr: Record needs a positive Budget")
+	}
+	progs := 0
+	for _, on := range []bool{spec.Workload != "", spec.Source != "", spec.Prog != nil} {
+		if on {
+			progs++
+		}
+	}
+	if progs != 1 {
+		return nil, fmt.Errorf("tlr: exactly one of Workload, Source, Prog must be set (got %d)", progs)
+	}
+
+	var (
+		prog    *Program
+		progKey string
+		err     error
+	)
+	switch {
+	case spec.Workload != "":
+		w, ok := workload.ByName(spec.Workload)
+		if !ok {
+			return nil, fmt.Errorf("tlr: unknown workload %q", spec.Workload)
+		}
+		if prog, err = w.Program(); err != nil {
+			return nil, err
+		}
+		progKey = "workload:" + spec.Workload
+	case spec.Source != "":
+		if prog, err = asm.Assemble(spec.Source); err != nil {
+			return nil, err
+		}
+		progKey = service.Fingerprint(prog)
+	default:
+		prog = spec.Prog
+		progKey = service.Fingerprint(prog)
+	}
+
+	c := cpu.New(prog)
+	if spec.Skip > 0 {
+		if _, err := c.RunContext(ctx, spec.Skip, nil); err != nil {
+			return nil, err
+		}
+	}
+	rec := tracefile.NewRecorder()
+	if _, err := c.RunContext(ctx, spec.Budget, rec.Write); err != nil {
+		return nil, err
+	}
+	return &Trace{
+		t:        rec.Trace(),
+		provKey:  progKey,
+		provSkip: spec.Skip,
+		complete: c.Halted(),
+	}, nil
+}
+
+// Replay runs a request against a recorded stream: sugar for setting
+// req.Trace.  The request must be of a trace-driven kind (Study, RTM or
+// VP) and must not name a program of its own.
+func Replay(ctx context.Context, src TraceSource, req Request) (Result, error) {
+	req.Trace = src
+	return Run(ctx, req)
+}
+
+// ReadTrace reads and validates a complete trace from r (either
+// container version).  The result carries no provenance: it is cached
+// under its content digest.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	t, err := tracefile.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Trace{t: t}, nil
+}
+
+// OpenTrace reads a trace file from disk (see ReadTrace).
+func OpenTrace(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := ReadTrace(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// TraceFile returns a TraceSource backed by a trace file on disk.  The
+// file is read and validated on first use and cached, so a batch of
+// requests sharing the source parses it once.
+func TraceFile(path string) TraceSource {
+	return &lazySource{load: func() (*Trace, error) { return OpenTrace(path) }}
+}
+
+// TraceReader returns a TraceSource backed by an io.Reader.  The
+// stream is consumed on first use and cached.
+func TraceReader(r io.Reader) TraceSource {
+	return &lazySource{load: func() (*Trace, error) { return ReadTrace(r) }}
+}
+
+type lazySource struct {
+	load func() (*Trace, error)
+	once sync.Once
+	t    *Trace
+	err  error
+}
+
+func (s *lazySource) resolveTrace(*Batcher) (*Trace, error) {
+	s.once.Do(func() { s.t, s.err = s.load() })
+	return s.t, s.err
+}
+
+// TraceRef returns a TraceSource addressing a trace already stored in
+// the executing Batcher's trace store by content digest (see
+// Batcher.StoreTrace) — upload a trace once, sweep it many times.
+// cmd/tlrserve resolves these references against its own store, so a
+// digest-referenced request crosses the wire without the trace bytes.
+func TraceRef(digest string) TraceSource { return refSource(digest) }
+
+type refSource string
+
+func (r refSource) resolveTrace(b *Batcher) (*Trace, error) {
+	if b == nil {
+		return nil, fmt.Errorf("tlr: trace reference %q can only be resolved by a Batcher with a trace store", string(r))
+	}
+	t, ok := b.svc.TraceByDigest(string(r))
+	if !ok {
+		return nil, fmt.Errorf("tlr: no stored trace with digest %q (store it first with StoreTrace or POST /v1/traces)", string(r))
+	}
+	return &Trace{t: t}, nil
+}
+
+// StoreTrace resolves src and registers it in the Batcher's
+// digest-addressed trace store, returning the digest.  Requests
+// carrying TraceRef(digest) then replay it without re-supplying the
+// bytes.  The store is LRU-bounded by total bytes (see BatchOptions).
+func (b *Batcher) StoreTrace(src TraceSource) (string, error) {
+	t, err := src.resolveTrace(b)
+	if err != nil {
+		return "", err
+	}
+	return b.svc.AddTrace(t.t), nil
+}
+
+// TraceInfo describes one trace in a Batcher's store.
+type TraceInfo = service.TraceInfo
+
+// Traces lists the Batcher's stored traces, most recently used first.
+func (b *Batcher) Traces() []TraceInfo { return b.svc.Traces() }

@@ -1,0 +1,350 @@
+package tlr
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// payload strips per-run metadata so replayed and executed results can
+// be compared simulation for simulation.
+func payload(r Result) any {
+	switch r.Kind {
+	case KindStudy:
+		return *r.Study
+	case KindRTM:
+		return *r.RTM
+	case KindVP:
+		return *r.VP
+	default:
+		return nil
+	}
+}
+
+// TestReplayEquivalenceAndCacheSharing is the redesign's core contract:
+// for every trace-driven kind, a request backed by a recorded trace is
+// byte-identical to the same request backed by the originating program,
+// hits the very same (digest-keyed) result-cache entry on a shared
+// Batcher, and reproduces identically on a cold Batcher.
+func TestReplayEquivalenceAndCacheSharing(t *testing.T) {
+	const skip, budget = 1_000, 20_000
+	ctx := context.Background()
+
+	rec, err := Record(ctx, RecordSpec{Workload: "compress", Budget: skip + budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(rec.Digest(), "sha256:") {
+		t.Fatalf("digest %q", rec.Digest())
+	}
+
+	reqs := func(src TraceSource) []Request {
+		progOrTrace := func(r Request) Request {
+			if src != nil {
+				r.Trace = src
+			} else {
+				r.Workload = "compress"
+			}
+			return r
+		}
+		return []Request{
+			progOrTrace(Request{ID: "study", Study: &StudyConfig{Budget: budget, Skip: skip, Window: 256}}),
+			progOrTrace(Request{ID: "rtm", RTM: &RTMConfig{Geometry: Geometry4K, Heuristic: ILREXP},
+				Skip: skip, Budget: budget}),
+			progOrTrace(Request{ID: "vp", VP: &VPConfig{Window: 256}, Skip: skip, Budget: budget}),
+		}
+	}
+
+	shared := NewBatcher(BatchOptions{})
+	defer shared.Close()
+	live, err := shared.RunBatch(ctx, reqs(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same Batcher: the trace-backed requests must be answered from the
+	// cache entries the program-backed runs populated.
+	replayed, err := shared.RunBatch(ctx, reqs(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range live {
+		if !replayed[i].Cached {
+			t.Errorf("%s: trace-backed request missed the program-backed cache entry", live[i].ID)
+		}
+		if !reflect.DeepEqual(payload(live[i]), payload(replayed[i])) {
+			t.Errorf("%s: replay differs from execution:\nlive   %+v\nreplay %+v",
+				live[i].ID, payload(live[i]), payload(replayed[i]))
+		}
+	}
+
+	// Cold Batcher: the replay actually simulates (no cache) and still
+	// reproduces execution exactly.
+	cold := NewBatcher(BatchOptions{})
+	defer cold.Close()
+	fresh, err := cold.RunBatch(ctx, reqs(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range live {
+		if fresh[i].Cached {
+			t.Errorf("%s: cold replay unexpectedly cached", live[i].ID)
+		}
+		if !reflect.DeepEqual(payload(live[i]), payload(fresh[i])) {
+			t.Errorf("%s: cold replay differs from execution:\nlive   %+v\nreplay %+v",
+				live[i].ID, payload(live[i]), payload(fresh[i]))
+		}
+	}
+
+	// And the reverse direction: with the replay results cached, the
+	// equivalent program-backed request hits them.
+	liveOnCold, err := cold.RunBatch(ctx, reqs(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range liveOnCold {
+		if !liveOnCold[i].Cached {
+			t.Errorf("%s: program-backed request missed the trace-backed cache entry", liveOnCold[i].ID)
+		}
+	}
+}
+
+// TestReplayEquivalenceWithRecordedSkip: a recording made past a
+// warm-up skip starts mid-stream; trace-backed requests on top of it
+// must still replay exactly the window the equivalent program-backed
+// request measures (the recording's own skip is part of the cache
+// identity but must not be applied to the cursor a second time).
+func TestReplayEquivalenceWithRecordedSkip(t *testing.T) {
+	const recSkip, reqSkip, budget = 1_500, 500, 10_000
+	ctx := context.Background()
+	rec, err := Record(ctx, RecordSpec{Workload: "compress", Skip: recSkip, Budget: reqSkip + budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := NewBatcher(BatchOptions{})
+	defer b.Close()
+	reqs := func(src TraceSource) []Request {
+		progOrTrace := func(r Request, skip uint64) Request {
+			if src != nil {
+				r.Trace = src
+			} else {
+				r.Workload = "compress"
+				skip += recSkip // program-backed requests skip from instruction 0
+			}
+			if r.Study != nil {
+				r.Study.Skip = skip
+			} else {
+				r.Skip = skip
+			}
+			return r
+		}
+		return []Request{
+			progOrTrace(Request{ID: "study", Study: &StudyConfig{Budget: budget, Window: 256}}, reqSkip),
+			progOrTrace(Request{ID: "rtm", RTM: &RTMConfig{Geometry: Geometry4K, Heuristic: IEXP, N: 4}, Budget: budget}, reqSkip),
+			progOrTrace(Request{ID: "vp", VP: &VPConfig{Window: 256}, Budget: budget}, reqSkip),
+		}
+	}
+	live, err := b.RunBatch(ctx, reqs(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := b.RunBatch(ctx, reqs(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range live {
+		if !replayed[i].Cached {
+			t.Errorf("%s: skip-recorded trace request missed the program-backed cache entry", live[i].ID)
+		}
+		if !reflect.DeepEqual(payload(live[i]), payload(replayed[i])) {
+			t.Errorf("%s: skip-recorded replay differs from execution:\nlive   %+v\nreplay %+v",
+				live[i].ID, payload(live[i]), payload(replayed[i]))
+		}
+	}
+
+	// Cold path too: the replay must actually reproduce, not just hit a
+	// (possibly wrong) cache entry.
+	cold := NewBatcher(BatchOptions{})
+	defer cold.Close()
+	fresh, err := cold.RunBatch(ctx, reqs(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range live {
+		if !reflect.DeepEqual(payload(live[i]), payload(fresh[i])) {
+			t.Errorf("%s: cold skip-recorded replay differs from execution:\nlive   %+v\nreplay %+v",
+				live[i].ID, payload(live[i]), payload(fresh[i]))
+		}
+	}
+}
+
+// TestPipelineRejectsTraceSource: the execution-driven kind rejects
+// trace inputs with the typed error, before any simulation starts.
+func TestPipelineRejectsTraceSource(t *testing.T) {
+	rec, err := Record(context.Background(), RecordSpec{Workload: "li", Budget: 1_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(context.Background(), Request{Trace: rec, Pipeline: &PipelineConfig{}, Budget: 1_000})
+	if !errors.Is(err, ErrTraceUnsupported) {
+		t.Fatalf("err = %v, want ErrTraceUnsupported", err)
+	}
+}
+
+// TestTraceStoreAndRef: uploading once and sweeping by digest, plus the
+// unknown-digest failure mode.
+func TestTraceStoreAndRef(t *testing.T) {
+	ctx := context.Background()
+	b := NewBatcher(BatchOptions{})
+	defer b.Close()
+
+	rec, err := Record(ctx, RecordSpec{Workload: "li", Budget: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest, err := b.StoreTrace(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest != rec.Digest() {
+		t.Fatalf("stored digest %s != trace digest %s", digest, rec.Digest())
+	}
+	infos := b.Traces()
+	if len(infos) != 1 || infos[0].Digest != digest || infos[0].Records != rec.Records() {
+		t.Fatalf("store listing %+v", infos)
+	}
+
+	res, err := b.Run(ctx, Request{
+		Trace: TraceRef(digest),
+		Study: &StudyConfig{Budget: 10_000, Window: 256},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := b.Run(ctx, Request{
+		Trace: rec,
+		Study: &StudyConfig{Budget: 10_000, Window: 256},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A stored trace is addressed by digest, so the ref-backed and the
+	// (digest-keyed, provenance-free) stored copy agree; the recorded
+	// original carries provenance and therefore a different cache key,
+	// but the simulation results must match regardless.
+	if !reflect.DeepEqual(*res.Study, *direct.Study) {
+		t.Errorf("ref-backed study differs from direct:\nref    %+v\ndirect %+v", *res.Study, *direct.Study)
+	}
+
+	if _, err := b.Run(ctx, Request{
+		Trace: TraceRef("sha256:doesnotexist"),
+		Study: &StudyConfig{Budget: 1_000},
+	}); err == nil || !strings.Contains(err.Error(), "no stored trace") {
+		t.Fatalf("unknown digest: err = %v", err)
+	}
+}
+
+// TestUndercoveredRecordingRejected: a recording that cannot cover the
+// requested skip+budget (and did not run to halt) must fail loudly
+// instead of silently answering with a shorter stream under the
+// program's cache key.
+func TestUndercoveredRecordingRejected(t *testing.T) {
+	ctx := context.Background()
+	rec, err := Record(ctx, RecordSpec{Workload: "compress", Budget: 5_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Complete() {
+		t.Skip("workload halted inside 5k instructions; cannot test undercoverage")
+	}
+	_, err = Run(ctx, Request{Trace: rec, Study: &StudyConfig{Budget: 20_000}})
+	if err == nil || !strings.Contains(err.Error(), "skip+budget") {
+		t.Fatalf("err = %v, want undercoverage error", err)
+	}
+
+	// The same stream analysed as-is (no provenance) is fine: save and
+	// reload to strip provenance, then the stream is the workload.
+	var buf bytes.Buffer
+	if _, err := rec.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(ctx, Request{Trace: loaded, Study: &StudyConfig{Budget: 20_000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Study.ILR.Instructions; got != 5_000 {
+		t.Errorf("digest-keyed replay measured %d instructions, want the stream's 5000", got)
+	}
+}
+
+// TestWireTraceRoundTrip: trace-backed requests cross the wire — inline
+// with digest for concrete traces, digest-only for refs — and corrupted
+// inline payloads are rejected.
+func TestWireTraceRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	rec, err := Record(ctx, RecordSpec{Workload: "li", Budget: 2_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{ID: "w", Trace: rec, VP: &VPConfig{Window: 64}, Budget: 2_000}
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Request
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := back.Trace.(*Trace)
+	if !ok {
+		t.Fatalf("decoded trace source is %T", back.Trace)
+	}
+	if got.Digest() != rec.Digest() || got.Records() != rec.Records() {
+		t.Fatalf("round trip changed the trace: %s/%d vs %s/%d",
+			got.Digest(), got.Records(), rec.Digest(), rec.Records())
+	}
+
+	// Ref-backed requests stay digest-only.
+	refReq := Request{Trace: TraceRef(rec.Digest()), VP: &VPConfig{}, Budget: 100}
+	data, err = json.Marshal(refReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire struct {
+		Trace struct {
+			V      int    `json:"v"`
+			Digest string `json:"digest"`
+			Data   []byte `json:"data"`
+		} `json:"trace"`
+	}
+	if err := json.Unmarshal(data, &wire); err != nil {
+		t.Fatal(err)
+	}
+	if wire.Trace.Digest != rec.Digest() || len(wire.Trace.Data) != 0 || wire.Trace.V != TraceRefVersion {
+		t.Fatalf("ref encoding %+v", wire.Trace)
+	}
+	var backRef Request
+	if err := json.Unmarshal(data, &backRef); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := backRef.Trace.(refSource); !ok {
+		t.Fatalf("decoded ref source is %T", backRef.Trace)
+	}
+
+	// A lying digest on inline data must be rejected.
+	full, _ := json.Marshal(req)
+	tampered := bytes.Replace(full, []byte(rec.Digest()), []byte("sha256:"+strings.Repeat("0", 64)), 1)
+	var bad Request
+	if err := json.Unmarshal(tampered, &bad); err == nil || !strings.Contains(err.Error(), "digest mismatch") {
+		t.Fatalf("tampered inline digest: err = %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package tlr
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -22,6 +23,23 @@ import (
 // WireVersion is the JSON encoding version emitted by Request and
 // Result, and the highest version their decoders accept.
 const WireVersion = 1
+
+// TraceRefVersion is the encoding version of a trace reference (the
+// "trace" object inside a request), versioned independently of the
+// surrounding request so trace transport can evolve (e.g. chunked
+// upload) without a wire-wide bump.
+const TraceRefVersion = 1
+
+// traceJSON is the versioned trace-reference encoding.  A reference
+// names the stream by content digest, carries the encoded trace file
+// inline (base64), or both; at least one must be present.  Digest-only
+// references resolve against the executing Batcher's (or server's)
+// trace store — upload once with POST /v1/traces, sweep by digest.
+type traceJSON struct {
+	V      int    `json:"v,omitempty"`
+	Digest string `json:"digest,omitempty"`
+	Data   []byte `json:"data,omitempty"` // indexed-container trace file
+}
 
 type geometryJSON struct {
 	Sets        int `json:"sets"`
@@ -76,6 +94,7 @@ type requestJSON struct {
 	ID       string        `json:"id,omitempty"`
 	Workload string        `json:"workload,omitempty"`
 	Source   string        `json:"source,omitempty"`
+	Trace    *traceJSON    `json:"trace,omitempty"`
 	Kind     string        `json:"kind,omitempty"`
 	Study    *studyJSON    `json:"study,omitempty"`
 	RTM      *rtmJSON      `json:"rtm,omitempty"`
@@ -176,7 +195,10 @@ func fromRTMJSON(j *rtmJSON) (*RTMConfig, error) {
 
 // MarshalJSON encodes the request in the versioned wire format.  A
 // request carrying an assembled Prog is encoded as its disassembly
-// (assembly round-trips exactly), so any request can cross the wire.
+// (assembly round-trips exactly), and one carrying a trace source is
+// encoded as a versioned trace reference — digest-only for TraceRef,
+// digest plus the inline trace bytes otherwise — so any request can
+// cross the wire.
 func (r Request) MarshalJSON() ([]byte, error) {
 	j := requestJSON{
 		V:        WireVersion,
@@ -188,10 +210,20 @@ func (r Request) MarshalJSON() ([]byte, error) {
 		Budget:   r.Budget,
 	}
 	if r.Prog != nil {
-		if r.Source != "" || r.Workload != "" {
-			return nil, errors.New("tlr: request sets more than one of Workload, Source, Prog")
+		if r.Source != "" || r.Workload != "" || r.Trace != nil {
+			return nil, errors.New("tlr: request sets more than one of Workload, Source, Prog, Trace")
 		}
 		j.Source = Disassemble(r.Prog)
+	}
+	if r.Trace != nil {
+		if r.Source != "" || r.Workload != "" {
+			return nil, errors.New("tlr: request sets more than one of Workload, Source, Prog, Trace")
+		}
+		tj, err := marshalTraceSource(r.Trace)
+		if err != nil {
+			return nil, err
+		}
+		j.Trace = tj
 	}
 	if s := r.Study; s != nil {
 		sj := &studyJSON{
@@ -224,6 +256,25 @@ func (r Request) MarshalJSON() ([]byte, error) {
 	return json.Marshal(j)
 }
 
+// marshalTraceSource encodes a trace source as a wire reference.  A
+// TraceRef stays a bare digest (the bytes live in the server's store);
+// every other source is resolved and shipped inline alongside its
+// digest, so the receiver can verify what it decodes.
+func marshalTraceSource(src TraceSource) (*traceJSON, error) {
+	if ref, ok := src.(refSource); ok {
+		return &traceJSON{V: TraceRefVersion, Digest: string(ref)}, nil
+	}
+	t, err := src.resolveTrace(nil)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if _, err := t.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return &traceJSON{V: TraceRefVersion, Digest: t.Digest(), Data: buf.Bytes()}, nil
+}
+
 // UnmarshalJSON decodes the versioned wire format.
 func (r *Request) UnmarshalJSON(data []byte) error {
 	var j requestJSON
@@ -239,6 +290,26 @@ func (r *Request) UnmarshalJSON(data []byte) error {
 		Source:   j.Source,
 		Skip:     j.Skip,
 		Budget:   j.Budget,
+	}
+	if tj := j.Trace; tj != nil {
+		if tj.V < 0 || tj.V > TraceRefVersion {
+			return fmt.Errorf("tlr: unsupported trace reference version %d (this build speaks <= %d)", tj.V, TraceRefVersion)
+		}
+		switch {
+		case len(tj.Data) > 0:
+			t, err := ReadTrace(bytes.NewReader(tj.Data))
+			if err != nil {
+				return fmt.Errorf("tlr: decoding inline trace: %w", err)
+			}
+			if tj.Digest != "" && tj.Digest != t.Digest() {
+				return fmt.Errorf("tlr: inline trace digest mismatch: reference says %s, data is %s", tj.Digest, t.Digest())
+			}
+			out.Trace = t
+		case tj.Digest != "":
+			out.Trace = TraceRef(tj.Digest)
+		default:
+			return errors.New("tlr: trace reference needs a digest or inline data")
+		}
 	}
 	if s := j.Study; s != nil {
 		cfg := &StudyConfig{
