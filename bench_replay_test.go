@@ -19,39 +19,54 @@ var (
 	replayBenchErr   error
 )
 
-// BenchmarkReplayVsExecute compares the two ways to drive the deep-skip
-// 100k-instruction analysis grid (see internal/replaybench): live
-// execution, where every cell re-simulates skip+budget instructions,
-// versus replay of a single recording, where each cell seeks and
-// decodes only its measured window.  The recording is made once outside
-// the timers, mirroring the workflow it models; cmd/tlrexp -bench-out
-// exports the same comparison into BENCH_ci.json, where CI enforces
-// replay >= 2x.
-func BenchmarkReplayVsExecute(b *testing.B) {
-	ctx := context.Background()
-	b.Run("execute", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			batcher := tlr.NewBatcher(tlr.BatchOptions{Workers: 1})
-			if _, err := batcher.RunBatch(ctx, replaybench.Grid(nil)); err != nil {
-				b.Fatal(err)
-			}
-			batcher.Close()
-		}
+// benchRecording records the shared stream once across all
+// sub-benchmarks (the workflow the benchmark models records once too).
+func benchRecording(b *testing.B) *tlr.Trace {
+	b.Helper()
+	replayBenchOnce.Do(func() {
+		replayBenchTrace, replayBenchErr = tlr.Record(context.Background(), replaybench.RecordSpec())
 	})
-	b.Run("replay", func(b *testing.B) {
-		replayBenchOnce.Do(func() {
-			replayBenchTrace, replayBenchErr = tlr.Record(ctx, replaybench.RecordSpec())
-		})
-		if replayBenchErr != nil {
-			b.Fatal(replayBenchErr)
+	if replayBenchErr != nil {
+		b.Fatal(replayBenchErr)
+	}
+	return replayBenchTrace
+}
+
+func runGrid(b *testing.B, reqs []tlr.Request) {
+	b.Helper()
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		batcher := tlr.NewBatcher(tlr.BatchOptions{Workers: 1})
+		if _, err := batcher.RunBatch(ctx, reqs); err != nil {
+			b.Fatal(err)
 		}
+		batcher.Close()
+	}
+}
+
+// BenchmarkReplayVsExecute compares the two ways to drive the
+// 100k-instruction analysis grid (see internal/replaybench) at both
+// measurement depths: live execution, where every cell re-simulates
+// skip+budget instructions, versus replay of a single recording, where
+// each cell seeks the recording and decodes only its measured window.
+// The recording is made once outside the timers, mirroring the workflow
+// it models; cmd/tlrexp -bench-out exports the same comparisons into
+// BENCH_ci.json, where CI enforces deep-skip replay >= 2x and
+// shallow-skip parity (>= 0.9x; with a 2000-instruction warm-up there
+// is nothing to amortise, so the grid ratio is bounded by the analysis
+// cost both sides share — what v3 fixed is that decode no longer loses
+// this comparison by itself).
+func BenchmarkReplayVsExecute(b *testing.B) {
+	b.Run("deep/execute", func(b *testing.B) { runGrid(b, replaybench.Grid(nil)) })
+	b.Run("deep/replay", func(b *testing.B) {
+		rec := benchRecording(b)
 		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			batcher := tlr.NewBatcher(tlr.BatchOptions{Workers: 1})
-			if _, err := batcher.RunBatch(ctx, replaybench.Grid(replayBenchTrace)); err != nil {
-				b.Fatal(err)
-			}
-			batcher.Close()
-		}
+		runGrid(b, replaybench.Grid(rec))
+	})
+	b.Run("shallow/execute", func(b *testing.B) { runGrid(b, replaybench.ShallowGrid(nil)) })
+	b.Run("shallow/replay", func(b *testing.B) {
+		rec := benchRecording(b)
+		b.ResetTimer()
+		runGrid(b, replaybench.ShallowGrid(rec))
 	})
 }

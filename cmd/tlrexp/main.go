@@ -136,6 +136,29 @@ type sweepBench struct {
 	ExecuteSecs   float64 `json:"executeSeconds"`
 	ReplaySecs    float64 `json:"replaySeconds"`
 	ReplaySpeedup float64 `json:"replaySpeedup"`
+
+	// The shallow-skip grid: the same cells with a 2000-instruction
+	// warm-up.  There is nothing for replay's O(1) seek to amortise, so
+	// the ratio isolates decode-vs-execute (plus the analysis cost both
+	// sides pay identically); CI gates parity.
+	ReplayShallowSkip    uint64  `json:"replayShallowSkip"`
+	ExecuteShallowSecs   float64 `json:"executeShallowSeconds"`
+	ReplayShallowSecs    float64 `json:"replayShallowSeconds"`
+	ReplayShallowSpeedup float64 `json:"replayShallowSpeedup"`
+
+	// Format-level statistics over internal/replaybench's workload mix
+	// (see EncodingStats).  encodeBytesPerRecord is the v3 container at
+	// rest; CI gates it at <= 0.5x of the v2 container, and gates
+	// decodeSpeedup (v3 batched decode vs the canonical per-record
+	// decode it replaced) at >= 1.3x.
+	EncodeBytesPerRecord       float64 `json:"encodeBytesPerRecord"`
+	EncodedMemBytesPerRecord   float64 `json:"encodedMemBytesPerRecord"`
+	CanonicalBytesPerRecord    float64 `json:"canonicalBytesPerRecord"`
+	V2FileBytesPerRecord       float64 `json:"v2FileBytesPerRecord"`
+	DecodeNsPerRecord          float64 `json:"decodeNsPerRecord"`
+	CanonicalDecodeNsPerRecord float64 `json:"canonicalDecodeNsPerRecord"`
+	StepNsPerRecord            float64 `json:"stepNsPerRecord"`
+	DecodeSpeedup              float64 `json:"decodeSpeedup"`
 }
 
 // rtmSweepRequests builds the Figure-9 grid (collection heuristic x RTM
@@ -250,17 +273,24 @@ func runSweepBench(cfg expt.Config, path string) error {
 	fmt.Printf("Figure-9 sweep: %d cells, budget %d\n", b.Cells, b.RTMBudget)
 	fmt.Printf("  sequential %.2fs, parallel %.2fs on %d workers (%.1fx), warm %.3fs (%.0fx)\n",
 		b.SequentialSecs, b.ParallelSecs, b.ParallelWorkers, b.Speedup, b.WarmSecs, b.WarmSpeedup)
-	fmt.Printf("record/replay grid: %d cells, skip %d, budget %d\n", b.ReplayCells, b.ReplaySkip, b.ReplayBudget)
-	fmt.Printf("  execute %.2fs, record-once %.2fs, replay %.2fs (%.1fx)\n",
-		b.ExecuteSecs, b.RecordSecs, b.ReplaySecs, b.ReplaySpeedup)
+	fmt.Printf("record/replay grid: %d cells, budget %d\n", b.ReplayCells, b.ReplayBudget)
+	fmt.Printf("  deep skip %d:    execute %.2fs, record-once %.2fs, replay %.2fs (%.1fx)\n",
+		b.ReplaySkip, b.ExecuteSecs, b.RecordSecs, b.ReplaySecs, b.ReplaySpeedup)
+	fmt.Printf("  shallow skip %d: execute %.2fs, replay %.2fs (%.2fx)\n",
+		b.ReplayShallowSkip, b.ExecuteShallowSecs, b.ReplayShallowSecs, b.ReplayShallowSpeedup)
+	fmt.Printf("trace encoding (workload mix): canonical %.1f B/rec (v2 file %.1f), v3 %.1f B/rec in memory, %.1f on disk\n",
+		b.CanonicalBytesPerRecord, b.V2FileBytesPerRecord, b.EncodedMemBytesPerRecord, b.EncodeBytesPerRecord)
+	fmt.Printf("  decode %.1f ns/rec (canonical decode %.1f, %.2fx; simulator step %.1f)\n",
+		b.DecodeNsPerRecord, b.CanonicalDecodeNsPerRecord, b.DecodeSpeedup, b.StepNsPerRecord)
 	return nil
 }
 
-// runReplayBench times the deep-skip grid (internal/replaybench, the
-// same grid BenchmarkReplayVsExecute runs) executed live versus
-// replayed from one recording, verifies the two agree cell for cell
-// (replay equivalence, enforced on every CI run), and fills the replay
-// fields of the summary.
+// runReplayBench times the deep- and shallow-skip grids
+// (internal/replaybench, the same grids BenchmarkReplayVsExecute runs)
+// executed live versus replayed from one recording, verifies the runs
+// agree cell for cell at both depths (replay equivalence, enforced on
+// every CI run), measures the format-level encoding statistics, and
+// fills the replay fields of the summary.
 func runReplayBench(ctx context.Context, b *sweepBench) error {
 	t0 := time.Now()
 	rec, err := tlr.Record(ctx, replaybench.RecordSpec())
@@ -269,30 +299,51 @@ func runReplayBench(ctx context.Context, b *sweepBench) error {
 	}
 	record := time.Since(t0)
 
-	execB := tlr.NewBatcher(tlr.BatchOptions{Workers: 1})
-	defer execB.Close()
-	t1 := time.Now()
-	execRes, err := execB.RunBatch(ctx, replaybench.Grid(nil))
-	if err != nil {
-		return err
+	runGrid := func(reqs []tlr.Request) ([]tlr.Result, time.Duration, error) {
+		batcher := tlr.NewBatcher(tlr.BatchOptions{Workers: 1})
+		defer batcher.Close()
+		t := time.Now()
+		res, err := batcher.RunBatch(ctx, reqs)
+		return res, time.Since(t), err
 	}
-	exec := time.Since(t1)
-
-	replayB := tlr.NewBatcher(tlr.BatchOptions{Workers: 1})
-	defer replayB.Close()
-	t2 := time.Now()
-	replayRes, err := replayB.RunBatch(ctx, replaybench.Grid(rec))
-	if err != nil {
-		return err
-	}
-	replay := time.Since(t2)
-
-	for i := range execRes {
-		exe := []any{execRes[i].Study, execRes[i].RTM, execRes[i].VP}
-		rep := []any{replayRes[i].Study, replayRes[i].RTM, replayRes[i].VP}
-		if !reflect.DeepEqual(exe, rep) {
-			return fmt.Errorf("replayed grid cell %d diverged from live execution", i)
+	verify := func(execRes, replayRes []tlr.Result, depth string) error {
+		for i := range execRes {
+			exe := []any{execRes[i].Study, execRes[i].RTM, execRes[i].VP}
+			rep := []any{replayRes[i].Study, replayRes[i].RTM, replayRes[i].VP}
+			if !reflect.DeepEqual(exe, rep) {
+				return fmt.Errorf("replayed %s grid cell %d diverged from live execution", depth, i)
+			}
 		}
+		return nil
+	}
+
+	execRes, exec, err := runGrid(replaybench.Grid(nil))
+	if err != nil {
+		return err
+	}
+	replayRes, replay, err := runGrid(replaybench.Grid(rec))
+	if err != nil {
+		return err
+	}
+	if err := verify(execRes, replayRes, "deep"); err != nil {
+		return err
+	}
+
+	execShallowRes, execShallow, err := runGrid(replaybench.ShallowGrid(nil))
+	if err != nil {
+		return err
+	}
+	replayShallowRes, replayShallow, err := runGrid(replaybench.ShallowGrid(rec))
+	if err != nil {
+		return err
+	}
+	if err := verify(execShallowRes, replayShallowRes, "shallow"); err != nil {
+		return err
+	}
+
+	enc, err := replaybench.MeasureEncoding(300_000)
+	if err != nil {
+		return err
 	}
 
 	b.ReplayCells = len(execRes)
@@ -302,5 +353,17 @@ func runReplayBench(ctx context.Context, b *sweepBench) error {
 	b.ExecuteSecs = exec.Seconds()
 	b.ReplaySecs = replay.Seconds()
 	b.ReplaySpeedup = exec.Seconds() / replay.Seconds()
+	b.ReplayShallowSkip = replaybench.ShallowSkip
+	b.ExecuteShallowSecs = execShallow.Seconds()
+	b.ReplayShallowSecs = replayShallow.Seconds()
+	b.ReplayShallowSpeedup = execShallow.Seconds() / replayShallow.Seconds()
+	b.EncodeBytesPerRecord = enc.FileBytesPerRecord
+	b.EncodedMemBytesPerRecord = enc.EncodedBytesPerRecord
+	b.CanonicalBytesPerRecord = enc.CanonicalBytesPerRecord
+	b.V2FileBytesPerRecord = enc.V2FileBytesPerRecord
+	b.DecodeNsPerRecord = enc.DecodeNsPerRecord
+	b.CanonicalDecodeNsPerRecord = enc.CanonicalDecodeNsPerRecord
+	b.StepNsPerRecord = enc.StepNsPerRecord
+	b.DecodeSpeedup = enc.DecodeSpeedup
 	return nil
 }

@@ -49,7 +49,11 @@
 // Trace-driven kinds (study, rtm, vp) replay the stored stream instead
 // of simulating a program — upload once, sweep the whole configuration
 // grid.  Pipeline requests are execution-driven and reject trace
-// inputs.  GET /v1/traces lists the stored digests.
+// inputs.  GET /v1/traces lists the stored digests with their encoded
+// and canonical sizes; GET /v1/traces/{digest} downloads a stored
+// trace as a version-3 file (see cmd/tlrtrace pull), so a recording
+// made and uploaded on one host can be fetched and inspected on
+// another.
 //
 // # Shared RTM
 //
@@ -60,7 +64,9 @@
 // proceed in parallel — many goroutines, one engine instance.
 //
 // GET /healthz reports liveness; GET /v1/stats reports service, RTM and
-// history counters.
+// history counters.  With -pprof, the standard net/http/pprof endpoints
+// are mounted under /debug/pprof/ so decode and simulation hot paths
+// can be profiled against the live server.
 package main
 
 import (
@@ -69,6 +75,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 
 	"github.com/tracereuse/tlr"
 	"github.com/tracereuse/tlr/internal/core"
@@ -87,6 +94,7 @@ func main() {
 	rtmWays := flag.Int("rtm-ways", 4, "shared RTM PC ways per set")
 	rtmTraces := flag.Int("rtm-traces", 8, "shared RTM traces per PC")
 	rtmShards := flag.Int("rtm-shards", 0, "shared RTM lock stripes (0 = auto)")
+	withPprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	geom := rtm.Geometry{Sets: *rtmSets, PCWays: *rtmWays, TracesPerPC: *rtmTraces}
@@ -102,9 +110,14 @@ func main() {
 	if *maxTraceMB > 0 {
 		srv.maxTraceBytes = *maxTraceMB << 20
 	}
+	mux := srv.mux()
+	if *withPprof {
+		mountPprof(mux)
+		log.Printf("tlrserve: pprof enabled at /debug/pprof/")
+	}
 	log.Printf("tlrserve: listening on %s (shared RTM %v, %d stripes)",
 		*addr, geom, srv.shared.Shards())
-	log.Fatal(http.ListenAndServe(*addr, srv.mux()))
+	log.Fatal(http.ListenAndServe(*addr, mux))
 }
 
 type server struct {
@@ -132,6 +145,7 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
 	mux.HandleFunc("GET /v1/traces", s.handleTraceList)
+	mux.HandleFunc("GET /v1/traces/{digest}", s.handleTraceDownload)
 	mux.HandleFunc("POST /v1/rtm/insert", s.handleRTMInsert)
 	mux.HandleFunc("POST /v1/rtm/lookup", s.handleRTMLookup)
 	return mux
@@ -165,15 +179,35 @@ func (s *server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleTraceList(w http.ResponseWriter, _ *http.Request) {
 	infos := s.batcher.Traces()
 	type traceInfo struct {
-		Digest  string `json:"digest"`
-		Records uint64 `json:"records"`
-		Bytes   int    `json:"bytes"`
+		Digest         string `json:"digest"`
+		Records        uint64 `json:"records"`
+		Bytes          int    `json:"bytes"`
+		CanonicalBytes int    `json:"canonicalBytes"`
 	}
 	out := make([]traceInfo, len(infos))
 	for i, t := range infos {
-		out[i] = traceInfo{Digest: t.Digest, Records: t.Records, Bytes: t.Bytes}
+		out[i] = traceInfo{Digest: t.Digest, Records: t.Records, Bytes: t.Bytes, CanonicalBytes: t.CanonicalBytes}
 	}
 	writeJSON(w, map[string]any{"traces": out})
+}
+
+// handleTraceDownload streams a stored trace back as a version-3 trace
+// file: the other half of the upload/reference workflow, so a recording
+// pushed from one host can be pulled, inspected and replayed on
+// another (cmd/tlrtrace pull).
+func (s *server) handleTraceDownload(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	t, ok := s.batcher.TraceByDigest(digest)
+	if !ok {
+		http.Error(w, fmt.Sprintf("no stored trace with digest %q", digest), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Trace-Digest", t.Digest())
+	if _, err := t.WriteTo(w); err != nil {
+		// Headers are gone; all we can do is log and drop the connection.
+		log.Printf("tlrserve: trace download %s: %v", digest, err)
+	}
 }
 
 // --- run and batch APIs ---
@@ -367,6 +401,18 @@ func (s *server) handleRTMLookup(w http.ResponseWriter, r *http.Request) {
 }
 
 // --- misc ---
+
+// mountPprof exposes the standard profiling endpoints on the server's
+// own mux (the default-mux registrations in net/http/pprof's init do
+// not apply here), gated behind -pprof so production deployments opt
+// in: profiles expose internals and cost CPU while sampling.
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
 
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, map[string]any{"ok": true})

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -13,6 +14,7 @@ import (
 
 	"github.com/tracereuse/tlr"
 	"github.com/tracereuse/tlr/internal/rtm"
+	"github.com/tracereuse/tlr/internal/tracefile"
 )
 
 func testServer(t *testing.T) *httptest.Server {
@@ -297,5 +299,136 @@ func TestTraceUploadAndDigestRun(t *testing.T) {
 	defer gresp.Body.Close()
 	if gresp.StatusCode != http.StatusBadRequest {
 		t.Errorf("garbage upload: status %d", gresp.StatusCode)
+	}
+}
+
+// TestTraceDownloadRoundTrip covers the fetch-a-recording-made-elsewhere
+// workflow end to end over httptest: upload a recording, download it by
+// digest, and verify the returned file is a valid trace whose content
+// digest, record count and replay results match the original exactly.
+func TestTraceDownloadRoundTrip(t *testing.T) {
+	ts := testServer(t)
+
+	rec, err := tlr.Record(context.Background(), tlr.RecordSpec{Workload: "compress", Budget: 8_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var up bytes.Buffer
+	if _, err := rec.WriteTo(&up); err != nil {
+		t.Fatal(err)
+	}
+	presp, err := http.Post(ts.URL+"/v1/traces", "application/octet-stream", &up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Fatalf("upload status %d", presp.StatusCode)
+	}
+
+	// Download by digest.
+	dresp, err := http.Get(ts.URL + "/v1/traces/" + rec.Digest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("download status %d", dresp.StatusCode)
+	}
+	if ct := dresp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("download content type %q", ct)
+	}
+	data, err := io.ReadAll(dresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := tracefile.NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Version() != tracefile.Version3 {
+		t.Errorf("download carries container v%d, want v%d", fr.Version(), tracefile.Version3)
+	}
+	got, err := tlr.ReadTrace(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("downloaded file does not validate: %v", err)
+	}
+	if got.Digest() != rec.Digest() || got.Records() != rec.Records() {
+		t.Fatalf("download is %s/%d records, want %s/%d",
+			got.Digest(), got.Records(), rec.Digest(), rec.Records())
+	}
+
+	// The pulled file replays to the same results as the original
+	// recording (the point of fetching it onto another host).
+	req := tlr.Request{Study: &tlr.StudyConfig{Budget: 8_000, Window: 128}}
+	orig, err := tlr.Replay(context.Background(), rec, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pulled, err := tlr.Replay(context.Background(), got, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig.Study, pulled.Study) {
+		t.Errorf("pulled trace replays differently:\n%+v\n%+v", orig.Study, pulled.Study)
+	}
+
+	// Unknown digests are a 404, and the store listing reports both the
+	// held (v3) and canonical sizes.
+	nresp, err := http.Get(ts.URL + "/v1/traces/sha256:nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nresp.Body.Close()
+	if nresp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown digest download: status %d", nresp.StatusCode)
+	}
+	lresp, err := http.Get(ts.URL + "/v1/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lresp.Body.Close()
+	var listing struct {
+		Traces []struct {
+			Digest         string `json:"digest"`
+			Bytes          int    `json:"bytes"`
+			CanonicalBytes int    `json:"canonicalBytes"`
+		} `json:"traces"`
+	}
+	if err := json.NewDecoder(lresp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Traces) != 1 || listing.Traces[0].CanonicalBytes <= listing.Traces[0].Bytes {
+		t.Errorf("listing sizes %+v: canonical should exceed the held v3 bytes", listing.Traces)
+	}
+}
+
+// TestPprofFlagMounts checks that the profiling endpoints answer when
+// mounted (the -pprof flag) and are absent by default.
+func TestPprofFlagMounts(t *testing.T) {
+	srv := newServer(tlr.BatchOptions{Workers: 1},
+		rtm.Geometry{Sets: 64, PCWays: 4, TracesPerPC: 4}, 0)
+	defer srv.batcher.Close()
+	mux := srv.mux()
+	mountPprof(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof cmdline: status %d", resp.StatusCode)
+	}
+
+	plain := testServer(t)
+	presp, err := http.Get(plain.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode == http.StatusOK {
+		t.Error("pprof served without -pprof")
 	}
 }

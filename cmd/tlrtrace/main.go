@@ -11,19 +11,30 @@
 //	tlrtrace record -f prog.s -n 100000 -skip 1000 -o prog.trc
 //	tlrtrace dump -n 20 compress.trc
 //	tlrtrace stats compress.trc
+//	tlrtrace stat compress.trc
 //	tlrtrace digest compress.trc
 //	tlrtrace analyze -window 256 compress.trc
 //	tlrtrace push -server http://localhost:8321 compress.trc
+//	tlrtrace pull -server http://localhost:8321 -o got.trc sha256:…
 //
 // `analyze` runs the trace-driven request kinds (study + value
-// prediction) directly from the file — no re-simulation.  `push` prints
-// the content digest the server will answer to, so a follow-up run is
-// one POST away:
+// prediction) directly from the file — no re-simulation.  `stat`
+// prints the file's encoding statistics (container version, record
+// count, bytes per record in the canonical, delta and at-rest forms),
+// so format wins are observable without a benchmark run.  `push`
+// prints the content digest the server will answer to, so a follow-up
+// run is one POST away:
 //
 //	{"trace": {"digest": "sha256:…"}, "study": {"budget": 100000}}
+//
+// `pull` is push's inverse: it downloads a stored trace by digest,
+// validates it, and verifies the content digest matches the one asked
+// for before writing the file — a recording made on one host can be
+// fetched and inspected on another.
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -39,7 +50,7 @@ import (
 
 func main() {
 	if len(os.Args) < 2 {
-		fail(fmt.Errorf("usage: tlrtrace record|dump|stats|digest|analyze|push ..."))
+		fail(fmt.Errorf("usage: tlrtrace record|dump|stats|stat|digest|analyze|push|pull ..."))
 	}
 	cmd, args := os.Args[1], os.Args[2:]
 	switch cmd {
@@ -49,12 +60,16 @@ func main() {
 		dump(args)
 	case "stats":
 		statsCmd(args)
+	case "stat":
+		statCmd(args)
 	case "digest":
 		digestCmd(args)
 	case "analyze":
 		analyze(args)
 	case "push":
 		push(args)
+	case "pull":
+		pull(args)
 	default:
 		fail(fmt.Errorf("unknown subcommand %q", cmd))
 	}
@@ -91,8 +106,13 @@ func record(args []string) {
 	if err := t.Save(*out); err != nil {
 		fail(err)
 	}
-	fmt.Printf("recorded %d instructions to %s (%d bytes, %.1f B/instr)\n",
-		t.Records(), *out, t.Size(), float64(t.Size())/float64(max(t.Records(), 1)))
+	size := t.Size()
+	if fi, err := os.Stat(*out); err == nil {
+		size = int(fi.Size())
+	}
+	fmt.Printf("recorded %d instructions to %s (%d bytes, %.1f B/instr; %.1f B/instr canonical)\n",
+		t.Records(), *out, size, float64(size)/float64(max(t.Records(), 1)),
+		float64(t.CanonicalSize())/float64(max(t.Records(), 1)))
 	fmt.Printf("digest %s\n", t.Digest())
 }
 
@@ -176,6 +196,41 @@ func statsCmd(args []string) {
 		pct(memReads), pct(memWrites), pct(branches), 100*float64(taken)/float64(max(branches, 1)), sideEff)
 }
 
+// statCmd prints one trace file's encoding statistics: which container
+// version carries it, and what the stream costs per record in each
+// form — at rest (the file as stored), canonically (the v1/v2 record
+// encoding the digest covers), and in memory (the delta-encoded v3
+// form a trace store holds).
+func statCmd(args []string) {
+	fs := flag.NewFlagSet("stat", flag.ExitOnError)
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		fail(fmt.Errorf("stat: need a trace file"))
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	r, err := tracefile.NewReader(bytes.NewReader(data))
+	if err != nil {
+		fail(err)
+	}
+	t, err := tracefile.Load(bytes.NewReader(data))
+	if err != nil {
+		fail(err)
+	}
+	per := func(bytes int) float64 { return float64(bytes) / float64(max(t.Records(), 1)) }
+	canon := max(t.CanonicalBytes(), 1)
+	fmt.Printf("%s: version %d container, %d records\n", fs.Arg(0), r.Version(), t.Records())
+	fmt.Printf("  digest        %s\n", t.Digest())
+	fmt.Printf("  file          %9d bytes  %6.2f B/record  (%.2fx canonical)\n",
+		len(data), per(len(data)), float64(len(data))/float64(canon))
+	fmt.Printf("  canonical     %9d bytes  %6.2f B/record  (v1/v2 record encoding)\n",
+		t.CanonicalBytes(), per(t.CanonicalBytes()))
+	fmt.Printf("  in-memory v3  %9d bytes  %6.2f B/record  (%.2fx canonical, %d-location dictionary)\n",
+		t.Bytes(), per(t.Bytes()), float64(t.Bytes())/float64(canon), t.DictLen())
+}
+
 func digestCmd(args []string) {
 	fs := flag.NewFlagSet("digest", flag.ExitOnError)
 	_ = fs.Parse(args)
@@ -246,6 +301,54 @@ func push(args []string) {
 		fail(fmt.Errorf("push: %s: %s", resp.Status, body))
 	}
 	fmt.Print(string(body))
+}
+
+// pull downloads a trace from a tlrserve store by content digest,
+// validates the received file with the same decoder uploads go
+// through, verifies its digest is the one asked for, and writes the
+// raw bytes to disk.
+func pull(args []string) {
+	fs := flag.NewFlagSet("pull", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8321", "tlrserve base URL")
+	out := fs.String("o", "", "output trace file (required)")
+	maxMB := fs.Int64("max-mb", 1024, "largest accepted download in MiB")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		fail(fmt.Errorf("pull: need a trace digest (like sha256:…)"))
+	}
+	if *out == "" {
+		fail(fmt.Errorf("pull: -o required"))
+	}
+	digest := fs.Arg(0)
+	resp, err := http.Get(*server + "/v1/traces/" + digest)
+	if err != nil {
+		fail(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		fail(fmt.Errorf("pull: %s: %s", resp.Status, body))
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, *maxMB<<20+1))
+	if err != nil {
+		fail(err)
+	}
+	if int64(len(data)) > *maxMB<<20 {
+		fail(fmt.Errorf("pull: response exceeds %d MiB (raise -max-mb)", *maxMB))
+	}
+	t, err := tlr.ReadTrace(bytes.NewReader(data))
+	if err != nil {
+		fail(fmt.Errorf("pull: invalid trace file from server: %w", err))
+	}
+	if t.Digest() != digest {
+		fail(fmt.Errorf("pull: server returned digest %s, asked for %s", t.Digest(), digest))
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("pulled %d records to %s (%d bytes, %.1f B/instr)\n",
+		t.Records(), *out, len(data), float64(len(data))/float64(max(t.Records(), 1)))
+	fmt.Printf("digest %s\n", t.Digest())
 }
 
 func fail(err error) {

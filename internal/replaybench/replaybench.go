@@ -1,35 +1,72 @@
-// Package replaybench defines the record/replay benchmark: the
-// trace-driven request kinds at one deep-skip measurement point,
-// following the paper's methodology of skipping far into the program
-// (it skipped the first 25M instructions) before measuring a
-// 100k-instruction window.  Execution pays the full skip+budget
-// simulation per cell; replay seeks the recording's index past the
-// skip in O(1) and decodes only the measured window — that, not decode
-// speed, is where record-once/analyse-many wins (decoding a record
-// costs ~3x a simulator step on these cache-resident kernels).
+// Package replaybench defines the record/replay benchmarks shared by
+// BenchmarkReplayVsExecute and cmd/tlrexp -bench-out (BENCH_ci.json),
+// so the CI-gated numbers and the benchmark measure the same workload.
 //
-// BenchmarkReplayVsExecute and cmd/tlrexp -bench-out (the BENCH_ci.json
-// replaySpeedup that CI gates at >= 2x) both run exactly this grid, so
-// the enforced number and the benchmark measure the same workload.
+// Two grids drive the trace-driven request kinds over one recording:
+//
+//   - The deep grid follows the paper's methodology of skipping far into
+//     the program (it skipped the first 25M instructions) before
+//     measuring a 100k-instruction window.  Execution pays the full
+//     skip+budget simulation per cell; replay seeks the recording past
+//     the skip in O(1) and decodes only the measured window — that is
+//     where record-once/analyse-many wins big (CI gates >= 2x).
+//
+//   - The shallow grid measures the same window at a 2000-instruction
+//     skip, where there is no warm-up to amortise and the grid ratio is
+//     dominated by per-cell analysis cost paid identically by both
+//     sides.  Replay can therefore only approach parity here — the v2
+//     encoding lost this comparison because decoding a record cost ~3x
+//     a simulator step — and CI gates that the v3 encoding holds parity
+//     (>= 0.9x).
+//
+// MeasureEncoding isolates the format-level quantities the grids blur
+// together (bytes per record in each encoding, decode versus simulate
+// cost per record) across a representative workload mix; CI gates the
+// v3-vs-canonical decode speedup and the at-rest compression ratio from
+// those.
 package replaybench
 
-import "github.com/tracereuse/tlr"
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"time"
 
-// The grid's stream bounds and subject workload.
+	"github.com/tracereuse/tlr"
+	"github.com/tracereuse/tlr/internal/cpu"
+	"github.com/tracereuse/tlr/internal/trace"
+	"github.com/tracereuse/tlr/internal/tracefile"
+	"github.com/tracereuse/tlr/internal/workload"
+)
+
+// The grids' stream bounds and subject workload.
 const (
 	Workload = "gcc"
 	Skip     = 6_000_000
 	Budget   = 100_000
+
+	// ShallowSkip is the shallow grid's warm-up: deliberately tiny, so
+	// replay gets essentially no seek advantage and the comparison is
+	// decode versus execute.
+	ShallowSkip = 2_000
 )
 
-// RecordSpec is the one recording every replay cell shares.
+// RecordSpec is the one recording every replay cell shares: the stream
+// from instruction 0, covering both grids' windows.
 func RecordSpec() tlr.RecordSpec {
 	return tlr.RecordSpec{Workload: Workload, Budget: Skip + Budget}
 }
 
-// Grid returns the benchmark requests: trace-backed when src is
-// non-nil, program-backed otherwise.
-func Grid(src tlr.TraceSource) []tlr.Request {
+// Grid returns the deep-skip benchmark requests: trace-backed when src
+// is non-nil, program-backed otherwise.
+func Grid(src tlr.TraceSource) []tlr.Request { return GridAt(src, Skip) }
+
+// ShallowGrid returns the same requests at the shallow skip.
+func ShallowGrid(src tlr.TraceSource) []tlr.Request { return GridAt(src, ShallowSkip) }
+
+// GridAt builds the benchmark requests at an arbitrary skip.
+func GridAt(src tlr.TraceSource, skip uint64) []tlr.Request {
 	var reqs []tlr.Request
 	add := func(r tlr.Request) {
 		if src != nil {
@@ -40,14 +77,182 @@ func Grid(src tlr.TraceSource) []tlr.Request {
 		reqs = append(reqs, r)
 	}
 	for _, w := range []int{64, 256, 1024} {
-		add(tlr.Request{Study: &tlr.StudyConfig{Budget: Budget, Skip: Skip, Window: w}})
+		add(tlr.Request{Study: &tlr.StudyConfig{Budget: Budget, Skip: skip, Window: w}})
 	}
 	for _, g := range []tlr.Geometry{tlr.Geometry512, tlr.Geometry4K, tlr.Geometry32K, tlr.Geometry256K} {
-		add(tlr.Request{RTM: &tlr.RTMConfig{Geometry: g, Heuristic: tlr.ILREXP}, Skip: Skip, Budget: Budget})
+		add(tlr.Request{RTM: &tlr.RTMConfig{Geometry: g, Heuristic: tlr.ILREXP}, Skip: skip, Budget: Budget})
 	}
 	for _, h := range []tlr.Heuristic{tlr.ILRNE, tlr.IEXP} {
-		add(tlr.Request{RTM: &tlr.RTMConfig{Geometry: tlr.Geometry4K, Heuristic: h, N: 4}, Skip: Skip, Budget: Budget})
+		add(tlr.Request{RTM: &tlr.RTMConfig{Geometry: tlr.Geometry4K, Heuristic: h, N: 4}, Skip: skip, Budget: Budget})
 	}
-	add(tlr.Request{VP: &tlr.VPConfig{Window: 256}, Skip: Skip, Budget: Budget})
+	add(tlr.Request{VP: &tlr.VPConfig{Window: 256}, Skip: skip, Budget: Budget})
 	return reqs
+}
+
+// EncodingWorkloads is the stream mix the encoding statistics cover:
+// integer-heavy, memory-heavy and floating-point workloads, because the
+// two encodings differ most where operand values are widest (the
+// canonical form spends 5-10 byte varints on FP bit patterns and
+// addresses that v3 delta- or dictionary-encodes away).
+var EncodingWorkloads = []string{"gcc", "compress", "ijpeg", "applu", "tomcatv"}
+
+// EncodingStats reports the format-level costs of one recorded stream
+// mix: bytes per record in each encoding and at rest, and the
+// per-record cost of decoding versus re-simulating.
+type EncodingStats struct {
+	Workloads []string
+	Records   uint64 // per workload
+
+	// Mean bytes per record (total bytes over total records).
+	CanonicalBytesPerRecord float64 // canonical record encoding (v1 body, v2 payload)
+	V2FileBytesPerRecord    float64 // v2 container as written
+	EncodedBytesPerRecord   float64 // in-memory v3 delta encoding
+	FileBytesPerRecord      float64 // v3 container as written (flate-framed)
+
+	// Mean nanoseconds per record (best of three passes per workload).
+	StepNsPerRecord            float64 // live functional-simulator step
+	CanonicalDecodeNsPerRecord float64 // v1/v2 per-record decode (the old replay path)
+	DecodeNsPerRecord          float64 // v3 batched decode (the new replay path)
+
+	// DecodeSpeedup is the geometric mean over the workload mix of
+	// canonical-decode time over v3-decode time: how much faster the
+	// replay hot path got, format for format, on the same streams.
+	DecodeSpeedup float64
+}
+
+// countWriter counts bytes written (for container sizes).
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// MeasureEncoding records n instructions of each workload in the mix
+// and measures both encodings' density and decode cost against the live
+// simulator on the same streams.
+func MeasureEncoding(n uint64) (EncodingStats, error) {
+	st := EncodingStats{Workloads: EncodingWorkloads, Records: n, DecodeSpeedup: 1}
+	var totRecords, totCanon, totV2, totV3, totV3File uint64
+	var stepNs, canonNs, v3Ns float64
+	geo := 1.0
+	for _, name := range EncodingWorkloads {
+		w, ok := workload.ByName(name)
+		if !ok {
+			return st, fmt.Errorf("replaybench: unknown workload %q", name)
+		}
+		prog, err := w.Program()
+		if err != nil {
+			return st, err
+		}
+		step, err := bestOf(3, func() (uint64, error) {
+			return cpu.New(prog).Run(n, func(*trace.Exec) {})
+		})
+		if err != nil {
+			return st, err
+		}
+		rec := tracefile.NewRecorder()
+		got, err := cpu.New(prog).Run(n, rec.Write)
+		if err != nil {
+			return st, err
+		}
+		tr := rec.Trace()
+		var v2w, v3w countWriter
+		if _, err := tr.WriteToVersion(&v2w, tracefile.Version2); err != nil {
+			return st, err
+		}
+		if _, err := tr.WriteToVersion(&v3w, tracefile.Version3); err != nil {
+			return st, err
+		}
+		canon, err := canonicalBytes(tr)
+		if err != nil {
+			return st, err
+		}
+		cDec, err := bestOf(3, func() (uint64, error) {
+			return tracefile.CanonicalDecode(canon, func(*trace.Exec) {})
+		})
+		if err != nil {
+			return st, err
+		}
+		vDec, err := bestOf(3, func() (uint64, error) { return v3Decode(tr) })
+		if err != nil {
+			return st, err
+		}
+		totRecords += got
+		totCanon += uint64(tr.CanonicalBytes())
+		totV2 += uint64(v2w.n)
+		totV3 += uint64(tr.Bytes())
+		totV3File += uint64(v3w.n)
+		stepNs += step
+		canonNs += cDec
+		v3Ns += vDec
+		geo *= cDec / vDec
+	}
+	nw := float64(len(EncodingWorkloads))
+	st.CanonicalBytesPerRecord = float64(totCanon) / float64(totRecords)
+	st.V2FileBytesPerRecord = float64(totV2) / float64(totRecords)
+	st.EncodedBytesPerRecord = float64(totV3) / float64(totRecords)
+	st.FileBytesPerRecord = float64(totV3File) / float64(totRecords)
+	st.StepNsPerRecord = stepNs / nw
+	st.CanonicalDecodeNsPerRecord = canonNs / nw
+	st.DecodeNsPerRecord = v3Ns / nw
+	st.DecodeSpeedup = math.Pow(geo, 1/nw)
+	return st, nil
+}
+
+// canonicalBytes extracts the canonical record stream by writing the
+// version-1 container and stripping its 12-byte prelude.
+func canonicalBytes(tr *tracefile.Trace) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := tr.WriteToVersion(&buf, tracefile.Version); err != nil {
+		return nil, err
+	}
+	return buf.Bytes()[12:], nil
+}
+
+// v3Decode drives the batched cursor over the whole trace, consuming
+// records in place the way the replay engines do.
+func v3Decode(tr *tracefile.Trace) (uint64, error) {
+	cur := tr.Cursor()
+	defer cur.Close()
+	var n, sink uint64
+	for {
+		batch, err := cur.NextBatch()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return n, err
+		}
+		for i := range batch {
+			sink += batch[i].PC
+		}
+		n += uint64(len(batch))
+	}
+	if sink == 1<<63 {
+		// Impossible in practice; keeps the consume loop observable so it
+		// cannot be optimised away from the measurement.
+		return n, fmt.Errorf("replaybench: sentinel hit")
+	}
+	return n, nil
+}
+
+// bestOf runs f reps times and returns the best nanoseconds-per-record.
+func bestOf(reps int, f func() (uint64, error)) (float64, error) {
+	best := 0.0
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		n, err := f()
+		if err != nil {
+			return 0, err
+		}
+		if n == 0 {
+			return 0, fmt.Errorf("replaybench: empty run")
+		}
+		v := float64(time.Since(t0).Nanoseconds()) / float64(n)
+		if i == 0 || v < best {
+			best = v
+		}
+	}
+	return best, nil
 }

@@ -26,12 +26,15 @@ import (
 // the live simulator skips executing them, with the entry's net outputs
 // applied to the shadow state the way applyEntry writes the CPU.
 
-// ReplayStream is a positioned, skippable recorded stream
-// (tracefile.Cursor implements it).
+// ReplayStream is a positioned, skippable recorded stream delivering
+// records a decoded batch at a time (tracefile.Cursor implements it).
 type ReplayStream interface {
-	// Next decodes the next record, returning io.EOF at the end of the
-	// stream.
-	Next(e *trace.Exec) error
+	// NextBatch returns the next run of decoded records, valid until the
+	// following NextBatch or Skip call; it returns io.EOF at the end of
+	// the stream.  Batched delivery is what makes replay cheap: the
+	// stream decodes a block in one tight loop and the simulation walks
+	// the records in place, instead of paying a decode call per record.
+	NextBatch() ([]trace.Exec, error)
 	// Skip advances past up to n records, returning how many were
 	// actually skipped (fewer only at the end of the stream).
 	Skip(n uint64) (uint64, error)
@@ -47,8 +50,8 @@ type Replay struct {
 	col   collector
 	state replayState
 
-	peek   trace.Exec
-	peeked bool
+	batch []trace.Exec
+	bi    int
 
 	executed uint64
 	skipped  uint64
@@ -92,10 +95,10 @@ func (p *Replay) RunContext(ctx context.Context, budget uint64) (Result, error) 
 			}
 		}
 		iter++
-		if !p.peeked {
-			switch err := p.src.Next(&p.peek); err {
+		if p.bi >= len(p.batch) {
+			switch batch, err := p.src.NextBatch(); err {
 			case nil:
-				p.peeked = true
+				p.batch, p.bi = batch, 0
 			case io.EOF:
 				// End of the recorded stream: the live machine would have
 				// halted here (or the recording ends; there is nothing
@@ -106,17 +109,25 @@ func (p *Replay) RunContext(ctx context.Context, budget uint64) (Result, error) 
 				return p.result(), err
 			}
 		}
-		if entry := p.rtm.Lookup(p.peek.PC, &p.state); entry != nil {
+		if entry := p.rtm.Lookup(p.batch[p.bi].PC, &p.state); entry != nil {
 			// Reuse: consume the trace's records from the stream — the
-			// peeked record plus Len-1 more — without executing them,
-			// exactly as the live simulator skips them.  A short skip
-			// means the stream ended inside the reused trace; the reuse
-			// itself is unaffected (its effects come from the entry, not
-			// the stream), and the next iteration observes the end.
-			p.peeked = false
-			if entry.Sum.Len > 1 {
-				if _, err := p.src.Skip(uint64(entry.Sum.Len - 1)); err != nil {
-					return p.result(), err
+			// record under the cursor plus Len-1 more — without executing
+			// them, exactly as the live simulator skips them.  Records
+			// still in the decoded batch are skipped by advancing the
+			// batch index; only a trace spilling past the batch touches
+			// the stream.  A short skip means the stream ended inside the
+			// reused trace; the reuse itself is unaffected (its effects
+			// come from the entry, not the stream), and the next
+			// iteration observes the end.
+			p.bi++
+			if k := uint64(entry.Sum.Len - 1); k > 0 {
+				if avail := uint64(len(p.batch) - p.bi); k <= avail {
+					p.bi += int(k)
+				} else {
+					p.bi = len(p.batch)
+					if _, err := p.src.Skip(k - avail); err != nil {
+						return p.result(), err
+					}
 				}
 			}
 			for _, r := range entry.Sum.Outs {
@@ -133,8 +144,8 @@ func (p *Replay) RunContext(ctx context.Context, budget uint64) (Result, error) 
 			}
 			continue
 		}
-		e := &p.peek
-		p.peeked = false
+		e := &p.batch[p.bi]
+		p.bi++
 		p.executed++
 		p.col.observe(e)
 		p.state.observe(e)

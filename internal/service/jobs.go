@@ -98,6 +98,7 @@ func (s Source) run(ctx context.Context, skip, max uint64, fn func(*trace.Exec))
 		return c.RunContext(ctx, max, fn)
 	}
 	cur := s.tr.Cursor()
+	defer cur.Close()
 	skip, err := s.streamSkip(skip)
 	if err != nil {
 		return 0, err
@@ -264,6 +265,7 @@ func RunRTM(ctx context.Context, src Source, p RTMParams) (rtm.Result, error) {
 		return rtm.NewSim(p.Config, c).RunContext(ctx, p.Budget)
 	}
 	cur := src.tr.Cursor()
+	defer cur.Close()
 	skip, err := src.streamSkip(p.Skip)
 	if err != nil {
 		return rtm.Result{}, err

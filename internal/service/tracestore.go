@@ -65,11 +65,16 @@ func (c *traceStore) get(digest string) (*tracefile.Trace, bool) {
 
 func (c *traceStore) len() int { return c.order.Len() }
 
-// TraceInfo describes one stored trace.
+// TraceInfo describes one stored trace.  Bytes is what the store
+// actually holds (the delta-encoded v3 form — the byte-bounded LRU is
+// bounded on this); CanonicalBytes is what the same stream costs in
+// the uncompressed canonical encoding, so the store's density win is
+// observable per trace.
 type TraceInfo struct {
-	Digest  string
-	Records uint64
-	Bytes   int
+	Digest         string
+	Records        uint64
+	Bytes          int
+	CanonicalBytes int
 }
 
 // list returns the stored traces, most recently used first.
@@ -77,7 +82,12 @@ func (c *traceStore) list() []TraceInfo {
 	out := make([]TraceInfo, 0, c.order.Len())
 	for el := c.order.Front(); el != nil; el = el.Next() {
 		ent := el.Value.(*traceEntry)
-		out = append(out, TraceInfo{Digest: ent.digest, Records: ent.t.Records(), Bytes: ent.t.Bytes()})
+		out = append(out, TraceInfo{
+			Digest:         ent.digest,
+			Records:        ent.t.Records(),
+			Bytes:          ent.t.Bytes(),
+			CanonicalBytes: ent.t.CanonicalBytes(),
+		})
 	}
 	return out
 }

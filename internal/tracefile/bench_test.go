@@ -1,0 +1,112 @@
+package tracefile
+
+import (
+	"context"
+	"io"
+	"testing"
+
+	"github.com/tracereuse/tlr/internal/cpu"
+	"github.com/tracereuse/tlr/internal/trace"
+	"github.com/tracereuse/tlr/internal/workload"
+)
+
+// benchTrace records one gcc stream for the decode benchmarks.
+func benchTrace(b *testing.B, n uint64) *Trace {
+	b.Helper()
+	return recordWorkload(b, "gcc", n)
+}
+
+// BenchmarkBatchDecode measures the batched v3 decode path the replay
+// engines drive (NextBatch, records consumed in place) — what every
+// replayed record costs before analysis.  Compare against
+// BenchmarkSimulatorStep (the cost a replayed record is up against) and
+// BenchmarkCanonicalDecode (the per-record decode this format
+// replaced).
+func BenchmarkBatchDecode(b *testing.B) {
+	tr := benchTrace(b, 200_000)
+	b.ResetTimer()
+	var sink, total uint64
+	for i := 0; i < b.N; i++ {
+		cur := tr.Cursor()
+		for {
+			batch, err := cur.NextBatch()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := range batch {
+				sink += batch[j].PC
+			}
+			total += uint64(len(batch))
+		}
+		cur.Close()
+	}
+	b.StopTimer()
+	if sink == 0 {
+		b.Fatal("empty stream")
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(total), "ns/record")
+}
+
+// BenchmarkCursorRun measures the callback delivery path (Cursor.Run)
+// the stream-consuming analyses use.
+func BenchmarkCursorRun(b *testing.B) {
+	tr := benchTrace(b, 200_000)
+	ctx := context.Background()
+	b.ResetTimer()
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		cur := tr.Cursor()
+		n, err := cur.Run(ctx, tr.Records(), func(*trace.Exec) {})
+		cur.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += n
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(total), "ns/record")
+}
+
+// BenchmarkCanonicalDecode measures the canonical (v1/v2) per-record
+// decode loop that was the replay hot path before the v3 encoding —
+// the baseline for the decodeSpeedup number CI gates.
+func BenchmarkCanonicalDecode(b *testing.B) {
+	tr := benchTrace(b, 200_000)
+	canon, _, err := tr.canonicalEncoding()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		n, err := CanonicalDecode(canon, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += n
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(total), "ns/record")
+}
+
+// BenchmarkSimulatorStep measures the functional simulator producing
+// the same stream live: the cost a replayed record is up against.
+func BenchmarkSimulatorStep(b *testing.B) {
+	w, _ := workload.ByName("gcc")
+	prog, err := w.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 200_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cpu.New(prog).Run(n, func(*trace.Exec) {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(uint64(b.N)*n), "ns/record")
+}

@@ -17,8 +17,8 @@ import (
 // invariants, and Load must round-trip to an identical, identically
 // digested trace.
 func FuzzTraceReader(f *testing.F) {
-	// Seeds: a real recorded stream in both container versions, plus
-	// truncations and header corruptions of each.
+	// Seeds: a real recorded stream in all three container versions,
+	// plus truncations and header corruptions of each.
 	w, _ := workload.ByName("compress")
 	prog, err := w.Program()
 	if err != nil {
@@ -30,33 +30,23 @@ func FuzzTraceReader(f *testing.F) {
 	}
 	tr := rec.Trace()
 
-	var v2 bytes.Buffer
-	if _, err := tr.WriteTo(&v2); err != nil {
-		f.Fatal(err)
-	}
-	var v1 bytes.Buffer
-	wr, err := NewWriter(&v1)
-	if err != nil {
-		f.Fatal(err)
-	}
-	cur := tr.Cursor()
-	var e trace.Exec
-	for cur.Next(&e) == nil {
-		if err := wr.Write(&e); err != nil {
+	for _, version := range []uint32{Version, Version2, Version3} {
+		var buf bytes.Buffer
+		if _, err := tr.WriteToVersion(&buf, version); err != nil {
 			f.Fatal(err)
 		}
-	}
-	if err := wr.Flush(); err != nil {
-		f.Fatal(err)
-	}
-
-	for _, seed := range [][]byte{v1.Bytes(), v2.Bytes()} {
+		seed := buf.Bytes()
 		f.Add(seed)
 		f.Add(seed[:len(seed)/2])
 		f.Add(seed[:13])
 		mut := append([]byte(nil), seed...)
 		mut[9] ^= 0xff
 		f.Add(mut)
+		// One flip inside the record region (for v3: the compressed
+		// frame), so the fuzzer starts from near-valid damaged payloads.
+		mut2 := append([]byte(nil), seed...)
+		mut2[len(mut2)*3/4] ^= 0x20
+		f.Add(mut2)
 	}
 	f.Add([]byte("TLRTRACE"))
 	f.Add([]byte{})

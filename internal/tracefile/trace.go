@@ -1,20 +1,24 @@
 package tracefile
 
-// The in-memory trace: an immutable, canonically encoded record stream
-// with a content digest and a coarse record index.  This is the unit the
-// service's trace store holds and the replay engines consume — the
-// Reader/Writer pair streams the same records through io, but a Trace
-// can be digest-addressed (stable cache keys), skipped into in O(1) via
-// the index, and replayed many times without re-parsing headers.
+// The in-memory trace: an immutable record stream held in the version-3
+// block/delta encoding (see v3.go) with a content digest and per-block
+// offsets.  This is the unit the service's trace store holds and the
+// replay engines consume — the Reader/Writer pair streams records
+// through io, but a Trace can be digest-addressed (stable cache keys),
+// skipped into in O(1) via its block offsets, and replayed many times
+// through a block-batched Cursor without re-parsing headers.
 //
-// The digest is computed over the canonical record encoding only (never
-// the container header), so the same dynamic stream has the same digest
-// whether it was recorded in memory, loaded from a version-1 file, or
-// uploaded as a version-2 file.  Load re-encodes canonically for exactly
-// this reason.
+// The digest is computed over the *canonical* record encoding (the
+// version-1 record stream; never a container header and never the v3
+// delta form), so the same dynamic stream has the same digest whether
+// it was recorded in memory or loaded from a version-1, -2 or -3 file.
+// Load re-encodes canonically for exactly this reason, and the Recorder
+// hashes the canonical bytes it accumulates before transcoding them to
+// the v3 form it keeps.
 
 import (
 	"bufio"
+	"compress/flate"
 	"context"
 	"crypto/sha256"
 	"encoding/binary"
@@ -25,28 +29,41 @@ import (
 	"github.com/tracereuse/tlr/internal/trace"
 )
 
-// IndexInterval is the record granularity of a Trace's skip index: the
-// byte offset of every IndexInterval-th record is kept, so Cursor.Skip
-// decodes at most IndexInterval-1 record headers regardless of distance.
+// IndexInterval is the record granularity of the version-2 container's
+// skip index (kept for compatibility; the in-memory Trace seeks via its
+// v3 block offsets instead, at BlockLen granularity).
 const IndexInterval = 4096
 
 // DigestPrefix names the digest algorithm in a Trace digest string.
 const DigestPrefix = "sha256:"
 
-// Trace is an immutable in-memory recorded stream.
+// Trace is an immutable in-memory recorded stream in the v3 encoding.
 type Trace struct {
-	enc    []byte // canonical record encoding (no container header)
-	n      uint64
-	sum    [sha256.Size]byte // sha256(enc), computed once at finalisation
-	digest string            // DigestPrefix + hex of sum
-	index  []int             // index[i] = offset of record i*IndexInterval
+	enc       []byte // v3 block/delta encoding (no container header)
+	n         uint64
+	canonical int               // size of the canonical (v1 record) encoding
+	sum       [sha256.Size]byte // sha256 of the canonical encoding
+	digest    string            // DigestPrefix + hex of sum
+	dict      []trace.Loc       // operand-location dictionary, hottest first
+	blocks    []int             // blocks[i] = offset of record i*BlockLen in enc
 }
 
 // Records returns the number of records in the trace.
 func (t *Trace) Records() uint64 { return t.n }
 
-// Bytes returns the encoded size of the record stream in bytes.
+// Bytes returns the in-memory encoded size of the record stream in
+// bytes (the v3 delta encoding — what a trace store holding this Trace
+// actually spends).
 func (t *Trace) Bytes() int { return len(t.enc) }
+
+// CanonicalBytes returns the size of the stream's canonical (version-1
+// record) encoding: the form the digest covers, and what a v1 or v2
+// container would spend on the same stream.
+func (t *Trace) CanonicalBytes() int { return t.canonical }
+
+// DictLen returns the number of entries in the trace's operand-location
+// dictionary.
+func (t *Trace) DictLen() int { return len(t.dict) }
 
 // Digest returns the content digest of the canonical record encoding,
 // like "sha256:9f86d0…".  Equal streams have equal digests regardless
@@ -54,136 +71,247 @@ func (t *Trace) Bytes() int { return len(t.enc) }
 func (t *Trace) Digest() string { return t.digest }
 
 // Recorder accumulates records into an in-memory Trace: the recording
-// half of the record/replay workflow.
+// half of the record/replay workflow.  It buffers the canonical
+// encoding (the digest is defined over it) and counts location
+// frequencies; finalisation builds the dictionary and transcodes to the
+// v3 form the Trace keeps.
 type Recorder struct {
-	enc   []byte
+	canon []byte
 	buf   [4 * binary.MaxVarintLen64]byte
 	n     uint64
-	index []int
+	freq  map[trace.Loc]uint64
 }
 
 // NewRecorder returns an empty Recorder.
-func NewRecorder() *Recorder { return &Recorder{} }
+func NewRecorder() *Recorder {
+	return &Recorder{freq: make(map[trace.Loc]uint64)}
+}
 
 // Write appends one record.  The signature matches the cpu.Run callback
 // so a Recorder can tap the simulator's stream directly.
 func (r *Recorder) Write(e *trace.Exec) {
-	if r.n%IndexInterval == 0 {
-		r.index = append(r.index, len(r.enc))
+	r.canon = append(r.canon, appendRecord(r.buf[:0], e)...)
+	for _, ref := range e.Inputs() {
+		r.freq[ref.Loc]++
 	}
-	r.enc = append(r.enc, appendRecord(r.buf[:0], e)...)
+	for _, ref := range e.Outputs() {
+		r.freq[ref.Loc]++
+	}
 	r.n++
 }
 
 // Records returns how many records were written so far.
 func (r *Recorder) Records() uint64 { return r.n }
 
-// Trace finalises the recording.  The Recorder must not be written to
-// afterwards.
+// Trace finalises the recording: digest the canonical bytes, build the
+// location dictionary, transcode to the v3 encoding.  The Recorder must
+// not be written to afterwards.
 func (r *Recorder) Trace() *Trace {
-	sum := sha256.Sum256(r.enc)
+	sum := sha256.Sum256(r.canon)
+	dict := buildDict(r.freq)
+	// The v3 form is smaller than canonical; starting at 3/4 the size
+	// avoids most growth copies without overshooting.
+	v := newV3Encoder(dict, len(r.canon)*3/4)
+	var e trace.Exec
+	off := 0
+	for i := uint64(0); i < r.n; i++ {
+		var err error
+		if off, err = decodeRecord(r.canon, off, i, &e); err != nil {
+			// Write accepts any *trace.Exec, but only records that decode
+			// back (valid op, in-range ref counts) can be carried by any
+			// container version; a failure here is a caller bug, caught at
+			// the same point a Save or WriteTo would have failed before.
+			panic("tracefile: Recorder holds an unencodable record: " + err.Error())
+		}
+		v.write(&e)
+	}
 	return &Trace{
-		enc:    r.enc,
-		n:      r.n,
-		sum:    sum,
-		digest: fmt.Sprintf("%s%x", DigestPrefix, sum),
-		index:  r.index,
+		enc:       v.enc,
+		n:         r.n,
+		canonical: len(r.canon),
+		sum:       sum,
+		digest:    fmt.Sprintf("%s%x", DigestPrefix, sum),
+		dict:      dict,
+		blocks:    v.blocks,
 	}
 }
 
-// Cursor is a read position in a Trace.  It is not safe for concurrent
-// use; take one Cursor per replay.
+// Cursor is a read position in a Trace.  It decodes a batch of records
+// at a time into a pooled arena, carrying the block's delta state
+// across batches; Close returns the arena to the pool (and invalidates
+// any batch NextBatch returned).  A Cursor is not safe for concurrent
+// use; take one per replay.
 type Cursor struct {
-	t   *Trace
-	off int
-	i   uint64
+	t      *Trace
+	pos    uint64 // index of the next record to deliver
+	buf    []trace.Exec
+	bstart uint64 // absolute index of buf[0]; valid only when buf != nil
+	arena  *blockArena
+
+	// Decode-head state: the position, byte offset and delta state of
+	// the next undecoded record.  Always trails by at most one block:
+	// seeking restarts it at the target's block boundary.
+	dPos   uint64
+	dOff   int
+	prevPC uint64
 }
 
 // Cursor returns a new Cursor positioned at the first record.
 func (t *Trace) Cursor() *Cursor { return &Cursor{t: t} }
 
 // Pos returns the index of the next record to be read.
-func (c *Cursor) Pos() uint64 { return c.i }
+func (c *Cursor) Pos() uint64 { return c.pos }
+
+// Close releases the Cursor's decode arena back to the shared pool.  It
+// is optional (a dropped Cursor is garbage-collected normally) but
+// keeps grid replays from growing the pool; the Cursor must not be used
+// afterwards, and batches returned by NextBatch become invalid.
+func (c *Cursor) Close() {
+	if c.arena != nil {
+		arenaPool.Put(c.arena)
+		c.arena, c.buf = nil, nil
+	}
+}
+
+// load advances the decode head until the batch buffer covers c.pos,
+// restarting at the target's block boundary after a seek (that is the
+// closest point with known delta state, so a skip decodes at most
+// BlockLen-1 discarded records).
+func (c *Cursor) load() error {
+	if c.arena == nil {
+		c.arena = arenaPool.Get().(*blockArena)
+		// The pool is shared across traces (and, in a server, across
+		// clients): zero the record slots once per adoption so operand
+		// slots beyond a record's NIn/NOut can only ever hold residue
+		// from this cursor's own trace, never another tenant's values.
+		clear(c.arena.recs[:])
+	}
+	if blockStart := c.pos / BlockLen * BlockLen; c.dPos < blockStart || c.dPos > c.pos {
+		c.dPos = blockStart
+	}
+	for {
+		// At a block boundary the delta state resets and the byte offset
+		// re-anchors on the block table (also how a fresh Cursor and a
+		// post-seek Cursor initialise).
+		if c.dPos%BlockLen == 0 {
+			c.dOff = c.t.blocks[c.dPos/BlockLen]
+			c.prevPC = 0
+			clear(c.arena.last[:len(c.t.dict)])
+		}
+		count := BlockLen - int(c.dPos%BlockLen)
+		if rem := c.t.n - c.dPos; uint64(count) > rem {
+			count = int(rem)
+		}
+		if count > BatchLen {
+			count = BatchLen
+		}
+		end, prev, err := decodeRun(c.t.enc, c.dOff, c.dPos, count, c.t.dict, c.prevPC, c.arena.last[:], c.arena.recs[:])
+		if err != nil {
+			return err
+		}
+		c.buf = c.arena.recs[:count]
+		c.bstart = c.dPos
+		c.dPos += uint64(count)
+		c.dOff = end
+		c.prevPC = prev
+		if c.pos < c.dPos {
+			return nil
+		}
+	}
+}
+
+// loaded reports whether c.pos falls inside the decoded block.
+func (c *Cursor) loaded() bool {
+	return c.buf != nil && c.pos >= c.bstart && c.pos < c.bstart+uint64(len(c.buf))
+}
 
 // Next decodes the next record into e.  It returns io.EOF cleanly at
 // the end of the trace.
 func (c *Cursor) Next(e *trace.Exec) error {
-	if c.i >= c.t.n {
+	if c.pos >= c.t.n {
 		return io.EOF
 	}
-	off, err := decodeRecord(c.t.enc, c.off, c.i, e)
-	if err != nil {
-		return err
+	if !c.loaded() {
+		if err := c.load(); err != nil {
+			return err
+		}
 	}
-	c.off = off
-	c.i++
+	*e = c.buf[c.pos-c.bstart]
+	c.pos++
 	return nil
 }
 
-// Skip advances past up to n records without decoding their operands,
-// jumping via the trace's index when it is ahead of the current
-// position.  It returns how many records were actually skipped (fewer
-// than n only at the end of the trace).
-func (c *Cursor) Skip(n uint64) (uint64, error) {
-	target := c.i + n
-	if target > c.t.n {
-		target = c.t.n
+// NextBatch decodes and consumes the next run of records — up to
+// BatchLen of them, never crossing a block boundary — returning a slice
+// that stays valid until the next Cursor call.  It returns io.EOF
+// cleanly at the end of the trace.  This is the batched iterator the
+// replay engines drive: one call per up-to-BatchLen records instead of
+// one decode loop per record.
+func (c *Cursor) NextBatch() ([]trace.Exec, error) {
+	if c.pos >= c.t.n {
+		return nil, io.EOF
 	}
-	skipped := target - c.i
-	// Jump to the highest checkpoint that is past the current position
-	// but not past the target.
-	if ck := target / IndexInterval; ck*IndexInterval > c.i && ck < uint64(len(c.t.index)) {
-		c.off = c.t.index[ck]
-		c.i = ck * IndexInterval
-	}
-	for c.i < target {
-		off, err := skipRecord(c.t.enc, c.off, c.i)
-		if err != nil {
-			return target - c.i, err
+	if !c.loaded() {
+		if err := c.load(); err != nil {
+			return nil, err
 		}
-		c.off = off
-		c.i++
 	}
-	return skipped, nil
+	out := c.buf[c.pos-c.bstart:]
+	c.pos += uint64(len(out))
+	return out, nil
+}
+
+// Skip advances past up to n records without decoding anything: the
+// position moves, and the next read decodes only the target's block.
+// It returns how many records were actually skipped (fewer than n only
+// at the end of the trace).
+func (c *Cursor) Skip(n uint64) (uint64, error) {
+	if rem := c.t.n - c.pos; n > rem {
+		n = rem
+	}
+	c.pos += n
+	return n, nil
 }
 
 // Run delivers up to max records to fn, polling ctx for cancellation
-// every cancelCheckInterval records (the replay-side twin of
-// cpu.RunContext).  The Exec passed to fn is reused across records;
-// consumers that retain it must copy.  It returns the number of records
-// delivered, stopping early without error at the end of the trace.
+// once per decoded batch of up-to-BatchLen records (the replay-side
+// twin of cpu.RunContext).  The records passed to fn live in the
+// Cursor's arena and are overwritten by later batches; consumers that
+// retain one must copy.  It returns the number of records delivered,
+// stopping early without error at the end of the trace.
 func (c *Cursor) Run(ctx context.Context, max uint64, fn func(*trace.Exec)) (uint64, error) {
-	var e trace.Exec
 	var n uint64
 	for n < max {
-		if n%cancelCheckInterval == 0 {
-			if err := ctx.Err(); err != nil {
-				return n, err
-			}
+		if err := ctx.Err(); err != nil {
+			return n, err
 		}
-		switch err := c.Next(&e); err {
+		batch, err := c.NextBatch()
+		switch err {
 		case nil:
-			n++
-			if fn != nil {
-				fn(&e)
-			}
 		case io.EOF:
 			return n, nil
 		default:
 			return n, err
 		}
+		if want := max - n; uint64(len(batch)) > want {
+			// Hand back the tail of the batch: the cursor position stays
+			// inside the decoded block, so the next read is free.
+			c.pos -= uint64(len(batch)) - want
+			batch = batch[:want]
+		}
+		n += uint64(len(batch))
+		if fn != nil {
+			for i := range batch {
+				fn(&batch[i])
+			}
+		}
 	}
 	return n, nil
 }
 
-// cancelCheckInterval mirrors cpu.CancelCheckInterval (which tracefile
-// cannot import without inverting the dependency between the codec and
-// the simulator): coarse enough to stay out of profiles, fine enough
-// that cancellation lands within microseconds.
-const cancelCheckInterval = 4096
-
 // appendRecord appends the canonical encoding of e to buf.  It is the
-// single definition of the record format; Writer and Recorder share it.
+// single definition of the canonical record format (the digest's
+// domain); Writer and Recorder share it.
 func appendRecord(buf []byte, e *trace.Exec) []byte {
 	flags := byte(e.NIn)<<flagNInShift | byte(e.NOut)<<flagNOutShift
 	if e.SideEffect {
@@ -209,9 +337,9 @@ func appendRecord(buf []byte, e *trace.Exec) []byte {
 	return buf
 }
 
-// decodeRecord decodes the record at enc[off:] into e and returns the
-// offset of the following record.  idx is the record's index, used only
-// for error context.
+// decodeRecord decodes the canonical record at enc[off:] into e and
+// returns the offset of the following record.  idx is the record's
+// index, used only for error context.
 func decodeRecord(enc []byte, off int, idx uint64, e *trace.Exec) (int, error) {
 	start := off
 	if off+3 > len(enc) {
@@ -243,8 +371,6 @@ func decodeRecord(enc []byte, off int, idx uint64, e *trace.Exec) (int, error) {
 	} else if e.Next, off, err = sliceUvarint(enc, off); err != nil {
 		return off, recErr(idx, start, err)
 	}
-	// Operand refs are filled directly (counts were validated above);
-	// this loop decodes two varints per ref and is the replay hot path.
 	for i := 0; i < nIn; i++ {
 		var loc, val uint64
 		if loc, off, err = sliceUvarint(enc, off); err != nil {
@@ -270,39 +396,46 @@ func decodeRecord(enc []byte, off int, idx uint64, e *trace.Exec) (int, error) {
 	return off, nil
 }
 
-// skipRecord advances past the record at enc[off:] without materialising
-// its operands — the fast path behind Cursor.Skip.
-func skipRecord(enc []byte, off int, idx uint64) (int, error) {
-	start := off
-	if off+3 > len(enc) {
-		return off, recErr(idx, start, io.ErrUnexpectedEOF)
-	}
-	flags := enc[off]
-	off += 3
-	nVarints := 1 // PC
-	if flags&flagSeqNext == 0 {
-		nVarints++
-	}
-	nVarints += 2 * (int(flags>>flagNInShift)&3 + int(flags>>flagNOutShift)&3)
-	var err error
-	for i := 0; i < nVarints; i++ {
-		if _, off, err = sliceUvarint(enc, off); err != nil {
-			return off, recErr(idx, start, err)
+// CanonicalDecode iterates a bare canonical (version-1/2) record
+// stream, delivering each record to fn (which may be nil) and
+// returning the record count.  This is the per-record decode loop that
+// was the replay hot path before the v3 encoding; it is exported so
+// format-comparison tooling (internal/replaybench, the decodeSpeedup
+// number CI gates) can measure the old cost against the new one on the
+// same stream.
+func CanonicalDecode(enc []byte, fn func(*trace.Exec)) (uint64, error) {
+	var e trace.Exec
+	var n uint64
+	off := 0
+	for off < len(enc) {
+		var err error
+		if off, err = decodeRecord(enc, off, n, &e); err != nil {
+			return n, err
 		}
+		if fn != nil {
+			fn(&e)
+		}
+		n++
 	}
-	return off, nil
+	return n, nil
 }
 
 // sliceUvarint reads one uvarint at enc[off:].  The one-byte case —
-// the overwhelming majority of operand locations, latencies and PC
-// deltas — is inlined ahead of the generic loop: this decode is the
-// replay hot path, executed once per varint of every replayed record.
+// the overwhelming majority of v3 deltas and dictionary indices — is
+// kept small enough for the compiler to inline into the block decode
+// loop, with the multi-byte and error cases outlined in
+// sliceUvarintSlow: this decode runs once per varint of every replayed
+// record.
 func sliceUvarint(enc []byte, off int) (uint64, int, error) {
 	if off < len(enc) {
 		if b := enc[off]; b < 0x80 {
 			return uint64(b), off + 1, nil
 		}
 	}
+	return sliceUvarintSlow(enc, off)
+}
+
+func sliceUvarintSlow(enc []byte, off int) (uint64, int, error) {
 	v, n := binary.Uvarint(enc[off:])
 	if n <= 0 {
 		if n == 0 {
@@ -320,68 +453,183 @@ func recErr(idx uint64, off int, err error) error {
 	return fmt.Errorf("tracefile: record %d (offset %d): %w", idx, off, err)
 }
 
-// --- the version-2 indexed container ---
+// --- container writing ---
 
-// The version-2 file layout, after the shared 12-byte magic+version
-// prelude:
+// countWriter counts the bytes that reach the underlying writer.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// WriteTo serialises the trace in the current container version
+// (version 3: header with record count, content digest, canonical
+// size and location dictionary, then the flate-compressed v3 record
+// bytes).  Use WriteToVersion to write the older containers.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) { return t.WriteToVersion(w, Version3) }
+
+// WriteToVersion serialises the trace in any container version the
+// package can read.  All three carry the same records and load back to
+// the same digest; they differ in framing: version 1 is the bare
+// canonical stream, version 2 prefixes the count/digest/skip-index to
+// the canonical stream, version 3 frames the delta-encoded bytes with
+// flate (the default — both smaller and faster to decode).
+func (t *Trace) WriteToVersion(w io.Writer, version uint32) (int64, error) {
+	cw := &countWriter{w: w}
+	bw := bufio.NewWriterSize(cw, 1<<16)
+	if _, err := bw.Write(Magic[:]); err != nil {
+		return cw.n, err
+	}
+	var u4 [4]byte
+	binary.LittleEndian.PutUint32(u4[:], version)
+	if _, err := bw.Write(u4[:]); err != nil {
+		return cw.n, err
+	}
+	var err error
+	switch version {
+	case Version:
+		err = t.writeV1Body(bw)
+	case Version2:
+		err = t.writeV2Body(bw)
+	case Version3:
+		err = t.writeV3Body(bw)
+	default:
+		err = fmt.Errorf("%w: %d", ErrBadVersion, version)
+	}
+	if err != nil {
+		return cw.n, err
+	}
+	err = bw.Flush()
+	return cw.n, err
+}
+
+// canonicalEncoding re-derives the canonical record stream (and the
+// version-2 skip index over it) from the v3 form, for writing the older
+// containers.
+func (t *Trace) canonicalEncoding() ([]byte, []int, error) {
+	canon := make([]byte, 0, t.canonical)
+	var index []int
+	cur := t.Cursor()
+	defer cur.Close()
+	var e trace.Exec
+	for i := uint64(0); i < t.n; i++ {
+		if i%IndexInterval == 0 {
+			index = append(index, len(canon))
+		}
+		if err := cur.Next(&e); err != nil {
+			return nil, nil, err
+		}
+		canon = appendRecord(canon, &e)
+	}
+	return canon, index, nil
+}
+
+func (t *Trace) writeV1Body(bw *bufio.Writer) error {
+	canon, _, err := t.canonicalEncoding()
+	if err != nil {
+		return err
+	}
+	_, err = bw.Write(canon)
+	return err
+}
+
+// The version-2 body, after the shared 12-byte magic+version prelude:
 //
 //	records:u64 digest:32B interval:u32 nIndex:u32 {offset:u64}*nIndex
 //	record bytes … EOF
-//
-// The header is fixed before the records because version-2 files are
-// only ever written from a finalised Trace; streams of unknown length
-// still use the version-1 Writer.
-
-// WriteTo serialises the trace in the version-2 container (header with
-// record count, content digest and skip index, then the record bytes).
-func (t *Trace) WriteTo(w io.Writer) (int64, error) {
-	bw := bufio.NewWriterSize(w, 1<<16)
-	var n int64
-	count := func(m int, err error) error {
-		n += int64(m)
+func (t *Trace) writeV2Body(bw *bufio.Writer) error {
+	canon, index, err := t.canonicalEncoding()
+	if err != nil {
 		return err
 	}
-	if err := count(bw.Write(Magic[:])); err != nil {
-		return n, err
-	}
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], Version2)
-	if err := count(bw.Write(hdr[:])); err != nil {
-		return n, err
-	}
 	var u8 [8]byte
+	var u4 [4]byte
 	binary.LittleEndian.PutUint64(u8[:], t.n)
-	if err := count(bw.Write(u8[:])); err != nil {
-		return n, err
+	if _, err := bw.Write(u8[:]); err != nil {
+		return err
 	}
-	if err := count(bw.Write(t.sum[:])); err != nil {
-		return n, err
+	if _, err := bw.Write(t.sum[:]); err != nil {
+		return err
 	}
-	binary.LittleEndian.PutUint32(hdr[:], IndexInterval)
-	if err := count(bw.Write(hdr[:])); err != nil {
-		return n, err
+	binary.LittleEndian.PutUint32(u4[:], IndexInterval)
+	if _, err := bw.Write(u4[:]); err != nil {
+		return err
 	}
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(t.index)))
-	if err := count(bw.Write(hdr[:])); err != nil {
-		return n, err
+	binary.LittleEndian.PutUint32(u4[:], uint32(len(index)))
+	if _, err := bw.Write(u4[:]); err != nil {
+		return err
 	}
-	for _, off := range t.index {
+	for _, off := range index {
 		binary.LittleEndian.PutUint64(u8[:], uint64(off))
-		if err := count(bw.Write(u8[:])); err != nil {
-			return n, err
+		if _, err := bw.Write(u8[:]); err != nil {
+			return err
 		}
 	}
-	if err := count(bw.Write(t.enc)); err != nil {
-		return n, err
-	}
-	return n, bw.Flush()
+	_, err = bw.Write(canon)
+	return err
 }
 
-// Load reads a complete trace from r in either container version,
+// The version-3 body, after the shared 12-byte magic+version prelude:
+//
+//	records:u64 digest:32B canonical:u64 rawLen:u64
+//	dictLen:u32 {rotLoc:uvarint}*dictLen
+//	flate(v3 record bytes) … EOF
+//
+// The digest still covers the canonical encoding (container-independent
+// identity); rawLen is the uncompressed v3 payload length, bounding
+// what a reader will inflate.  Blocks need no offset table on disk:
+// they are back-to-back runs of exactly BlockLen records, so a
+// streaming reader finds every boundary by counting, and Load rebuilds
+// the in-memory offsets during validation.
+func (t *Trace) writeV3Body(bw *bufio.Writer) error {
+	var u8 [8]byte
+	var u4 [4]byte
+	binary.LittleEndian.PutUint64(u8[:], t.n)
+	if _, err := bw.Write(u8[:]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(t.sum[:]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(u8[:], uint64(t.canonical))
+	if _, err := bw.Write(u8[:]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(u8[:], uint64(len(t.enc)))
+	if _, err := bw.Write(u8[:]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(u4[:], uint32(len(t.dict)))
+	if _, err := bw.Write(u4[:]); err != nil {
+		return err
+	}
+	var vbuf [binary.MaxVarintLen64]byte
+	for _, l := range t.dict {
+		n := binary.PutUvarint(vbuf[:], rotLoc(l))
+		if _, err := bw.Write(vbuf[:n]); err != nil {
+			return err
+		}
+	}
+	zw, err := flate.NewWriter(bw, flate.DefaultCompression)
+	if err != nil {
+		return err
+	}
+	if _, err := zw.Write(t.enc); err != nil {
+		return err
+	}
+	return zw.Close()
+}
+
+// Load reads a complete trace from r in any container version,
 // validates every record, and returns it re-encoded canonically (so the
-// digest is container-independent).  For version-2 input the embedded
-// digest and record count are checked against the re-encoded stream;
-// a mismatch means the file was corrupted or tampered with.
+// digest is container-independent).  For version-2 and -3 input the
+// embedded digest and record count are checked against the re-encoded
+// stream; a mismatch means the file was corrupted or tampered with.
 func Load(r io.Reader) (*Trace, error) {
 	tr, err := NewReader(r)
 	if err != nil {
@@ -395,13 +643,17 @@ func Load(r io.Reader) (*Trace, error) {
 		return nil, err
 	}
 	t := rec.Trace()
-	if tr.version == Version2 {
+	if tr.version >= Version2 {
 		if t.n != tr.declaredRecords {
 			return nil, fmt.Errorf("tracefile: header declares %d records, stream holds %d", tr.declaredRecords, t.n)
 		}
 		if want := fmt.Sprintf("%s%x", DigestPrefix, tr.declaredDigest); want != t.digest {
 			return nil, fmt.Errorf("tracefile: content digest mismatch: header %s, stream %s", want, t.digest)
 		}
+	}
+	if tr.version == Version3 && uint64(t.canonical) != tr.declaredCanonical {
+		return nil, fmt.Errorf("tracefile: header declares %d canonical bytes, stream holds %d",
+			tr.declaredCanonical, t.canonical)
 	}
 	return t, nil
 }

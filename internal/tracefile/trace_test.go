@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"github.com/tracereuse/tlr/internal/cpu"
+	"github.com/tracereuse/tlr/internal/isa"
 	"github.com/tracereuse/tlr/internal/trace"
 	"github.com/tracereuse/tlr/internal/workload"
 )
@@ -31,6 +32,20 @@ func recordWorkload(t testing.TB, name string, n uint64) *Trace {
 	return rec.Trace()
 }
 
+// normalize zeroes the operand slots beyond NIn/NOut so two records can
+// be compared structurally: only In[:NIn] and Out[:NOut] are
+// meaningful, and decoders (like the simulator itself) leave stale
+// bytes beyond them.
+func normalize(e trace.Exec) trace.Exec {
+	for i := int(e.NIn); i < len(e.In); i++ {
+		e.In[i] = trace.Ref{}
+	}
+	for i := int(e.NOut); i < len(e.Out); i++ {
+		e.Out[i] = trace.Ref{}
+	}
+	return e
+}
+
 // TestCursorMatchesExecution: decoding a recorded trace yields the exact
 // record sequence the simulator produced.
 func TestCursorMatchesExecution(t *testing.T) {
@@ -42,7 +57,7 @@ func TestCursorMatchesExecution(t *testing.T) {
 	var want []trace.Exec
 	rec := NewRecorder()
 	if _, err := cpu.New(prog).Run(20_000, func(e *trace.Exec) {
-		want = append(want, *e)
+		want = append(want, normalize(*e))
 		rec.Write(e)
 	}); err != nil {
 		t.Fatal(err)
@@ -54,15 +69,20 @@ func TestCursorMatchesExecution(t *testing.T) {
 	if !strings.HasPrefix(tr.Digest(), DigestPrefix) || len(tr.Digest()) != len(DigestPrefix)+64 {
 		t.Fatalf("malformed digest %q", tr.Digest())
 	}
+	if tr.Bytes() >= tr.CanonicalBytes() {
+		t.Errorf("v3 encoding (%d bytes) is not smaller than canonical (%d bytes)",
+			tr.Bytes(), tr.CanonicalBytes())
+	}
 
 	cur := tr.Cursor()
+	defer cur.Close()
 	var e trace.Exec
 	for i := range want {
 		if err := cur.Next(&e); err != nil {
 			t.Fatalf("record %d: %v", i, err)
 		}
-		if e != want[i] {
-			t.Fatalf("record %d mismatch:\n got %v\nwant %v", i, &e, &want[i])
+		if normalize(e) != want[i] {
+			t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, normalize(e), want[i])
 		}
 	}
 	if err := cur.Next(&e); err != io.EOF {
@@ -70,12 +90,49 @@ func TestCursorMatchesExecution(t *testing.T) {
 	}
 }
 
+// TestCursorBatchMatchesNext: the batched iterator delivers exactly the
+// per-record sequence, in block-sized runs.
+func TestCursorBatchMatchesNext(t *testing.T) {
+	tr := recordWorkload(t, "compress", 3*BlockLen+17)
+	seq := tr.Cursor()
+	defer seq.Close()
+	bat := tr.Cursor()
+	defer bat.Close()
+	var n uint64
+	for {
+		batch, err := bat.NextBatch()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch) == 0 || len(batch) > BlockLen {
+			t.Fatalf("batch of %d records", len(batch))
+		}
+		for i := range batch {
+			var e trace.Exec
+			if err := seq.Next(&e); err != nil {
+				t.Fatalf("record %d: %v", n, err)
+			}
+			if normalize(e) != normalize(batch[i]) {
+				t.Fatalf("record %d diverged between Next and NextBatch", n)
+			}
+			n++
+		}
+	}
+	if n != tr.Records() {
+		t.Fatalf("batches delivered %d of %d records", n, tr.Records())
+	}
+}
+
 // TestCursorSkip: Skip must land on the same record as sequential
-// decoding, at distances below, at and above the index interval, and
-// report short skips at the end of the trace.
+// decoding, at distances below, at and above the block and index
+// granularities, and report short skips at the end of the trace.
 func TestCursorSkip(t *testing.T) {
 	tr := recordWorkload(t, "compress", 3*IndexInterval/2)
-	for _, skip := range []uint64{0, 1, 7, 100, IndexInterval - 1, IndexInterval, IndexInterval + 1, tr.Records() - 1} {
+	for _, skip := range []uint64{0, 1, 7, 100, BlockLen - 1, BlockLen, BlockLen + 1,
+		IndexInterval - 1, IndexInterval, IndexInterval + 1, tr.Records() - 1} {
 		seq := tr.Cursor()
 		for i := uint64(0); i < skip; i++ {
 			var e trace.Exec
@@ -93,13 +150,16 @@ func TestCursorSkip(t *testing.T) {
 		}
 		var a, b trace.Exec
 		errA, errB := seq.Next(&a), fast.Next(&b)
-		if errA != errB || (errA == nil && a != b) {
+		if errA != errB || (errA == nil && normalize(a) != normalize(b)) {
 			t.Fatalf("skip %d diverged from sequential: %v/%v vs %v/%v", skip, &a, errA, &b, errB)
 		}
+		seq.Close()
+		fast.Close()
 	}
 
 	// Skipping past the end is a short skip, not an error.
 	cur := tr.Cursor()
+	defer cur.Close()
 	n, err := cur.Skip(tr.Records() + 100)
 	if err != nil {
 		t.Fatal(err)
@@ -125,6 +185,21 @@ func TestCursorRunBudgetAndCancel(t *testing.T) {
 	if err != nil || n != tr.Records() {
 		t.Fatalf("Run past EOF = %d, %v (want %d, nil)", n, err, tr.Records())
 	}
+	// A budget that ends mid-block must not deliver the block's tail,
+	// and the handed-back tail must still be readable.
+	cur := tr.Cursor()
+	defer cur.Close()
+	n, err = cur.Run(context.Background(), BlockLen+10, nil)
+	if err != nil || n != BlockLen+10 {
+		t.Fatalf("mid-block Run = %d, %v", n, err)
+	}
+	if cur.Pos() != BlockLen+10 {
+		t.Fatalf("Pos after mid-block Run = %d", cur.Pos())
+	}
+	var e trace.Exec
+	if err := cur.Next(&e); err != nil {
+		t.Fatalf("reading the handed-back tail: %v", err)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	if _, err := tr.Cursor().Run(ctx, 5_000, nil); err != context.Canceled {
@@ -132,70 +207,250 @@ func TestCursorRunBudgetAndCancel(t *testing.T) {
 	}
 }
 
-// TestLoadV1AndV2DigestStable: the same stream loaded from either
-// container version digests identically, and the version-2 round trip
-// preserves everything.
-func TestLoadV1AndV2DigestStable(t *testing.T) {
+// TestCrossVersionIdentical: one canonical recording written in all
+// three container versions decodes record-identically and
+// digest-identically in all three.
+func TestCrossVersionIdentical(t *testing.T) {
 	tr := recordWorkload(t, "compress", 8_000)
 
-	// Version-1 bytes of the same stream.
-	var v1 bytes.Buffer
-	w, err := NewWriter(&v1)
-	if err != nil {
-		t.Fatal(err)
+	loads := make(map[uint32]*Trace)
+	for _, version := range []uint32{Version, Version2, Version3} {
+		var buf bytes.Buffer
+		if _, err := tr.WriteToVersion(&buf, version); err != nil {
+			t.Fatalf("writing v%d: %v", version, err)
+		}
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("v%d header: %v", version, err)
+		}
+		if r.Version() != version {
+			t.Fatalf("wrote v%d, reader found v%d", version, r.Version())
+		}
+		loaded, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("loading v%d: %v", version, err)
+		}
+		loads[version] = loaded
 	}
-	cur := tr.Cursor()
-	var e trace.Exec
-	for cur.Next(&e) == nil {
-		if err := w.Write(&e); err != nil {
+	for version, loaded := range loads {
+		if loaded.Digest() != tr.Digest() {
+			t.Errorf("v%d digest %s, recorded %s", version, loaded.Digest(), tr.Digest())
+		}
+		if loaded.Records() != tr.Records() {
+			t.Errorf("v%d holds %d records, recorded %d", version, loaded.Records(), tr.Records())
+		}
+		if loaded.CanonicalBytes() != tr.CanonicalBytes() {
+			t.Errorf("v%d canonical %d bytes, recorded %d", version, loaded.CanonicalBytes(), tr.CanonicalBytes())
+		}
+		// Record-for-record equality against the original, not just the
+		// digest's word for it.
+		a, b := tr.Cursor(), loaded.Cursor()
+		var ea, eb trace.Exec
+		for i := uint64(0); i < tr.Records(); i++ {
+			if err := a.Next(&ea); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Next(&eb); err != nil {
+				t.Fatal(err)
+			}
+			if normalize(ea) != normalize(eb) {
+				t.Fatalf("v%d record %d differs from the recording", version, i)
+			}
+		}
+		a.Close()
+		b.Close()
+	}
+
+	// The compressed default container must be the smallest of the three.
+	sizes := make(map[uint32]int)
+	for _, version := range []uint32{Version, Version2, Version3} {
+		var buf bytes.Buffer
+		if _, err := tr.WriteToVersion(&buf, version); err != nil {
 			t.Fatal(err)
 		}
+		sizes[version] = buf.Len()
 	}
-	if err := w.Flush(); err != nil {
-		t.Fatal(err)
-	}
-
-	var v2 bytes.Buffer
-	if _, err := tr.WriteTo(&v2); err != nil {
-		t.Fatal(err)
-	}
-
-	fromV1, err := Load(bytes.NewReader(v1.Bytes()))
-	if err != nil {
-		t.Fatal(err)
-	}
-	fromV2, err := Load(bytes.NewReader(v2.Bytes()))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if fromV1.Digest() != tr.Digest() || fromV2.Digest() != tr.Digest() {
-		t.Fatalf("digests diverge: recorded %s, v1 %s, v2 %s", tr.Digest(), fromV1.Digest(), fromV2.Digest())
-	}
-	if fromV2.Records() != tr.Records() || fromV2.Bytes() != tr.Bytes() {
-		t.Fatalf("v2 round trip: %d records / %d bytes, want %d / %d",
-			fromV2.Records(), fromV2.Bytes(), tr.Records(), tr.Bytes())
+	if sizes[Version3] >= sizes[Version2] || sizes[Version3] >= sizes[Version] {
+		t.Errorf("v3 container (%d bytes) not smaller than v1 (%d) / v2 (%d)",
+			sizes[Version3], sizes[Version], sizes[Version2])
 	}
 }
 
-// TestLoadRejectsCorruption: flipping any record byte of a version-2
-// file must be caught by the digest check (or fail decoding outright).
+// TestWriteToCountsBytes: WriteTo's returned length is the number of
+// bytes actually written.
+func TestWriteToCountsBytes(t *testing.T) {
+	tr := recordWorkload(t, "li", 2_000)
+	var buf bytes.Buffer
+	n, err := tr.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+}
+
+// TestLoadRejectsCorruption: flipping or truncating bytes of a
+// version-3 file — in the header or inside the compressed frame — must
+// be caught (decode error, frame error, or digest mismatch), never
+// silently accepted.
 func TestLoadRejectsCorruption(t *testing.T) {
 	tr := recordWorkload(t, "li", 2_000)
 	var buf bytes.Buffer
 	if _, err := tr.WriteTo(&buf); err != nil {
 		t.Fatal(err)
 	}
-	headerLen := buf.Len() - tr.Bytes()
-	for _, at := range []int{headerLen, headerLen + tr.Bytes()/2, buf.Len() - 1} {
+	// Flip one byte at a spread of positions past the magic+version
+	// prelude: the declared-count/digest header, the dictionary, and
+	// several points inside the compressed frame.
+	for _, at := range []int{12, 20, 44, 60, 80, buf.Len() / 2, buf.Len() - 1} {
+		if at >= buf.Len() {
+			continue
+		}
 		mut := append([]byte(nil), buf.Bytes()...)
 		mut[at] ^= 0x40
 		if _, err := Load(bytes.NewReader(mut)); err == nil {
 			t.Errorf("corruption at byte %d went undetected", at)
 		}
 	}
-	// Truncation must be detected too (count or digest mismatch).
-	if _, err := Load(bytes.NewReader(buf.Bytes()[:buf.Len()-3])); err == nil {
-		t.Error("truncated file went undetected")
+	// Truncation anywhere — header, frame, or mid-final-block — must be
+	// detected too.
+	for _, keep := range []int{buf.Len() - 3, buf.Len() / 2, 30, 13} {
+		if _, err := Load(bytes.NewReader(buf.Bytes()[:keep])); err == nil {
+			t.Errorf("truncation to %d bytes went undetected", keep)
+		}
+	}
+	// So must container bytes appended after the compressed frame:
+	// nothing may hide past the declared payload.
+	grown := append(append([]byte(nil), buf.Bytes()...), "extra"...)
+	if _, err := Load(bytes.NewReader(grown)); err == nil {
+		t.Error("trailing garbage after the compressed frame went undetected")
+	}
+}
+
+// TestV3DecompressionBombRejected: a crafted v3 file whose tiny
+// compressed frame inflates to a huge payload of minimal records must
+// be rejected by the expansion bound while inflating, not after.
+func TestV3DecompressionBombRejected(t *testing.T) {
+	// A hyper-redundant stream: millions of identical minimal records
+	// (op with no operands, implied latency, sequential PC and next)
+	// compresses at roughly 1000:1, far past any legitimate trace.
+	rec := NewRecorder()
+	var e trace.Exec
+	e.Op, e.Lat = isa.NOP, isa.InfoOf(isa.NOP).Latency
+	const n = 1 << 20 // ~3 MiB v3 payload, a few KiB compressed
+	for i := uint64(0); i < n; i++ {
+		e.PC, e.Next = i+1, i+2
+		rec.Write(&e)
+	}
+	tr := rec.Trace()
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() > 1<<20 {
+		t.Fatalf("bomb did not compress as expected: %d bytes", buf.Len())
+	}
+	_, err := Load(bytes.NewReader(buf.Bytes()))
+	if err == nil {
+		t.Fatal("decompression bomb accepted")
+	}
+	if !strings.Contains(err.Error(), "decompression bomb") {
+		t.Errorf("rejected for the wrong reason: %v", err)
+	}
+}
+
+// TestV3TruncationCarriesRecordContext: a compressed frame cut short
+// mid-stream surfaces as an ErrUnexpectedEOF-class decode error naming
+// the failing record and its payload offset.
+func TestV3TruncationCarriesRecordContext(t *testing.T) {
+	tr := recordWorkload(t, "li", 2_000)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(bytes.NewReader(buf.Bytes()[:buf.Len()/2]))
+	if err == nil {
+		t.Fatal("truncated compressed frame went undetected")
+	}
+	if !strings.Contains(err.Error(), "record ") || !strings.Contains(err.Error(), "offset ") {
+		t.Errorf("truncation error %q carries no record index/offset", err)
+	}
+}
+
+// TestV3EscapesAndColdLocations: a stream touching more distinct
+// locations than the dictionary holds (forcing escape encoding), with
+// large values, large deltas and an explicit (non-architectural)
+// latency, still round-trips digest- and record-identically.
+func TestV3EscapesAndColdLocations(t *testing.T) {
+	rec := NewRecorder()
+	var want []trace.Exec
+	var e trace.Exec
+	for i := 0; i < 3*DictCap; i++ {
+		e.Reset()
+		e.Op, e.Lat = isa.ST, isa.InfoOf(isa.ST).Latency
+		if i%7 == 0 {
+			e.Lat = 99 // not the architectural latency: the lat byte must survive
+		}
+		e.PC = uint64(i * 13)
+		e.Next = e.PC + uint64(i%3)
+		e.AddIn(trace.IntReg(uint8(i%8)), uint64(i)*0x123456789)
+		e.AddIn(trace.Mem(uint64(i)*64), 1<<60+uint64(i))
+		e.AddOut(trace.Mem(uint64(i)*64+1), uint64(i))
+		want = append(want, normalize(e))
+		rec.Write(&e)
+	}
+	tr := rec.Trace()
+	if tr.DictLen() != DictCap {
+		t.Fatalf("dictionary holds %d entries, want the %d cap", tr.DictLen(), DictCap)
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Digest() != tr.Digest() {
+		t.Fatalf("digest changed across the v3 round trip: %s vs %s", loaded.Digest(), tr.Digest())
+	}
+	cur := loaded.Cursor()
+	defer cur.Close()
+	for i := range want {
+		var got trace.Exec
+		if err := cur.Next(&got); err != nil {
+			t.Fatal(err)
+		}
+		if normalize(got) != want[i] {
+			t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, normalize(got), want[i])
+		}
+	}
+}
+
+// TestEmptyTraceRoundTrip: a zero-record recording is a valid trace in
+// every container version.
+func TestEmptyTraceRoundTrip(t *testing.T) {
+	tr := NewRecorder().Trace()
+	if tr.Records() != 0 || tr.Bytes() != 0 {
+		t.Fatalf("empty trace holds %d records / %d bytes", tr.Records(), tr.Bytes())
+	}
+	var e trace.Exec
+	if err := tr.Cursor().Next(&e); err != io.EOF {
+		t.Fatalf("empty cursor: err = %v, want io.EOF", err)
+	}
+	for _, version := range []uint32{Version, Version2, Version3} {
+		var buf bytes.Buffer
+		if _, err := tr.WriteToVersion(&buf, version); err != nil {
+			t.Fatalf("writing empty v%d: %v", version, err)
+		}
+		loaded, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("loading empty v%d: %v", version, err)
+		}
+		if loaded.Records() != 0 || loaded.Digest() != tr.Digest() {
+			t.Fatalf("empty v%d round trip: %d records, digest %s", version, loaded.Records(), loaded.Digest())
+		}
 	}
 }
 

@@ -6,7 +6,8 @@
 // sources (record/replay), and cmd/tlrtrace and cmd/tlrserve move the
 // files around.
 //
-// Record format (little-endian, shared by both container versions):
+// Two record encodings exist.  The canonical encoding (versions 1-2,
+// and the domain of the content digest):
 //
 //	record := flags:u8 op:u8 lat:u8 pc:uvarint [next:uvarint]
 //	          {loc:uvarint val:uvarint} * (nIn + nOut)
@@ -16,15 +17,24 @@
 // Values and locations are raw uvarints; typical records are 6-20 bytes,
 // roughly 10x smaller than the in-memory form.
 //
-// Two container versions carry the records after the 8-byte magic and
-// 4-byte version: version 1 is a bare stream (records to EOF, writable
-// without knowing the length); version 2 prefixes the record count, a
-// sha256 content digest and a skip index (see Trace.WriteTo), so
-// replay can seek and stores can address traces by digest.
+// The version-3 encoding (see v3.go) re-expresses the same records as
+// block-grouped deltas — zigzag PC deltas, a per-trace operand-location
+// dictionary, per-location value deltas — that are both smaller and
+// faster to decode; it is what the in-memory Trace holds and what the
+// Recorder-produced containers carry.
+//
+// Three container versions carry the records after the 8-byte magic and
+// 4-byte version: version 1 is a bare canonical stream (records to EOF,
+// writable without knowing the length); version 2 prefixes the record
+// count, a sha256 content digest and a skip index to the canonical
+// stream; version 3 (the default) prefixes count, digest, canonical
+// size and the location dictionary to the flate-compressed v3 record
+// bytes.  All three load back to the same digest.
 package tracefile
 
 import (
 	"bufio"
+	"compress/flate"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -40,9 +50,14 @@ var Magic = [8]byte{'T', 'L', 'R', 'T', 'R', 'A', 'C', 'E'}
 // Version is the streaming container version the Writer emits.
 const Version uint32 = 1
 
-// Version2 is the indexed container version Trace.WriteTo emits:
-// record count, content digest and skip index before the records.
+// Version2 is the indexed container version: record count, content
+// digest and skip index before the canonical record stream.
 const Version2 uint32 = 2
+
+// Version3 is the compressed delta container version Trace.WriteTo
+// emits: record count, content digest, canonical size and location
+// dictionary before the flate-framed v3 record bytes.
+const Version3 uint32 = 3
 
 const (
 	flagNInShift  = 0 // 2 bits
@@ -50,9 +65,11 @@ const (
 	flagSideEff   = 1 << 4
 	flagSeqNext   = 1 << 5
 
-	// flagUnused are the flag bits no writer emits; decoders reject
-	// records carrying them so every accepted byte is load-bearing
-	// (corrupt or tampered streams cannot hide in ignored bits).
+	// flagUnused are the flag bits no canonical writer emits; canonical
+	// decoders reject records carrying them so every accepted byte is
+	// load-bearing (corrupt or tampered streams cannot hide in ignored
+	// bits).  The v3 encoding assigns both bits (see v3.go), leaving it
+	// no unused bits to police.
 	flagUnused = 0xff &^ (3<<flagNInShift | 3<<flagNOutShift | flagSideEff | flagSeqNext)
 )
 
@@ -63,7 +80,8 @@ var ErrBadMagic = errors.New("tracefile: bad magic")
 var ErrBadVersion = errors.New("tracefile: unsupported version")
 
 // Writer streams execution records to an io.Writer in the version-1
-// container (no index — use Trace.WriteTo for the indexed form).
+// container (no index — use Trace.WriteTo for the indexed, compressed
+// form).
 type Writer struct {
 	w   *bufio.Writer
 	buf [4 * binary.MaxVarintLen64]byte
@@ -99,17 +117,62 @@ func (w *Writer) Records() uint64 { return w.n }
 // Flush drains buffered data to the underlying writer.
 func (w *Writer) Flush() error { return w.w.Flush() }
 
-// Reader streams execution records from an io.Reader.  It accepts both
-// container versions; Version reports which one it found.
+// Reader streams execution records from an io.Reader.  It accepts all
+// three container versions; Version reports which one it found.
 type Reader struct {
-	r   *bufio.Reader
+	r   *bufio.Reader // the raw container stream
+	src *bufio.Reader // record source: r for v1/v2, the inflated payload for v3
 	n   uint64
-	off int64 // bytes consumed, including the header
+	off int64 // v1/v2: bytes consumed incl. header; v3: uncompressed payload bytes consumed
 
 	version         uint32
-	declaredRecords uint64   // version 2: header record count
-	declaredDigest  [32]byte // version 2: header content digest
+	declaredRecords uint64   // version >= 2: header record count
+	declaredDigest  [32]byte // version >= 2: header content digest
+
+	// version-3 decode state
+	declaredCanonical uint64
+	rawLen            uint64
+	raw               *countByteReader // compressed bytes consumed, for the expansion bound
+	dict              []trace.Loc
+	last              [DictCap]uint64
+	prevPC            uint64
+	tailChecked       bool
 }
+
+// countByteReader counts the bytes flate consumes from the container
+// stream.  It forwards ReadByte so flate reads exactly as much as the
+// compressed frame holds (no over-read), which both keeps the count
+// exact and leaves the stream positioned for the trailing-data check.
+type countByteReader struct {
+	br *bufio.Reader
+	n  int64
+}
+
+func (c *countByteReader) Read(p []byte) (int, error) {
+	n, err := c.br.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countByteReader) ReadByte() (byte, error) {
+	b, err := c.br.ReadByte()
+	if err == nil {
+		c.n++
+	}
+	return b, err
+}
+
+// maxV3Expansion bounds how much a v3 payload may inflate relative to
+// the compressed bytes feeding it (plus a flat allowance for small
+// files).  Real traces inflate well under 10:1; flate can reach
+// ~1000:1 on crafted input, so without this bound a small upload could
+// cost the server gigabytes before any store budget applies.  The
+// decoder enforces it incrementally, so a bomb is rejected as soon as
+// it exceeds the ratio, not after it has been inflated.
+const (
+	maxV3Expansion      = 32
+	maxV3ExpansionSlack = 1 << 20
+)
 
 // maxIndexEntries bounds the version-2 index a Reader will buffer; it
 // admits traces of ~17 billion records, far beyond anything the store
@@ -130,12 +193,17 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if _, err := io.ReadFull(br, v[:]); err != nil {
 		return nil, fmt.Errorf("tracefile: reading version: %w", err)
 	}
-	rd := &Reader{r: br, off: 12, version: binary.LittleEndian.Uint32(v[:])}
+	rd := &Reader{r: br, src: br, off: 12, version: binary.LittleEndian.Uint32(v[:])}
 	switch rd.version {
 	case Version:
 		return rd, nil
 	case Version2:
 		if err := rd.readV2Header(); err != nil {
+			return nil, err
+		}
+		return rd, nil
+	case Version3:
+		if err := rd.readV3Header(); err != nil {
 			return nil, err
 		}
 		return rd, nil
@@ -186,6 +254,61 @@ func (r *Reader) readV2Header() error {
 	return nil
 }
 
+// readV3Header consumes the version-3 prelude — record count, digest,
+// canonical size, payload length and location dictionary — then points
+// the record source at the inflated payload.  Every declared quantity
+// is bounded before anything is allocated or inflated, so a hostile
+// header cannot turn a small upload into unbounded work.
+func (r *Reader) readV3Header() error {
+	var u8 [8]byte
+	if _, err := io.ReadFull(r.r, u8[:]); err != nil {
+		return fmt.Errorf("tracefile: reading record count: %w", eofToUnexpected(err))
+	}
+	r.declaredRecords = binary.LittleEndian.Uint64(u8[:])
+	if _, err := io.ReadFull(r.r, r.declaredDigest[:]); err != nil {
+		return fmt.Errorf("tracefile: reading digest: %w", eofToUnexpected(err))
+	}
+	if _, err := io.ReadFull(r.r, u8[:]); err != nil {
+		return fmt.Errorf("tracefile: reading canonical size: %w", eofToUnexpected(err))
+	}
+	r.declaredCanonical = binary.LittleEndian.Uint64(u8[:])
+	if _, err := io.ReadFull(r.r, u8[:]); err != nil {
+		return fmt.Errorf("tracefile: reading payload length: %w", eofToUnexpected(err))
+	}
+	r.rawLen = binary.LittleEndian.Uint64(u8[:])
+	if r.rawLen > maxV3Payload {
+		return fmt.Errorf("tracefile: payload declares %d bytes (limit %d)", r.rawLen, int64(maxV3Payload))
+	}
+	// Every record costs at least two payload bytes (flags+op), so a
+	// record count the payload cannot hold is rejected before decoding.
+	if r.declaredRecords > r.rawLen/2 {
+		return fmt.Errorf("tracefile: %d-byte payload cannot hold %d records", r.rawLen, r.declaredRecords)
+	}
+	var u4 [4]byte
+	if _, err := io.ReadFull(r.r, u4[:]); err != nil {
+		return fmt.Errorf("tracefile: reading dictionary length: %w", eofToUnexpected(err))
+	}
+	dictLen := binary.LittleEndian.Uint32(u4[:])
+	if dictLen > DictCap {
+		return fmt.Errorf("tracefile: dictionary declares %d entries (limit %d)", dictLen, DictCap)
+	}
+	r.dict = make([]trace.Loc, dictLen)
+	for i := range r.dict {
+		rot, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return fmt.Errorf("tracefile: reading dictionary entry %d: %w", i, eofToUnexpected(err))
+		}
+		if rot&3 == 3 {
+			return fmt.Errorf("tracefile: dictionary entry %d has undefined location kind", i)
+		}
+		r.dict[i] = unrotLoc(rot)
+	}
+	r.raw = &countByteReader{br: r.r}
+	r.src = bufio.NewReaderSize(flate.NewReader(r.raw), 1<<15)
+	r.off = 0 // v3 offsets are relative to the uncompressed payload
+	return nil
+}
+
 func eofToUnexpected(err error) error {
 	if err == io.EOF {
 		return io.ErrUnexpectedEOF
@@ -193,9 +316,9 @@ func eofToUnexpected(err error) error {
 	return err
 }
 
-// readByte consumes one byte, keeping the stream offset current.
+// readByte consumes one record-stream byte, keeping the offset current.
 func (r *Reader) readByte() (byte, error) {
-	b, err := r.r.ReadByte()
+	b, err := r.src.ReadByte()
 	if err == nil {
 		r.off++
 	}
@@ -208,10 +331,14 @@ func (r *Reader) ReadByte() (byte, error) { return r.readByte() }
 
 // Read fills e with the next record.  It returns io.EOF cleanly at the
 // end of the stream and io.ErrUnexpectedEOF on truncation.  Decode
-// errors carry the record's index and byte offset within the file, so a
+// errors carry the record's index and byte offset — within the file for
+// versions 1-2, within the uncompressed payload for version 3 — so a
 // corrupt stream (e.g. a damaged upload) is diagnosable down to the
 // byte.
 func (r *Reader) Read(e *trace.Exec) error {
+	if r.version == Version3 {
+		return r.readV3(e)
+	}
 	start := r.off
 	flags, err := r.readByte()
 	if err != nil {
@@ -270,6 +397,158 @@ func (r *Reader) Read(e *trace.Exec) error {
 	return nil
 }
 
+// readV3 decodes one version-3 record from the inflated payload,
+// mirroring decodeRun record for record (block-boundary state
+// resets included) so a streamed file and an in-memory Trace decode
+// identically.
+func (r *Reader) readV3(e *trace.Exec) error {
+	if r.n >= r.declaredRecords {
+		// The declared final record must also end the compressed frame,
+		// and the frame must end the container: a payload that is
+		// shorter or longer than declared, a frame with data after the
+		// final record, or container bytes after the frame all mean
+		// corruption (or a hiding place), not a short read.
+		if !r.tailChecked {
+			r.tailChecked = true
+			if r.off != int64(r.rawLen) {
+				return fmt.Errorf("tracefile: payload holds %d bytes after the final record, header declares %d", r.off, r.rawLen)
+			}
+			if _, err := r.src.ReadByte(); err != io.EOF {
+				if err == nil {
+					return fmt.Errorf("tracefile: trailing data after %d records", r.declaredRecords)
+				}
+				return fmt.Errorf("tracefile: closing compressed frame: %w", err)
+			}
+			// flate pulls from r.r byte-at-a-time (bufio.Reader is an
+			// io.ByteReader), so at frame EOF the container stream sits
+			// exactly past the compressed bytes: anything left is
+			// trailing garbage the frame check above cannot see.
+			if _, err := r.r.ReadByte(); err != io.EOF {
+				if err == nil {
+					return fmt.Errorf("tracefile: trailing data after the compressed frame")
+				}
+				return fmt.Errorf("tracefile: reading past the compressed frame: %w", err)
+			}
+		}
+		return io.EOF
+	}
+	if r.n%BlockLen == 0 {
+		r.prevPC = 0
+		clear(r.last[:len(r.dict)])
+	}
+	start := r.off
+	rl, err := r.readByte()
+	if err != nil {
+		return r.trunc(start, err)
+	}
+	if rl < 3 {
+		return r.errAt(start, fmt.Errorf("record length %d too short", rl))
+	}
+	flags, err := r.readByte()
+	if err != nil {
+		return r.trunc(start, err)
+	}
+	op, err := r.readByte()
+	if err != nil {
+		return r.trunc(start, err)
+	}
+	nIn := int(flags>>flagNInShift) & 3
+	nOut := int(flags>>flagNOutShift) & 3
+	if nIn > len(e.In) || nOut > len(e.Out) {
+		return r.errAt(start, fmt.Errorf("ref counts %d/%d out of range", nIn, nOut))
+	}
+	e.Reset()
+	e.Op = isa.Op(op)
+	if !e.Op.Valid() {
+		return r.errAt(start, fmt.Errorf("undefined op %d", op))
+	}
+	e.SideEffect = flags&flagSideEff != 0
+	if flags&flagV3LatImplied != 0 {
+		e.Lat = latByOp[op]
+	} else {
+		lat, err := r.readByte()
+		if err != nil {
+			return r.trunc(start, err)
+		}
+		e.Lat = lat
+	}
+	if flags&flagV3SeqPC != 0 {
+		e.PC = r.prevPC + 1
+	} else {
+		pcz, err := binary.ReadUvarint(r)
+		if err != nil {
+			return r.trunc(start, err)
+		}
+		e.PC = r.prevPC + uint64(unzig(pcz))
+	}
+	if flags&flagSeqNext != 0 {
+		e.Next = e.PC + 1
+	} else {
+		nz, err := binary.ReadUvarint(r)
+		if err != nil {
+			return r.trunc(start, err)
+		}
+		e.Next = e.PC + uint64(unzig(nz))
+	}
+	escape := uint64(len(r.dict)) << 1
+	for k := 0; k < nIn+nOut; k++ {
+		code, err := binary.ReadUvarint(r)
+		if err != nil {
+			return r.trunc(start, err)
+		}
+		var ref trace.Ref
+		switch {
+		case code < escape:
+			di := code >> 1
+			if code&1 == 0 {
+				ref = trace.Ref{Loc: r.dict[di], Val: r.last[di]}
+				break
+			}
+			dz, err := binary.ReadUvarint(r)
+			if err != nil {
+				return r.trunc(start, err)
+			}
+			val := r.last[di] + uint64(unzig(dz))
+			r.last[di] = val
+			ref = trace.Ref{Loc: r.dict[di], Val: val}
+		case code == escape:
+			rot, err := binary.ReadUvarint(r)
+			if err != nil {
+				return r.trunc(start, err)
+			}
+			if rot&3 == 3 {
+				return r.errAt(start, fmt.Errorf("escaped location has undefined kind"))
+			}
+			val, err := binary.ReadUvarint(r)
+			if err != nil {
+				return r.trunc(start, err)
+			}
+			ref = trace.Ref{Loc: unrotLoc(rot), Val: val}
+		default:
+			return r.errAt(start, fmt.Errorf("location code %d out of range (%d dictionary entries)", code, len(r.dict)))
+		}
+		if k < nIn {
+			e.AddIn(ref.Loc, ref.Val)
+		} else {
+			e.AddOut(ref.Loc, ref.Val)
+		}
+	}
+	if r.off > int64(r.rawLen) {
+		return r.errAt(start, fmt.Errorf("record extends past the declared %d-byte payload", r.rawLen))
+	}
+	if r.off > r.raw.n*maxV3Expansion+maxV3ExpansionSlack {
+		return r.errAt(start, fmt.Errorf(
+			"payload inflates %d bytes from %d compressed (limit %dx): decompression bomb",
+			r.off, r.raw.n, maxV3Expansion))
+	}
+	if got := r.off - start; got != int64(rl) {
+		return r.errAt(start, fmt.Errorf("record body spans %d bytes, length byte promises %d", got, rl))
+	}
+	r.prevPC = e.PC
+	r.n++
+	return nil
+}
+
 func (r *Reader) readRef(start int64) (trace.Loc, uint64, error) {
 	loc, err := binary.ReadUvarint(r)
 	if err != nil {
@@ -288,7 +567,7 @@ func (r *Reader) trunc(start int64, err error) error {
 }
 
 // errAt wraps a decode error with the failing record's index and byte
-// offset within the file.
+// offset within the stream.
 func (r *Reader) errAt(start int64, err error) error {
 	return fmt.Errorf("tracefile: record %d (offset %d): %w", r.n, start, err)
 }

@@ -1,0 +1,436 @@
+package tracefile
+
+// The version-3 record encoding: the replay fast path.
+//
+// Versions 1 and 2 carry the canonical record encoding — full uvarint
+// PCs and 64-bit operand values — which makes decoding a record cost
+// about three simulator steps: the stream is fat and the per-varint
+// loop dominates.  Version 3 exploits what dynamic traces actually look
+// like (a small set of hot operand locations, loop-local PC and value
+// deltas; see PAPERS.md on the composition of reused traces) to be both
+// smaller and faster to decode:
+//
+//   - PCs are zigzag varint deltas against the previous record's PC, so
+//     sequential flow and loop back-edges cost 0-2 bytes (a dedicated
+//     flag bit elides the ubiquitous pc = prev+1 case entirely).
+//   - A per-trace operand-location dictionary, hottest location first,
+//     shrinks hot {loc} references to a 1-byte index.  Locations beyond
+//     the dictionary escape to a kind-rotated literal (the 2-bit kind
+//     moves from the top of the Loc to the bottom, so escaped register
+//     and memory locations are compact varints instead of 10-byte ones).
+//   - Dictionary-indexed operand values are zigzag deltas against the
+//     last value observed at that location, so loop-carried counters,
+//     induction variables and re-read values cost 1-2 bytes.
+//   - The latency byte is elided when it equals the op's architectural
+//     latency (it always does for simulator-produced streams).
+//
+// Records are grouped into blocks of BlockLen; all delta state (previous
+// PC, per-location last values) resets at each block boundary, so any
+// block can be decoded knowing only the trace-wide dictionary.  That is
+// what keeps deep seeks O(1): Cursor.Skip jumps straight to the target's
+// block and decodes at most BlockLen-1 extra records.  Within a block,
+// decoding proceeds in batches of BatchLen records — one tight loop
+// fills a pooled arena per call instead of paying per-record call
+// overhead — with the delta state carried across batches.  The two
+// granularities are deliberately different: a small batch keeps the
+// arena cache-resident, while a large block amortises the state resets
+// (every reset forces each location's next value to re-encode in full,
+// which for 64-bit FP bit patterns and addresses means multi-byte
+// varints down the decoder's slow path).
+//
+// v3 record layout (after the per-block state reset):
+//
+//	record := len:u8 flags:u8 op:u8 [lat:u8] [pcz:uvarint] [nextz:uvarint]
+//	          ref * (nIn + nOut)
+//	ref    := code:uvarint
+//	          code <  2*len(dict), code even: dict[code>>1], value
+//	              unchanged (the location's last value; no bytes follow)
+//	          code <  2*len(dict), code odd:  dict[code>>1], then
+//	              valz:uvarint (zigzag delta vs the location's last value)
+//	          code == 2*len(dict): rot:uvarint val:uvarint (escape: literal)
+//
+// The changed/unchanged bit lives in the code's low bit because about
+// two thirds of dynamic operand references re-observe the location's
+// previous value (loop invariants, values read back by the next
+// iteration): those references cost one byte total and skip the value
+// varint entirely.
+//
+// len is the record's total encoded size including the len byte itself
+// (every record fits 255 bytes by construction: at most 5 operand
+// references of at most 22 bytes each plus a 25-byte header).  It buys
+// decode speed, not density: without it, the byte position of record
+// i+1 is known only after every varint of record i has been parsed — a
+// load-to-address dependency chain the processor cannot overlap.  With
+// it, record starts hop len-byte to len-byte (one load and one add per
+// record) and the bodies decode off the critical path, letting
+// consecutive records' field parsing overlap in the out-of-order
+// window.  It also gives decoders an exact frame to validate: a body
+// that does not end where its length byte promised is rejected without
+// cascading misparses.
+//
+// flags adds two bits to the canonical set: latImplied (lat byte elided,
+// latency is the op's architectural latency) and seqPC (pcz elided,
+// pc = previous pc + 1).  pcz is zigzag(pc - prevPC); nextz, present
+// only when next != pc+1, is zigzag(next - pc).
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"github.com/tracereuse/tlr/internal/isa"
+	"github.com/tracereuse/tlr/internal/trace"
+)
+
+const (
+	// BlockLen is the number of records per v3 block: the delta-state
+	// reset interval and the seek granularity.
+	BlockLen = 4096
+
+	// BatchLen is the number of records the Cursor decodes per arena
+	// fill: the unit of batched delivery to the replay engines.
+	BatchLen = 256
+
+	// DictCap bounds the per-trace operand-location dictionary so every
+	// dictionary index fits comfortably in one or two varint bytes and
+	// the decoder's last-value table is a small fixed array.
+	DictCap = 256
+
+	// flagV3LatImplied elides the latency byte: the record's latency is
+	// its op's architectural latency (true for every simulator-produced
+	// record).
+	flagV3LatImplied = 1 << 6
+
+	// flagV3SeqPC elides the PC delta: pc = previous record's pc + 1.
+	flagV3SeqPC = 1 << 7
+)
+
+// maxV3Payload bounds the uncompressed v3 payload a Reader will inflate
+// (2 GiB).  A hostile header cannot make the decoder expand a small
+// compressed body without bound: decoding stops with an error as soon
+// as the stream passes the declared (and capped) payload length.
+const maxV3Payload = 1 << 31
+
+// zig maps a signed delta to the zigzag unsigned form (small magnitudes
+// of either sign become small varints).
+func zig(d int64) uint64 { return uint64(d)<<1 ^ uint64(d>>63) }
+
+// unzig inverts zig.
+func unzig(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// rotLoc rotates a Loc's 2-bit kind from the top bits to the bottom, so
+// escaped (non-dictionary) locations encode as compact varints: an FP
+// register or memory word keeps its small index in the low-order bits
+// instead of carrying the kind at bit 62.
+func rotLoc(l trace.Loc) uint64 {
+	v := uint64(l)
+	return v<<2 | v>>62
+}
+
+// unrotLoc inverts rotLoc.
+func unrotLoc(v uint64) trace.Loc { return trace.Loc(v>>2 | v<<62) }
+
+// buildDict orders the observed operand locations hottest-first and
+// keeps at most DictCap of them.  Ties break on the location value so
+// the dictionary — and therefore the v3 encoding — is deterministic for
+// a given stream.
+func buildDict(freq map[trace.Loc]uint64) []trace.Loc {
+	locs := make([]trace.Loc, 0, len(freq))
+	for l := range freq {
+		locs = append(locs, l)
+	}
+	sort.Slice(locs, func(i, j int) bool {
+		fi, fj := freq[locs[i]], freq[locs[j]]
+		if fi != fj {
+			return fi > fj
+		}
+		return locs[i] < locs[j]
+	})
+	if len(locs) > DictCap {
+		locs = locs[:DictCap]
+	}
+	return locs
+}
+
+// v3Encoder transcodes a record stream into the block/delta encoding.
+// It is fed records in order (Recorder.Trace drives it from the
+// canonical encoding) and owns all per-block delta state.
+type v3Encoder struct {
+	enc    []byte
+	blocks []int
+	dict   []trace.Loc
+	idx    map[trace.Loc]uint16
+	last   [DictCap]uint64
+	prevPC uint64
+	n      uint64
+}
+
+func newV3Encoder(dict []trace.Loc, sizeHint int) *v3Encoder {
+	idx := make(map[trace.Loc]uint16, len(dict))
+	for i, l := range dict {
+		idx[l] = uint16(i)
+	}
+	return &v3Encoder{dict: dict, idx: idx, enc: make([]byte, 0, sizeHint)}
+}
+
+func (v *v3Encoder) write(e *trace.Exec) {
+	if v.n%BlockLen == 0 {
+		v.blocks = append(v.blocks, len(v.enc))
+		v.prevPC = 0
+		clear(v.last[:len(v.dict)])
+	}
+	v.n++
+	lenAt := len(v.enc)
+	v.enc = append(v.enc, 0) // length byte, patched below
+	flags := byte(e.NIn)<<flagNInShift | byte(e.NOut)<<flagNOutShift
+	if e.SideEffect {
+		flags |= flagSideEff
+	}
+	seqNext := e.Next == e.PC+1
+	if seqNext {
+		flags |= flagSeqNext
+	}
+	latImplied := e.Lat == isa.InfoOf(e.Op).Latency
+	if latImplied {
+		flags |= flagV3LatImplied
+	}
+	seqPC := e.PC == v.prevPC+1
+	if seqPC {
+		flags |= flagV3SeqPC
+	}
+	v.enc = append(v.enc, flags, byte(e.Op))
+	if !latImplied {
+		v.enc = append(v.enc, e.Lat)
+	}
+	if !seqPC {
+		v.enc = binary.AppendUvarint(v.enc, zig(int64(e.PC-v.prevPC)))
+	}
+	if !seqNext {
+		v.enc = binary.AppendUvarint(v.enc, zig(int64(e.Next-e.PC)))
+	}
+	v.refs(e.Inputs())
+	v.refs(e.Outputs())
+	rl := len(v.enc) - lenAt
+	if rl > 255 {
+		// Impossible by construction: 5 operand references of <= 22
+		// bytes plus a <= 24-byte header.  Guarded so a future field
+		// addition cannot silently truncate the length byte.
+		panic("tracefile: v3 record exceeds 255 bytes")
+	}
+	v.enc[lenAt] = byte(rl)
+	v.prevPC = e.PC
+}
+
+func (v *v3Encoder) refs(refs []trace.Ref) {
+	for _, r := range refs {
+		if di, ok := v.idx[r.Loc]; ok {
+			if r.Val == v.last[di] {
+				v.enc = binary.AppendUvarint(v.enc, uint64(di)<<1)
+				continue
+			}
+			v.enc = binary.AppendUvarint(v.enc, uint64(di)<<1|1)
+			v.enc = binary.AppendUvarint(v.enc, zig(int64(r.Val-v.last[di])))
+			v.last[di] = r.Val
+		} else {
+			v.enc = binary.AppendUvarint(v.enc, uint64(len(v.dict))<<1)
+			v.enc = binary.AppendUvarint(v.enc, rotLoc(r.Loc))
+			v.enc = binary.AppendUvarint(v.enc, r.Val)
+		}
+	}
+}
+
+// blockArena is the reusable decode target: one batch of records plus
+// the per-location last-value table.  Cursors borrow arenas from a
+// sync.Pool so replaying a whole grid of requests allocates a handful
+// of arenas total instead of one buffer per record or per replay.
+type blockArena struct {
+	recs [BatchLen]trace.Exec
+	last [DictCap]uint64
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(blockArena) }}
+
+// latByOp caches each op's architectural latency in a flat table: the
+// block decoder resolves an elided latency byte per record, and
+// indexing one byte beats chasing the full isa.Info record each time.
+var latByOp = func() (t [256]uint8) {
+	for op := 0; op < isa.NumOps; op++ {
+		t[op] = isa.InfoOf(isa.Op(op)).Latency
+	}
+	return
+}()
+
+// decodeRun decodes count consecutive records starting at enc[off:]
+// into recs, reading and updating the caller's delta state (prevPC and
+// the per-location last-value table); the caller resets that state at
+// block boundaries.  base is the absolute index of the first record,
+// used for error context.  It returns the offset of the byte after the
+// run and the new previous-PC state.
+//
+// This is the replay hot path: one call decodes a whole batch in a
+// single tight loop, so the per-record cost is a few byte loads and
+// adds rather than a stack of per-varint function calls.  The one-byte
+// uvarint fast path is spelled out inline at every read site (the
+// helper's three-value return pushes it past the compiler's inline
+// budget); the multi-byte and error cases share the outlined slow
+// path.  This loop decodes ~90% of varints in two compares and a byte
+// load.
+func decodeRun(enc []byte, off int, base uint64, count int, dict []trace.Loc, prevPC uint64, last []uint64, recs []trace.Exec) (int, uint64, error) {
+	escape := uint64(len(dict)) << 1
+	var err error
+	for i := 0; i < count; i++ {
+		e := &recs[i]
+		start := off
+		idx := base + uint64(i)
+		if off >= len(enc) {
+			return off, prevPC, recErr(idx, start, io.ErrUnexpectedEOF)
+		}
+		// Hop to the next record through the length byte before parsing
+		// this one's body: `off` never depends on the body's varint
+		// widths, so consecutive iterations overlap in the pipeline.
+		next := off + int(enc[off])
+		p := off + 1
+		off = next
+		if next > len(enc) {
+			return off, prevPC, recErr(idx, start, io.ErrUnexpectedEOF)
+		}
+		if next < p+2 {
+			return off, prevPC, recErr(idx, start, fmt.Errorf("record length %d too short", next-start))
+		}
+		flags, op := enc[p], enc[p+1]
+		p += 2
+		nIn := int(flags>>flagNInShift) & 3
+		nOut := int(flags>>flagNOutShift) & 3
+		if nOut > len(e.Out) {
+			return off, prevPC, recErr(idx, start, fmt.Errorf("ref counts %d/%d out of range", nIn, nOut))
+		}
+		e.Op = isa.Op(op)
+		if !e.Op.Valid() {
+			return off, prevPC, recErr(idx, start, fmt.Errorf("undefined op %d", op))
+		}
+		e.SideEffect = flags&flagSideEff != 0
+		if flags&flagV3LatImplied != 0 {
+			e.Lat = latByOp[op]
+		} else {
+			if p >= len(enc) {
+				return off, prevPC, recErr(idx, start, io.ErrUnexpectedEOF)
+			}
+			e.Lat = enc[p]
+			p++
+		}
+		if flags&flagV3SeqPC != 0 {
+			e.PC = prevPC + 1
+		} else {
+			var pcz uint64
+			if p < len(enc) && enc[p] < 0x80 {
+				pcz, p = uint64(enc[p]), p+1
+			} else if pcz, p, err = sliceUvarintSlow(enc, p); err != nil {
+				return off, prevPC, recErr(idx, start, err)
+			}
+			e.PC = prevPC + uint64(unzig(pcz))
+		}
+		if flags&flagSeqNext != 0 {
+			e.Next = e.PC + 1
+		} else {
+			var nz uint64
+			if p < len(enc) && enc[p] < 0x80 {
+				nz, p = uint64(enc[p]), p+1
+			} else if nz, p, err = sliceUvarintSlow(enc, p); err != nil {
+				return off, prevPC, recErr(idx, start, err)
+			}
+			e.Next = e.PC + uint64(unzig(nz))
+		}
+		// The two ref loops are spelled out twice (inputs, then outputs)
+		// with the dominant dictionary case fully inline: a shared
+		// per-ref helper is far past the inline budget, and the call per
+		// operand is exactly the overhead block decoding exists to
+		// remove.  The fast path is branch-free on the changed/unchanged
+		// bit — the bit becomes an offset increment and a value mask
+		// instead of a data-dependent branch the predictor cannot learn
+		// — and handles a one-byte code followed by an optional one-byte
+		// delta; everything else (multi-byte varints, escapes, the last
+		// bytes of the stream) takes the outlined slow path.
+		for k := 0; k < nIn; k++ {
+			if p+2 <= len(enc) {
+				if b0 := enc[p]; b0 < 0x80 && uint64(b0) < escape {
+					ch := uint64(b0 & 1)
+					dz := uint64(enc[p+1])
+					if ch == 0 || dz < 0x80 {
+						di := b0 >> 1
+						p += int(1 + ch)
+						last[di] += uint64(unzig(dz)) & -ch
+						e.In[k] = trace.Ref{Loc: dict[di], Val: last[di]}
+						continue
+					}
+				}
+			}
+			if e.In[k], p, err = decodeRefSlow(enc, p, dict, last, escape); err != nil {
+				return off, prevPC, recErr(idx, start, err)
+			}
+		}
+		for k := 0; k < nOut; k++ {
+			if p+2 <= len(enc) {
+				if b0 := enc[p]; b0 < 0x80 && uint64(b0) < escape {
+					ch := uint64(b0 & 1)
+					dz := uint64(enc[p+1])
+					if ch == 0 || dz < 0x80 {
+						di := b0 >> 1
+						p += int(1 + ch)
+						last[di] += uint64(unzig(dz)) & -ch
+						e.Out[k] = trace.Ref{Loc: dict[di], Val: last[di]}
+						continue
+					}
+				}
+			}
+			if e.Out[k], p, err = decodeRefSlow(enc, p, dict, last, escape); err != nil {
+				return off, prevPC, recErr(idx, start, err)
+			}
+		}
+		if p != next {
+			return off, prevPC, recErr(idx, start,
+				fmt.Errorf("record body ends at offset %d, length byte promises %d", p, next))
+		}
+		e.NIn = uint8(nIn)
+		e.NOut = uint8(nOut)
+		prevPC = e.PC
+	}
+	return off, prevPC, nil
+}
+
+// decodeRefSlow decodes one operand reference the general way: the cold
+// side of the ref loops above, covering multi-byte codes and deltas,
+// escaped (non-dictionary) locations, and the tail of the stream.
+func decodeRefSlow(enc []byte, off int, dict []trace.Loc, last []uint64, escape uint64) (trace.Ref, int, error) {
+	var code uint64
+	var err error
+	if code, off, err = sliceUvarint(enc, off); err != nil {
+		return trace.Ref{}, off, err
+	}
+	if code < escape {
+		di := code >> 1
+		if code&1 != 0 {
+			var dz uint64
+			if dz, off, err = sliceUvarint(enc, off); err != nil {
+				return trace.Ref{}, off, err
+			}
+			last[di] += uint64(unzig(dz))
+		}
+		return trace.Ref{Loc: dict[di], Val: last[di]}, off, nil
+	}
+	if code != escape {
+		return trace.Ref{}, off, fmt.Errorf("location code %d out of range (%d dictionary entries)", code, escape>>1)
+	}
+	var rot, val uint64
+	if rot, off, err = sliceUvarint(enc, off); err != nil {
+		return trace.Ref{}, off, err
+	}
+	if rot&3 == 3 {
+		return trace.Ref{}, off, fmt.Errorf("escaped location has undefined kind")
+	}
+	if val, off, err = sliceUvarint(enc, off); err != nil {
+		return trace.Ref{}, off, err
+	}
+	return trace.Ref{Loc: unrotLoc(rot), Val: val}, off, nil
+}

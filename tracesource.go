@@ -70,16 +70,26 @@ func (t *Trace) Digest() string { return t.t.Digest() }
 // Records returns the number of recorded instructions.
 func (t *Trace) Records() uint64 { return t.t.Records() }
 
-// Size returns the encoded size of the stream in bytes.
+// Size returns the in-memory encoded size of the stream in bytes (the
+// delta-encoded v3 form a trace store holding this Trace spends).
 func (t *Trace) Size() int { return t.t.Bytes() }
+
+// CanonicalSize returns the size of the stream's canonical record
+// encoding — the form the content digest covers, and what the
+// uncompressed version-1/2 containers spend on the same stream.  The
+// ratio Size/CanonicalSize is the in-memory win of the delta encoding.
+func (t *Trace) CanonicalSize() int { return t.t.CanonicalBytes() }
 
 // Complete reports whether the recording ran to the program's halt, in
 // which case the trace covers every instruction the program can ever
 // produce.
 func (t *Trace) Complete() bool { return t.complete }
 
-// WriteTo serialises the trace in the indexed container format (record
-// count, content digest and skip index, then the records).
+// WriteTo serialises the trace in the current container format
+// (version 3: record count, content digest, canonical size and
+// location dictionary, then the delta-encoded records framed with
+// flate — several times smaller than the canonical containers and
+// faster to decode on reload).
 func (t *Trace) WriteTo(w io.Writer) (int64, error) { return t.t.WriteTo(w) }
 
 // Save writes the trace to a file (see WriteTo).
@@ -303,3 +313,17 @@ type TraceInfo = service.TraceInfo
 
 // Traces lists the Batcher's stored traces, most recently used first.
 func (b *Batcher) Traces() []TraceInfo { return b.svc.Traces() }
+
+// TraceByDigest returns the stored trace for a content digest, or
+// false if the store does not hold it (never stored, or evicted).  The
+// returned Trace is the same immutable object the store serves to
+// TraceRef-backed requests, so it can be replayed, saved or re-served
+// (cmd/tlrserve's GET /v1/traces/{digest} download is this call plus
+// WriteTo).
+func (b *Batcher) TraceByDigest(digest string) (*Trace, bool) {
+	t, ok := b.svc.TraceByDigest(digest)
+	if !ok {
+		return nil, false
+	}
+	return &Trace{t: t}, true
+}

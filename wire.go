@@ -38,7 +38,10 @@ const TraceRefVersion = 1
 type traceJSON struct {
 	V      int    `json:"v,omitempty"`
 	Digest string `json:"digest,omitempty"`
-	Data   []byte `json:"data,omitempty"` // indexed-container trace file
+	// Data is a complete trace file in any container version; writers
+	// emit the compressed delta (version-3) container, so inline
+	// payloads spend a fraction of the canonical bytes on the wire.
+	Data []byte `json:"data,omitempty"`
 }
 
 type geometryJSON struct {
