@@ -89,10 +89,15 @@ type BatchStats struct {
 	Errors      uint64 // requests that failed
 	Programs    int    // assembled programs currently cached
 	Results     int    // results currently cached
-	Traces      int    // recorded traces currently stored
-	TraceBytes  int64  // encoded bytes of stored traces
+	Traces      int    // recorded traces in the store's memory tier
+	TraceBytes  int64  // encoded bytes held by the memory tier
 	TraceHits   uint64 // trace-store lookups that found the digest
 	TraceMisses uint64 // trace-store lookups for unknown digests
+
+	TraceDisk      int    // recorded traces in the store's disk tier
+	TraceDiskBytes int64  // file bytes held by the disk tier
+	TraceSpills    uint64 // traces written through to the disk tier
+	TracePromotes  uint64 // disk hits decoded back into the memory tier
 }
 
 // BatchOptions sizes a Batcher.
@@ -101,9 +106,18 @@ type BatchOptions struct {
 	Workers int
 	// CacheSize is the result-cache capacity in requests (0 = 4096).
 	CacheSize int
-	// TraceStoreBytes bounds the digest-addressed trace store behind
-	// StoreTrace/TraceRef by total encoded bytes (0 = 64 MiB).
+	// TraceStoreBytes bounds the memory tier of the digest-addressed
+	// trace store behind StoreTrace/TraceRef by total encoded bytes
+	// (0 = 64 MiB).
 	TraceStoreBytes int64
+	// TraceDir, when non-empty, enables the trace store's disk tier: a
+	// directory of digest-named version-3 trace files behind the memory
+	// LRU.  Stored traces are written through to it, memory evictions
+	// become free drops, and TraceRef resolution falls through
+	// memory → disk, replaying large disk-tier traces as incrementally
+	// decoded streams in O(batch) memory.  The directory must exist and
+	// be writable.
+	TraceDir string
 }
 
 // Batcher owns a batch simulation service: a worker pool plus program
@@ -118,6 +132,7 @@ func NewBatcher(opt BatchOptions) *Batcher {
 		Workers:         opt.Workers,
 		ResultCache:     opt.CacheSize,
 		TraceCacheBytes: opt.TraceStoreBytes,
+		TraceDir:        opt.TraceDir,
 	})}
 }
 
@@ -131,17 +146,21 @@ func (b *Batcher) Workers() int { return b.svc.Workers() }
 func (b *Batcher) Stats() BatchStats {
 	st := b.svc.Stats()
 	return BatchStats{
-		Submitted:   st.Submitted,
-		Ran:         st.Ran,
-		CacheHits:   st.CacheHits,
-		Coalesced:   st.Coalesced,
-		Errors:      st.Errors,
-		Programs:    st.Programs,
-		Results:     st.Results,
-		Traces:      st.Traces,
-		TraceBytes:  st.TraceBytes,
-		TraceHits:   st.TraceHits,
-		TraceMisses: st.TraceMisses,
+		Submitted:      st.Submitted,
+		Ran:            st.Ran,
+		CacheHits:      st.CacheHits,
+		Coalesced:      st.Coalesced,
+		Errors:         st.Errors,
+		Programs:       st.Programs,
+		Results:        st.Results,
+		Traces:         st.Traces,
+		TraceBytes:     st.TraceBytes,
+		TraceHits:      st.TraceHits,
+		TraceMisses:    st.TraceMisses,
+		TraceDisk:      st.TraceDisk,
+		TraceDiskBytes: st.TraceDiskBytes,
+		TraceSpills:    st.TraceSpills,
+		TracePromotes:  st.TracePromotes,
 	}
 }
 

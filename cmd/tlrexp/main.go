@@ -159,6 +159,20 @@ type sweepBench struct {
 	CanonicalDecodeNsPerRecord float64 `json:"canonicalDecodeNsPerRecord"`
 	StepNsPerRecord            float64 `json:"stepNsPerRecord"`
 	DecodeSpeedup              float64 `json:"decodeSpeedup"`
+
+	// Streamed (on-disk) replay memory: heap bytes allocated by one
+	// full incremental replay of a version-3 file at two stream lengths
+	// (see replaybench.MeasureStreamMemory).  The constant-memory gate:
+	// allocation per replayed record must stay a tiny constant —
+	// marginal cost well under a byte per record (compress/flate's
+	// transient per-deflate-block tables are the only length-
+	// proportional term), orders of magnitude below materialising the
+	// trace.
+	StreamSmallRecords        uint64  `json:"streamSmallRecords"`
+	StreamLargeRecords        uint64  `json:"streamLargeRecords"`
+	StreamSmallAllocBytes     uint64  `json:"streamSmallAllocBytes"`
+	StreamLargeAllocBytes     uint64  `json:"streamLargeAllocBytes"`
+	StreamAllocBytesPerRecord float64 `json:"streamAllocBytesPerRecord"`
 }
 
 // rtmSweepRequests builds the Figure-9 grid (collection heuristic x RTM
@@ -282,6 +296,9 @@ func runSweepBench(cfg expt.Config, path string) error {
 		b.CanonicalBytesPerRecord, b.V2FileBytesPerRecord, b.EncodedMemBytesPerRecord, b.EncodeBytesPerRecord)
 	fmt.Printf("  decode %.1f ns/rec (canonical decode %.1f, %.2fx; simulator step %.1f)\n",
 		b.DecodeNsPerRecord, b.CanonicalDecodeNsPerRecord, b.DecodeSpeedup, b.StepNsPerRecord)
+	fmt.Printf("streamed replay memory: %d records -> %d B allocated, %d records -> %d B (%.2f B/record)\n",
+		b.StreamSmallRecords, b.StreamSmallAllocBytes, b.StreamLargeRecords, b.StreamLargeAllocBytes,
+		b.StreamAllocBytesPerRecord)
 	return nil
 }
 
@@ -346,6 +363,16 @@ func runReplayBench(ctx context.Context, b *sweepBench) error {
 		return err
 	}
 
+	memDir, err := os.MkdirTemp("", "tlr-streammem-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(memDir)
+	mem, err := replaybench.MeasureStreamMemory(memDir, 200_000)
+	if err != nil {
+		return err
+	}
+
 	b.ReplayCells = len(execRes)
 	b.ReplaySkip = replaybench.Skip
 	b.ReplayBudget = replaybench.Budget
@@ -365,5 +392,10 @@ func runReplayBench(ctx context.Context, b *sweepBench) error {
 	b.CanonicalDecodeNsPerRecord = enc.CanonicalDecodeNsPerRecord
 	b.StepNsPerRecord = enc.StepNsPerRecord
 	b.DecodeSpeedup = enc.DecodeSpeedup
+	b.StreamSmallRecords = mem.SmallRecords
+	b.StreamLargeRecords = mem.LargeRecords
+	b.StreamSmallAllocBytes = mem.SmallAllocBytes
+	b.StreamLargeAllocBytes = mem.LargeAllocBytes
+	b.StreamAllocBytesPerRecord = float64(mem.LargeAllocBytes) / float64(mem.LargeRecords)
 	return nil
 }

@@ -7,8 +7,8 @@
 //
 // Usage:
 //
-//	tlrserve [-addr :8321] [-workers N] [-cache N] [-trace-store-mb 64] [-max-trace-mb 64]
-//	         [-rtm-sets 128] [-rtm-ways 4] [-rtm-traces 8]
+//	tlrserve [-addr :8321] [-workers N] [-cache N] [-trace-store-mb 64] [-trace-dir DIR]
+//	         [-max-trace-mb 64] [-rtm-sets 128] [-rtm-ways 4] [-rtm-traces 8]
 //
 // # Run API
 //
@@ -38,22 +38,30 @@
 // # Trace store
 //
 // POST /v1/traces uploads a recorded trace file (the body is the raw
-// file, either container version; see cmd/tlrtrace record) into the
-// server's LRU-bounded store and answers {"digest", "records",
-// "bytes"}.  Run and batch requests then reference it by content
-// digest without re-uploading:
+// file, any container version; see cmd/tlrtrace record) into the
+// server's store and answers {"digest", "records", "tier", ...}.  The
+// body is consumed incrementally — chunked uploads included — and
+// with -trace-dir set it spools straight to a digest-named file in the
+// store's disk tier while being validated and digested, so the server
+// never holds the trace in memory however long the recording is
+// (-max-trace-mb still bounds the total).  Run and batch requests then
+// reference it by content digest without re-uploading:
 //
 //	{"trace": {"digest": "sha256:…"}, "study": {"budget": 100000,
 //	 "window": 256}}
 //
 // Trace-driven kinds (study, rtm, vp) replay the stored stream instead
 // of simulating a program — upload once, sweep the whole configuration
-// grid.  Pipeline requests are execution-driven and reject trace
-// inputs.  GET /v1/traces lists the stored digests with their encoded
-// and canonical sizes; GET /v1/traces/{digest} downloads a stored
-// trace as a version-3 file (see cmd/tlrtrace pull), so a recording
-// made and uploaded on one host can be fetched and inspected on
-// another.
+// grid.  Digest resolution falls through the tiers (memory LRU →
+// disk → 404): small disk hits are promoted back into memory, large
+// ones replay as incrementally decoded streams in O(batch) memory.
+// Pipeline requests are execution-driven and reject trace inputs.
+// GET /v1/traces lists the stored digests with their per-tier sizes
+// and the tier occupancy/spill/promote counters; GET
+// /v1/traces/{digest} downloads a stored trace as a version-3 file
+// (straight from the disk tier's file when it lives there; see
+// cmd/tlrtrace pull), so a recording made and uploaded on one host can
+// be fetched and inspected on another.
 //
 // # Shared RTM
 //
@@ -71,16 +79,19 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"os"
 
 	"github.com/tracereuse/tlr"
 	"github.com/tracereuse/tlr/internal/core"
 	"github.com/tracereuse/tlr/internal/rtm"
 	"github.com/tracereuse/tlr/internal/trace"
+	"github.com/tracereuse/tlr/internal/tracefile"
 	"github.com/tracereuse/tlr/internal/workload"
 )
 
@@ -88,7 +99,8 @@ func main() {
 	addr := flag.String("addr", ":8321", "listen address")
 	workers := flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
 	cache := flag.Int("cache", 0, "result cache capacity in jobs (0 = default)")
-	traceStoreMB := flag.Int64("trace-store-mb", 0, "trace store capacity in MiB (0 = default 64)")
+	traceStoreMB := flag.Int64("trace-store-mb", 0, "trace store memory tier capacity in MiB (0 = default 64)")
+	traceDir := flag.String("trace-dir", "", "trace store disk tier directory (empty = memory only); created if absent")
 	maxTraceMB := flag.Int64("max-trace-mb", 0, "largest accepted trace upload in MiB (0 = default 64)")
 	rtmSets := flag.Int("rtm-sets", 128, "shared RTM sets (power of two)")
 	rtmWays := flag.Int("rtm-ways", 4, "shared RTM PC ways per set")
@@ -105,7 +117,17 @@ func main() {
 		log.Fatalf("tlrserve: -rtm-ways and -rtm-traces must be >= 1, got %d and %d",
 			geom.PCWays, geom.TracesPerPC)
 	}
-	opt := tlr.BatchOptions{Workers: *workers, CacheSize: *cache, TraceStoreBytes: *traceStoreMB << 20}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			log.Fatalf("tlrserve: -trace-dir: %v", err)
+		}
+	}
+	opt := tlr.BatchOptions{
+		Workers:         *workers,
+		CacheSize:       *cache,
+		TraceStoreBytes: *traceStoreMB << 20,
+		TraceDir:        *traceDir,
+	}
 	srv := newServer(opt, geom, *rtmShards)
 	if *maxTraceMB > 0 {
 		srv.maxTraceBytes = *maxTraceMB << 20
@@ -153,26 +175,33 @@ func (s *server) mux() *http.ServeMux {
 
 // --- trace store API ---
 
-// handleTraceUpload parses an uploaded trace file (untrusted input: the
-// decoder is fuzzed, size-capped, and validates the embedded digest)
-// and stores it under its content digest for later digest-referenced
-// runs.
+// handleTraceUpload streams an uploaded trace file (untrusted input:
+// the decoder is fuzzed, size-capped, and validates the embedded
+// digest) into the store under its content digest for later
+// digest-referenced runs.  The body — chunked or not — is consumed
+// incrementally: with a disk tier it spools straight to the
+// digest-named file while being validated and digested, so the server
+// never buffers the upload (-max-trace-mb still bounds the total
+// bytes it will read).
 func (s *server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, s.maxTraceBytes)
-	t, err := tlr.ReadTrace(body)
+	info, err := s.batcher.StoreTraceFrom(body)
 	if err != nil {
+		// Invalid bytes are the client's fault; a store that cannot
+		// write (disk full, unwritable -trace-dir) is the server's.
+		if errors.Is(err, tracefile.ErrStoreWrite) {
+			http.Error(w, "trace store: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
 		http.Error(w, "bad trace: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	digest, err := s.batcher.StoreTrace(t)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
 	writeJSON(w, map[string]any{
-		"digest":  digest,
-		"records": t.Records(),
-		"bytes":   t.Size(),
+		"digest":    info.Digest,
+		"records":   info.Records,
+		"bytes":     info.Bytes,
+		"diskBytes": info.DiskBytes,
+		"tier":      info.Tier,
 	})
 }
 
@@ -183,30 +212,65 @@ func (s *server) handleTraceList(w http.ResponseWriter, _ *http.Request) {
 		Records        uint64 `json:"records"`
 		Bytes          int    `json:"bytes"`
 		CanonicalBytes int    `json:"canonicalBytes"`
+		Tier           string `json:"tier"`
+		DiskBytes      int64  `json:"diskBytes,omitempty"`
 	}
 	out := make([]traceInfo, len(infos))
 	for i, t := range infos {
-		out[i] = traceInfo{Digest: t.Digest, Records: t.Records, Bytes: t.Bytes, CanonicalBytes: t.CanonicalBytes}
+		out[i] = traceInfo{
+			Digest:         t.Digest,
+			Records:        t.Records,
+			Bytes:          t.Bytes,
+			CanonicalBytes: t.CanonicalBytes,
+			Tier:           t.Tier,
+			DiskBytes:      t.DiskBytes,
+		}
 	}
-	writeJSON(w, map[string]any{"traces": out})
+	// Tier occupancy comes from the store's own counters (the same
+	// numbers /v1/stats reports), not re-derived from the listing.
+	st := s.batcher.Stats()
+	writeJSON(w, map[string]any{
+		"traces": out,
+		"tiers": map[string]any{
+			"memory": map[string]any{"traces": st.Traces, "bytes": st.TraceBytes},
+			"disk":   map[string]any{"traces": st.TraceDisk, "bytes": st.TraceDiskBytes},
+			"spills": st.TraceSpills, "promotes": st.TracePromotes,
+		},
+	})
 }
 
 // handleTraceDownload streams a stored trace back as a version-3 trace
-// file: the other half of the upload/reference workflow, so a recording
-// pushed from one host can be pulled, inspected and replayed on
-// another (cmd/tlrtrace pull).
+// file — straight from the disk tier's file when the trace lives
+// there, without decoding it: the other half of the upload/reference
+// workflow, so a recording pushed from one host can be pulled,
+// inspected and replayed on another (cmd/tlrtrace pull).
 func (s *server) handleTraceDownload(w http.ResponseWriter, r *http.Request) {
 	digest := r.PathValue("digest")
-	t, ok := s.batcher.TraceByDigest(digest)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Trace-Digest", digest)
+	// WriteTraceTo resolves the digest before writing a byte, so a miss
+	// — or a disk-tier file that fails to open — can still become a
+	// clean error status.
+	n, ok, err := s.batcher.WriteTraceTo(digest, w)
 	if !ok {
+		w.Header().Del("X-Trace-Digest")
+		w.Header().Del("Content-Type")
 		http.Error(w, fmt.Sprintf("no stored trace with digest %q", digest), http.StatusNotFound)
 		return
 	}
-	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("X-Trace-Digest", t.Digest())
-	if _, err := t.WriteTo(w); err != nil {
-		// Headers are gone; all we can do is log and drop the connection.
+	if err != nil {
 		log.Printf("tlrserve: trace download %s: %v", digest, err)
+		if n == 0 {
+			w.Header().Del("X-Trace-Digest")
+			w.Header().Del("Content-Type")
+			http.Error(w, "trace store read failed", http.StatusInternalServerError)
+			return
+		}
+		// Bytes are already out and the body is chunked: returning
+		// normally would close the response cleanly and hand the client
+		// a truncated trace that looks complete.  Abort the connection
+		// instead so the truncation is visible at the transport level.
+		panic(http.ErrAbortHandler)
 	}
 }
 
@@ -421,8 +485,14 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.batcher.Stats()
 	writeJSON(w, map[string]any{
-		"service":        st,
-		"traceStore":     map[string]any{"traces": st.Traces, "bytes": st.TraceBytes, "hits": st.TraceHits, "misses": st.TraceMisses},
+		"service": st,
+		"traceStore": map[string]any{
+			"hits": st.TraceHits, "misses": st.TraceMisses,
+			"memory":   map[string]any{"traces": st.Traces, "bytes": st.TraceBytes},
+			"disk":     map[string]any{"traces": st.TraceDisk, "bytes": st.TraceDiskBytes},
+			"spills":   st.TraceSpills,
+			"promotes": st.TracePromotes,
+		},
 		"rtm":            s.shared.Stats(),
 		"rtmStored":      s.shared.Stored(),
 		"rtmShards":      s.shared.Shards(),

@@ -8,6 +8,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -430,5 +432,147 @@ func TestPprofFlagMounts(t *testing.T) {
 	presp.Body.Close()
 	if presp.StatusCode == http.StatusOK {
 		t.Error("pprof served without -pprof")
+	}
+}
+
+// TestChunkedUploadToDiskTier drives the disk-tier upload path over
+// real HTTP: the body is sent with chunked transfer encoding (no
+// Content-Length), spools into the -trace-dir store without being
+// materialised, and a digest-referenced run replays it identically to
+// live execution.  The listing and stats report per-tier occupancy.
+func TestChunkedUploadToDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	srv := newServer(tlr.BatchOptions{Workers: 2, TraceStoreBytes: 4096, TraceDir: dir},
+		rtm.Geometry{Sets: 64, PCWays: 4, TracesPerPC: 4}, 0)
+	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.batcher.Close()
+	})
+
+	rec, err := tlr.Record(context.Background(), tlr.RecordSpec{Workload: "compress", Budget: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An io.Pipe body has no declared length, so net/http sends it
+	// chunked — the long-recording upload shape.
+	pr, pw := io.Pipe()
+	go func() {
+		_, err := rec.WriteTo(pw)
+		pw.CloseWithError(err)
+	}()
+	resp, err := http.Post(ts.URL+"/v1/traces", "application/octet-stream", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("chunked upload status %d: %s", resp.StatusCode, body)
+	}
+	var up struct {
+		Digest  string `json:"digest"`
+		Records uint64 `json:"records"`
+		Tier    string `json:"tier"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&up); err != nil {
+		t.Fatal(err)
+	}
+	if up.Digest != rec.Digest() || up.Records != rec.Records() || up.Tier != "disk" {
+		t.Fatalf("upload answered %+v, want %s/%d on disk", up, rec.Digest(), rec.Records())
+	}
+
+	// The digest-named file exists in the store directory.
+	if _, err := os.Stat(filepath.Join(dir, tracefile.DigestFileName(up.Digest))); err != nil {
+		t.Fatalf("spooled file missing: %v", err)
+	}
+
+	// Digest-referenced replay from the disk tier equals live execution.
+	decode := func(resp *http.Response) tlr.Result {
+		t.Helper()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		var r tlr.Result
+		if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+			t.Fatal(err)
+		}
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		return r
+	}
+	study := `"study": {"budget": 20000, "window": 256}`
+	byTrace := decode(post(t, ts, "/v1/run", `{"trace": {"digest": "`+up.Digest+`"}, `+study+`}`))
+	byName := decode(post(t, ts, "/v1/run", `{"workload": "compress", `+study+`}`))
+	if !reflect.DeepEqual(byTrace.Study, byName.Study) {
+		t.Errorf("disk-tier replay differs from live:\n%+v\n%+v", byTrace.Study, byName.Study)
+	}
+
+	// The listing reports the tier split; the stats report the tier
+	// counters.
+	lresp, err := http.Get(ts.URL + "/v1/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lresp.Body.Close()
+	var listing struct {
+		Traces []struct {
+			Digest    string `json:"digest"`
+			Tier      string `json:"tier"`
+			DiskBytes int64  `json:"diskBytes"`
+		} `json:"traces"`
+		Tiers struct {
+			Disk struct {
+				Traces int   `json:"traces"`
+				Bytes  int64 `json:"bytes"`
+			} `json:"disk"`
+		} `json:"tiers"`
+	}
+	if err := json.NewDecoder(lresp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Traces) != 1 || listing.Traces[0].Tier != "disk" || listing.Traces[0].DiskBytes == 0 {
+		t.Fatalf("listing %+v", listing)
+	}
+	if listing.Tiers.Disk.Traces != 1 || listing.Tiers.Disk.Bytes == 0 {
+		t.Fatalf("tier occupancy %+v", listing.Tiers)
+	}
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var stats struct {
+		TraceStore struct {
+			Disk struct {
+				Traces int `json:"traces"`
+			} `json:"disk"`
+			Spills uint64 `json:"spills"`
+		} `json:"traceStore"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.TraceStore.Disk.Traces != 1 || stats.TraceStore.Spills != 1 {
+		t.Fatalf("stats %+v", stats.TraceStore)
+	}
+
+	// The download streams the disk tier's file byte for byte.
+	dresp, err := http.Get(ts.URL + "/v1/traces/" + up.Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dresp.Body.Close()
+	got, err := io.ReadAll(dresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join(dir, tracefile.DigestFileName(up.Digest)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("download differs from the stored file")
 	}
 }

@@ -14,6 +14,7 @@
 //	tlrtrace stat compress.trc
 //	tlrtrace digest compress.trc
 //	tlrtrace analyze -window 256 compress.trc
+//	tlrtrace concat -o whole.trc win1.trc win2.trc
 //	tlrtrace push -server http://localhost:8321 compress.trc
 //	tlrtrace pull -server http://localhost:8321 -o got.trc sha256:…
 //
@@ -26,6 +27,11 @@
 // run is one POST away:
 //
 //	{"trace": {"digest": "sha256:…"}, "study": {"budget": 100000}}
+//
+// `concat` stitches several recordings into one file (adjacent
+// windows of one program concatenate to the stream — and digest — a
+// single long recording would have produced) and prints the combined
+// content digest like `digest` does.
 //
 // `pull` is push's inverse: it downloads a stored trace by digest,
 // validates it, and verifies the content digest matches the one asked
@@ -50,7 +56,7 @@ import (
 
 func main() {
 	if len(os.Args) < 2 {
-		fail(fmt.Errorf("usage: tlrtrace record|dump|stats|stat|digest|analyze|push|pull ..."))
+		fail(fmt.Errorf("usage: tlrtrace record|dump|stats|stat|digest|analyze|concat|push|pull ..."))
 	}
 	cmd, args := os.Args[1], os.Args[2:]
 	switch cmd {
@@ -66,6 +72,8 @@ func main() {
 		digestCmd(args)
 	case "analyze":
 		analyze(args)
+	case "concat":
+		concat(args)
 	case "push":
 		push(args)
 	case "pull":
@@ -73,6 +81,40 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown subcommand %q", cmd))
 	}
+}
+
+// concat stitches several recordings into one version-3 trace file:
+// each input streams through tlr.Concat (no input is materialised —
+// only the growing recording of the combined stream is in memory) and
+// the result is saved and digest-printed like `tlrtrace digest`.
+func concat(args []string) {
+	fs := flag.NewFlagSet("concat", flag.ExitOnError)
+	out := fs.String("o", "", "output trace file (required)")
+	_ = fs.Parse(args)
+	if fs.NArg() < 1 {
+		fail(fmt.Errorf("concat: need at least one input trace file"))
+	}
+	if *out == "" {
+		fail(fmt.Errorf("concat: -o required"))
+	}
+	srcs := make([]tlr.TraceSource, fs.NArg())
+	for i, path := range fs.Args() {
+		srcs[i] = tlr.TraceFile(path)
+	}
+	t, err := tlr.Materialize(tlr.Concat(srcs...))
+	if err != nil {
+		fail(err)
+	}
+	if err := t.Save(*out); err != nil {
+		fail(err)
+	}
+	size := t.Size()
+	if fi, err := os.Stat(*out); err == nil {
+		size = int(fi.Size())
+	}
+	fmt.Printf("concatenated %d files into %s (%d records, %d bytes)\n",
+		fs.NArg(), *out, t.Records(), size)
+	fmt.Println(t.Digest())
 }
 
 func record(args []string) {

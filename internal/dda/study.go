@@ -1,0 +1,62 @@
+package dda
+
+import "github.com/tracereuse/tlr/internal/trace"
+
+// The trace-driven face of the timing model.  A Clock only ever
+// consumes trace.Exec records, so nothing about the analysis requires
+// live execution — but until now every driver fed it straight from the
+// functional simulator.  Study packages the common "base-machine IPC
+// across window sizes" sweep (the paper's §1 ILP-limits motivation,
+// Austin & Sohi's original use of the model) as a pure stream consumer:
+// feed it records from a CPU, a recorded trace, a composite of several
+// recordings — the result is identical for identical streams, which is
+// what makes replayed DDA provably equivalent to execution-driven DDA.
+
+// Point is one window size's base-machine outcome.
+type Point struct {
+	// Window is the instruction window size (0 = infinite).
+	Window int
+	// Cycles is the analytical machine's total execution time.
+	Cycles float64
+	// IPC is Instructions / Cycles.
+	IPC float64
+	// Instructions is the number of retired instructions.
+	Instructions int64
+}
+
+// Study runs one base machine per window size over a single dynamic
+// stream pass.
+type Study struct {
+	bases []*Base
+}
+
+// NewStudy returns a Study over the given window sizes (0 or negative =
+// infinite).
+func NewStudy(windows []int) *Study {
+	s := &Study{bases: make([]*Base, len(windows))}
+	for i, w := range windows {
+		s.bases[i] = NewBase(w)
+	}
+	return s
+}
+
+// Consume processes one dynamic instruction on every machine.
+func (s *Study) Consume(e *trace.Exec) {
+	for _, b := range s.bases {
+		b.Consume(e)
+	}
+}
+
+// Result returns one Point per window, in the order given to NewStudy.
+func (s *Study) Result() []Point {
+	out := make([]Point, len(s.bases))
+	for i, b := range s.bases {
+		out[i] = Point{
+			Window:       b.Clock().Window(),
+			Cycles:       b.Cycles(),
+			IPC:          b.IPC(),
+			Instructions: b.Clock().Instructions(),
+		}
+	}
+	return out
+}

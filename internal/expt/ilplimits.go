@@ -1,14 +1,11 @@
 package expt
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
-	"github.com/tracereuse/tlr/internal/core"
-	"github.com/tracereuse/tlr/internal/cpu"
-	"github.com/tracereuse/tlr/internal/dda"
+	"github.com/tracereuse/tlr/internal/service"
 	"github.com/tracereuse/tlr/internal/stats"
-	"github.com/tracereuse/tlr/internal/trace"
 	"github.com/tracereuse/tlr/internal/workload"
 )
 
@@ -19,6 +16,16 @@ import (
 // across window sizes, with the trace-reuse machine beside it so the
 // "TLR artificially enlarges the window" claim (§1) is visible as a
 // shifted curve.
+//
+// The sweep runs through the batch service as Study jobs carrying
+// ILPWindows, so the DDA base machine is driven by the same stream
+// abstraction as every other engine: the identical sweep over a
+// recorded TraceSource replays instead of executing, and repeated
+// sweeps hit the result cache.  The trade: a cold sweep simulates each
+// workload once per window (the old single-pass driver fed all windows
+// from one execution) — accepted because the cells become cacheable,
+// per-window jobs parallelise across the pool, and this experiment
+// only runs under -ablations.
 
 // ILPWindows is the window-size sweep of the ILP-limits experiment.
 var ILPWindows = []int{16, 64, 256, 1024, 0}
@@ -31,73 +38,56 @@ type ILPRow struct {
 	TLRIPC   []float64 // trace-reuse machine (1-cycle latency)
 }
 
-// MeasureILP runs the window sweep for every workload.
+// MeasureILP runs the window sweep for every workload through the
+// shared batch service.
 func MeasureILP(cfg Config) ([]ILPRow, error) {
+	return MeasureILPWith(shared(), cfg)
+}
+
+// MeasureILPWith is MeasureILP on an explicit service: one Study job
+// per workload and window, each carrying the DDA base machine for that
+// window beside the 1-cycle TLR study.
+func MeasureILPWith(svc *service.Service, cfg Config) ([]ILPRow, error) {
 	suite := workload.All()
-	rows := make([]ILPRow, len(suite))
-	errs := make([]error, len(suite))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxWorkers(cfg))
-	for i, w := range suite {
-		wg.Add(1)
-		go func(i int, w *workload.Workload) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			rows[i], errs[i] = measureILPOne(cfg, w)
-		}(i, w)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	var jobs []service.Job
+	for _, w := range suite {
+		prog, err := w.Program()
 		if err != nil {
 			return nil, err
 		}
+		for _, win := range ILPWindows {
+			jobs = append(jobs, service.StudyJob(
+				fmt.Sprintf("%s/W%d", w.Name, win),
+				service.ProgSource("workload:"+w.Name, prog),
+				service.StudyParams{
+					Budget:     cfg.Budget,
+					Skip:       cfg.Skip,
+					Window:     win,
+					ILPWindows: []int{win},
+				}))
+		}
+	}
+	res, err := svc.Submit(context.Background(), jobs, cfg.Workers).Wait()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ILPRow, len(suite))
+	k := 0
+	for wi, w := range suite {
+		row := ILPRow{Name: w.Name, Category: w.Category}
+		for range ILPWindows {
+			out := res[k].Value.(service.StudyOutput)
+			row.BaseIPC = append(row.BaseIPC, out.DDA[0].IPC)
+			tlrIPC := 0.0
+			if out.TLR.Cycles[0] > 0 {
+				tlrIPC = float64(out.TLR.Instructions) / out.TLR.Cycles[0]
+			}
+			row.TLRIPC = append(row.TLRIPC, tlrIPC)
+			k++
+		}
+		rows[wi] = row
 	}
 	return rows, nil
-}
-
-func measureILPOne(cfg Config, w *workload.Workload) (ILPRow, error) {
-	prog, err := w.Program()
-	if err != nil {
-		return ILPRow{}, err
-	}
-	c := cpu.New(prog)
-	if cfg.Skip > 0 {
-		if _, err := c.Run(cfg.Skip, nil); err != nil {
-			return ILPRow{}, err
-		}
-	}
-	hist := core.NewHistory()
-	bases := make([]*dda.Base, len(ILPWindows))
-	tlrs := make([]*core.TLRStudy, len(ILPWindows))
-	for i, win := range ILPWindows {
-		bases[i] = dda.NewBase(win)
-		tlrs[i] = core.NewTLRStudy(core.TLRConfig{
-			Window:   win,
-			Variants: []core.Latency{core.ConstLatency(1)},
-		})
-	}
-	if _, err := c.Run(cfg.Budget, func(e *trace.Exec) {
-		reusable := hist.Observe(e)
-		for i := range ILPWindows {
-			bases[i].Consume(e)
-			tlrs[i].ConsumeClassified(e, reusable)
-		}
-	}); err != nil {
-		return ILPRow{}, err
-	}
-	row := ILPRow{Name: w.Name, Category: w.Category}
-	for i := range ILPWindows {
-		tlrs[i].Finish()
-		row.BaseIPC = append(row.BaseIPC, bases[i].IPC())
-		r := tlrs[i].Result()
-		tlrIPC := 0.0
-		if r.Cycles[0] > 0 {
-			tlrIPC = float64(r.Instructions) / r.Cycles[0]
-		}
-		row.TLRIPC = append(row.TLRIPC, tlrIPC)
-	}
-	return row, nil
 }
 
 func maxWorkers(cfg Config) int {

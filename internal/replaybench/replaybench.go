@@ -31,6 +31,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"path/filepath"
+	"runtime"
 	"time"
 
 	"github.com/tracereuse/tlr"
@@ -235,6 +237,106 @@ func v3Decode(tr *tracefile.Trace) (uint64, error) {
 		return n, fmt.Errorf("replaybench: sentinel hit")
 	}
 	return n, nil
+}
+
+// StreamMemory reports the heap cost of replaying an on-disk trace
+// through the incremental file stream at two stream lengths.  The
+// constant-memory contract of streamed replay is that the allocation
+// total is (near-)independent of record count: the decoder holds one
+// batch arena, one flate window and fixed bufio buffers, whatever the
+// file's length.  CI gates LargeAllocBytes against SmallAllocBytes.
+type StreamMemory struct {
+	SmallRecords    uint64
+	LargeRecords    uint64
+	SmallAllocBytes uint64 // heap allocated replaying the small file (best of 3)
+	LargeAllocBytes uint64 // heap allocated replaying the 4x file (best of 3)
+}
+
+// MeasureStreamMemory records two streams of one workload — n records
+// and 4n records — saves them as version-3 files under dir, and
+// measures the heap bytes allocated by a full streamed replay of each.
+func MeasureStreamMemory(dir string, n uint64) (StreamMemory, error) {
+	st := StreamMemory{}
+	record := func(budget uint64, path string) (uint64, error) {
+		w, ok := workload.ByName("compress")
+		if !ok {
+			return 0, fmt.Errorf("replaybench: unknown workload compress")
+		}
+		prog, err := w.Program()
+		if err != nil {
+			return 0, err
+		}
+		rec := tracefile.NewRecorder()
+		got, err := cpu.New(prog).Run(budget, rec.Write)
+		if err != nil {
+			return 0, err
+		}
+		return got, rec.Trace().Save(path)
+	}
+	smallPath := filepath.Join(dir, "stream-small.trc")
+	largePath := filepath.Join(dir, "stream-large.trc")
+	var err error
+	if st.SmallRecords, err = record(n, smallPath); err != nil {
+		return st, err
+	}
+	if st.LargeRecords, err = record(4*n, largePath); err != nil {
+		return st, err
+	}
+	if st.SmallAllocBytes, err = replayAllocBytes(smallPath); err != nil {
+		return st, err
+	}
+	if st.LargeAllocBytes, err = replayAllocBytes(largePath); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// replayAllocBytes measures the heap bytes one full streamed replay of
+// the file allocates (best — i.e. smallest — of three runs, so a
+// concurrent GC or pool miss cannot inflate the gated number).
+func replayAllocBytes(path string) (uint64, error) {
+	var best uint64
+	for i := 0; i < 3; i++ {
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		if err := streamFile(path); err != nil {
+			return 0, err
+		}
+		runtime.ReadMemStats(&m1)
+		alloc := m1.TotalAlloc - m0.TotalAlloc
+		if i == 0 || alloc < best {
+			best = alloc
+		}
+	}
+	return best, nil
+}
+
+// streamFile replays a trace file through the incremental decoder,
+// consuming every record in place.
+func streamFile(path string) error {
+	s, err := tracefile.OpenFileStream(path)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	var sink uint64
+	for {
+		batch, err := s.NextBatch()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		for i := range batch {
+			sink += batch[i].PC
+		}
+	}
+	if sink == 1<<63 {
+		return fmt.Errorf("replaybench: sentinel hit")
+	}
+	return nil
 }
 
 // bestOf runs f reps times and returns the best nanoseconds-per-record.

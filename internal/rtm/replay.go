@@ -26,19 +26,15 @@ import (
 // the live simulator skips executing them, with the entry's net outputs
 // applied to the shadow state the way applyEntry writes the CPU.
 
-// ReplayStream is a positioned, skippable recorded stream delivering
-// records a decoded batch at a time (tracefile.Cursor implements it).
-type ReplayStream interface {
-	// NextBatch returns the next run of decoded records, valid until the
-	// following NextBatch or Skip call; it returns io.EOF at the end of
-	// the stream.  Batched delivery is what makes replay cheap: the
-	// stream decodes a block in one tight loop and the simulation walks
-	// the records in place, instead of paying a decode call per record.
-	NextBatch() ([]trace.Exec, error)
-	// Skip advances past up to n records, returning how many were
-	// actually skipped (fewer only at the end of the stream).
-	Skip(n uint64) (uint64, error)
-}
+// ReplayStream is the recorded stream a Replay consumes: the shared
+// batched record-stream interface (trace.Stream), which
+// tracefile.Cursor (in-memory), tracefile.FileStream (on-disk) and the
+// tlr composite sources all implement.  Batched delivery is what makes
+// replay cheap: the stream decodes a run of records in one tight loop
+// and the simulation walks them in place, instead of paying a decode
+// call per record.  The Replay does not Close the stream; the caller
+// that opened it does.
+type ReplayStream = trace.Stream
 
 // Replay couples a recorded stream with an RTM, mirroring Sim: at every
 // record boundary it runs the reuse test, skips reused traces in the

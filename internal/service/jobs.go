@@ -8,6 +8,7 @@ import (
 	"github.com/tracereuse/tlr/internal/asm"
 	"github.com/tracereuse/tlr/internal/core"
 	"github.com/tracereuse/tlr/internal/cpu"
+	"github.com/tracereuse/tlr/internal/dda"
 	"github.com/tracereuse/tlr/internal/isa"
 	"github.com/tracereuse/tlr/internal/pipeline"
 	"github.com/tracereuse/tlr/internal/rtm"
@@ -29,8 +30,14 @@ import (
 // execution itself and therefore requires a program.
 
 // Source provides a job's dynamic instruction stream: exactly one of an
-// executable program or a recorded trace, plus the cache identity of
-// the stream it denotes.
+// executable program or a recorded-stream opener, plus the cache
+// identity of the stream it denotes.  Trace-backed sources carry an
+// opener rather than a materialised trace: each run of the job opens
+// its own trace.Stream, pulls record batches from it and closes it, so
+// nothing in the job layer requires the stream to be resident — an
+// in-memory recording, a file decoded incrementally from a disk store
+// tier and a composite of several recordings all run through the same
+// path.
 type Source struct {
 	// Key identifies the stream for result caching ("" disables
 	// caching).  It must be collision-resistant across callers: a
@@ -38,7 +45,7 @@ type Source struct {
 	Key string
 
 	prog *isa.Program
-	tr   *tracefile.Trace
+	open func() (trace.Stream, error)
 	base uint64
 }
 
@@ -47,15 +54,22 @@ func ProgSource(key string, prog *isa.Program) Source {
 	return Source{Key: key, prog: prog}
 }
 
-// TraceSource is a stream replayed from a recorded trace.  base is how
-// many leading records of the keyed stream identity the recording
-// itself already skipped (a recording made past a warm-up of S
-// instructions starts at instruction S of the program it is keyed as).
-// Job Skip values are identity-relative — they must be, or a trace-
-// backed job and its program-backed twin could not share a cache key —
-// and replay subtracts base to position the cursor in the recording.
+// StreamSource is a stream replayed from a recording via open, which is
+// called once per run of the job (a job may run several times across
+// batches when its results fall out of cache).  base is how many
+// leading records of the keyed stream identity the recording itself
+// already skipped (a recording made past a warm-up of S instructions
+// starts at instruction S of the program it is keyed as).  Job Skip
+// values are identity-relative — they must be, or a trace-backed job
+// and its program-backed twin could not share a cache key — and replay
+// subtracts base to position the stream in the recording.
+func StreamSource(key string, base uint64, open func() (trace.Stream, error)) Source {
+	return Source{Key: key, base: base, open: open}
+}
+
+// TraceSource is StreamSource over an in-memory recorded trace.
 func TraceSource(key string, t *tracefile.Trace, base uint64) Source {
-	return Source{Key: key, tr: t, base: base}
+	return StreamSource(key, base, func() (trace.Stream, error) { return t.Cursor(), nil })
 }
 
 // streamSkip converts an identity-relative skip into a cursor position
@@ -70,20 +84,39 @@ func (s Source) streamSkip(skip uint64) (uint64, error) {
 // Prog returns the executable program, or nil for a trace-backed source.
 func (s Source) Prog() *isa.Program { return s.prog }
 
-// Trace returns the recorded trace, or nil for a program-backed source.
-func (s Source) Trace() *tracefile.Trace { return s.tr }
-
 func (s Source) validate() error {
-	if (s.prog == nil) == (s.tr == nil) {
-		return fmt.Errorf("service: a Source needs exactly one of a program or a trace")
+	if (s.prog == nil) == (s.open == nil) {
+		return fmt.Errorf("service: a Source needs exactly one of a program or a stream opener")
 	}
 	return nil
+}
+
+// openStream opens the recorded stream positioned past the
+// identity-relative skip, leaving it ready to deliver the measured
+// window's batches.
+func (s Source) openStream(skip uint64) (trace.Stream, error) {
+	skip, err := s.streamSkip(skip)
+	if err != nil {
+		return nil, err
+	}
+	st, err := s.open()
+	if err != nil {
+		return nil, err
+	}
+	if skip > 0 {
+		if _, err := st.Skip(skip); err != nil {
+			st.Close()
+			return nil, err
+		}
+	}
+	return st, nil
 }
 
 // run skips `skip` records of the stream, then delivers up to max
 // records to fn, polling ctx throughout.  For a program-backed source
 // the skip executes (the machine must pass through the state); for a
-// trace-backed source it seeks via the trace's index.
+// trace-backed source the stream skips — O(1) for an indexed in-memory
+// recording, decode-and-discard for a container streamed from disk.
 func (s Source) run(ctx context.Context, skip, max uint64, fn func(*trace.Exec)) (uint64, error) {
 	if err := s.validate(); err != nil {
 		return 0, err
@@ -97,18 +130,12 @@ func (s Source) run(ctx context.Context, skip, max uint64, fn func(*trace.Exec))
 		}
 		return c.RunContext(ctx, max, fn)
 	}
-	cur := s.tr.Cursor()
-	defer cur.Close()
-	skip, err := s.streamSkip(skip)
+	st, err := s.openStream(skip)
 	if err != nil {
 		return 0, err
 	}
-	if skip > 0 {
-		if _, err := cur.Skip(skip); err != nil {
-			return 0, err
-		}
-	}
-	return cur.Run(ctx, max, fn)
+	defer st.Close()
+	return trace.RunStream(ctx, st, max, fn)
 }
 
 // Program assembles source through the service's LRU: repeated batches
@@ -162,12 +189,21 @@ type StudyParams struct {
 	TLRVariants  []core.Latency
 	Strict       bool
 	MaxRunLen    int
+	// ILPWindows, when non-empty, additionally runs the raw
+	// dynamic-dependence-analysis base machine (no reuse) at each of
+	// these window sizes over the same stream pass — the trace-driven
+	// DDA path: the analytical timing model consumes whatever stream the
+	// Source provides, recorded or live.
+	ILPWindows []int
 }
 
 // StudyOutput is a limit-study job's result.
 type StudyOutput struct {
 	ILR core.ILRResult
 	TLR core.TLRResult
+	// DDA is the base-machine point per requested ILPWindows entry (nil
+	// when none were requested).
+	DDA []dda.Point
 }
 
 // normalize applies the study defaults.  Both RunStudy and the cache
@@ -199,16 +235,27 @@ func RunStudy(ctx context.Context, src Source, p StudyParams) (StudyOutput, erro
 		Strict:    p.Strict,
 		MaxRunLen: p.MaxRunLen,
 	})
+	var ilp *dda.Study
+	if len(p.ILPWindows) > 0 {
+		ilp = dda.NewStudy(p.ILPWindows)
+	}
 	if _, err := src.run(ctx, p.Skip, p.Budget, func(e *trace.Exec) {
 		reusable := hist.Observe(e)
 		ilr.ConsumeClassified(e, reusable)
 		tlrS.ConsumeClassified(e, reusable)
+		if ilp != nil {
+			ilp.Consume(e)
+		}
 	}); err != nil {
 		return StudyOutput{}, err
 	}
 	ilr.Finish()
 	tlrS.Finish()
-	return StudyOutput{ILR: ilr.Result(), TLR: tlrS.Result()}, nil
+	out := StudyOutput{ILR: ilr.Result(), TLR: tlrS.Result()}
+	if ilp != nil {
+		out.DDA = ilp.Result()
+	}
+	return out, nil
 }
 
 // StudyJob builds a cacheable limit-study job over src.
@@ -216,8 +263,8 @@ func StudyJob(id string, src Source, p StudyParams) Job {
 	p = p.normalize()
 	key := ""
 	if src.Key != "" {
-		key = fmt.Sprintf("study|%s|%d|%d|%d|%v|%v|%v|%d",
-			src.Key, p.Budget, p.Skip, p.Window, p.ILRLatencies, p.TLRVariants, p.Strict, p.MaxRunLen)
+		key = fmt.Sprintf("study|%s|%d|%d|%d|%v|%v|%v|%d|%v",
+			src.Key, p.Budget, p.Skip, p.Window, p.ILRLatencies, p.TLRVariants, p.Strict, p.MaxRunLen, p.ILPWindows)
 	}
 	return Job{ID: id, Key: key, Run: func(ctx context.Context) (any, error) { return RunStudy(ctx, src, p) }}
 }
@@ -264,18 +311,12 @@ func RunRTM(ctx context.Context, src Source, p RTMParams) (rtm.Result, error) {
 		}
 		return rtm.NewSim(p.Config, c).RunContext(ctx, p.Budget)
 	}
-	cur := src.tr.Cursor()
-	defer cur.Close()
-	skip, err := src.streamSkip(p.Skip)
+	st, err := src.openStream(p.Skip)
 	if err != nil {
 		return rtm.Result{}, err
 	}
-	if skip > 0 {
-		if _, err := cur.Skip(skip); err != nil {
-			return rtm.Result{}, err
-		}
-	}
-	return rtm.NewReplay(p.Config, cur).RunContext(ctx, p.Budget)
+	defer st.Close()
+	return rtm.NewReplay(p.Config, st).RunContext(ctx, p.Budget)
 }
 
 // RTMJob builds a cacheable realistic-RTM job over src.

@@ -24,10 +24,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 
+	"github.com/tracereuse/tlr/internal/trace"
 	"github.com/tracereuse/tlr/internal/tracefile"
 )
 
@@ -53,9 +58,16 @@ type Options struct {
 	ProgramCache int
 	// ResultCache is the job-result LRU capacity (<= 0: 4096).
 	ResultCache int
-	// TraceCacheBytes bounds the digest-addressed trace store by total
-	// encoded bytes (<= 0: 64 MiB).
+	// TraceCacheBytes bounds the digest-addressed trace store's memory
+	// tier by total encoded bytes (<= 0: 64 MiB).
 	TraceCacheBytes int64
+	// TraceDir, when non-empty, enables the trace store's disk tier: a
+	// directory of digest-named version-3 files behind the in-memory
+	// LRU.  Stored traces are written through to it, memory evictions
+	// become free drops, and digest lookups fall through memory → disk
+	// (promoting small files back into memory, streaming large ones in
+	// O(batch) memory).  The directory must exist and be writable.
+	TraceDir string
 }
 
 // Stats counts service traffic.
@@ -67,10 +79,15 @@ type Stats struct {
 	Errors      uint64 // jobs that failed
 	Programs    int    // assembled programs currently cached
 	Results     int    // results currently cached
-	Traces      int    // recorded traces currently stored
-	TraceBytes  int64  // encoded bytes of stored traces
+	Traces      int    // recorded traces in the store's memory tier
+	TraceBytes  int64  // encoded bytes held by the memory tier
 	TraceHits   uint64 // trace-store lookups that found the digest
 	TraceMisses uint64 // trace-store lookups for unknown digests
+
+	TraceDisk      int    // recorded traces in the store's disk tier
+	TraceDiskBytes int64  // file bytes held by the disk tier
+	TraceSpills    uint64 // traces written through to the disk tier
+	TracePromotes  uint64 // disk hits decoded back into the memory tier
 }
 
 // Job is one unit of work.
@@ -203,8 +220,11 @@ func New(opt Options) *Service {
 		done:     make(chan struct{}),
 		programs: newLRU(opt.ProgramCache),
 		results:  newLRU(opt.ResultCache),
-		traces:   newTraceStore(opt.TraceCacheBytes),
+		traces:   newTraceStore(opt.TraceCacheBytes, opt.TraceDir),
 		inflight: make(map[string]*flight),
+	}
+	if opt.TraceDir != "" {
+		s.rehydrateTraceDir(opt.TraceDir)
 	}
 	s.wg.Add(opt.Workers)
 	for i := 0; i < opt.Workers; i++ {
@@ -246,32 +266,265 @@ func (s *Service) Stats() Stats {
 	st.Results = s.results.len()
 	st.Traces = s.traces.len()
 	st.TraceBytes = s.traces.bytes
+	st.TraceDisk = s.traces.diskLen()
+	st.TraceDiskBytes = s.traces.diskBytes
+	st.TraceSpills = s.traces.spills
+	st.TracePromotes = s.traces.promotes
 	return st
 }
 
 // AddTrace stores a recorded trace in the service's digest-addressed
 // trace store and returns its digest.  Storing an already-present
-// digest refreshes its LRU position.
+// digest refreshes its LRU position.  With a disk tier the trace is
+// also written through to its digest-named file (so a later memory
+// eviction loses nothing); a write-through failure leaves the trace
+// memory-only rather than failing the store.
 func (s *Service) AddTrace(t *tracefile.Trace) string {
+	digest := t.Digest()
+	var disk *diskEntry
+	wrote := false
+	if dir := s.traceDir(); dir != "" {
+		path := filepath.Join(dir, tracefile.DigestFileName(digest))
+		if _, err := os.Stat(path); err != nil {
+			if t.Save(path) == nil {
+				wrote = true
+			}
+		}
+		if fi, err := os.Stat(path); err == nil {
+			disk = &diskEntry{
+				path:           path,
+				records:        t.Records(),
+				fileBytes:      fi.Size(),
+				canonicalBytes: int64(t.CanonicalBytes()),
+			}
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if disk != nil {
+		s.traces.addDisk(digest, *disk, wrote)
+	}
 	return s.traces.add(t)
 }
 
-// TraceByDigest returns the stored trace for a digest.
-func (s *Service) TraceByDigest(digest string) (*tracefile.Trace, bool) {
+// AddTraceStream stores a trace read from a container stream (any
+// version), validating and digesting it incrementally.  With a disk
+// tier the stream spools straight to its digest-named file — the trace
+// (and the stream carrying it) is never materialised, so arbitrarily
+// long uploads cost O(batch) memory; the memory tier fills in lazily
+// when the digest is first replayed (see ResolveTrace).  Without a disk
+// tier the trace is decoded into the memory tier, as AddTrace would.
+func (s *Service) AddTraceStream(r io.Reader) (TraceInfo, error) {
+	dir := s.traceDir()
+	if dir == "" {
+		t, err := tracefile.Load(r)
+		if err != nil {
+			return TraceInfo{}, err
+		}
+		digest := s.AddTrace(t)
+		return TraceInfo{
+			Digest:         digest,
+			Records:        t.Records(),
+			Bytes:          t.Bytes(),
+			CanonicalBytes: t.CanonicalBytes(),
+			Tier:           "memory",
+		}, nil
+	}
+	sp, err := tracefile.SpoolToDir(r, dir)
+	if err != nil {
+		return TraceInfo{}, err
+	}
+	ent := diskEntry{
+		path:           sp.Path,
+		records:        sp.Records,
+		fileBytes:      sp.FileBytes,
+		canonicalBytes: sp.CanonicalBytes,
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, existed := s.traces.getDisk(sp.Digest)
+	s.traces.addDisk(sp.Digest, ent, !existed)
+	info := TraceInfo{
+		Digest:         sp.Digest,
+		Records:        sp.Records,
+		CanonicalBytes: int(sp.CanonicalBytes),
+		Tier:           "disk",
+		DiskBytes:      sp.FileBytes,
+	}
+	if t, ok := s.traces.get(sp.Digest); ok {
+		// The digest is also memory-resident: report the same tier and
+		// encoded size GET /v1/traces would.
+		info.Tier = "memory+disk"
+		info.Bytes = t.Bytes()
+	}
+	return info, nil
+}
+
+// traceDir returns the disk tier's directory ("" = no disk tier).
+func (s *Service) traceDir() string { return s.traces.dir }
+
+// rehydrateTraceDir registers the digest-named trace files already in
+// the disk tier's directory, so a store pointed at an existing
+// directory (a restarted server) serves its traces without re-upload.
+// Runs before the Service is shared, so no locking; files that fail to
+// probe, or whose name does not match their declared digest, are
+// skipped (they 404, exactly as they would have before rehydration
+// existed).
+func (s *Service) rehydrateTraceDir(dir string) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, ent := range ents {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".trc") {
+			continue
+		}
+		path := filepath.Join(dir, ent.Name())
+		info, err := tracefile.ProbeFile(path)
+		if err != nil || tracefile.DigestFileName(info.Digest) != ent.Name() {
+			continue
+		}
+		fi, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		s.traces.addDisk(info.Digest, diskEntry{
+			path:           path,
+			records:        info.Records,
+			fileBytes:      fi.Size(),
+			canonicalBytes: info.CanonicalBytes,
+		}, false)
+	}
+}
+
+// TraceHandle is a resolved stored trace: its identity plus an opener
+// that yields one replayable record stream per call.
+type TraceHandle struct {
+	Digest  string
+	Records uint64
+	open    func() (trace.Stream, error)
+}
+
+// Open opens one pass over the stored stream.  The caller must Close
+// it.
+func (h TraceHandle) Open() (trace.Stream, error) { return h.open() }
+
+// ResolveTrace looks a digest up in the trace store, falling through
+// memory → disk.  A memory hit (and a small disk hit, which is decoded
+// back into the memory tier — a promotion) serves O(1)-seekable cursors
+// over the in-memory trace; a large disk hit serves incrementally
+// decoded file streams, so replay memory stays O(batch) however long
+// the trace is.
+func (s *Service) ResolveTrace(digest string) (TraceHandle, bool) {
+	s.mu.Lock()
+	if t, ok := s.traces.get(digest); ok {
+		s.stats.TraceHits++
+		s.mu.Unlock()
+		return memHandle(digest, t), true
+	}
+	ent, onDisk := s.traces.getDisk(digest)
+	if !onDisk {
+		s.stats.TraceMisses++
+		s.mu.Unlock()
+		return TraceHandle{}, false
+	}
+	s.stats.TraceHits++
+	promote := ent.fileBytes <= s.traces.promoteMaxFileBytes()
+	s.mu.Unlock()
+
+	if promote {
+		if t, err := tracefile.OpenFile(ent.path); err == nil {
+			s.mu.Lock()
+			// Another goroutine may have promoted the same digest while
+			// this one was decoding; the store's add is idempotent.
+			s.traces.promotes++
+			s.traces.add(t)
+			s.mu.Unlock()
+			return memHandle(digest, t), true
+		}
+		// A disk-tier file that no longer loads (deleted or corrupted
+		// out-of-band) degrades to the streaming path, whose opener will
+		// surface the real error to the job.
+	}
+	return TraceHandle{
+		Digest:  digest,
+		Records: ent.records,
+		open: func() (trace.Stream, error) {
+			return tracefile.OpenFileStream(ent.path)
+		},
+	}, true
+}
+
+func memHandle(digest string, t *tracefile.Trace) TraceHandle {
+	return TraceHandle{
+		Digest:  digest,
+		Records: t.Records(),
+		open:    func() (trace.Stream, error) { return t.Cursor(), nil },
+	}
+}
+
+// lookupTrace is the tier fall-through every stored-trace query
+// shares: memory first, then the disk tier's metadata, with hit/miss
+// accounting.  Exactly one of the returns is useful on a hit: the
+// in-memory trace, or the disk entry to read from.
+func (s *Service) lookupTrace(digest string) (*tracefile.Trace, diskEntry, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t, ok := s.traces.get(digest)
+	var ent diskEntry
+	if !ok {
+		ent, ok = s.traces.getDisk(digest)
+	}
 	if ok {
 		s.stats.TraceHits++
 	} else {
 		s.stats.TraceMisses++
 	}
-	return t, ok
+	return t, ent, ok
 }
 
-// Traces lists the stored traces, most recently used first.
+// TraceByDigest returns the stored trace for a digest, materialising a
+// disk-only trace into memory (without admitting it to the memory
+// tier) when necessary.  Callers that only need to replay should prefer
+// ResolveTrace, which keeps large traces on disk.
+func (s *Service) TraceByDigest(digest string) (*tracefile.Trace, bool) {
+	t, ent, ok := s.lookupTrace(digest)
+	if t != nil || !ok {
+		return t, ok
+	}
+	t, err := tracefile.OpenFile(ent.path)
+	if err != nil {
+		return nil, false
+	}
+	return t, true
+}
+
+// WriteTraceTo streams the stored trace for a digest to w as a
+// version-3 container, serving the memory tier's encoding or copying
+// the disk tier's file without decoding it.  It reports the bytes
+// written and whether the digest was found; an error with zero bytes
+// written means nothing reached w, so a server can still answer with
+// an error status.
+func (s *Service) WriteTraceTo(digest string, w io.Writer) (int64, bool, error) {
+	t, ent, ok := s.lookupTrace(digest)
+	if !ok {
+		return 0, false, nil
+	}
+	if t != nil {
+		n, err := t.WriteTo(w)
+		return n, true, err
+	}
+	f, err := os.Open(ent.path)
+	if err != nil {
+		return 0, true, err
+	}
+	defer f.Close()
+	n, err := io.Copy(w, f)
+	return n, true, err
+}
+
+// Traces lists the stored traces: the memory tier most recently used
+// first, then disk-only traces.
 func (s *Service) Traces() []TraceInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()

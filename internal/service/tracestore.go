@@ -2,20 +2,37 @@ package service
 
 import (
 	"container/list"
+	"sort"
 
 	"github.com/tracereuse/tlr/internal/tracefile"
 )
 
 // traceStore is the service's digest-addressed store of recorded
-// traces: upload once, replay many times.  It is LRU-bounded by total
-// encoded bytes (traces vary from kilobytes to gigabytes, so counting
-// entries would bound nothing).  Not safe for concurrent use; Service
-// serialises access under its own mutex.
+// traces: upload once, replay many times.  It has two tiers.  The
+// memory tier holds decoded *tracefile.Trace values, LRU-bounded by
+// total encoded bytes (traces vary from kilobytes to gigabytes, so
+// counting entries would bound nothing).  The optional disk tier (a
+// directory of digest-named version-3 files) sits behind it: traces are
+// written through to disk when they enter the store, memory evictions
+// become free drops instead of data loss, and lookups fall through
+// memory → disk — serving small disk hits by promoting them back into
+// memory and large ones as incrementally-decoded file streams, so
+// replaying an N-record stored trace needs O(batch) memory, not O(N).
+//
+// Not safe for concurrent use; Service serialises access under its own
+// mutex and keeps file I/O outside it (see Service.AddTrace and
+// friends): the store only ever records the *outcome* of disk work.
 type traceStore struct {
 	capBytes int64
 	bytes    int64
 	items    map[string]*list.Element
 	order    *list.List // front = most recently used
+
+	dir       string // "" = no disk tier
+	disk      map[string]diskEntry
+	diskBytes int64
+	spills    uint64 // traces written through to the disk tier
+	promotes  uint64 // disk hits decoded back into the memory tier
 }
 
 type traceEntry struct {
@@ -23,23 +40,52 @@ type traceEntry struct {
 	t      *tracefile.Trace
 }
 
-func newTraceStore(capBytes int64) *traceStore {
+// diskEntry is the metadata the store keeps about a disk-tier file (the
+// records themselves stay on disk).
+type diskEntry struct {
+	path           string
+	records        uint64
+	fileBytes      int64
+	canonicalBytes int64
+}
+
+func newTraceStore(capBytes int64, dir string) *traceStore {
 	return &traceStore{
 		capBytes: capBytes,
 		items:    make(map[string]*list.Element),
 		order:    list.New(),
+		dir:      dir,
+		disk:     make(map[string]diskEntry),
 	}
 }
 
-// add stores t under its digest and returns the digest.  The newest
-// trace is always admitted — even one larger than the capacity, which
-// otherwise could be uploaded and then never found — and older traces
-// are evicted until the store fits.
+// promoteMaxFileBytes is the largest disk-tier file a lookup will
+// decode back into the memory tier; larger traces are always served as
+// streams.  The threshold is a fraction of the memory capacity so one
+// promotion cannot wipe most of the cache (the decoded in-memory form
+// is a few times the compressed file).
+func (c *traceStore) promoteMaxFileBytes() int64 { return c.capBytes / 8 }
+
+// add admits t to the memory tier under its digest and returns the
+// digest.  Without a disk tier the newest trace is always admitted —
+// even one larger than the capacity, which otherwise could be stored
+// and then never found — and older traces are evicted until the store
+// fits.  With a disk tier (where every stored trace also has a file,
+// see addDisk), a trace larger than the whole memory budget stays
+// disk-only, and evicted traces simply drop from memory.
 func (c *traceStore) add(t *tracefile.Trace) string {
 	d := t.Digest()
 	if el, ok := c.items[d]; ok {
 		c.order.MoveToFront(el)
 		return d
+	}
+	if int64(t.Bytes()) > c.capBytes {
+		// Keep an over-budget trace disk-only — but only when its disk
+		// copy actually exists (a failed write-through must not lose the
+		// trace from every tier).
+		if _, onDisk := c.disk[d]; onDisk {
+			return d
+		}
 	}
 	c.items[d] = c.order.PushFront(&traceEntry{digest: d, t: t})
 	c.bytes += int64(t.Bytes())
@@ -53,7 +99,22 @@ func (c *traceStore) add(t *tracefile.Trace) string {
 	return d
 }
 
-// get returns the stored trace for a digest, refreshing LRU order.
+// addDisk records a digest-named file as the disk tier's copy of a
+// trace.  wrote tells whether the file was newly written (a spill) or
+// already present.
+func (c *traceStore) addDisk(digest string, e diskEntry, wrote bool) {
+	if old, ok := c.disk[digest]; ok {
+		c.diskBytes -= old.fileBytes
+	} else if wrote {
+		c.spills++
+	}
+	c.disk[digest] = e
+	c.diskBytes += e.fileBytes
+}
+
+// get returns the memory tier's trace for a digest, refreshing LRU
+// order.  Disk-tier fall-through is the Service's job (it owns the file
+// I/O); see Service.ResolveTrace.
 func (c *traceStore) get(digest string) (*tracefile.Trace, bool) {
 	el, ok := c.items[digest]
 	if !ok {
@@ -63,30 +124,69 @@ func (c *traceStore) get(digest string) (*tracefile.Trace, bool) {
 	return el.Value.(*traceEntry).t, true
 }
 
+// getDisk returns the disk tier's metadata for a digest.
+func (c *traceStore) getDisk(digest string) (diskEntry, bool) {
+	e, ok := c.disk[digest]
+	return e, ok
+}
+
 func (c *traceStore) len() int { return c.order.Len() }
 
-// TraceInfo describes one stored trace.  Bytes is what the store
-// actually holds (the delta-encoded v3 form — the byte-bounded LRU is
-// bounded on this); CanonicalBytes is what the same stream costs in
-// the uncompressed canonical encoding, so the store's density win is
-// observable per trace.
+// diskLen returns the number of disk-tier entries.
+func (c *traceStore) diskLen() int { return len(c.disk) }
+
+// TraceInfo describes one stored trace.  Bytes is what the memory tier
+// holds for it (the delta-encoded v3 form — the byte-bounded LRU is
+// bounded on this; 0 for a disk-only trace), DiskBytes what the disk
+// tier spends on its file (0 without a disk tier), and CanonicalBytes
+// what the same stream costs in the uncompressed canonical encoding, so
+// each tier's density win is observable per trace.
 type TraceInfo struct {
 	Digest         string
 	Records        uint64
 	Bytes          int
 	CanonicalBytes int
+	// Tier is "memory", "disk", or "memory+disk".
+	Tier      string
+	DiskBytes int64
 }
 
-// list returns the stored traces, most recently used first.
+// list returns the stored traces: the memory tier most recently used
+// first, then disk-only traces.
 func (c *traceStore) list() []TraceInfo {
 	out := make([]TraceInfo, 0, c.order.Len())
+	inMem := make(map[string]bool, c.order.Len())
 	for el := c.order.Front(); el != nil; el = el.Next() {
 		ent := el.Value.(*traceEntry)
-		out = append(out, TraceInfo{
+		inMem[ent.digest] = true
+		info := TraceInfo{
 			Digest:         ent.digest,
 			Records:        ent.t.Records(),
 			Bytes:          ent.t.Bytes(),
 			CanonicalBytes: ent.t.CanonicalBytes(),
+			Tier:           "memory",
+		}
+		if d, ok := c.disk[ent.digest]; ok {
+			info.Tier = "memory+disk"
+			info.DiskBytes = d.fileBytes
+		}
+		out = append(out, info)
+	}
+	diskOnly := make([]string, 0, len(c.disk))
+	for digest := range c.disk {
+		if !inMem[digest] {
+			diskOnly = append(diskOnly, digest)
+		}
+	}
+	sort.Strings(diskOnly)
+	for _, digest := range diskOnly {
+		d := c.disk[digest]
+		out = append(out, TraceInfo{
+			Digest:         digest,
+			Records:        d.records,
+			CanonicalBytes: int(d.canonicalBytes),
+			Tier:           "disk",
+			DiskBytes:      d.fileBytes,
 		})
 	}
 	return out

@@ -1,0 +1,559 @@
+package tracefile
+
+// Streaming access to trace containers: the pieces that let a trace be
+// scanned, replayed and re-encoded without ever materialising it.
+//
+//   - FileStream is trace.Stream over an io.Reader: it decodes any
+//     container version incrementally into pooled record batches, so
+//     replaying an N-record file costs O(batch) memory instead of the
+//     O(N) a loaded Trace spends.
+//   - Scan is the incremental-digesting pass: one read over a container
+//     computes the content digest, record count, canonical size and
+//     location frequencies in O(batch) memory, verifying the embedded
+//     header as it goes — the validation half of a chunked upload.
+//   - SpoolToDir couples the two: it tees an incoming container to a
+//     temp file while Scan validates and digests it, then installs a
+//     digest-named version-3 file (renaming a v3 upload, streaming a
+//     transcode of a v1/v2 one) — the write path of a disk store tier.
+
+import (
+	"bufio"
+	"compress/flate"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/tracereuse/tlr/internal/trace"
+)
+
+// canonicalHasher digests a record stream's canonical encoding
+// incrementally: one scratch buffer per record instead of the whole
+// canonical stream a Recorder accumulates.
+type canonicalHasher struct {
+	h   hash.Hash
+	buf []byte
+	n   int64
+}
+
+func newCanonicalHasher() *canonicalHasher {
+	return &canonicalHasher{h: sha256.New()}
+}
+
+func (c *canonicalHasher) write(e *trace.Exec) {
+	c.buf = appendRecord(c.buf[:0], e)
+	c.h.Write(c.buf)
+	c.n += int64(len(c.buf))
+}
+
+func (c *canonicalHasher) sum() (s [32]byte) {
+	copy(s[:], c.h.Sum(nil))
+	return
+}
+
+// FileStream decodes a trace container incrementally, delivering pooled
+// record batches (trace.Stream).  Unlike Trace.Cursor it never holds
+// more than one batch of decoded records plus the decoder's fixed
+// state, so replay memory is independent of the trace's length; the
+// price is that Skip must decode past the skipped records (a container
+// stream cannot seek) and that the stream is one-shot — open a new one
+// per replay.
+type FileStream struct {
+	r     *Reader
+	c     io.Closer // closed by Close when the stream owns the source
+	arena *blockArena
+	eof   bool
+}
+
+// NewFileStream validates the container header and returns a streaming
+// batch decoder over r.
+func NewFileStream(r io.Reader) (*FileStream, error) {
+	rd, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	arena := arenaPool.Get().(*blockArena)
+	// The pool is shared across traces and tenants: zero the record
+	// slots on adoption so operand slots beyond a record's NIn/NOut can
+	// only hold residue from this stream (see Cursor.load).
+	clear(arena.recs[:])
+	return &FileStream{r: rd, arena: arena}, nil
+}
+
+// OpenFileStream opens a trace file as a FileStream; Close closes the
+// file.
+func OpenFileStream(path string) (*FileStream, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewFileStream(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	s.c = f
+	return s, nil
+}
+
+// NextBatch decodes and returns the next run of up to BatchLen records;
+// the slice is valid until the next FileStream call.  It returns io.EOF
+// cleanly at the end of the container.
+func (s *FileStream) NextBatch() ([]trace.Exec, error) {
+	if s.eof {
+		return nil, io.EOF
+	}
+	if s.arena == nil {
+		return nil, fmt.Errorf("tracefile: FileStream used after Close")
+	}
+	n := 0
+	for n < BatchLen {
+		switch err := s.r.Read(&s.arena.recs[n]); err {
+		case nil:
+			n++
+		case io.EOF:
+			s.eof = true
+			if n == 0 {
+				return nil, io.EOF
+			}
+			return s.arena.recs[:n], nil
+		default:
+			return nil, err
+		}
+	}
+	return s.arena.recs[:n], nil
+}
+
+// Skip advances past up to n records.  The container stream cannot
+// seek, so the records are decoded and discarded: time stays O(n) but
+// memory stays O(batch).
+func (s *FileStream) Skip(n uint64) (uint64, error) {
+	if s.arena == nil {
+		return 0, fmt.Errorf("tracefile: FileStream used after Close")
+	}
+	var done uint64
+	for done < n && !s.eof {
+		switch err := s.r.Read(&s.arena.recs[0]); err {
+		case nil:
+			done++
+		case io.EOF:
+			s.eof = true
+		default:
+			return done, err
+		}
+	}
+	return done, nil
+}
+
+// Close releases the decode arena and closes the underlying file (when
+// the stream owns one).  The stream and any batch it returned must not
+// be used afterwards.
+func (s *FileStream) Close() {
+	if s.arena != nil {
+		arenaPool.Put(s.arena)
+		s.arena = nil
+	}
+	if s.c != nil {
+		s.c.Close()
+		s.c = nil
+	}
+}
+
+// OpenFile loads a complete trace file into memory (see Load).
+func OpenFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// ProbeFile reads an indexed (version-2/3) container's header without
+// decoding any records: the declared digest, record count and (v3)
+// canonical size.  It is how a directory store rehydrates its index
+// from digest-named files it wrote earlier — cheap enough to run per
+// file at startup.  The header is declared, not verified; Probe is for
+// files installed by a verifying writer (Save, SpoolToDir), and a
+// corrupt payload still fails at replay time.
+func ProbeFile(path string) (ScanInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ScanInfo{}, err
+	}
+	defer f.Close()
+	rd, err := NewReader(f)
+	if err != nil {
+		return ScanInfo{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if rd.version < Version2 {
+		return ScanInfo{}, fmt.Errorf("%s: version-%d containers carry no header to probe", path, rd.version)
+	}
+	return ScanInfo{
+		Digest:         fmt.Sprintf("%s%x", DigestPrefix, rd.declaredDigest),
+		Records:        rd.declaredRecords,
+		CanonicalBytes: int64(rd.declaredCanonical),
+		Version:        rd.version,
+	}, nil
+}
+
+// ScanFile is Scan over a trace file on disk.
+func ScanFile(path string) (ScanInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ScanInfo{}, err
+	}
+	defer f.Close()
+	info, err := Scan(f)
+	if err != nil {
+		return ScanInfo{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return info, nil
+}
+
+// ScanInfo is what one incremental pass over a container learns.
+type ScanInfo struct {
+	// Digest is the content digest of the canonical record encoding,
+	// computed incrementally and (for version-2/3 containers) verified
+	// against the header's declared digest.
+	Digest string
+	// Records is the number of records in the stream.
+	Records uint64
+	// CanonicalBytes is the size of the stream's canonical encoding.
+	CanonicalBytes int64
+	// Version is the container version scanned.
+	Version uint32
+
+	sum  [32]byte
+	dict []trace.Loc
+}
+
+// scanFreqCap bounds the location-frequency map a Scan accumulates: a
+// hostile stream naming millions of distinct memory locations must not
+// turn the O(batch) pass into an O(distinct-locations) allocation.
+// Locations beyond the cap are simply not dictionary candidates (the
+// encoding escapes them; correctness is unaffected).
+const scanFreqCap = 1 << 20
+
+// Scan reads a complete container from r in one pass, computing the
+// content digest, record count, canonical size and the operand-location
+// dictionary the stream would be given, in O(batch) memory.  Every
+// record is validated, and a version-2/3 header whose declared digest,
+// record count or canonical size disagrees with the stream is rejected
+// — the same guarantees Load gives, without materialising the trace.
+func Scan(r io.Reader) (ScanInfo, error) {
+	rd, err := NewReader(r)
+	if err != nil {
+		return ScanInfo{}, err
+	}
+	h := newCanonicalHasher()
+	freq := make(map[trace.Loc]uint64)
+	count := func(l trace.Loc) {
+		if _, ok := freq[l]; ok || len(freq) < scanFreqCap {
+			freq[l]++
+		}
+	}
+	var e trace.Exec
+	for {
+		if err := rd.Read(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return ScanInfo{}, err
+		}
+		h.write(&e)
+		for _, ref := range e.Inputs() {
+			count(ref.Loc)
+		}
+		for _, ref := range e.Outputs() {
+			count(ref.Loc)
+		}
+	}
+	info := ScanInfo{
+		Records:        rd.Records(),
+		CanonicalBytes: h.n,
+		Version:        rd.Version(),
+		dict:           buildDict(freq),
+	}
+	info.sum = h.sum()
+	info.Digest = fmt.Sprintf("%s%x", DigestPrefix, info.sum)
+	if rd.version >= Version2 {
+		if info.Records != rd.declaredRecords {
+			return ScanInfo{}, fmt.Errorf("tracefile: header declares %d records, stream holds %d",
+				rd.declaredRecords, info.Records)
+		}
+		if info.sum != rd.declaredDigest {
+			return ScanInfo{}, fmt.Errorf("tracefile: content digest mismatch: header %s%x, stream %s",
+				DigestPrefix, rd.declaredDigest, info.Digest)
+		}
+	}
+	if rd.version == Version3 && uint64(info.CanonicalBytes) != rd.declaredCanonical {
+		return ScanInfo{}, fmt.Errorf("tracefile: header declares %d canonical bytes, stream holds %d",
+			rd.declaredCanonical, info.CanonicalBytes)
+	}
+	return info, nil
+}
+
+// SpoolInfo describes a container installed into a directory store.
+type SpoolInfo struct {
+	Digest         string
+	Records        uint64
+	CanonicalBytes int64
+	// Path is the digest-named version-3 file holding the stream.
+	Path string
+	// FileBytes is the installed file's size on disk.
+	FileBytes int64
+}
+
+// DigestFileName maps a content digest to the file name a directory
+// store keeps it under (the ':' is not portable in file names).
+func DigestFileName(digest string) string {
+	return strings.ReplaceAll(digest, ":", "-") + ".trc"
+}
+
+// ErrStoreWrite tags a spool failure on the store's side — temp-file
+// creation, disk-full writes, the final rename — as opposed to invalid
+// upload bytes.  A server maps errors carrying it to a 5xx and
+// everything else SpoolToDir returns to a 4xx.
+var ErrStoreWrite = errors.New("tracefile: trace store write failed")
+
+func storeWriteErr(err error) error {
+	return fmt.Errorf("%w: %w", ErrStoreWrite, err)
+}
+
+// teeCapture is io.TeeReader with the write-side error remembered, so
+// a disk failure during the spool is distinguishable from a decode
+// failure of the bytes being scanned.
+type teeCapture struct {
+	r    io.Reader
+	w    io.Writer
+	werr error
+}
+
+func (t *teeCapture) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	if n > 0 {
+		if _, werr := t.w.Write(p[:n]); werr != nil {
+			t.werr = werr
+			return n, werr
+		}
+	}
+	return n, err
+}
+
+// SpoolToDir streams a complete trace container from r into dir as a
+// digest-named version-3 file, validating and digesting it
+// incrementally: at no point is the trace (or the request body carrying
+// it) held in memory, so arbitrarily long uploads cost O(batch).  The
+// incoming bytes are teed to a temporary file in dir while Scan
+// validates them; a version-3 upload is then renamed into place, and a
+// version-1/2 upload is transcoded to version 3 by a second O(batch)
+// pass.  Re-uploading a digest the directory already holds is a no-op
+// that returns the existing file's info.  Store-side failures carry
+// ErrStoreWrite; any other error means the uploaded bytes were invalid.
+func SpoolToDir(r io.Reader, dir string) (SpoolInfo, error) {
+	tmp, err := os.CreateTemp(dir, ".upload-*.tmp")
+	if err != nil {
+		return SpoolInfo{}, storeWriteErr(err)
+	}
+	defer func() {
+		tmp.Close()
+		os.Remove(tmp.Name())
+	}()
+	bw := bufio.NewWriterSize(tmp, 1<<16)
+	tee := &teeCapture{r: r, w: bw}
+	scan, err := Scan(tee)
+	if err != nil {
+		if tee.werr != nil {
+			return SpoolInfo{}, storeWriteErr(tee.werr)
+		}
+		return SpoolInfo{}, err
+	}
+	if err := bw.Flush(); err != nil {
+		return SpoolInfo{}, storeWriteErr(err)
+	}
+	info := SpoolInfo{
+		Digest:         scan.Digest,
+		Records:        scan.Records,
+		CanonicalBytes: scan.CanonicalBytes,
+		Path:           filepath.Join(dir, DigestFileName(scan.Digest)),
+	}
+	if fi, err := os.Stat(info.Path); err == nil {
+		// Already installed (same digest, same bytes): keep the existing
+		// file.  Content addressing makes this safe — equal digests mean
+		// equal streams.
+		info.FileBytes = fi.Size()
+		return info, nil
+	}
+	if scan.Version == Version3 {
+		// The upload is already a valid, fully-verified v3 container:
+		// install the teed bytes as-is.
+		if err := tmp.Close(); err != nil {
+			return SpoolInfo{}, storeWriteErr(err)
+		}
+		if err := os.Rename(tmp.Name(), info.Path); err != nil {
+			return SpoolInfo{}, storeWriteErr(err)
+		}
+	} else {
+		if _, err := tmp.Seek(0, io.SeekStart); err != nil {
+			return SpoolInfo{}, storeWriteErr(err)
+		}
+		// The temp file's bytes were fully validated by the scan, so any
+		// transcode failure is the store's fault, not the upload's.
+		if err := transcodeV3File(info.Path, tmp, scan); err != nil {
+			return SpoolInfo{}, storeWriteErr(err)
+		}
+	}
+	fi, err := os.Stat(info.Path)
+	if err != nil {
+		return SpoolInfo{}, storeWriteErr(err)
+	}
+	info.FileBytes = fi.Size()
+	return info, nil
+}
+
+// transcodeV3File writes the records of the container in src as a
+// version-3 file at dst, in O(batch) memory.  The v3 header declares
+// the uncompressed payload length before the payload, so the compressed
+// payload is spooled to a sibling temp file first and the header
+// written once the length is known.
+func transcodeV3File(dst string, src io.Reader, scan ScanInfo) error {
+	rd, err := NewReader(src)
+	if err != nil {
+		return err
+	}
+	spool, err := os.CreateTemp(filepath.Dir(dst), ".payload-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		spool.Close()
+		os.Remove(spool.Name())
+	}()
+	sw := bufio.NewWriterSize(spool, 1<<16)
+	zw, err := flate.NewWriter(sw, flate.DefaultCompression)
+	if err != nil {
+		return err
+	}
+	enc := newV3Encoder(scan.dict, 1<<16)
+	var rawLen uint64
+	flush := func() error {
+		rawLen += uint64(len(enc.enc))
+		if _, err := zw.Write(enc.enc); err != nil {
+			return err
+		}
+		// The encoder's block-offset bookkeeping is meaningless across
+		// flushes and unused here; reset both so the buffers stay small.
+		enc.enc = enc.enc[:0]
+		enc.blocks = enc.blocks[:0]
+		return nil
+	}
+	var e trace.Exec
+	for {
+		if err := rd.Read(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return err
+		}
+		enc.write(&e)
+		if len(enc.enc) >= 1<<16 {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if err := zw.Close(); err != nil {
+		return err
+	}
+	if err := sw.Flush(); err != nil {
+		return err
+	}
+	if _, err := spool.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	return writeFileRenamed(dst, func(w io.Writer) error {
+		bw := bufio.NewWriterSize(w, 1<<16)
+		if err := writeV3Header(bw, scan.Records, scan.sum, uint64(scan.CanonicalBytes), rawLen, scan.dict); err != nil {
+			return err
+		}
+		if _, err := io.Copy(bw, spool); err != nil {
+			return err
+		}
+		return bw.Flush()
+	})
+}
+
+// writeV3Header emits the magic, version and version-3 prelude.
+func writeV3Header(w io.Writer, records uint64, sum [32]byte, canonical, rawLen uint64, dict []trace.Loc) error {
+	if _, err := w.Write(Magic[:]); err != nil {
+		return err
+	}
+	var u4 [4]byte
+	var u8 [8]byte
+	binary.LittleEndian.PutUint32(u4[:], Version3)
+	if _, err := w.Write(u4[:]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(u8[:], records)
+	if _, err := w.Write(u8[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(sum[:]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(u8[:], canonical)
+	if _, err := w.Write(u8[:]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(u8[:], rawLen)
+	if _, err := w.Write(u8[:]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(u4[:], uint32(len(dict)))
+	if _, err := w.Write(u4[:]); err != nil {
+		return err
+	}
+	var vbuf [binary.MaxVarintLen64]byte
+	for _, l := range dict {
+		n := binary.PutUvarint(vbuf[:], rotLoc(l))
+		if _, err := w.Write(vbuf[:n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeFileRenamed writes a file through a temp-and-rename in the
+// target's directory, so a failure mid-write never leaves a truncated
+// file at the final path.
+func writeFileRenamed(path string, write func(io.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,292 @@
+package tracefile
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/tracereuse/tlr/internal/trace"
+)
+
+// drainStream collects every record a trace.Stream delivers.
+func drainStream(t *testing.T, s trace.Stream) []trace.Exec {
+	t.Helper()
+	var out []trace.Exec
+	for {
+		batch, err := s.NextBatch()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range batch {
+			out = append(out, normalize(batch[i]))
+		}
+	}
+}
+
+// TestFileStreamMatchesCursor: the incrementally decoded stream of any
+// container version yields exactly the records the in-memory Cursor
+// yields — the streamed-replay-equivalence contract at the record
+// level.
+func TestFileStreamMatchesCursor(t *testing.T) {
+	tr := recordWorkload(t, "compress", 25_000)
+	var want []trace.Exec
+	cur := tr.Cursor()
+	defer cur.Close()
+	var e trace.Exec
+	for {
+		if err := cur.Next(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, normalize(e))
+	}
+
+	for _, version := range []uint32{Version, Version2, Version3} {
+		var buf bytes.Buffer
+		if _, err := tr.WriteToVersion(&buf, version); err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewFileStream(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("v%d: %v", version, err)
+		}
+		got := drainStream(t, s)
+		s.Close()
+		if len(got) != len(want) {
+			t.Fatalf("v%d: stream yields %d records, cursor %d", version, len(got), len(want))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("v%d: record %d differs:\nstream %+v\ncursor %+v", version, i, got[i], want[i])
+			}
+		}
+
+		// Skip mid-stream lands on the same records.
+		s2, err := NewFileStream(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		const skip = 9_999
+		if n, err := s2.Skip(skip); err != nil || n != skip {
+			t.Fatalf("v%d: Skip = %d, %v", version, n, err)
+		}
+		tail := drainStream(t, s2)
+		s2.Close()
+		if !reflect.DeepEqual(tail, want[skip:]) {
+			t.Fatalf("v%d: post-skip stream diverges", version)
+		}
+	}
+}
+
+// TestScanMatchesLoad: the incremental one-pass scan computes the same
+// digest, count and canonical size as a full Load, for every container
+// version, and rejects a tampered header.
+func TestScanMatchesLoad(t *testing.T) {
+	tr := recordWorkload(t, "ijpeg", 20_000)
+	for _, version := range []uint32{Version, Version2, Version3} {
+		var buf bytes.Buffer
+		if _, err := tr.WriteToVersion(&buf, version); err != nil {
+			t.Fatal(err)
+		}
+		info, err := Scan(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("v%d: %v", version, err)
+		}
+		if info.Digest != tr.Digest() || info.Records != tr.Records() ||
+			info.CanonicalBytes != int64(tr.CanonicalBytes()) || info.Version != version {
+			t.Fatalf("v%d: scan %+v vs trace %s/%d/%d", version, info, tr.Digest(), tr.Records(), tr.CanonicalBytes())
+		}
+	}
+
+	// A lying digest in an indexed header must be rejected.
+	var buf bytes.Buffer
+	if _, err := tr.WriteToVersion(&buf, Version2); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[12+8] ^= 0xff // first digest byte
+	if _, err := Scan(bytes.NewReader(data)); err == nil {
+		t.Fatal("tampered digest passed Scan")
+	}
+}
+
+// TestSpoolToDir: both install paths — a v3 upload renamed into place
+// and a v1 upload transcoded in O(batch) memory — produce a
+// digest-named v3 file that loads back identically, and re-uploading
+// is a no-op.
+func TestSpoolToDir(t *testing.T) {
+	tr := recordWorkload(t, "li", 15_000)
+	for _, version := range []uint32{Version, Version2, Version3} {
+		dir := t.TempDir()
+		var buf bytes.Buffer
+		if _, err := tr.WriteToVersion(&buf, version); err != nil {
+			t.Fatal(err)
+		}
+		info, err := SpoolToDir(bytes.NewReader(buf.Bytes()), dir)
+		if err != nil {
+			t.Fatalf("v%d: %v", version, err)
+		}
+		if info.Digest != tr.Digest() || info.Records != tr.Records() {
+			t.Fatalf("v%d: spool info %+v", version, info)
+		}
+		if info.Path != filepath.Join(dir, DigestFileName(tr.Digest())) {
+			t.Fatalf("v%d: installed at %s", version, info.Path)
+		}
+		back, err := OpenFile(info.Path)
+		if err != nil {
+			t.Fatalf("v%d: reloading spooled file: %v", version, err)
+		}
+		if back.Digest() != tr.Digest() || back.Records() != tr.Records() {
+			t.Fatalf("v%d: spooled file loads as %s/%d", version, back.Digest(), back.Records())
+		}
+		// The installed container must itself be version 3.
+		f, err := os.Open(info.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd, err := NewReader(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rd.Version() != Version3 {
+			t.Fatalf("v%d input installed as v%d container", version, rd.Version())
+		}
+		f.Close()
+
+		// Idempotent re-upload.
+		again, err := SpoolToDir(bytes.NewReader(buf.Bytes()), dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != info {
+			t.Fatalf("re-upload changed info: %+v vs %+v", again, info)
+		}
+		// No temp files left behind.
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) != 1 {
+			t.Fatalf("store dir holds %d entries, want only the installed file", len(ents))
+		}
+	}
+
+	// A corrupt upload installs nothing and leaves no temp files.
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)-1] ^= 0xff
+	if _, err := SpoolToDir(bytes.NewReader(data), dir); err == nil {
+		t.Fatal("corrupt upload accepted")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("failed upload left %d entries behind", len(ents))
+	}
+}
+
+// TestSaveAtomic: Save never leaves a truncated file at the target
+// path — a failure mid-write preserves the previous contents and
+// cleans up its temp file.
+func TestSaveAtomic(t *testing.T) {
+	tr := recordWorkload(t, "li", 2_000)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.trc")
+
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bytes.NewReader(orig)); err != nil {
+		t.Fatalf("saved file does not load: %v", err)
+	}
+
+	// Simulate a mid-write failure through the same atomic-write helper
+	// Save uses: the target must be untouched and the temp removed.
+	boom := errors.New("disk full")
+	err = writeFileRenamed(path, func(w io.Writer) error {
+		if _, err := w.Write([]byte("partial garbage")); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the injected write failure", err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, orig) {
+		t.Fatal("failed save clobbered the existing file")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("failed save left %d entries (temp file not cleaned up?)", len(ents))
+	}
+}
+
+// TestFileStreamConstantAllocs: replaying a trace four times as long
+// must not allocate proportionally more — streamed replay memory is
+// O(batch), not O(records).  The decoder's own loop is allocation-free;
+// the only marginal allocations are compress/flate's per-deflate-block
+// Huffman tables (transient, well under one allocation per thousand
+// records), so the gate is a marginal rate, not an absolute count.
+// (The CI-gated byte-level version of this check lives in
+// replaybench.MeasureStreamMemory.)
+func TestFileStreamConstantAllocs(t *testing.T) {
+	const smallN, largeN = 20_000, 80_000
+	small := recordWorkload(t, "compress", smallN)
+	large := recordWorkload(t, "compress", largeN)
+	dir := t.TempDir()
+	smallPath := filepath.Join(dir, "small.trc")
+	largePath := filepath.Join(dir, "large.trc")
+	if err := small.Save(smallPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := large.Save(largePath); err != nil {
+		t.Fatal(err)
+	}
+	replay := func(path string) func() {
+		return func() {
+			s, err := OpenFileStream(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			for {
+				if _, err := s.NextBatch(); err == io.EOF {
+					return
+				} else if err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	smallAllocs := testing.AllocsPerRun(5, replay(smallPath))
+	largeAllocs := testing.AllocsPerRun(5, replay(largePath))
+	if margin := float64(largeN-smallN)/500 + 8; largeAllocs > smallAllocs+margin {
+		t.Errorf("replaying 4x the records costs %.0f allocs vs %.0f (allowed margin %.0f): not O(batch)",
+			largeAllocs, smallAllocs, margin)
+	}
+}

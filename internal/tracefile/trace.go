@@ -473,6 +473,16 @@ func (c *countWriter) Write(p []byte) (int, error) {
 // bytes).  Use WriteToVersion to write the older containers.
 func (t *Trace) WriteTo(w io.Writer) (int64, error) { return t.WriteToVersion(w, Version3) }
 
+// Save writes the trace to a file (see WriteTo) through a temp file in
+// the target's directory renamed into place, so a failure mid-write
+// never leaves a truncated file at the final path.
+func (t *Trace) Save(path string) error {
+	return writeFileRenamed(path, func(w io.Writer) error {
+		_, err := t.WriteTo(w)
+		return err
+	})
+}
+
 // WriteToVersion serialises the trace in any container version the
 // package can read.  All three carry the same records and load back to
 // the same digest; they differ in framing: version 1 is the bare

@@ -243,7 +243,7 @@ func resultFromService(r service.Result, kind Kind) Result {
 	switch kind {
 	case KindStudy:
 		o := r.Value.(service.StudyOutput)
-		res.Study = &StudyResult{ILR: o.ILR, TLR: o.TLR}
+		res.Study = &StudyResult{ILR: o.ILR, TLR: o.TLR, DDA: o.DDA}
 	case KindRTM:
 		o := r.Value.(RTMResult)
 		res.RTM = &o
@@ -286,7 +286,7 @@ func (b *Batcher) serviceJob(index int, r Request) (service.Job, Kind, error) {
 
 	// makeSource maps the request's stream bounds onto the service
 	// input: for programs the skip passes through; for trace sources
-	// the resolved Trace folds in its recording provenance (cache key
+	// the described stream folds in its recording provenance (cache key
 	// and skip offset) and checks coverage.
 	var makeSource func(skip, budget uint64) (service.Source, uint64, error)
 	switch {
@@ -312,11 +312,11 @@ func (b *Batcher) serviceJob(index int, r Request) (service.Job, Kind, error) {
 		src := service.ProgSource(service.Fingerprint(r.Prog), r.Prog)
 		makeSource = func(skip, _ uint64) (service.Source, uint64, error) { return src, skip, nil }
 	default:
-		t, err := r.Trace.resolveTrace(b)
+		ms, err := b.traceSource(r.Trace)
 		if err != nil {
 			return service.Job{}, "", err
 		}
-		makeSource = t.source
+		makeSource = ms
 	}
 
 	switch kind {
@@ -342,6 +342,7 @@ func (b *Batcher) serviceJob(index int, r Request) (service.Job, Kind, error) {
 			TLRVariants:  s.TLRVariants,
 			Strict:       s.Strict,
 			MaxRunLen:    s.MaxRunLen,
+			ILPWindows:   s.ILPWindows,
 		}), kind, nil
 	case KindRTM:
 		if r.Budget == 0 {

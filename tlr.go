@@ -93,6 +93,7 @@ import (
 
 	"github.com/tracereuse/tlr/internal/asm"
 	"github.com/tracereuse/tlr/internal/core"
+	"github.com/tracereuse/tlr/internal/dda"
 	"github.com/tracereuse/tlr/internal/isa"
 	"github.com/tracereuse/tlr/internal/pipeline"
 	"github.com/tracereuse/tlr/internal/rtm"
@@ -156,14 +157,29 @@ type StudyConfig struct {
 	Strict bool
 	// MaxRunLen caps trace length (0 = unbounded).
 	MaxRunLen int
+	// ILPWindows, when non-empty, additionally runs the raw
+	// dynamic-dependence-analysis base machine (Austin & Sohi's timing
+	// model, no reuse) at each of these window sizes (0 = infinite)
+	// over the same stream pass, filling StudyResult.DDA.  Like the
+	// rest of the Study kind it is trace-driven: backed by a recorded
+	// TraceSource it analyses the replayed stream, with results
+	// identical to live execution.
+	ILPWindows []int
 }
 
+// DDAPoint is one window size's base-machine outcome from the
+// dynamic-dependence-analysis timing model (StudyConfig.ILPWindows).
+type DDAPoint = dda.Point
+
 // StudyResult bundles the instruction-level and trace-level limit-study
-// results for one program; both engines saw the same dynamic stream and
-// the same reusability classification.
+// results for one program; all engines saw the same dynamic stream and
+// the ILR/TLR pair shared one reusability classification.
 type StudyResult struct {
 	ILR core.ILRResult
 	TLR core.TLRResult
+	// DDA holds the base-machine point per StudyConfig.ILPWindows entry
+	// (nil when none were requested).
+	DDA []DDAPoint `json:",omitempty"`
 }
 
 // MeasureReuse runs the paper's limit studies over prog's dynamic stream.

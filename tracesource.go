@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
+	"sort"
+	"strings"
 	"sync"
 
 	"github.com/tracereuse/tlr/internal/asm"
 	"github.com/tracereuse/tlr/internal/cpu"
 	"github.com/tracereuse/tlr/internal/service"
+	"github.com/tracereuse/tlr/internal/trace"
 	"github.com/tracereuse/tlr/internal/tracefile"
 	"github.com/tracereuse/tlr/internal/workload"
 )
@@ -21,10 +23,17 @@ import (
 // public, pluggable Request input.  A TraceSource stands in for the
 // program in the trace-driven request kinds (Study, RTM, VP): Record
 // captures a program's dynamic stream once, and every analysis of it
-// afterwards replays the recording instead of re-simulating.  Sources
-// come in four shapes — an in-memory recording, a trace file on disk,
-// an arbitrary io.Reader, and a digest reference into a Batcher's (or
-// tlrserve's) trace store.
+// afterwards replays the recording instead of re-simulating.
+//
+// The contract is streaming-first: a source opens a stream of decoded
+// record batches (the same up-to-256-record arena batches
+// tracefile.Cursor produces), and the consuming engines pull batches —
+// nothing requires the stream to be materialised.  An in-memory
+// recording serves O(1)-seekable cursors; a trace file or a disk-tier
+// store entry decodes incrementally, so replaying an N-record file
+// costs O(batch) memory; and sources compose: Concat plays several
+// streams back to back, MergeWindows stitches recorded skip-windows of
+// one program into a single replayable stream.
 //
 // Pipeline requests model fetch and execution itself and therefore
 // cannot run from a recording; they reject trace sources with
@@ -37,18 +46,72 @@ var ErrTraceUnsupported = errors.New(
 
 // TraceSource is a recorded dynamic instruction stream, usable as a
 // Request's program input for the trace-driven kinds (Study, RTM, VP).
-// The four implementations are *Trace, TraceFile, TraceReader and
-// TraceRef; the interface is sealed.
+// Implementations are *Trace, TraceFile, TraceReader, TraceRef and the
+// composites Concat and MergeWindows; the interface is sealed.
 type TraceSource interface {
-	// resolveTrace materialises the in-memory trace.  The Batcher is
-	// needed only by digest references (TraceRef), which look the trace
-	// up in its store; the other sources ignore it.
+	// describe resolves the stream's identity — cache key material,
+	// provenance, record count — without replaying it.  The Batcher is
+	// needed only by digest references (TraceRef), which look the
+	// stream up in its store; the other sources ignore it.
+	describe(b *Batcher) (streamDesc, error)
+
+	// openStream opens one replayable pass over the recorded stream,
+	// positioned at its first record.  Each replay opens its own
+	// stream; the caller must Close it.
+	openStream(b *Batcher) (trace.Stream, error)
+}
+
+// streamDesc is a resolved source's identity.
+type streamDesc struct {
+	// digest is the content digest of the stream, when it is a single
+	// recording ("" for composites, which are identified by key).
+	digest string
+	// key is the cache identity for digest-less sources.
+	key string
+	// provKey is the originating program's identity ("" = the stream is
+	// its own workload, keyed by digest).
+	provKey string
+	// base is how many leading records of the provenance identity the
+	// stream already skipped (recordings made past a warm-up).
+	base uint64
+	// records is the number of records the stream holds.
+	records uint64
+	// complete reports that the stream runs to the program's halt.
+	complete bool
+}
+
+// identity returns the cache key of a provenance-free stream.
+func (d streamDesc) identity() string {
+	if d.digest != "" {
+		return "trace:" + d.digest
+	}
+	return d.key
+}
+
+// childIdentity names one composite child inside its parent's key.  A
+// single recording is its digest; a provenance-carrying composite (a
+// merged window set has no digest of its own) is the program identity
+// plus the window it covers; anything else carries a composite key.
+func (d streamDesc) childIdentity() string {
+	if d.digest != "" {
+		return d.digest
+	}
+	if d.key != "" {
+		return d.key
+	}
+	return fmt.Sprintf("%s@%d+%d", d.provKey, d.base, d.records)
+}
+
+// materializer is the optional fast path for sources that already hold
+// (or can cheaply produce) an in-memory Trace; Materialize uses it
+// before falling back to recording the opened stream.
+type materializer interface {
 	resolveTrace(b *Batcher) (*Trace, error)
 }
 
 // Trace is an in-memory recorded instruction stream: the result of
-// Record, ReadTrace or OpenTrace.  It is immutable and safe to share
-// across goroutines and requests.
+// Record, ReadTrace, OpenTrace or Materialize.  It is immutable and
+// safe to share across goroutines and requests.
 //
 // A Trace produced by Record remembers which program (and skip) it was
 // recorded from, so requests backed by it share result-cache entries
@@ -92,51 +155,25 @@ func (t *Trace) Complete() bool { return t.complete }
 // faster to decode on reload).
 func (t *Trace) WriteTo(w io.Writer) (int64, error) { return t.t.WriteTo(w) }
 
-// Save writes the trace to a file (see WriteTo).
-func (t *Trace) Save(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if _, err := t.WriteTo(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+// Save writes the trace to a file (see WriteTo).  The bytes go to a
+// temporary file in the target's directory that is renamed into place,
+// so a failure mid-write never leaves a truncated trace at the final
+// path.
+func (t *Trace) Save(path string) error { return t.t.Save(path) }
+
+func (t *Trace) describe(*Batcher) (streamDesc, error) {
+	return streamDesc{
+		digest:   t.t.Digest(),
+		provKey:  t.provKey,
+		base:     t.provSkip,
+		records:  t.t.Records(),
+		complete: t.complete,
+	}, nil
 }
+
+func (t *Trace) openStream(*Batcher) (trace.Stream, error) { return t.t.Cursor(), nil }
 
 func (t *Trace) resolveTrace(*Batcher) (*Trace, error) { return t, nil }
-
-// source maps a stream-relative (skip, budget) request onto the
-// service input and its effective skip.
-//
-// A provenance-carrying trace is keyed as the originating program, with
-// the recording's own skip folded in — so a request backed by the
-// recording and the same request backed by the program hit the same
-// result-cache entry.  That keying is only sound when the replay is
-// guaranteed to retire exactly what live execution would: the trace
-// must cover skip+budget records or have run to halt.  (Reuse overshoot
-// past the budget never reads the stream, so no extra margin is
-// needed; see rtm.Replay.)  An undercovering recording is an error
-// rather than a silently shorter answer.
-//
-// A trace without provenance is its own workload, keyed by digest; the
-// stream simply ends where the recording ends.
-func (t *Trace) source(skip, budget uint64) (service.Source, uint64, error) {
-	if t.provKey != "" {
-		if n := t.t.Records(); !t.complete && (skip > n || budget > n-skip) {
-			return service.Source{}, 0, fmt.Errorf(
-				"tlr: recorded trace holds %d records but the request needs skip+budget = %d and the recording did not run to halt; record a longer trace, or save and reload it to analyse the stream as-is",
-				n, skip+budget)
-		}
-		// The job's Skip is identity-relative (provSkip folded in) so the
-		// cache key matches the program-backed request exactly; replay
-		// subtracts the recording's own skip again when positioning the
-		// cursor (service.Source.base).
-		return service.TraceSource(t.provKey, t.t, t.provSkip), t.provSkip + skip, nil
-	}
-	return service.TraceSource("trace:"+t.t.Digest(), t.t, 0), skip, nil
-}
 
 // RecordSpec names the program to record and the stream bounds.
 // Exactly one of Workload, Source or Prog must be set.
@@ -226,9 +263,9 @@ func Replay(ctx context.Context, src TraceSource, req Request) (Result, error) {
 	return Run(ctx, req)
 }
 
-// ReadTrace reads and validates a complete trace from r (either
-// container version).  The result carries no provenance: it is cached
-// under its content digest.
+// ReadTrace reads and validates a complete trace from r (any container
+// version).  The result carries no provenance: it is cached under its
+// content digest.
 func ReadTrace(r io.Reader) (*Trace, error) {
 	t, err := tracefile.Load(r)
 	if err != nil {
@@ -237,93 +274,514 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	return &Trace{t: t}, nil
 }
 
-// OpenTrace reads a trace file from disk (see ReadTrace).
+// OpenTrace reads a trace file from disk into memory (see ReadTrace).
+// Use TraceFile instead to replay the file without materialising it.
 func OpenTrace(path string) (*Trace, error) {
-	f, err := os.Open(path)
+	t, err := tracefile.OpenFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	t, err := ReadTrace(f)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	return t, nil
+	return &Trace{t: t}, nil
 }
 
-// TraceFile returns a TraceSource backed by a trace file on disk.  The
-// file is read and validated on first use and cached, so a batch of
-// requests sharing the source parses it once.
+// TraceFile returns a TraceSource backed by a trace file on disk,
+// replayed by streaming: every replay decodes the container
+// incrementally in O(batch) memory, however long the recording is.  On
+// first use the file is scanned once to compute (and, for indexed
+// containers, verify) its content digest — the source's cache identity
+// — so a batch of requests sharing the source validates it once.  Use
+// OpenTrace to load the file into memory instead, which buys O(1)
+// seeks at O(records) memory.
 func TraceFile(path string) TraceSource {
-	return &lazySource{load: func() (*Trace, error) { return OpenTrace(path) }}
+	return &fileSource{path: path}
 }
 
-// TraceReader returns a TraceSource backed by an io.Reader.  The
-// stream is consumed on first use and cached.
+type fileSource struct {
+	path string
+	once sync.Once
+	desc streamDesc
+	err  error
+}
+
+func (s *fileSource) describe(*Batcher) (streamDesc, error) {
+	s.once.Do(func() {
+		info, err := tracefile.ScanFile(s.path)
+		if err != nil {
+			s.err = err
+			return
+		}
+		s.desc = streamDesc{digest: info.Digest, records: info.Records}
+	})
+	return s.desc, s.err
+}
+
+func (s *fileSource) openStream(b *Batcher) (trace.Stream, error) {
+	// Describing first pins the digest the file had when it entered the
+	// batch; a file swapped underneath mid-batch yields decode errors or
+	// divergent records, never a silently mis-keyed cache entry for the
+	// original digest... the scan validates the container in full, so
+	// the common corruption cases fail at describe time.
+	if _, err := s.describe(b); err != nil {
+		return nil, err
+	}
+	return tracefile.OpenFileStream(s.path)
+}
+
+// TraceReader returns a TraceSource backed by an io.Reader.  A reader
+// is one-shot but a source must be replayable many times, so the
+// stream is consumed into memory on first use and cached; the source
+// then behaves like the loaded *Trace.
 func TraceReader(r io.Reader) TraceSource {
-	return &lazySource{load: func() (*Trace, error) { return ReadTrace(r) }}
+	return &readerSource{load: func() (*Trace, error) { return ReadTrace(r) }}
 }
 
-type lazySource struct {
+type readerSource struct {
 	load func() (*Trace, error)
 	once sync.Once
 	t    *Trace
 	err  error
 }
 
-func (s *lazySource) resolveTrace(*Batcher) (*Trace, error) {
+func (s *readerSource) resolveTrace(*Batcher) (*Trace, error) {
 	s.once.Do(func() { s.t, s.err = s.load() })
 	return s.t, s.err
+}
+
+func (s *readerSource) describe(b *Batcher) (streamDesc, error) {
+	t, err := s.resolveTrace(b)
+	if err != nil {
+		return streamDesc{}, err
+	}
+	return t.describe(b)
+}
+
+func (s *readerSource) openStream(b *Batcher) (trace.Stream, error) {
+	t, err := s.resolveTrace(b)
+	if err != nil {
+		return nil, err
+	}
+	return t.openStream(b)
 }
 
 // TraceRef returns a TraceSource addressing a trace already stored in
 // the executing Batcher's trace store by content digest (see
 // Batcher.StoreTrace) — upload a trace once, sweep it many times.
-// cmd/tlrserve resolves these references against its own store, so a
-// digest-referenced request crosses the wire without the trace bytes.
+// Resolution falls through the store's tiers: a memory-tier hit (or a
+// small disk-tier file, promoted back into memory) replays in-memory
+// cursors, a large disk-tier file replays as an incrementally decoded
+// stream in O(batch) memory.  cmd/tlrserve resolves these references
+// against its own store, so a digest-referenced request crosses the
+// wire without the trace bytes.
 func TraceRef(digest string) TraceSource { return refSource(digest) }
 
 type refSource string
 
-func (r refSource) resolveTrace(b *Batcher) (*Trace, error) {
+func (r refSource) resolve(b *Batcher) (service.TraceHandle, error) {
 	if b == nil {
-		return nil, fmt.Errorf("tlr: trace reference %q can only be resolved by a Batcher with a trace store", string(r))
+		return service.TraceHandle{}, fmt.Errorf("tlr: trace reference %q can only be resolved by a Batcher with a trace store", string(r))
 	}
-	t, ok := b.svc.TraceByDigest(string(r))
+	h, ok := b.svc.ResolveTrace(string(r))
 	if !ok {
-		return nil, fmt.Errorf("tlr: no stored trace with digest %q (store it first with StoreTrace or POST /v1/traces)", string(r))
+		return service.TraceHandle{}, fmt.Errorf("tlr: no stored trace with digest %q (store it first with StoreTrace or POST /v1/traces)", string(r))
 	}
-	return &Trace{t: t}, nil
+	return h, nil
 }
 
-// StoreTrace resolves src and registers it in the Batcher's
+func (r refSource) describe(b *Batcher) (streamDesc, error) {
+	h, err := r.resolve(b)
+	if err != nil {
+		return streamDesc{}, err
+	}
+	return streamDesc{digest: h.Digest, records: h.Records}, nil
+}
+
+func (r refSource) openStream(b *Batcher) (trace.Stream, error) {
+	h, err := r.resolve(b)
+	if err != nil {
+		return nil, err
+	}
+	return h.Open()
+}
+
+// Concat returns a TraceSource that plays the given sources back to
+// back as one stream, in order.  The composite carries no provenance
+// (it is its own workload, keyed by its children's identities), and
+// nothing is materialised: each child streams in turn.  Concatenating
+// adjacent windows of one program reproduces the long recording
+// record for record — Materialize of the composite has the same
+// content digest — but for cache-key sharing with the originating
+// program use MergeWindows, which checks the windows actually abut.
+func Concat(sources ...TraceSource) TraceSource {
+	return &concatSource{srcs: sources}
+}
+
+type concatSource struct {
+	srcs []TraceSource
+}
+
+func (c *concatSource) describe(b *Batcher) (streamDesc, error) {
+	if len(c.srcs) == 0 {
+		return streamDesc{}, fmt.Errorf("tlr: Concat needs at least one source")
+	}
+	ids := make([]string, len(c.srcs))
+	var records uint64
+	complete := false
+	for i, src := range c.srcs {
+		d, err := src.describe(b)
+		if err != nil {
+			return streamDesc{}, fmt.Errorf("tlr: concat source %d: %w", i, err)
+		}
+		ids[i] = d.childIdentity()
+		records += d.records
+		complete = d.complete // the stream ends where the last child ends
+	}
+	return streamDesc{
+		key:      "concat(" + strings.Join(ids, ",") + ")",
+		records:  records,
+		complete: complete,
+	}, nil
+}
+
+func (c *concatSource) openStream(b *Batcher) (trace.Stream, error) {
+	parts := make([]streamPart, len(c.srcs))
+	for i, src := range c.srcs {
+		parts[i] = streamPart{src: src}
+	}
+	return &compositeStream{b: b, parts: parts}, nil
+}
+
+// MergeWindows returns a TraceSource that stitches several recorded
+// skip-windows of one program into a single replayable stream.  Every
+// window must carry provenance (it must come from Record, or from
+// Materialize of a merged source — file- and reader-loaded traces do
+// not know their origin), all windows must name the same program, and
+// sorted by their recording skip they must abut or overlap: a gap
+// between consecutive windows is an error, and overlap is deduplicated
+// (the later window's already-covered prefix is skipped).  The merged
+// source carries the shared provenance, so requests backed by it share
+// the originating program's result-cache entries, exactly as a single
+// long recording would.
+func MergeWindows(sources ...TraceSource) TraceSource {
+	return &mergeSource{srcs: sources}
+}
+
+type mergeSource struct {
+	srcs []TraceSource
+}
+
+// mergePlan is a resolved merge: the composite's identity plus the
+// per-window skips a stream applies.
+type mergePlan struct {
+	desc  streamDesc
+	parts []streamPart
+}
+
+func (m *mergeSource) plan(b *Batcher) (mergePlan, error) {
+	if len(m.srcs) == 0 {
+		return mergePlan{}, fmt.Errorf("tlr: MergeWindows needs at least one source")
+	}
+	type window struct {
+		src  TraceSource
+		desc streamDesc
+	}
+	wins := make([]window, len(m.srcs))
+	for i, src := range m.srcs {
+		d, err := src.describe(b)
+		if err != nil {
+			return mergePlan{}, fmt.Errorf("tlr: merge window %d: %w", i, err)
+		}
+		if d.provKey == "" {
+			return mergePlan{}, fmt.Errorf(
+				"tlr: merge window %d carries no provenance; MergeWindows stitches recordings (from Record) of one program — use Concat to chain arbitrary streams", i)
+		}
+		if i > 0 && d.provKey != wins[0].desc.provKey {
+			return mergePlan{}, fmt.Errorf("tlr: merge windows span different programs (%q vs %q)",
+				wins[0].desc.provKey, d.provKey)
+		}
+		wins[i] = window{src: src, desc: d}
+	}
+	sort.SliceStable(wins, func(i, j int) bool { return wins[i].desc.base < wins[j].desc.base })
+
+	p := mergePlan{desc: streamDesc{
+		provKey: wins[0].desc.provKey,
+		base:    wins[0].desc.base,
+	}}
+	pos := wins[0].desc.base // coverage end so far
+	complete := false
+	for i, w := range wins {
+		if w.desc.base > pos {
+			return mergePlan{}, fmt.Errorf(
+				"tlr: merge windows leave a gap: coverage ends at record %d but the next window starts at %d", pos, w.desc.base)
+		}
+		end := w.desc.base + w.desc.records
+		if end <= pos && !w.desc.complete {
+			continue // fully covered by earlier windows
+		}
+		skip := pos - w.desc.base
+		if skip < w.desc.records {
+			p.parts = append(p.parts, streamPart{src: wins[i].src, skip: skip})
+			pos = end
+		}
+		if w.desc.complete {
+			complete = true
+		}
+	}
+	p.desc.records = pos - p.desc.base
+	p.desc.complete = complete
+	return p, nil
+}
+
+func (m *mergeSource) describe(b *Batcher) (streamDesc, error) {
+	p, err := m.plan(b)
+	return p.desc, err
+}
+
+func (m *mergeSource) openStream(b *Batcher) (trace.Stream, error) {
+	p, err := m.plan(b)
+	if err != nil {
+		return nil, err
+	}
+	return &compositeStream{b: b, parts: p.parts}, nil
+}
+
+// streamPart is one child of a composite stream: a source plus the
+// records to skip at its start (overlap deduplication).
+type streamPart struct {
+	src  TraceSource
+	skip uint64
+}
+
+// compositeStream plays a sequence of parts as one trace.Stream,
+// opening each child lazily and closing it when drained, so at most
+// one child stream is resident at a time.
+type compositeStream struct {
+	b     *Batcher
+	parts []streamPart
+	idx   int
+	cur   trace.Stream
+}
+
+// next ensures a current child stream, opening (and pre-skipping) the
+// next part; it returns io.EOF once every part is drained.
+func (s *compositeStream) next() error {
+	for s.cur == nil {
+		if s.idx >= len(s.parts) {
+			return io.EOF
+		}
+		p := s.parts[s.idx]
+		st, err := p.src.openStream(s.b)
+		if err != nil {
+			return err
+		}
+		if p.skip > 0 {
+			if _, err := st.Skip(p.skip); err != nil {
+				st.Close()
+				return err
+			}
+		}
+		s.cur = st
+	}
+	return nil
+}
+
+func (s *compositeStream) NextBatch() ([]trace.Exec, error) {
+	for {
+		if err := s.next(); err != nil {
+			return nil, err
+		}
+		batch, err := s.cur.NextBatch()
+		if err == io.EOF {
+			s.cur.Close()
+			s.cur = nil
+			s.idx++
+			continue
+		}
+		return batch, err
+	}
+}
+
+func (s *compositeStream) Skip(n uint64) (uint64, error) {
+	var done uint64
+	for done < n {
+		if err := s.next(); err == io.EOF {
+			return done, nil
+		} else if err != nil {
+			return done, err
+		}
+		want := n - done
+		k, err := s.cur.Skip(want)
+		done += k
+		if err != nil {
+			return done, err
+		}
+		if k < want {
+			// The child ended inside the skip: move on to the next part.
+			s.cur.Close()
+			s.cur = nil
+			s.idx++
+		}
+	}
+	return done, nil
+}
+
+func (s *compositeStream) Close() {
+	if s.cur != nil {
+		s.cur.Close()
+		s.cur = nil
+	}
+	s.idx = len(s.parts)
+}
+
+// traceSource maps a TraceSource onto the factory serviceJob uses to
+// build the job's service input and its effective skip.
+//
+// A provenance-carrying stream is keyed as the originating program,
+// with the recording's own skip folded in — so a request backed by the
+// recording and the same request backed by the program hit the same
+// result-cache entry.  That keying is only sound when the replay is
+// guaranteed to retire exactly what live execution would: the stream
+// must cover skip+budget records or have run to halt.  (Reuse overshoot
+// past the budget never reads the stream, so no extra margin is needed;
+// see rtm.Replay.)  An undercovering recording is an error rather than
+// a silently shorter answer.
+//
+// A stream without provenance is its own workload, keyed by digest (or
+// by composite identity); the stream simply ends where the recording
+// ends.
+func (b *Batcher) traceSource(src TraceSource) (func(skip, budget uint64) (service.Source, uint64, error), error) {
+	d, err := src.describe(b)
+	if err != nil {
+		return nil, err
+	}
+	open := func() (trace.Stream, error) { return src.openStream(b) }
+	return func(skip, budget uint64) (service.Source, uint64, error) {
+		if d.provKey != "" {
+			if !d.complete && (skip > d.records || budget > d.records-skip) {
+				return service.Source{}, 0, fmt.Errorf(
+					"tlr: recorded stream holds %d records but the request needs skip+budget = %d and the recording did not run to halt; record a longer trace, or save and reload it to analyse the stream as-is",
+					d.records, skip+budget)
+			}
+			// The job's Skip is identity-relative (base folded in) so the
+			// cache key matches the program-backed request exactly; replay
+			// subtracts the recording's own skip again when positioning
+			// the stream (service.Source.base).
+			return service.StreamSource(d.provKey, d.base, open), d.base + skip, nil
+		}
+		return service.StreamSource(d.identity(), 0, open), skip, nil
+	}, nil
+}
+
+// Materialize resolves any TraceSource into an in-memory Trace,
+// replaying (and re-encoding) the stream when the source is not
+// already memory-backed.  Provenance survives: materialising a
+// MergeWindows composite yields a Trace that behaves exactly like one
+// long recording of the program, cache sharing included.  Sources that
+// need a store (TraceRef) must be materialised through their Batcher's
+// Materialize method.
+func Materialize(src TraceSource) (*Trace, error) { return materialize(nil, src) }
+
+// Materialize resolves any TraceSource into an in-memory Trace against
+// this Batcher (so TraceRef digests resolve in its store); see the
+// package-level Materialize.
+func (b *Batcher) Materialize(src TraceSource) (*Trace, error) { return materialize(b, src) }
+
+func materialize(b *Batcher, src TraceSource) (*Trace, error) {
+	if m, ok := src.(materializer); ok {
+		return m.resolveTrace(b)
+	}
+	d, err := src.describe(b)
+	if err != nil {
+		return nil, err
+	}
+	st, err := src.openStream(b)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	rec := tracefile.NewRecorder()
+	for {
+		batch, err := st.NextBatch()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		for i := range batch {
+			rec.Write(&batch[i])
+		}
+	}
+	return &Trace{
+		t:        rec.Trace(),
+		provKey:  d.provKey,
+		provSkip: d.base,
+		complete: d.complete,
+	}, nil
+}
+
+// StoreTrace materialises src and registers it in the Batcher's
 // digest-addressed trace store, returning the digest.  Requests
 // carrying TraceRef(digest) then replay it without re-supplying the
-// bytes.  The store is LRU-bounded by total bytes (see BatchOptions).
+// bytes.  The store's memory tier is LRU-bounded by total bytes, and
+// with a disk tier configured (BatchOptions.TraceDir) the trace is
+// also written through to its digest-named file.  To store a trace
+// container without materialising it, use StoreTraceFrom.
 func (b *Batcher) StoreTrace(src TraceSource) (string, error) {
-	t, err := src.resolveTrace(b)
+	if ref, ok := src.(refSource); ok {
+		// Storing a reference to an already-stored trace is idempotent:
+		// answer from the store instead of replaying and re-hashing the
+		// whole stream to recompute a digest the store already knows.
+		h, err := ref.resolve(b)
+		if err != nil {
+			return "", err
+		}
+		return h.Digest, nil
+	}
+	t, err := b.Materialize(src)
 	if err != nil {
 		return "", err
 	}
 	return b.svc.AddTrace(t.t), nil
 }
 
+// StoreTraceFrom stores a trace read from a container stream (any
+// version), validating and digesting it incrementally.  With a disk
+// tier (BatchOptions.TraceDir) the bytes spool straight to the
+// digest-named file and the trace is never materialised, so
+// arbitrarily long streams cost O(batch) memory — this is the library
+// face of cmd/tlrserve's chunked POST /v1/traces upload.  Without a
+// disk tier the trace is decoded into the memory tier, as StoreTrace
+// would.
+func (b *Batcher) StoreTraceFrom(r io.Reader) (TraceInfo, error) {
+	return b.svc.AddTraceStream(r)
+}
+
 // TraceInfo describes one trace in a Batcher's store.
 type TraceInfo = service.TraceInfo
 
-// Traces lists the Batcher's stored traces, most recently used first.
+// Traces lists the Batcher's stored traces: the memory tier most
+// recently used first, then disk-only traces.
 func (b *Batcher) Traces() []TraceInfo { return b.svc.Traces() }
 
 // TraceByDigest returns the stored trace for a content digest, or
-// false if the store does not hold it (never stored, or evicted).  The
-// returned Trace is the same immutable object the store serves to
-// TraceRef-backed requests, so it can be replayed, saved or re-served
-// (cmd/tlrserve's GET /v1/traces/{digest} download is this call plus
-// WriteTo).
+// false if the store does not hold it (never stored, or evicted from
+// every tier).  A disk-only trace is materialised into memory; to
+// replay a stored trace without materialising it, run a request
+// backed by TraceRef(digest), and to copy its bytes use WriteTraceTo.
 func (b *Batcher) TraceByDigest(digest string) (*Trace, bool) {
 	t, ok := b.svc.TraceByDigest(digest)
 	if !ok {
 		return nil, false
 	}
 	return &Trace{t: t}, true
+}
+
+// WriteTraceTo streams the stored trace for a digest to w as a
+// version-3 trace file, serving the memory tier's encoding or copying
+// the disk tier's file without decoding it (cmd/tlrserve's
+// GET /v1/traces/{digest} download is this call).  It reports the
+// bytes written and whether the digest was found; an error with zero
+// bytes written means nothing reached w.
+func (b *Batcher) WriteTraceTo(digest string, w io.Writer) (int64, bool, error) {
+	return b.svc.WriteTraceTo(digest, w)
 }

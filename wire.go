@@ -68,6 +68,9 @@ type studyJSON struct {
 	TLRProp   []float64 `json:"tlrProp,omitempty"`
 	Strict    bool      `json:"strict,omitempty"`
 	MaxRunLen int       `json:"maxRunLen,omitempty"`
+	// ILPWindows requests the raw dynamic-dependence-analysis base
+	// machine at these window sizes alongside the reuse studies.
+	ILPWindows []int `json:"ilpWindows,omitempty"`
 }
 
 type rtmJSON struct {
@@ -236,6 +239,7 @@ func (r Request) MarshalJSON() ([]byte, error) {
 			ILRLatencies: s.ILRLatencies,
 			Strict:       s.Strict,
 			MaxRunLen:    s.MaxRunLen,
+			ILPWindows:   s.ILPWindows,
 		}
 		for _, v := range s.TLRVariants {
 			sj.TLRVariants = append(sj.TLRVariants, latencyJSON{Const: v.Const, K: v.K})
@@ -261,13 +265,14 @@ func (r Request) MarshalJSON() ([]byte, error) {
 
 // marshalTraceSource encodes a trace source as a wire reference.  A
 // TraceRef stays a bare digest (the bytes live in the server's store);
-// every other source is resolved and shipped inline alongside its
-// digest, so the receiver can verify what it decodes.
+// every other source — composites included — is materialised and
+// shipped inline alongside its digest, so the receiver can verify what
+// it decodes.
 func marshalTraceSource(src TraceSource) (*traceJSON, error) {
 	if ref, ok := src.(refSource); ok {
 		return &traceJSON{V: TraceRefVersion, Digest: string(ref)}, nil
 	}
-	t, err := src.resolveTrace(nil)
+	t, err := materialize(nil, src)
 	if err != nil {
 		return nil, err
 	}
@@ -322,6 +327,7 @@ func (r *Request) UnmarshalJSON(data []byte) error {
 			ILRLatencies: s.ILRLatencies,
 			Strict:       s.Strict,
 			MaxRunLen:    s.MaxRunLen,
+			ILPWindows:   s.ILPWindows,
 		}
 		for _, v := range s.TLRVariants {
 			cfg.TLRVariants = append(cfg.TLRVariants, Latency{Const: v.Const, K: v.K})
