@@ -83,7 +83,7 @@ func main() {
 	}
 }
 
-// concat stitches several recordings into one version-3 trace file:
+// concat stitches several recordings into one version-4 trace file:
 // each input streams through tlr.Concat (no input is materialised —
 // only the growing recording of the combined stream is in memory) and
 // the result is saved and digest-printed like `tlrtrace digest`.
@@ -241,7 +241,7 @@ func statsCmd(args []string) {
 // statCmd prints one trace file's encoding statistics: which container
 // version carries it, and what the stream costs per record in each
 // form — at rest (the file as stored), canonically (the v1/v2 record
-// encoding the digest covers), and in memory (the delta-encoded v3
+// encoding the digest covers), and in memory (the plane-split v4
 // form a trace store holds).
 func statCmd(args []string) {
 	fs := flag.NewFlagSet("stat", flag.ExitOnError)
@@ -269,7 +269,7 @@ func statCmd(args []string) {
 		len(data), per(len(data)), float64(len(data))/float64(canon))
 	fmt.Printf("  canonical     %9d bytes  %6.2f B/record  (v1/v2 record encoding)\n",
 		t.CanonicalBytes(), per(t.CanonicalBytes()))
-	fmt.Printf("  in-memory v3  %9d bytes  %6.2f B/record  (%.2fx canonical, %d-location dictionary)\n",
+	fmt.Printf("  in-memory v4  %9d bytes  %6.2f B/record  (%.2fx canonical, %d-location dictionary)\n",
 		t.Bytes(), per(t.Bytes()), float64(t.Bytes())/float64(canon), t.DictLen())
 }
 

@@ -16,14 +16,15 @@
 //     dominated by per-cell analysis cost paid identically by both
 //     sides.  Replay can therefore only approach parity here — the v2
 //     encoding lost this comparison because decoding a record cost ~3x
-//     a simulator step — and CI gates that the v3 encoding holds parity
-//     (>= 0.9x).
+//     a simulator step; the v3 delta encoding reached parity, and the
+//     v4 plane-split decode wins it outright — and CI gates that the
+//     win holds (> 1x).
 //
 // MeasureEncoding isolates the format-level quantities the grids blur
 // together (bytes per record in each encoding, decode versus simulate
 // cost per record) across a representative workload mix; CI gates the
-// v3-vs-canonical decode speedup and the at-rest compression ratio from
-// those.
+// v4-vs-canonical decode speedup, the decode-vs-step ratio and the
+// at-rest compression ratio from those.
 package replaybench
 
 import (
@@ -95,7 +96,7 @@ func GridAt(src tlr.TraceSource, skip uint64) []tlr.Request {
 // integer-heavy, memory-heavy and floating-point workloads, because the
 // two encodings differ most where operand values are widest (the
 // canonical form spends 5-10 byte varints on FP bit patterns and
-// addresses that v3 delta- or dictionary-encodes away).
+// addresses that v4 delta- or dictionary-encodes away).
 var EncodingWorkloads = []string{"gcc", "compress", "ijpeg", "applu", "tomcatv"}
 
 // EncodingStats reports the format-level costs of one recorded stream
@@ -108,16 +109,16 @@ type EncodingStats struct {
 	// Mean bytes per record (total bytes over total records).
 	CanonicalBytesPerRecord float64 // canonical record encoding (v1 body, v2 payload)
 	V2FileBytesPerRecord    float64 // v2 container as written
-	EncodedBytesPerRecord   float64 // in-memory v3 delta encoding
-	FileBytesPerRecord      float64 // v3 container as written (flate-framed)
+	EncodedBytesPerRecord   float64 // in-memory v4 plane-split encoding
+	FileBytesPerRecord      float64 // v4 container as written (flate-framed)
 
 	// Mean nanoseconds per record (best of three passes per workload).
 	StepNsPerRecord            float64 // live functional-simulator step
 	CanonicalDecodeNsPerRecord float64 // v1/v2 per-record decode (the old replay path)
-	DecodeNsPerRecord          float64 // v3 batched decode (the new replay path)
+	DecodeNsPerRecord          float64 // v4 plane-split batched decode (the replay hot path)
 
 	// DecodeSpeedup is the geometric mean over the workload mix of
-	// canonical-decode time over v3-decode time: how much faster the
+	// canonical-decode time over v4-decode time: how much faster the
 	// replay hot path got, format for format, on the same streams.
 	DecodeSpeedup float64
 }
@@ -135,8 +136,8 @@ func (c *countWriter) Write(p []byte) (int, error) {
 // simulator on the same streams.
 func MeasureEncoding(n uint64) (EncodingStats, error) {
 	st := EncodingStats{Workloads: EncodingWorkloads, Records: n, DecodeSpeedup: 1}
-	var totRecords, totCanon, totV2, totV3, totV3File uint64
-	var stepNs, canonNs, v3Ns float64
+	var totRecords, totCanon, totV2, totEnc, totFile uint64
+	var stepNs, canonNs, decNs float64
 	geo := 1.0
 	for _, name := range EncodingWorkloads {
 		w, ok := workload.ByName(name)
@@ -159,11 +160,11 @@ func MeasureEncoding(n uint64) (EncodingStats, error) {
 			return st, err
 		}
 		tr := rec.Trace()
-		var v2w, v3w countWriter
+		var v2w, v4w countWriter
 		if _, err := tr.WriteToVersion(&v2w, tracefile.Version2); err != nil {
 			return st, err
 		}
-		if _, err := tr.WriteToVersion(&v3w, tracefile.Version3); err != nil {
+		if _, err := tr.WriteToVersion(&v4w, tracefile.Version4); err != nil {
 			return st, err
 		}
 		canon, err := canonicalBytes(tr)
@@ -176,28 +177,28 @@ func MeasureEncoding(n uint64) (EncodingStats, error) {
 		if err != nil {
 			return st, err
 		}
-		vDec, err := bestOf(3, func() (uint64, error) { return v3Decode(tr) })
+		vDec, err := bestOf(3, func() (uint64, error) { return batchDecode(tr) })
 		if err != nil {
 			return st, err
 		}
 		totRecords += got
 		totCanon += uint64(tr.CanonicalBytes())
 		totV2 += uint64(v2w.n)
-		totV3 += uint64(tr.Bytes())
-		totV3File += uint64(v3w.n)
+		totEnc += uint64(tr.Bytes())
+		totFile += uint64(v4w.n)
 		stepNs += step
 		canonNs += cDec
-		v3Ns += vDec
+		decNs += vDec
 		geo *= cDec / vDec
 	}
 	nw := float64(len(EncodingWorkloads))
 	st.CanonicalBytesPerRecord = float64(totCanon) / float64(totRecords)
 	st.V2FileBytesPerRecord = float64(totV2) / float64(totRecords)
-	st.EncodedBytesPerRecord = float64(totV3) / float64(totRecords)
-	st.FileBytesPerRecord = float64(totV3File) / float64(totRecords)
+	st.EncodedBytesPerRecord = float64(totEnc) / float64(totRecords)
+	st.FileBytesPerRecord = float64(totFile) / float64(totRecords)
 	st.StepNsPerRecord = stepNs / nw
 	st.CanonicalDecodeNsPerRecord = canonNs / nw
-	st.DecodeNsPerRecord = v3Ns / nw
+	st.DecodeNsPerRecord = decNs / nw
 	st.DecodeSpeedup = math.Pow(geo, 1/nw)
 	return st, nil
 }
@@ -212,9 +213,9 @@ func canonicalBytes(tr *tracefile.Trace) ([]byte, error) {
 	return buf.Bytes()[12:], nil
 }
 
-// v3Decode drives the batched cursor over the whole trace, consuming
+// batchDecode drives the batched cursor over the whole trace, consuming
 // records in place the way the replay engines do.
-func v3Decode(tr *tracefile.Trace) (uint64, error) {
+func batchDecode(tr *tracefile.Trace) (uint64, error) {
 	cur := tr.Cursor()
 	defer cur.Close()
 	var n, sink uint64
@@ -253,7 +254,7 @@ type StreamMemory struct {
 }
 
 // MeasureStreamMemory records two streams of one workload — n records
-// and 4n records — saves them as version-3 files under dir, and
+// and 4n records — saves them as version-4 files under dir, and
 // measures the heap bytes allocated by a full streamed replay of each.
 func MeasureStreamMemory(dir string, n uint64) (StreamMemory, error) {
 	st := StreamMemory{}

@@ -12,7 +12,7 @@ import (
 // memory tier holds decoded *tracefile.Trace values, LRU-bounded by
 // total encoded bytes (traces vary from kilobytes to gigabytes, so
 // counting entries would bound nothing).  The optional disk tier (a
-// directory of digest-named version-3 files) sits behind it: traces are
+// directory of digest-named version-4 files) sits behind it: traces are
 // written through to disk when they enter the store, memory evictions
 // become free drops instead of data loss, and lookups fall through
 // memory → disk — serving small disk hits by promoting them back into
@@ -136,7 +136,7 @@ func (c *traceStore) len() int { return c.order.Len() }
 func (c *traceStore) diskLen() int { return len(c.disk) }
 
 // TraceInfo describes one stored trace.  Bytes is what the memory tier
-// holds for it (the delta-encoded v3 form — the byte-bounded LRU is
+// holds for it (the plane-split v4 form — the byte-bounded LRU is
 // bounded on this; 0 for a disk-only trace), DiskBytes what the disk
 // tier spends on its file (0 without a disk tier), and CanonicalBytes
 // what the same stream costs in the uncompressed canonical encoding, so

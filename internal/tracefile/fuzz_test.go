@@ -17,7 +17,7 @@ import (
 // invariants, and Load must round-trip to an identical, identically
 // digested trace.
 func FuzzTraceReader(f *testing.F) {
-	// Seeds: a real recorded stream in all three container versions,
+	// Seeds: a real recorded stream in all four container versions,
 	// plus truncations and header corruptions of each.
 	w, _ := workload.ByName("compress")
 	prog, err := w.Program()
@@ -30,7 +30,7 @@ func FuzzTraceReader(f *testing.F) {
 	}
 	tr := rec.Trace()
 
-	for _, version := range []uint32{Version, Version2, Version3} {
+	for _, version := range []uint32{Version, Version2, Version3, Version4} {
 		var buf bytes.Buffer
 		if _, err := tr.WriteToVersion(&buf, version); err != nil {
 			f.Fatal(err)
@@ -42,11 +42,16 @@ func FuzzTraceReader(f *testing.F) {
 		mut := append([]byte(nil), seed...)
 		mut[9] ^= 0xff
 		f.Add(mut)
-		// One flip inside the record region (for v3: the compressed
+		// One flip inside the record region (for v3/v4: the compressed
 		// frame), so the fuzzer starts from near-valid damaged payloads.
 		mut2 := append([]byte(nil), seed...)
 		mut2[len(mut2)*3/4] ^= 0x20
 		f.Add(mut2)
+		// And one flip in the prelude's dictionary region (v3/v4), the
+		// only uncompressed varint surface.
+		mut3 := append([]byte(nil), seed...)
+		mut3[12+8+32+8+8+4] ^= 0x81
+		f.Add(mut3)
 	}
 	f.Add([]byte("TLRTRACE"))
 	f.Add([]byte{})

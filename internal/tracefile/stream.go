@@ -13,8 +13,9 @@ package tracefile
 //     header as it goes — the validation half of a chunked upload.
 //   - SpoolToDir couples the two: it tees an incoming container to a
 //     temp file while Scan validates and digests it, then installs a
-//     digest-named version-3 file (renaming a v3 upload, streaming a
-//     transcode of a v1/v2 one) — the write path of a disk store tier.
+//     digest-named version-4 file (renaming a v4 upload, streaming a
+//     transcode of a v1/v2/v3 one) — the write path of a disk store
+//     tier.
 
 import (
 	"bufio"
@@ -103,7 +104,10 @@ func OpenFileStream(path string) (*FileStream, error) {
 
 // NextBatch decodes and returns the next run of up to BatchLen records;
 // the slice is valid until the next FileStream call.  It returns io.EOF
-// cleanly at the end of the container.
+// cleanly at the end of the container.  Version-4 containers decode
+// straight into the arena through the plane decoder (readBatch), so the
+// streamed replay path runs the same tight loops as an in-memory
+// Cursor; older versions fall back to the per-record decode.
 func (s *FileStream) NextBatch() ([]trace.Exec, error) {
 	if s.eof {
 		return nil, io.EOF
@@ -111,36 +115,38 @@ func (s *FileStream) NextBatch() ([]trace.Exec, error) {
 	if s.arena == nil {
 		return nil, fmt.Errorf("tracefile: FileStream used after Close")
 	}
-	n := 0
-	for n < BatchLen {
-		switch err := s.r.Read(&s.arena.recs[n]); err {
-		case nil:
-			n++
-		case io.EOF:
-			s.eof = true
-			if n == 0 {
-				return nil, io.EOF
-			}
+	n, err := s.r.readBatch(s.arena.recs[:])
+	switch err {
+	case nil:
+		return s.arena.recs[:n], nil
+	case io.EOF:
+		s.eof = true
+		if n > 0 {
 			return s.arena.recs[:n], nil
-		default:
-			return nil, err
 		}
+		return nil, io.EOF
+	default:
+		return nil, err
 	}
-	return s.arena.recs[:n], nil
 }
 
 // Skip advances past up to n records.  The container stream cannot
-// seek, so the records are decoded and discarded: time stays O(n) but
-// memory stays O(batch).
+// seek, so the records are decoded (a batch at a time) and discarded:
+// time stays O(n) but memory stays O(batch).
 func (s *FileStream) Skip(n uint64) (uint64, error) {
 	if s.arena == nil {
 		return 0, fmt.Errorf("tracefile: FileStream used after Close")
 	}
 	var done uint64
 	for done < n && !s.eof {
-		switch err := s.r.Read(&s.arena.recs[0]); err {
+		want := n - done
+		if want > BatchLen {
+			want = BatchLen
+		}
+		got, err := s.r.readBatch(s.arena.recs[:want])
+		done += uint64(got)
+		switch err {
 		case nil:
-			done++
 		case io.EOF:
 			s.eof = true
 		default:
@@ -295,7 +301,7 @@ func Scan(r io.Reader) (ScanInfo, error) {
 				DigestPrefix, rd.declaredDigest, info.Digest)
 		}
 	}
-	if rd.version == Version3 && uint64(info.CanonicalBytes) != rd.declaredCanonical {
+	if rd.version >= Version3 && uint64(info.CanonicalBytes) != rd.declaredCanonical {
 		return ScanInfo{}, fmt.Errorf("tracefile: header declares %d canonical bytes, stream holds %d",
 			rd.declaredCanonical, info.CanonicalBytes)
 	}
@@ -307,7 +313,7 @@ type SpoolInfo struct {
 	Digest         string
 	Records        uint64
 	CanonicalBytes int64
-	// Path is the digest-named version-3 file holding the stream.
+	// Path is the digest-named version-4 file holding the stream.
 	Path string
 	// FileBytes is the installed file's size on disk.
 	FileBytes int64
@@ -350,12 +356,12 @@ func (t *teeCapture) Read(p []byte) (int, error) {
 }
 
 // SpoolToDir streams a complete trace container from r into dir as a
-// digest-named version-3 file, validating and digesting it
+// digest-named version-4 file, validating and digesting it
 // incrementally: at no point is the trace (or the request body carrying
 // it) held in memory, so arbitrarily long uploads cost O(batch).  The
 // incoming bytes are teed to a temporary file in dir while Scan
-// validates them; a version-3 upload is then renamed into place, and a
-// version-1/2 upload is transcoded to version 3 by a second O(batch)
+// validates them; a version-4 upload is then renamed into place, and a
+// version-1/2/3 upload is transcoded to version 4 by a second O(batch)
 // pass.  Re-uploading a digest the directory already holds is a no-op
 // that returns the existing file's info.  Store-side failures carry
 // ErrStoreWrite; any other error means the uploaded bytes were invalid.
@@ -393,8 +399,8 @@ func SpoolToDir(r io.Reader, dir string) (SpoolInfo, error) {
 		info.FileBytes = fi.Size()
 		return info, nil
 	}
-	if scan.Version == Version3 {
-		// The upload is already a valid, fully-verified v3 container:
+	if scan.Version == Version4 {
+		// The upload is already a valid, fully-verified v4 container:
 		// install the teed bytes as-is.
 		if err := tmp.Close(); err != nil {
 			return SpoolInfo{}, storeWriteErr(err)
@@ -408,7 +414,7 @@ func SpoolToDir(r io.Reader, dir string) (SpoolInfo, error) {
 		}
 		// The temp file's bytes were fully validated by the scan, so any
 		// transcode failure is the store's fault, not the upload's.
-		if err := transcodeV3File(info.Path, tmp, scan); err != nil {
+		if err := transcodeV4File(info.Path, tmp, scan); err != nil {
 			return SpoolInfo{}, storeWriteErr(err)
 		}
 	}
@@ -420,12 +426,15 @@ func SpoolToDir(r io.Reader, dir string) (SpoolInfo, error) {
 	return info, nil
 }
 
-// transcodeV3File writes the records of the container in src as a
-// version-3 file at dst, in O(batch) memory.  The v3 header declares
+// transcodeV4File writes the records of the container in src as a
+// version-4 file at dst, in O(batch) memory.  The v4 header declares
 // the uncompressed payload length before the payload, so the compressed
 // payload is spooled to a sibling temp file first and the header
-// written once the length is known.
-func transcodeV3File(dst string, src io.Reader, scan ScanInfo) error {
+// written once the length is known.  The v4 encoder frames its sealed
+// plane-split blocks into its enc buffer; draining that buffer after
+// every record keeps the transcode's memory at one open block plus the
+// flate window, whatever the upload's length.
+func transcodeV4File(dst string, src io.Reader, scan ScanInfo) error {
 	rd, err := NewReader(src)
 	if err != nil {
 		return err
@@ -443,15 +452,15 @@ func transcodeV3File(dst string, src io.Reader, scan ScanInfo) error {
 	if err != nil {
 		return err
 	}
-	enc := newV3Encoder(scan.dict, 1<<16)
+	enc := newV4Encoder(scan.dict, 1<<16)
 	var rawLen uint64
-	flush := func() error {
+	drain := func() error {
 		rawLen += uint64(len(enc.enc))
 		if _, err := zw.Write(enc.enc); err != nil {
 			return err
 		}
 		// The encoder's block-offset bookkeeping is meaningless across
-		// flushes and unused here; reset both so the buffers stay small.
+		// drains and unused here; reset both so the buffers stay small.
 		enc.enc = enc.enc[:0]
 		enc.blocks = enc.blocks[:0]
 		return nil
@@ -464,13 +473,15 @@ func transcodeV3File(dst string, src io.Reader, scan ScanInfo) error {
 			return err
 		}
 		enc.write(&e)
-		if len(enc.enc) >= 1<<16 {
-			if err := flush(); err != nil {
+		if len(enc.enc) > 0 {
+			// A block just sealed: stream it out before the next opens.
+			if err := drain(); err != nil {
 				return err
 			}
 		}
 	}
-	if err := flush(); err != nil {
+	enc.finish()
+	if err := drain(); err != nil {
 		return err
 	}
 	if err := zw.Close(); err != nil {
@@ -484,7 +495,7 @@ func transcodeV3File(dst string, src io.Reader, scan ScanInfo) error {
 	}
 	return writeFileRenamed(dst, func(w io.Writer) error {
 		bw := bufio.NewWriterSize(w, 1<<16)
-		if err := writeV3Header(bw, scan.Records, scan.sum, uint64(scan.CanonicalBytes), rawLen, scan.dict); err != nil {
+		if err := writeCompressedHeader(bw, Version4, scan.Records, scan.sum, uint64(scan.CanonicalBytes), rawLen, scan.dict); err != nil {
 			return err
 		}
 		if _, err := io.Copy(bw, spool); err != nil {
@@ -494,14 +505,16 @@ func transcodeV3File(dst string, src io.Reader, scan ScanInfo) error {
 	})
 }
 
-// writeV3Header emits the magic, version and version-3 prelude.
-func writeV3Header(w io.Writer, records uint64, sum [32]byte, canonical, rawLen uint64, dict []trace.Loc) error {
+// writeCompressedHeader emits the magic, version and the shared
+// version-3/4 prelude (record count, digest, canonical size, payload
+// length, dictionary).
+func writeCompressedHeader(w io.Writer, version uint32, records uint64, sum [32]byte, canonical, rawLen uint64, dict []trace.Loc) error {
 	if _, err := w.Write(Magic[:]); err != nil {
 		return err
 	}
 	var u4 [4]byte
 	var u8 [8]byte
-	binary.LittleEndian.PutUint32(u4[:], Version3)
+	binary.LittleEndian.PutUint32(u4[:], version)
 	if _, err := w.Write(u4[:]); err != nil {
 		return err
 	}

@@ -49,7 +49,7 @@ func TestFileStreamMatchesCursor(t *testing.T) {
 		want = append(want, normalize(e))
 	}
 
-	for _, version := range []uint32{Version, Version2, Version3} {
+	for _, version := range []uint32{Version, Version2, Version3, Version4} {
 		var buf bytes.Buffer
 		if _, err := tr.WriteToVersion(&buf, version); err != nil {
 			t.Fatal(err)
@@ -91,7 +91,7 @@ func TestFileStreamMatchesCursor(t *testing.T) {
 // version, and rejects a tampered header.
 func TestScanMatchesLoad(t *testing.T) {
 	tr := recordWorkload(t, "ijpeg", 20_000)
-	for _, version := range []uint32{Version, Version2, Version3} {
+	for _, version := range []uint32{Version, Version2, Version3, Version4} {
 		var buf bytes.Buffer
 		if _, err := tr.WriteToVersion(&buf, version); err != nil {
 			t.Fatal(err)
@@ -118,13 +118,13 @@ func TestScanMatchesLoad(t *testing.T) {
 	}
 }
 
-// TestSpoolToDir: both install paths — a v3 upload renamed into place
-// and a v1 upload transcoded in O(batch) memory — produce a
-// digest-named v3 file that loads back identically, and re-uploading
+// TestSpoolToDir: both install paths — a v4 upload renamed into place
+// and a v1/v2/v3 upload transcoded in O(batch) memory — produce a
+// digest-named v4 file that loads back identically, and re-uploading
 // is a no-op.
 func TestSpoolToDir(t *testing.T) {
 	tr := recordWorkload(t, "li", 15_000)
-	for _, version := range []uint32{Version, Version2, Version3} {
+	for _, version := range []uint32{Version, Version2, Version3, Version4} {
 		dir := t.TempDir()
 		var buf bytes.Buffer
 		if _, err := tr.WriteToVersion(&buf, version); err != nil {
@@ -147,7 +147,7 @@ func TestSpoolToDir(t *testing.T) {
 		if back.Digest() != tr.Digest() || back.Records() != tr.Records() {
 			t.Fatalf("v%d: spooled file loads as %s/%d", version, back.Digest(), back.Records())
 		}
-		// The installed container must itself be version 3.
+		// The installed container must itself be version 4.
 		f, err := os.Open(info.Path)
 		if err != nil {
 			t.Fatal(err)
@@ -156,7 +156,7 @@ func TestSpoolToDir(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if rd.Version() != Version3 {
+		if rd.Version() != Version4 {
 			t.Fatalf("v%d input installed as v%d container", version, rd.Version())
 		}
 		f.Close()
@@ -250,10 +250,12 @@ func TestSaveAtomic(t *testing.T) {
 // must not allocate proportionally more — streamed replay memory is
 // O(batch), not O(records).  The decoder's own loop is allocation-free;
 // the only marginal allocations are compress/flate's per-deflate-block
-// Huffman tables (transient, well under one allocation per thousand
-// records), so the gate is a marginal rate, not an absolute count.
-// (The CI-gated byte-level version of this check lives in
-// replaybench.MeasureStreamMemory.)
+// Huffman tables — transient, a handful per 16K-token deflate block,
+// which over the v4 plane payload (~5-6 uncompressed bytes per record)
+// works out to roughly one allocation per ~180 records — so the gate is
+// a marginal rate, not an absolute count.  (The CI-gated byte-level
+// version of this check lives in replaybench.MeasureStreamMemory; the
+// Huffman tables are well under a byte per record there.)
 func TestFileStreamConstantAllocs(t *testing.T) {
 	const smallN, largeN = 20_000, 80_000
 	small := recordWorkload(t, "compress", smallN)
@@ -285,7 +287,7 @@ func TestFileStreamConstantAllocs(t *testing.T) {
 	}
 	smallAllocs := testing.AllocsPerRun(5, replay(smallPath))
 	largeAllocs := testing.AllocsPerRun(5, replay(largePath))
-	if margin := float64(largeN-smallN)/500 + 8; largeAllocs > smallAllocs+margin {
+	if margin := float64(largeN-smallN)/120 + 8; largeAllocs > smallAllocs+margin {
 		t.Errorf("replaying 4x the records costs %.0f allocs vs %.0f (allowed margin %.0f): not O(batch)",
 			largeAllocs, smallAllocs, margin)
 	}

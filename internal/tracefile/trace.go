@@ -1,7 +1,7 @@
 package tracefile
 
-// The in-memory trace: an immutable record stream held in the version-3
-// block/delta encoding (see v3.go) with a content digest and per-block
+// The in-memory trace: an immutable record stream held in the version-4
+// plane-split encoding (see v4.go) with a content digest and per-block
 // offsets.  This is the unit the service's trace store holds and the
 // replay engines consume — the Reader/Writer pair streams records
 // through io, but a Trace can be digest-addressed (stable cache keys),
@@ -9,12 +9,12 @@ package tracefile
 // through a block-batched Cursor without re-parsing headers.
 //
 // The digest is computed over the *canonical* record encoding (the
-// version-1 record stream; never a container header and never the v3
-// delta form), so the same dynamic stream has the same digest whether
-// it was recorded in memory or loaded from a version-1, -2 or -3 file.
-// Load re-encodes canonically for exactly this reason, and the Recorder
-// hashes the canonical bytes it accumulates before transcoding them to
-// the v3 form it keeps.
+// version-1 record stream; never a container header and never the v3 or
+// v4 delta forms), so the same dynamic stream has the same digest
+// whether it was recorded in memory or loaded from a version-1, -2, -3
+// or -4 file.  Load re-encodes canonically for exactly this reason, and
+// the Recorder hashes the canonical bytes it accumulates before
+// transcoding them to the v4 form it keeps.
 
 import (
 	"bufio"
@@ -37,23 +37,23 @@ const IndexInterval = 4096
 // DigestPrefix names the digest algorithm in a Trace digest string.
 const DigestPrefix = "sha256:"
 
-// Trace is an immutable in-memory recorded stream in the v3 encoding.
+// Trace is an immutable in-memory recorded stream in the v4 encoding.
 type Trace struct {
-	enc       []byte // v3 block/delta encoding (no container header)
+	enc       []byte // v4 plane-split encoding (no container header)
 	n         uint64
 	canonical int               // size of the canonical (v1 record) encoding
 	sum       [sha256.Size]byte // sha256 of the canonical encoding
 	digest    string            // DigestPrefix + hex of sum
 	dict      []trace.Loc       // operand-location dictionary, hottest first
-	blocks    []int             // blocks[i] = offset of record i*BlockLen in enc
+	blocks    []int             // blocks[i] = offset of block i (record i*BlockLen) in enc
 }
 
 // Records returns the number of records in the trace.
 func (t *Trace) Records() uint64 { return t.n }
 
 // Bytes returns the in-memory encoded size of the record stream in
-// bytes (the v3 delta encoding — what a trace store holding this Trace
-// actually spends).
+// bytes (the v4 plane-split encoding — what a trace store holding this
+// Trace actually spends).
 func (t *Trace) Bytes() int { return len(t.enc) }
 
 // CanonicalBytes returns the size of the stream's canonical (version-1
@@ -74,7 +74,7 @@ func (t *Trace) Digest() string { return t.digest }
 // half of the record/replay workflow.  It buffers the canonical
 // encoding (the digest is defined over it) and counts location
 // frequencies; finalisation builds the dictionary and transcodes to the
-// v3 form the Trace keeps.
+// v4 form the Trace keeps.
 type Recorder struct {
 	canon []byte
 	buf   [4 * binary.MaxVarintLen64]byte
@@ -104,14 +104,14 @@ func (r *Recorder) Write(e *trace.Exec) {
 func (r *Recorder) Records() uint64 { return r.n }
 
 // Trace finalises the recording: digest the canonical bytes, build the
-// location dictionary, transcode to the v3 encoding.  The Recorder must
+// location dictionary, transcode to the v4 encoding.  The Recorder must
 // not be written to afterwards.
 func (r *Recorder) Trace() *Trace {
 	sum := sha256.Sum256(r.canon)
 	dict := buildDict(r.freq)
-	// The v3 form is smaller than canonical; starting at 3/4 the size
-	// avoids most growth copies without overshooting.
-	v := newV3Encoder(dict, len(r.canon)*3/4)
+	// The v4 form runs well under half the canonical size; starting at
+	// half avoids most growth copies without overshooting.
+	v := newV4Encoder(dict, len(r.canon)/2)
 	var e trace.Exec
 	off := 0
 	for i := uint64(0); i < r.n; i++ {
@@ -125,6 +125,7 @@ func (r *Recorder) Trace() *Trace {
 		}
 		v.write(&e)
 	}
+	v.finish()
 	return &Trace{
 		enc:       v.enc,
 		n:         r.n,
@@ -148,12 +149,11 @@ type Cursor struct {
 	bstart uint64 // absolute index of buf[0]; valid only when buf != nil
 	arena  *blockArena
 
-	// Decode-head state: the position, byte offset and delta state of
-	// the next undecoded record.  Always trails by at most one block:
-	// seeking restarts it at the target's block boundary.
-	dPos   uint64
-	dOff   int
-	prevPC uint64
+	// Decode-head state: the position of the next undecoded record and
+	// the plane decode head within its block.  Always trails by at most
+	// one block: seeking restarts it at the target's block boundary.
+	dPos uint64
+	d    planeDec
 }
 
 // Cursor returns a new Cursor positioned at the first record.
@@ -185,35 +185,42 @@ func (c *Cursor) load() error {
 		// slots beyond a record's NIn/NOut can only ever hold residue
 		// from this cursor's own trace, never another tenant's values.
 		clear(c.arena.recs[:])
+		// Copy the dictionary into the arena's fixed array: the decode
+		// loop indexes it by (byte >> 1), which the fixed size proves
+		// in-range with no bounds checks.
+		clear(c.arena.dict[:])
+		copy(c.arena.dict[:], c.t.dict)
 	}
 	if blockStart := c.pos / BlockLen * BlockLen; c.dPos < blockStart || c.dPos > c.pos {
 		c.dPos = blockStart
 	}
 	for {
-		// At a block boundary the delta state resets and the byte offset
-		// re-anchors on the block table (also how a fresh Cursor and a
-		// post-seek Cursor initialise).
+		// At a block boundary the planes re-anchor on the block table and
+		// all delta state resets (also how a fresh Cursor and a post-seek
+		// Cursor initialise).
 		if c.dPos%BlockLen == 0 {
-			c.dOff = c.t.blocks[c.dPos/BlockLen]
-			c.prevPC = 0
+			blk := int(c.dPos / BlockLen)
+			b, _, err := parseV4Block(c.t.enc, c.t.blocks[blk], blockRecords(c.t.n, blk))
+			if err != nil {
+				return err
+			}
+			if err := validateV4RecPlanes(b.flags, b.ops, uint64(blk)*BlockLen); err != nil {
+				return err
+			}
+			c.d.reset(b)
 			clear(c.arena.last[:len(c.t.dict)])
 		}
-		count := BlockLen - int(c.dPos%BlockLen)
-		if rem := c.t.n - c.dPos; uint64(count) > rem {
-			count = int(rem)
-		}
+		recIdx := int(c.dPos % BlockLen)
+		count := len(c.d.b.flags) - recIdx
 		if count > BatchLen {
 			count = BatchLen
 		}
-		end, prev, err := decodeRun(c.t.enc, c.dOff, c.dPos, count, c.t.dict, c.prevPC, c.arena.last[:], c.arena.recs[:])
-		if err != nil {
+		if err := decodeV4Run(&c.d, c.dPos, recIdx, count, &c.arena.dict, len(c.t.dict), &c.arena.last, &c.arena.fix, c.arena.recs[:count]); err != nil {
 			return err
 		}
 		c.buf = c.arena.recs[:count]
 		c.bstart = c.dPos
 		c.dPos += uint64(count)
-		c.dOff = end
-		c.prevPC = prev
 		if c.pos < c.dPos {
 			return nil
 		}
@@ -468,10 +475,10 @@ func (c *countWriter) Write(p []byte) (int, error) {
 }
 
 // WriteTo serialises the trace in the current container version
-// (version 3: header with record count, content digest, canonical
-// size and location dictionary, then the flate-compressed v3 record
-// bytes).  Use WriteToVersion to write the older containers.
-func (t *Trace) WriteTo(w io.Writer) (int64, error) { return t.WriteToVersion(w, Version3) }
+// (version 4: header with record count, content digest, canonical
+// size and location dictionary, then the flate-compressed plane-split
+// record bytes).  Use WriteToVersion to write the older containers.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) { return t.WriteToVersion(w, Version4) }
 
 // Save writes the trace to a file (see WriteTo) through a temp file in
 // the target's directory renamed into place, so a failure mid-write
@@ -484,11 +491,12 @@ func (t *Trace) Save(path string) error {
 }
 
 // WriteToVersion serialises the trace in any container version the
-// package can read.  All three carry the same records and load back to
+// package can read.  All four carry the same records and load back to
 // the same digest; they differ in framing: version 1 is the bare
 // canonical stream, version 2 prefixes the count/digest/skip-index to
-// the canonical stream, version 3 frames the delta-encoded bytes with
-// flate (the default — both smaller and faster to decode).
+// the canonical stream, version 3 frames the delta-encoded record bytes
+// with flate, and version 4 (the default) frames the plane-split block
+// bytes the same way — the smallest and by far the fastest to decode.
 func (t *Trace) WriteToVersion(w io.Writer, version uint32) (int64, error) {
 	cw := &countWriter{w: w}
 	bw := bufio.NewWriterSize(cw, 1<<16)
@@ -508,6 +516,8 @@ func (t *Trace) WriteToVersion(w io.Writer, version uint32) (int64, error) {
 		err = t.writeV2Body(bw)
 	case Version3:
 		err = t.writeV3Body(bw)
+	case Version4:
+		err = t.writeV4Body(bw)
 	default:
 		err = fmt.Errorf("%w: %d", ErrBadVersion, version)
 	}
@@ -584,19 +594,22 @@ func (t *Trace) writeV2Body(bw *bufio.Writer) error {
 	return err
 }
 
-// The version-3 body, after the shared 12-byte magic+version prelude:
+// The version-3 and version-4 bodies share one shape after the 12-byte
+// magic+version prelude:
 //
 //	records:u64 digest:32B canonical:u64 rawLen:u64
 //	dictLen:u32 {rotLoc:uvarint}*dictLen
-//	flate(v3 record bytes) … EOF
+//	flate(record payload) … EOF
 //
+// They differ only in what the compressed payload holds: version 3
+// carries the v3 record bytes, version 4 the plane-split block bytes.
 // The digest still covers the canonical encoding (container-independent
-// identity); rawLen is the uncompressed v3 payload length, bounding
-// what a reader will inflate.  Blocks need no offset table on disk:
-// they are back-to-back runs of exactly BlockLen records, so a
-// streaming reader finds every boundary by counting, and Load rebuilds
-// the in-memory offsets during validation.
-func (t *Trace) writeV3Body(bw *bufio.Writer) error {
+// identity); rawLen is the uncompressed payload length, bounding what a
+// reader will inflate.  Blocks need no offset table on disk: they are
+// back-to-back runs of exactly BlockLen records, so a streaming reader
+// finds every boundary by counting, and Load rebuilds the in-memory
+// offsets during validation.
+func (t *Trace) writeCompressedBody(bw *bufio.Writer, payload []byte) error {
 	var u8 [8]byte
 	var u4 [4]byte
 	binary.LittleEndian.PutUint64(u8[:], t.n)
@@ -610,7 +623,7 @@ func (t *Trace) writeV3Body(bw *bufio.Writer) error {
 	if _, err := bw.Write(u8[:]); err != nil {
 		return err
 	}
-	binary.LittleEndian.PutUint64(u8[:], uint64(len(t.enc)))
+	binary.LittleEndian.PutUint64(u8[:], uint64(len(payload)))
 	if _, err := bw.Write(u8[:]); err != nil {
 		return err
 	}
@@ -629,15 +642,46 @@ func (t *Trace) writeV3Body(bw *bufio.Writer) error {
 	if err != nil {
 		return err
 	}
-	if _, err := zw.Write(t.enc); err != nil {
+	if _, err := zw.Write(payload); err != nil {
 		return err
 	}
 	return zw.Close()
 }
 
+// writeV3Body re-derives the version-3 record bytes from the v4 form
+// (same dictionary, same block grouping — only the record framing
+// differs) and writes them as the compressed payload.
+func (t *Trace) writeV3Body(bw *bufio.Writer) error {
+	enc, err := t.v3Encoding()
+	if err != nil {
+		return err
+	}
+	return t.writeCompressedBody(bw, enc)
+}
+
+func (t *Trace) writeV4Body(bw *bufio.Writer) error {
+	return t.writeCompressedBody(bw, t.enc)
+}
+
+// v3Encoding transcodes the trace to the version-3 record bytes, for
+// writing version-3 containers.
+func (t *Trace) v3Encoding() ([]byte, error) {
+	v := newV3Encoder(t.dict, len(t.enc)*3/2)
+	cur := t.Cursor()
+	defer cur.Close()
+	var e trace.Exec
+	for i := uint64(0); i < t.n; i++ {
+		if err := cur.Next(&e); err != nil {
+			return nil, err
+		}
+		v.write(&e)
+	}
+	return v.enc, nil
+}
+
 // Load reads a complete trace from r in any container version,
 // validates every record, and returns it re-encoded canonically (so the
-// digest is container-independent).  For version-2 and -3 input the
+// digest is container-independent).  For version-2 and later input the
 // embedded digest and record count are checked against the re-encoded
 // stream; a mismatch means the file was corrupted or tampered with.
 func Load(r io.Reader) (*Trace, error) {
@@ -661,7 +705,7 @@ func Load(r io.Reader) (*Trace, error) {
 			return nil, fmt.Errorf("tracefile: content digest mismatch: header %s, stream %s", want, t.digest)
 		}
 	}
-	if tr.version == Version3 && uint64(t.canonical) != tr.declaredCanonical {
+	if tr.version >= Version3 && uint64(t.canonical) != tr.declaredCanonical {
 		return nil, fmt.Errorf("tracefile: header declares %d canonical bytes, stream holds %d",
 			tr.declaredCanonical, t.canonical)
 	}

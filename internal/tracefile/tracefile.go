@@ -20,16 +20,21 @@
 // The version-3 encoding (see v3.go) re-expresses the same records as
 // block-grouped deltas — zigzag PC deltas, a per-trace operand-location
 // dictionary, per-location value deltas — that are both smaller and
-// faster to decode; it is what the in-memory Trace holds and what the
-// Recorder-produced containers carry.
+// faster to decode.  The version-4 encoding (see v4.go) keeps the v3
+// delta and dictionary scheme but splits each block of records into
+// per-field byte planes, so decoding runs in tight branch-light loops
+// at below simulator-step cost; it is what the in-memory Trace holds
+// and what Recorder-produced containers carry.
 //
-// Three container versions carry the records after the 8-byte magic and
+// Four container versions carry the records after the 8-byte magic and
 // 4-byte version: version 1 is a bare canonical stream (records to EOF,
 // writable without knowing the length); version 2 prefixes the record
 // count, a sha256 content digest and a skip index to the canonical
-// stream; version 3 (the default) prefixes count, digest, canonical
-// size and the location dictionary to the flate-compressed v3 record
-// bytes.  All three load back to the same digest.
+// stream; versions 3 and 4 prefix count, digest, canonical size and the
+// location dictionary to the flate-compressed record payload (v3 record
+// bytes or v4 plane-split blocks respectively, version 4 being the
+// default).  All four load back to the same digest; docs/FORMAT.md is
+// the normative byte-level spec.
 package tracefile
 
 import (
@@ -54,10 +59,15 @@ const Version uint32 = 1
 // digest and skip index before the canonical record stream.
 const Version2 uint32 = 2
 
-// Version3 is the compressed delta container version Trace.WriteTo
-// emits: record count, content digest, canonical size and location
-// dictionary before the flate-framed v3 record bytes.
+// Version3 is the compressed delta container version: record count,
+// content digest, canonical size and location dictionary before the
+// flate-framed v3 record bytes.
 const Version3 uint32 = 3
+
+// Version4 is the plane-split container version Trace.WriteTo emits:
+// the same prelude as version 3 before the flate-framed v4 plane-split
+// block bytes (see v4.go).
+const Version4 uint32 = 4
 
 const (
 	flagNInShift  = 0 // 2 bits
@@ -118,18 +128,18 @@ func (w *Writer) Records() uint64 { return w.n }
 func (w *Writer) Flush() error { return w.w.Flush() }
 
 // Reader streams execution records from an io.Reader.  It accepts all
-// three container versions; Version reports which one it found.
+// four container versions; Version reports which one it found.
 type Reader struct {
 	r   *bufio.Reader // the raw container stream
-	src *bufio.Reader // record source: r for v1/v2, the inflated payload for v3
+	src *bufio.Reader // record source: r for v1/v2, the inflated payload for v3/v4
 	n   uint64
-	off int64 // v1/v2: bytes consumed incl. header; v3: uncompressed payload bytes consumed
+	off int64 // v1/v2: bytes consumed incl. header; v3/v4: uncompressed payload bytes consumed
 
 	version         uint32
 	declaredRecords uint64   // version >= 2: header record count
 	declaredDigest  [32]byte // version >= 2: header content digest
 
-	// version-3 decode state
+	// version-3/4 decode state
 	declaredCanonical uint64
 	rawLen            uint64
 	raw               *countByteReader // compressed bytes consumed, for the expansion bound
@@ -137,6 +147,27 @@ type Reader struct {
 	last              [DictCap]uint64
 	prevPC            uint64
 	tailChecked       bool
+
+	v4 *v4Stream // version-4 block decode state
+}
+
+// v4Stream is the Reader's version-4 decode state: the current block's
+// planes (read into a reusable buffer) with their decode head, the
+// dictionary and last-value tables in the fixed-size form the plane
+// decoder wants, and a buffered batch backing the per-record Read
+// interface.
+type v4Stream struct {
+	blockBuf []byte
+	d        planeDec
+	blk      int // index of the current block (-1 before the first)
+	blkRecs  int // records in the current block
+	blkDone  int // records of the current block already decoded
+	dict     [DictCap]trace.Loc
+	dictLen  int
+	last     [DictCap]uint64
+	fix      [v4FixupCap]v4Fixup
+	recs     [BatchLen]trace.Exec // buffered batch for per-record Read
+	bn, bpos int
 }
 
 // countByteReader counts the bytes flate consumes from the container
@@ -203,9 +234,16 @@ func NewReader(r io.Reader) (*Reader, error) {
 		}
 		return rd, nil
 	case Version3:
-		if err := rd.readV3Header(); err != nil {
+		if err := rd.readCompressedHeader(2); err != nil {
 			return nil, err
 		}
+		return rd, nil
+	case Version4:
+		if err := rd.readCompressedHeader(4); err != nil {
+			return nil, err
+		}
+		rd.v4 = &v4Stream{blk: -1, dictLen: len(rd.dict)}
+		copy(rd.v4.dict[:], rd.dict)
 		return rd, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrBadVersion, rd.version)
@@ -254,12 +292,15 @@ func (r *Reader) readV2Header() error {
 	return nil
 }
 
-// readV3Header consumes the version-3 prelude — record count, digest,
-// canonical size, payload length and location dictionary — then points
-// the record source at the inflated payload.  Every declared quantity
-// is bounded before anything is allocated or inflated, so a hostile
-// header cannot turn a small upload into unbounded work.
-func (r *Reader) readV3Header() error {
+// readCompressedHeader consumes the version-3/4 prelude — record count,
+// digest, canonical size, payload length and location dictionary — then
+// points the record source at the inflated payload.  Every declared
+// quantity is bounded before anything is allocated or inflated, so a
+// hostile header cannot turn a small upload into unbounded work.
+// minPerRecord is the version's guaranteed payload bytes per record (2
+// for v3: flags+op; 4 for v4: one byte in each per-record plane), used
+// to reject record counts the payload cannot hold.
+func (r *Reader) readCompressedHeader(minPerRecord uint64) error {
 	var u8 [8]byte
 	if _, err := io.ReadFull(r.r, u8[:]); err != nil {
 		return fmt.Errorf("tracefile: reading record count: %w", eofToUnexpected(err))
@@ -279,9 +320,7 @@ func (r *Reader) readV3Header() error {
 	if r.rawLen > maxV3Payload {
 		return fmt.Errorf("tracefile: payload declares %d bytes (limit %d)", r.rawLen, int64(maxV3Payload))
 	}
-	// Every record costs at least two payload bytes (flags+op), so a
-	// record count the payload cannot hold is rejected before decoding.
-	if r.declaredRecords > r.rawLen/2 {
+	if r.declaredRecords > r.rawLen/minPerRecord {
 		return fmt.Errorf("tracefile: %d-byte payload cannot hold %d records", r.rawLen, r.declaredRecords)
 	}
 	var u4 [4]byte
@@ -305,7 +344,7 @@ func (r *Reader) readV3Header() error {
 	}
 	r.raw = &countByteReader{br: r.r}
 	r.src = bufio.NewReaderSize(flate.NewReader(r.raw), 1<<15)
-	r.off = 0 // v3 offsets are relative to the uncompressed payload
+	r.off = 0 // v3/v4 offsets are relative to the uncompressed payload
 	return nil
 }
 
@@ -332,10 +371,13 @@ func (r *Reader) ReadByte() (byte, error) { return r.readByte() }
 // Read fills e with the next record.  It returns io.EOF cleanly at the
 // end of the stream and io.ErrUnexpectedEOF on truncation.  Decode
 // errors carry the record's index and byte offset — within the file for
-// versions 1-2, within the uncompressed payload for version 3 — so a
+// versions 1-2, within the uncompressed payload for versions 3-4 — so a
 // corrupt stream (e.g. a damaged upload) is diagnosable down to the
 // byte.
 func (r *Reader) Read(e *trace.Exec) error {
+	if r.version == Version4 {
+		return r.readV4(e)
+	}
 	if r.version == Version3 {
 		return r.readV3(e)
 	}
@@ -403,34 +445,7 @@ func (r *Reader) Read(e *trace.Exec) error {
 // identically.
 func (r *Reader) readV3(e *trace.Exec) error {
 	if r.n >= r.declaredRecords {
-		// The declared final record must also end the compressed frame,
-		// and the frame must end the container: a payload that is
-		// shorter or longer than declared, a frame with data after the
-		// final record, or container bytes after the frame all mean
-		// corruption (or a hiding place), not a short read.
-		if !r.tailChecked {
-			r.tailChecked = true
-			if r.off != int64(r.rawLen) {
-				return fmt.Errorf("tracefile: payload holds %d bytes after the final record, header declares %d", r.off, r.rawLen)
-			}
-			if _, err := r.src.ReadByte(); err != io.EOF {
-				if err == nil {
-					return fmt.Errorf("tracefile: trailing data after %d records", r.declaredRecords)
-				}
-				return fmt.Errorf("tracefile: closing compressed frame: %w", err)
-			}
-			// flate pulls from r.r byte-at-a-time (bufio.Reader is an
-			// io.ByteReader), so at frame EOF the container stream sits
-			// exactly past the compressed bytes: anything left is
-			// trailing garbage the frame check above cannot see.
-			if _, err := r.r.ReadByte(); err != io.EOF {
-				if err == nil {
-					return fmt.Errorf("tracefile: trailing data after the compressed frame")
-				}
-				return fmt.Errorf("tracefile: reading past the compressed frame: %w", err)
-			}
-		}
-		return io.EOF
+		return r.payloadTail()
 	}
 	if r.n%BlockLen == 0 {
 		r.prevPC = 0
@@ -547,6 +562,183 @@ func (r *Reader) readV3(e *trace.Exec) error {
 	r.prevPC = e.PC
 	r.n++
 	return nil
+}
+
+// payloadTail runs the end-of-stream checks shared by the compressed
+// containers (versions 3 and 4) once, then reports io.EOF.  The
+// declared final record must also end the compressed frame, and the
+// frame must end the container: a payload that is shorter or longer
+// than declared, a frame with data after the final record, or container
+// bytes after the frame all mean corruption (or a hiding place), not a
+// short read.
+func (r *Reader) payloadTail() error {
+	if !r.tailChecked {
+		r.tailChecked = true
+		if r.off != int64(r.rawLen) {
+			return fmt.Errorf("tracefile: payload holds %d bytes after the final record, header declares %d", r.off, r.rawLen)
+		}
+		if _, err := r.src.ReadByte(); err != io.EOF {
+			if err == nil {
+				return fmt.Errorf("tracefile: trailing data after %d records", r.declaredRecords)
+			}
+			return fmt.Errorf("tracefile: closing compressed frame: %w", err)
+		}
+		// flate pulls from r.r byte-at-a-time (bufio.Reader is an
+		// io.ByteReader), so at frame EOF the container stream sits
+		// exactly past the compressed bytes: anything left is
+		// trailing garbage the frame check above cannot see.
+		if _, err := r.r.ReadByte(); err != io.EOF {
+			if err == nil {
+				return fmt.Errorf("tracefile: trailing data after the compressed frame")
+			}
+			return fmt.Errorf("tracefile: reading past the compressed frame: %w", err)
+		}
+	}
+	return io.EOF
+}
+
+// readV4 delivers one version-4 record from the buffered batch,
+// decoding the next run of the current block when the buffer drains.
+func (r *Reader) readV4(e *trace.Exec) error {
+	s := r.v4
+	if s.bpos >= s.bn {
+		n, err := r.readBatchV4(s.recs[:])
+		if err != nil {
+			return err
+		}
+		s.bn, s.bpos = n, 0
+	}
+	*e = s.recs[s.bpos]
+	s.bpos++
+	return nil
+}
+
+// readBatchV4 decodes up to len(recs) version-4 records into recs,
+// never crossing a block boundary, and returns how many it decoded.  It
+// returns io.EOF cleanly (after the tail checks) at the end of the
+// stream.  Records() runs at the decoded count, which may be ahead of
+// what Read has delivered while a batch is buffered; the two agree at
+// every block boundary and at EOF.
+func (r *Reader) readBatchV4(recs []trace.Exec) (int, error) {
+	s := r.v4
+	if s.blkDone == s.blkRecs {
+		if r.n >= r.declaredRecords {
+			return 0, r.payloadTail()
+		}
+		if err := r.loadV4Block(); err != nil {
+			return 0, err
+		}
+	}
+	count := s.blkRecs - s.blkDone
+	if count > len(recs) {
+		count = len(recs)
+	}
+	base := uint64(s.blk)*BlockLen + uint64(s.blkDone)
+	if err := decodeV4Run(&s.d, base, s.blkDone, count, &s.dict, s.dictLen, &s.last, &s.fix, recs[:count]); err != nil {
+		return 0, err
+	}
+	s.blkDone += count
+	r.n += uint64(count)
+	if s.blkDone == s.blkRecs {
+		if err := s.d.checkConsumed(s.blk); err != nil {
+			return 0, err
+		}
+	}
+	return count, nil
+}
+
+// loadV4Block reads and validates the next block's header and planes
+// from the inflated payload, then points the decode head at it.  All
+// seven declared plane lengths are bounded before any plane byte is
+// read, and the block must fit the declared payload; the expansion
+// bound is enforced per block.  Every failure — a bad or over-declared
+// plane length, a frame that overruns the payload, a truncated plane —
+// names the block's first record and the payload offset the block
+// header starts at, so a damaged file is diagnosable down to the byte.
+func (r *Reader) loadV4Block() error {
+	s := r.v4
+	s.blk++
+	count := blockRecords(r.declaredRecords, s.blk)
+	blockErr := func(start int64, err error) error {
+		return fmt.Errorf("tracefile: record %d (offset %d): block %d: %w",
+			uint64(s.blk)*BlockLen, start, s.blk, err)
+	}
+	start := r.off
+	var lens v4PlaneLens
+	for i := range lens {
+		l, err := binary.ReadUvarint(r)
+		if err != nil {
+			return blockErr(start, fmt.Errorf("reading %s plane length: %w",
+				v4PlaneNames[i], eofToUnexpected(err)))
+		}
+		if l > r.rawLen {
+			return blockErr(start, fmt.Errorf("%s plane declares %d bytes beyond the %d-byte payload",
+				v4PlaneNames[i], l, r.rawLen))
+		}
+		lens[i] = int(l)
+	}
+	if err := checkV4PlaneLens(count, lens); err != nil {
+		return blockErr(start, err)
+	}
+	size := v4BlockSize(count, lens)
+	if r.off+int64(size) > int64(r.rawLen) {
+		return blockErr(start, fmt.Errorf("%d plane bytes at offset %d extend past the declared %d-byte payload",
+			size, r.off, r.rawLen))
+	}
+	if cap(s.blockBuf) < size {
+		s.blockBuf = make([]byte, size)
+	}
+	buf := s.blockBuf[:size]
+	if _, err := io.ReadFull(r.src, buf); err != nil {
+		return blockErr(start, fmt.Errorf("reading %d plane bytes: %w", size, eofToUnexpected(err)))
+	}
+	r.off += int64(size)
+	if r.off > r.raw.n*maxV3Expansion+maxV3ExpansionSlack {
+		return fmt.Errorf("tracefile: payload inflates %d bytes from %d compressed (limit %dx): decompression bomb",
+			r.off, r.raw.n, maxV3Expansion)
+	}
+	b := sliceV4Block(buf, count, lens)
+	if err := validateV4RecPlanes(b.flags, b.ops, uint64(s.blk)*BlockLen); err != nil {
+		return err
+	}
+	s.d.reset(b)
+	clear(s.last[:s.dictLen])
+	s.blkRecs = count
+	s.blkDone = 0
+	return nil
+}
+
+// readBatch fills recs with consecutive records and returns how many it
+// delivered, or (0, io.EOF) at the end of the stream.  For version-4
+// streams a batch decodes directly into recs through the plane decoder
+// (after draining anything Read left buffered); for versions 1-3 it
+// loops the per-record Read.  FileStream drives replay through this so
+// batched consumers skip the per-record copy.
+func (r *Reader) readBatch(recs []trace.Exec) (int, error) {
+	if r.version == Version4 {
+		s := r.v4
+		if s.bpos < s.bn {
+			n := copy(recs, s.recs[s.bpos:s.bn])
+			s.bpos += n
+			return n, nil
+		}
+		return r.readBatchV4(recs)
+	}
+	n := 0
+	for n < len(recs) {
+		switch err := r.Read(&recs[n]); err {
+		case nil:
+			n++
+		case io.EOF:
+			if n > 0 {
+				return n, nil
+			}
+			return 0, io.EOF
+		default:
+			return n, err
+		}
+	}
+	return n, nil
 }
 
 func (r *Reader) readRef(start int64) (trace.Loc, uint64, error) {

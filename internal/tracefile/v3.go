@@ -1,6 +1,9 @@
 package tracefile
 
-// The version-3 record encoding: the replay fast path.
+// The version-3 record encoding: the first delta-compressed form (the
+// replay fast path until the plane-split version 4 — see v4.go —
+// superseded it for in-memory traces and at-rest files; v3 files remain
+// fully readable and writable for compatibility).
 //
 // Versions 1 and 2 carry the canonical record encoding — full uvarint
 // PCs and 64-bit operand values — which makes decoding a record cost
@@ -75,10 +78,7 @@ package tracefile
 
 import (
 	"encoding/binary"
-	"fmt"
-	"io"
 	"sort"
-	"sync"
 
 	"github.com/tracereuse/tlr/internal/isa"
 	"github.com/tracereuse/tlr/internal/trace"
@@ -95,8 +95,14 @@ const (
 
 	// DictCap bounds the per-trace operand-location dictionary so every
 	// dictionary index fits comfortably in one or two varint bytes and
-	// the decoder's last-value table is a small fixed array.
-	DictCap = 256
+	// the decoder's last-value table is a small fixed array.  v4 names
+	// the first 254 entries with a single ref-plane byte and reaches
+	// the rest through two-byte wide codes, so the cap is set where the
+	// second tier still beats spelling locations out as literals:
+	// workloads whose operand working set overflows 256 locations
+	// (ijpeg's image buffers, tomcatv's mesh arrays) keep dictionary
+	// coding for the overflow instead of falling off a cliff.
+	DictCap = 512
 
 	// flagV3LatImplied elides the latency byte: the record's latency is
 	// its op's architectural latency (true for every simulator-produced
@@ -239,198 +245,4 @@ func (v *v3Encoder) refs(refs []trace.Ref) {
 			v.enc = binary.AppendUvarint(v.enc, r.Val)
 		}
 	}
-}
-
-// blockArena is the reusable decode target: one batch of records plus
-// the per-location last-value table.  Cursors borrow arenas from a
-// sync.Pool so replaying a whole grid of requests allocates a handful
-// of arenas total instead of one buffer per record or per replay.
-type blockArena struct {
-	recs [BatchLen]trace.Exec
-	last [DictCap]uint64
-}
-
-var arenaPool = sync.Pool{New: func() any { return new(blockArena) }}
-
-// latByOp caches each op's architectural latency in a flat table: the
-// block decoder resolves an elided latency byte per record, and
-// indexing one byte beats chasing the full isa.Info record each time.
-var latByOp = func() (t [256]uint8) {
-	for op := 0; op < isa.NumOps; op++ {
-		t[op] = isa.InfoOf(isa.Op(op)).Latency
-	}
-	return
-}()
-
-// decodeRun decodes count consecutive records starting at enc[off:]
-// into recs, reading and updating the caller's delta state (prevPC and
-// the per-location last-value table); the caller resets that state at
-// block boundaries.  base is the absolute index of the first record,
-// used for error context.  It returns the offset of the byte after the
-// run and the new previous-PC state.
-//
-// This is the replay hot path: one call decodes a whole batch in a
-// single tight loop, so the per-record cost is a few byte loads and
-// adds rather than a stack of per-varint function calls.  The one-byte
-// uvarint fast path is spelled out inline at every read site (the
-// helper's three-value return pushes it past the compiler's inline
-// budget); the multi-byte and error cases share the outlined slow
-// path.  This loop decodes ~90% of varints in two compares and a byte
-// load.
-func decodeRun(enc []byte, off int, base uint64, count int, dict []trace.Loc, prevPC uint64, last []uint64, recs []trace.Exec) (int, uint64, error) {
-	escape := uint64(len(dict)) << 1
-	var err error
-	for i := 0; i < count; i++ {
-		e := &recs[i]
-		start := off
-		idx := base + uint64(i)
-		if off >= len(enc) {
-			return off, prevPC, recErr(idx, start, io.ErrUnexpectedEOF)
-		}
-		// Hop to the next record through the length byte before parsing
-		// this one's body: `off` never depends on the body's varint
-		// widths, so consecutive iterations overlap in the pipeline.
-		next := off + int(enc[off])
-		p := off + 1
-		off = next
-		if next > len(enc) {
-			return off, prevPC, recErr(idx, start, io.ErrUnexpectedEOF)
-		}
-		if next < p+2 {
-			return off, prevPC, recErr(idx, start, fmt.Errorf("record length %d too short", next-start))
-		}
-		flags, op := enc[p], enc[p+1]
-		p += 2
-		nIn := int(flags>>flagNInShift) & 3
-		nOut := int(flags>>flagNOutShift) & 3
-		if nOut > len(e.Out) {
-			return off, prevPC, recErr(idx, start, fmt.Errorf("ref counts %d/%d out of range", nIn, nOut))
-		}
-		e.Op = isa.Op(op)
-		if !e.Op.Valid() {
-			return off, prevPC, recErr(idx, start, fmt.Errorf("undefined op %d", op))
-		}
-		e.SideEffect = flags&flagSideEff != 0
-		if flags&flagV3LatImplied != 0 {
-			e.Lat = latByOp[op]
-		} else {
-			if p >= len(enc) {
-				return off, prevPC, recErr(idx, start, io.ErrUnexpectedEOF)
-			}
-			e.Lat = enc[p]
-			p++
-		}
-		if flags&flagV3SeqPC != 0 {
-			e.PC = prevPC + 1
-		} else {
-			var pcz uint64
-			if p < len(enc) && enc[p] < 0x80 {
-				pcz, p = uint64(enc[p]), p+1
-			} else if pcz, p, err = sliceUvarintSlow(enc, p); err != nil {
-				return off, prevPC, recErr(idx, start, err)
-			}
-			e.PC = prevPC + uint64(unzig(pcz))
-		}
-		if flags&flagSeqNext != 0 {
-			e.Next = e.PC + 1
-		} else {
-			var nz uint64
-			if p < len(enc) && enc[p] < 0x80 {
-				nz, p = uint64(enc[p]), p+1
-			} else if nz, p, err = sliceUvarintSlow(enc, p); err != nil {
-				return off, prevPC, recErr(idx, start, err)
-			}
-			e.Next = e.PC + uint64(unzig(nz))
-		}
-		// The two ref loops are spelled out twice (inputs, then outputs)
-		// with the dominant dictionary case fully inline: a shared
-		// per-ref helper is far past the inline budget, and the call per
-		// operand is exactly the overhead block decoding exists to
-		// remove.  The fast path is branch-free on the changed/unchanged
-		// bit — the bit becomes an offset increment and a value mask
-		// instead of a data-dependent branch the predictor cannot learn
-		// — and handles a one-byte code followed by an optional one-byte
-		// delta; everything else (multi-byte varints, escapes, the last
-		// bytes of the stream) takes the outlined slow path.
-		for k := 0; k < nIn; k++ {
-			if p+2 <= len(enc) {
-				if b0 := enc[p]; b0 < 0x80 && uint64(b0) < escape {
-					ch := uint64(b0 & 1)
-					dz := uint64(enc[p+1])
-					if ch == 0 || dz < 0x80 {
-						di := b0 >> 1
-						p += int(1 + ch)
-						last[di] += uint64(unzig(dz)) & -ch
-						e.In[k] = trace.Ref{Loc: dict[di], Val: last[di]}
-						continue
-					}
-				}
-			}
-			if e.In[k], p, err = decodeRefSlow(enc, p, dict, last, escape); err != nil {
-				return off, prevPC, recErr(idx, start, err)
-			}
-		}
-		for k := 0; k < nOut; k++ {
-			if p+2 <= len(enc) {
-				if b0 := enc[p]; b0 < 0x80 && uint64(b0) < escape {
-					ch := uint64(b0 & 1)
-					dz := uint64(enc[p+1])
-					if ch == 0 || dz < 0x80 {
-						di := b0 >> 1
-						p += int(1 + ch)
-						last[di] += uint64(unzig(dz)) & -ch
-						e.Out[k] = trace.Ref{Loc: dict[di], Val: last[di]}
-						continue
-					}
-				}
-			}
-			if e.Out[k], p, err = decodeRefSlow(enc, p, dict, last, escape); err != nil {
-				return off, prevPC, recErr(idx, start, err)
-			}
-		}
-		if p != next {
-			return off, prevPC, recErr(idx, start,
-				fmt.Errorf("record body ends at offset %d, length byte promises %d", p, next))
-		}
-		e.NIn = uint8(nIn)
-		e.NOut = uint8(nOut)
-		prevPC = e.PC
-	}
-	return off, prevPC, nil
-}
-
-// decodeRefSlow decodes one operand reference the general way: the cold
-// side of the ref loops above, covering multi-byte codes and deltas,
-// escaped (non-dictionary) locations, and the tail of the stream.
-func decodeRefSlow(enc []byte, off int, dict []trace.Loc, last []uint64, escape uint64) (trace.Ref, int, error) {
-	var code uint64
-	var err error
-	if code, off, err = sliceUvarint(enc, off); err != nil {
-		return trace.Ref{}, off, err
-	}
-	if code < escape {
-		di := code >> 1
-		if code&1 != 0 {
-			var dz uint64
-			if dz, off, err = sliceUvarint(enc, off); err != nil {
-				return trace.Ref{}, off, err
-			}
-			last[di] += uint64(unzig(dz))
-		}
-		return trace.Ref{Loc: dict[di], Val: last[di]}, off, nil
-	}
-	if code != escape {
-		return trace.Ref{}, off, fmt.Errorf("location code %d out of range (%d dictionary entries)", code, escape>>1)
-	}
-	var rot, val uint64
-	if rot, off, err = sliceUvarint(enc, off); err != nil {
-		return trace.Ref{}, off, err
-	}
-	if rot&3 == 3 {
-		return trace.Ref{}, off, fmt.Errorf("escaped location has undefined kind")
-	}
-	if val, off, err = sliceUvarint(enc, off); err != nil {
-		return trace.Ref{}, off, err
-	}
-	return trace.Ref{Loc: unrotLoc(rot), Val: val}, off, nil
 }

@@ -134,13 +134,14 @@ func (t *Trace) Digest() string { return t.t.Digest() }
 func (t *Trace) Records() uint64 { return t.t.Records() }
 
 // Size returns the in-memory encoded size of the stream in bytes (the
-// delta-encoded v3 form a trace store holding this Trace spends).
+// plane-split v4 form a trace store holding this Trace spends).
 func (t *Trace) Size() int { return t.t.Bytes() }
 
 // CanonicalSize returns the size of the stream's canonical record
 // encoding — the form the content digest covers, and what the
 // uncompressed version-1/2 containers spend on the same stream.  The
-// ratio Size/CanonicalSize is the in-memory win of the delta encoding.
+// ratio Size/CanonicalSize is the in-memory win of the plane-split
+// encoding.
 func (t *Trace) CanonicalSize() int { return t.t.CanonicalBytes() }
 
 // Complete reports whether the recording ran to the program's halt, in
@@ -149,10 +150,10 @@ func (t *Trace) CanonicalSize() int { return t.t.CanonicalBytes() }
 func (t *Trace) Complete() bool { return t.complete }
 
 // WriteTo serialises the trace in the current container format
-// (version 3: record count, content digest, canonical size and
-// location dictionary, then the delta-encoded records framed with
+// (version 4: record count, content digest, canonical size and
+// location dictionary, then the plane-split record blocks framed with
 // flate — several times smaller than the canonical containers and
-// faster to decode on reload).
+// several times faster to decode on reload; see docs/FORMAT.md).
 func (t *Trace) WriteTo(w io.Writer) (int64, error) { return t.t.WriteTo(w) }
 
 // Save writes the trace to a file (see WriteTo).  The bytes go to a
@@ -777,7 +778,7 @@ func (b *Batcher) TraceByDigest(digest string) (*Trace, bool) {
 }
 
 // WriteTraceTo streams the stored trace for a digest to w as a
-// version-3 trace file, serving the memory tier's encoding or copying
+// version-4 trace file, serving the memory tier's encoding or copying
 // the disk tier's file without decoding it (cmd/tlrserve's
 // GET /v1/traces/{digest} download is this call).  It reports the
 // bytes written and whether the digest was found; an error with zero
