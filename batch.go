@@ -2,6 +2,7 @@ package tlr
 
 import (
 	"context"
+	"io"
 	"sync"
 
 	"github.com/tracereuse/tlr/internal/service"
@@ -98,6 +99,13 @@ type BatchStats struct {
 	TraceDiskBytes int64  // file bytes held by the disk tier
 	TraceSpills    uint64 // traces written through to the disk tier
 	TracePromotes  uint64 // disk hits decoded back into the memory tier
+
+	TracePeerFetches uint64 // traces pulled from peers into the local store
+	TracePeerRejects uint64 // peer trace bodies rejected (invalid or wrong digest)
+
+	ResultsOnDisk    int    // results in the persistent result cache
+	ResultDiskHits   uint64 // requests answered from the persistent result cache
+	ResultDiskWrites uint64 // results written through to the persistent cache
 }
 
 // BatchOptions sizes a Batcher.
@@ -118,6 +126,18 @@ type BatchOptions struct {
 	// decoded streams in O(batch) memory.  The directory must exist and
 	// be writable.
 	TraceDir string
+	// ResultDir, when non-empty, enables the persistent result cache:
+	// typed request results are written through to disk and re-indexed
+	// at startup, so a restarted Batcher answers warm-cache requests
+	// without re-simulating.  The directory must exist and be writable.
+	ResultDir string
+	// PeerFetch, when non-nil, extends TraceRef resolution past the
+	// local store tiers: on a local miss it is asked for the digest's
+	// container stream ((nil, nil) = no peer holds it).  Fetched bodies
+	// are validated and digest-checked before they are cached, so the
+	// transport need not be trusted.  cmd/tlrserve wires this to the
+	// cluster fabric.
+	PeerFetch func(digest string) (io.ReadCloser, error)
 }
 
 // Batcher owns a batch simulation service: a worker pool plus program
@@ -133,6 +153,8 @@ func NewBatcher(opt BatchOptions) *Batcher {
 		ResultCache:     opt.CacheSize,
 		TraceCacheBytes: opt.TraceStoreBytes,
 		TraceDir:        opt.TraceDir,
+		ResultDir:       opt.ResultDir,
+		PeerFetch:       opt.PeerFetch,
 	})}
 }
 
@@ -161,6 +183,13 @@ func (b *Batcher) Stats() BatchStats {
 		TraceDiskBytes: st.TraceDiskBytes,
 		TraceSpills:    st.TraceSpills,
 		TracePromotes:  st.TracePromotes,
+
+		TracePeerFetches: st.TracePeerFetches,
+		TracePeerRejects: st.TracePeerRejects,
+
+		ResultsOnDisk:    st.ResultsOnDisk,
+		ResultDiskHits:   st.ResultDiskHits,
+		ResultDiskWrites: st.ResultDiskWrites,
 	}
 }
 

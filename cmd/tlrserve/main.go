@@ -71,10 +71,29 @@
 // the trace history behind it are lock-striped, so concurrent requests
 // proceed in parallel — many goroutines, one engine instance.
 //
-// GET /healthz reports liveness; GET /v1/stats reports service, RTM and
-// history counters.  With -pprof, the standard net/http/pprof endpoints
-// are mounted under /debug/pprof/ so decode and simulation hot paths
-// can be profiled against the live server.
+// # Cluster
+//
+// With -peers (a comma-separated list of node base URLs, self
+// included) and -self (this node's own entry in that list), a set of
+// tlrserve processes becomes one digest-addressed fabric: a
+// consistent-hash ring places every trace digest on -replication
+// owner nodes.  Uploads store locally and replicate asynchronously to
+// the other owners; TraceRef resolution falls through memory → disk →
+// owner/replica peers (fetched traces stream into the local disk
+// tier, which is why -peers requires -trace-dir) → 404; and a
+// digest-referenced run posted to a node that does not hold the trace
+// is forwarded to a node that does (falling back to pulling the trace
+// once and caching it).  Node-to-node traffic uses the public
+// endpoints with marker headers (X-Tlr-Replication, X-Tlr-Forwarded)
+// so nothing echoes around the ring.  -result-dir (useful clustered or
+// not) persists keyed results to disk, so a restarted node answers
+// warm-cache requests without re-simulating.
+//
+// GET /healthz reports liveness; GET /v1/stats reports service, RTM,
+// history, and (when clustered) per-peer health and fabric counters.
+// With -pprof, the standard net/http/pprof endpoints are mounted under
+// /debug/pprof/ so decode and simulation hot paths can be profiled
+// against the live server.
 package main
 
 import (
@@ -82,12 +101,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strings"
+	"time"
 
 	"github.com/tracereuse/tlr"
+	"github.com/tracereuse/tlr/internal/cluster"
 	"github.com/tracereuse/tlr/internal/core"
 	"github.com/tracereuse/tlr/internal/rtm"
 	"github.com/tracereuse/tlr/internal/trace"
@@ -107,6 +130,11 @@ func main() {
 	rtmTraces := flag.Int("rtm-traces", 8, "shared RTM traces per PC")
 	rtmShards := flag.Int("rtm-shards", 0, "shared RTM lock stripes (0 = auto)")
 	withPprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+	resultDir := flag.String("result-dir", "", "persistent result cache directory (empty = memory only); created if absent")
+	peers := flag.String("peers", "", "comma-separated cluster peer base URLs, self included (empty = single node)")
+	self := flag.String("self", "", "this node's base URL; required with -peers and must appear in the list")
+	replication := flag.Int("replication", 2, "cluster replication factor (owners per digest)")
+	peerProbe := flag.Duration("peer-probe", 10*time.Second, "peer health probe interval (0 disables probing)")
 	flag.Parse()
 
 	geom := rtm.Geometry{Sets: *rtmSets, PCWays: *rtmWays, TracesPerPC: *rtmTraces}
@@ -122,13 +150,40 @@ func main() {
 			log.Fatalf("tlrserve: -trace-dir: %v", err)
 		}
 	}
+	if *resultDir != "" {
+		if err := os.MkdirAll(*resultDir, 0o755); err != nil {
+			log.Fatalf("tlrserve: -result-dir: %v", err)
+		}
+	}
 	opt := tlr.BatchOptions{
 		Workers:         *workers,
 		CacheSize:       *cache,
 		TraceStoreBytes: *traceStoreMB << 20,
 		TraceDir:        *traceDir,
+		ResultDir:       *resultDir,
 	}
-	srv := newServer(opt, geom, *rtmShards)
+	var cc *cluster.Config
+	if *peers != "" {
+		if *traceDir == "" {
+			// Peer fetches stream into the disk tier; without one every
+			// fetched trace would have to be decoded fully into memory.
+			log.Fatalf("tlrserve: -peers requires -trace-dir")
+		}
+		if *self == "" {
+			log.Fatalf("tlrserve: -peers requires -self")
+		}
+		cc = &cluster.Config{
+			Self:        strings.TrimRight(*self, "/"),
+			Peers:       splitPeers(*peers),
+			Replication: *replication,
+			ProbeEvery:  *peerProbe,
+			Logf:        log.Printf,
+		}
+	}
+	srv, err := newClusterServer(opt, geom, *rtmShards, cc)
+	if err != nil {
+		log.Fatalf("tlrserve: %v", err)
+	}
 	if *maxTraceMB > 0 {
 		srv.maxTraceBytes = *maxTraceMB << 20
 	}
@@ -137,15 +192,34 @@ func main() {
 		mountPprof(mux)
 		log.Printf("tlrserve: pprof enabled at /debug/pprof/")
 	}
+	if srv.fabric != nil {
+		log.Printf("tlrserve: cluster fabric: self %s, %d peers, replication %d",
+			srv.fabric.Self(), len(srv.fabric.Peers()), srv.fabric.Replication())
+	}
 	log.Printf("tlrserve: listening on %s (shared RTM %v, %d stripes)",
 		*addr, geom, srv.shared.Shards())
 	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// splitPeers parses the -peers flag, trimming whitespace and trailing
+// slashes so "http://a:1/, http://b:2" and "http://a:1,http://b:2"
+// build identical rings.
+func splitPeers(list string) []string {
+	var out []string
+	for _, p := range strings.Split(list, ",") {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 type server struct {
 	batcher       *tlr.Batcher
 	shared        *rtm.Sharded
 	hist          *core.ShardedTraceHistory
+	fabric        *cluster.Fabric // nil: single node
 	maxTraceBytes int64
 }
 
@@ -156,6 +230,39 @@ func newServer(opt tlr.BatchOptions, geom rtm.Geometry, shards int) *server {
 		hist:          core.NewShardedTraceHistory(0),
 		maxTraceBytes: 64 << 20,
 	}
+}
+
+// newClusterServer builds a server, joining the cluster fabric when cc
+// is non-nil.  The batcher's PeerFetch and the fabric's ReadTrace
+// reference each other, so the fabric is late-bound through a nil-safe
+// closure: the batcher is constructed first with a PeerFetch that
+// consults the fabric variable, then the fabric is wired to the
+// batcher's store — all before the server takes traffic.
+func newClusterServer(opt tlr.BatchOptions, geom rtm.Geometry, shards int, cc *cluster.Config) (*server, error) {
+	var fab *cluster.Fabric
+	if cc != nil {
+		opt.PeerFetch = func(digest string) (io.ReadCloser, error) {
+			if fab == nil {
+				return nil, nil
+			}
+			return fab.Fetch(digest)
+		}
+	}
+	s := newServer(opt, geom, shards)
+	if cc != nil {
+		cc.ReadTrace = func(digest string, w io.Writer) (bool, error) {
+			_, ok, err := s.batcher.WriteTraceTo(digest, w)
+			return ok, err
+		}
+		var err error
+		fab, err = cluster.New(*cc)
+		if err != nil {
+			s.batcher.Close()
+			return nil, err
+		}
+		s.fabric = fab
+	}
+	return s, nil
 }
 
 func (s *server) mux() *http.ServeMux {
@@ -195,6 +302,12 @@ func (s *server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 		}
 		http.Error(w, "bad trace: "+err.Error(), http.StatusBadRequest)
 		return
+	}
+	if s.fabric != nil && r.Header.Get(cluster.HeaderReplication) == "" {
+		// A client upload: place copies on the digest's other owners.
+		// Replica placements arrive with the marker header and are never
+		// re-replicated, so copies cannot echo around the ring.
+		s.fabric.Replicate(info.Digest)
 	}
 	writeJSON(w, map[string]any{
 		"digest":    info.Digest,
@@ -287,11 +400,19 @@ func (s *server) maxRequestBytes() int64 {
 
 // handleRun executes one request of any kind through the public facade.
 // Malformed requests are a 400; a simulation failure is a 200 whose
-// result carries the error, mirroring the library's Run contract.
+// result carries the error, mirroring the library's Run contract.  On
+// a clustered server, a digest-referenced request whose trace lives
+// elsewhere is forwarded to a node that holds it (digest routing); if
+// no healthy holder is reachable the run proceeds locally, pulling the
+// trace from a peer once and caching it.
 func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var req tlr.Request
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxRequestBytes())).Decode(&req); err != nil {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if res, ok := s.forwardRun(r, req); ok {
+		writeJSON(w, res)
 		return
 	}
 	res, err := s.batcher.Run(r.Context(), req)
@@ -300,7 +421,50 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	if s.fabric != nil {
+		res.Node = s.fabric.Self()
+	}
 	writeJSON(w, res)
+}
+
+// forwardRun routes a digest-referenced run to a node already holding
+// the trace.  It declines (ok=false) whenever local execution is the
+// right call: not clustered, already-forwarded traffic (one hop only),
+// no trace reference, the trace is held locally, or no healthy owner
+// is reachable.  A forwarding transport error also falls back to a
+// local run — resolution then pulls the trace from a peer and caches
+// it, so the request still completes.
+func (s *server) forwardRun(r *http.Request, req tlr.Request) (tlr.Result, bool) {
+	if s.fabric == nil || r.Header.Get(cluster.HeaderForwarded) != "" || r.Header.Get(cluster.HeaderReplication) != "" {
+		return tlr.Result{}, false
+	}
+	digest := tlr.TraceRefDigest(req.Trace)
+	if digest == "" || s.batcher.HasTrace(digest) {
+		return tlr.Result{}, false
+	}
+	target, ok := s.fabric.ForwardTarget(digest)
+	if !ok {
+		return tlr.Result{}, false
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return tlr.Result{}, false
+	}
+	out, err := s.fabric.PostRun(r.Context(), target, body)
+	if err != nil {
+		log.Printf("tlrserve: forward run to %s: %v (running locally)", target, err)
+		return tlr.Result{}, false
+	}
+	var res tlr.Result
+	if err := json.Unmarshal(out, &res); err != nil {
+		log.Printf("tlrserve: forward run to %s: bad response: %v (running locally)", target, err)
+		return tlr.Result{}, false
+	}
+	res.Forwarded = true
+	if res.Node == "" {
+		res.Node = target
+	}
+	return res, true
 }
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -328,6 +492,9 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	for res := range stream {
+		if s.fabric != nil {
+			res.Node = s.fabric.Self()
+		}
 		if err := enc.Encode(&res); err != nil {
 			return
 		}
@@ -484,20 +651,38 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.batcher.Stats()
-	writeJSON(w, map[string]any{
+	out := map[string]any{
 		"service": st,
 		"traceStore": map[string]any{
 			"hits": st.TraceHits, "misses": st.TraceMisses,
-			"memory":   map[string]any{"traces": st.Traces, "bytes": st.TraceBytes},
-			"disk":     map[string]any{"traces": st.TraceDisk, "bytes": st.TraceDiskBytes},
-			"spills":   st.TraceSpills,
-			"promotes": st.TracePromotes,
+			"memory":      map[string]any{"traces": st.Traces, "bytes": st.TraceBytes},
+			"disk":        map[string]any{"traces": st.TraceDisk, "bytes": st.TraceDiskBytes},
+			"spills":      st.TraceSpills,
+			"promotes":    st.TracePromotes,
+			"peerFetches": st.TracePeerFetches,
+			"peerRejects": st.TracePeerRejects,
+		},
+		"resultCache": map[string]any{
+			"entries":     st.Results,
+			"diskEntries": st.ResultsOnDisk,
+			"diskHits":    st.ResultDiskHits,
+			"diskWrites":  st.ResultDiskWrites,
 		},
 		"rtm":            s.shared.Stats(),
 		"rtmStored":      s.shared.Stored(),
 		"rtmShards":      s.shared.Shards(),
 		"distinctTraces": s.hist.Vectors(),
-	})
+	}
+	if s.fabric != nil {
+		out["cluster"] = map[string]any{
+			"self":        s.fabric.Self(),
+			"peers":       s.fabric.Peers(),
+			"replication": s.fabric.Replication(),
+			"health":      s.fabric.Health(),
+			"fabric":      s.fabric.StatsSnapshot(),
+		}
+	}
+	writeJSON(w, out)
 }
 
 func (s *server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {

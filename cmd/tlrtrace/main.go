@@ -37,6 +37,10 @@
 // validates it, and verifies the content digest matches the one asked
 // for before writing the file — a recording made on one host can be
 // fetched and inspected on another.
+//
+// Both push and pull retry transient failures (connection errors and
+// 5xx responses) with doubling backoff; -retries caps the attempts.
+// 4xx responses are never retried — they are the server's answer.
 package main
 
 import (
@@ -47,6 +51,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"time"
 
 	"github.com/tracereuse/tlr"
 	"github.com/tracereuse/tlr/internal/isa"
@@ -324,18 +329,23 @@ func analyze(args []string) {
 func push(args []string) {
 	fs := flag.NewFlagSet("push", flag.ExitOnError)
 	server := fs.String("server", "http://localhost:8321", "tlrserve base URL")
+	retries := fs.Int("retries", 3, "attempts on connection errors and 5xx responses")
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
 		fail(fmt.Errorf("push: need a trace file"))
 	}
-	f, err := os.Open(fs.Arg(0))
+	// The file is re-opened per attempt: a retried POST must send the
+	// whole body again, not whatever a half-consumed reader has left.
+	resp, err := doRetry(*retries, 200*time.Millisecond, func() (*http.Response, error) {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		return http.Post(*server+"/v1/traces", "application/octet-stream", f)
+	})
 	if err != nil {
-		fail(err)
-	}
-	defer f.Close()
-	resp, err := http.Post(*server+"/v1/traces", "application/octet-stream", f)
-	if err != nil {
-		fail(err)
+		fail(fmt.Errorf("push: %w", err))
 	}
 	defer resp.Body.Close()
 	body, _ := io.ReadAll(resp.Body)
@@ -354,6 +364,7 @@ func pull(args []string) {
 	server := fs.String("server", "http://localhost:8321", "tlrserve base URL")
 	out := fs.String("o", "", "output trace file (required)")
 	maxMB := fs.Int64("max-mb", 1024, "largest accepted download in MiB")
+	retries := fs.Int("retries", 3, "attempts on connection errors and 5xx responses")
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
 		fail(fmt.Errorf("pull: need a trace digest (like sha256:…)"))
@@ -362,9 +373,11 @@ func pull(args []string) {
 		fail(fmt.Errorf("pull: -o required"))
 	}
 	digest := fs.Arg(0)
-	resp, err := http.Get(*server + "/v1/traces/" + digest)
+	resp, err := doRetry(*retries, 200*time.Millisecond, func() (*http.Response, error) {
+		return http.Get(*server + "/v1/traces/" + digest)
+	})
 	if err != nil {
-		fail(err)
+		fail(fmt.Errorf("pull: %w", err))
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {

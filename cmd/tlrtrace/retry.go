@@ -1,0 +1,42 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// doRetry runs op up to attempts times, retrying the transient failure
+// classes a network client actually sees: connection errors (the server
+// is restarting, the LB dropped us) and 5xx responses.  Anything else —
+// a 2xx, a 3xx, a 4xx — is the server's considered answer and is
+// returned to the caller as-is.
+//
+// op must produce a fresh request each call (re-open files, re-seek
+// readers); doRetry drains and closes the bodies of responses it
+// retries so connections can be reused.  Backoff doubles per attempt.
+func doRetry(attempts int, backoff time.Duration, op func() (*http.Response, error)) (*http.Response, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		resp, err := op()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode < 500 {
+			return resp, nil
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		lastErr = fmt.Errorf("%s: %s", resp.Status, body)
+	}
+	return nil, fmt.Errorf("after %d attempts: %w", attempts, lastErr)
+}

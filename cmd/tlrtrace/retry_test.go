@@ -1,0 +1,109 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// flakyServer fails the first n requests with the given status (0 =
+// refuse at the transport level by hijacking and dropping the
+// connection), then answers 200 with the request body echoed back.
+func flakyServer(t *testing.T, failFirst int, status int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if int(n) <= failFirst {
+			if status == 0 {
+				hj, ok := w.(http.Hijacker)
+				if !ok {
+					t.Fatal("server does not support hijacking")
+				}
+				conn, _, err := hj.Hijack()
+				if err != nil {
+					t.Fatal(err)
+				}
+				conn.Close()
+				return
+			}
+			http.Error(w, "not yet", status)
+			return
+		}
+		body, _ := io.ReadAll(r.Body)
+		w.Write(body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+func postBody(ts *httptest.Server, body string) func() (*http.Response, error) {
+	return func() (*http.Response, error) {
+		return http.Post(ts.URL, "text/plain", strings.NewReader(body))
+	}
+}
+
+func TestDoRetryRecoversFrom5xx(t *testing.T) {
+	ts, calls := flakyServer(t, 2, http.StatusServiceUnavailable)
+	resp, err := doRetry(4, 0, postBody(ts, "payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "payload" {
+		t.Fatalf("body = %q, want full payload on the retried attempt", body)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+}
+
+func TestDoRetryRecoversFromConnectionError(t *testing.T) {
+	ts, calls := flakyServer(t, 1, 0)
+	resp, err := doRetry(3, 0, postBody(ts, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want 2", got)
+	}
+}
+
+func TestDoRetryGivesUpAfterAttempts(t *testing.T) {
+	ts, calls := flakyServer(t, 100, http.StatusInternalServerError)
+	_, err := doRetry(3, 0, postBody(ts, "x"))
+	if err == nil {
+		t.Fatal("want error after exhausting attempts")
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("error %q does not report the attempt count", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+}
+
+func TestDoRetryDoesNotRetry4xx(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "no such digest", http.StatusNotFound)
+	}))
+	t.Cleanup(ts.Close)
+	resp, err := doRetry(5, 0, func() (*http.Response, error) { return http.Get(ts.URL) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want the 404 passed through", resp.StatusCode)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want exactly 1 (4xx is final)", got)
+	}
+}

@@ -1,0 +1,566 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Headers the fabric uses to keep node-to-node traffic from echoing
+// around the cluster.  Exported so cmd/tlrserve can gate on them.
+const (
+	// HeaderReplication marks a trace upload as replica placement:
+	// the receiving node stores it but must not replicate it onward.
+	HeaderReplication = "X-Tlr-Replication"
+	// HeaderForwarded marks a run request as already forwarded once:
+	// the receiving node must execute it locally, never re-forward.
+	HeaderForwarded = "X-Tlr-Forwarded"
+	// HeaderPeer carries the requesting node's self URL on
+	// peer-to-peer fetches, for the receiving node's logs.
+	HeaderPeer = "X-Tlr-Peer"
+)
+
+// failuresBeforeUnhealthy is how many consecutive request or probe
+// failures mark a peer unhealthy.  Unhealthy peers are skipped as
+// forwarding targets and tried last on fetches; any success resets
+// the count, and the background probe keeps retrying them.
+const failuresBeforeUnhealthy = 3
+
+// Config configures a node's view of the fabric.
+type Config struct {
+	// Self is this node's own base URL.  It must appear in Peers.
+	Self string
+	// Peers is the full static peer set, self included.
+	Peers []string
+	// Replication is how many distinct peers own each digest.
+	// Defaults to 2, clamped to the peer count.
+	Replication int
+	// Client performs all peer HTTP requests.  Defaults to a client
+	// with a 10s timeout.
+	Client *http.Client
+	// Retries is the attempt budget for one replication delivery.
+	// Defaults to 3.
+	Retries int
+	// Backoff is the initial delay between replication attempts,
+	// doubling per retry.  Defaults to 200ms.
+	Backoff time.Duration
+	// QueueDepth bounds the async replication queue; enqueues beyond
+	// it are dropped (and counted).  Defaults to 256.
+	QueueDepth int
+	// ProbeEvery is the health-probe interval (GET /healthz on every
+	// other peer).  Defaults to 10s; zero or negative disables the
+	// probe loop (request outcomes still update health).
+	ProbeEvery time.Duration
+	// ReadTrace streams the locally stored trace for digest to w in
+	// download (v4) format, reporting whether the digest was held.
+	// It is the replication worker's data source.
+	ReadTrace func(digest string, w io.Writer) (bool, error)
+	// Logf receives diagnostic messages.  Defaults to discarding.
+	Logf func(format string, args ...any)
+}
+
+// PeerHealth is one peer's liveness snapshot.
+type PeerHealth struct {
+	Peer                string    `json:"peer"`
+	LastProbe           time.Time `json:"lastProbe,omitzero"`
+	LastOK              time.Time `json:"lastOK,omitzero"`
+	ConsecutiveFailures int       `json:"consecutiveFailures"`
+	Healthy             bool      `json:"healthy"`
+}
+
+// Stats counts fabric activity since startup.
+type Stats struct {
+	FetchAttempts       uint64 `json:"fetchAttempts"`
+	FetchHits           uint64 `json:"fetchHits"`
+	FetchMisses         uint64 `json:"fetchMisses"`
+	FetchErrors         uint64 `json:"fetchErrors"`
+	Forwards            uint64 `json:"forwards"`
+	ReplicationsQueued  uint64 `json:"replicationsQueued"`
+	ReplicationsDone    uint64 `json:"replicationsDone"`
+	ReplicationsFailed  uint64 `json:"replicationsFailed"`
+	ReplicationsDropped uint64 `json:"replicationsDropped"`
+	ReplicationQueue    int    `json:"replicationQueue"`
+}
+
+type peerState struct {
+	lastProbe time.Time
+	lastOK    time.Time
+	consec    int
+}
+
+// Fabric is one node's handle on the cluster: placement queries,
+// peer fetch, async replication, run forwarding, and health.
+// All methods are safe for concurrent use.
+type Fabric struct {
+	ring        *Ring
+	self        string
+	replication int
+	client      *http.Client
+	retries     int
+	backoff     time.Duration
+	readTrace   func(string, io.Writer) (bool, error)
+	logf        func(string, ...any)
+
+	mu    sync.Mutex
+	peers map[string]*peerState
+	stats Stats
+
+	queue  chan string
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// New validates cfg, starts the replication worker and (if enabled)
+// the health-probe loop, and returns the fabric.  Close releases both.
+func New(cfg Config) (*Fabric, error) {
+	ring, err := NewRing(cfg.Peers)
+	if err != nil {
+		return nil, err
+	}
+	selfOK := false
+	for _, p := range cfg.Peers {
+		if p == cfg.Self {
+			selfOK = true
+		}
+	}
+	if !selfOK {
+		return nil, fmt.Errorf("cluster: self %q not in peer set %v", cfg.Self, cfg.Peers)
+	}
+	if cfg.ReadTrace == nil {
+		return nil, fmt.Errorf("cluster: Config.ReadTrace is required")
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 2
+	}
+	if cfg.Replication > len(cfg.Peers) {
+		cfg.Replication = len(cfg.Peers)
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if cfg.Retries <= 0 {
+		cfg.Retries = 3
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 200 * time.Millisecond
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	f := &Fabric{
+		ring:        ring,
+		self:        cfg.Self,
+		replication: cfg.Replication,
+		client:      cfg.Client,
+		retries:     cfg.Retries,
+		backoff:     cfg.Backoff,
+		readTrace:   cfg.ReadTrace,
+		logf:        cfg.Logf,
+		peers:       make(map[string]*peerState, len(cfg.Peers)),
+		queue:       make(chan string, cfg.QueueDepth),
+		ctx:         ctx,
+		cancel:      cancel,
+	}
+	for _, p := range cfg.Peers {
+		if p != cfg.Self {
+			f.peers[p] = &peerState{}
+		}
+	}
+	f.wg.Add(1)
+	go f.replicationWorker()
+	if cfg.ProbeEvery > 0 {
+		f.wg.Add(1)
+		go f.probeLoop(cfg.ProbeEvery)
+	}
+	return f, nil
+}
+
+// Close stops the replication worker and probe loop.  Queued
+// replications that have not started are abandoned.
+func (f *Fabric) Close() {
+	f.cancel()
+	f.wg.Wait()
+}
+
+// Self returns this node's base URL.
+func (f *Fabric) Self() string { return f.self }
+
+// Peers returns the full peer set including self.
+func (f *Fabric) Peers() []string { return f.ring.Peers() }
+
+// Replication returns the effective replication factor.
+func (f *Fabric) Replication() int { return f.replication }
+
+// Owners returns the peers owning digest, primary first.
+func (f *Fabric) Owners(digest string) []string {
+	return f.ring.Owners(digest, f.replication)
+}
+
+// ForwardTarget picks a healthy owner of digest other than self to
+// forward a run to, preferring the primary.  ok is false when self is
+// an owner's only healthy stand-in — i.e. every other owner is
+// unhealthy — or self is the primary path anyway.
+func (f *Fabric) ForwardTarget(digest string) (string, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, p := range f.Owners(digest) {
+		if p == f.self {
+			continue
+		}
+		if st := f.peers[p]; st != nil && st.consec < failuresBeforeUnhealthy {
+			return p, true
+		}
+	}
+	return "", false
+}
+
+// Fetch retrieves digest from its owner peers in ring order (then any
+// remaining peer, so a mis-placed but present digest is still found),
+// returning the response body stream.  The caller must close it and
+// must validate content: the fabric does not inspect trace bytes.
+// A nil ReadCloser with nil error means no reachable peer holds the
+// digest; an error means every holder attempt failed.
+func (f *Fabric) Fetch(digest string) (io.ReadCloser, error) {
+	order := f.fetchOrder(digest)
+	f.bump(func(s *Stats) { s.FetchAttempts++ })
+	var lastErr error
+	for _, p := range order {
+		req, err := http.NewRequestWithContext(f.ctx, http.MethodGet, p+"/v1/traces/"+digest, nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		req.Header.Set(HeaderPeer, f.self)
+		resp, err := f.client.Do(req)
+		if err != nil {
+			f.noteFailure(p)
+			f.logf("cluster: fetch %s from %s: %v", digest, p, err)
+			lastErr = err
+			continue
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			f.noteSuccess(p)
+			f.bump(func(s *Stats) { s.FetchHits++ })
+			return resp.Body, nil
+		case resp.StatusCode == http.StatusNotFound:
+			// The peer is up, it just doesn't hold the digest.
+			f.noteSuccess(p)
+			resp.Body.Close()
+		default:
+			f.noteFailure(p)
+			lastErr = fmt.Errorf("cluster: fetch %s from %s: %s", digest, p, resp.Status)
+			f.logf("%v", lastErr)
+			resp.Body.Close()
+		}
+	}
+	if lastErr != nil {
+		f.bump(func(s *Stats) { s.FetchErrors++ })
+		return nil, lastErr
+	}
+	f.bump(func(s *Stats) { s.FetchMisses++ })
+	return nil, nil
+}
+
+// fetchOrder lists every peer except self: healthy owners first (ring
+// order), then healthy non-owners, then the unhealthy as a last
+// resort.
+func (f *Fabric) fetchOrder(digest string) []string {
+	owners := f.Owners(digest)
+	isOwner := make(map[string]bool, len(owners))
+	for _, p := range owners {
+		isOwner[p] = true
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var healthyOwners, healthyRest, unhealthy []string
+	add := func(p string) {
+		st := f.peers[p]
+		switch {
+		case st.consec >= failuresBeforeUnhealthy:
+			unhealthy = append(unhealthy, p)
+		case isOwner[p]:
+			healthyOwners = append(healthyOwners, p)
+		default:
+			healthyRest = append(healthyRest, p)
+		}
+	}
+	for _, p := range owners {
+		if p != f.self {
+			add(p)
+		}
+	}
+	for _, p := range f.ring.Peers() {
+		if p != f.self && !isOwner[p] {
+			add(p)
+		}
+	}
+	return append(append(healthyOwners, healthyRest...), unhealthy...)
+}
+
+// Replicate queues digest for asynchronous delivery to its other
+// owners.  It returns immediately; if the queue is full the request
+// is dropped and counted rather than blocking the upload path.
+func (f *Fabric) Replicate(digest string) {
+	needsCopy := false
+	for _, p := range f.Owners(digest) {
+		if p != f.self {
+			needsCopy = true
+		}
+	}
+	if !needsCopy {
+		return
+	}
+	select {
+	case f.queue <- digest:
+		f.bump(func(s *Stats) { s.ReplicationsQueued++ })
+	default:
+		f.bump(func(s *Stats) { s.ReplicationsDropped++ })
+		f.logf("cluster: replication queue full, dropping %s", digest)
+	}
+}
+
+func (f *Fabric) replicationWorker() {
+	defer f.wg.Done()
+	for {
+		select {
+		case <-f.ctx.Done():
+			return
+		case digest := <-f.queue:
+			failed := false
+			for _, p := range f.Owners(digest) {
+				if p == f.self {
+					continue
+				}
+				if err := f.replicateTo(digest, p); err != nil {
+					failed = true
+					f.logf("cluster: replicate %s to %s: %v", digest, p, err)
+				}
+			}
+			if failed {
+				f.bump(func(s *Stats) { s.ReplicationsFailed++ })
+			} else {
+				f.bump(func(s *Stats) { s.ReplicationsDone++ })
+			}
+		}
+	}
+}
+
+// replicateTo delivers one digest to one peer with bounded
+// retry/backoff.  Connection errors and 5xx are retried; any 4xx is
+// permanent (the peer understood us and refused).
+func (f *Fabric) replicateTo(digest, peer string) error {
+	var lastErr error
+	delay := f.backoff
+	for attempt := 0; attempt < f.retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-f.ctx.Done():
+				return f.ctx.Err()
+			case <-time.After(delay):
+			}
+			delay *= 2
+		}
+		err := f.replicateOnce(digest, peer)
+		if err == nil {
+			f.noteSuccess(peer)
+			return nil
+		}
+		if pe, ok := err.(*permanentError); ok {
+			return pe.err
+		}
+		f.noteFailure(peer)
+		lastErr = err
+	}
+	return lastErr
+}
+
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+
+func (f *Fabric) replicateOnce(digest, peer string) error {
+	// Stream the trace through a pipe so replication never buffers a
+	// whole container, mirroring the chunked-upload path clients use.
+	pr, pw := io.Pipe()
+	go func() {
+		held, err := f.readTrace(digest, pw)
+		if err == nil && !held {
+			err = fmt.Errorf("trace %s no longer held locally", digest)
+		}
+		pw.CloseWithError(err)
+	}()
+	req, err := http.NewRequestWithContext(f.ctx, http.MethodPost, peer+"/v1/traces", pr)
+	if err != nil {
+		pr.Close()
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set(HeaderReplication, "1")
+	req.Header.Set(HeaderPeer, f.self)
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return nil
+	}
+	err = fmt.Errorf("%s: %s", peer, resp.Status)
+	if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+		return &permanentError{err}
+	}
+	return err
+}
+
+// PostRun forwards an encoded /v1/run request body to target and
+// returns the response body.  The HeaderForwarded header tells the
+// receiving node to execute locally rather than forward again.
+func (f *Fabric) PostRun(ctx context.Context, target string, body []byte) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/v1/run", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(HeaderForwarded, "1")
+	req.Header.Set(HeaderPeer, f.self)
+	resp, err := f.client.Do(req)
+	if err != nil {
+		f.noteFailure(target)
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		f.noteFailure(target)
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode >= 500 {
+			f.noteFailure(target)
+		}
+		return nil, fmt.Errorf("cluster: forwarded run to %s: %s", target, resp.Status)
+	}
+	f.noteSuccess(target)
+	f.bump(func(s *Stats) { s.Forwards++ })
+	return out, nil
+}
+
+func (f *Fabric) probeLoop(every time.Duration) {
+	defer f.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.ctx.Done():
+			return
+		case <-t.C:
+			f.probeAll()
+		}
+	}
+}
+
+func (f *Fabric) probeAll() {
+	f.mu.Lock()
+	peers := make([]string, 0, len(f.peers))
+	for p := range f.peers {
+		peers = append(peers, p)
+	}
+	f.mu.Unlock()
+	for _, p := range peers {
+		f.probe(p)
+	}
+}
+
+func (f *Fabric) probe(peer string) {
+	now := time.Now()
+	req, err := http.NewRequestWithContext(f.ctx, http.MethodGet, peer+"/healthz", nil)
+	if err != nil {
+		return
+	}
+	req.Header.Set(HeaderPeer, f.self)
+	resp, err := f.client.Do(req)
+	ok := err == nil && resp.StatusCode == http.StatusOK
+	if resp != nil {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.peers[peer]
+	if st == nil {
+		return
+	}
+	st.lastProbe = now
+	if ok {
+		st.lastOK = now
+		st.consec = 0
+	} else {
+		st.consec++
+	}
+}
+
+// Health returns a snapshot of every other peer's liveness, in peer
+// configuration order.
+func (f *Fabric) Health() []PeerHealth {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]PeerHealth, 0, len(f.peers))
+	for _, p := range f.ring.Peers() {
+		st := f.peers[p]
+		if st == nil {
+			continue // self
+		}
+		out = append(out, PeerHealth{
+			Peer:                p,
+			LastProbe:           st.lastProbe,
+			LastOK:              st.lastOK,
+			ConsecutiveFailures: st.consec,
+			Healthy:             st.consec < failuresBeforeUnhealthy,
+		})
+	}
+	return out
+}
+
+// StatsSnapshot returns the fabric counters, including the current
+// replication queue depth.
+func (f *Fabric) StatsSnapshot() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.stats
+	s.ReplicationQueue = len(f.queue)
+	return s
+}
+
+func (f *Fabric) bump(fn func(*Stats)) {
+	f.mu.Lock()
+	fn(&f.stats)
+	f.mu.Unlock()
+}
+
+func (f *Fabric) noteSuccess(peer string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if st := f.peers[peer]; st != nil {
+		st.lastOK = time.Now()
+		st.consec = 0
+	}
+}
+
+func (f *Fabric) noteFailure(peer string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if st := f.peers[peer]; st != nil {
+		st.consec++
+	}
+}

@@ -1,0 +1,368 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakePeer is a minimal tlrserve stand-in: it serves stored blobs on
+// GET /v1/traces/{digest} and accepts uploads on POST /v1/traces.
+type fakePeer struct {
+	ts *httptest.Server
+
+	mu     sync.Mutex
+	blobs  map[string][]byte
+	gotHdr http.Header // headers of the last trace upload
+}
+
+func newFakePeer(t *testing.T) *fakePeer {
+	t.Helper()
+	p := &fakePeer{blobs: make(map[string][]byte)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /v1/traces/{digest}", func(w http.ResponseWriter, r *http.Request) {
+		p.mu.Lock()
+		b, ok := p.blobs[r.PathValue("digest")]
+		p.mu.Unlock()
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write(b)
+	})
+	mux.HandleFunc("POST /v1/traces", func(w http.ResponseWriter, r *http.Request) {
+		b, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		p.mu.Lock()
+		p.blobs["uploaded"] = b
+		p.gotHdr = r.Header.Clone()
+		p.mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	})
+	p.ts = httptest.NewServer(mux)
+	t.Cleanup(p.ts.Close)
+	return p
+}
+
+func (p *fakePeer) put(digest string, b []byte) {
+	p.mu.Lock()
+	p.blobs[digest] = b
+	p.mu.Unlock()
+}
+
+func (p *fakePeer) uploaded() ([]byte, http.Header) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.blobs["uploaded"], p.gotHdr
+}
+
+func noTrace(string, io.Writer) (bool, error) { return false, nil }
+
+func newTestFabric(t *testing.T, self string, peers []string, mod func(*Config)) *Fabric {
+	t.Helper()
+	cfg := Config{
+		Self:      self,
+		Peers:     peers,
+		ReadTrace: noTrace,
+		Backoff:   time.Millisecond,
+		Logf:      t.Logf,
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	return f
+}
+
+func TestNewRejectsSelfOutsidePeerSet(t *testing.T) {
+	_, err := New(Config{Self: "http://x", Peers: []string{"http://a"}, ReadTrace: noTrace})
+	if err == nil {
+		t.Fatal("self outside peer set accepted")
+	}
+	_, err = New(Config{Self: "http://a", Peers: []string{"http://a"}})
+	if err == nil {
+		t.Fatal("nil ReadTrace accepted")
+	}
+}
+
+func TestFetchFromHoldingPeer(t *testing.T) {
+	a, b := newFakePeer(t), newFakePeer(t)
+	self := "http://self.invalid" // never dialed: self is skipped
+	f := newTestFabric(t, self, []string{self, a.ts.URL, b.ts.URL}, nil)
+
+	const digest = "sha256-abc"
+	body := []byte("trace-bytes")
+	a.put(digest, body)
+	b.put(digest, body)
+
+	rc, err := f.Fetch(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc == nil {
+		t.Fatal("fetch missed a held digest")
+	}
+	got, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(body) {
+		t.Fatalf("fetched %q, want %q", got, body)
+	}
+	st := f.StatsSnapshot()
+	if st.FetchHits != 1 || st.FetchAttempts != 1 {
+		t.Fatalf("stats %+v, want one attempt and one hit", st)
+	}
+}
+
+func TestFetchMissWhenNoPeerHolds(t *testing.T) {
+	a, b := newFakePeer(t), newFakePeer(t)
+	self := "http://self.invalid"
+	f := newTestFabric(t, self, []string{self, a.ts.URL, b.ts.URL}, nil)
+
+	rc, err := f.Fetch("sha256-missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc != nil {
+		rc.Close()
+		t.Fatal("fetch returned a body for a digest nobody holds")
+	}
+	if st := f.StatsSnapshot(); st.FetchMisses != 1 {
+		t.Fatalf("stats %+v, want one miss", st)
+	}
+}
+
+func TestFetchSkipsDeadPeerAndErrorsWhenAllFail(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	t.Cleanup(dead.Close)
+	live := newFakePeer(t)
+	self := "http://self.invalid"
+	f := newTestFabric(t, self, []string{self, dead.URL, live.ts.URL}, nil)
+
+	const digest = "sha256-abc"
+	live.put(digest, []byte("x"))
+	rc, err := f.Fetch(digest)
+	if err != nil || rc == nil {
+		t.Fatalf("fetch should fall past the 500ing peer: rc=%v err=%v", rc, err)
+	}
+	rc.Close()
+
+	// Now only the dead peer remains in a fresh fabric: every holder
+	// attempt fails, so Fetch must surface an error, not a miss.
+	f2 := newTestFabric(t, self, []string{self, dead.URL}, nil)
+	if _, err := f2.Fetch(digest); err == nil {
+		t.Fatal("all-peers-failing fetch reported no error")
+	}
+	if st := f2.StatsSnapshot(); st.FetchErrors != 1 {
+		t.Fatalf("stats %+v, want one fetch error", st)
+	}
+}
+
+func TestReplicateDeliversToOtherOwners(t *testing.T) {
+	peer := newFakePeer(t)
+	self := "http://self.invalid"
+	payload := []byte("replicated-trace")
+	f := newTestFabric(t, self, []string{self, peer.ts.URL}, func(c *Config) {
+		c.ReadTrace = func(digest string, w io.Writer) (bool, error) {
+			w.Write(payload)
+			return true, nil
+		}
+	})
+
+	f.Replicate("sha256-abc")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got, hdr := peer.uploaded()
+		if got != nil {
+			if string(got) != string(payload) {
+				t.Fatalf("peer received %q, want %q", got, payload)
+			}
+			if hdr.Get(HeaderReplication) != "1" {
+				t.Fatalf("replication upload missing %s header: %v", HeaderReplication, hdr)
+			}
+			if hdr.Get(HeaderPeer) != self {
+				t.Fatalf("replication upload missing %s header: %v", HeaderPeer, hdr)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replication never arrived")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := f.StatsSnapshot()
+	if st.ReplicationsQueued != 1 || st.ReplicationsDone != 1 || st.ReplicationsFailed != 0 {
+		t.Fatalf("stats %+v, want one queued and done", st)
+	}
+}
+
+func TestReplicateRetriesTransientFailure(t *testing.T) {
+	var calls atomic.Int64
+	var got []byte
+	var mu sync.Mutex
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/traces" {
+			http.NotFound(w, r)
+			return
+		}
+		if calls.Add(1) == 1 {
+			http.Error(w, "try again", http.StatusServiceUnavailable)
+			return
+		}
+		b, _ := io.ReadAll(r.Body)
+		mu.Lock()
+		got = b
+		mu.Unlock()
+	}))
+	t.Cleanup(srv.Close)
+
+	self := "http://self.invalid"
+	f := newTestFabric(t, self, []string{self, srv.URL}, func(c *Config) {
+		c.ReadTrace = func(digest string, w io.Writer) (bool, error) {
+			io.WriteString(w, "payload")
+			return true, nil
+		}
+	})
+	f.Replicate("sha256-abc")
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		ok := string(got) == "payload"
+		mu.Unlock()
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("retry never delivered (calls=%d)", calls.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d attempts, want 2", calls.Load())
+	}
+}
+
+func TestForwardTargetSkipsUnhealthyPeers(t *testing.T) {
+	a, b := newFakePeer(t), newFakePeer(t)
+	self := "http://self.invalid"
+	f := newTestFabric(t, self, []string{self, a.ts.URL, b.ts.URL}, func(c *Config) {
+		c.Replication = 3 // every peer owns every digest
+	})
+
+	const digest = "sha256-abc"
+	target, ok := f.ForwardTarget(digest)
+	if !ok || target == self {
+		t.Fatalf("ForwardTarget = %q, %v; want another peer", target, ok)
+	}
+
+	// Mark the chosen target unhealthy; forwarding must move to the
+	// other peer, and with both down report no target.
+	for i := 0; i < failuresBeforeUnhealthy; i++ {
+		f.noteFailure(target)
+	}
+	second, ok := f.ForwardTarget(digest)
+	if !ok || second == target {
+		t.Fatalf("ForwardTarget after failures = %q, %v; want the other peer", second, ok)
+	}
+	for i := 0; i < failuresBeforeUnhealthy; i++ {
+		f.noteFailure(second)
+	}
+	if got, ok := f.ForwardTarget(digest); ok {
+		t.Fatalf("ForwardTarget with all peers unhealthy = %q, want none", got)
+	}
+}
+
+func TestProbeTracksHealth(t *testing.T) {
+	peer := newFakePeer(t)
+	self := "http://self.invalid"
+	f := newTestFabric(t, self, []string{self, peer.ts.URL}, func(c *Config) {
+		c.ProbeEvery = 10 * time.Millisecond
+	})
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		h := f.Health()
+		if len(h) == 1 && h[0].Healthy && !h[0].LastProbe.IsZero() && !h[0].LastOK.IsZero() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("probe never marked peer healthy: %+v", h)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Kill the peer; consecutive probe failures must flip it unhealthy.
+	peer.ts.Close()
+	for {
+		h := f.Health()
+		if len(h) == 1 && !h[0].Healthy {
+			if h[0].ConsecutiveFailures < failuresBeforeUnhealthy {
+				t.Fatalf("unhealthy with only %d failures", h[0].ConsecutiveFailures)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("probe never marked dead peer unhealthy: %+v", h)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestPostRunForwards(t *testing.T) {
+	var gotHdr http.Header
+	var gotBody []byte
+	var mu sync.Mutex
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/run" {
+			http.NotFound(w, r)
+			return
+		}
+		b, _ := io.ReadAll(r.Body)
+		mu.Lock()
+		gotHdr, gotBody = r.Header.Clone(), b
+		mu.Unlock()
+		io.WriteString(w, `{"ok":true}`)
+	}))
+	t.Cleanup(srv.Close)
+
+	self := "http://self.invalid"
+	f := newTestFabric(t, self, []string{self, srv.URL}, nil)
+	out, err := f.PostRun(t.Context(), srv.URL, []byte(`{"kind":"study"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != `{"ok":true}` {
+		t.Fatalf("PostRun body %q", out)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if gotHdr.Get(HeaderForwarded) != "1" {
+		t.Fatalf("forwarded run missing %s header: %v", HeaderForwarded, gotHdr)
+	}
+	if string(gotBody) != `{"kind":"study"}` {
+		t.Fatalf("forwarded body %q", gotBody)
+	}
+	if st := f.StatsSnapshot(); st.Forwards != 1 {
+		t.Fatalf("stats %+v, want one forward", st)
+	}
+}

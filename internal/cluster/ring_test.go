@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+)
+
+func TestNewRingRejectsBadPeerSets(t *testing.T) {
+	if _, err := NewRing(nil); err == nil {
+		t.Fatal("empty peer set accepted")
+	}
+	if _, err := NewRing([]string{"http://a", ""}); err == nil {
+		t.Fatal("empty peer URL accepted")
+	}
+	if _, err := NewRing([]string{"http://a", "http://a"}); err == nil {
+		t.Fatal("duplicate peer accepted")
+	}
+}
+
+func TestOwnersDeterministicAcrossPeerOrder(t *testing.T) {
+	a, err := NewRing([]string{"http://a", "http://b", "http://c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"http://c", "http://a", "http://b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("sha256-%x", sha256.Sum256([]byte{byte(i)}))
+		oa := a.Owners(key, 2)
+		ob := b.Owners(key, 2)
+		if len(oa) != 2 || len(ob) != 2 {
+			t.Fatalf("key %s: owner counts %d/%d", key, len(oa), len(ob))
+		}
+		for j := range oa {
+			if oa[j] != ob[j] {
+				t.Fatalf("key %s: placement depends on peer order: %v vs %v", key, oa, ob)
+			}
+		}
+		if oa[0] == oa[1] {
+			t.Fatalf("key %s: duplicate owner %v", key, oa)
+		}
+	}
+}
+
+func TestOwnersClampedToPeerCount(t *testing.T) {
+	r, err := NewRing([]string{"http://a", "http://b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owners := r.Owners("k", 5)
+	if len(owners) != 2 {
+		t.Fatalf("got %d owners, want 2", len(owners))
+	}
+	if got := r.Owners("k", 0); len(got) != 1 {
+		t.Fatalf("n=0 returned %d owners, want 1", len(got))
+	}
+}
+
+func TestOwnersDistribution(t *testing.T) {
+	peers := []string{"http://a", "http://b", "http://c", "http://d"}
+	r, err := NewRing(peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	const n = 4000
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("sha256-%x", sha256.Sum256([]byte(fmt.Sprint(i))))
+		counts[r.Owners(key, 1)[0]]++
+	}
+	// With 128 vnodes/peer the share should be within a loose band of
+	// uniform; the test guards against gross placement skew, not
+	// statistical perfection.
+	for _, p := range peers {
+		share := float64(counts[p]) / n
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("peer %s share %.2f outside [0.10, 0.45]: %v", p, share, counts)
+		}
+	}
+}
+
+func TestOwnersStableUnderPeerRemoval(t *testing.T) {
+	// Consistent hashing: dropping one peer must not move keys whose
+	// full owner set survives.
+	full, err := NewRing([]string{"http://a", "http://b", "http://c", "http://d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := NewRing([]string{"http://a", "http://b", "http://c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, kept := 0, 0
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("sha256-%x", sha256.Sum256([]byte(fmt.Sprint(i))))
+		before := full.Owners(key, 1)[0]
+		if before == "http://d" {
+			continue // its keys must move by definition
+		}
+		if reduced.Owners(key, 1)[0] == before {
+			kept++
+		} else {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d/%d surviving-owner keys moved when an unrelated peer left", moved, moved+kept)
+	}
+}

@@ -1,0 +1,310 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"github.com/tracereuse/tlr/internal/cpu"
+	"github.com/tracereuse/tlr/internal/tracefile"
+	"github.com/tracereuse/tlr/internal/workload"
+)
+
+// recordTestTrace records n instructions of a workload into a trace.
+func recordTestTrace(t *testing.T, name string, n uint64) *tracefile.Trace {
+	t.Helper()
+	w, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("workload %q missing", name)
+	}
+	prog, err := w.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := tracefile.NewRecorder()
+	if _, err := cpu.New(prog).Run(n, rec.Write); err != nil {
+		t.Fatal(err)
+	}
+	return rec.Trace()
+}
+
+func traceBytes(t *testing.T, tr *tracefile.Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// fakePeerFetch is an Options.PeerFetch backed by a digest→bytes map,
+// counting how often it is consulted.
+type fakePeerFetch struct {
+	blobs map[string][]byte
+	calls atomic.Int64
+}
+
+func (p *fakePeerFetch) fetch(digest string) (io.ReadCloser, error) {
+	p.calls.Add(1)
+	b, ok := p.blobs[digest]
+	if !ok {
+		return nil, nil
+	}
+	return io.NopCloser(bytes.NewReader(b)), nil
+}
+
+// TestResolveTraceOrdering: resolution must fall through memory → disk
+// → peer → miss, consulting the peer only when both local tiers miss,
+// and caching a peer hit so the next lookup stays local.
+func TestResolveTraceOrdering(t *testing.T) {
+	dir := t.TempDir()
+	peer := &fakePeerFetch{blobs: map[string][]byte{}}
+	s := New(Options{Workers: 1, TraceDir: dir, PeerFetch: peer.fetch})
+	defer s.Close()
+
+	// Memory (and write-through disk) hit: peer never consulted.
+	tr := recordTestTrace(t, "compress", 3000)
+	digest := s.AddTrace(tr)
+	if _, ok := s.ResolveTrace(digest); !ok {
+		t.Fatal("stored trace did not resolve")
+	}
+	if peer.calls.Load() != 0 {
+		t.Fatalf("memory hit consulted the peer %d times", peer.calls.Load())
+	}
+
+	// Disk-only hit: a digest present only as a file (a rehydrated
+	// store) must resolve without peer traffic.
+	diskTr := recordTestTrace(t, "li", 3000)
+	if err := diskTr.Save(filepath.Join(dir, tracefile.DigestFileName(diskTr.Digest()))); err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(Options{Workers: 1, TraceDir: dir, PeerFetch: peer.fetch})
+	defer s2.Close()
+	if _, ok := s2.ResolveTrace(diskTr.Digest()); !ok {
+		t.Fatal("disk-tier trace did not resolve")
+	}
+	if peer.calls.Load() != 0 {
+		t.Fatalf("disk hit consulted the peer %d times", peer.calls.Load())
+	}
+
+	// Full miss: the peer is consulted, has nothing, and the lookup
+	// counts one miss.
+	if _, ok := s2.ResolveTrace("sha256-0000"); ok {
+		t.Fatal("unknown digest resolved")
+	}
+	if peer.calls.Load() != 1 {
+		t.Fatalf("miss consulted the peer %d times, want 1", peer.calls.Load())
+	}
+	if st := s2.Stats(); st.TraceMisses != 1 {
+		t.Fatalf("TraceMisses = %d, want 1", st.TraceMisses)
+	}
+
+	// Peer hit: the fetched trace resolves, is installed locally, and
+	// the next lookup does not touch the peer again.
+	remote := recordTestTrace(t, "gcc", 3000)
+	peer.blobs[remote.Digest()] = traceBytes(t, remote)
+	h, ok := s2.ResolveTrace(remote.Digest())
+	if !ok || h.Digest != remote.Digest() {
+		t.Fatalf("peer-held digest did not resolve: %+v ok=%v", h, ok)
+	}
+	if peer.calls.Load() != 2 {
+		t.Fatalf("peer fetch consulted the peer %d times, want 2", peer.calls.Load())
+	}
+	if st := s2.Stats(); st.TracePeerFetches != 1 {
+		t.Fatalf("TracePeerFetches = %d, want 1", st.TracePeerFetches)
+	}
+	if _, ok := s2.ResolveTrace(remote.Digest()); !ok {
+		t.Fatal("fetched trace did not resolve locally")
+	}
+	if peer.calls.Load() != 2 {
+		t.Fatal("second lookup of a fetched trace went back to the peer")
+	}
+	if !s2.HasTrace(remote.Digest()) {
+		t.Fatal("fetched trace not visible to HasTrace")
+	}
+}
+
+// TestResolveTraceRejectsCorruptPeerBody: a peer that serves a valid
+// container for the *wrong* digest (or garbage) must be rejected, and
+// the rejected body must not be cached under the requested digest —
+// the next lookup asks again.
+func TestResolveTraceRejectsCorruptPeerBody(t *testing.T) {
+	wanted := recordTestTrace(t, "compress", 3000)
+	other := recordTestTrace(t, "li", 3000)
+	for name, body := range map[string][]byte{
+		"wrong-content": traceBytes(t, other),
+		"garbage":       []byte("not a trace container at all"),
+	} {
+		t.Run(name, func(t *testing.T) {
+			for _, withDisk := range []bool{true, false} {
+				dir := ""
+				if withDisk {
+					dir = t.TempDir()
+				}
+				peer := &fakePeerFetch{blobs: map[string][]byte{wanted.Digest(): body}}
+				s := New(Options{Workers: 1, TraceDir: dir, PeerFetch: peer.fetch})
+				if _, ok := s.ResolveTrace(wanted.Digest()); ok {
+					t.Fatalf("withDisk=%v: corrupt peer body resolved the digest", withDisk)
+				}
+				if !s.HasTrace(wanted.Digest()) {
+					// Expected: the digest must NOT be locally resolvable...
+				} else {
+					t.Fatalf("withDisk=%v: rejected body was cached under the requested digest", withDisk)
+				}
+				if _, ok := s.ResolveTrace(wanted.Digest()); ok {
+					t.Fatalf("withDisk=%v: second lookup resolved", withDisk)
+				}
+				if got := peer.calls.Load(); got != 2 {
+					t.Fatalf("withDisk=%v: peer consulted %d times, want 2 (rejects are not cached)", withDisk, got)
+				}
+				st := s.Stats()
+				if st.TracePeerRejects != 2 || st.TracePeerFetches != 0 {
+					t.Fatalf("withDisk=%v: stats %+v, want 2 rejects and 0 fetches", withDisk, st)
+				}
+				s.Close()
+			}
+		})
+	}
+}
+
+// TestTraceRehydrationSkipsJunk: truncated and foreign files in the
+// trace dir must be skipped at startup, not crash it or mask the
+// valid traces beside them.
+func TestTraceRehydrationSkipsJunk(t *testing.T) {
+	dir := t.TempDir()
+	tr := recordTestTrace(t, "compress", 3000)
+	good := filepath.Join(dir, tracefile.DigestFileName(tr.Digest()))
+	if err := tr.Save(good); err != nil {
+		t.Fatal(err)
+	}
+	// A foreign file with the store's extension, a truncated container,
+	// and a valid container under the wrong digest name.
+	if err := os.WriteFile(filepath.Join(dir, "sha256-junk.trc"), []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "sha256-trunc.trc"), full[:10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	misnamed := filepath.Join(dir, tracefile.DigestFileName("sha256-0000000000000000000000000000000000000000000000000000000000000000"))
+	if err := os.WriteFile(misnamed, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(Options{Workers: 1, TraceDir: dir})
+	defer s.Close()
+	if st := s.Stats(); st.TraceDisk != 1 {
+		t.Fatalf("TraceDisk = %d, want 1 (junk skipped, good kept)", st.TraceDisk)
+	}
+	if _, ok := s.ResolveTrace(tr.Digest()); !ok {
+		t.Fatal("valid trace beside junk did not rehydrate")
+	}
+}
+
+// TestResultCachePersistsAcrossRestart: a keyed result computed once
+// must survive a Service restart on the same ResultDir and answer the
+// identical job from disk — byte-identically, without re-running.
+func TestResultCachePersistsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	w, ok := workload.ByName("compress")
+	if !ok {
+		t.Fatal("workload compress missing")
+	}
+	prog, err := w.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := ProgSource("test-src", prog)
+	params := StudyParams{Budget: 5000, Window: 256}
+
+	s := New(Options{Workers: 2, ResultDir: dir})
+	cold, err := s.Submit(context.Background(), []Job{StudyJob("cold", src, params)}, 0).Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.ResultDiskWrites != 1 || st.ResultsOnDisk != 1 {
+		t.Fatalf("stats after cold run %+v, want one persisted result", st)
+	}
+	s.Close()
+
+	s2 := New(Options{Workers: 2, ResultDir: dir})
+	defer s2.Close()
+	if st := s2.Stats(); st.ResultsOnDisk != 1 {
+		t.Fatalf("restart rehydrated %d results, want 1", st.ResultsOnDisk)
+	}
+	warm, err := s2.Submit(context.Background(), []Job{StudyJob("warm", src, params)}, 0).Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm[0].Cached {
+		t.Fatal("restarted service re-ran a persisted job")
+	}
+	st := s2.Stats()
+	if st.ResultDiskHits != 1 || st.Ran != 0 {
+		t.Fatalf("stats after warm run %+v, want one disk hit and no runs", st)
+	}
+	coldJSON, err := json.Marshal(cold[0].Value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmJSON, err := json.Marshal(warm[0].Value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(coldJSON, warmJSON) {
+		t.Fatalf("persisted result differs:\ncold %s\nwarm %s", coldJSON, warmJSON)
+	}
+}
+
+// TestResultRehydrationSkipsJunk: junk .res files must be logged and
+// skipped at startup, and untyped results must stay memory-only.
+func TestResultRehydrationSkipsJunk(t *testing.T) {
+	dir := t.TempDir()
+
+	// Persist one real result to sit beside the junk.
+	w, _ := workload.ByName("compress")
+	prog, err := w.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Options{Workers: 1, ResultDir: dir})
+	if _, err := s.Submit(context.Background(),
+		[]Job{StudyJob("j", ProgSource("k", prog), StudyParams{Budget: 2000})}, 0).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// An untyped keyed result must not be persisted.
+	if _, err := s.Submit(context.Background(),
+		[]Job{{ID: "u", Key: "custom|key", Run: func(context.Context) (any, error) { return 42, nil }}}, 0).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.ResultDiskWrites != 1 {
+		t.Fatalf("ResultDiskWrites = %d, want 1 (untyped result persisted?)", st.ResultDiskWrites)
+	}
+	s.Close()
+
+	junk := map[string]string{
+		"short.res":   "{",
+		"foreign.res": `{"v":99,"key":"x","kind":"study","value":{}}`,
+		"badval.res":  `{"v":1,"key":"x","kind":"study","value":"not an object"}`,
+		"renamed.res": `{"v":1,"key":"some-key","kind":"vp","value":{}}`, // name ≠ sha256(key)
+	}
+	for name, body := range junk {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2 := New(Options{Workers: 1, ResultDir: dir})
+	defer s2.Close()
+	if st := s2.Stats(); st.ResultsOnDisk != 1 {
+		t.Fatalf("rehydrated %d results, want 1 (junk must be skipped)", st.ResultsOnDisk)
+	}
+}

@@ -1,0 +1,214 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/tracereuse/tlr/internal/core"
+	"github.com/tracereuse/tlr/internal/pipeline"
+	"github.com/tracereuse/tlr/internal/rtm"
+)
+
+// resultDisk is the persistent tier of the result cache: one JSON
+// envelope file per cache key, named by the key's sha256 (keys embed
+// user-controlled material like workload names, so they cannot be
+// file names themselves).  Files install via temp+rename, the same
+// crash-safe pattern the trace store's disk tier uses, and the
+// directory is re-indexed at startup so a restarted node answers
+// warm-cache requests without re-simulating.
+//
+// Only the membership index lives in memory (guarded by Service.mu —
+// has/markKnown/drop require it held, len too); values are re-read
+// and decoded on each disk hit, then re-admitted to the memory LRU by
+// the caller.  All file I/O (load, save, rehydrate) runs without the
+// lock.
+type resultDisk struct {
+	dir   string
+	known map[string]bool
+}
+
+// resultEnvelope is the on-disk format.  Value stays raw until the
+// Kind-directed decode; additive changes only, guarded by V.
+type resultEnvelope struct {
+	V     int             `json:"v"`
+	Key   string          `json:"key"`
+	Kind  string          `json:"kind"`
+	Value json.RawMessage `json:"value"`
+}
+
+const resultEnvelopeVersion = 1
+
+func newResultDisk(dir string) *resultDisk {
+	return &resultDisk{dir: dir, known: make(map[string]bool)}
+}
+
+func (d *resultDisk) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(d.dir, fmt.Sprintf("%x.res", sum))
+}
+
+// rehydrate indexes the directory's valid result files.  Runs before
+// the Service is shared, so no locking.  Truncated, foreign, or
+// renamed files are logged and skipped — a junk file left in the data
+// dir must never prevent startup.
+func (d *resultDisk) rehydrate() {
+	ents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return
+	}
+	for _, ent := range ents {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".res") {
+			continue
+		}
+		path := filepath.Join(d.dir, ent.Name())
+		env, err := readEnvelope(path)
+		if err != nil {
+			log.Printf("service: result cache: skipping %s: %v", path, err)
+			continue
+		}
+		// Eagerly decode the value so a half-written file surfaces now,
+		// not as a failed warm hit later; only the key is kept resident.
+		if _, err := decodeResultValue(env.Kind, env.Value); err != nil {
+			log.Printf("service: result cache: skipping %s: %v", path, err)
+			continue
+		}
+		d.known[env.Key] = true
+	}
+}
+
+func readEnvelope(path string) (resultEnvelope, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return resultEnvelope{}, err
+	}
+	var env resultEnvelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return resultEnvelope{}, fmt.Errorf("invalid envelope: %w", err)
+	}
+	if env.V != resultEnvelopeVersion {
+		return resultEnvelope{}, fmt.Errorf("unsupported envelope version %d", env.V)
+	}
+	if env.Key == "" {
+		return resultEnvelope{}, fmt.Errorf("envelope has no key")
+	}
+	sum := sha256.Sum256([]byte(env.Key))
+	if want := fmt.Sprintf("%x.res", sum); filepath.Base(path) != want {
+		return resultEnvelope{}, fmt.Errorf("file name does not match its key (want %s)", want)
+	}
+	return env, nil
+}
+
+// resultKind names a persistable result value.  Only the four typed
+// job results round-trip: the Service accepts arbitrary values from
+// arbitrary jobs, and an unknown type simply stays memory-only.
+func resultKind(v any) (string, bool) {
+	switch v.(type) {
+	case StudyOutput:
+		return "study", true
+	case rtm.Result:
+		return "rtm", true
+	case pipeline.Result:
+		return "pipeline", true
+	case core.VPResult:
+		return "vp", true
+	}
+	return "", false
+}
+
+func decodeResultValue(kind string, raw json.RawMessage) (any, error) {
+	switch kind {
+	case "study":
+		var v StudyOutput
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case "rtm":
+		var v rtm.Result
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case "pipeline":
+		var v pipeline.Result
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case "vp":
+		var v core.VPResult
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return nil, err
+		}
+		return v, nil
+	}
+	return nil, fmt.Errorf("unknown result kind %q", kind)
+}
+
+// save persists one result via temp+rename.  ok is false for value
+// types the cache does not persist; err reports I/O failures, which
+// leave the result memory-only rather than failing the job.
+func (d *resultDisk) save(key string, v any) (ok bool, err error) {
+	kind, ok := resultKind(v)
+	if !ok {
+		return false, nil
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return true, err
+	}
+	b, err := json.Marshal(resultEnvelope{V: resultEnvelopeVersion, Key: key, Kind: kind, Value: raw})
+	if err != nil {
+		return true, err
+	}
+	path := d.path(key)
+	tmp, err := os.CreateTemp(d.dir, ".res-*")
+	if err != nil {
+		return true, err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return true, err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return true, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return true, err
+	}
+	return true, nil
+}
+
+// load reads and decodes one persisted result.
+func (d *resultDisk) load(key string) (any, error) {
+	env, err := readEnvelope(d.path(key))
+	if err != nil {
+		return nil, err
+	}
+	if env.Key != key {
+		// A sha256 collision between cache keys; treat as absent.
+		return nil, fmt.Errorf("envelope key mismatch")
+	}
+	return decodeResultValue(env.Kind, env.Value)
+}
+
+// The remaining methods touch only the membership index and require
+// Service.mu held.
+
+func (d *resultDisk) has(key string) bool { return d.known[key] }
+
+func (d *resultDisk) markKnown(key string) { d.known[key] = true }
+
+// drop forgets a key whose file failed to load (corrupted or deleted
+// out-of-band); the file, if any, is left for post-mortem.
+func (d *resultDisk) drop(key string) { delete(d.known, key) }
+
+func (d *resultDisk) len() int { return len(d.known) }

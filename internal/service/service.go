@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -68,6 +69,19 @@ type Options struct {
 	// (promoting small files back into memory, streaming large ones in
 	// O(batch) memory).  The directory must exist and be writable.
 	TraceDir string
+	// ResultDir, when non-empty, enables the persistent result cache:
+	// keyed job results are written through to envelope files (one per
+	// cache key, temp+rename) and re-indexed at startup, so a restarted
+	// service answers warm-cache requests without re-simulating.  The
+	// directory must exist and be writable.
+	ResultDir string
+	// PeerFetch, when non-nil, extends trace resolution past the local
+	// tiers: on a local miss, ResolveTrace asks it for the digest's
+	// container stream (any version).  The contract is (nil, nil) when
+	// no peer holds the digest; a returned stream is validated and
+	// digest-checked before it is cached locally, so PeerFetch may be
+	// wired to untrusted transports.
+	PeerFetch func(digest string) (io.ReadCloser, error)
 }
 
 // Stats counts service traffic.
@@ -88,6 +102,13 @@ type Stats struct {
 	TraceDiskBytes int64  // file bytes held by the disk tier
 	TraceSpills    uint64 // traces written through to the disk tier
 	TracePromotes  uint64 // disk hits decoded back into the memory tier
+
+	TracePeerFetches uint64 // traces pulled from peers into the local store
+	TracePeerRejects uint64 // peer trace bodies rejected (invalid or wrong digest)
+
+	ResultsOnDisk    int    // results in the persistent result cache
+	ResultDiskHits   uint64 // jobs answered from the persistent result cache
+	ResultDiskWrites uint64 // results written through to the persistent cache
 }
 
 // Job is one unit of work.
@@ -125,12 +146,15 @@ type Service struct {
 	done    chan struct{}
 	wg      sync.WaitGroup
 
-	mu       sync.Mutex
-	programs *lru
-	results  *lru
-	traces   *traceStore
-	inflight map[string]*flight
-	stats    Stats
+	peerFetch func(digest string) (io.ReadCloser, error)
+
+	mu         sync.Mutex
+	programs   *lru
+	results    *lru
+	traces     *traceStore
+	resultDisk *resultDisk // nil: no persistent result cache
+	inflight   map[string]*flight
+	stats      Stats
 
 	closeOnce sync.Once
 }
@@ -215,16 +239,21 @@ func New(opt Options) *Service {
 		opt.TraceCacheBytes = 64 << 20
 	}
 	s := &Service{
-		workers:  opt.Workers,
-		jobs:     make(chan task),
-		done:     make(chan struct{}),
-		programs: newLRU(opt.ProgramCache),
-		results:  newLRU(opt.ResultCache),
-		traces:   newTraceStore(opt.TraceCacheBytes, opt.TraceDir),
-		inflight: make(map[string]*flight),
+		workers:   opt.Workers,
+		jobs:      make(chan task),
+		done:      make(chan struct{}),
+		peerFetch: opt.PeerFetch,
+		programs:  newLRU(opt.ProgramCache),
+		results:   newLRU(opt.ResultCache),
+		traces:    newTraceStore(opt.TraceCacheBytes, opt.TraceDir),
+		inflight:  make(map[string]*flight),
 	}
 	if opt.TraceDir != "" {
 		s.rehydrateTraceDir(opt.TraceDir)
+	}
+	if opt.ResultDir != "" {
+		s.resultDisk = newResultDisk(opt.ResultDir)
+		s.resultDisk.rehydrate()
 	}
 	s.wg.Add(opt.Workers)
 	for i := 0; i < opt.Workers; i++ {
@@ -270,6 +299,9 @@ func (s *Service) Stats() Stats {
 	st.TraceDiskBytes = s.traces.diskBytes
 	st.TraceSpills = s.traces.spills
 	st.TracePromotes = s.traces.promotes
+	if s.resultDisk != nil {
+		st.ResultsOnDisk = s.resultDisk.len()
+	}
 	return st
 }
 
@@ -368,8 +400,9 @@ func (s *Service) traceDir() string { return s.traces.dir }
 // directory (a restarted server) serves its traces without re-upload.
 // Runs before the Service is shared, so no locking; files that fail to
 // probe, or whose name does not match their declared digest, are
-// skipped (they 404, exactly as they would have before rehydration
-// existed).
+// logged and skipped (they 404, exactly as they would have before
+// rehydration existed) — junk in the data dir must never prevent
+// startup.
 func (s *Service) rehydrateTraceDir(dir string) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -381,11 +414,17 @@ func (s *Service) rehydrateTraceDir(dir string) {
 		}
 		path := filepath.Join(dir, ent.Name())
 		info, err := tracefile.ProbeFile(path)
-		if err != nil || tracefile.DigestFileName(info.Digest) != ent.Name() {
+		if err != nil {
+			log.Printf("service: trace store: skipping %s: %v", path, err)
+			continue
+		}
+		if tracefile.DigestFileName(info.Digest) != ent.Name() {
+			log.Printf("service: trace store: skipping %s: file name does not match its digest %s", path, info.Digest)
 			continue
 		}
 		fi, err := ent.Info()
 		if err != nil {
+			log.Printf("service: trace store: skipping %s: %v", path, err)
 			continue
 		}
 		s.traces.addDisk(info.Digest, diskEntry{
@@ -410,12 +449,33 @@ type TraceHandle struct {
 func (h TraceHandle) Open() (trace.Stream, error) { return h.open() }
 
 // ResolveTrace looks a digest up in the trace store, falling through
-// memory → disk.  A memory hit (and a small disk hit, which is decoded
-// back into the memory tier — a promotion) serves O(1)-seekable cursors
-// over the in-memory trace; a large disk hit serves incrementally
-// decoded file streams, so replay memory stays O(batch) however long
-// the trace is.
+// memory → disk → peers (when Options.PeerFetch is wired) → miss.  A
+// memory hit (and a small disk hit, which is decoded back into the
+// memory tier — a promotion) serves O(1)-seekable cursors over the
+// in-memory trace; a large disk hit serves incrementally decoded file
+// streams, so replay memory stays O(batch) however long the trace is.
+// A peer hit streams the fetched container into the local store (disk
+// tier when configured — never fully buffered — else memory) and then
+// resolves locally, so the next lookup is a local hit.
 func (s *Service) ResolveTrace(digest string) (TraceHandle, bool) {
+	if h, ok := s.resolveLocal(digest); ok {
+		return h, true
+	}
+	if s.peerFetch != nil {
+		if h, ok := s.fetchFromPeer(digest); ok {
+			return h, true
+		}
+	}
+	s.mu.Lock()
+	s.stats.TraceMisses++
+	s.mu.Unlock()
+	return TraceHandle{}, false
+}
+
+// resolveLocal is ResolveTrace's memory → disk leg.  Hits count
+// TraceHits; a miss counts nothing (the caller decides whether it is
+// final).
+func (s *Service) resolveLocal(digest string) (TraceHandle, bool) {
 	s.mu.Lock()
 	if t, ok := s.traces.get(digest); ok {
 		s.stats.TraceHits++
@@ -424,7 +484,6 @@ func (s *Service) ResolveTrace(digest string) (TraceHandle, bool) {
 	}
 	ent, onDisk := s.traces.getDisk(digest)
 	if !onDisk {
-		s.stats.TraceMisses++
 		s.mu.Unlock()
 		return TraceHandle{}, false
 	}
@@ -453,6 +512,90 @@ func (s *Service) ResolveTrace(digest string) (TraceHandle, bool) {
 			return tracefile.OpenFileStream(ent.path)
 		},
 	}, true
+}
+
+// fetchFromPeer is ResolveTrace's peer leg: pull the digest's
+// container from whichever peer holds it, validate every byte (the
+// spool re-digests the content), and install it locally.  A body whose
+// content digests to something else is rejected and never indexed
+// under the requested digest — a misbehaving peer cannot poison the
+// local store.
+func (s *Service) fetchFromPeer(digest string) (TraceHandle, bool) {
+	body, err := s.peerFetch(digest)
+	if err != nil {
+		log.Printf("service: peer fetch %s: %v", digest, err)
+		return TraceHandle{}, false
+	}
+	if body == nil {
+		return TraceHandle{}, false
+	}
+	defer body.Close()
+
+	dir := s.traceDir()
+	if dir == "" {
+		t, err := tracefile.Load(body)
+		if err != nil || t.Digest() != digest {
+			s.rejectPeerBody(digest, err)
+			return TraceHandle{}, false
+		}
+		s.mu.Lock()
+		s.stats.TracePeerFetches++
+		s.stats.TraceHits++
+		s.traces.add(t)
+		s.mu.Unlock()
+		return memHandle(digest, t), true
+	}
+
+	sp, err := tracefile.SpoolToDir(body, dir)
+	if err != nil {
+		s.rejectPeerBody(digest, err)
+		return TraceHandle{}, false
+	}
+	if sp.Digest != digest {
+		// A valid container for some other digest: the spool installed it
+		// under its true name (possibly a trace we legitimately hold), but
+		// it must never resolve the digest that was asked for.
+		s.rejectPeerBody(digest, fmt.Errorf("peer served digest %s", sp.Digest))
+		return TraceHandle{}, false
+	}
+	ent := diskEntry{
+		path:           sp.Path,
+		records:        sp.Records,
+		fileBytes:      sp.FileBytes,
+		canonicalBytes: sp.CanonicalBytes,
+	}
+	s.mu.Lock()
+	_, existed := s.traces.getDisk(sp.Digest)
+	s.traces.addDisk(sp.Digest, ent, !existed)
+	s.stats.TracePeerFetches++
+	s.mu.Unlock()
+	// Resolve through the normal local path so small fetches promote to
+	// memory and large ones stream, exactly like a restart-rehydrated
+	// file would.
+	return s.resolveLocal(digest)
+}
+
+func (s *Service) rejectPeerBody(digest string, err error) {
+	s.mu.Lock()
+	s.stats.TracePeerRejects++
+	s.mu.Unlock()
+	if err == nil {
+		err = errors.New("content digest mismatch")
+	}
+	log.Printf("service: peer fetch %s: rejected body: %v", digest, err)
+}
+
+// HasTrace reports whether the digest resolves from the local tiers
+// alone — no peer traffic, no hit/miss accounting.  Routing layers use
+// it to decide whether a digest-referenced request needs forwarding.
+func (s *Service) HasTrace(digest string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.traces.get(digest); ok {
+		return true
+	}
+	_, ok := s.traces.getDisk(digest)
+	return ok
 }
 
 func memHandle(digest string, t *tracefile.Trace) TraceHandle {
@@ -661,24 +804,46 @@ func (s *Service) runTask(t task) {
 		return
 	}
 	s.mu.Lock()
-	if v, ok := s.results.get(key); ok {
-		s.stats.CacheHits++
+	for {
+		if v, ok := s.results.get(key); ok {
+			s.stats.CacheHits++
+			s.mu.Unlock()
+			s.finish(t, v, nil, true)
+			return
+		}
+		if f, ok := s.inflight[key]; ok {
+			// Interest must be registered in the same critical section that
+			// joins the flight: attached outside it, the previous holder's
+			// cancellation could drop the count to zero and abort the run
+			// before this live batch is counted.
+			f.waiters = append(f.waiters, t)
+			s.stats.Coalesced++
+			f.attach(t.batch)
+			s.mu.Unlock()
+			// The waiter's batch slot is released by whoever completes the
+			// flight; nothing more to do here.
+			return
+		}
+		if s.resultDisk == nil || !s.resultDisk.has(key) {
+			break
+		}
+		// The persistent tier has this key: load it outside the lock and
+		// re-admit it to the memory LRU.  A file that no longer loads
+		// drops out of the index and the loop re-checks the volatile
+		// tiers (both may have changed while the lock was released).
 		s.mu.Unlock()
-		s.finish(t, v, nil, true)
-		return
-	}
-	if f, ok := s.inflight[key]; ok {
-		// Interest must be registered in the same critical section that
-		// joins the flight: attached outside it, the previous holder's
-		// cancellation could drop the count to zero and abort the run
-		// before this live batch is counted.
-		f.waiters = append(f.waiters, t)
-		s.stats.Coalesced++
-		f.attach(t.batch)
-		s.mu.Unlock()
-		// The waiter's batch slot is released by whoever completes the
-		// flight; nothing more to do here.
-		return
+		v, err := s.resultDisk.load(key)
+		s.mu.Lock()
+		if err == nil {
+			s.results.add(key, v)
+			s.stats.CacheHits++
+			s.stats.ResultDiskHits++
+			s.mu.Unlock()
+			s.finish(t, v, nil, true)
+			return
+		}
+		log.Printf("service: result cache: dropping %s: %v", key, err)
+		s.resultDisk.drop(key)
 	}
 	f := newFlight()
 	f.attach(t.batch)
@@ -692,12 +857,29 @@ func (s *Service) runTask(t task) {
 
 	s.mu.Lock()
 	delete(s.inflight, key)
+	persist := false
 	if err == nil {
 		s.results.add(key, v)
+		persist = s.resultDisk != nil && !s.resultDisk.has(key)
 	}
 	waiters := f.waiters
 	s.mu.Unlock()
 	f.release()
+
+	if persist {
+		// Write-through to the persistent tier, outside the lock (file
+		// I/O) and after the flight is released (waiters need not wait on
+		// the disk).  Only the flight owner reaches here, so no two
+		// goroutines write the same key concurrently.
+		if ok, werr := s.resultDisk.save(key, v); werr != nil {
+			log.Printf("service: result cache: persisting %s: %v", key, werr)
+		} else if ok {
+			s.mu.Lock()
+			s.resultDisk.markKnown(key)
+			s.stats.ResultDiskWrites++
+			s.mu.Unlock()
+		}
+	}
 
 	s.finish(t, v, err, false)
 	for _, w := range waiters {

@@ -132,7 +132,14 @@ type Result struct {
 	// coalesced onto an identical in-flight simulation) rather than a
 	// fresh simulation.
 	Cached bool
-	Err    error
+	// Node, when set by a clustered cmd/tlrserve, names the node (its
+	// base URL) that produced the result.
+	Node string
+	// Forwarded reports that a clustered server routed the request to
+	// the node holding its referenced trace instead of running it
+	// locally; Node then names the executing peer.
+	Forwarded bool
+	Err       error
 }
 
 // Run executes one request on the shared default Batcher.  The context

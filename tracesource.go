@@ -375,6 +375,17 @@ func (s *readerSource) openStream(b *Batcher) (trace.Stream, error) {
 // wire without the trace bytes.
 func TraceRef(digest string) TraceSource { return refSource(digest) }
 
+// TraceRefDigest returns the digest a TraceRef source addresses, or ""
+// for any other TraceSource.  Routing layers (cmd/tlrserve's cluster
+// forwarding) use it to decide where a digest-referenced request
+// should execute without resolving the reference.
+func TraceRefDigest(src TraceSource) string {
+	if ref, ok := src.(refSource); ok {
+		return string(ref)
+	}
+	return ""
+}
+
 type refSource string
 
 func (r refSource) resolve(b *Batcher) (service.TraceHandle, error) {
@@ -763,6 +774,12 @@ type TraceInfo = service.TraceInfo
 // Traces lists the Batcher's stored traces: the memory tier most
 // recently used first, then disk-only traces.
 func (b *Batcher) Traces() []TraceInfo { return b.svc.Traces() }
+
+// HasTrace reports whether the digest resolves from the Batcher's
+// local store tiers alone — it never triggers a peer fetch and counts
+// no hit/miss statistics, so routing layers can probe placement
+// cheaply before deciding to forward or pull.
+func (b *Batcher) HasTrace(digest string) bool { return b.svc.HasTrace(digest) }
 
 // TraceByDigest returns the stored trace for a content digest, or
 // false if the store does not hold it (never stored, or evicted from

@@ -111,16 +111,18 @@ type requestJSON struct {
 }
 
 type resultJSON struct {
-	V      int             `json:"v,omitempty"`
-	Index  int             `json:"index"`
-	ID     string          `json:"id"`
-	Kind   string          `json:"kind,omitempty"`
-	Cached bool            `json:"cached,omitempty"`
-	Study  *StudyResult    `json:"study,omitempty"`
-	RTM    *RTMResult      `json:"rtm,omitempty"`
-	Pipe   *PipelineResult `json:"pipeline,omitempty"`
-	VP     *VPResult       `json:"vp,omitempty"`
-	Error  string          `json:"error,omitempty"`
+	V         int             `json:"v,omitempty"`
+	Index     int             `json:"index"`
+	ID        string          `json:"id"`
+	Kind      string          `json:"kind,omitempty"`
+	Cached    bool            `json:"cached,omitempty"`
+	Node      string          `json:"node,omitempty"`
+	Forwarded bool            `json:"forwarded,omitempty"`
+	Study     *StudyResult    `json:"study,omitempty"`
+	RTM       *RTMResult      `json:"rtm,omitempty"`
+	Pipe      *PipelineResult `json:"pipeline,omitempty"`
+	VP        *VPResult       `json:"vp,omitempty"`
+	Error     string          `json:"error,omitempty"`
 }
 
 // HeuristicName returns the wire spelling of a collection heuristic
@@ -371,15 +373,17 @@ func (r *Request) UnmarshalJSON(data []byte) error {
 // becomes an "error" string.
 func (r Result) MarshalJSON() ([]byte, error) {
 	j := resultJSON{
-		V:      WireVersion,
-		Index:  r.Index,
-		ID:     r.ID,
-		Kind:   string(r.Kind),
-		Cached: r.Cached,
-		Study:  r.Study,
-		RTM:    r.RTM,
-		Pipe:   r.Pipeline,
-		VP:     r.VP,
+		V:         WireVersion,
+		Index:     r.Index,
+		ID:        r.ID,
+		Kind:      string(r.Kind),
+		Cached:    r.Cached,
+		Node:      r.Node,
+		Forwarded: r.Forwarded,
+		Study:     r.Study,
+		RTM:       r.RTM,
+		Pipe:      r.Pipeline,
+		VP:        r.VP,
 	}
 	if r.Err != nil {
 		j.Error = r.Err.Error()
@@ -398,14 +402,16 @@ func (r *Result) UnmarshalJSON(data []byte) error {
 		return err
 	}
 	*r = Result{
-		Index:    j.Index,
-		ID:       j.ID,
-		Kind:     Kind(j.Kind),
-		Cached:   j.Cached,
-		Study:    j.Study,
-		RTM:      j.RTM,
-		Pipeline: j.Pipe,
-		VP:       j.VP,
+		Index:     j.Index,
+		ID:        j.ID,
+		Kind:      Kind(j.Kind),
+		Cached:    j.Cached,
+		Node:      j.Node,
+		Forwarded: j.Forwarded,
+		Study:     j.Study,
+		RTM:       j.RTM,
+		Pipeline:  j.Pipe,
+		VP:        j.VP,
 	}
 	if j.Error != "" {
 		r.Err = errors.New(j.Error)
