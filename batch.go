@@ -106,6 +106,12 @@ type BatchStats struct {
 	ResultsOnDisk    int    // results in the persistent result cache
 	ResultDiskHits   uint64 // requests answered from the persistent result cache
 	ResultDiskWrites uint64 // results written through to the persistent cache
+
+	AnalyzeRuns     uint64 // reuse-distance analyses actually computed
+	AnalyzeHits     uint64 // analyses answered from cache (or coalesced)
+	IngestedTraces  uint64 // foreign traces ingested into the store
+	IngestedRecords uint64 // canonical records those ingests produced
+	IngestRejects   uint64 // malformed foreign lines dropped (lenient mode)
 }
 
 // BatchOptions sizes a Batcher.
@@ -190,6 +196,12 @@ func (b *Batcher) Stats() BatchStats {
 		ResultsOnDisk:    st.ResultsOnDisk,
 		ResultDiskHits:   st.ResultDiskHits,
 		ResultDiskWrites: st.ResultDiskWrites,
+
+		AnalyzeRuns:     st.AnalyzeRuns,
+		AnalyzeHits:     st.AnalyzeHits,
+		IngestedTraces:  st.IngestedTraces,
+		IngestedRecords: st.IngestedRecords,
+		IngestRejects:   st.IngestRejects,
 	}
 }
 

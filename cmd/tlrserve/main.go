@@ -63,6 +63,19 @@
 // cmd/tlrtrace pull), so a recording made and uploaded on one host can
 // be fetched and inspected on another.
 //
+// # Foreign traces and reuse-distance analytics
+//
+// POST /v1/ingest converts a foreign trace file — a CSV address trace
+// or the "PC op" text format, gzip-transparent — into a canonical trace
+// in the store (see the handler comment for the layout query
+// parameters) and answers {"digest", "records", "lines", "rejected"}.
+// POST /v1/analyze runs the reuse-distance analysis — exact binned LRU
+// stack distances per operand-location class — over any stream input;
+// the "analyze" configuration is implied, so a body of
+// {"trace": {"digest": "sha256:…"}} analyses a stored trace over its
+// whole length.  Analyses are cached and digest-routed like every other
+// request kind.
+//
 // # Shared RTM
 //
 // POST /v1/rtm/insert stores a trace summary in the server-wide sharded
@@ -106,6 +119,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -271,8 +285,10 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
+	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	mux.HandleFunc("GET /v1/traces", s.handleTraceList)
 	mux.HandleFunc("GET /v1/traces/{digest}", s.handleTraceDownload)
 	mux.HandleFunc("POST /v1/rtm/insert", s.handleRTMInsert)
@@ -387,6 +403,84 @@ func (s *server) handleTraceDownload(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleIngest converts an uploaded foreign trace — a CSV address trace
+// or the "PC op" text format, optionally gzip-compressed — into a
+// canonical trace in the store, the foreign twin of POST /v1/traces.
+// The format is selected by query parameters:
+//
+//	POST /v1/ingest?format=csv&addr-col=0&op-col=1   (CSV layout)
+//	POST /v1/ingest?format=pc                        (PC-op text)
+//
+// CSV knobs: addr-col (default 0), op-col, pc-col (-1 = absent, the
+// default), comma (single character), header=1, addr-base (0/10/16).
+// lenient=1 skips malformed lines instead of failing; the response
+// reports {"digest", "records", "lines", "rejected"}.  The converted
+// trace is digest-addressed and replicates across a cluster exactly
+// like an uploaded one.
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	intParam := func(name string, def int) (int, error) {
+		v := q.Get(name)
+		if v == "" {
+			return def, nil
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return 0, fmt.Errorf("bad %s: %q is not an integer", name, v)
+		}
+		return n, nil
+	}
+	var format tlr.IngestFormat
+	switch q.Get("format") {
+	case "", "csv":
+		csv := &tlr.CSVFormat{}
+		var err error
+		if csv.AddrCol, err = intParam("addr-col", 0); err == nil {
+			if csv.OpCol, err = intParam("op-col", -1); err == nil {
+				if csv.PCCol, err = intParam("pc-col", -1); err == nil {
+					csv.AddrBase, err = intParam("addr-base", 0)
+				}
+			}
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if c := q.Get("comma"); c != "" {
+			runes := []rune(c)
+			if len(runes) != 1 {
+				http.Error(w, fmt.Sprintf("bad comma: %q is not a single character", c), http.StatusBadRequest)
+				return
+			}
+			csv.Comma = runes[0]
+		}
+		csv.Header = q.Get("header") == "1" || q.Get("header") == "true"
+		format.CSV = csv
+	case "pc", "pctext":
+		format.PCText = &tlr.PCTextFormat{}
+	default:
+		http.Error(w, fmt.Sprintf("unknown ingest format %q (want csv or pc)", q.Get("format")), http.StatusBadRequest)
+		return
+	}
+	lenient := q.Get("lenient") == "1" || q.Get("lenient") == "true"
+
+	body := http.MaxBytesReader(w, r.Body, s.maxTraceBytes)
+	digest, st, err := s.batcher.IngestTrace(body, format, tlr.IngestOptions{Lenient: lenient})
+	if err != nil {
+		http.Error(w, "bad foreign trace: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if s.fabric != nil && r.Header.Get(cluster.HeaderReplication) == "" {
+		s.fabric.Replicate(digest)
+	}
+	writeJSON(w, map[string]any{
+		"digest":   digest,
+		"records":  st.Records,
+		"lines":    st.Lines,
+		"rejected": st.Rejected,
+	})
+}
+
 // --- run and batch APIs ---
 
 // maxRequestBytes bounds run/batch request bodies.  A request may carry
@@ -411,6 +505,33 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	s.serveRun(w, r, req)
+}
+
+// handleAnalyze is POST /v1/run specialised to reuse-distance analysis:
+// the "analyze" configuration is implied, so {"trace": {"digest": …}}
+// alone analyses a stored (typically ingested) trace over its whole
+// length.  A request naming a different kind is a 400; everything else
+// — validation, digest routing, caching — matches /v1/run exactly.
+func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req tlr.Request
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxRequestBytes())).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Kind() == "" && req.Analyze == nil {
+		req.Analyze = &tlr.AnalyzeConfig{}
+	}
+	if req.Kind() != tlr.KindAnalyze {
+		http.Error(w, fmt.Sprintf("/v1/analyze only runs analyze requests (got kind %q); use /v1/run", req.Kind()), http.StatusBadRequest)
+		return
+	}
+	s.serveRun(w, r, req)
+}
+
+// serveRun executes one decoded request: forwarded to the node holding
+// its referenced trace when clustered, locally otherwise.
+func (s *server) serveRun(w http.ResponseWriter, r *http.Request, req tlr.Request) {
 	if res, ok := s.forwardRun(r, req); ok {
 		writeJSON(w, res)
 		return
@@ -667,6 +788,13 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"diskEntries": st.ResultsOnDisk,
 			"diskHits":    st.ResultDiskHits,
 			"diskWrites":  st.ResultDiskWrites,
+		},
+		"analytics": map[string]any{
+			"analyzeRuns":     st.AnalyzeRuns,
+			"analyzeHits":     st.AnalyzeHits,
+			"ingestedTraces":  st.IngestedTraces,
+			"ingestedRecords": st.IngestedRecords,
+			"ingestRejects":   st.IngestRejects,
 		},
 		"rtm":            s.shared.Stats(),
 		"rtmStored":      s.shared.Stored(),

@@ -14,6 +14,9 @@
 //	tlrtrace stat compress.trc
 //	tlrtrace digest compress.trc
 //	tlrtrace analyze -window 256 compress.trc
+//	tlrtrace ingest -format csv -addr-col 0 -op-col 1 -o mem.trc mem.csv
+//	tlrtrace hist mem.trc
+//	tlrtrace hist -csv -server http://localhost:8321 sha256:…
 //	tlrtrace concat -o whole.trc win1.trc win2.trc
 //	tlrtrace push -server http://localhost:8321 compress.trc
 //	tlrtrace pull -server http://localhost:8321 -o got.trc sha256:…
@@ -27,6 +30,15 @@
 // run is one POST away:
 //
 //	{"trace": {"digest": "sha256:…"}, "study": {"budget": 100000}}
+//
+// `ingest` converts a foreign trace — a CSV address trace with a
+// configurable column layout, or the "PC op" text listing format,
+// gzip-transparent either way — into a canonical trace file that
+// replays, stores and analyses like any recording.  `hist` prints the
+// reuse-distance histogram table (exact LRU stack distances, binned per
+// operand-location class); its argument is a local trace file, or a
+// sha256: digest analysed remotely through -server so the stored trace
+// never crosses the wire.
 //
 // `concat` stitches several recordings into one file (adjacent
 // windows of one program concatenate to the stream — and digest — a
@@ -46,14 +58,17 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/tracereuse/tlr"
+	"github.com/tracereuse/tlr/internal/analytics"
 	"github.com/tracereuse/tlr/internal/isa"
 	"github.com/tracereuse/tlr/internal/trace"
 	"github.com/tracereuse/tlr/internal/tracefile"
@@ -61,7 +76,7 @@ import (
 
 func main() {
 	if len(os.Args) < 2 {
-		fail(fmt.Errorf("usage: tlrtrace record|dump|stats|stat|digest|analyze|concat|push|pull ..."))
+		usage()
 	}
 	cmd, args := os.Args[1], os.Args[2:]
 	switch cmd {
@@ -77,6 +92,10 @@ func main() {
 		digestCmd(args)
 	case "analyze":
 		analyze(args)
+	case "hist":
+		hist(args)
+	case "ingest":
+		ingestCmd(args)
 	case "concat":
 		concat(args)
 	case "push":
@@ -84,8 +103,32 @@ func main() {
 	case "pull":
 		pull(args)
 	default:
-		fail(fmt.Errorf("unknown subcommand %q", cmd))
+		fmt.Fprintf(os.Stderr, "tlrtrace: unknown subcommand %q\n\n", cmd)
+		usage()
 	}
+}
+
+// usage prints the full subcommand synopsis to stderr and exits
+// non-zero; it answers both a bare `tlrtrace` and an unknown verb.
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: tlrtrace <command> [flags] [args]
+
+commands:
+  record   record a workload or assembly program into a trace file
+  dump     print the first records of a trace file
+  stats    print a trace's instruction-mix statistics
+  stat     print a trace file's encoding statistics
+  digest   print a trace file's content digest
+  analyze  run the trace-driven reuse and value-prediction analyses on a file
+  hist     print a trace's reuse-distance histogram (file, or sha256: digest with -server)
+  ingest   convert a foreign trace (CSV address trace, PC-op text) into a trace file
+  concat   stitch several recordings into one trace file
+  push     upload a trace file to a tlrserve store
+  pull     download a stored trace by digest
+
+run 'tlrtrace <command> -h' for a command's flags.
+`)
+	os.Exit(2)
 }
 
 // concat stitches several recordings into one version-4 trace file:
@@ -324,6 +367,173 @@ func analyze(args []string) {
 	fmt.Printf("  ILR speed-up      %6.2f\n", ri.Speedups[0])
 	fmt.Printf("  TLR speed-up      %6.2f   (avg trace %.1f instr)\n", rt.Speedups[0], rt.Stats.AvgLen())
 	fmt.Printf("  VP  speed-up      %6.2f   (last-value limit)\n", rv.Speedup)
+}
+
+// ingestCmd converts a foreign trace file — a CSV address trace or the
+// "PC op" text format, gzip-transparent — into a canonical trace file,
+// the offline twin of tlrserve's POST /v1/ingest.
+func ingestCmd(args []string) {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	format := fs.String("format", "csv", "foreign format: csv or pc")
+	addrCol := fs.Int("addr-col", 0, "csv: 0-based address column")
+	opCol := fs.Int("op-col", -1, "csv: read/write column (-1 = every row is a read)")
+	pcCol := fs.Int("pc-col", -1, "csv: PC column (-1 = synthesize sequential PCs)")
+	comma := fs.String("comma", ",", "csv: field separator (one character)")
+	header := fs.Bool("header", false, "csv: skip the first non-blank line")
+	addrBase := fs.Int("addr-base", 0, "csv: address radix (0 = auto by 0x prefix, 10, 16)")
+	lenient := fs.Bool("lenient", false, "skip malformed lines (and count them) instead of failing")
+	out := fs.String("o", "", "output trace file (required)")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		fail(fmt.Errorf("ingest: need a foreign trace file (or - for stdin)"))
+	}
+	if *out == "" {
+		fail(fmt.Errorf("ingest: -o required"))
+	}
+
+	var f tlr.IngestFormat
+	switch *format {
+	case "csv":
+		runes := []rune(*comma)
+		if len(runes) != 1 {
+			fail(fmt.Errorf("ingest: -comma %q is not a single character", *comma))
+		}
+		f.CSV = &tlr.CSVFormat{
+			AddrCol:  *addrCol,
+			OpCol:    *opCol,
+			PCCol:    *pcCol,
+			Comma:    runes[0],
+			Header:   *header,
+			AddrBase: *addrBase,
+		}
+	case "pc", "pctext":
+		f.PCText = &tlr.PCTextFormat{}
+	default:
+		fail(fmt.Errorf("ingest: unknown format %q (want csv or pc)", *format))
+	}
+
+	in := os.Stdin
+	if fs.Arg(0) != "-" {
+		var err error
+		if in, err = os.Open(fs.Arg(0)); err != nil {
+			fail(err)
+		}
+		defer in.Close()
+	}
+	t, st, err := tlr.Ingest(in, f, tlr.IngestOptions{Lenient: *lenient})
+	if err != nil {
+		fail(err)
+	}
+	if err := t.Save(*out); err != nil {
+		fail(err)
+	}
+	size := t.Size()
+	if fi, err := os.Stat(*out); err == nil {
+		size = int(fi.Size())
+	}
+	fmt.Printf("ingested %d records from %d lines to %s (%d rejected, %d bytes)\n",
+		st.Records, st.Lines, *out, st.Rejected, size)
+	fmt.Printf("digest %s\n", t.Digest())
+}
+
+// hist prints a trace's reuse-distance histogram table — the binned
+// exact LRU stack distances per operand-location class.  The argument
+// is a local trace file, or a sha256: digest analysed remotely through
+// -server's POST /v1/analyze (the stored trace never leaves the
+// server).
+func hist(args []string) {
+	fs := flag.NewFlagSet("hist", flag.ExitOnError)
+	csvOut := fs.Bool("csv", false, "emit the table as CSV")
+	skip := fs.Uint64("skip", 0, "records to skip before analysing")
+	budget := fs.Uint64("budget", 0, "records to analyse (0 = the whole trace)")
+	server := fs.String("server", "", "tlrserve base URL (required for a sha256: digest argument)")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		fail(fmt.Errorf("hist: need a trace file or a sha256: digest"))
+	}
+	arg := fs.Arg(0)
+
+	var res tlr.Result
+	if strings.HasPrefix(arg, "sha256:") {
+		if *server == "" {
+			fail(fmt.Errorf("hist: a digest argument needs -server"))
+		}
+		req := tlr.Request{Trace: tlr.TraceRef(arg), Analyze: &tlr.AnalyzeConfig{}, Skip: *skip, Budget: *budget}
+		body, err := json.Marshal(req)
+		if err != nil {
+			fail(err)
+		}
+		resp, err := http.Post(*server+"/v1/analyze", "application/json", bytes.NewReader(body))
+		if err != nil {
+			fail(fmt.Errorf("hist: %w", err))
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			fail(fmt.Errorf("hist: %s: %s", resp.Status, msg))
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			fail(err)
+		}
+	} else {
+		t, err := tlr.OpenTrace(arg)
+		if err != nil {
+			fail(err)
+		}
+		res, err = tlr.Run(context.Background(),
+			tlr.Request{Trace: t, Analyze: &tlr.AnalyzeConfig{}, Skip: *skip, Budget: *budget})
+		if err != nil {
+			fail(err)
+		}
+	}
+	if res.Err != nil {
+		fail(res.Err)
+	}
+	if res.Analyze == nil {
+		fail(fmt.Errorf("hist: response carries no analysis"))
+	}
+	writeHist(os.Stdout, res.Analyze, *csvOut)
+}
+
+// writeHist renders the figure table: one row per operand-location
+// class, the exemplar distance bins as columns.
+func writeHist(w io.Writer, a *tlr.AnalyzeResult, asCSV bool) {
+	classes := []struct {
+		name string
+		h    analytics.Hist
+	}{
+		{analytics.ClassLabel(trace.KindIntReg), a.IntReg},
+		{analytics.ClassLabel(trace.KindFPReg), a.FPReg},
+		{analytics.ClassLabel(trace.KindMem), a.Mem},
+	}
+	if asCSV {
+		fmt.Fprint(w, "class,accesses,cold")
+		for i := 0; i < analytics.NumBins; i++ {
+			fmt.Fprintf(w, ",%s", analytics.BinLabel(i))
+		}
+		fmt.Fprintln(w, ",distinct")
+		for _, c := range classes {
+			fmt.Fprintf(w, "%s,%d,%d", c.name, c.h.Accesses, c.h.Cold)
+			for _, b := range c.h.Bins {
+				fmt.Fprintf(w, ",%d", b)
+			}
+			fmt.Fprintf(w, ",%d\n", c.h.Distinct)
+		}
+		return
+	}
+	fmt.Fprintf(w, "reuse distances over %d records\n", a.Records)
+	fmt.Fprintf(w, "%-8s %9s %9s", "class", "accesses", "cold")
+	for i := 0; i < analytics.NumBins; i++ {
+		fmt.Fprintf(w, " %9s", analytics.BinLabel(i))
+	}
+	fmt.Fprintf(w, " %9s\n", "distinct")
+	for _, c := range classes {
+		fmt.Fprintf(w, "%-8s %9d %9d", c.name, c.h.Accesses, c.h.Cold)
+		for _, b := range c.h.Bins {
+			fmt.Fprintf(w, " %9d", b)
+		}
+		fmt.Fprintf(w, " %9d\n", c.h.Distinct)
+	}
 }
 
 func push(args []string) {

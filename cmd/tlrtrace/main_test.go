@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The test binary doubles as the tlrtrace binary: with TLRTRACE_MAIN=1
+// in the environment it runs main() instead of the tests, so subcommand
+// behaviour — exit codes, stderr, file outputs — is exercised through a
+// real process boundary without a separate build step.
+
+func TestMain(m *testing.M) {
+	if os.Getenv("TLRTRACE_MAIN") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// run re-executes the test binary as tlrtrace with the given arguments
+// and returns stdout, stderr and the exit code.
+func run(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "TLRTRACE_MAIN=1")
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("run %v: %v", args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return out.String(), errb.String(), code
+}
+
+func TestUsageSynopsis(t *testing.T) {
+	verbs := []string{"record", "dump", "stats", "stat", "digest",
+		"analyze", "hist", "ingest", "concat", "push", "pull"}
+
+	// No arguments at all: the full synopsis on stderr, non-zero exit.
+	stdout, stderr, code := run(t)
+	if code == 0 {
+		t.Errorf("no-args exit code 0, want non-zero")
+	}
+	if stdout != "" {
+		t.Errorf("no-args wrote to stdout: %q", stdout)
+	}
+	for _, v := range verbs {
+		if !strings.Contains(stderr, "\n  "+v+" ") {
+			t.Errorf("usage synopsis missing %q:\n%s", v, stderr)
+		}
+	}
+
+	// An unknown subcommand names itself and then shows the same synopsis.
+	_, stderr, code = run(t, "frobnicate")
+	if code == 0 {
+		t.Errorf("unknown subcommand exit code 0, want non-zero")
+	}
+	if !strings.Contains(stderr, `unknown subcommand "frobnicate"`) ||
+		!strings.Contains(stderr, "usage: tlrtrace") {
+		t.Errorf("unknown-subcommand stderr:\n%s", stderr)
+	}
+}
+
+func TestIngestHistGolden(t *testing.T) {
+	dir := t.TempDir()
+	trc := filepath.Join(dir, "foreign.trc")
+
+	stdout, stderr, code := run(t, "ingest", "-format", "csv",
+		"-addr-col", "0", "-op-col", "1", "-header",
+		"-o", trc, filepath.Join("testdata", "foreign.csv"))
+	if code != 0 {
+		t.Fatalf("ingest exit %d: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "ingested 200 records from 201 lines") ||
+		!strings.Contains(stdout, "digest sha256:") {
+		t.Fatalf("ingest output: %q", stdout)
+	}
+
+	// The CSV histogram table must match the committed golden byte for
+	// byte — the same file the CI end-to-end smoke diffs against after
+	// pushing the fixture through a live tlrserve.
+	stdout, stderr, code = run(t, "hist", "-csv", trc)
+	if code != 0 {
+		t.Fatalf("hist exit %d: %s", code, stderr)
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "foreign_hist.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout != string(golden) {
+		t.Errorf("hist table diverged from golden:\n got:\n%s want:\n%s", stdout, golden)
+	}
+
+	// The text rendering carries the same numbers.
+	stdout, _, code = run(t, "hist", trc)
+	if code != 0 || !strings.Contains(stdout, "reuse distances over 200 records") {
+		t.Errorf("text hist (exit %d): %q", code, stdout)
+	}
+
+	// A digest argument without -server is a usage error, not a hang.
+	_, stderr, code = run(t, "hist", "sha256:deadbeef")
+	if code == 0 || !strings.Contains(stderr, "-server") {
+		t.Errorf("digest without -server (exit %d): %s", code, stderr)
+	}
+
+	// Strict mode fails on the header line when -header is absent.
+	_, stderr, code = run(t, "ingest", "-format", "csv", "-addr-col", "0",
+		"-op-col", "1", "-o", filepath.Join(dir, "bad.trc"),
+		filepath.Join("testdata", "foreign.csv"))
+	if code == 0 || !strings.Contains(stderr, "line 1") {
+		t.Errorf("strict header ingest (exit %d): %s", code, stderr)
+	}
+}

@@ -1,0 +1,177 @@
+package tlr
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// The foreign-trace workflow end to end: ingest a CSV address trace,
+// store it, and drive requests against it by TraceRef — the digest is
+// the only handle the foreign trace needs.
+
+func foreignCSV(rows int) string {
+	var sb strings.Builder
+	for i := 0; i < rows; i++ {
+		op := "r"
+		if i%4 == 3 {
+			op = "w"
+		}
+		// A 32-word working set so the reuse histogram has warm bins.
+		fmt.Fprintf(&sb, "0x%x,%s\n", 0x1000+(i%32)*8, op)
+	}
+	return sb.String()
+}
+
+func TestIngestAnalyzeByRef(t *testing.T) {
+	b := NewBatcher(BatchOptions{Workers: 2})
+	defer b.Close()
+
+	const rows = 2000
+	digest, st, err := b.IngestTrace(strings.NewReader(foreignCSV(rows)),
+		IngestFormat{CSV: &CSVFormat{AddrCol: 0, OpCol: 1, PCCol: -1}}, IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != rows {
+		t.Fatalf("ingest stats: %+v", st)
+	}
+
+	// Analyze by digest reference, with no explicit Budget: the whole
+	// recording is the default window for trace-backed analyses.
+	res, err := b.Run(context.Background(), Request{Trace: TraceRef(digest), Analyze: &AnalyzeConfig{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != KindAnalyze || res.Analyze == nil {
+		t.Fatalf("result: %+v", res)
+	}
+	a := res.Analyze
+	if a.Records != rows {
+		t.Fatalf("analyzed %d of %d records", a.Records, rows)
+	}
+	// 32 distinct words swept round-robin: 32 cold touches, and every
+	// re-access at distance 31 (bin "16-31").
+	if a.Mem.Cold != 32 || a.Mem.Distinct != 32 {
+		t.Fatalf("mem histogram: %+v", a.Mem)
+	}
+	if want := a.Mem.Accesses - a.Mem.Cold; a.Mem.Bins[1] != want {
+		t.Fatalf("mem bins: %+v (want all %d re-accesses in 16-31)", a.Mem, want)
+	}
+	if a.IntReg.Accesses != 0 || a.FPReg.Accesses != 0 {
+		t.Fatalf("address trace touched registers: %+v", *a)
+	}
+
+	// The same request again is a cache hit, visible in the analytics
+	// counters alongside the ingest accounting.
+	res2, err := b.Run(context.Background(), Request{Trace: TraceRef(digest), Analyze: &AnalyzeConfig{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Cached || *res2.Analyze != *a {
+		t.Fatalf("second analyze not served from cache: %+v", res2)
+	}
+	bs := b.Stats()
+	if bs.AnalyzeRuns != 1 || bs.AnalyzeHits != 1 {
+		t.Errorf("analyze counters: runs=%d hits=%d", bs.AnalyzeRuns, bs.AnalyzeHits)
+	}
+	if bs.IngestedTraces != 1 || bs.IngestedRecords != rows || bs.IngestRejects != 0 {
+		t.Errorf("ingest counters: %+v", bs)
+	}
+}
+
+// TestForeignTraceReplaysThroughStudy proves an ingested trace is an
+// ordinary trace to the rest of the system: the reuse limit study
+// replays it by reference like any recorded stream.
+func TestForeignTraceReplaysThroughStudy(t *testing.T) {
+	b := NewBatcher(BatchOptions{Workers: 1})
+	defer b.Close()
+
+	digest, _, err := b.IngestTrace(strings.NewReader(foreignCSV(1000)),
+		IngestFormat{CSV: &CSVFormat{AddrCol: 0, OpCol: 1, PCCol: -1}}, IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run(context.Background(), Request{
+		Trace: TraceRef(digest),
+		Study: &StudyConfig{Budget: 1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Study == nil || res.Study.ILR.Instructions != 1000 {
+		t.Fatalf("study over foreign trace: %+v", res.Study)
+	}
+}
+
+func TestAnalyzeOnProgramsAndTraces(t *testing.T) {
+	b := NewBatcher(BatchOptions{Workers: 2})
+	defer b.Close()
+
+	// Program-backed analyze needs an explicit Budget...
+	if _, err := b.Run(context.Background(), Request{Workload: "compress", Analyze: &AnalyzeConfig{}}); err == nil {
+		t.Fatal("program analyze without Budget accepted")
+	}
+	res, err := b.Run(context.Background(), Request{Workload: "compress", Analyze: &AnalyzeConfig{}, Budget: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Analyze.Records != 3000 || res.Analyze.IntReg.Accesses == 0 {
+		t.Fatalf("workload analyze: %+v", *res.Analyze)
+	}
+
+	// ...and a recording of the same window must agree exactly, since
+	// both consume the same canonical stream.
+	tr, err := Record(context.Background(), RecordSpec{Workload: "compress", Budget: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := b.Run(context.Background(), Request{Trace: tr, Analyze: &AnalyzeConfig{}, Budget: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *res2.Analyze != *res.Analyze {
+		t.Fatalf("trace-backed analyze diverged:\n prog  %+v\n trace %+v", *res.Analyze, *res2.Analyze)
+	}
+
+	// Skipping past the end of a trace with no budget is an error, not
+	// an empty histogram.
+	if _, err := b.Run(context.Background(), Request{Trace: tr, Analyze: &AnalyzeConfig{}, Skip: 5000}); err == nil {
+		t.Fatal("over-skip accepted")
+	}
+}
+
+func TestAnalyzeWireRoundTrip(t *testing.T) {
+	req := Request{Workload: "li", Analyze: &AnalyzeConfig{}, Budget: 100}
+	data, err := req.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"analyze":{}`) || !strings.Contains(string(data), `"kind":"analyze"`) {
+		t.Fatalf("wire form: %s", data)
+	}
+	var back Request
+	if err := back.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind() != KindAnalyze || back.Analyze == nil {
+		t.Fatalf("decoded: %+v", back)
+	}
+
+	res, err := Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdata, err := res.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rback Result
+	if err := rback.UnmarshalJSON(rdata); err != nil {
+		t.Fatal(err)
+	}
+	if rback.Analyze == nil || *rback.Analyze != *res.Analyze {
+		t.Fatalf("result round trip lost the histogram: %s", rdata)
+	}
+}

@@ -1,0 +1,154 @@
+package ingest
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/tracereuse/tlr/internal/isa"
+	"github.com/tracereuse/tlr/internal/trace"
+)
+
+// CSVLayout maps the columns of a CSV address trace — the shape of
+// CacheLib- and LichK9-style cache traces — onto canonical records.
+// Column indices are 0-based; a negative index means "absent".
+type CSVLayout struct {
+	// AddrCol is the memory-address column (required).  Addresses parse
+	// per AddrBase and are word-granular: each distinct value is one
+	// 62-bit memory-word location (the canonical encoding's address
+	// width; higher bits are masked).
+	AddrCol int
+	// OpCol tells reads from writes ("r"/"read"/"l"/"load"/"0" vs
+	// "w"/"write"/"s"/"store"/"1", case-insensitive).  Absent: every row
+	// is a read.
+	OpCol int
+	// PCCol carries the accessing instruction's PC.  Absent: sequential
+	// PCs are synthesized, so every row is a distinct static access
+	// site.
+	PCCol int
+	// Comma is the field separator (0 = ',').
+	Comma rune
+	// Header skips the first non-blank, non-comment line.
+	Header bool
+	// AddrBase is the address (and PC) radix: 0 auto-detects by prefix
+	// ("0x" hex, else decimal), 10 and 16 force a radix.
+	AddrBase int
+}
+
+// csvMapper converts one CSV address-trace row into one memory record:
+// reads become LD records with the address as their input location,
+// writes become ST records with it as their output.  Values foreign
+// traces do not carry are zero.
+type csvMapper struct {
+	layout    CSVLayout
+	comma     string
+	sawHeader bool
+	nextPC    uint64
+}
+
+// NewCSV returns a Mapper for one pass over a CSV address trace.
+func NewCSV(l CSVLayout) (Mapper, error) {
+	if l.AddrCol < 0 {
+		return nil, fmt.Errorf("ingest(csv): layout needs an address column")
+	}
+	if l.OpCol >= 0 && l.OpCol == l.AddrCol || l.PCCol >= 0 && l.PCCol == l.AddrCol ||
+		l.OpCol >= 0 && l.OpCol == l.PCCol {
+		return nil, fmt.Errorf("ingest(csv): layout columns collide (addr %d, op %d, pc %d)",
+			l.AddrCol, l.OpCol, l.PCCol)
+	}
+	switch l.AddrBase {
+	case 0, 10, 16:
+	default:
+		return nil, fmt.Errorf("ingest(csv): address base must be 0 (auto), 10 or 16, got %d", l.AddrBase)
+	}
+	comma := l.Comma
+	if comma == 0 {
+		comma = ','
+	}
+	return &csvMapper{layout: l, comma: string(comma)}, nil
+}
+
+func (m *csvMapper) Name() string { return "csv" }
+
+func (m *csvMapper) MapLine(line string) (trace.Exec, bool, error) {
+	trimmed := strings.TrimSpace(line)
+	if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+		return trace.Exec{}, false, nil
+	}
+	if m.layout.Header && !m.sawHeader {
+		m.sawHeader = true
+		return trace.Exec{}, false, nil
+	}
+	fields := strings.Split(line, m.comma)
+	need := m.layout.AddrCol
+	if m.layout.OpCol > need {
+		need = m.layout.OpCol
+	}
+	if m.layout.PCCol > need {
+		need = m.layout.PCCol
+	}
+	if len(fields) <= need {
+		return trace.Exec{}, false, fmt.Errorf("%d fields, layout needs at least %d", len(fields), need+1)
+	}
+	addr, err := m.parseUint(fields[m.layout.AddrCol])
+	if err != nil {
+		return trace.Exec{}, false, fmt.Errorf("address column %d: %w", m.layout.AddrCol, err)
+	}
+	write := false
+	if m.layout.OpCol >= 0 {
+		write, err = parseRW(fields[m.layout.OpCol])
+		if err != nil {
+			return trace.Exec{}, false, fmt.Errorf("op column %d: %w", m.layout.OpCol, err)
+		}
+	}
+	pc := m.nextPC
+	if m.layout.PCCol >= 0 {
+		if pc, err = m.parseUint(fields[m.layout.PCCol]); err != nil {
+			return trace.Exec{}, false, fmt.Errorf("pc column %d: %w", m.layout.PCCol, err)
+		}
+	}
+	m.nextPC++
+
+	e := trace.Exec{PC: pc, Next: pc + 1}
+	if write {
+		e.Op = isa.ST
+		e.AddOut(trace.Mem(addr), 0)
+	} else {
+		e.Op = isa.LD
+		e.AddIn(trace.Mem(addr), 0)
+	}
+	e.Lat = uint8(isa.InfoOf(e.Op).Latency)
+	return e, true, nil
+}
+
+func (m *csvMapper) parseUint(s string) (uint64, error) {
+	s = strings.TrimSpace(s)
+	base := m.layout.AddrBase
+	if base == 0 {
+		base = 10
+		if len(s) > 2 && (s[:2] == "0x" || s[:2] == "0X") {
+			s, base = s[2:], 16
+		}
+	} else if base == 16 {
+		if len(s) > 2 && (s[:2] == "0x" || s[:2] == "0X") {
+			s = s[2:]
+		}
+	}
+	v, err := strconv.ParseUint(s, base, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%q is not a base-%d integer", s, base)
+	}
+	return v, nil
+}
+
+// parseRW classifies an access-kind field; write reports a store.
+func parseRW(s string) (write bool, err error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "r", "rd", "read", "l", "ld", "load", "get", "0":
+		return false, nil
+	case "w", "wr", "write", "s", "st", "store", "set", "put", "1":
+		return true, nil
+	default:
+		return false, fmt.Errorf("%q is not a read/write marker", s)
+	}
+}

@@ -1,0 +1,61 @@
+package ingest
+
+import (
+	"bytes"
+	"compress/gzip"
+	"strings"
+	"testing"
+)
+
+// FuzzIngestCSV throws arbitrary bytes at the CSV ingest path — malformed
+// rows, huge fields, binary garbage, valid and truncated gzip — in both
+// strict and lenient mode.  Ingest must never panic, and the invariants
+// between stats and the produced trace must hold on every input.
+func FuzzIngestCSV(f *testing.F) {
+	f.Add([]byte("0x1000,r\n0x2000,w\n"))
+	f.Add([]byte("addr,op\n0x10,read\n0x20,write\n"))
+	f.Add([]byte("not-an-address,r\n0x10,maybe\n,,,,\n"))
+	f.Add([]byte("0x10," + strings.Repeat("x", 5000) + "\n"))
+	f.Add([]byte(strings.Repeat("0", 5000) + ",r\n"))
+	f.Add([]byte("\x1f\x8b\x00\x00garbage-after-magic"))
+	f.Add([]byte{0x1f, 0x8b})
+	var gz bytes.Buffer
+	w := gzip.NewWriter(&gz)
+	w.Write([]byte("0x1000,r\n0x2000,w\n0x3000,r\n"))
+	w.Close()
+	f.Add(gz.Bytes())
+	f.Add(gz.Bytes()[:gz.Len()/2]) // truncated gzip member
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, lenient := range []bool{false, true} {
+			m, err := NewCSV(CSVLayout{AddrCol: 0, OpCol: 1, PCCol: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := Options{Lenient: lenient, MaxLineBytes: 4 << 10, MaxRecords: 1 << 16}
+			tr, st, err := Ingest(bytes.NewReader(data), m, opt)
+			if err != nil {
+				if lenient {
+					// Lenient mode only surfaces transport errors; they
+					// must carry the format context.
+					if !strings.Contains(err.Error(), "ingest(csv)") {
+						t.Fatalf("unlabelled error: %v", err)
+					}
+				}
+				continue
+			}
+			if tr == nil {
+				t.Fatal("nil trace without error")
+			}
+			if tr.Records() != st.Records {
+				t.Fatalf("trace has %d records, stats say %d", tr.Records(), st.Records)
+			}
+			if st.Records+st.Rejected > st.Lines {
+				t.Fatalf("inconsistent stats: %+v", st)
+			}
+			if !lenient && st.Rejected != 0 {
+				t.Fatalf("strict mode rejected silently: %+v", st)
+			}
+		}
+	})
+}

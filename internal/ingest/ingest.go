@@ -1,0 +1,196 @@
+// Package ingest converts foreign trace files — external instruction or
+// address streams the simulator did not produce — into canonical
+// recorded traces.  A pluggable Mapper turns one input line into one
+// canonical record; the driver streams lines through it into a
+// tracefile.Recorder, so the foreign file is never buffered whole and
+// the result is an ordinary digest-addressed trace that flows through
+// the existing store, replay and cluster machinery unchanged.
+//
+// Two mappers ship with the package: CSV address traces (configurable
+// column layout, the shape of CacheLib/LichK9-style cache traces) and a
+// simple "PC op" text format.  Input may be gzip-compressed; the driver
+// sniffs the magic bytes and decompresses transparently.
+//
+// Errors carry 1-based line numbers.  In lenient mode malformed lines
+// are counted and skipped instead, so a dirty multi-gigabyte trace
+// still ingests; Stats reports how much was dropped.
+package ingest
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+
+	"github.com/tracereuse/tlr/internal/trace"
+	"github.com/tracereuse/tlr/internal/tracefile"
+)
+
+// Mapper converts one foreign input line into one canonical record.
+// Mappers may be stateful (e.g. synthesizing sequential PCs), so one
+// Mapper instance drives one Ingest pass.
+type Mapper interface {
+	// Name identifies the format ("csv", "pctext") in errors and tooling.
+	Name() string
+	// MapLine converts one line (without its terminator).  ok=false
+	// skips the line silently (blank lines, comments, headers); a
+	// non-nil error rejects it as malformed.
+	MapLine(line string) (e trace.Exec, ok bool, err error)
+}
+
+// Options tunes an Ingest pass.
+type Options struct {
+	// Lenient counts and skips malformed lines instead of failing the
+	// ingest on the first one.
+	Lenient bool
+	// MaxRecords stops the ingest after this many records (0 = no cap).
+	MaxRecords uint64
+	// MaxLineBytes rejects lines longer than this (0 = 1 MiB).  A bound
+	// must exist: a foreign file with no newlines must not buffer
+	// without limit.
+	MaxLineBytes int
+}
+
+// Stats reports what one Ingest pass consumed.
+type Stats struct {
+	// Lines is the number of input lines read (including skipped and
+	// rejected ones), Records the canonical records produced, Rejected
+	// the malformed lines dropped in lenient mode.
+	Lines    uint64 `json:"lines"`
+	Records  uint64 `json:"records"`
+	Rejected uint64 `json:"rejected"`
+}
+
+// LineError is a malformed foreign line, carrying its 1-based line
+// number.
+type LineError struct {
+	Format string
+	Line   uint64
+	Err    error
+}
+
+func (e *LineError) Error() string {
+	return fmt.Sprintf("ingest(%s): line %d: %v", e.Format, e.Line, e.Err)
+}
+
+func (e *LineError) Unwrap() error { return e.Err }
+
+// gzipMagic is the two-byte gzip member header.
+var gzipMagic = []byte{0x1f, 0x8b}
+
+// Ingest streams foreign lines from r through m into a canonical trace.
+// Gzip input is detected and decompressed transparently.  The pass is
+// streaming: memory is O(line) for the input plus the growing encoded
+// trace, never the foreign file.
+func Ingest(r io.Reader, m Mapper, opt Options) (*tracefile.Trace, Stats, error) {
+	if opt.MaxLineBytes <= 0 {
+		opt.MaxLineBytes = 1 << 20
+	}
+	br := bufio.NewReaderSize(r, 64<<10)
+	if magic, err := br.Peek(2); err == nil && magic[0] == gzipMagic[0] && magic[1] == gzipMagic[1] {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, Stats{}, fmt.Errorf("ingest(%s): gzip: %w", m.Name(), err)
+		}
+		defer gz.Close()
+		br = bufio.NewReaderSize(gz, 64<<10)
+	}
+
+	var st Stats
+	rec := tracefile.NewRecorder()
+	reject := func(err error) error {
+		if opt.Lenient {
+			st.Rejected++
+			return nil
+		}
+		return &LineError{Format: m.Name(), Line: st.Lines, Err: err}
+	}
+	for {
+		line, readErr := readLine(br, opt.MaxLineBytes)
+		if readErr != nil && readErr != io.EOF {
+			if readErr == errLineTooLong {
+				st.Lines++
+				if err := reject(fmt.Errorf("line exceeds %d bytes", opt.MaxLineBytes)); err != nil {
+					return nil, st, err
+				}
+				continue
+			}
+			// A transport error (truncated gzip member, short read) is
+			// never a per-line problem; lenient mode does not hide it.
+			return nil, st, fmt.Errorf("ingest(%s): line %d: read: %w", m.Name(), st.Lines+1, readErr)
+		}
+		if len(line) > 0 || readErr == nil {
+			st.Lines++
+			e, ok, err := m.MapLine(line)
+			switch {
+			case err != nil:
+				if err := reject(err); err != nil {
+					return nil, st, err
+				}
+			case ok:
+				if !encodable(&e) {
+					if err := reject(fmt.Errorf("mapper produced an unencodable record (op %d)", e.Op)); err != nil {
+						return nil, st, err
+					}
+					break
+				}
+				rec.Write(&e)
+				st.Records++
+				if opt.MaxRecords > 0 && st.Records >= opt.MaxRecords {
+					return rec.Trace(), st, nil
+				}
+			}
+		}
+		if readErr == io.EOF {
+			break
+		}
+	}
+	return rec.Trace(), st, nil
+}
+
+var errLineTooLong = fmt.Errorf("ingest: line too long")
+
+// readLine reads one line of at most maxBytes, dropping a trailing \r.
+// io.EOF is returned alongside the final unterminated line, and
+// errLineTooLong after consuming the oversized line's remainder (so the
+// caller can skip it and stay line-aligned).
+func readLine(br *bufio.Reader, maxBytes int) (string, error) {
+	var buf []byte
+	for {
+		frag, err := br.ReadSlice('\n')
+		buf = append(buf, frag...)
+		if err == bufio.ErrBufferFull {
+			if len(buf) > maxBytes {
+				// Drain to the newline without keeping the bytes.
+				for err == bufio.ErrBufferFull {
+					_, err = br.ReadSlice('\n')
+				}
+				if err != nil && err != io.EOF {
+					return "", err
+				}
+				return "", errLineTooLong
+			}
+			continue
+		}
+		if err != nil && err != io.EOF {
+			return "", err
+		}
+		if n := len(buf); n > 0 && buf[n-1] == '\n' {
+			buf = buf[:n-1]
+		}
+		if n := len(buf); n > 0 && buf[n-1] == '\r' {
+			buf = buf[:n-1]
+		}
+		if len(buf) > maxBytes {
+			return "", errLineTooLong
+		}
+		return string(buf), err
+	}
+}
+
+// encodable rejects records the canonical encoder would panic on; a
+// correct Mapper never produces one, but mappers are pluggable and a
+// foreign line must never take the process down.
+func encodable(e *trace.Exec) bool {
+	return e.Op.Valid() && int(e.NIn) <= len(e.In) && int(e.NOut) <= len(e.Out)
+}

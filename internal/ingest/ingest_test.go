@@ -1,0 +1,303 @@
+package ingest
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/tracereuse/tlr/internal/isa"
+	"github.com/tracereuse/tlr/internal/trace"
+)
+
+func mustCSV(t *testing.T, l CSVLayout) Mapper {
+	t.Helper()
+	m, err := NewCSV(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// replay ingests input and decodes the resulting trace back into
+// records, proving the round trip through the canonical encoding.
+func replay(t *testing.T, input string, m Mapper, opt Options) ([]trace.Exec, Stats) {
+	t.Helper()
+	tr, st, err := Ingest(strings.NewReader(input), m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []trace.Exec
+	cur := tr.Cursor()
+	defer cur.Close()
+	if _, err := cur.Run(context.Background(), tr.Records(), func(e *trace.Exec) {
+		recs = append(recs, *e)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return recs, st
+}
+
+func TestIngestCSVBasic(t *testing.T) {
+	input := "# comment\n" +
+		"0x1000,r\n" +
+		"0x2000,w\n" +
+		"\n" +
+		"4096,read\n"
+	recs, st := replay(t, input, mustCSV(t, CSVLayout{AddrCol: 0, OpCol: 1, PCCol: -1}), Options{})
+	if st.Lines != 5 || st.Records != 3 || st.Rejected != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0].Op != isa.LD || recs[0].In[0].Loc != trace.Mem(0x1000) {
+		t.Errorf("rec 0: %+v", recs[0])
+	}
+	if recs[1].Op != isa.ST || recs[1].Out[0].Loc != trace.Mem(0x2000) {
+		t.Errorf("rec 1: %+v", recs[1])
+	}
+	if recs[2].In[0].Loc != trace.Mem(4096) {
+		t.Errorf("rec 2: %+v", recs[2])
+	}
+	// Synthesized PCs are sequential so each row is a distinct site.
+	if recs[0].PC == recs[1].PC {
+		t.Errorf("synthesized PCs collide: %d", recs[0].PC)
+	}
+}
+
+func TestIngestCSVHeaderAndLayout(t *testing.T) {
+	input := "pc;op;addr\n" +
+		"0x400100;w;0x10\n" +
+		"0x400104;r;0x10\n"
+	m := mustCSV(t, CSVLayout{AddrCol: 2, OpCol: 1, PCCol: 0, Comma: ';', Header: true})
+	recs, st := replay(t, input, m, Options{})
+	if st.Records != 2 || len(recs) != 2 {
+		t.Fatalf("records: %+v", st)
+	}
+	if recs[0].PC != 0x400100 || recs[1].PC != 0x400104 {
+		t.Errorf("PCs: %#x %#x", recs[0].PC, recs[1].PC)
+	}
+	if recs[0].Op != isa.ST || recs[1].Op != isa.LD {
+		t.Errorf("ops: %v %v", recs[0].Op, recs[1].Op)
+	}
+}
+
+func TestIngestCSVLayoutValidation(t *testing.T) {
+	if _, err := NewCSV(CSVLayout{AddrCol: -1}); err == nil {
+		t.Error("missing address column accepted")
+	}
+	if _, err := NewCSV(CSVLayout{AddrCol: 1, OpCol: 1}); err == nil {
+		t.Error("colliding columns accepted")
+	}
+	if _, err := NewCSV(CSVLayout{AddrCol: 0, OpCol: -1, PCCol: -1, AddrBase: 8}); err == nil {
+		t.Error("bad address base accepted")
+	}
+}
+
+func TestIngestStrictErrorsCarryLineNumbers(t *testing.T) {
+	input := "0x1000,r\nnot-an-address,r\n"
+	m := mustCSV(t, CSVLayout{AddrCol: 0, OpCol: 1, PCCol: -1})
+	_, st, err := Ingest(strings.NewReader(input), m, Options{})
+	if err == nil {
+		t.Fatal("malformed line accepted in strict mode")
+	}
+	var le *LineError
+	if !errors.As(err, &le) {
+		t.Fatalf("error %T is not a *LineError: %v", err, err)
+	}
+	if le.Line != 2 || le.Format != "csv" {
+		t.Errorf("line error: %+v", le)
+	}
+	if st.Records != 1 {
+		t.Errorf("records before failure: %+v", st)
+	}
+}
+
+func TestIngestLenientSkipsAndCounts(t *testing.T) {
+	input := "0x1000,r\n" +
+		"bogus,r\n" +
+		"0x2000,maybe\n" +
+		"0x3000,w\n"
+	m := mustCSV(t, CSVLayout{AddrCol: 0, OpCol: 1, PCCol: -1})
+	recs, st := replay(t, input, m, Options{Lenient: true})
+	if st.Lines != 4 || st.Records != 2 || st.Rejected != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records", len(recs))
+	}
+}
+
+func TestIngestGzipTransparent(t *testing.T) {
+	plain := "0x1000,r\n0x2000,w\n0x1000,r\n"
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	if _, err := gz.Write([]byte(plain)); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	layout := CSVLayout{AddrCol: 0, OpCol: 1, PCCol: -1}
+	plainTrace, _, err := Ingest(strings.NewReader(plain), mustCSV(t, layout), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gzTrace, st, err := Ingest(&buf, mustCSV(t, layout), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 3 {
+		t.Fatalf("gzip stats: %+v", st)
+	}
+	if plainTrace.Digest() != gzTrace.Digest() {
+		t.Errorf("gzip ingest digest %s != plain %s", gzTrace.Digest(), plainTrace.Digest())
+	}
+}
+
+func TestIngestTruncatedGzipIsAnError(t *testing.T) {
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	for i := 0; i < 1000; i++ {
+		fmt.Fprintf(gz, "0x%x,r\n", 0x1000+i*8)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()/2]
+	m := mustCSV(t, CSVLayout{AddrCol: 0, OpCol: 1, PCCol: -1})
+	// Lenient must NOT hide a transport error: a truncated stream is a
+	// broken file, not a malformed line.
+	_, _, err := Ingest(bytes.NewReader(cut), m, Options{Lenient: true})
+	if err == nil {
+		t.Fatal("truncated gzip stream ingested without error")
+	}
+}
+
+func TestIngestLineTooLong(t *testing.T) {
+	input := "0x1000,r\n" + strings.Repeat("x", 4096) + "\n0x2000,w\n"
+	m := mustCSV(t, CSVLayout{AddrCol: 0, OpCol: 1, PCCol: -1})
+	recs, st := replay(t, input, m, Options{Lenient: true, MaxLineBytes: 256})
+	if st.Rejected != 1 || st.Records != 2 || len(recs) != 2 {
+		t.Fatalf("oversized line not skipped cleanly: %+v (%d records)", st, len(recs))
+	}
+	// Strict mode fails instead.
+	m = mustCSV(t, CSVLayout{AddrCol: 0, OpCol: 1, PCCol: -1})
+	if _, _, err := Ingest(strings.NewReader(input), m, Options{MaxLineBytes: 256}); err == nil {
+		t.Fatal("oversized line accepted in strict mode")
+	}
+}
+
+func TestIngestNoFinalNewline(t *testing.T) {
+	m := mustCSV(t, CSVLayout{AddrCol: 0, OpCol: -1, PCCol: -1})
+	recs, st := replay(t, "0x10\n0x20", m, Options{})
+	if st.Lines != 2 || st.Records != 2 || len(recs) != 2 {
+		t.Fatalf("unterminated final line dropped: %+v", st)
+	}
+}
+
+func TestIngestMaxRecords(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 100; i++ {
+		fmt.Fprintf(&sb, "%d\n", i*64)
+	}
+	m := mustCSV(t, CSVLayout{AddrCol: 0, OpCol: -1, PCCol: -1})
+	_, st := replay(t, sb.String(), m, Options{MaxRecords: 10})
+	if st.Records != 10 {
+		t.Fatalf("MaxRecords ignored: %+v", st)
+	}
+}
+
+// TestIngestLargeStreamDigestStable ingests a >100k-line CSV twice from a
+// generator reader (never a whole in-memory file on the read side) and
+// checks the digest is stable and the trace replays through a cursor.
+func TestIngestLargeStreamDigestStable(t *testing.T) {
+	const n = 120_000
+	gen := func() *strings.Reader {
+		var sb strings.Builder
+		sb.Grow(n * 12)
+		for i := 0; i < n; i++ {
+			op := "r"
+			if i%3 == 0 {
+				op = "w"
+			}
+			fmt.Fprintf(&sb, "0x%x,%s\n", (i*8)%(1<<16), op)
+		}
+		return strings.NewReader(sb.String())
+	}
+	layout := CSVLayout{AddrCol: 0, OpCol: 1, PCCol: -1}
+	t1, st, err := Ingest(gen(), mustCSV(t, layout), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != n || t1.Records() != n {
+		t.Fatalf("records: stats %+v trace %d", st, t1.Records())
+	}
+	t2, _, err := Ingest(gen(), mustCSV(t, layout), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Digest() != t2.Digest() {
+		t.Fatalf("digest unstable: %s vs %s", t1.Digest(), t2.Digest())
+	}
+	var count uint64
+	cur := t1.Cursor()
+	defer cur.Close()
+	if _, err := cur.Run(context.Background(), t1.Records(), func(*trace.Exec) { count++ }); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("replayed %d of %d records", count, n)
+	}
+}
+
+func TestPCTextFormat(t *testing.T) {
+	input := `# boot
+0x400100 ld 0x2000 -> r1
+0x400101 add r1 r2 -> r3
+0x400102 fmul f1 f2 -> f3
+0x400103 st r3 -> 0x2000
+`
+	recs, st := replay(t, input, NewPCText(), Options{})
+	if st.Records != 4 || len(recs) != 4 {
+		t.Fatalf("stats: %+v", st)
+	}
+	ld := recs[0]
+	if ld.PC != 0x400100 || ld.NIn != 1 || ld.NOut != 1 ||
+		ld.In[0].Loc != trace.Mem(0x2000) || ld.Out[0].Loc != trace.IntReg(1) {
+		t.Errorf("ld: %+v", ld)
+	}
+	add := recs[1]
+	if add.NIn != 2 || add.In[0].Loc != trace.IntReg(1) || add.In[1].Loc != trace.IntReg(2) ||
+		add.Out[0].Loc != trace.IntReg(3) {
+		t.Errorf("add: %+v", add)
+	}
+	if recs[2].In[0].Loc != trace.FPReg(1) || recs[2].Out[0].Loc != trace.FPReg(3) {
+		t.Errorf("fmul: %+v", recs[2])
+	}
+	if recs[3].Out[0].Loc != trace.Mem(0x2000) {
+		t.Errorf("st: %+v", recs[3])
+	}
+}
+
+func TestPCTextRejects(t *testing.T) {
+	bad := []string{
+		"justonefield",
+		"0x100 nosuchop r1",
+		"notanumber ld 0x10",
+		"0x100 ld r99",
+		"0x100 add r1 -> r2 -> r3",
+		"0x100 add r1 r2 r3 r4 -> r5",
+		"0x100 add r1 -> r2 r3 r4",
+	}
+	for _, line := range bad {
+		if _, ok, err := NewPCText().MapLine(line); err == nil && ok {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}

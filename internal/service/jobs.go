@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"fmt"
 
+	"github.com/tracereuse/tlr/internal/analytics"
 	"github.com/tracereuse/tlr/internal/asm"
 	"github.com/tracereuse/tlr/internal/core"
 	"github.com/tracereuse/tlr/internal/cpu"
@@ -406,4 +407,37 @@ func VPJob(id string, src Source, p VPParams) Job {
 		key = fmt.Sprintf("vp|%s|%d|%g|%d|%d", src.Key, p.Window, p.PredLat, p.Skip, p.Budget)
 	}
 	return Job{ID: id, Key: key, Run: func(ctx context.Context) (any, error) { return RunVP(ctx, src, p) }}
+}
+
+// AnalyzeParams configures a reuse-distance analysis job.
+type AnalyzeParams struct {
+	Skip   uint64
+	Budget uint64
+}
+
+// RunAnalyze computes the per-class reuse-distance histograms over src's
+// dynamic stream (the job body behind AnalyzeJob), polling ctx between
+// instruction blocks.  It runs on any source — a recorded trace
+// (including a foreign, ingested one) or a live program execution.
+func RunAnalyze(ctx context.Context, src Source, p AnalyzeParams) (analytics.Result, error) {
+	if p.Budget == 0 {
+		return analytics.Result{}, fmt.Errorf("service: analyze Budget must be positive")
+	}
+	a := analytics.New()
+	if _, err := src.run(ctx, p.Skip, p.Budget, func(e *trace.Exec) { a.Consume(e) }); err != nil {
+		return analytics.Result{}, err
+	}
+	return a.Result(), nil
+}
+
+// AnalyzeJob builds a cacheable reuse-distance analysis job over src.
+func AnalyzeJob(id string, src Source, p AnalyzeParams) Job {
+	key := ""
+	if src.Key != "" {
+		key = fmt.Sprintf("analyze|%s|%d|%d", src.Key, p.Skip, p.Budget)
+	}
+	return Job{
+		ID: id, Key: key, analyze: true,
+		Run: func(ctx context.Context) (any, error) { return RunAnalyze(ctx, src, p) },
+	}
 }

@@ -109,6 +109,12 @@ type Stats struct {
 	ResultsOnDisk    int    // results in the persistent result cache
 	ResultDiskHits   uint64 // jobs answered from the persistent result cache
 	ResultDiskWrites uint64 // results written through to the persistent cache
+
+	AnalyzeRuns     uint64 // reuse-distance analyses actually computed
+	AnalyzeHits     uint64 // analyses answered from cache (or coalesced)
+	IngestedTraces  uint64 // foreign traces ingested into the store
+	IngestedRecords uint64 // canonical records those ingests produced
+	IngestRejects   uint64 // malformed foreign lines dropped (lenient mode)
 }
 
 // Job is one unit of work.
@@ -126,6 +132,9 @@ type Job struct {
 	// therefore its cancellation); errors are never cached, so a
 	// cancelled result is recomputed on resubmission.
 	Run func(ctx context.Context) (any, error)
+	// analyze marks reuse-distance analysis jobs so the service can
+	// account for them separately in Stats.
+	analyze bool
 }
 
 // Result is one finished job.
@@ -303,6 +312,17 @@ func (s *Service) Stats() Stats {
 		st.ResultsOnDisk = s.resultDisk.len()
 	}
 	return st
+}
+
+// NoteIngest accounts for one foreign-trace ingest pass: the canonical
+// records it produced and the malformed lines it dropped.  The ingest
+// itself happens in package ingest; the service only keeps the books.
+func (s *Service) NoteIngest(records, rejected uint64) {
+	s.mu.Lock()
+	s.stats.IngestedTraces++
+	s.stats.IngestedRecords += records
+	s.stats.IngestRejects += rejected
+	s.mu.Unlock()
 }
 
 // AddTrace stores a recorded trace in the service's digest-addressed
@@ -807,6 +827,9 @@ func (s *Service) runTask(t task) {
 	for {
 		if v, ok := s.results.get(key); ok {
 			s.stats.CacheHits++
+			if t.job.analyze {
+				s.stats.AnalyzeHits++
+			}
 			s.mu.Unlock()
 			s.finish(t, v, nil, true)
 			return
@@ -818,6 +841,9 @@ func (s *Service) runTask(t task) {
 			// before this live batch is counted.
 			f.waiters = append(f.waiters, t)
 			s.stats.Coalesced++
+			if t.job.analyze {
+				s.stats.AnalyzeHits++
+			}
 			f.attach(t.batch)
 			s.mu.Unlock()
 			// The waiter's batch slot is released by whoever completes the
@@ -838,6 +864,9 @@ func (s *Service) runTask(t task) {
 			s.results.add(key, v)
 			s.stats.CacheHits++
 			s.stats.ResultDiskHits++
+			if t.job.analyze {
+				s.stats.AnalyzeHits++
+			}
 			s.mu.Unlock()
 			s.finish(t, v, nil, true)
 			return
@@ -905,6 +934,9 @@ func (s *Service) finish(t task, v any, err error, cached bool) {
 		// Skipped (or stopped mid-run), not simulated to completion.
 	default:
 		s.stats.Ran++
+		if t.job.analyze && err == nil {
+			s.stats.AnalyzeRuns++
+		}
 	}
 	if err != nil {
 		s.stats.Errors++

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/tracereuse/tlr/internal/analytics"
 	"github.com/tracereuse/tlr/internal/service"
 	"github.com/tracereuse/tlr/internal/workload"
 )
@@ -34,6 +35,9 @@ const (
 	// KindVP is the last-value-prediction limit study (the §1
 	// speculation-vs-reuse comparison).
 	KindVP Kind = "vp"
+	// KindAnalyze is the reuse-distance analysis: exact binned LRU stack
+	// distances per operand-location class over the request's stream.
+	KindAnalyze Kind = "analyze"
 )
 
 // VPConfig configures a value-prediction limit study (KindVP).  The
@@ -46,11 +50,24 @@ type VPConfig struct {
 	PredLat float64
 }
 
+// AnalyzeConfig configures a reuse-distance analysis (KindAnalyze).
+// The empty config is valid: the analysis has no knobs yet (bins and
+// classes are fixed by the figure it reproduces), and the struct exists
+// so future knobs stay additive.  The stream bounds come from the
+// Request's Skip and Budget; uniquely among the kinds, a trace-sourced
+// analyze request may leave Budget zero, which means "the rest of the
+// recording".
+type AnalyzeConfig struct{}
+
+// AnalyzeResult is a completed reuse-distance analysis: one binned
+// histogram per operand-location class (see internal/analytics).
+type AnalyzeResult = analytics.Result
+
 // Request is one simulation of any kind.
 //
 // Exactly one program field (Workload, Source, Prog or Trace) and
-// exactly one configuration field (Study, RTM, Pipeline or VP) must be
-// set.  Skip and Budget bound RTM, Pipeline and VP simulations; Study
+// exactly one configuration field (Study, RTM, Pipeline, VP or Analyze)
+// must be set.  Skip and Budget bound RTM, Pipeline and VP simulations; Study
 // carries its own bounds inside StudyConfig (set one or the other, not
 // both — a Study config with zero Budget and Skip inherits the
 // Request's).
@@ -83,6 +100,8 @@ type Request struct {
 	Pipeline *PipelineConfig
 	// VP runs the value-prediction limit study (KindVP).
 	VP *VPConfig
+	// Analyze runs the reuse-distance analysis (KindAnalyze).
+	Analyze *AnalyzeConfig
 
 	// Skip is executed before measurement starts; Budget is the number
 	// of retired instructions to simulate.  See the struct comment for
@@ -107,6 +126,9 @@ func (r Request) Kind() Kind {
 	if r.VP != nil {
 		k, n = KindVP, n+1
 	}
+	if r.Analyze != nil {
+		k, n = KindAnalyze, n+1
+	}
 	if n != 1 {
 		return ""
 	}
@@ -127,6 +149,7 @@ type Result struct {
 	RTM      *RTMResult
 	Pipeline *PipelineResult
 	VP       *VPResult
+	Analyze  *AnalyzeResult
 
 	// Cached reports that the result came from the result cache (or was
 	// coalesced onto an identical in-flight simulation) rather than a
@@ -260,6 +283,9 @@ func resultFromService(r service.Result, kind Kind) Result {
 	case KindVP:
 		o := r.Value.(VPResult)
 		res.VP = &o
+	case KindAnalyze:
+		o := r.Value.(analytics.Result)
+		res.Analyze = &o
 	}
 	return res
 }
@@ -285,7 +311,7 @@ func (b *Batcher) serviceJob(index int, r Request) (service.Job, Kind, error) {
 	}
 	kind := r.Kind()
 	if kind == "" {
-		return service.Job{}, "", fmt.Errorf("exactly one of Study, RTM, Pipeline, VP must be set")
+		return service.Job{}, "", fmt.Errorf("exactly one of Study, RTM, Pipeline, VP, Analyze must be set")
 	}
 	if r.Trace != nil && kind == KindPipeline {
 		return service.Job{}, "", ErrTraceUnsupported
@@ -384,6 +410,32 @@ func (b *Batcher) serviceJob(index int, r Request) (service.Job, Kind, error) {
 			Config: *r.Pipeline,
 			Skip:   skip,
 			Budget: r.Budget,
+		}), kind, nil
+	case KindAnalyze:
+		budget := r.Budget
+		if budget == 0 {
+			// A recorded trace has a known length, so "analyze the whole
+			// recording" needs no explicit Budget — the common path for
+			// foreign traces referenced by digest.
+			if r.Trace == nil {
+				return service.Job{}, "", fmt.Errorf("analyze requests on programs need a positive Budget")
+			}
+			d, err := r.Trace.describe(b)
+			if err != nil {
+				return service.Job{}, "", err
+			}
+			if d.base+d.records <= r.Skip {
+				return service.Job{}, "", fmt.Errorf("analyze Skip %d leaves no records of the %d-record trace", r.Skip, d.records)
+			}
+			budget = d.base + d.records - r.Skip
+		}
+		src, skip, err := makeSource(r.Skip, budget)
+		if err != nil {
+			return service.Job{}, "", err
+		}
+		return service.AnalyzeJob(id, src, service.AnalyzeParams{
+			Skip:   skip,
+			Budget: budget,
 		}), kind, nil
 	default: // KindVP
 		if r.Budget == 0 {

@@ -95,6 +95,11 @@ type vpJSON struct {
 	PredLat float64 `json:"predLat,omitempty"`
 }
 
+// analyzeJSON is the reuse-distance analysis configuration: empty today
+// (the analysis has no knobs), present so "analyze": {} selects the kind
+// and future knobs stay additive.
+type analyzeJSON struct{}
+
 type requestJSON struct {
 	V        int           `json:"v,omitempty"`
 	ID       string        `json:"id,omitempty"`
@@ -106,6 +111,7 @@ type requestJSON struct {
 	RTM      *rtmJSON      `json:"rtm,omitempty"`
 	Pipeline *pipelineJSON `json:"pipeline,omitempty"`
 	VP       *vpJSON       `json:"vp,omitempty"`
+	Analyze  *analyzeJSON  `json:"analyze,omitempty"`
 	Skip     uint64        `json:"skip,omitempty"`
 	Budget   uint64        `json:"budget,omitempty"`
 }
@@ -122,6 +128,7 @@ type resultJSON struct {
 	RTM       *RTMResult      `json:"rtm,omitempty"`
 	Pipe      *PipelineResult `json:"pipeline,omitempty"`
 	VP        *VPResult       `json:"vp,omitempty"`
+	Analyze   *AnalyzeResult  `json:"analyze,omitempty"`
 	Error     string          `json:"error,omitempty"`
 }
 
@@ -262,6 +269,9 @@ func (r Request) MarshalJSON() ([]byte, error) {
 	if v := r.VP; v != nil {
 		j.VP = &vpJSON{Window: v.Window, PredLat: v.PredLat}
 	}
+	if r.Analyze != nil {
+		j.Analyze = &analyzeJSON{}
+	}
 	return json.Marshal(j)
 }
 
@@ -362,6 +372,9 @@ func (r *Request) UnmarshalJSON(data []byte) error {
 	if v := j.VP; v != nil {
 		out.VP = &VPConfig{Window: v.Window, PredLat: v.PredLat}
 	}
+	if j.Analyze != nil {
+		out.Analyze = &AnalyzeConfig{}
+	}
 	if j.Kind != "" && j.Kind != string(out.Kind()) {
 		return fmt.Errorf("tlr: request kind %q does not match its configuration (%q)", j.Kind, out.Kind())
 	}
@@ -384,6 +397,7 @@ func (r Result) MarshalJSON() ([]byte, error) {
 		RTM:       r.RTM,
 		Pipe:      r.Pipeline,
 		VP:        r.VP,
+		Analyze:   r.Analyze,
 	}
 	if r.Err != nil {
 		j.Error = r.Err.Error()
@@ -412,6 +426,7 @@ func (r *Result) UnmarshalJSON(data []byte) error {
 		RTM:       j.RTM,
 		Pipeline:  j.Pipe,
 		VP:        j.VP,
+		Analyze:   j.Analyze,
 	}
 	if j.Error != "" {
 		r.Err = errors.New(j.Error)
