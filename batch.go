@@ -112,6 +112,10 @@ type BatchStats struct {
 	IngestedTraces  uint64 // foreign traces ingested into the store
 	IngestedRecords uint64 // canonical records those ingests produced
 	IngestRejects   uint64 // malformed foreign lines dropped (lenient mode)
+
+	InflightJobs int64  // requests currently reserved via Reserve
+	MaxInflight  int    // admission budget (0: unlimited)
+	Shed         uint64 // reservations refused with ErrOverloaded
 }
 
 // BatchOptions sizes a Batcher.
@@ -139,12 +143,22 @@ type BatchOptions struct {
 	ResultDir string
 	// PeerFetch, when non-nil, extends TraceRef resolution past the
 	// local store tiers: on a local miss it is asked for the digest's
-	// container stream ((nil, nil) = no peer holds it).  Fetched bodies
-	// are validated and digest-checked before they are cached, so the
-	// transport need not be trusted.  cmd/tlrserve wires this to the
-	// cluster fabric.
-	PeerFetch func(digest string) (io.ReadCloser, error)
+	// container stream, skipping the peers in exclude ((nil, "", nil)
+	// = no peer holds it); it returns the serving peer so a body that
+	// fails validation can be retried with that peer excluded.
+	// Fetched bodies are validated and digest-checked before they are
+	// cached, so the transport need not be trusted.  cmd/tlrserve
+	// wires this to the cluster fabric.
+	PeerFetch func(digest string, exclude []string) (io.ReadCloser, string, error)
+	// MaxInflight bounds admission: Reserve fails with ErrOverloaded
+	// once this many requests are reserved and not yet released.
+	// 0 = unlimited.  HTTP front doors map the failure to 429.
+	MaxInflight int
 }
+
+// ErrOverloaded reports a Reserve refused because the in-flight
+// request budget (BatchOptions.MaxInflight) is exhausted.
+var ErrOverloaded = service.ErrOverloaded
 
 // Batcher owns a batch simulation service: a worker pool plus program
 // and result caches that persist across Run/RunBatch/StreamBatch calls.
@@ -161,6 +175,7 @@ func NewBatcher(opt BatchOptions) *Batcher {
 		TraceDir:        opt.TraceDir,
 		ResultDir:       opt.ResultDir,
 		PeerFetch:       opt.PeerFetch,
+		MaxInflight:     opt.MaxInflight,
 	})}
 }
 
@@ -169,6 +184,17 @@ func (b *Batcher) Close() { b.svc.Close() }
 
 // Workers returns the worker-pool size.
 func (b *Batcher) Workers() int { return b.svc.Workers() }
+
+// Reserve claims admission for n requests against the MaxInflight
+// budget, returning a release function the caller must invoke (once)
+// when the work is finished.  It fails with an error wrapping
+// ErrOverloaded when the budget is exhausted.
+func (b *Batcher) Reserve(n int) (release func(), err error) { return b.svc.Reserve(n) }
+
+// TraceDigests returns every digest the local trace store holds
+// (memory and disk tiers, deduplicated, sorted).  The cluster repair
+// loop scans it.
+func (b *Batcher) TraceDigests() []string { return b.svc.TraceDigests() }
 
 // Stats returns a snapshot of the Batcher's traffic counters.
 func (b *Batcher) Stats() BatchStats {
@@ -202,6 +228,10 @@ func (b *Batcher) Stats() BatchStats {
 		IngestedTraces:  st.IngestedTraces,
 		IngestedRecords: st.IngestedRecords,
 		IngestRejects:   st.IngestRejects,
+
+		InflightJobs: st.InflightJobs,
+		MaxInflight:  st.MaxInflight,
+		Shed:         st.Shed,
 	}
 }
 

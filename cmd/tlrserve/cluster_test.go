@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -16,13 +17,22 @@ import (
 	"github.com/tracereuse/tlr/internal/rtm"
 )
 
+// testGeom is the shared-RTM geometry every in-process cluster node
+// uses; restart must rebuild a node with the same one.
+var testGeom = rtm.Geometry{Sets: 64, PCWays: 4, TracesPerPC: 4}
+
 // cnode is one in-process cluster node: a full server (own batcher,
-// trace dir, result dir, fabric) listening on a real TCP port.
+// trace dir, result dir, fabric) listening on a real TCP port.  The
+// config and options are kept so restart can rebuild the node on the
+// same address and data directory — the self-healing tests kill and
+// resurrect nodes mid-test.
 type cnode struct {
 	url      string
 	srv      *server
 	ts       *httptest.Server
 	traceDir string
+	cc       cluster.Config
+	opt      tlr.BatchOptions
 	closed   bool
 }
 
@@ -38,10 +48,44 @@ func (n *cnode) close() {
 	n.srv.batcher.Close()
 }
 
+// start builds the node's server and serves it on ln.
+func (n *cnode) start(t *testing.T, ln net.Listener) {
+	t.Helper()
+	cc := n.cc // newClusterServer wires closures into the copy
+	srv, err := newClusterServer(n.opt, testGeom, 0, &cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.srv = srv
+	ts := httptest.NewUnstartedServer(srv.mux())
+	ts.Listener.Close()
+	ts.Listener = ln
+	ts.Start()
+	n.ts = ts
+	n.closed = false
+}
+
+// restart closes the node (if still up) and rebuilds it on the same
+// address and trace directory, as a crashed-and-relaunched process
+// would: stored traces survive, in-memory state does not.
+func (n *cnode) restart(t *testing.T) {
+	t.Helper()
+	n.close()
+	var ln net.Listener
+	waitFor(t, "address release for restart", func() bool {
+		var err error
+		ln, err = net.Listen("tcp", strings.TrimPrefix(n.url, "http://"))
+		return err == nil
+	})
+	n.start(t, ln)
+}
+
 // startCluster brings up n nodes that all know each other.  Listeners
 // are bound before any server is built so every node's -peers list
-// can name the full set.
-func startCluster(t *testing.T, n, replication int) []*cnode {
+// can name the full set.  Each mod may adjust a node's cluster config
+// and batch options before it starts (fault injection, admission
+// budgets, repair intervals).
+func startCluster(t *testing.T, n, replication int, mods ...func(i int, cc *cluster.Config, opt *tlr.BatchOptions)) []*cnode {
 	t.Helper()
 	listeners := make([]net.Listener, n)
 	urls := make([]string, n)
@@ -55,28 +99,27 @@ func startCluster(t *testing.T, n, replication int) []*cnode {
 	}
 	nodes := make([]*cnode, n)
 	for i := range nodes {
-		node := &cnode{url: urls[i], traceDir: t.TempDir()}
-		cc := &cluster.Config{
-			Self:        urls[i],
-			Peers:       urls,
-			Replication: replication,
-			Backoff:     time.Millisecond,
-			Logf:        t.Logf,
+		node := &cnode{
+			url:      urls[i],
+			traceDir: t.TempDir(),
+			cc: cluster.Config{
+				Self:        urls[i],
+				Peers:       urls,
+				Replication: replication,
+				Backoff:     time.Millisecond,
+				Logf:        t.Logf,
+			},
+			opt: tlr.BatchOptions{
+				Workers:   2,
+				TraceDir:  "", // set below: mods see the final value
+				ResultDir: t.TempDir(),
+			},
 		}
-		srv, err := newClusterServer(tlr.BatchOptions{
-			Workers:   2,
-			TraceDir:  node.traceDir,
-			ResultDir: t.TempDir(),
-		}, rtm.Geometry{Sets: 64, PCWays: 4, TracesPerPC: 4}, 0, cc)
-		if err != nil {
-			t.Fatal(err)
+		node.opt.TraceDir = node.traceDir
+		for _, mod := range mods {
+			mod(i, &node.cc, &node.opt)
 		}
-		node.srv = srv
-		ts := httptest.NewUnstartedServer(srv.mux())
-		ts.Listener.Close()
-		ts.Listener = listeners[i]
-		ts.Start()
-		node.ts = ts
+		node.start(t, listeners[i])
 		nodes[i] = node
 		t.Cleanup(node.close)
 	}

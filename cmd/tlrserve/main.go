@@ -102,14 +102,32 @@
 // not) persists keyed results to disk, so a restarted node answers
 // warm-cache requests without re-simulating.
 //
+// # Failure handling
+//
+// Each node heals the ring it can see.  A background anti-entropy
+// loop (-repair-interval; POST /v1/repair runs one cycle on demand)
+// scans the local store and backfills digests whose other owners do
+// not hold them; replication failures leave durable hints (-hint-dir)
+// redelivered when the peer's health probe recovers; a per-peer
+// circuit breaker sheds calls to dead peers immediately and half-opens
+// after a cooldown.  -max-inflight bounds admitted simulation work:
+// beyond it, run/analyze/batch/ingest answer 429 with Retry-After
+// instead of queueing toward a timeout.  SIGTERM/SIGINT shut down
+// gracefully: stop accepting, drain open requests and the replication
+// queue (-drain-timeout), then log a one-line drain summary.
+// -chaos-drop and -chaos-delay inject transport faults on peer
+// traffic for chaos testing.
+//
 // GET /healthz reports liveness; GET /v1/stats reports service, RTM,
-// history, and (when clustered) per-peer health and fabric counters.
+// history, admission, and (when clustered) per-peer health and fabric
+// counters.
 // With -pprof, the standard net/http/pprof endpoints are mounted under
 // /debug/pprof/ so decode and simulation hot paths can be profiled
 // against the live server.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -119,8 +137,10 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/tracereuse/tlr"
@@ -149,6 +169,12 @@ func main() {
 	self := flag.String("self", "", "this node's base URL; required with -peers and must appear in the list")
 	replication := flag.Int("replication", 2, "cluster replication factor (owners per digest)")
 	peerProbe := flag.Duration("peer-probe", 10*time.Second, "peer health probe interval (0 disables probing)")
+	repairEvery := flag.Duration("repair-interval", time.Minute, "anti-entropy repair interval (0 disables the loop; POST /v1/repair still runs one cycle)")
+	hintDir := flag.String("hint-dir", "", "durable replication hint directory (empty = in-memory hints only); created if absent")
+	maxInflight := flag.Int("max-inflight", 0, "in-flight job admission budget for run/analyze/batch/ingest (0 = unlimited); beyond it requests get 429")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for open requests and replication queues")
+	chaosDrop := flag.Float64("chaos-drop", 0, "fault injection: probability [0,1) of dropping each peer request (testing only)")
+	chaosDelay := flag.Duration("chaos-delay", 0, "fault injection: added latency on every peer request (testing only)")
 	flag.Parse()
 
 	geom := rtm.Geometry{Sets: *rtmSets, PCWays: *rtmWays, TracesPerPC: *rtmTraces}
@@ -175,6 +201,7 @@ func main() {
 		TraceStoreBytes: *traceStoreMB << 20,
 		TraceDir:        *traceDir,
 		ResultDir:       *resultDir,
+		MaxInflight:     *maxInflight,
 	}
 	var cc *cluster.Config
 	if *peers != "" {
@@ -191,7 +218,23 @@ func main() {
 			Peers:       splitPeers(*peers),
 			Replication: *replication,
 			ProbeEvery:  *peerProbe,
+			RepairEvery: *repairEvery,
+			HintDir:     *hintDir,
 			Logf:        log.Printf,
+		}
+		if *chaosDrop > 0 || *chaosDelay > 0 {
+			// Every peer request flows through the fault injector; the
+			// flags exist so chaos smoke tests can exercise the repair,
+			// hint, and breaker paths against a real process.
+			inj := cluster.NewInjector(nil)
+			if *chaosDelay > 0 {
+				inj.Add(&cluster.InjectRule{Delay: *chaosDelay})
+			}
+			if *chaosDrop > 0 {
+				inj.Add(&cluster.InjectRule{Prob: *chaosDrop, Drop: true})
+			}
+			cc.Client = &http.Client{Transport: inj}
+			log.Printf("tlrserve: chaos injection on peer traffic: drop %.2f, delay %s", *chaosDrop, *chaosDelay)
 		}
 	}
 	srv, err := newClusterServer(opt, geom, *rtmShards, cc)
@@ -212,7 +255,47 @@ func main() {
 	}
 	log.Printf("tlrserve: listening on %s (shared RTM %v, %d stripes)",
 		*addr, geom, srv.shared.Shards())
-	log.Fatal(http.ListenAndServe(*addr, mux))
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatalf("tlrserve: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of waiting out the drain
+	log.Printf("tlrserve: shutdown signal; draining (budget %s)", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		log.Printf("tlrserve: shutdown: %v", err)
+	}
+	replDrained := true
+	hintsPending := 0
+	if srv.fabric != nil {
+		if err := srv.fabric.Drain(dctx); err != nil {
+			replDrained = false
+			log.Printf("tlrserve: replication drain: %v", err)
+		}
+		hintsPending = srv.fabric.HintsPending()
+		srv.fabric.Close()
+	}
+	st := srv.batcher.Stats()
+	srv.batcher.Close()
+	replState := "replication drained"
+	if !replDrained {
+		replState = "replication NOT drained"
+	}
+	log.Printf("tlrserve: drained: %d requests served, %s, %d hints pending; exiting",
+		st.Submitted, replState, hintsPending)
 }
 
 // splitPeers parses the -peers flag, trimming whitespace and trailing
@@ -255,11 +338,11 @@ func newServer(opt tlr.BatchOptions, geom rtm.Geometry, shards int) *server {
 func newClusterServer(opt tlr.BatchOptions, geom rtm.Geometry, shards int, cc *cluster.Config) (*server, error) {
 	var fab *cluster.Fabric
 	if cc != nil {
-		opt.PeerFetch = func(digest string) (io.ReadCloser, error) {
+		opt.PeerFetch = func(digest string, exclude []string) (io.ReadCloser, string, error) {
 			if fab == nil {
-				return nil, nil
+				return nil, "", nil
 			}
-			return fab.Fetch(digest)
+			return fab.Fetch(digest, exclude...)
 		}
 	}
 	s := newServer(opt, geom, shards)
@@ -268,6 +351,7 @@ func newClusterServer(opt tlr.BatchOptions, geom rtm.Geometry, shards int, cc *c
 			_, ok, err := s.batcher.WriteTraceTo(digest, w)
 			return ok, err
 		}
+		cc.ListDigests = s.batcher.TraceDigests
 		var err error
 		fab, err = cluster.New(*cc)
 		if err != nil {
@@ -293,7 +377,38 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("GET /v1/traces/{digest}", s.handleTraceDownload)
 	mux.HandleFunc("POST /v1/rtm/insert", s.handleRTMInsert)
 	mux.HandleFunc("POST /v1/rtm/lookup", s.handleRTMLookup)
+	mux.HandleFunc("POST /v1/repair", s.handleRepair)
 	return mux
+}
+
+// admit reserves n in-flight job slots for a simulation-bearing request
+// (run, analyze, batch, ingest), shedding load with 429 + Retry-After
+// when the -max-inflight budget is exhausted.  Refusing up front keeps
+// an overloaded node answering fast — a bounded queue the client can
+// back off from — instead of timing everything out.  Trace uploads,
+// downloads, replication, and stats are never shed: they are cheap
+// relative to simulations and shedding them would fight replication
+// and repair.  When ok is false the response has been written.
+func (s *server) admit(w http.ResponseWriter, n int) (release func(), ok bool) {
+	release, err := s.batcher.Reserve(n)
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return nil, false
+	}
+	return release, true
+}
+
+// handleRepair runs one synchronous anti-entropy repair cycle and
+// reports what it checked and backfilled — the on-demand twin of the
+// -repair-interval loop, for operators and tests that want convergence
+// now rather than at the next tick.
+func (s *server) handleRepair(w http.ResponseWriter, _ *http.Request) {
+	if s.fabric == nil {
+		http.Error(w, "not clustered: repair needs -peers", http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, s.fabric.RepairCycle())
 }
 
 // --- trace store API ---
@@ -375,6 +490,17 @@ func (s *server) handleTraceList(w http.ResponseWriter, _ *http.Request) {
 // inspected and replayed on another (cmd/tlrtrace pull).
 func (s *server) handleTraceDownload(w http.ResponseWriter, r *http.Request) {
 	digest := r.PathValue("digest")
+	if r.Method == http.MethodHead {
+		// Existence probe — the repair loop's owner check.  Answering
+		// from the store index avoids opening (or decoding) anything.
+		if !s.batcher.HasTrace(digest) {
+			http.Error(w, fmt.Sprintf("no stored trace with digest %q", digest), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("X-Trace-Digest", digest)
+		w.WriteHeader(http.StatusOK)
+		return
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-Trace-Digest", digest)
 	// WriteTraceTo resolves the digest before writing a byte, so a miss
@@ -464,6 +590,11 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	lenient := q.Get("lenient") == "1" || q.Get("lenient") == "true"
 
+	release, ok := s.admit(w, 1)
+	if !ok {
+		return
+	}
+	defer release()
 	body := http.MaxBytesReader(w, r.Body, s.maxTraceBytes)
 	digest, st, err := s.batcher.IngestTrace(body, format, tlr.IngestOptions{Lenient: lenient})
 	if err != nil {
@@ -505,6 +636,11 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	release, ok := s.admit(w, 1)
+	if !ok {
+		return
+	}
+	defer release()
 	s.serveRun(w, r, req)
 }
 
@@ -526,6 +662,11 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("/v1/analyze only runs analyze requests (got kind %q); use /v1/run", req.Kind()), http.StatusBadRequest)
 		return
 	}
+	release, ok := s.admit(w, 1)
+	if !ok {
+		return
+	}
+	defer release()
 	s.serveRun(w, r, req)
 }
 
@@ -601,6 +742,13 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "empty batch", http.StatusBadRequest)
 		return
 	}
+	// A batch charges the admission budget for every job it carries, so
+	// one huge batch cannot slip past a budget tuned for single runs.
+	release, ok := s.admit(w, len(reqs))
+	if !ok {
+		return
+	}
+	defer release()
 	// The request context cancels the batch on client disconnect:
 	// undispatched jobs are skipped and in-flight simulations stop at
 	// their next cancellation check.
@@ -795,6 +943,11 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"ingestedTraces":  st.IngestedTraces,
 			"ingestedRecords": st.IngestedRecords,
 			"ingestRejects":   st.IngestRejects,
+		},
+		"admission": map[string]any{
+			"inflightJobs": st.InflightJobs,
+			"maxInflight":  st.MaxInflight,
+			"shed":         st.Shed,
 		},
 		"rtm":            s.shared.Stats(),
 		"rtmStored":      s.shared.Stored(),

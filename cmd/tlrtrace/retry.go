@@ -4,39 +4,75 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 )
 
 // doRetry runs op up to attempts times, retrying the transient failure
 // classes a network client actually sees: connection errors (the server
-// is restarting, the LB dropped us) and 5xx responses.  Anything else —
-// a 2xx, a 3xx, a 4xx — is the server's considered answer and is
+// is restarting, the LB dropped us), 5xx responses, and 429 (the server
+// is shedding load and wants us back later).  Anything else — a 2xx, a
+// 3xx, a non-429 4xx — is the server's considered answer and is
 // returned to the caller as-is.
 //
-// op must produce a fresh request each call (re-open files, re-seek
-// readers); doRetry drains and closes the bodies of responses it
-// retries so connections can be reused.  Backoff doubles per attempt.
+// A Retry-After header on a retried response overrides the backoff for
+// the next attempt: when the server says how long it needs, waiting
+// exactly that long beats guessing.  op must produce a fresh request
+// each call (re-open files, re-seek readers); doRetry drains and closes
+// the bodies of responses it retries so connections can be reused.
+// Backoff doubles per attempt; the final error reports the attempt
+// count and the last failure.
 func doRetry(attempts int, backoff time.Duration, op func() (*http.Response, error)) (*http.Response, error) {
 	if attempts < 1 {
 		attempts = 1
 	}
 	var lastErr error
+	var wait time.Duration // server-directed wait, overriding backoff
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
-			time.Sleep(backoff)
-			backoff *= 2
+			if wait <= 0 {
+				wait = backoff
+				backoff *= 2
+			}
+			time.Sleep(wait)
+			wait = 0
 		}
 		resp, err := op()
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		if resp.StatusCode < 500 {
+		if resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode < 500 {
 			return resp, nil
 		}
+		wait = retryAfter(resp.Header)
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		resp.Body.Close()
 		lastErr = fmt.Errorf("%s: %s", resp.Status, body)
 	}
 	return nil, fmt.Errorf("after %d attempts: %w", attempts, lastErr)
+}
+
+// retryAfterMax caps a server-directed wait so a confused server cannot
+// park the client indefinitely.
+const retryAfterMax = 30 * time.Second
+
+// retryAfter parses a Retry-After header — integer seconds or an HTTP
+// date, the two forms the spec allows.  0 means absent, unparseable, or
+// already in the past.
+func retryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	var d time.Duration
+	if secs, err := strconv.Atoi(v); err == nil {
+		d = time.Duration(secs) * time.Second
+	} else if t, err := http.ParseTime(v); err == nil {
+		d = time.Until(t)
+	}
+	if d < 0 {
+		return 0
+	}
+	return min(d, retryAfterMax)
 }

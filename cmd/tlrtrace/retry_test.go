@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // flakyServer fails the first n requests with the given status (0 =
@@ -85,6 +86,64 @@ func TestDoRetryGivesUpAfterAttempts(t *testing.T) {
 	}
 	if got := calls.Load(); got != 3 {
 		t.Fatalf("server saw %d calls, want 3", got)
+	}
+}
+
+func TestDoRetryRetries429AndHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "overloaded", http.StatusTooManyRequests)
+			return
+		}
+		io.Copy(w, r.Body)
+	}))
+	t.Cleanup(ts.Close)
+	start := time.Now()
+	resp, err := doRetry(3, 0, postBody(ts, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want 2 (429 retried)", got)
+	}
+	if el := time.Since(start); el < 900*time.Millisecond {
+		t.Fatalf("retried after %v, want the server's Retry-After (1s) honored", el)
+	}
+}
+
+func TestRetryAfterParsing(t *testing.T) {
+	mk := func(v string) http.Header {
+		h := http.Header{}
+		if v != "" {
+			h.Set("Retry-After", v)
+		}
+		return h
+	}
+	if d := retryAfter(mk("")); d != 0 {
+		t.Fatalf("absent header = %v, want 0", d)
+	}
+	if d := retryAfter(mk("2")); d != 2*time.Second {
+		t.Fatalf("seconds form = %v, want 2s", d)
+	}
+	if d := retryAfter(mk("3600")); d != retryAfterMax {
+		t.Fatalf("huge value = %v, want capped at %v", d, retryAfterMax)
+	}
+	if d := retryAfter(mk("soon")); d != 0 {
+		t.Fatalf("garbage = %v, want 0", d)
+	}
+	if d := retryAfter(mk("-5")); d != 0 {
+		t.Fatalf("negative seconds = %v, want 0", d)
+	}
+	date := time.Now().Add(10 * time.Second).UTC().Format(http.TimeFormat)
+	if d := retryAfter(mk(date)); d <= 0 || d > 10*time.Second {
+		t.Fatalf("future date = %v, want within (0, 10s]", d)
+	}
+	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
+	if d := retryAfter(mk(past)); d != 0 {
+		t.Fatalf("past date = %v, want 0", d)
 	}
 }
 

@@ -3,6 +3,7 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -25,9 +26,13 @@ const (
 )
 
 // failuresBeforeUnhealthy is how many consecutive request or probe
-// failures mark a peer unhealthy.  Unhealthy peers are skipped as
-// forwarding targets and tried last on fetches; any success resets
-// the count, and the background probe keeps retrying them.
+// failures mark a peer unhealthy and open its circuit breaker.
+// Unhealthy peers are skipped as forwarding targets and tried last on
+// fetches; while the breaker is open, replication and repair calls to
+// the peer are shed immediately instead of burning their retry budget.
+// The breaker half-opens (admits one trial call) every BreakerCooldown,
+// and any success closes it.  The background probe ignores the breaker
+// entirely, so probe recovery is what closes it in practice.
 const failuresBeforeUnhealthy = 3
 
 // Config configures a node's view of the fabric.
@@ -39,8 +44,9 @@ type Config struct {
 	// Replication is how many distinct peers own each digest.
 	// Defaults to 2, clamped to the peer count.
 	Replication int
-	// Client performs all peer HTTP requests.  Defaults to a client
-	// with a 10s timeout.
+	// Client performs all peer HTTP requests.  Defaults to a plain
+	// client; every fabric operation carries its own context deadline
+	// (the per-op timeouts below), so no coarse Client.Timeout is set.
 	Client *http.Client
 	// Retries is the attempt budget for one replication delivery.
 	// Defaults to 3.
@@ -53,8 +59,49 @@ type Config struct {
 	QueueDepth int
 	// ProbeEvery is the health-probe interval (GET /healthz on every
 	// other peer).  Defaults to 10s; zero or negative disables the
-	// probe loop (request outcomes still update health).
+	// probe loop (request outcomes still update health).  A probe
+	// that finds a peer healthy with hints pending triggers hint
+	// redelivery.
 	ProbeEvery time.Duration
+
+	// Per-operation deadlines.  Each fabric call runs under its own
+	// bounded context rather than one coarse client timeout, so a
+	// slow peer can delay only the operation that touched it.
+	//
+	// ProbeTimeout bounds one health probe.  Defaults to 2s.
+	ProbeTimeout time.Duration
+	// StatusTimeout bounds one HasTrace (HEAD) existence check during
+	// repair.  Defaults to 5s.
+	StatusTimeout time.Duration
+	// FetchTimeout bounds one peer trace fetch including reading the
+	// body.  Defaults to 60s.
+	FetchTimeout time.Duration
+	// ReplicateTimeout bounds one replication delivery attempt.
+	// Defaults to 60s.
+	ReplicateTimeout time.Duration
+	// ForwardTimeout caps one forwarded run (tighter caller contexts
+	// still apply).  Defaults to 120s.
+	ForwardTimeout time.Duration
+	// BreakerCooldown is how long an open per-peer breaker waits
+	// before admitting one half-open trial call.  Defaults to 5s.
+	BreakerCooldown time.Duration
+
+	// RepairEvery enables the anti-entropy repair loop: every
+	// interval the node scans ListDigests, asks each digest's other
+	// owners whether they hold it, and backfills the ones that don't.
+	// Zero or negative disables the loop; RepairCycle can still be
+	// called directly.
+	RepairEvery time.Duration
+	// ListDigests returns the digests held locally (memory + disk
+	// tiers).  Required for repair; nil disables it.
+	ListDigests func() []string
+	// HintDir, when set, makes failed replication writes durable:
+	// each failure writes a hint file naming the peer and digest,
+	// redelivered when the peer's health probe recovers (or by the
+	// repair loop) and removed on success.  Hints are rehydrated on
+	// startup.
+	HintDir string
+
 	// ReadTrace streams the locally stored trace for digest to w in
 	// download (v4) format, reporting whether the digest was held.
 	// It is the replication worker's data source.
@@ -70,6 +117,8 @@ type PeerHealth struct {
 	LastOK              time.Time `json:"lastOK,omitzero"`
 	ConsecutiveFailures int       `json:"consecutiveFailures"`
 	Healthy             bool      `json:"healthy"`
+	BreakerOpen         bool      `json:"breakerOpen"`
+	HintsPending        int       `json:"hintsPending,omitempty"`
 }
 
 // Stats counts fabric activity since startup.
@@ -84,16 +133,32 @@ type Stats struct {
 	ReplicationsFailed  uint64 `json:"replicationsFailed"`
 	ReplicationsDropped uint64 `json:"replicationsDropped"`
 	ReplicationQueue    int    `json:"replicationQueue"`
+	RepairCycles        uint64 `json:"repairCycles"`
+	RepairChecks        uint64 `json:"repairChecks"`
+	RepairBackfills     uint64 `json:"repairBackfills"`
+	RepairFailures      uint64 `json:"repairFailures"`
+	HintsQueued         uint64 `json:"hintsQueued"`
+	HintsDelivered      uint64 `json:"hintsDelivered"`
+	HintsPending        int    `json:"hintsPending"`
+	BreakerOpens        uint64 `json:"breakerOpens"`
+	BreakerShed         uint64 `json:"breakerShed"`
+	BreakerOpen         int    `json:"breakerOpen"`
 }
 
 type peerState struct {
 	lastProbe time.Time
 	lastOK    time.Time
 	consec    int
+	// openedAt is when consec crossed the unhealthy threshold;
+	// lastTrial is the most recent half-open trial granted.  The
+	// breaker admits one call per BreakerCooldown past the later of
+	// the two.
+	openedAt  time.Time
+	lastTrial time.Time
 }
 
 // Fabric is one node's handle on the cluster: placement queries,
-// peer fetch, async replication, run forwarding, and health.
+// peer fetch, async replication, run forwarding, repair, and health.
 // All methods are safe for concurrent use.
 type Fabric struct {
 	ring        *Ring
@@ -103,11 +168,24 @@ type Fabric struct {
 	retries     int
 	backoff     time.Duration
 	readTrace   func(string, io.Writer) (bool, error)
+	listDigests func() []string
 	logf        func(string, ...any)
+	hintDir     string
 
-	mu    sync.Mutex
-	peers map[string]*peerState
-	stats Stats
+	probeTimeout     time.Duration
+	statusTimeout    time.Duration
+	fetchTimeout     time.Duration
+	replicateTimeout time.Duration
+	forwardTimeout   time.Duration
+	breakerCooldown  time.Duration
+
+	mu         sync.Mutex
+	peers      map[string]*peerState
+	stats      Stats
+	hints      map[string]map[string]struct{} // peer -> digests owed
+	delivering map[string]bool                // peer -> redelivery in flight
+
+	repairMu sync.Mutex // serializes repair cycles
 
 	queue  chan string
 	ctx    context.Context
@@ -116,7 +194,8 @@ type Fabric struct {
 }
 
 // New validates cfg, starts the replication worker and (if enabled)
-// the health-probe loop, and returns the fabric.  Close releases both.
+// the health-probe and repair loops, and returns the fabric.  Close
+// releases all of them.
 func New(cfg Config) (*Fabric, error) {
 	ring, err := NewRing(cfg.Peers)
 	if err != nil {
@@ -141,7 +220,7 @@ func New(cfg Config) (*Fabric, error) {
 		cfg.Replication = len(cfg.Peers)
 	}
 	if cfg.Client == nil {
-		cfg.Client = &http.Client{Timeout: 10 * time.Second}
+		cfg.Client = &http.Client{}
 	}
 	if cfg.Retries <= 0 {
 		cfg.Retries = 3
@@ -152,27 +231,61 @@ func New(cfg Config) (*Fabric, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 256
 	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.StatusTimeout <= 0 {
+		cfg.StatusTimeout = 5 * time.Second
+	}
+	if cfg.FetchTimeout <= 0 {
+		cfg.FetchTimeout = 60 * time.Second
+	}
+	if cfg.ReplicateTimeout <= 0 {
+		cfg.ReplicateTimeout = 60 * time.Second
+	}
+	if cfg.ForwardTimeout <= 0 {
+		cfg.ForwardTimeout = 120 * time.Second
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 5 * time.Second
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	f := &Fabric{
-		ring:        ring,
-		self:        cfg.Self,
-		replication: cfg.Replication,
-		client:      cfg.Client,
-		retries:     cfg.Retries,
-		backoff:     cfg.Backoff,
-		readTrace:   cfg.ReadTrace,
-		logf:        cfg.Logf,
-		peers:       make(map[string]*peerState, len(cfg.Peers)),
-		queue:       make(chan string, cfg.QueueDepth),
-		ctx:         ctx,
-		cancel:      cancel,
+		ring:             ring,
+		self:             cfg.Self,
+		replication:      cfg.Replication,
+		client:           cfg.Client,
+		retries:          cfg.Retries,
+		backoff:          cfg.Backoff,
+		readTrace:        cfg.ReadTrace,
+		listDigests:      cfg.ListDigests,
+		logf:             cfg.Logf,
+		hintDir:          cfg.HintDir,
+		probeTimeout:     cfg.ProbeTimeout,
+		statusTimeout:    cfg.StatusTimeout,
+		fetchTimeout:     cfg.FetchTimeout,
+		replicateTimeout: cfg.ReplicateTimeout,
+		forwardTimeout:   cfg.ForwardTimeout,
+		breakerCooldown:  cfg.BreakerCooldown,
+		peers:            make(map[string]*peerState, len(cfg.Peers)),
+		hints:            make(map[string]map[string]struct{}),
+		delivering:       make(map[string]bool),
+		queue:            make(chan string, cfg.QueueDepth),
+		ctx:              ctx,
+		cancel:           cancel,
 	}
 	for _, p := range cfg.Peers {
 		if p != cfg.Self {
 			f.peers[p] = &peerState{}
+		}
+	}
+	if f.hintDir != "" {
+		if err := f.rehydrateHints(); err != nil {
+			cancel()
+			return nil, err
 		}
 	}
 	f.wg.Add(1)
@@ -181,11 +294,17 @@ func New(cfg Config) (*Fabric, error) {
 		f.wg.Add(1)
 		go f.probeLoop(cfg.ProbeEvery)
 	}
+	if cfg.RepairEvery > 0 && f.listDigests != nil {
+		f.wg.Add(1)
+		go f.repairLoop(cfg.RepairEvery)
+	}
 	return f, nil
 }
 
-// Close stops the replication worker and probe loop.  Queued
-// replications that have not started are abandoned.
+// Close stops the replication worker and the probe and repair loops.
+// Queued replications that have not started are abandoned (with
+// HintDir set they were never the only copy of the intent: repair
+// re-derives it from the digest set).
 func (f *Fabric) Close() {
 	f.cancel()
 	f.wg.Wait()
@@ -223,58 +342,101 @@ func (f *Fabric) ForwardTarget(digest string) (string, bool) {
 	return "", false
 }
 
+// errNotHeld distinguishes "peer is fine, digest absent" from
+// transport or server failure inside the fetch loop.
+var errNotHeld = errors.New("cluster: peer does not hold digest")
+
 // Fetch retrieves digest from its owner peers in ring order (then any
 // remaining peer, so a mis-placed but present digest is still found),
-// returning the response body stream.  The caller must close it and
-// must validate content: the fabric does not inspect trace bytes.
+// returning the response body stream and the peer that served it.
+// Peers listed in exclude are skipped — callers that received a
+// corrupt body from one peer retry with it excluded, so the fetch
+// falls through to the next holder.  The caller must close the body
+// and must validate content: the fabric does not inspect trace bytes.
 // A nil ReadCloser with nil error means no reachable peer holds the
 // digest; an error means every holder attempt failed.
-func (f *Fabric) Fetch(digest string) (io.ReadCloser, error) {
-	order := f.fetchOrder(digest)
+func (f *Fabric) Fetch(digest string, exclude ...string) (io.ReadCloser, string, error) {
+	order := f.fetchOrder(digest, exclude)
 	f.bump(func(s *Stats) { s.FetchAttempts++ })
 	var lastErr error
 	for _, p := range order {
-		req, err := http.NewRequestWithContext(f.ctx, http.MethodGet, p+"/v1/traces/"+digest, nil)
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		req.Header.Set(HeaderPeer, f.self)
-		resp, err := f.client.Do(req)
-		if err != nil {
-			f.noteFailure(p)
+		body, err := f.fetchFrom(p, digest)
+		switch {
+		case err == nil:
+			f.bump(func(s *Stats) { s.FetchHits++ })
+			return body, p, nil
+		case errors.Is(err, errNotHeld):
+			// The peer is up, it just doesn't hold the digest.
+		default:
 			f.logf("cluster: fetch %s from %s: %v", digest, p, err)
 			lastErr = err
-			continue
-		}
-		switch {
-		case resp.StatusCode == http.StatusOK:
-			f.noteSuccess(p)
-			f.bump(func(s *Stats) { s.FetchHits++ })
-			return resp.Body, nil
-		case resp.StatusCode == http.StatusNotFound:
-			// The peer is up, it just doesn't hold the digest.
-			f.noteSuccess(p)
-			resp.Body.Close()
-		default:
-			f.noteFailure(p)
-			lastErr = fmt.Errorf("cluster: fetch %s from %s: %s", digest, p, resp.Status)
-			f.logf("%v", lastErr)
-			resp.Body.Close()
 		}
 	}
 	if lastErr != nil {
 		f.bump(func(s *Stats) { s.FetchErrors++ })
-		return nil, lastErr
+		return nil, "", lastErr
 	}
 	f.bump(func(s *Stats) { s.FetchMisses++ })
-	return nil, nil
+	return nil, "", nil
 }
 
-// fetchOrder lists every peer except self: healthy owners first (ring
-// order), then healthy non-owners, then the unhealthy as a last
-// resort.
-func (f *Fabric) fetchOrder(digest string) []string {
+// fetchFrom performs one GET against one peer under the fetch
+// deadline.  The returned body keeps the deadline armed until Close.
+func (f *Fabric) fetchFrom(peer, digest string) (io.ReadCloser, error) {
+	ctx, cancel := context.WithTimeout(f.ctx, f.fetchTimeout)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/traces/"+digest, nil)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	req.Header.Set(HeaderPeer, f.self)
+	resp, err := f.client.Do(req)
+	if err != nil {
+		cancel()
+		f.noteFailure(peer)
+		return nil, err
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		f.noteSuccess(peer)
+		return &cancelBody{ReadCloser: resp.Body, cancel: cancel}, nil
+	case resp.StatusCode == http.StatusNotFound:
+		f.noteSuccess(peer)
+		resp.Body.Close()
+		cancel()
+		return nil, errNotHeld
+	default:
+		f.noteFailure(peer)
+		resp.Body.Close()
+		cancel()
+		return nil, fmt.Errorf("%s", resp.Status)
+	}
+}
+
+// cancelBody releases the per-fetch context deadline when the caller
+// finishes reading the body.
+type cancelBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
+}
+
+// fetchOrder lists every peer except self and the excluded set:
+// healthy owners first (ring order), then healthy non-owners, then
+// breaker-open peers due a half-open trial.  Peers shed by the
+// breaker are skipped entirely — unless they are all that's left, in
+// which case they are returned as the last resort (a fetch with
+// standing peers should never fail without asking anyone).
+func (f *Fabric) fetchOrder(digest string, exclude []string) []string {
+	skip := make(map[string]bool, len(exclude))
+	for _, p := range exclude {
+		skip[p] = true
+	}
 	owners := f.Owners(digest)
 	isOwner := make(map[string]bool, len(owners))
 	for _, p := range owners {
@@ -282,12 +444,17 @@ func (f *Fabric) fetchOrder(digest string) []string {
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	var healthyOwners, healthyRest, unhealthy []string
+	now := time.Now()
+	var healthyOwners, healthyRest, trial, shed []string
 	add := func(p string) {
 		st := f.peers[p]
 		switch {
 		case st.consec >= failuresBeforeUnhealthy:
-			unhealthy = append(unhealthy, p)
+			if f.allowLocked(st, now) {
+				trial = append(trial, p)
+			} else {
+				shed = append(shed, p)
+			}
 		case isOwner[p]:
 			healthyOwners = append(healthyOwners, p)
 		default:
@@ -295,21 +462,27 @@ func (f *Fabric) fetchOrder(digest string) []string {
 		}
 	}
 	for _, p := range owners {
-		if p != f.self {
+		if p != f.self && !skip[p] {
 			add(p)
 		}
 	}
 	for _, p := range f.ring.Peers() {
-		if p != f.self && !isOwner[p] {
+		if p != f.self && !isOwner[p] && !skip[p] {
 			add(p)
 		}
 	}
-	return append(append(healthyOwners, healthyRest...), unhealthy...)
+	order := append(append(healthyOwners, healthyRest...), trial...)
+	if len(order) == 0 {
+		return shed
+	}
+	f.stats.BreakerShed += uint64(len(shed))
+	return order
 }
 
 // Replicate queues digest for asynchronous delivery to its other
 // owners.  It returns immediately; if the queue is full the request
-// is dropped and counted rather than blocking the upload path.
+// is dropped and counted rather than blocking the upload path (the
+// repair loop re-derives the intent on its next cycle).
 func (f *Fabric) Replicate(digest string) {
 	needsCopy := false
 	for _, p := range f.Owners(digest) {
@@ -329,6 +502,29 @@ func (f *Fabric) Replicate(digest string) {
 	}
 }
 
+// Drain blocks until every queued replication has been processed or
+// ctx expires.  Pending means enqueued but not yet finished, so a
+// delivery in flight when Drain is called is waited for.
+func (f *Fabric) Drain(ctx context.Context) error {
+	t := time.NewTicker(5 * time.Millisecond)
+	defer t.Stop()
+	for {
+		f.mu.Lock()
+		pending := f.stats.ReplicationsQueued - (f.stats.ReplicationsDone + f.stats.ReplicationsFailed)
+		f.mu.Unlock()
+		if pending == 0 && len(f.queue) == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("cluster: drain: %d replications still pending: %w", pending, ctx.Err())
+		case <-f.ctx.Done():
+			return f.ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
 func (f *Fabric) replicationWorker() {
 	defer f.wg.Done()
 	for {
@@ -343,6 +539,9 @@ func (f *Fabric) replicationWorker() {
 				}
 				if err := f.replicateTo(digest, p); err != nil {
 					failed = true
+					if !isPermanent(err) {
+						f.addHint(p, digest)
+					}
 					f.logf("cluster: replicate %s to %s: %v", digest, p, err)
 				}
 			}
@@ -357,7 +556,9 @@ func (f *Fabric) replicationWorker() {
 
 // replicateTo delivers one digest to one peer with bounded
 // retry/backoff.  Connection errors and 5xx are retried; any 4xx is
-// permanent (the peer understood us and refused).
+// permanent (the peer understood us and refused).  An open breaker
+// sheds the delivery immediately — the hint (or the next repair
+// cycle) picks it up after the peer recovers.
 func (f *Fabric) replicateTo(digest, peer string) error {
 	var lastErr error
 	delay := f.backoff
@@ -370,13 +571,17 @@ func (f *Fabric) replicateTo(digest, peer string) error {
 			}
 			delay *= 2
 		}
+		if !f.allow(peer) {
+			f.bump(func(s *Stats) { s.BreakerShed++ })
+			return fmt.Errorf("cluster: breaker open for %s", peer)
+		}
 		err := f.replicateOnce(digest, peer)
 		if err == nil {
 			f.noteSuccess(peer)
 			return nil
 		}
-		if pe, ok := err.(*permanentError); ok {
-			return pe.err
+		if isPermanent(err) {
+			return err
 		}
 		f.noteFailure(peer)
 		lastErr = err
@@ -387,8 +592,16 @@ func (f *Fabric) replicateTo(digest, peer string) error {
 type permanentError struct{ err error }
 
 func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+func isPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
 
 func (f *Fabric) replicateOnce(digest, peer string) error {
+	ctx, cancel := context.WithTimeout(f.ctx, f.replicateTimeout)
+	defer cancel()
 	// Stream the trace through a pipe so replication never buffers a
 	// whole container, mirroring the chunked-upload path clients use.
 	pr, pw := io.Pipe()
@@ -399,7 +612,7 @@ func (f *Fabric) replicateOnce(digest, peer string) error {
 		}
 		pw.CloseWithError(err)
 	}()
-	req, err := http.NewRequestWithContext(f.ctx, http.MethodPost, peer+"/v1/traces", pr)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+"/v1/traces", pr)
 	if err != nil {
 		pr.Close()
 		return err
@@ -425,8 +638,11 @@ func (f *Fabric) replicateOnce(digest, peer string) error {
 
 // PostRun forwards an encoded /v1/run request body to target and
 // returns the response body.  The HeaderForwarded header tells the
-// receiving node to execute locally rather than forward again.
+// receiving node to execute locally rather than forward again.  The
+// call is capped by the fabric's forward timeout on top of ctx.
 func (f *Fabric) PostRun(ctx context.Context, target string, body []byte) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, f.forwardTimeout)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/v1/run", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
@@ -482,9 +698,15 @@ func (f *Fabric) probeAll() {
 	}
 }
 
+// probe checks one peer's /healthz under the probe deadline.  Probes
+// bypass the circuit breaker — they are its recovery path: a healthy
+// probe resets the failure count (closing the breaker) and kicks off
+// redelivery of any hints owed to the peer.
 func (f *Fabric) probe(peer string) {
 	now := time.Now()
-	req, err := http.NewRequestWithContext(f.ctx, http.MethodGet, peer+"/healthz", nil)
+	ctx, cancel := context.WithTimeout(f.ctx, f.probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/healthz", nil)
 	if err != nil {
 		return
 	}
@@ -496,9 +718,9 @@ func (f *Fabric) probe(peer string) {
 		resp.Body.Close()
 	}
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	st := f.peers[peer]
 	if st == nil {
+		f.mu.Unlock()
 		return
 	}
 	st.lastProbe = now
@@ -507,6 +729,15 @@ func (f *Fabric) probe(peer string) {
 		st.consec = 0
 	} else {
 		st.consec++
+		if st.consec == failuresBeforeUnhealthy {
+			st.openedAt = now
+			f.stats.BreakerOpens++
+		}
+	}
+	owed := ok && len(f.hints[peer]) > 0
+	f.mu.Unlock()
+	if owed {
+		f.deliverHints(peer)
 	}
 }
 
@@ -515,37 +746,104 @@ func (f *Fabric) probe(peer string) {
 func (f *Fabric) Health() []PeerHealth {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	now := time.Now()
 	out := make([]PeerHealth, 0, len(f.peers))
 	for _, p := range f.ring.Peers() {
 		st := f.peers[p]
 		if st == nil {
 			continue // self
 		}
+		open := st.consec >= failuresBeforeUnhealthy && !f.wouldAllowLocked(st, now)
 		out = append(out, PeerHealth{
 			Peer:                p,
 			LastProbe:           st.lastProbe,
 			LastOK:              st.lastOK,
 			ConsecutiveFailures: st.consec,
 			Healthy:             st.consec < failuresBeforeUnhealthy,
+			BreakerOpen:         open,
+			HintsPending:        len(f.hints[p]),
 		})
 	}
 	return out
 }
 
 // StatsSnapshot returns the fabric counters, including the current
-// replication queue depth.
+// replication queue depth, pending hint count, and open breakers.
 func (f *Fabric) StatsSnapshot() Stats {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	s := f.stats
 	s.ReplicationQueue = len(f.queue)
+	for _, hs := range f.hints {
+		s.HintsPending += len(hs)
+	}
+	for _, st := range f.peers {
+		if st.consec >= failuresBeforeUnhealthy {
+			s.BreakerOpen++
+		}
+	}
 	return s
+}
+
+// HintsPending reports how many failed replication writes are waiting
+// for their peer to recover.
+func (f *Fabric) HintsPending() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, hs := range f.hints {
+		n += len(hs)
+	}
+	return n
 }
 
 func (f *Fabric) bump(fn func(*Stats)) {
 	f.mu.Lock()
 	fn(&f.stats)
 	f.mu.Unlock()
+}
+
+// allow reports whether the breaker admits a call to peer right now,
+// granting the half-open trial slot if one is due.
+func (f *Fabric) allow(peer string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.peers[peer]
+	if st == nil {
+		return true
+	}
+	return f.allowLocked(st, time.Now())
+}
+
+// allowLocked implements the breaker decision.  Closed (healthy)
+// always admits.  Open admits one trial per cooldown, measured from
+// the later of open time and last trial; granting a trial records it.
+func (f *Fabric) allowLocked(st *peerState, now time.Time) bool {
+	if st.consec < failuresBeforeUnhealthy {
+		return true
+	}
+	ref := st.openedAt
+	if st.lastTrial.After(ref) {
+		ref = st.lastTrial
+	}
+	if now.Sub(ref) < f.breakerCooldown {
+		return false
+	}
+	st.lastTrial = now
+	return true
+}
+
+// wouldAllowLocked is allowLocked without consuming the trial slot,
+// for read-only snapshots.
+func (f *Fabric) wouldAllowLocked(st *peerState, now time.Time) bool {
+	if st.consec < failuresBeforeUnhealthy {
+		return true
+	}
+	ref := st.openedAt
+	if st.lastTrial.After(ref) {
+		ref = st.lastTrial
+	}
+	return now.Sub(ref) >= f.breakerCooldown
 }
 
 func (f *Fabric) noteSuccess(peer string) {
@@ -562,5 +860,9 @@ func (f *Fabric) noteFailure(peer string) {
 	defer f.mu.Unlock()
 	if st := f.peers[peer]; st != nil {
 		st.consec++
+		if st.consec == failuresBeforeUnhealthy {
+			st.openedAt = time.Now()
+			f.stats.BreakerOpens++
+		}
 	}
 }

@@ -110,12 +110,15 @@ func TestFetchFromHoldingPeer(t *testing.T) {
 	a.put(digest, body)
 	b.put(digest, body)
 
-	rc, err := f.Fetch(digest)
+	rc, servedBy, err := f.Fetch(digest)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rc == nil {
 		t.Fatal("fetch missed a held digest")
+	}
+	if servedBy != a.ts.URL && servedBy != b.ts.URL {
+		t.Fatalf("fetch reported serving peer %q, want one of the holders", servedBy)
 	}
 	got, err := io.ReadAll(rc)
 	rc.Close()
@@ -136,7 +139,7 @@ func TestFetchMissWhenNoPeerHolds(t *testing.T) {
 	self := "http://self.invalid"
 	f := newTestFabric(t, self, []string{self, a.ts.URL, b.ts.URL}, nil)
 
-	rc, err := f.Fetch("sha256-missing")
+	rc, _, err := f.Fetch("sha256-missing")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +163,7 @@ func TestFetchSkipsDeadPeerAndErrorsWhenAllFail(t *testing.T) {
 
 	const digest = "sha256-abc"
 	live.put(digest, []byte("x"))
-	rc, err := f.Fetch(digest)
+	rc, _, err := f.Fetch(digest)
 	if err != nil || rc == nil {
 		t.Fatalf("fetch should fall past the 500ing peer: rc=%v err=%v", rc, err)
 	}
@@ -169,7 +172,7 @@ func TestFetchSkipsDeadPeerAndErrorsWhenAllFail(t *testing.T) {
 	// Now only the dead peer remains in a fresh fabric: every holder
 	// attempt fails, so Fetch must surface an error, not a miss.
 	f2 := newTestFabric(t, self, []string{self, dead.URL}, nil)
-	if _, err := f2.Fetch(digest); err == nil {
+	if _, _, err := f2.Fetch(digest); err == nil {
 		t.Fatal("all-peers-failing fetch reported no error")
 	}
 	if st := f2.StatsSnapshot(); st.FetchErrors != 1 {

@@ -1,0 +1,182 @@
+package cluster
+
+// Hinted handoff: when a replication write to a peer fails with a
+// transient error, the node records a hint — "peer P is owed digest
+// D" — instead of forgetting the write.  Hints live in memory and,
+// with Config.HintDir set, as small JSON files that survive restarts.
+// They are redelivered when the peer's health probe recovers (and
+// checked off by the repair loop, which independently re-derives the
+// same intent from the digest set), and removed on any successful
+// delivery.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// hintRecord is the durable form of one owed replication write.
+type hintRecord struct {
+	Peer   string    `json:"peer"`
+	Digest string    `json:"digest"`
+	Time   time.Time `json:"time"`
+}
+
+// hintFileName derives a stable, filesystem-safe name for one
+// (peer, digest) hint so re-adding the same hint overwrites rather
+// than accumulates.
+func hintFileName(peer, digest string) string {
+	sum := sha256.Sum256([]byte(peer + "|" + digest))
+	return hex.EncodeToString(sum[:12]) + ".hint"
+}
+
+// addHint records that peer is owed digest.  Idempotent.
+func (f *Fabric) addHint(peer, digest string) {
+	f.mu.Lock()
+	set := f.hints[peer]
+	if set == nil {
+		set = make(map[string]struct{})
+		f.hints[peer] = set
+	}
+	_, dup := set[digest]
+	if !dup {
+		set[digest] = struct{}{}
+		f.stats.HintsQueued++
+	}
+	f.mu.Unlock()
+	if dup || f.hintDir == "" {
+		return
+	}
+	rec := hintRecord{Peer: peer, Digest: digest, Time: time.Now().UTC()}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	path := filepath.Join(f.hintDir, hintFileName(peer, digest))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		f.logf("cluster: write hint %s: %v", path, err)
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		f.logf("cluster: write hint %s: %v", path, err)
+	}
+}
+
+// dropHint removes one hint after the peer demonstrably holds the
+// digest (successful delivery, or a repair check found it present).
+func (f *Fabric) dropHint(peer, digest string) {
+	f.mu.Lock()
+	set := f.hints[peer]
+	_, had := set[digest]
+	if had {
+		delete(set, digest)
+		if len(set) == 0 {
+			delete(f.hints, peer)
+		}
+	}
+	f.mu.Unlock()
+	if had && f.hintDir != "" {
+		os.Remove(filepath.Join(f.hintDir, hintFileName(peer, digest)))
+	}
+}
+
+// hintsFor snapshots the digests owed to peer.
+func (f *Fabric) hintsFor(peer string) []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	set := f.hints[peer]
+	out := make([]string, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	return out
+}
+
+// rehydrateHints loads durable hints from HintDir at startup so a
+// restarted node still knows which writes it owes.  Hints naming
+// peers outside the configured set are dropped (stale topology).
+func (f *Fabric) rehydrateHints() error {
+	if err := os.MkdirAll(f.hintDir, 0o755); err != nil {
+		return fmt.Errorf("cluster: hint dir: %w", err)
+	}
+	entries, err := os.ReadDir(f.hintDir)
+	if err != nil {
+		return fmt.Errorf("cluster: hint dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".hint" {
+			continue
+		}
+		path := filepath.Join(f.hintDir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		var rec hintRecord
+		if err := json.Unmarshal(data, &rec); err != nil || rec.Peer == "" || rec.Digest == "" {
+			f.logf("cluster: dropping malformed hint %s", path)
+			os.Remove(path)
+			continue
+		}
+		if _, known := f.peers[rec.Peer]; !known {
+			f.logf("cluster: dropping hint for unknown peer %s", rec.Peer)
+			os.Remove(path)
+			continue
+		}
+		set := f.hints[rec.Peer]
+		if set == nil {
+			set = make(map[string]struct{})
+			f.hints[rec.Peer] = set
+		}
+		set[rec.Digest] = struct{}{}
+	}
+	return nil
+}
+
+// deliverHints asynchronously replays every hint owed to peer.  At
+// most one redelivery per peer runs at a time; the probe loop calls
+// this on every healthy probe while hints remain, so partial progress
+// is retried on the next probe.
+func (f *Fabric) deliverHints(peer string) {
+	f.mu.Lock()
+	if f.delivering[peer] {
+		f.mu.Unlock()
+		return
+	}
+	f.delivering[peer] = true
+	f.mu.Unlock()
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		defer func() {
+			f.mu.Lock()
+			delete(f.delivering, peer)
+			f.mu.Unlock()
+		}()
+		for _, digest := range f.hintsFor(peer) {
+			select {
+			case <-f.ctx.Done():
+				return
+			default:
+			}
+			if err := f.replicateTo(digest, peer); err != nil {
+				if isPermanent(err) {
+					// The peer refused the write outright;
+					// retrying the hint forever won't help.
+					f.dropHint(peer, digest)
+				}
+				f.logf("cluster: hint redelivery %s to %s: %v", digest, peer, err)
+				return
+			}
+			f.dropHint(peer, digest)
+			f.bump(func(s *Stats) { s.HintsDelivered++ })
+			f.logf("cluster: hint delivered: %s to %s", digest, peer)
+		}
+	}()
+}

@@ -1,0 +1,227 @@
+package cluster
+
+// Fault injection for chaos testing.  An Injector wraps the transport
+// a Fabric's HTTP client uses and applies failure rules to matching
+// requests: drop (connection error), delay, synthetic 5xx, truncated
+// or corrupted response bodies.  Installing a drop rule on node A's
+// injector targeting node B partitions the A→B direction only — B can
+// still reach A — which is how the tests build asymmetric partitions.
+// The injector is test/chaos tooling; production nodes run without
+// one unless the -chaos-* flags are set.
+
+import (
+	"errors"
+	"io"
+	mrand "math/rand/v2"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjectedDrop is the connection error a Drop rule synthesizes.
+var ErrInjectedDrop = errors.New("cluster: injected connection drop")
+
+// InjectRule matches requests and describes the fault to apply.
+// Multiple matching rules all apply, in order; Drop and Status
+// short-circuit the real request.
+type InjectRule struct {
+	// Target, when non-empty, must be a substring of the request URL
+	// (typically a peer's host:port) for the rule to match.
+	Target string
+	// Path, when non-empty, must be a prefix of the URL path.
+	Path string
+	// Prob applies the rule to roughly this fraction of matching
+	// requests; <= 0 or >= 1 means every one.
+	Prob float64
+	// Remaining, when > 0, applies the rule at most this many times.
+	Remaining int64
+
+	// Drop fails the request with ErrInjectedDrop without sending it.
+	Drop bool
+	// Delay sleeps before the request proceeds (honoring the request
+	// context, so deadlines still fire).
+	Delay time.Duration
+	// Status, when non-zero, synthesizes a response with this status
+	// code without sending the request.
+	Status int
+	// TruncateBody, when > 0, cuts the response body after N bytes.
+	TruncateBody int64
+	// CorruptBody flips a byte early in the response body.
+	CorruptBody bool
+}
+
+func (r *InjectRule) matches(req *http.Request) bool {
+	if r.Target != "" && !strings.Contains(req.URL.String(), r.Target) {
+		return false
+	}
+	if r.Path != "" && !strings.HasPrefix(req.URL.Path, r.Path) {
+		return false
+	}
+	if r.Prob > 0 && r.Prob < 1 && mrand.Float64() >= r.Prob {
+		return false
+	}
+	return true
+}
+
+// Injector is a rule-driven faulty http.RoundTripper.
+// Safe for concurrent use.
+type Injector struct {
+	base http.RoundTripper
+
+	mu       sync.Mutex
+	rules    []*InjectRule
+	injected uint64
+}
+
+// NewInjector wraps base (nil means http.DefaultTransport).
+func NewInjector(base http.RoundTripper) *Injector {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Injector{base: base}
+}
+
+// Add installs a rule and returns it (for later Remove).
+func (in *Injector) Add(r *InjectRule) *InjectRule {
+	in.mu.Lock()
+	in.rules = append(in.rules, r)
+	in.mu.Unlock()
+	return r
+}
+
+// Partition installs a drop rule for every request whose URL contains
+// target: the calling side can no longer reach it.
+func (in *Injector) Partition(target string) *InjectRule {
+	return in.Add(&InjectRule{Target: target, Drop: true})
+}
+
+// Remove uninstalls one rule.
+func (in *Injector) Remove(r *InjectRule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i, have := range in.rules {
+		if have == r {
+			in.rules = append(in.rules[:i], in.rules[i+1:]...)
+			return
+		}
+	}
+}
+
+// Heal removes every rule.
+func (in *Injector) Heal() {
+	in.mu.Lock()
+	in.rules = nil
+	in.mu.Unlock()
+}
+
+// Injected reports how many faults have been applied.
+func (in *Injector) Injected() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.injected
+}
+
+// match collects the rules applying to req, consuming Remaining
+// budgets and counting injections.
+func (in *Injector) match(req *http.Request) []*InjectRule {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var hit []*InjectRule
+	for _, r := range in.rules {
+		if !r.matches(req) {
+			continue
+		}
+		if r.Remaining != 0 {
+			if r.Remaining < 0 {
+				continue // budget spent
+			}
+			r.Remaining--
+			if r.Remaining == 0 {
+				r.Remaining = -1 // spent, distinct from 0 = unlimited
+			}
+		}
+		hit = append(hit, r)
+		in.injected++
+	}
+	return hit
+}
+
+// RoundTrip applies every matching rule, then (unless short-circuited)
+// performs the real request and wraps its body per the rules.
+func (in *Injector) RoundTrip(req *http.Request) (*http.Response, error) {
+	hit := in.match(req)
+	var truncate int64
+	corrupt := false
+	for _, r := range hit {
+		if r.Delay > 0 {
+			t := time.NewTimer(r.Delay)
+			select {
+			case <-req.Context().Done():
+				t.Stop()
+				return nil, req.Context().Err()
+			case <-t.C:
+			}
+		}
+		if r.Drop {
+			return nil, ErrInjectedDrop
+		}
+		if r.Status != 0 {
+			return &http.Response{
+				Status:     http.StatusText(r.Status),
+				StatusCode: r.Status,
+				Proto:      req.Proto,
+				ProtoMajor: req.ProtoMajor,
+				ProtoMinor: req.ProtoMinor,
+				Header:     make(http.Header),
+				Body:       io.NopCloser(strings.NewReader("injected fault")),
+				Request:    req,
+			}, nil
+		}
+		if r.TruncateBody > 0 && (truncate == 0 || r.TruncateBody < truncate) {
+			truncate = r.TruncateBody
+		}
+		if r.CorruptBody {
+			corrupt = true
+		}
+	}
+	resp, err := in.base.RoundTrip(req)
+	if err != nil || resp == nil {
+		return resp, err
+	}
+	if truncate > 0 {
+		resp.Body = &truncatedBody{r: io.LimitReader(resp.Body, truncate), c: resp.Body}
+		resp.ContentLength = -1
+	}
+	if corrupt {
+		resp.Body = &corruptBody{c: resp.Body}
+	}
+	return resp, nil
+}
+
+// truncatedBody ends the stream after the limit while still closing
+// the full underlying body.
+type truncatedBody struct {
+	r io.Reader
+	c io.Closer
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) { return b.r.Read(p) }
+func (b *truncatedBody) Close() error               { return b.c.Close() }
+
+// corruptBody flips the first byte it delivers.
+type corruptBody struct {
+	c    io.ReadCloser
+	done bool
+}
+
+func (b *corruptBody) Read(p []byte) (int, error) {
+	n, err := b.c.Read(p)
+	if n > 0 && !b.done {
+		p[0] ^= 0xff
+		b.done = true
+	}
+	return n, err
+}
+
+func (b *corruptBody) Close() error { return b.c.Close() }

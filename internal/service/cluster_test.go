@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
@@ -49,13 +50,18 @@ type fakePeerFetch struct {
 	calls atomic.Int64
 }
 
-func (p *fakePeerFetch) fetch(digest string) (io.ReadCloser, error) {
+func (p *fakePeerFetch) fetch(digest string, exclude []string) (io.ReadCloser, string, error) {
 	p.calls.Add(1)
+	for _, e := range exclude {
+		if e == "test-peer" {
+			return nil, "", nil // the only peer is excluded: no holder left
+		}
+	}
 	b, ok := p.blobs[digest]
 	if !ok {
-		return nil, nil
+		return nil, "", nil
 	}
-	return io.NopCloser(bytes.NewReader(b)), nil
+	return io.NopCloser(bytes.NewReader(b)), "test-peer", nil
 }
 
 // TestResolveTraceOrdering: resolution must fall through memory → disk
@@ -159,8 +165,11 @@ func TestResolveTraceRejectsCorruptPeerBody(t *testing.T) {
 				if _, ok := s.ResolveTrace(wanted.Digest()); ok {
 					t.Fatalf("withDisk=%v: second lookup resolved", withDisk)
 				}
-				if got := peer.calls.Load(); got != 2 {
-					t.Fatalf("withDisk=%v: peer consulted %d times, want 2 (rejects are not cached)", withDisk, got)
+				// Each lookup consults the peer twice: the corrupt body is
+				// rejected, then the retry (with the peer excluded) finds
+				// no remaining holder.
+				if got := peer.calls.Load(); got != 4 {
+					t.Fatalf("withDisk=%v: peer consulted %d times, want 4 (rejects are not cached)", withDisk, got)
 				}
 				st := s.Stats()
 				if st.TracePeerRejects != 2 || st.TracePeerFetches != 0 {
@@ -169,6 +178,118 @@ func TestResolveTraceRejectsCorruptPeerBody(t *testing.T) {
 				s.Close()
 			}
 		})
+	}
+}
+
+// TestResolveTraceFallsThroughCorruptPeer: when the first peer serves
+// a corrupt body, the lookup must exclude it and fall through to the
+// next holder rather than giving up — a dying or lying primary owner
+// cannot mask a healthy replica.
+func TestResolveTraceFallsThroughCorruptPeer(t *testing.T) {
+	wanted := recordTestTrace(t, "compress", 3000)
+	good := traceBytes(t, wanted)
+	var calls atomic.Int64
+	fetch := func(digest string, exclude []string) (io.ReadCloser, string, error) {
+		calls.Add(1)
+		skipped := make(map[string]bool, len(exclude))
+		for _, e := range exclude {
+			skipped[e] = true
+		}
+		switch {
+		case !skipped["p1"]:
+			return io.NopCloser(bytes.NewReader([]byte("corrupt bytes"))), "p1", nil
+		case !skipped["p2"]:
+			return io.NopCloser(bytes.NewReader(good)), "p2", nil
+		default:
+			return nil, "", nil
+		}
+	}
+	s := New(Options{Workers: 1, TraceDir: t.TempDir(), PeerFetch: fetch})
+	defer s.Close()
+	h, ok := s.ResolveTrace(wanted.Digest())
+	if !ok || h.Digest != wanted.Digest() {
+		t.Fatalf("resolve through corrupt primary failed: %+v ok=%v", h, ok)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("peer consulted %d times, want 2 (corrupt then fall-through)", got)
+	}
+	st := s.Stats()
+	if st.TracePeerRejects != 1 || st.TracePeerFetches != 1 {
+		t.Fatalf("stats %+v, want one reject and one successful fetch", st)
+	}
+}
+
+// TestReserveAdmission: the in-flight budget must shed exactly the
+// reservations beyond it, releases must restore capacity, and a
+// release must be idempotent.
+func TestReserveAdmission(t *testing.T) {
+	s := New(Options{Workers: 1, MaxInflight: 3})
+	defer s.Close()
+
+	rel1, err := s.Reserve(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Reserve(2); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-budget reservation returned %v, want ErrOverloaded", err)
+	}
+	rel2, err := s.Reserve(1)
+	if err != nil {
+		t.Fatalf("in-budget reservation failed: %v", err)
+	}
+	if got := s.Inflight(); got != 3 {
+		t.Fatalf("inflight = %d, want 3", got)
+	}
+	st := s.Stats()
+	if st.InflightJobs != 3 || st.MaxInflight != 3 || st.Shed != 1 {
+		t.Fatalf("stats %+v, want 3 in flight and one shed", st)
+	}
+	rel1()
+	rel1() // idempotent: double release must not free extra capacity
+	if got := s.Inflight(); got != 1 {
+		t.Fatalf("inflight after release = %d, want 1", got)
+	}
+	rel3, err := s.Reserve(2)
+	if err != nil {
+		t.Fatalf("reservation after release failed: %v", err)
+	}
+	rel2()
+	rel3()
+	if got := s.Inflight(); got != 0 {
+		t.Fatalf("inflight after all releases = %d, want 0", got)
+	}
+
+	// Unlimited budget: never sheds, still counts.
+	u := New(Options{Workers: 1})
+	defer u.Close()
+	rel, err := u.Reserve(1 << 20)
+	if err != nil {
+		t.Fatalf("unlimited reservation failed: %v", err)
+	}
+	if got := u.Inflight(); got != 1<<20 {
+		t.Fatalf("unlimited inflight = %d, want %d", got, 1<<20)
+	}
+	rel()
+}
+
+// TestTraceDigestsListsBothTiers: the repair scan source must see
+// memory-tier and disk-only digests exactly once each.
+func TestTraceDigestsListsBothTiers(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Options{Workers: 1, TraceDir: dir})
+	defer s.Close()
+	mem := recordTestTrace(t, "compress", 3000)
+	s.AddTrace(mem) // memory + write-through disk
+	diskOnly := recordTestTrace(t, "li", 3000)
+	if err := diskOnly.Save(filepath.Join(dir, tracefile.DigestFileName(diskOnly.Digest()))); err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(Options{Workers: 1, TraceDir: dir})
+	defer s2.Close()
+	got := s2.TraceDigests()
+	want := map[string]bool{mem.Digest(): true, diskOnly.Digest(): true}
+	if len(got) != 2 || !want[got[0]] || !want[got[1]] || got[0] == got[1] {
+		t.Fatalf("TraceDigests = %v, want exactly %v", got, want)
 	}
 }
 

@@ -77,11 +77,19 @@ type Options struct {
 	ResultDir string
 	// PeerFetch, when non-nil, extends trace resolution past the local
 	// tiers: on a local miss, ResolveTrace asks it for the digest's
-	// container stream (any version).  The contract is (nil, nil) when
-	// no peer holds the digest; a returned stream is validated and
-	// digest-checked before it is cached locally, so PeerFetch may be
-	// wired to untrusted transports.
-	PeerFetch func(digest string) (io.ReadCloser, error)
+	// container stream (any version), skipping the peers listed in
+	// exclude.  It returns the stream and the peer that served it.
+	// The contract is (nil, "", nil) when no peer holds the digest; a
+	// returned stream is validated and digest-checked before it is
+	// cached locally, so PeerFetch may be wired to untrusted
+	// transports — when a body fails validation, the service retries
+	// with the offending peer excluded, falling through to the next
+	// holder.
+	PeerFetch func(digest string, exclude []string) (io.ReadCloser, string, error)
+	// MaxInflight bounds admission: Reserve fails with ErrOverloaded
+	// once this many jobs are reserved and not yet released.  <= 0
+	// means unlimited (Reserve still counts, for stats).
+	MaxInflight int
 }
 
 // Stats counts service traffic.
@@ -115,6 +123,10 @@ type Stats struct {
 	IngestedTraces  uint64 // foreign traces ingested into the store
 	IngestedRecords uint64 // canonical records those ingests produced
 	IngestRejects   uint64 // malformed foreign lines dropped (lenient mode)
+
+	InflightJobs int64  // jobs currently reserved via Reserve
+	MaxInflight  int    // admission budget (0: unlimited)
+	Shed         uint64 // reservations refused with ErrOverloaded
 }
 
 // Job is one unit of work.
@@ -155,7 +167,11 @@ type Service struct {
 	done    chan struct{}
 	wg      sync.WaitGroup
 
-	peerFetch func(digest string) (io.ReadCloser, error)
+	peerFetch func(digest string, exclude []string) (io.ReadCloser, string, error)
+
+	maxInflight int64
+	load        atomic.Int64 // jobs reserved and not yet released
+	shed        atomic.Uint64
 
 	mu         sync.Mutex
 	programs   *lru
@@ -248,14 +264,15 @@ func New(opt Options) *Service {
 		opt.TraceCacheBytes = 64 << 20
 	}
 	s := &Service{
-		workers:   opt.Workers,
-		jobs:      make(chan task),
-		done:      make(chan struct{}),
-		peerFetch: opt.PeerFetch,
-		programs:  newLRU(opt.ProgramCache),
-		results:   newLRU(opt.ResultCache),
-		traces:    newTraceStore(opt.TraceCacheBytes, opt.TraceDir),
-		inflight:  make(map[string]*flight),
+		workers:     opt.Workers,
+		jobs:        make(chan task),
+		done:        make(chan struct{}),
+		peerFetch:   opt.PeerFetch,
+		maxInflight: int64(opt.MaxInflight),
+		programs:    newLRU(opt.ProgramCache),
+		results:     newLRU(opt.ResultCache),
+		traces:      newTraceStore(opt.TraceCacheBytes, opt.TraceDir),
+		inflight:    make(map[string]*flight),
 	}
 	if opt.TraceDir != "" {
 		s.rehydrateTraceDir(opt.TraceDir)
@@ -311,8 +328,47 @@ func (s *Service) Stats() Stats {
 	if s.resultDisk != nil {
 		st.ResultsOnDisk = s.resultDisk.len()
 	}
+	st.InflightJobs = s.load.Load()
+	st.MaxInflight = int(s.maxInflight)
+	st.Shed = s.shed.Load()
 	return st
 }
+
+// ErrOverloaded reports a reservation refused because the in-flight
+// job budget (Options.MaxInflight) is exhausted.  HTTP front doors
+// map it to 429 with a Retry-After.
+var ErrOverloaded = errors.New("service: overloaded: in-flight job budget exhausted")
+
+// Reserve claims admission for n jobs against the MaxInflight budget,
+// returning a release function the caller must invoke (once) when the
+// work — including delivering its results — is finished.  With no
+// budget configured the reservation always succeeds but is still
+// counted, so stats report real load either way.  A refused
+// reservation claims nothing.
+func (s *Service) Reserve(n int) (release func(), err error) {
+	if n <= 0 {
+		n = 1
+	}
+	for {
+		cur := s.load.Load()
+		next := cur + int64(n)
+		if s.maxInflight > 0 && next > s.maxInflight {
+			s.shed.Add(1)
+			return nil, fmt.Errorf("%w (%d in flight, budget %d, requested %d)",
+				ErrOverloaded, cur, s.maxInflight, n)
+		}
+		if s.load.CompareAndSwap(cur, next) {
+			break
+		}
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() { s.load.Add(int64(-n)) })
+	}, nil
+}
+
+// Inflight reports the jobs currently reserved and not yet released.
+func (s *Service) Inflight() int64 { return s.load.Load() }
 
 // NoteIngest accounts for one foreign-trace ingest pass: the canonical
 // records it produced and the malformed lines it dropped.  The ingest
@@ -539,16 +595,40 @@ func (s *Service) resolveLocal(digest string) (TraceHandle, bool) {
 // spool re-digests the content), and install it locally.  A body whose
 // content digests to something else is rejected and never indexed
 // under the requested digest — a misbehaving peer cannot poison the
-// local store.
+// local store.  A rejected body does not end the lookup: the fetch is
+// retried with the offending peer excluded, so a corrupt or dying
+// primary owner falls through to the next holder.
 func (s *Service) fetchFromPeer(digest string) (TraceHandle, bool) {
-	body, err := s.peerFetch(digest)
-	if err != nil {
-		log.Printf("service: peer fetch %s: %v", digest, err)
-		return TraceHandle{}, false
+	const maxAttempts = 3
+	var exclude []string
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		body, peer, err := s.peerFetch(digest, exclude)
+		if err != nil {
+			// The transport already fell through every reachable peer.
+			log.Printf("service: peer fetch %s: %v", digest, err)
+			return TraceHandle{}, false
+		}
+		if body == nil {
+			return TraceHandle{}, false
+		}
+		h, ok, valid := s.installPeerBody(digest, body)
+		if valid {
+			return h, ok
+		}
+		if peer == "" {
+			// No peer identity to exclude: retrying would just ask the
+			// same source again.
+			return TraceHandle{}, false
+		}
+		exclude = append(exclude, peer)
 	}
-	if body == nil {
-		return TraceHandle{}, false
-	}
+	return TraceHandle{}, false
+}
+
+// installPeerBody validates one fetched container and installs it in
+// the local tiers.  valid=false means the body was rejected (invalid
+// or wrong digest) and the caller may retry from another peer.
+func (s *Service) installPeerBody(digest string, body io.ReadCloser) (h TraceHandle, ok, valid bool) {
 	defer body.Close()
 
 	dir := s.traceDir()
@@ -556,27 +636,27 @@ func (s *Service) fetchFromPeer(digest string) (TraceHandle, bool) {
 		t, err := tracefile.Load(body)
 		if err != nil || t.Digest() != digest {
 			s.rejectPeerBody(digest, err)
-			return TraceHandle{}, false
+			return TraceHandle{}, false, false
 		}
 		s.mu.Lock()
 		s.stats.TracePeerFetches++
 		s.stats.TraceHits++
 		s.traces.add(t)
 		s.mu.Unlock()
-		return memHandle(digest, t), true
+		return memHandle(digest, t), true, true
 	}
 
 	sp, err := tracefile.SpoolToDir(body, dir)
 	if err != nil {
 		s.rejectPeerBody(digest, err)
-		return TraceHandle{}, false
+		return TraceHandle{}, false, false
 	}
 	if sp.Digest != digest {
 		// A valid container for some other digest: the spool installed it
 		// under its true name (possibly a trace we legitimately hold), but
 		// it must never resolve the digest that was asked for.
 		s.rejectPeerBody(digest, fmt.Errorf("peer served digest %s", sp.Digest))
-		return TraceHandle{}, false
+		return TraceHandle{}, false, false
 	}
 	ent := diskEntry{
 		path:           sp.Path,
@@ -592,7 +672,8 @@ func (s *Service) fetchFromPeer(digest string) (TraceHandle, bool) {
 	// Resolve through the normal local path so small fetches promote to
 	// memory and large ones stream, exactly like a restart-rehydrated
 	// file would.
-	return s.resolveLocal(digest)
+	h, ok = s.resolveLocal(digest)
+	return h, ok, true
 }
 
 func (s *Service) rejectPeerBody(digest string, err error) {
@@ -603,6 +684,15 @@ func (s *Service) rejectPeerBody(digest string, err error) {
 		err = errors.New("content digest mismatch")
 	}
 	log.Printf("service: peer fetch %s: rejected body: %v", digest, err)
+}
+
+// TraceDigests returns every digest the local tiers hold (memory and
+// disk, deduplicated, sorted).  It feeds the cluster repair loop's
+// scan; no hit/miss accounting.
+func (s *Service) TraceDigests() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.traces.digests()
 }
 
 // HasTrace reports whether the digest resolves from the local tiers

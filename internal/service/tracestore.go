@@ -132,6 +132,28 @@ func (c *traceStore) getDisk(digest string) (diskEntry, bool) {
 
 func (c *traceStore) len() int { return c.order.Len() }
 
+// digests returns every digest held in either tier, sorted, with no
+// duplicates.  It is the anti-entropy repair loop's scan source.
+func (c *traceStore) digests() []string {
+	seen := make(map[string]bool, c.order.Len()+len(c.disk))
+	out := make([]string, 0, c.order.Len()+len(c.disk))
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		d := el.Value.(*traceEntry).digest
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	for d := range c.disk {
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // diskLen returns the number of disk-tier entries.
 func (c *traceStore) diskLen() int { return len(c.disk) }
 
