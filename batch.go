@@ -5,6 +5,7 @@ import (
 	"io"
 	"sync"
 
+	"github.com/tracereuse/tlr/internal/metrics"
 	"github.com/tracereuse/tlr/internal/service"
 )
 
@@ -195,6 +196,15 @@ func (b *Batcher) Reserve(n int) (release func(), err error) { return b.svc.Rese
 // (memory and disk tiers, deduplicated, sorted).  The cluster repair
 // loop scans it.
 func (b *Batcher) TraceDigests() []string { return b.svc.TraceDigests() }
+
+// Metrics returns the Batcher's metrics registry — the single source
+// behind both Stats and the Prometheus exposition.  In-module servers
+// (cmd/tlrserve, the cluster fabric) register their own instruments on
+// it so one scrape covers every layer.
+func (b *Batcher) Metrics() *metrics.Registry { return b.svc.Metrics() }
+
+// WriteMetrics writes the Batcher's metrics in Prometheus text format.
+func (b *Batcher) WriteMetrics(w io.Writer) error { return b.svc.Metrics().WritePrometheus(w) }
 
 // Stats returns a snapshot of the Batcher's traffic counters.
 func (b *Batcher) Stats() BatchStats {

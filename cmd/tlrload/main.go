@@ -1,0 +1,158 @@
+// Command tlrload drives a running tlrserve with a sustained mixed
+// workload and reports what both sides saw: client-side throughput and
+// per-kind latency percentiles, and server-side goroutine/heap
+// ceilings and 5xx counts scraped from /metrics during the run.
+//
+//	tlrload -server http://localhost:8080 -duration 30s -workers 8
+//
+// The report is JSON on stdout (or -report FILE).  Gate flags turn the
+// run into a pass/fail check for CI: any violated gate is printed and
+// the process exits 1.
+//
+//	tlrload -server ... -duration 30s \
+//	    -gate-p99-ms 2000 -gate-5xx 0 -gate-goroutines 500 -gate-heap-growth 4
+//
+// The default mode is closed-loop (each worker issues its next request
+// when the previous answer lands); -rate N switches to open-loop at N
+// requests/second of offered load.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/tracereuse/tlr/internal/loadgen"
+)
+
+func main() {
+	var (
+		server   = flag.String("server", "http://localhost:8080", "base URL of the tlrserve to drive")
+		duration = flag.Duration("duration", 30*time.Second, "measurement window")
+		workers  = flag.Int("workers", 4, "concurrent client loops")
+		rate     = flag.Float64("rate", 0, "open-loop offered load in requests/sec (0 = closed loop)")
+		mixFlag  = flag.String("mix", "run=6,replay=2,analyze=1,upload=1", "request mix weights")
+		distinct = flag.Int("distinct", 8, "distinct request variants per kind")
+		workload = flag.String("workload", "li", "built-in benchmark backing the traffic")
+		budget   = flag.Uint64("budget", 20000, "base instruction budget per simulation")
+		seed     = flag.Int64("seed", 1, "RNG seed for the request sequence")
+		report   = flag.String("report", "", "write the JSON report here instead of stdout")
+		verbose  = flag.Bool("v", false, "log per-request failures and progress")
+
+		gateP99     = flag.Float64("gate-p99-ms", 0, "fail if any kind's p99 exceeds this many ms (0 = off)")
+		gateKind    = flag.String("gate-kind", "", "restrict -gate-p99-ms to one kind (run, replay, analyze, upload)")
+		gateErrors  = flag.Uint64("gate-errors", 0, "fail if client errors exceed this count")
+		gate5xx     = flag.Float64("gate-5xx", 0, "fail if the server's 5xx count exceeds this")
+		gateGor     = flag.Float64("gate-goroutines", 0, "fail if the goroutine ceiling exceeds this (0 = off)")
+		gateHeap    = flag.Float64("gate-heap-growth", 0, "fail if heap-in-use grew more than this factor over the run (0 = off)")
+		gatesActive = false
+	)
+	flag.Parse()
+
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		log.Fatalf("tlrload: %v", err)
+	}
+
+	cfg := loadgen.Config{
+		Server:   strings.TrimRight(*server, "/"),
+		Duration: *duration,
+		Workers:  *workers,
+		Rate:     *rate,
+		Mix:      mix,
+		Distinct: *distinct,
+		Workload: *workload,
+		Budget:   *budget,
+		Seed:     *seed,
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	rep, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		log.Fatalf("tlrload: %v", err)
+	}
+
+	out := os.Stdout
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			log.Fatalf("tlrload: %v", err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := rep.WriteJSON(out); err != nil {
+		log.Fatalf("tlrload: %v", err)
+	}
+
+	gates := loadgen.Gates{
+		MaxP99Ms:      *gateP99,
+		Kind:          *gateKind,
+		MaxErrors:     *gateErrors,
+		Max5xx:        *gate5xx,
+		MaxGoroutines: *gateGor,
+		MaxHeapGrowth: *gateHeap,
+	}
+	flag.Visit(func(f *flag.Flag) {
+		if strings.HasPrefix(f.Name, "gate-") {
+			gatesActive = true
+		}
+	})
+	if !gatesActive {
+		return
+	}
+	if bad := gates.Check(rep); len(bad) > 0 {
+		for _, b := range bad {
+			fmt.Fprintf(os.Stderr, "tlrload: GATE FAILED: %s\n", b)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "tlrload: all gates passed (%d requests, %.1f req/s, worst p99 %.1fms)\n",
+		rep.Requests, rep.ThroughputRPS, rep.MaxP99Ms())
+}
+
+// parseMix reads "run=6,replay=2,analyze=1,upload=1"; omitted kinds
+// get weight zero.
+func parseMix(s string) (loadgen.Mix, error) {
+	var m loadgen.Mix
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return m, fmt.Errorf("bad mix entry %q (want kind=weight)", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("bad mix weight %q", part)
+		}
+		switch name {
+		case "run":
+			m.Run = w
+		case "replay":
+			m.Replay = w
+		case "analyze":
+			m.Analyze = w
+		case "upload":
+			m.Upload = w
+		default:
+			return m, fmt.Errorf("unknown mix kind %q (want run, replay, analyze, upload)", name)
+		}
+	}
+	if m.Run+m.Replay+m.Analyze+m.Upload == 0 {
+		return m, fmt.Errorf("mix %q has no positive weights", s)
+	}
+	return m, nil
+}

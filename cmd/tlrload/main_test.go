@@ -1,0 +1,31 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/tracereuse/tlr/internal/loadgen"
+)
+
+func TestParseMix(t *testing.T) {
+	m, err := parseMix("run=6,replay=2,analyze=1,upload=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != (loadgen.Mix{Run: 6, Replay: 2, Analyze: 1, Upload: 1}) {
+		t.Errorf("mix = %+v", m)
+	}
+
+	m, err = parseMix("run=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != (loadgen.Mix{Run: 1}) {
+		t.Errorf("mix = %+v", m)
+	}
+
+	for _, bad := range []string{"", "run", "run=x", "run=-1", "walk=3", "run=0,upload=0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/tracereuse/tlr/internal/loadgen"
+)
+
+// TestLoadgenEndToEnd drives the instrumented server with a short
+// mixed workload through the real load generator — the same path the
+// CI sustained-traffic smoke uses, scaled down.  It is the
+// closed-loop e2e check that the generator's client side, the server's
+// handlers, and the /metrics scrape loop all compose.
+func TestLoadgenEndToEnd(t *testing.T) {
+	ts := instrumentedServer(t)
+
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		Server:         ts.URL,
+		Duration:       600 * time.Millisecond,
+		Workers:        3,
+		Distinct:       3,
+		Budget:         4000,
+		ScrapeInterval: 100 * time.Millisecond,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Requests == 0 {
+		t.Fatal("load run issued no requests")
+	}
+	if rep.Errors != 0 {
+		t.Errorf("load run saw %d client errors", rep.Errors)
+	}
+	if rep.ThroughputRPS <= 0 {
+		t.Errorf("throughput = %v", rep.ThroughputRPS)
+	}
+	for kind, k := range rep.Kinds {
+		if k.Requests == 0 {
+			continue
+		}
+		if k.P50Ms <= 0 || k.P99Ms < k.P50Ms {
+			t.Errorf("%s latencies implausible: %+v", kind, k)
+		}
+	}
+	// The default mix is run-heavy; a 600ms closed loop always lands
+	// at least a few of them.
+	if rep.Kinds["run"].Requests == 0 {
+		t.Errorf("mix issued no run requests: %+v", rep.Kinds)
+	}
+
+	s := rep.Scrape
+	if s == nil || s.Scrapes < 2 {
+		t.Fatalf("scrape loop barely ran: %+v", s)
+	}
+	if s.ScrapeErrors != 0 {
+		t.Errorf("%d scrapes failed", s.ScrapeErrors)
+	}
+	if s.GoroutinesMax <= 0 || s.HeapInuseMaxBytes <= 0 {
+		t.Errorf("scrape ceilings empty: %+v", s)
+	}
+	if s.HTTP5xx != 0 {
+		t.Errorf("server counted %.0f 5xx responses", s.HTTP5xx)
+	}
+
+	// The CI smoke's gate set, scaled to test leniency, must pass on a
+	// healthy run.
+	gates := loadgen.Gates{MaxP99Ms: 30_000, Max5xx: 0, MaxGoroutines: 10_000, MaxHeapGrowth: 100}
+	if bad := gates.Check(rep); len(bad) > 0 {
+		t.Errorf("gates failed on a healthy run: %v", bad)
+	}
+}
+
+// TestLoadgenOpenLoop checks the paced mode issues roughly the offered
+// schedule and reports mode=open.
+func TestLoadgenOpenLoop(t *testing.T) {
+	ts := instrumentedServer(t)
+
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		Server:         ts.URL,
+		Duration:       500 * time.Millisecond,
+		Workers:        2,
+		Rate:           40, // ~20 requests in the window
+		Distinct:       2,
+		Budget:         4000,
+		Mix:            loadgen.Mix{Run: 1},
+		ScrapeInterval: 200 * time.Millisecond,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "open" {
+		t.Errorf("mode = %q, want open", rep.Mode)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("open loop issued no requests")
+	}
+	// The pacer bounds offered load: with fast local handling the
+	// completed count cannot meaningfully exceed rate*duration.
+	if max := uint64(40); rep.Requests > max {
+		t.Errorf("open loop issued %d requests, offered schedule caps at ~20 (hard cap %d)", rep.Requests, max)
+	}
+}

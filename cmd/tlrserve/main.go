@@ -146,6 +146,7 @@ import (
 	"github.com/tracereuse/tlr"
 	"github.com/tracereuse/tlr/internal/cluster"
 	"github.com/tracereuse/tlr/internal/core"
+	"github.com/tracereuse/tlr/internal/metrics"
 	"github.com/tracereuse/tlr/internal/rtm"
 	"github.com/tracereuse/tlr/internal/trace"
 	"github.com/tracereuse/tlr/internal/tracefile"
@@ -258,7 +259,7 @@ func main() {
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           srv.instrument(mux),
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
@@ -318,15 +319,20 @@ type server struct {
 	hist          *core.ShardedTraceHistory
 	fabric        *cluster.Fabric // nil: single node
 	maxTraceBytes int64
+
+	runtimeC *metrics.RuntimeCollector
+	hm       httpMetrics
 }
 
 func newServer(opt tlr.BatchOptions, geom rtm.Geometry, shards int) *server {
-	return &server{
+	s := &server{
 		batcher:       tlr.NewBatcher(opt),
 		shared:        rtm.NewSharded(geom, 1, shards),
 		hist:          core.NewShardedTraceHistory(0),
 		maxTraceBytes: 64 << 20,
 	}
+	s.registerMetrics()
+	return s
 }
 
 // newClusterServer builds a server, joining the cluster fabric when cc
@@ -347,6 +353,9 @@ func newClusterServer(opt tlr.BatchOptions, geom rtm.Geometry, shards int, cc *c
 	}
 	s := newServer(opt, geom, shards)
 	if cc != nil {
+		// The fabric's instruments join the batcher's registry, so one
+		// /metrics scrape covers both layers.
+		cc.Registry = s.batcher.Metrics()
 		cc.ReadTrace = func(digest string, w io.Writer) (bool, error) {
 			_, ok, err := s.batcher.WriteTraceTo(digest, w)
 			return ok, err
@@ -366,6 +375,7 @@ func newClusterServer(opt tlr.BatchOptions, geom rtm.Geometry, shards int, cc *c
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("POST /v1/run", s.handleRun)
@@ -953,6 +963,9 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"rtmStored":      s.shared.Stored(),
 		"rtmShards":      s.shared.Shards(),
 		"distinctTraces": s.hist.Vectors(),
+		// The runtime section reads the same collector behind the go_*
+		// gauges /metrics exports, so the two views cannot disagree.
+		"runtime": s.runtimeC.Read(),
 	}
 	if s.fabric != nil {
 		out["cluster"] = map[string]any{

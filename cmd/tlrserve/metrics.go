@@ -1,0 +1,121 @@
+package main
+
+import (
+	"log"
+	"net/http"
+	"time"
+
+	"github.com/tracereuse/tlr/internal/metrics"
+)
+
+// The HTTP-layer instruments: every route served through instrument()
+// is counted by route pattern and status class, timed, and tracked
+// in-flight.  They live on the batcher's registry, so one GET /metrics
+// scrape covers the HTTP, service, store, and cluster layers together.
+type httpMetrics struct {
+	inflight *metrics.Gauge
+	requests *metrics.CounterVec // route, code class
+	duration *metrics.HistogramVec
+}
+
+// registerMetrics installs the server's HTTP and Go-runtime
+// instruments on the batcher's registry.  Called once per server,
+// before it takes traffic.
+func (s *server) registerMetrics() {
+	reg := s.batcher.Metrics()
+	s.runtimeC = metrics.RegisterRuntime(reg)
+	s.hm.inflight = reg.Gauge("tlr_http_inflight_requests",
+		"HTTP requests currently being served.")
+	s.hm.requests = reg.CounterVec("tlr_http_requests_total",
+		"HTTP requests served, by route pattern and status class.",
+		"route", "code")
+	s.hm.duration = reg.HistogramVec("tlr_http_request_seconds",
+		"HTTP request latency, by route pattern.",
+		nil, "route")
+}
+
+// instrument wraps the server's mux with the per-route middleware.
+// The route label is the mux pattern that will serve the request
+// (looked up before dispatch — r.Pattern is not visible out here), so
+// labels have bounded cardinality no matter what paths clients probe.
+func (s *server) instrument(mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := "other"
+		if _, pattern := mux.Handler(r); pattern != "" {
+			route = pattern
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		s.hm.inflight.Add(1)
+		start := time.Now()
+		// A plain defer (no recover) still runs when a handler aborts
+		// the connection with a panic(http.ErrAbortHandler), so aborted
+		// downloads are counted too.
+		defer func() {
+			s.hm.inflight.Add(-1)
+			s.hm.duration.With(route).Observe(time.Since(start).Seconds())
+			s.hm.requests.With(route, codeClass(sw.code())).Inc()
+		}()
+		mux.ServeHTTP(sw, r)
+	})
+}
+
+// statusWriter records the status code a handler chose.  It forwards
+// Flush so the NDJSON batch stream keeps flushing per result.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// code reports the recorded status, defaulting to 200 for handlers
+// that never wrote (an empty 200 body).
+func (w *statusWriter) code() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+func codeClass(code int) string {
+	switch {
+	case code < 200:
+		return "1xx"
+	case code < 300:
+		return "2xx"
+	case code < 400:
+		return "3xx"
+	case code < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
+
+// handleMetrics serves the Prometheus text exposition for every layer
+// (HTTP, service, trace store, cluster fabric, Go runtime) from the
+// one registry /v1/stats reads.
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.batcher.WriteMetrics(w); err != nil {
+		log.Printf("tlrserve: metrics write: %v", err)
+	}
+}

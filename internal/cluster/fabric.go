@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"github.com/tracereuse/tlr/internal/metrics"
 )
 
 // Headers the fabric uses to keep node-to-node traffic from echoing
@@ -108,6 +110,12 @@ type Config struct {
 	ReadTrace func(digest string, w io.Writer) (bool, error)
 	// Logf receives diagnostic messages.  Defaults to discarding.
 	Logf func(format string, args ...any)
+	// Registry, when non-nil, receives the fabric's instruments
+	// (queue/breaker gauges, replication and repair counters, peer-call
+	// latency histograms).  Counters are Func-backed views over the
+	// same Stats fields StatsSnapshot serves.  Defaults to a private
+	// registry so the instruments always exist.
+	Registry *metrics.Registry
 }
 
 // PeerHealth is one peer's liveness snapshot.
@@ -187,6 +195,9 @@ type Fabric struct {
 
 	repairMu sync.Mutex // serializes repair cycles
 
+	fetchDur *metrics.Histogram // peer fetch call latency
+	replDur  *metrics.Histogram // replication delivery latency
+
 	queue  chan string
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -252,6 +263,9 @@ func New(cfg Config) (*Fabric, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.Registry == nil {
+		cfg.Registry = metrics.NewRegistry()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	f := &Fabric{
 		ring:             ring,
@@ -282,6 +296,7 @@ func New(cfg Config) (*Fabric, error) {
 			f.peers[p] = &peerState{}
 		}
 	}
+	f.registerMetrics(cfg.Registry)
 	if f.hintDir != "" {
 		if err := f.rehydrateHints(); err != nil {
 			cancel()
@@ -390,7 +405,9 @@ func (f *Fabric) fetchFrom(peer, digest string) (io.ReadCloser, error) {
 		return nil, err
 	}
 	req.Header.Set(HeaderPeer, f.self)
+	start := time.Now()
 	resp, err := f.client.Do(req)
+	f.fetchDur.Observe(time.Since(start).Seconds())
 	if err != nil {
 		cancel()
 		f.noteFailure(peer)
@@ -600,6 +617,8 @@ func isPermanent(err error) bool {
 }
 
 func (f *Fabric) replicateOnce(digest, peer string) error {
+	start := time.Now()
+	defer func() { f.replDur.Observe(time.Since(start).Seconds()) }()
 	ctx, cancel := context.WithTimeout(f.ctx, f.replicateTimeout)
 	defer cancel()
 	// Stream the trace through a pipe so replication never buffers a

@@ -1,0 +1,122 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/tracereuse/tlr/internal/metrics"
+)
+
+// scraper samples the server's /metrics exposition on a fixed interval
+// for the duration of a load run, folding each scrape into running
+// ceilings.  It reuses the package's own exposition parser — the same
+// code the server's tests trust — so a format drift breaks loudly.
+type scraper struct {
+	cfg    Config
+	cancel func()
+	wg     sync.WaitGroup
+
+	mu  sync.Mutex
+	rep ScrapeReport
+}
+
+func newScraper(cfg Config) *scraper { return &scraper{cfg: cfg} }
+
+func (s *scraper) start(ctx context.Context) {
+	ctx, cancel := context.WithCancel(ctx)
+	s.cancel = cancel
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.scrapeOnce(ctx) // one sample before traffic ramps
+		tick := time.NewTicker(s.cfg.ScrapeInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				// Final sample with the run's deadline gone, so the
+				// last heap reading reflects the loaded steady state.
+				s.scrapeOnce(context.Background())
+				return
+			case <-tick.C:
+				s.scrapeOnce(ctx)
+			}
+		}
+	}()
+}
+
+func (s *scraper) scrapeOnce(ctx context.Context) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.cfg.Server+"/metrics", nil)
+	if err != nil {
+		s.fail()
+		return
+	}
+	resp, err := s.cfg.Client.Do(req)
+	if err != nil {
+		s.fail()
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		s.fail()
+		return
+	}
+	samples, err := metrics.ParseText(resp.Body)
+	if err != nil {
+		s.fail()
+		return
+	}
+	value := func(name string) (float64, bool) {
+		found := metrics.Find(samples, name)
+		if len(found) != 1 {
+			return 0, false
+		}
+		return found[0].Value, true
+	}
+	var fiveXX float64
+	for _, sm := range metrics.Find(samples, "tlr_http_requests_total", "code", "5xx") {
+		fiveXX += sm.Value
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rep.Scrapes++
+	if g, ok := value("go_goroutines"); ok && g > s.rep.GoroutinesMax {
+		s.rep.GoroutinesMax = g
+	}
+	if h, ok := value("go_memstats_heap_inuse_bytes"); ok {
+		if s.rep.HeapInuseFirstBytes == 0 {
+			s.rep.HeapInuseFirstBytes = h
+		}
+		s.rep.HeapInuseLastBytes = h
+		if h > s.rep.HeapInuseMaxBytes {
+			s.rep.HeapInuseMaxBytes = h
+		}
+	}
+	if fiveXX > s.rep.HTTP5xx {
+		s.rep.HTTP5xx = fiveXX
+	}
+}
+
+func (s *scraper) fail() {
+	s.mu.Lock()
+	s.rep.ScrapeErrors++
+	s.mu.Unlock()
+}
+
+// stop ends the sampling loop (after one final un-deadlined scrape)
+// and waits for it.
+func (s *scraper) stop() {
+	s.cancel()
+	s.wg.Wait()
+}
+
+// report finalises and returns the scrape summary; call after stop.
+func (s *scraper) report() *ScrapeReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep := s.rep
+	return &rep
+}

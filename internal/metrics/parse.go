@@ -1,0 +1,183 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a metric name, its label pairs
+// and the sample value.  Histogram series appear under their rendered
+// names (name_bucket with an le label, name_sum, name_count), exactly
+// as the text format spells them.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns the sample's value for one label key ("" if absent).
+func (s Sample) Label(key string) string { return s.Labels[key] }
+
+// ParseText parses a Prometheus text-format exposition — the read half
+// of WritePrometheus.  Comment and blank lines are skipped; any other
+// malformed line is an error (a scraper silently dropping lines would
+// hide exactly the breakage the golden tests exist to catch).
+func ParseText(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: line %d: %w", lineno, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseLine(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i >= 0 && rest[i] == '{' {
+		s.Name = rest[:i]
+		end := strings.LastIndexByte(rest, '}')
+		if end < i {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parseLabels(rest[i+1 : end])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) != 2 {
+			return s, fmt.Errorf("want \"name value\", got %q", line)
+		}
+		s.Name = fields[0]
+		rest = fields[1]
+	}
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	v, err := parseValue(strings.TrimSpace(rest))
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(v string) (float64, error) {
+	switch v {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(v, 64)
+}
+
+func parseLabels(body string) (map[string]string, error) {
+	out := map[string]string{}
+	for len(body) > 0 {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label pair without '=' in %q", body)
+		}
+		key := strings.TrimSpace(body[:eq])
+		if !validName(key) {
+			return nil, fmt.Errorf("invalid label name %q", key)
+		}
+		rest := body[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return nil, fmt.Errorf("unquoted label value for %q", key)
+		}
+		// Find the closing quote, honouring backslash escapes.
+		i := 1
+		for i < len(rest) {
+			if rest[i] == '\\' {
+				i += 2
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(rest) {
+			return nil, fmt.Errorf("unterminated label value for %q", key)
+		}
+		val, err := strconv.Unquote(rest[:i+1])
+		if err != nil {
+			return nil, fmt.Errorf("bad label value for %q: %w", key, err)
+		}
+		out[key] = val
+		body = strings.TrimSpace(rest[i+1:])
+		body = strings.TrimPrefix(body, ",")
+		body = strings.TrimSpace(body)
+	}
+	return out, nil
+}
+
+// Find returns the samples whose name matches and whose labels include
+// every given pair (pairs are key, value, key, value, ...).
+func Find(samples []Sample, name string, pairs ...string) []Sample {
+	var out []Sample
+	for _, s := range samples {
+		if s.Name != name {
+			continue
+		}
+		ok := true
+		for i := 0; i+1 < len(pairs); i += 2 {
+			if s.Labels[pairs[i]] != pairs[i+1] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// BucketQuantile estimates the q-quantile of a scraped histogram from
+// its name_bucket samples (any subset that shares the given label
+// pairs).  It sorts the buckets by le and delegates to
+// QuantileFromBuckets; zero observations yield 0.
+func BucketQuantile(samples []Sample, name string, q float64, pairs ...string) float64 {
+	buckets := Find(samples, name+"_bucket", pairs...)
+	type b struct{ le, cum float64 }
+	bs := make([]b, 0, len(buckets))
+	for _, s := range buckets {
+		le, err := parseValue(s.Labels["le"])
+		if err != nil {
+			continue
+		}
+		bs = append(bs, b{le, s.Value})
+	}
+	sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+	les := make([]float64, len(bs))
+	cum := make([]float64, len(bs))
+	for i, x := range bs {
+		les[i], cum[i] = x.le, x.cum
+	}
+	return QuantileFromBuckets(les, cum, q)
+}

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RuntimeStats is one point-in-time view of the Go runtime gauges the
+// registry exports.  /v1/stats serves it so its "runtime" section and
+// the /metrics go_* families can never disagree — both call Read on
+// the same collector.
+type RuntimeStats struct {
+	Goroutines          int     `json:"goroutines"`
+	HeapInuseBytes      uint64  `json:"heapInuseBytes"`
+	HeapAllocBytes      uint64  `json:"heapAllocBytes"`
+	TotalAllocBytes     uint64  `json:"totalAllocBytes"`
+	GCCycles            uint32  `json:"gcCycles"`
+	GCPauseTotalSeconds float64 `json:"gcPauseTotalSeconds"`
+}
+
+// RuntimeCollector exports Go runtime health as registry gauges.
+// runtime.ReadMemStats is not free, so one read is shared by every
+// gauge evaluated in the same scrape (and by concurrent scrapes within
+// maxAge).
+type RuntimeCollector struct {
+	mu   sync.Mutex
+	at   time.Time
+	mem  runtime.MemStats
+	gor  int
+	once bool
+}
+
+// runtimeMaxAge is how stale a cached MemStats read may be before a
+// scrape refreshes it.  One scrape evaluates several gauges; they must
+// all see the same read, and back-to-back scrapes (the /v1/stats +
+// /metrics pair) may share one.
+const runtimeMaxAge = 100 * time.Millisecond
+
+// Read returns the current runtime stats, refreshing the shared
+// MemStats read if it is older than 100ms.
+func (c *RuntimeCollector) Read() RuntimeStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.once || time.Since(c.at) > runtimeMaxAge {
+		runtime.ReadMemStats(&c.mem)
+		c.gor = runtime.NumGoroutine()
+		c.at = time.Now()
+		c.once = true
+	}
+	return RuntimeStats{
+		Goroutines:          c.gor,
+		HeapInuseBytes:      c.mem.HeapInuse,
+		HeapAllocBytes:      c.mem.HeapAlloc,
+		TotalAllocBytes:     c.mem.TotalAlloc,
+		GCCycles:            c.mem.NumGC,
+		GCPauseTotalSeconds: float64(c.mem.PauseTotalNs) / 1e9,
+	}
+}
+
+// RegisterRuntime registers the Go runtime gauges (goroutines, heap
+// in-use/alloc, GC cycle and pause totals) on reg and returns the
+// collector behind them, so JSON views can Read the same numbers the
+// exposition serves.
+func RegisterRuntime(reg *Registry) *RuntimeCollector {
+	c := &RuntimeCollector{}
+	reg.GaugeFunc("go_goroutines",
+		"Number of goroutines that currently exist.",
+		func() float64 { return float64(c.Read().Goroutines) })
+	reg.GaugeFunc("go_memstats_heap_inuse_bytes",
+		"Heap bytes in in-use spans.",
+		func() float64 { return float64(c.Read().HeapInuseBytes) })
+	reg.GaugeFunc("go_memstats_heap_alloc_bytes",
+		"Heap bytes allocated and still in use.",
+		func() float64 { return float64(c.Read().HeapAllocBytes) })
+	reg.CounterFunc("go_memstats_alloc_bytes_total",
+		"Cumulative heap bytes allocated.",
+		func() float64 { return float64(c.Read().TotalAllocBytes) })
+	reg.CounterFunc("go_gc_cycles_total",
+		"Completed GC cycles.",
+		func() float64 { return float64(c.Read().GCCycles) })
+	reg.CounterFunc("go_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause time.",
+		func() float64 { return c.Read().GCPauseTotalSeconds })
+	return c
+}

@@ -267,7 +267,7 @@ func StudyJob(id string, src Source, p StudyParams) Job {
 		key = fmt.Sprintf("study|%s|%d|%d|%d|%v|%v|%v|%d|%v",
 			src.Key, p.Budget, p.Skip, p.Window, p.ILRLatencies, p.TLRVariants, p.Strict, p.MaxRunLen, p.ILPWindows)
 	}
-	return Job{ID: id, Key: key, Run: func(ctx context.Context) (any, error) { return RunStudy(ctx, src, p) }}
+	return Job{ID: id, Key: key, Kind: "study", Run: func(ctx context.Context) (any, error) { return RunStudy(ctx, src, p) }}
 }
 
 // RTMParams configures a realistic-RTM simulation job.
@@ -326,7 +326,7 @@ func RTMJob(id string, src Source, p RTMParams) Job {
 	if src.Key != "" {
 		key = fmt.Sprintf("rtm|%s|%+v|%d|%d", src.Key, p.Config, p.Skip, p.Budget)
 	}
-	return Job{ID: id, Key: key, Run: func(ctx context.Context) (any, error) { return RunRTM(ctx, src, p) }}
+	return Job{ID: id, Key: key, Kind: "rtm", Run: func(ctx context.Context) (any, error) { return RunRTM(ctx, src, p) }}
 }
 
 // PipelineParams configures an execution-driven pipeline job.
@@ -375,7 +375,7 @@ func PipelineJob(id string, src Source, p PipelineParams) Job {
 		}
 		key = fmt.Sprintf("pipe|%s|%+v|%s|%d|%d", src.Key, flat, rtmPart, p.Skip, p.Budget)
 	}
-	return Job{ID: id, Key: key, Run: func(ctx context.Context) (any, error) { return RunPipeline(ctx, src, p) }}
+	return Job{ID: id, Key: key, Kind: "pipeline", Run: func(ctx context.Context) (any, error) { return RunPipeline(ctx, src, p) }}
 }
 
 // VPParams configures a value-prediction limit-study job.
@@ -406,7 +406,7 @@ func VPJob(id string, src Source, p VPParams) Job {
 	if src.Key != "" {
 		key = fmt.Sprintf("vp|%s|%d|%g|%d|%d", src.Key, p.Window, p.PredLat, p.Skip, p.Budget)
 	}
-	return Job{ID: id, Key: key, Run: func(ctx context.Context) (any, error) { return RunVP(ctx, src, p) }}
+	return Job{ID: id, Key: key, Kind: "vp", Run: func(ctx context.Context) (any, error) { return RunVP(ctx, src, p) }}
 }
 
 // AnalyzeParams configures a reuse-distance analysis job.
@@ -437,7 +437,7 @@ func AnalyzeJob(id string, src Source, p AnalyzeParams) Job {
 		key = fmt.Sprintf("analyze|%s|%d|%d", src.Key, p.Skip, p.Budget)
 	}
 	return Job{
-		ID: id, Key: key, analyze: true,
+		ID: id, Key: key, Kind: "analyze", analyze: true,
 		Run: func(ctx context.Context) (any, error) { return RunAnalyze(ctx, src, p) },
 	}
 }

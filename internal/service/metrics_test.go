@@ -1,0 +1,162 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/tracereuse/tlr/internal/metrics"
+)
+
+// TestStatsConsistentUnderLoad scrapes Stats() and the Prometheus
+// exposition while a batch is running (run under -race in CI).  Every
+// snapshot must satisfy the cross-field invariants the read ordering
+// in Stats guarantees; field-by-field snapshots used to violate them.
+func TestStatsConsistentUnderLoad(t *testing.T) {
+	s := New(Options{Workers: 4})
+	defer s.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := s.Stats()
+				if got := st.Ran + st.CacheHits + st.Coalesced; got > st.Submitted {
+					t.Errorf("snapshot violates Ran+CacheHits+Coalesced <= Submitted: %d > %d",
+						got, st.Submitted)
+					return
+				}
+				if st.AnalyzeRuns > st.Ran {
+					t.Errorf("snapshot violates AnalyzeRuns <= Ran: %d > %d", st.AnalyzeRuns, st.Ran)
+					return
+				}
+				if st.AnalyzeHits > st.CacheHits+st.Coalesced {
+					t.Errorf("snapshot violates AnalyzeHits <= CacheHits+Coalesced: %d > %d",
+						st.AnalyzeHits, st.CacheHits+st.Coalesced)
+					return
+				}
+				if st.ResultDiskHits > st.CacheHits {
+					t.Errorf("snapshot violates ResultDiskHits <= CacheHits: %d > %d",
+						st.ResultDiskHits, st.CacheHits)
+					return
+				}
+				var buf bytes.Buffer
+				if err := s.Metrics().WritePrometheus(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+
+	// A mix of unique, repeated (cache hits), and slow identical jobs
+	// (coalescing) to drive every counter while the scrapers run.
+	var jobs []Job
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 40; i++ {
+			key := fmt.Sprintf("k%d", i%20)
+			jobs = append(jobs, Job{
+				ID: key, Key: key, Kind: "study",
+				Run: func(ctx context.Context) (any, error) {
+					time.Sleep(100 * time.Microsecond)
+					return 1, nil
+				},
+			})
+		}
+	}
+	if _, err := s.Submit(context.Background(), jobs, 0).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestStatsMatchesRegistry asserts the /v1/stats source (Stats) and
+// the /metrics source (the registry) agree once traffic is quiescent:
+// they must read the same cells, not parallel bookkeeping.
+func TestStatsMatchesRegistry(t *testing.T) {
+	s := New(Options{Workers: 2, MaxInflight: 64})
+	defer s.Close()
+
+	jobs := []Job{
+		{ID: "a", Key: "a", Kind: "study", Run: func(ctx context.Context) (any, error) { return 1, nil }},
+		{ID: "a2", Key: "a", Kind: "study", Run: func(ctx context.Context) (any, error) { return 1, nil }},
+		{ID: "b", Key: "b", Kind: "rtm", Run: func(ctx context.Context) (any, error) { return 2, nil }},
+		{ID: "c", Kind: "vp", Run: func(ctx context.Context) (any, error) { return nil, fmt.Errorf("boom") }},
+	}
+	if _, err := s.Submit(context.Background(), jobs, 0).Wait(); err == nil {
+		t.Fatal("want job c's error")
+	}
+	s.NoteIngest(10, 2)
+
+	st := s.Stats()
+	reg := s.Metrics()
+	checks := []struct {
+		name   string
+		labels []string
+		want   float64
+	}{
+		{"tlr_jobs_submitted_total", nil, float64(st.Submitted)},
+		{"tlr_jobs_ran_total", nil, float64(st.Ran)},
+		{"tlr_job_cache_hits_total", nil, float64(st.CacheHits)},
+		{"tlr_jobs_coalesced_total", nil, float64(st.Coalesced)},
+		{"tlr_job_errors_total", nil, float64(st.Errors)},
+		{"tlr_jobs_shed_total", nil, float64(st.Shed)},
+		{"tlr_trace_hits_total", nil, float64(st.TraceHits)},
+		{"tlr_trace_misses_total", nil, float64(st.TraceMisses)},
+		{"tlr_ingested_traces_total", nil, float64(st.IngestedTraces)},
+		{"tlr_ingested_records_total", nil, float64(st.IngestedRecords)},
+		{"tlr_ingest_rejects_total", nil, float64(st.IngestRejects)},
+		{"tlr_inflight_jobs", nil, float64(st.InflightJobs)},
+		{"tlr_max_inflight_jobs", nil, float64(st.MaxInflight)},
+		{"tlr_programs_cached", nil, float64(st.Programs)},
+		{"tlr_results_cached", nil, float64(st.Results)},
+		{"tlr_trace_store_traces", []string{"memory"}, float64(st.Traces)},
+		{"tlr_trace_store_traces", []string{"disk"}, float64(st.TraceDisk)},
+	}
+	for _, c := range checks {
+		got, ok := reg.Value(c.name, c.labels...)
+		if !ok {
+			t.Errorf("registry has no %s%v", c.name, c.labels)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s%v = %v, registry disagrees with Stats() %v", c.name, c.labels, got, c.want)
+		}
+	}
+
+	// Per-kind latency histograms: one simulated study job and one rtm
+	// job were observed; the failed vp job still ran (errors take time
+	// too).
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := metrics.ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var simulated float64
+	for _, kind := range []string{"study", "rtm", "vp"} {
+		cs := metrics.Find(samples, "tlr_job_duration_seconds_count", "kind", kind)
+		if len(cs) != 1 || cs[0].Value < 1 {
+			t.Errorf("tlr_job_duration_seconds_count{kind=%q} = %v, want >= 1", kind, cs)
+			continue
+		}
+		simulated += cs[0].Value
+	}
+	if simulated != float64(st.Ran) {
+		t.Errorf("sum of per-kind histogram counts = %v, Stats().Ran = %d", simulated, st.Ran)
+	}
+}

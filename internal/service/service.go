@@ -32,7 +32,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"github.com/tracereuse/tlr/internal/metrics"
 	"github.com/tracereuse/tlr/internal/trace"
 	"github.com/tracereuse/tlr/internal/tracefile"
 )
@@ -144,6 +146,9 @@ type Job struct {
 	// therefore its cancellation); errors are never cached, so a
 	// cancelled result is recomputed on resubmission.
 	Run func(ctx context.Context) (any, error)
+	// Kind labels the job for per-kind metrics ("study", "rtm",
+	// "pipeline", "vp", "analyze"); empty is reported as "other".
+	Kind string
 	// analyze marks reuse-distance analysis jobs so the service can
 	// account for them separately in Stats.
 	analyze bool
@@ -171,7 +176,9 @@ type Service struct {
 
 	maxInflight int64
 	load        atomic.Int64 // jobs reserved and not yet released
-	shed        atomic.Uint64
+
+	reg *metrics.Registry
+	met serviceMetrics
 
 	mu         sync.Mutex
 	programs   *lru
@@ -179,7 +186,6 @@ type Service struct {
 	traces     *traceStore
 	resultDisk *resultDisk // nil: no persistent result cache
 	inflight   map[string]*flight
-	stats      Stats
 
 	closeOnce sync.Once
 }
@@ -273,7 +279,9 @@ func New(opt Options) *Service {
 		results:     newLRU(opt.ResultCache),
 		traces:      newTraceStore(opt.TraceCacheBytes, opt.TraceDir),
 		inflight:    make(map[string]*flight),
+		reg:         metrics.NewRegistry(),
 	}
+	s.registerMetrics(s.reg)
 	if opt.TraceDir != "" {
 		s.rehydrateTraceDir(opt.TraceDir)
 	}
@@ -312,11 +320,46 @@ func (s *Service) Close() {
 	})
 }
 
-// Stats returns a snapshot of the traffic counters.
+// Metrics returns the service's metrics registry.  Callers layering on
+// the service (the cluster fabric, HTTP servers) register their own
+// instruments here, so one registry — and one /metrics exposition —
+// covers every layer.
+func (s *Service) Metrics() *metrics.Registry { return s.reg }
+
+// Stats returns a snapshot of the traffic counters, reading the same
+// registry cells the /metrics exposition serves.  The snapshot is
+// consistent under load: derived counters are read before the counters
+// they derive from (completions before admissions, analyze splits
+// before their totals), so cross-field invariants — Ran + CacheHits +
+// Coalesced <= Submitted, ResultDiskHits <= CacheHits, AnalyzeRuns <=
+// Ran — hold in any concurrent snapshot, and every mutex-guarded
+// occupancy number is read under one critical section.
 func (s *Service) Stats() Stats {
+	var st Stats
+	// Completion-side counters first.  Each completion's admission was
+	// counted strictly before it, so reading completions before
+	// admissions can only under-count completions, never over-count
+	// them relative to Submitted.
+	st.AnalyzeRuns = s.met.analyzeRuns.Value()
+	st.AnalyzeHits = s.met.analyzeHits.Value()
+	st.ResultDiskHits = s.met.resultDiskHits.Value()
+	st.Ran = s.met.ran.Value()
+	st.CacheHits = s.met.cacheHits.Value()
+	st.Coalesced = s.met.coalesced.Value()
+	st.Errors = s.met.errors.Value()
+	st.Submitted = s.met.submitted.Value()
+
+	st.TraceHits = s.met.traceHits.Value()
+	st.TraceMisses = s.met.traceMisses.Value()
+	st.TracePeerFetches = s.met.peerFetches.Value()
+	st.TracePeerRejects = s.met.peerRejects.Value()
+	st.ResultDiskWrites = s.met.resultDiskWrites.Value()
+	st.IngestedTraces = s.met.ingestedTraces.Value()
+	st.IngestedRecords = s.met.ingestedRecords.Value()
+	st.IngestRejects = s.met.ingestRejects.Value()
+	st.Shed = s.met.shed.Value()
+
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.stats
 	st.Programs = s.programs.len()
 	st.Results = s.results.len()
 	st.Traces = s.traces.len()
@@ -328,9 +371,10 @@ func (s *Service) Stats() Stats {
 	if s.resultDisk != nil {
 		st.ResultsOnDisk = s.resultDisk.len()
 	}
+	s.mu.Unlock()
+
 	st.InflightJobs = s.load.Load()
 	st.MaxInflight = int(s.maxInflight)
-	st.Shed = s.shed.Load()
 	return st
 }
 
@@ -353,7 +397,7 @@ func (s *Service) Reserve(n int) (release func(), err error) {
 		cur := s.load.Load()
 		next := cur + int64(n)
 		if s.maxInflight > 0 && next > s.maxInflight {
-			s.shed.Add(1)
+			s.met.shed.Inc()
 			return nil, fmt.Errorf("%w (%d in flight, budget %d, requested %d)",
 				ErrOverloaded, cur, s.maxInflight, n)
 		}
@@ -374,11 +418,9 @@ func (s *Service) Inflight() int64 { return s.load.Load() }
 // records it produced and the malformed lines it dropped.  The ingest
 // itself happens in package ingest; the service only keeps the books.
 func (s *Service) NoteIngest(records, rejected uint64) {
-	s.mu.Lock()
-	s.stats.IngestedTraces++
-	s.stats.IngestedRecords += records
-	s.stats.IngestRejects += rejected
-	s.mu.Unlock()
+	s.met.ingestedTraces.Inc()
+	s.met.ingestedRecords.Add(records)
+	s.met.ingestRejects.Add(rejected)
 }
 
 // AddTrace stores a recorded trace in the service's digest-addressed
@@ -542,9 +584,7 @@ func (s *Service) ResolveTrace(digest string) (TraceHandle, bool) {
 			return h, true
 		}
 	}
-	s.mu.Lock()
-	s.stats.TraceMisses++
-	s.mu.Unlock()
+	s.met.traceMisses.Inc()
 	return TraceHandle{}, false
 }
 
@@ -554,7 +594,7 @@ func (s *Service) ResolveTrace(digest string) (TraceHandle, bool) {
 func (s *Service) resolveLocal(digest string) (TraceHandle, bool) {
 	s.mu.Lock()
 	if t, ok := s.traces.get(digest); ok {
-		s.stats.TraceHits++
+		s.met.traceHits.Inc()
 		s.mu.Unlock()
 		return memHandle(digest, t), true
 	}
@@ -563,7 +603,7 @@ func (s *Service) resolveLocal(digest string) (TraceHandle, bool) {
 		s.mu.Unlock()
 		return TraceHandle{}, false
 	}
-	s.stats.TraceHits++
+	s.met.traceHits.Inc()
 	promote := ent.fileBytes <= s.traces.promoteMaxFileBytes()
 	s.mu.Unlock()
 
@@ -638,9 +678,9 @@ func (s *Service) installPeerBody(digest string, body io.ReadCloser) (h TraceHan
 			s.rejectPeerBody(digest, err)
 			return TraceHandle{}, false, false
 		}
+		s.met.peerFetches.Inc()
+		s.met.traceHits.Inc()
 		s.mu.Lock()
-		s.stats.TracePeerFetches++
-		s.stats.TraceHits++
 		s.traces.add(t)
 		s.mu.Unlock()
 		return memHandle(digest, t), true, true
@@ -667,8 +707,8 @@ func (s *Service) installPeerBody(digest string, body io.ReadCloser) (h TraceHan
 	s.mu.Lock()
 	_, existed := s.traces.getDisk(sp.Digest)
 	s.traces.addDisk(sp.Digest, ent, !existed)
-	s.stats.TracePeerFetches++
 	s.mu.Unlock()
+	s.met.peerFetches.Inc()
 	// Resolve through the normal local path so small fetches promote to
 	// memory and large ones stream, exactly like a restart-rehydrated
 	// file would.
@@ -677,9 +717,7 @@ func (s *Service) installPeerBody(digest string, body io.ReadCloser) (h TraceHan
 }
 
 func (s *Service) rejectPeerBody(digest string, err error) {
-	s.mu.Lock()
-	s.stats.TracePeerRejects++
-	s.mu.Unlock()
+	s.met.peerRejects.Inc()
 	if err == nil {
 		err = errors.New("content digest mismatch")
 	}
@@ -729,9 +767,9 @@ func (s *Service) lookupTrace(digest string) (*tracefile.Trace, diskEntry, bool)
 		ent, ok = s.traces.getDisk(digest)
 	}
 	if ok {
-		s.stats.TraceHits++
+		s.met.traceHits.Inc()
 	} else {
-		s.stats.TraceMisses++
+		s.met.traceMisses.Inc()
 	}
 	return t, ent, ok
 }
@@ -839,13 +877,9 @@ func (s *Service) Submit(ctx context.Context, jobs []Job, maxParallel int) *Batc
 	if maxParallel > 0 && maxParallel < len(jobs) {
 		b.sem = make(chan struct{}, maxParallel)
 	}
-	s.mu.Lock()
-	s.stats.Submitted += uint64(len(jobs))
-	s.mu.Unlock()
+	s.met.submitted.Add(uint64(len(jobs)))
 	abort := func(i int, j Job, err error) {
-		s.mu.Lock()
-		s.stats.Errors++
-		s.mu.Unlock()
+		s.met.errors.Inc()
 		b.deliver(Result{Index: i, ID: j.ID, Err: err})
 	}
 	go func() {
@@ -904,24 +938,25 @@ func (b *Batch) Wait() ([]Result, error) {
 
 func (s *Service) runTask(t task) {
 	if t.batch.canceled() {
-		s.finish(t, nil, t.batch.cause(), false)
+		s.finish(t, nil, t.batch.cause(), false, 0)
 		return
 	}
 	key := t.job.Key
 	if key == "" {
+		start := time.Now()
 		v, err := t.job.Run(t.batch.ctx)
-		s.finish(t, v, err, false)
+		s.finish(t, v, err, false, time.Since(start))
 		return
 	}
 	s.mu.Lock()
 	for {
 		if v, ok := s.results.get(key); ok {
-			s.stats.CacheHits++
+			s.met.cacheHits.Inc()
 			if t.job.analyze {
-				s.stats.AnalyzeHits++
+				s.met.analyzeHits.Inc()
 			}
 			s.mu.Unlock()
-			s.finish(t, v, nil, true)
+			s.finish(t, v, nil, true, 0)
 			return
 		}
 		if f, ok := s.inflight[key]; ok {
@@ -930,9 +965,9 @@ func (s *Service) runTask(t task) {
 			// cancellation could drop the count to zero and abort the run
 			// before this live batch is counted.
 			f.waiters = append(f.waiters, t)
-			s.stats.Coalesced++
+			s.met.coalesced.Inc()
 			if t.job.analyze {
-				s.stats.AnalyzeHits++
+				s.met.analyzeHits.Inc()
 			}
 			f.attach(t.batch)
 			s.mu.Unlock()
@@ -952,13 +987,13 @@ func (s *Service) runTask(t task) {
 		s.mu.Lock()
 		if err == nil {
 			s.results.add(key, v)
-			s.stats.CacheHits++
-			s.stats.ResultDiskHits++
+			s.met.cacheHits.Inc()
+			s.met.resultDiskHits.Inc()
 			if t.job.analyze {
-				s.stats.AnalyzeHits++
+				s.met.analyzeHits.Inc()
 			}
 			s.mu.Unlock()
-			s.finish(t, v, nil, true)
+			s.finish(t, v, nil, true, 0)
 			return
 		}
 		log.Printf("service: result cache: dropping %s: %v", key, err)
@@ -972,7 +1007,9 @@ func (s *Service) runTask(t task) {
 	// Keyed results are shared across batches, so the run computes under
 	// the flight's context, not this batch's: it only stops once every
 	// interested batch has been cancelled.
+	start := time.Now()
 	v, err := t.job.Run(f.ctx)
+	dur := time.Since(start)
 
 	s.mu.Lock()
 	delete(s.inflight, key)
@@ -995,14 +1032,14 @@ func (s *Service) runTask(t task) {
 		} else if ok {
 			s.mu.Lock()
 			s.resultDisk.markKnown(key)
-			s.stats.ResultDiskWrites++
 			s.mu.Unlock()
+			s.met.resultDiskWrites.Inc()
 		}
 	}
 
-	s.finish(t, v, err, false)
+	s.finish(t, v, err, false, dur)
 	for _, w := range waiters {
-		s.finish(w, v, err, true)
+		s.finish(w, v, err, true, 0)
 	}
 }
 
@@ -1014,24 +1051,25 @@ func isCancellation(err error) bool {
 }
 
 // finish counts and delivers one result, releasing the batch's
-// parallelism slot.
-func (s *Service) finish(t task, v any, err error, cached bool) {
-	s.mu.Lock()
+// parallelism slot.  dur is the wall-clock run time for jobs that were
+// actually simulated (cached and skipped deliveries pass 0 and are
+// never observed in the latency histograms).
+func (s *Service) finish(t task, v any, err error, cached bool, dur time.Duration) {
 	switch {
 	case cached:
 		// CacheHits/Coalesced already counted at lookup time.
 	case isCancellation(err):
 		// Skipped (or stopped mid-run), not simulated to completion.
 	default:
-		s.stats.Ran++
+		s.met.ran.Inc()
+		s.met.jobDur.With(jobKind(t.job)).Observe(dur.Seconds())
 		if t.job.analyze && err == nil {
-			s.stats.AnalyzeRuns++
+			s.met.analyzeRuns.Inc()
 		}
 	}
 	if err != nil {
-		s.stats.Errors++
+		s.met.errors.Inc()
 	}
-	s.mu.Unlock()
 	t.batch.deliver(Result{Index: t.index, ID: t.job.ID, Value: v, Err: err, Cached: cached})
 	if t.batch.sem != nil {
 		<-t.batch.sem

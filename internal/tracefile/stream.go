@@ -87,18 +87,22 @@ func NewFileStream(r io.Reader) (*FileStream, error) {
 }
 
 // OpenFileStream opens a trace file as a FileStream; Close closes the
-// file.
+// file.  Disk-backed streams read through a background prefetcher
+// (see readAhead) so block decode overlaps file I/O; streams over
+// other readers (NewFileStream) are left untouched, since a caller's
+// reader may not tolerate being read past the container's end.
 func OpenFileStream(path string) (*FileStream, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	s, err := NewFileStream(f)
+	ra := newReadAhead(f)
+	s, err := NewFileStream(ra)
 	if err != nil {
-		f.Close()
+		ra.Close()
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	s.c = f
+	s.c = ra
 	return s, nil
 }
 
